@@ -1,0 +1,66 @@
+// bench_ablation_scoring — the design-choice ablation DESIGN.md calls out:
+// Algorithm 1 implemented on the lazy segment tree (§V.D.2) versus the naive
+// O(interval-length) vote array. google-benchmark measures real wall time on
+// synthetic incident data of growing size; the tree's advantage grows with Δ
+// (wider vote intervals) and record volume.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "defense/scoring.h"
+
+using namespace jgre;
+
+namespace {
+
+struct Workload {
+  std::vector<defense::IpcEvent> calls;
+  std::vector<TimeUs> adds;
+};
+
+// Synthesizes an attack-shaped recording: `n` IPC calls of one type at ~1 ms
+// cadence, each causing two JGR adds ~500 µs later (plus jitter).
+Workload MakeWorkload(int n, std::uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  TimeUs t = 1'000'000;
+  for (int i = 0; i < n; ++i) {
+    t += 800 + rng.UniformU64(400);
+    w.calls.push_back(defense::IpcEvent{t, "android.test.IFoo#1"});
+    const TimeUs add = t + 450 + rng.UniformU64(150);
+    w.adds.push_back(add);
+    w.adds.push_back(add + 5 + rng.UniformU64(20));
+  }
+  return w;
+}
+
+void BM_Algorithm1(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool use_tree = state.range(1) != 0;
+  const Workload w = MakeWorkload(n, 99);
+  defense::ScoringParams params;
+  params.use_segment_tree = use_tree;
+  params.delta_us = static_cast<DurationUs>(state.range(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        defense::JgreScoreForApp(w.calls, w.adds, params));
+  }
+  state.SetLabel(use_tree ? "segment-tree" : "naive");
+}
+
+}  // namespace
+
+// Args: {ipc_calls, use_segment_tree, delta_us}.
+BENCHMARK(BM_Algorithm1)
+    ->Args({500, 1, 1800})
+    ->Args({500, 0, 1800})
+    ->Args({2000, 1, 1800})
+    ->Args({2000, 0, 1800})
+    ->Args({8000, 1, 1800})
+    ->Args({8000, 0, 1800})
+    ->Args({2000, 1, 10000})
+    ->Args({2000, 0, 10000})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// bench_ablation_thresholds — ablation over the defense's two thresholds
+// (alarm = start recording, report = notify the defender) and Δ, the knobs
+// §V.A fixes from Observations 1 and 2. Sweeps show the trade-off the paper
+// argues qualitatively: a lower report threshold reacts earlier but records
+// less evidence; an alarm threshold inside the benign band (Fig 4's
+// 1,000–3,000) would false-alarm on benign workloads.
+#include <cstdio>
+
+#include "attack/benign_workload.h"
+#include "attack/vuln_registry.h"
+#include "bench_util.h"
+#include "core/android_system.h"
+#include "defense/jgre_defender.h"
+
+using namespace jgre;
+
+namespace {
+
+void SweepReportThreshold() {
+  std::printf("\n--- report-threshold sweep (attack: clipboard, alarm=4000) "
+              "---\n");
+  std::printf("%-18s %12s %14s %12s %10s\n", "report_threshold",
+              "jgr_at_report", "response_ms", "recovered", "pairs");
+  for (std::size_t report : {6'000u, 8'000u, 12'000u, 20'000u, 30'000u}) {
+    bench::DefendedAttackOptions options;
+    options.defender.monitor.report_threshold = report;
+    auto result = bench::RunDefendedAttack(
+        *attack::FindVulnerability("clipboard",
+                                   "addPrimaryClipChangedListener"),
+        options);
+    std::printf("%-18zu %12zu %14.1f %12s %10lld\n", report,
+                result.incident ? result.report.jgr_at_report : 0,
+                result.incident ? result.report.response_delay_us() / 1e3 : -1,
+                result.incident && result.report.recovered ? "yes" : "NO",
+                result.incident
+                    ? static_cast<long long>(result.report.cost.pairs)
+                    : 0);
+  }
+}
+
+void SweepAlarmThresholdFalsePositives() {
+  std::printf("\n--- alarm-threshold sweep under a purely benign workload "
+              "(no attacker) ---\n");
+  std::printf("%-16s %12s %12s\n", "alarm_threshold", "incidents",
+              "apps_killed");
+  for (std::size_t alarm : {1'500u, 2'500u, 4'000u, 8'000u}) {
+    core::AndroidSystem system;
+    system.Boot();
+    defense::JgreDefender::Config config;
+    config.monitor.alarm_threshold = alarm;
+    config.monitor.report_threshold = 800;  // aggressive, to expose FPs
+    defense::JgreDefender defender(&system, config);
+    defender.Install();
+    attack::BenignWorkload::Options benign_options;
+    benign_options.app_count = 40;
+    benign_options.per_app_foreground_us = 6'000'000;
+    attack::BenignWorkload workload(&system, benign_options);
+    workload.InstallAll();
+    workload.RunMonkeySession();
+    std::size_t kills = 0;
+    for (const auto& incident : defender.incidents()) {
+      kills += incident.killed_packages.size();
+    }
+    std::printf("%-16zu %12zu %12zu %s\n", alarm, defender.incidents().size(),
+                kills,
+                alarm < 3000 ? "(inside the benign band: false alarms)"
+                             : "(above the benign band: quiet)");
+  }
+}
+
+void SweepDelta() {
+  std::printf("\n--- delta sweep (single attacker, 30 benign apps) ---\n");
+  std::printf("%-12s %12s %14s %12s\n", "delta_us", "malicious", "top_benign",
+              "separation");
+  for (DurationUs delta : {79u, 500u, 1'800u, 3'583u, 8'000u}) {
+    bench::DefendedAttackOptions options;
+    options.benign_apps = 30;
+    options.defender.scoring.delta_us = delta;
+    auto result = bench::RunDefendedAttack(
+        *attack::FindVulnerability("audio", "startWatchingRoutes"), options);
+    long long malicious = 0, benign = 0;
+    if (result.incident) {
+      for (const auto& entry : result.report.ranking) {
+        if (entry.package == "com.evil.app") {
+          malicious = entry.score;
+        } else if (entry.score > benign) {
+          benign = entry.score;
+        }
+      }
+    }
+    std::printf("%-12llu %12lld %14lld %11.1fx\n",
+                static_cast<unsigned long long>(delta), malicious, benign,
+                benign > 0 ? static_cast<double>(malicious) / benign : 999.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("ABLATION: THRESHOLDS & DELTA",
+                     "Sensitivity of the defense's detection knobs");
+  SweepReportThreshold();
+  SweepAlarmThresholdFalsePositives();
+  SweepDelta();
+  return 0;
+}

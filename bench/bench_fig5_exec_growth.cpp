@@ -1,0 +1,53 @@
+// bench_fig5_exec_growth — regenerates Fig 5: the execution duration of
+// telephony.registry.listenForSubscriber() over the course of an attack.
+// Each call appends a Record that later calls must scan, so per-call time
+// grows roughly linearly with the invocation index (paper: ~50 ms by the end
+// of the attack) while staying stable early on (Observation 2).
+#include <cstdio>
+
+#include "attack/malicious_app.h"
+#include "attack/vuln_registry.h"
+#include "bench_util.h"
+#include "core/android_system.h"
+
+using namespace jgre;
+
+int main() {
+  bench::PrintBanner(
+      "FIGURE 5",
+      "Execution duration of telephony.registry.listenForSubscriber during "
+      "an attack");
+  const attack::VulnSpec* vuln =
+      attack::FindVulnerability("telephony.registry", "listenForSubscriber");
+  core::AndroidSystem system;
+  system.Boot();
+  services::AppProcess* evil =
+      attack::InstallAttackApp(&system, "com.evil.app", *vuln);
+  attack::MaliciousApp attacker(&system, evil, *vuln);
+  attack::MaliciousApp::RunOptions options;
+  options.record_exec_times = true;
+  options.sample_every_calls = 0;
+  auto result = attacker.Run(options);
+
+  const auto& times = result.exec_times_us.samples();
+  std::printf("\nattack issued %d calls before overflow (paper: 50,236 — "
+              "ours retains 2 JGRs per call vs the paper's 1, so half the "
+              "calls suffice)\n\n",
+              result.calls_issued);
+  std::printf("call_index,exec_time_us\n");
+  const std::size_t stride = std::max<std::size_t>(1, times.size() / 100);
+  for (std::size_t i = 0; i < times.size(); i += stride) {
+    std::printf("%zu,%.0f\n", i, times[i]);
+  }
+  if (times.size() > 100) {
+    const double first = times.front();
+    // The final call's sample includes the soft-reboot downtime it triggered;
+    // report the call just before the overflow instead.
+    const double late = times[times.size() - 50];
+    std::printf("\nexec time of call #0: ~%.0f us; near overflow: ~%.0f us "
+                "(paper: ~200 us -> ~50,000 us; growth is linear in stored "
+                "records)\n",
+                first, late);
+  }
+  return result.succeeded ? 0 : 1;
+}

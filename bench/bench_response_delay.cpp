@@ -1,0 +1,59 @@
+// bench_response_delay — regenerates §V.D.1: for every one of the 57 known
+// vulnerabilities, attack a defended device and measure
+//   * the response delay (defender notified -> attacker identified), and
+//   * whether recovery succeeded before the 51,200 overflow.
+//
+// Paper shape: most identifications complete within a second, the slowest
+// (midi.registerDeviceServer) around 3.6 s — far below the ~100 s the
+// fastest attack needs to overflow the table.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "attack/vuln_registry.h"
+#include "bench_util.h"
+
+using namespace jgre;
+
+int main() {
+  bench::PrintBanner("RESPONSE DELAY (paper §V.D.1)",
+                     "Attack-source identification latency per vulnerability");
+  bench::DefendedAttackOptions options;
+  options.benign_apps = 10;  // light background traffic
+
+  std::printf("\n%-20s %-40s %12s %10s %10s\n", "service", "interface",
+              "response_ms", "recovered", "reboot");
+  std::vector<double> delays_ms;
+  int defended = 0;
+  int total = 0;
+  for (const attack::VulnSpec& vuln : attack::AllVulnerabilities()) {
+    ++total;
+    options.seed = 7 + static_cast<std::uint64_t>(vuln.id);
+    auto result = bench::RunDefendedAttack(vuln, options);
+    double delay_ms = -1;
+    bool recovered = false;
+    if (result.incident) {
+      delay_ms = result.report.response_delay_us() / 1e3;
+      recovered = result.report.recovered;
+      delays_ms.push_back(delay_ms);
+      if (recovered && !result.soft_rebooted) ++defended;
+    }
+    std::printf("%-20s %-40s %12.1f %10s %10s\n", vuln.service.c_str(),
+                vuln.interface.c_str(), delay_ms, recovered ? "yes" : "NO",
+                result.soft_rebooted ? "YES" : "no");
+  }
+  if (!delays_ms.empty()) {
+    std::sort(delays_ms.begin(), delays_ms.end());
+    std::printf("\nresponse delay: median %.1f ms, p95 %.1f ms, max %.1f ms "
+                "(paper: mostly <1 s, max ~3.6 s)\n",
+                delays_ms[delays_ms.size() / 2],
+                delays_ms[delays_ms.size() * 95 / 100], delays_ms.back());
+  }
+  std::printf("defended %d/%d vulnerabilities without a reboot (paper: all "
+              "57)\n",
+              defended, total);
+  std::printf("every identification is orders of magnitude faster than the "
+              "fastest overflow (~100 s), so no attack can outrun the "
+              "defense.\n");
+  return defended == total ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// bench_table5_thirdparty — regenerates Table V: scanning 1,000 Google Play
+// apps finds exactly three with JGRE-vulnerable exported IPC interfaces.
+// The static pipeline runs over the synthesized market corpus; the three
+// hits are then dynamically confirmed against live implementations.
+#include <cstdio>
+#include <set>
+
+#include "analysis/pipeline.h"
+#include "bench_util.h"
+#include "dynamic/verifier.h"
+#include "model/corpus.h"
+
+using namespace jgre;
+
+int main() {
+  bench::PrintBanner("TABLE V", "Vulnerable third-party apps (market scan)");
+  model::MarketOptions options;
+  model::CodeModel market = model::BuildMarketModel(options);
+  analysis::AnalysisReport report = analysis::RunAnalysis(market);
+
+  std::set<std::string> apps_with_ipc;
+  for (const model::AppServiceModel& app : market.app_services) {
+    apps_with_ipc.insert(app.package);
+  }
+  std::printf("\nscanned %d apps; %zu export binder IPC; %zu risky "
+              "interfaces after sifting\n",
+              options.app_count, apps_with_ipc.size(),
+              report.Candidates().size());
+
+  dynamic::VerifyOptions verify_options;
+  verify_options.max_calls = 5000;
+  dynamic::JgreVerifier verifier(verify_options);
+  auto verdicts = verifier.VerifyAll(report, market);
+
+  std::printf("\n%-26s %-46s %s\n", "App", "Vulnerable IPC Interface",
+              "JGR/call");
+  int vulnerable = 0;
+  for (const auto& v : verdicts) {
+    if (!v.exploitable) continue;
+    ++vulnerable;
+    std::string package;
+    for (const model::AppServiceModel& app : market.app_services) {
+      if (app.service_name == v.service) package = app.package;
+    }
+    std::printf("%-26s %-46s %.2f\n", package.c_str(),
+                (v.id.substr(0, v.id.rfind('.')) + "." + v.method).c_str(),
+                v.jgr_growth_per_call);
+  }
+  std::printf("\n%d vulnerable third-party apps found (paper: 3 of 1000)\n",
+              vulnerable);
+  return 0;
+}

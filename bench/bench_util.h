@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harnesses under bench/.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation; these helpers hold the scenario plumbing they share (banner
+// formatting, the defended-attack driver with interleaved benign traffic).
+#ifndef JGRE_BENCH_BENCH_UTIL_H_
+#define JGRE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "attack/benign_workload.h"
+#include "attack/malicious_app.h"
+#include "attack/vuln_registry.h"
+#include "core/android_system.h"
+#include "defense/jgre_defender.h"
+
+namespace jgre::bench {
+
+inline void PrintBanner(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+struct DefendedAttackOptions {
+  int benign_apps = 0;
+  std::uint64_t seed = 42;
+  int max_attacker_calls = 60'000;
+  defense::JgreDefender::Config defender;
+};
+
+struct DefendedAttackResult {
+  bool incident = false;
+  defense::JgreDefender::IncidentReport report;
+  int attacker_calls = 0;
+  bool attacker_killed = false;
+  bool soft_rebooted = false;
+  DurationUs virtual_duration_us = 0;
+};
+
+// Boots a defended device, optionally populates it with benign apps whose
+// interactions interleave with the attack (randomized 20–150 ms cadence per
+// app, as MonkeyRunner-driven apps behave), runs `vuln`'s attack loop until
+// the defender raises an incident (or the attacker dies / the call budget is
+// exhausted), and returns the incident report.
+DefendedAttackResult RunDefendedAttack(const attack::VulnSpec& vuln,
+                                       const DefendedAttackOptions& options);
+
+}  // namespace jgre::bench
+
+#endif  // JGRE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,266 @@
+#include "analysis/pipeline.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/log.h"
+
+namespace jgre::analysis {
+
+using model::BodyFact;
+using model::CodeModel;
+using model::JavaMethodModel;
+
+// --- Step 1 -------------------------------------------------------------------
+
+IpcMethodSet ExtractIpcMethods(const CodeModel& model) {
+  IpcMethodSet out;
+  std::set<std::string> service_names;
+  for (const model::ServiceRegistration& reg : model.registrations) {
+    service_names.insert(reg.service_name);
+    if (reg.registrar ==
+        model::ServiceRegistration::Registrar::kNativeAddService) {
+      ++out.native_service_registrations;
+    }
+  }
+  out.services_registered = static_cast<int>(service_names.size());
+  std::set<std::string> app_service_names;
+  for (const model::AppServiceModel& app : model.app_services) {
+    app_service_names.insert(app.service_name);
+  }
+  for (const auto& [id, method] : model.java_methods) {
+    if (!method.overrides_aidl || method.service.empty()) continue;
+    if (service_names.count(method.service) > 0) {
+      out.service_methods.push_back(id);
+    } else if (app_service_names.count(method.service) > 0) {
+      out.app_methods.push_back(id);
+    }
+  }
+  return out;
+}
+
+// --- Step 2 -------------------------------------------------------------------
+
+namespace {
+
+// Counts simple JNI-entry→Add paths in the (acyclic) native call graph.
+int CountPathsToSink(const CodeModel& model, const std::string& from,
+                     std::map<std::string, int>* memo) {
+  if (from == "art::IndirectReferenceTable::Add") return 1;
+  if (auto it = memo->find(from); it != memo->end()) return it->second;
+  (*memo)[from] = 0;  // cycle guard
+  const auto node = model.native_methods.find(from);
+  int paths = 0;
+  if (node != model.native_methods.end()) {
+    for (const std::string& callee : node->second.callees) {
+      paths += CountPathsToSink(model, callee, memo);
+    }
+  }
+  (*memo)[from] = paths;
+  return paths;
+}
+
+}  // namespace
+
+JgrEntrySet ExtractJgrEntries(const CodeModel& model) {
+  JgrEntrySet out;
+  std::map<std::string, int> memo;
+  std::map<std::string, bool> native_reaches;
+  for (const auto& [name, native] : model.native_methods) {
+    if (!native.is_jni_entry) continue;
+    const int paths = CountPathsToSink(model, name, &memo);
+    if (paths == 0) continue;
+    out.native_paths_total += paths;
+    if (native.runtime_init_only) {
+      // Reachable only during Runtime::Init (class caching etc.) — a third-
+      // party app can never drive these, so they are filtered (§III.B.1).
+      out.native_paths_init_only += paths;
+    } else {
+      out.native_paths_exploitable += paths;
+      native_reaches[name] = true;
+    }
+  }
+  // Map surviving native entries back to Java via registerNativeMethods.
+  for (const model::JniRegistration& reg : model.jni_registrations) {
+    if (native_reaches.count(reg.native_method) > 0) {
+      out.java_entries.insert(reg.java_method);
+    }
+  }
+  return out;
+}
+
+// --- Step 3 -------------------------------------------------------------------
+
+namespace {
+
+// BFS over Java call edges; returns the set of JGR entry methods reachable
+// from `start` (inclusive).
+std::set<std::string> ReachableJgrEntries(const CodeModel& model,
+                                          const std::string& start,
+                                          const JgrEntrySet& entries) {
+  std::set<std::string> reached;
+  std::set<std::string> visited;
+  std::deque<std::string> queue{start};
+  while (!queue.empty()) {
+    const std::string current = queue.front();
+    queue.pop_front();
+    if (!visited.insert(current).second) continue;
+    if (entries.java_entries.count(current) > 0) reached.insert(current);
+    if (const JavaMethodModel* m = model.FindJavaMethod(current)) {
+      for (const std::string& callee : m->callees) queue.push_back(callee);
+    }
+  }
+  return reached;
+}
+
+void ApplySifter(AnalyzedInterface* iface, const JavaMethodModel& method,
+                 const std::set<std::string>& reached_entries) {
+  // Rule 1: the only JGR entry on the path is thread creation, whose native
+  // side releases the reference before returning.
+  const bool only_thread_entry =
+      !reached_entries.empty() &&
+      std::all_of(reached_entries.begin(), reached_entries.end(),
+                  [](const std::string& e) {
+                    return e == "java.lang.Thread.nativeCreate";
+                  });
+  if (only_thread_entry && !iface->takes_binder) {
+    iface->sifted_out = true;
+    iface->sift_reason =
+        "rule 1: only Thread.nativeCreate, reference released immediately";
+    return;
+  }
+  const bool retains_collection =
+      method.HasFact(BodyFact::kStoresParamInCollection);
+  if (retains_collection) return;  // genuinely retained: stays a candidate
+  if (method.HasFact(BodyFact::kUsesParamTransiently)) {
+    iface->sifted_out = true;
+    iface->sift_reason =
+        "rule 2: binder used inside the call only; collected by GC";
+    return;
+  }
+  if (method.HasFact(BodyFact::kUsesParamAsReadOnlyKey)) {
+    iface->sifted_out = true;
+    iface->sift_reason =
+        "rule 3: binder only used as a read-only key into Map/Set/"
+        "RemoteCallbackList";
+    return;
+  }
+  if (method.HasFact(BodyFact::kStoresParamInMemberSlot)) {
+    iface->sifted_out = true;
+    iface->sift_reason =
+        "rule 4: member variable, previous binder revoked on the next call";
+    return;
+  }
+}
+
+}  // namespace
+
+AnalysisReport RunAnalysis(const CodeModel& model) {
+  AnalysisReport report;
+  report.ipc_methods = ExtractIpcMethods(model);
+  report.jgr_entries = ExtractJgrEntries(model);
+
+  std::map<std::string, const model::AppServiceModel*> app_by_service;
+  for (const model::AppServiceModel& app : model.app_services) {
+    app_by_service[app.service_name] = &app;
+  }
+  std::map<std::string, const model::HelperGuard*> guard_by_method;
+  for (const model::HelperGuard& guard : model.helper_guards) {
+    guard_by_method[guard.guarded_method] = &guard;
+  }
+
+  auto analyze = [&](const std::string& id, bool app_hosted) {
+    const JavaMethodModel& method = *model.FindJavaMethod(id);
+    AnalyzedInterface iface;
+    iface.id = id;
+    iface.service = method.service;
+    iface.method = method.name;
+    iface.transaction_code = method.transaction_code;
+    iface.permission = method.permission;
+    iface.permission_level = model.LevelOf(method.permission);
+    iface.app_hosted = app_hosted;
+    if (app_hosted) {
+      if (auto it = app_by_service.find(method.service);
+          it != app_by_service.end()) {
+        iface.package = it->second->package;
+        iface.prebuilt_app = it->second->prebuilt;
+      }
+    }
+
+    const std::set<std::string> reached =
+        ReachableJgrEntries(model, id, report.jgr_entries);
+    iface.reaches_jgr_entry = !reached.empty();
+    // The strong-binder transmission scenarios (§III.C.2):
+    // Parcel.nativeReadStrongBinder never shows up in the IPC method's own
+    // call graph — it runs in the generated onTransact stub — so any method
+    // that *receives* a Binder/IInterface (directly, in a container, array or
+    // list) is treated as reaching it.
+    iface.takes_binder = method.HasBinderParam();
+    iface.risky = iface.reaches_jgr_entry || iface.takes_binder;
+
+    if (iface.risky) ApplySifter(&iface, method, reached);
+
+    // Permission filter: interfaces third-party apps cannot call at all.
+    if (iface.risky && !iface.sifted_out &&
+        iface.permission_level == model::PermissionLevel::kSignature) {
+      iface.sifted_out = true;
+      iface.sift_reason =
+          "permission map: signature-level permission, unreachable from "
+          "third-party apps";
+    }
+
+    // Protection classification (§IV.C) — from code-level guard facts.
+    if (auto it = guard_by_method.find(id); it != guard_by_method.end()) {
+      iface.protection = ProtectionClass::kHelperGuard;
+      iface.helper_class = it->second->helper_class;
+    } else if (method.HasFact(BodyFact::kPerProcessConstraint)) {
+      iface.protection = ProtectionClass::kServerConstraint;
+      iface.constraint_trusts_caller =
+          method.HasFact(BodyFact::kConstraintTrustsCallerInput);
+    }
+    report.interfaces.push_back(std::move(iface));
+  };
+
+  for (const std::string& id : report.ipc_methods.service_methods) {
+    analyze(id, /*app_hosted=*/false);
+  }
+  for (const std::string& id : report.ipc_methods.app_methods) {
+    analyze(id, /*app_hosted=*/true);
+  }
+  std::sort(report.interfaces.begin(), report.interfaces.end(),
+            [](const AnalyzedInterface& a, const AnalyzedInterface& b) {
+              return std::tie(a.service, a.transaction_code) <
+                     std::tie(b.service, b.transaction_code);
+            });
+  return report;
+}
+
+std::vector<std::string> ExtractOtherResourceRisks(const CodeModel& model) {
+  std::vector<std::string> out;
+  for (const auto& [id, method] : model.java_methods) {
+    if (!method.overrides_aidl || method.service.empty()) continue;
+    if (method.HasFact(BodyFact::kRetainsFileDescriptor)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<const AnalyzedInterface*> AnalysisReport::Candidates() const {
+  std::vector<const AnalyzedInterface*> out;
+  for (const AnalyzedInterface& iface : interfaces) {
+    if (iface.risky && !iface.sifted_out) out.push_back(&iface);
+  }
+  return out;
+}
+
+std::vector<const AnalyzedInterface*> AnalysisReport::CandidatesWithProtection(
+    ProtectionClass protection) const {
+  std::vector<const AnalyzedInterface*> out;
+  for (const AnalyzedInterface* iface : Candidates()) {
+    if (iface->protection == protection) out.push_back(iface);
+  }
+  return out;
+}
+
+}  // namespace jgre::analysis

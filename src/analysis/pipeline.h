@@ -1,0 +1,101 @@
+// The four-step JGRE analysis pipeline (paper §III, Fig 1).
+//
+//   IPC method extractor  →  JGR entry extractor  →  vulnerable IPC detector
+//   (call graph + sifter)  →  [dynamic verification, in src/dynamic]
+//
+// Each step is a standalone component over the CodeModel so tests can
+// exercise them in isolation; `RunAnalysis` chains them into the
+// AnalysisReport the benches print as the paper's tables.
+#ifndef JGRE_ANALYSIS_PIPELINE_H_
+#define JGRE_ANALYSIS_PIPELINE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/code_model.h"
+
+namespace jgre::analysis {
+
+// --- Step 1: IPC method extractor (§III.A) -----------------------------------
+
+struct IpcMethodSet {
+  // Methods reachable via ServiceManager registrations (system services).
+  std::vector<std::string> service_methods;
+  // Methods exposed by app-hosted services (prebuilt apps, market apps),
+  // including default implementations inherited from abstract base services.
+  std::vector<std::string> app_methods;
+  int services_registered = 0;
+  int native_service_registrations = 0;
+};
+
+IpcMethodSet ExtractIpcMethods(const model::CodeModel& model);
+
+// --- Step 2: JGR entry extractor (§III.B) -----------------------------------
+
+struct JgrEntrySet {
+  // Java methods whose JNI targets reach IndirectReferenceTable::Add.
+  std::set<std::string> java_entries;
+  int native_paths_total = 0;       // paper: 147
+  int native_paths_init_only = 0;   // paper: 67 filtered
+  int native_paths_exploitable = 0; // paper: 80 remain
+};
+
+JgrEntrySet ExtractJgrEntries(const model::CodeModel& model);
+
+// --- Step 3: vulnerable IPC detector + sifter (§III.C) ------------------------
+
+enum class ProtectionClass {
+  kUnprotected,
+  kHelperGuard,       // client-side only (Table II)
+  kServerConstraint,  // per-process constraint in the service (Table III)
+};
+
+struct AnalyzedInterface {
+  std::string id;          // java method id
+  std::string service;
+  std::string method;
+  std::uint32_t transaction_code = 0;
+  std::string permission;
+  model::PermissionLevel permission_level = model::PermissionLevel::kNone;
+
+  bool reaches_jgr_entry = false;  // call graph hits a Java JGR entry
+  bool takes_binder = false;       // strong-binder transmission scenarios
+  bool risky = false;
+  bool sifted_out = false;
+  std::string sift_reason;
+
+  ProtectionClass protection = ProtectionClass::kUnprotected;
+  std::string helper_class;              // for kHelperGuard
+  bool constraint_trusts_caller = false; // enqueueToast's flaw
+
+  bool app_hosted = false;
+  bool prebuilt_app = false;
+  std::string package;  // for app-hosted methods
+};
+
+struct AnalysisReport {
+  IpcMethodSet ipc_methods;
+  JgrEntrySet jgr_entries;
+  std::vector<AnalyzedInterface> interfaces;  // every IPC method, annotated
+
+  // Risky, unsifted interfaces: the candidates for dynamic verification.
+  std::vector<const AnalyzedInterface*> Candidates() const;
+  // Subsets by protection class among candidates.
+  std::vector<const AnalyzedInterface*> CandidatesWithProtection(
+      ProtectionClass protection) const;
+
+  int total_services() const { return ipc_methods.services_registered; }
+};
+
+AnalysisReport RunAnalysis(const model::CodeModel& model);
+
+// §VI extension: IPC methods that retain *other* exhaustible resources
+// (file descriptors) — invisible to the JGR-centric pipeline above, but
+// findable with the same methodology applied to a different sink.
+std::vector<std::string> ExtractOtherResourceRisks(
+    const model::CodeModel& model);
+
+}  // namespace jgre::analysis
+
+#endif  // JGRE_ANALYSIS_PIPELINE_H_

@@ -1,0 +1,105 @@
+#include "attack/malicious_app.h"
+
+#include "common/log.h"
+
+namespace jgre::attack {
+
+MaliciousApp::MaliciousApp(core::AndroidSystem* system,
+                           services::AppProcess* app, const VulnSpec& vuln)
+    : system_(system), app_(app), vuln_(vuln) {}
+
+Result<services::IpcClient> MaliciousApp::ResolveService() {
+  return app_->GetService(vuln_.service, vuln_.descriptor);
+}
+
+std::size_t MaliciousApp::VictimJgrCount() const {
+  if (vuln_.victim == VictimKind::kSystemServer) {
+    return system_->SystemServerJgrCount();
+  }
+  services::AppProcess* victim = system_->FindApp(vuln_.victim_package);
+  if (victim == nullptr || !victim->alive()) return 0;
+  rt::Runtime* runtime = victim->runtime();
+  return runtime == nullptr ? 0 : runtime->JgrCount();
+}
+
+bool MaliciousApp::VictimAlive() const {
+  if (vuln_.victim == VictimKind::kSystemServer) {
+    // "Alive" here means: the same incarnation we started attacking. After a
+    // soft reboot the new system_server has a fresh table.
+    return system_->system_runtime() != nullptr &&
+           !system_->system_runtime()->aborted();
+  }
+  services::AppProcess* victim = system_->FindApp(vuln_.victim_package);
+  return victim != nullptr && victim->alive();
+}
+
+Status MaliciousApp::Step() {
+  if (!client_.valid()) {
+    auto client = ResolveService();
+    if (!client.ok()) return client.status();
+    client_ = client.value();
+  }
+  Status status = client_.Call(vuln_.code, [this](binder::Parcel& p) {
+    vuln_.write_args(*app_, p);
+  });
+  if (status.code() == StatusCode::kUnavailable) {
+    client_ = services::IpcClient();  // DEAD_OBJECT: re-resolve next time
+  }
+  return status;
+}
+
+MaliciousApp::AttackResult MaliciousApp::Run() { return Run(RunOptions{}); }
+
+MaliciousApp::AttackResult MaliciousApp::Run(const RunOptions& options) {
+  AttackResult result;
+  result.start_us = system_->clock().NowUs();
+  const std::int64_t reboots_before = system_->soft_reboots();
+  result.jgr_curve.Add(result.start_us, static_cast<double>(VictimJgrCount()));
+
+  while (result.calls_issued < options.max_calls) {
+    if (!app_->alive()) break;  // the defender (or LMK) got us
+    if (system_->clock().NowUs() - result.start_us > options.max_duration_us) {
+      break;
+    }
+    const TimeUs call_start = system_->clock().NowUs();
+    Status status = Step();
+    ++result.calls_issued;
+    if (!status.ok()) ++result.calls_failed;
+    if (options.record_exec_times && status.ok()) {
+      result.exec_times_us.Add(
+          static_cast<double>(system_->clock().NowUs() - call_start));
+    }
+    const std::size_t jgr = VictimJgrCount();
+    result.peak_victim_jgr = std::max(result.peak_victim_jgr, jgr);
+    if (options.sample_every_calls > 0 &&
+        result.calls_issued % options.sample_every_calls == 0) {
+      result.jgr_curve.Add(system_->clock().NowUs(),
+                           static_cast<double>(jgr));
+    }
+    const bool victim_down =
+        !VictimAlive() || system_->soft_reboots() > reboots_before;
+    if (victim_down) {
+      result.succeeded = true;
+      if (options.stop_on_victim_abort) break;
+    }
+    // Permission denial is terminal: the attack cannot proceed at all.
+    if (status.code() == StatusCode::kPermissionDenied) break;
+  }
+  result.end_us = system_->clock().NowUs();
+  result.soft_reboots = system_->soft_reboots() - reboots_before;
+  JGRE_LOG(kInfo, "attack") << vuln_.service << "." << vuln_.interface
+                            << ": " << (result.succeeded ? "SUCCESS" : "no-abort")
+                            << " after " << result.calls_issued << " calls, "
+                            << result.duration_us() / 1'000'000.0 << " s";
+  return result;
+}
+
+services::AppProcess* InstallAttackApp(core::AndroidSystem* system,
+                                       const std::string& package,
+                                       const VulnSpec& vuln) {
+  std::set<std::string> permissions;
+  if (!vuln.permission.empty()) permissions.insert(vuln.permission);
+  return system->InstallApp(package, permissions);
+}
+
+}  // namespace jgre::attack

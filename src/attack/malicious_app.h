@@ -1,0 +1,80 @@
+// MaliciousApp — drives one JGRE attack against one vulnerable interface.
+//
+// The loop is Code-Snippet 2 writ large: look up the service, then fire IPC
+// calls with a fresh Binder each time until the victim's JGR table overflows
+// (runtime abort → process death; for system_server, a soft reboot). Records
+// the victim's JGR growth curve for Fig 3 and per-call execution times for
+// Figs 5/6.
+#ifndef JGRE_ATTACK_MALICIOUS_APP_H_
+#define JGRE_ATTACK_MALICIOUS_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+#include "core/android_system.h"
+#include "attack/vuln_registry.h"
+
+namespace jgre::attack {
+
+class MaliciousApp {
+ public:
+  struct RunOptions {
+    // Stop conditions (whichever comes first).
+    int max_calls = 200'000;
+    DurationUs max_duration_us = 4'000'000'000ULL;  // 4000 s
+    bool stop_on_victim_abort = true;
+    // Sampling cadence for the JGR growth curve (0 = don't sample).
+    int sample_every_calls = 200;
+    // Record each call's execution duration (Figs 5/6) — costs memory.
+    bool record_exec_times = false;
+  };
+
+  struct AttackResult {
+    bool succeeded = false;       // victim aborted (JGR table overflow)
+    int calls_issued = 0;
+    int calls_failed = 0;         // permission denials, dead objects, ...
+    TimeUs start_us = 0;
+    TimeUs end_us = 0;
+    std::size_t peak_victim_jgr = 0;
+    std::int64_t soft_reboots = 0;
+    TimeSeries jgr_curve{"victim_jgr"};
+    Summary exec_times_us;        // per-call durations when recorded
+
+    DurationUs duration_us() const { return end_us - start_us; }
+  };
+
+  // `app` must already be installed with the permission the vuln requires.
+  MaliciousApp(core::AndroidSystem* system, services::AppProcess* app,
+               const VulnSpec& vuln);
+
+  // One attack IPC call; re-resolves the service after DEAD_OBJECT.
+  Status Step();
+
+  AttackResult Run(const RunOptions& options);
+  AttackResult Run();
+
+  // Current JGR count of the victim process (0 once it is dead).
+  std::size_t VictimJgrCount() const;
+  bool VictimAlive() const;
+
+  const VulnSpec& vuln() const { return vuln_; }
+  services::AppProcess* app() { return app_; }
+
+ private:
+  Result<services::IpcClient> ResolveService();
+
+  core::AndroidSystem* system_;
+  services::AppProcess* app_;
+  VulnSpec vuln_;
+  services::IpcClient client_;
+};
+
+// Installs an attack app pre-granted whatever permission `vuln` demands.
+services::AppProcess* InstallAttackApp(core::AndroidSystem* system,
+                                       const std::string& package,
+                                       const VulnSpec& vuln);
+
+}  // namespace jgre::attack
+
+#endif  // JGRE_ATTACK_MALICIOUS_APP_H_

@@ -1,0 +1,349 @@
+#include "binder/binder_driver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace jgre::binder {
+
+BinderDriver::BinderDriver(os::Kernel* kernel, Config config)
+    : kernel_(kernel), config_(config) {
+  kernel_->AddDeathListener(
+      [this](Pid pid, const std::string& /*reason*/) { OnProcessDeath(pid); });
+}
+
+BinderDriver::BinderDriver(os::Kernel* kernel)
+    : BinderDriver(kernel, Config{}) {}
+
+NodeId BinderDriver::RegisterBinder(const std::shared_ptr<BBinder>& binder,
+                                    Pid owner) {
+  assert(binder != nullptr);
+  os::Process* proc = kernel_->FindProcess(owner);
+  assert(proc != nullptr && proc->alive && "binder owner must be alive");
+  const NodeId node_id{next_node_++};
+  Node node;
+  node.id = node_id;
+  node.owner = owner;
+  node.descriptor = binder->InterfaceDescriptor();
+  node.strong = binder;
+  if (proc->HasRuntime()) {
+    // The Java-side Binder object: JavaBBinder takes a global ref in the
+    // *sender* process (android_util_Binder.cpp), held while the kernel
+    // keeps the node referenced.
+    auto obj = proc->runtime->AllocManagedObject(
+        rt::ObjectKind::kJavaBBinder, StrCat("JavaBBinder:", node.descriptor));
+    if (obj.ok()) {
+      node.sender_obj = obj.value();
+      proc->runtime->heap().AddHold(node.sender_obj);
+    }
+    AttachRuntimeHooks(owner, proc->runtime.get());
+  }
+  binder->AttachNode(this, node_id, owner);
+  nodes_.emplace(node_id, std::move(node));
+  return node_id;
+}
+
+BinderDriver::Node* BinderDriver::FindNode(NodeId node) {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const BinderDriver::Node* BinderDriver::FindNode(NodeId node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+bool BinderDriver::IsNodeAlive(NodeId node) const {
+  const Node* n = FindNode(node);
+  return n != nullptr && !n->dead;
+}
+
+Pid BinderDriver::NodeOwner(NodeId node) const {
+  const Node* n = FindNode(node);
+  return n == nullptr ? Pid{} : n->owner;
+}
+
+void BinderDriver::AttachRuntimeHooks(Pid pid, rt::Runtime* runtime) {
+  if (hooked_runtimes_.count(pid) > 0) return;
+  hooked_runtimes_.insert(pid);
+  runtime->SetProxyCollectHandler(
+      [this, pid](NodeId node) { OnProxyCollected(pid, node); });
+}
+
+Result<StrongBinder> BinderDriver::MaterializeBinder(NodeId node_id,
+                                                     Pid holder) {
+  Node* node = FindNode(node_id);
+  if (node == nullptr || node->dead) {
+    return Unavailable("DEAD_OBJECT: binder node is gone");
+  }
+  if (!kernel_->IsAlive(node->owner)) {
+    return Unavailable("DEAD_OBJECT: owner process died");
+  }
+  if (holder == node->owner) {
+    // Same-process: the local object itself, no proxy, no JGR.
+    return StrongBinder{node->strong, ObjectId{}, node_id};
+  }
+  os::Process* holder_proc = kernel_->FindProcess(holder);
+  if (holder_proc == nullptr || !holder_proc->alive) {
+    return FailedPrecondition("holder process is dead");
+  }
+  StrongBinder out;
+  out.node = node_id;
+  out.binder = std::make_shared<BpBinder>(this, node_id, holder,
+                                          node->descriptor);
+  if (holder_proc->HasRuntime()) {
+    AttachRuntimeHooks(holder, holder_proc->runtime.get());
+    auto proxy = holder_proc->runtime->GetOrCreateBinderProxy(
+        node_id, StrCat("BinderProxy:", node->descriptor));
+    if (!proxy.ok()) return proxy.status();  // JGR table overflow in holder
+    out.java_obj = proxy.value();
+    node->holders.insert(holder);
+    // Inside a dispatch frame the received jobject also takes a local
+    // reference, released when the frame pops.
+    if (holder_proc->runtime->InLocalFrame()) {
+      auto local = holder_proc->runtime->AddLocalRef(proxy.value());
+      if (!local.ok()) return local.status();  // local table overflow (512)
+    }
+  }
+  return out;
+}
+
+void BinderDriver::ReleaseNode(NodeId node_id) {
+  Node* node = FindNode(node_id);
+  if (node == nullptr || node->dead) return;
+  node->dead = true;
+  node->strong.reset();
+  ReleaseSenderRef(*node);
+  FireDeathLinks(node_id);
+}
+
+void BinderDriver::ReleaseSenderRef(Node& node) {
+  if (!node.sender_obj.valid()) return;
+  os::Process* owner = kernel_->FindProcess(node.owner);
+  if (owner != nullptr && owner->alive && owner->HasRuntime() &&
+      owner->runtime->heap().IsAlive(node.sender_obj)) {
+    owner->runtime->heap().RemoveHold(node.sender_obj);
+  }
+  node.sender_obj = ObjectId{};
+}
+
+void BinderDriver::PinNode(NodeId node_id) {
+  if (Node* node = FindNode(node_id); node != nullptr) node->pinned = true;
+}
+
+void BinderDriver::OnProxyCollected(Pid holder, NodeId node_id) {
+  Node* node = FindNode(node_id);
+  if (node == nullptr) return;
+  node->holders.erase(holder);
+  if (node->holders.empty() && !node->dead && !node->pinned) {
+    // Last remote ref dropped: the kernel releases the node; the sender-side
+    // JavaBBinder becomes collectable (its JGR goes with it at next GC).
+    ReleaseSenderRef(*node);
+  }
+}
+
+void BinderDriver::OnProcessDeath(Pid pid) {
+  // 1. Nodes owned by the dead process die; their death links fire.
+  std::vector<NodeId> dead_nodes;
+  for (auto& [id, node] : nodes_) {
+    if (node.owner == pid && !node.dead) {
+      node.dead = true;
+      node.strong.reset();
+      node.sender_obj = ObjectId{};  // runtime is gone
+      dead_nodes.push_back(id);
+    }
+  }
+  for (NodeId node : dead_nodes) FireDeathLinks(node);
+  // 2. Proxies held by the dead process disappear with its runtime.
+  for (auto& [id, node] : nodes_) {
+    if (node.holders.erase(pid) > 0 && node.holders.empty() && !node.dead &&
+        !node.pinned) {
+      ReleaseSenderRef(node);
+    }
+  }
+  // 3. Death links whose holder died are dropped silently.
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->second.holder == pid) {
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BinderDriver::FireDeathLinks(NodeId node) {
+  // Collect first: recipients may unlink/register during callbacks.
+  std::vector<DeathLink> fired;
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->second.node == node) {
+      fired.push_back(it->second);
+      it = links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (DeathLink& link : fired) {
+    os::Process* holder = kernel_->FindProcess(link.holder);
+    if (holder == nullptr || !holder->alive) continue;
+    if (link.recipient != nullptr) link.recipient->BinderDied(node);
+    // JavaDeathRecipient::binderDied clears its global ref after dispatch.
+    if (holder->HasRuntime() &&
+        holder->runtime->heap().IsAlive(link.recipient_obj)) {
+      holder->runtime->heap().RemoveHold(link.recipient_obj);
+    }
+  }
+}
+
+Result<LinkId> BinderDriver::LinkToDeath(
+    Pid holder, NodeId node_id, std::shared_ptr<DeathRecipient> recipient) {
+  Node* node = FindNode(node_id);
+  if (node == nullptr || node->dead || !kernel_->IsAlive(node->owner)) {
+    return Unavailable("DEAD_OBJECT: cannot link to dead binder");
+  }
+  os::Process* holder_proc = kernel_->FindProcess(holder);
+  if (holder_proc == nullptr || !holder_proc->alive) {
+    return FailedPrecondition("holder process is dead");
+  }
+  DeathLink link;
+  link.id = next_link_++;
+  link.node = node_id;
+  link.holder = holder;
+  link.recipient = std::move(recipient);
+  if (holder_proc->HasRuntime()) {
+    // JavaDeathRecipient holds one JGR on the recipient object while linked.
+    auto obj = holder_proc->runtime->AllocManagedObject(
+        rt::ObjectKind::kDeathRecipient,
+        StrCat("JavaDeathRecipient:", node->descriptor));
+    if (!obj.ok()) return obj.status();  // JGR overflow in the holder
+    link.recipient_obj = obj.value();
+    holder_proc->runtime->heap().AddHold(link.recipient_obj);
+  }
+  const LinkId id = link.id;
+  links_.emplace(id, std::move(link));
+  return id;
+}
+
+bool BinderDriver::UnlinkToDeath(LinkId link_id) {
+  auto it = links_.find(link_id);
+  if (it == links_.end()) return false;
+  const DeathLink& link = it->second;
+  os::Process* holder = kernel_->FindProcess(link.holder);
+  if (holder != nullptr && holder->alive && holder->HasRuntime() &&
+      holder->runtime->heap().IsAlive(link.recipient_obj)) {
+    holder->runtime->heap().RemoveHold(link.recipient_obj);
+  }
+  links_.erase(it);
+  return true;
+}
+
+Status BinderDriver::Transact(Pid caller, NodeId target, std::uint32_t code,
+                              const Parcel& data, Parcel* reply) {
+  const os::Process* caller_proc = kernel_->FindProcess(caller);
+  if (caller_proc == nullptr || !caller_proc->alive) {
+    return FailedPrecondition("calling process is dead");
+  }
+  Node* node = FindNode(target);
+  if (node == nullptr || node->dead || !kernel_->IsAlive(node->owner)) {
+    return Unavailable("DEAD_OBJECT: transaction to dead binder");
+  }
+  os::Process* target_proc = kernel_->FindProcess(node->owner);
+  if (target_proc->HasRuntime() && target_proc->runtime->aborted()) {
+    return Unavailable("DEAD_OBJECT: target runtime aborted");
+  }
+
+  // Transport cost: copy in/out through the driver.
+  const double payload_kb =
+      static_cast<double>(data.payload_bytes()) / 1024.0;
+  DurationUs cost = config_.base_transact_cost_us +
+                    static_cast<DurationUs>(payload_kb * config_.us_per_kb);
+  if (defense_logging_) {
+    cost += config_.defense_log_base_us +
+            static_cast<DurationUs>(config_.defense_log_fraction *
+                                    static_cast<double>(cost));
+  }
+  kernel_->clock().AdvanceUs(cost);
+
+  if (defense_logging_) {
+    AppendLog(caller, caller_proc->uid, node->owner, target, code,
+              node->descriptor);
+  }
+
+  ++total_transactions_;
+  CallContext ctx;
+  ctx.calling_pid = caller;
+  ctx.calling_uid = caller_proc->uid;
+  ctx.self_pid = node->owner;
+  ctx.runtime = target_proc->HasRuntime() ? target_proc->runtime.get() : nullptr;
+  ctx.driver = this;
+  ctx.clock = &kernel_->clock();
+
+  data.RewindRead();
+  ++transact_depth_;
+  // The callee's native dispatch runs inside a JNI local frame: every local
+  // reference it creates is released when the frame pops (the reason only
+  // global references leak across calls, §I).
+  rt::IndirectReferenceTable::Cookie local_frame = 0;
+  const bool framed = ctx.runtime != nullptr && !ctx.runtime->aborted();
+  if (framed) local_frame = ctx.runtime->PushLocalFrame();
+  // Keep the callee alive across the handler even if it is unregistered
+  // mid-call.
+  std::shared_ptr<BBinder> callee = node->strong;
+  Status status = callee != nullptr
+                      ? callee->OnTransact(code, data, reply, ctx)
+                      : Unavailable("DEAD_OBJECT: node lost its object");
+  if (framed && !ctx.runtime->aborted()) {
+    ctx.runtime->PopLocalFrame(local_frame);
+  }
+  --transact_depth_;
+  if (transact_depth_ == 0 && post_transact_hook_) post_transact_hook_();
+  return status;
+}
+
+void BinderDriver::AppendLog(Pid from, Uid from_uid, Pid to, NodeId node,
+                             std::uint32_t code,
+                             const std::string& descriptor) {
+  IpcRecord rec;
+  rec.seq = next_seq_++;
+  rec.timestamp_us = kernel_->clock().NowUs();
+  rec.from_pid = from;
+  rec.from_uid = from_uid;
+  rec.to_pid = to;
+  rec.target_node = node;
+  rec.code = code;
+  rec.descriptor = descriptor;
+  ipc_log_.push_back(std::move(rec));
+  if (ipc_log_.size() > config_.ipc_log_capacity) ipc_log_.pop_front();
+}
+
+Result<std::vector<IpcRecord>> BinderDriver::ReadIpcLog(
+    Uid caller, std::uint64_t since_seq) const {
+  if (caller != kRootUid && caller != kSystemUid) {
+    return PermissionDenied(
+        "/proc/jgre_ipc_log is only readable by system services");
+  }
+  std::vector<IpcRecord> out;
+  for (const IpcRecord& rec : ipc_log_) {
+    if (rec.seq >= since_seq) out.push_back(rec);
+  }
+  return out;
+}
+
+std::string BinderDriver::RenderIpcLogProcfs(std::size_t max_lines) const {
+  std::ostringstream os;
+  os << "seq timestamp_us from_pid from_uid to_pid target_node code iface\n";
+  const std::size_t start =
+      ipc_log_.size() > max_lines ? ipc_log_.size() - max_lines : 0;
+  for (std::size_t i = start; i < ipc_log_.size(); ++i) {
+    const IpcRecord& r = ipc_log_[i];
+    os << r.seq << " " << r.timestamp_us << " " << r.from_pid.value() << " "
+       << r.from_uid.value() << " " << r.to_pid.value() << " "
+       << r.target_node.value() << " " << r.code << " " << r.descriptor
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace jgre::binder

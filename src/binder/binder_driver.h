@@ -1,0 +1,196 @@
+// BinderDriver — the kernel binder module.
+//
+// Routes transactions between processes, maintains the node/handle tables,
+// delivers death notifications, and — when the paper's defense is enabled —
+// records every transaction into an in-memory IPC log exported through
+// `/proc/jgre_ipc_log` ("from pid, to pid, target handle, to node and
+// timestamp", §V.B). Because the log is produced in the kernel, a malicious
+// app cannot fake its own IPC history; this is the trust anchor of the
+// defense's scoring phase.
+//
+// JGR bookkeeping at the driver boundary:
+// * materializing a binder in a holder process creates the BinderProxy + JGR
+//   through the holder runtime (cached per node, as in libbinder);
+// * the sender's JavaBBinder holds a JGR in the *sender* process for as long
+//   as any remote proxy exists (the kernel keeps a ref on the node);
+// * LinkToDeath allocates a JavaDeathRecipient + JGR in the holder process,
+//   released when the link fires or is dropped.
+#ifndef JGRE_BINDER_BINDER_DRIVER_H_
+#define JGRE_BINDER_BINDER_DRIVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "binder/ibinder.h"
+#include "binder/parcel.h"
+#include "os/kernel.h"
+
+namespace jgre::binder {
+
+using LinkId = std::int64_t;
+
+// One record of the defense's binder-driver IPC log.
+struct IpcRecord {
+  std::uint64_t seq = 0;
+  TimeUs timestamp_us = 0;
+  Pid from_pid;
+  Uid from_uid;
+  Pid to_pid;
+  NodeId target_node;
+  std::uint32_t code = 0;
+  // Interface descriptor + code give the "type of IPC interface" Algorithm 1
+  // groups by; on real Android the defender recovers this from the handle.
+  std::string descriptor;
+};
+
+class BinderDriver {
+ public:
+  struct Config {
+    // Transport cost model (virtual time). Calibrated so a small-payload
+    // call costs ~0.2 ms and a 500 KB payload ~3.3 ms on the stock path,
+    // matching the scale of Fig. 10.
+    DurationUs base_transact_cost_us = 130;
+    double us_per_kb = 6.5;
+    // Defense-extended driver: log every transaction. The paper measures a
+    // worst-case 1.247 ms extra per call (~46.7%): a constant record write
+    // plus a payload-proportional part (metadata/digest copy).
+    DurationUs defense_log_base_us = 45;
+    double defense_log_fraction = 0.40;
+    std::size_t ipc_log_capacity = 1 << 21;
+  };
+
+  BinderDriver(os::Kernel* kernel, Config config);
+  BinderDriver(os::Kernel* kernel);
+
+  BinderDriver(const BinderDriver&) = delete;
+  BinderDriver& operator=(const BinderDriver&) = delete;
+
+  os::Kernel& kernel() { return *kernel_; }
+
+  // --- Node registry ---------------------------------------------------------
+
+  // Registers a local binder owned by `owner`, allocating the node and the
+  // sender-side JavaBBinder (one JGR in the owner process, held while the
+  // kernel keeps the node referenced). Returns the node id.
+  NodeId RegisterBinder(const std::shared_ptr<BBinder>& binder, Pid owner);
+
+  // Creates a binder of type T owned by `owner` and registers it.
+  template <typename T, typename... Args>
+  std::shared_ptr<T> MakeBinder(Pid owner, Args&&... args) {
+    auto obj = std::make_shared<T>(std::forward<Args>(args)...);
+    RegisterBinder(obj, owner);
+    return obj;
+  }
+
+  // Materializes `node` in `holder`: same-process nodes yield the local
+  // BBinder (no JGR); remote nodes yield a proxy, minting the BinderProxy +
+  // JGR on first sight (javaObjectForIBinder).
+  Result<StrongBinder> MaterializeBinder(NodeId node, Pid holder);
+
+  bool IsNodeAlive(NodeId node) const;
+  Pid NodeOwner(NodeId node) const;
+
+  // Marks a node as permanently referenced (servicemanager holds a handle to
+  // every registered service forever), so its owner-side JavaBBinder is never
+  // released by proxy churn.
+  void PinNode(NodeId node);
+
+  // Drops the kernel's reference to a node whose owner discarded the object
+  // (e.g. a service deleting a per-client session binder): the node dies,
+  // death links fire, and the owner-side JavaBBinder becomes collectable.
+  void ReleaseNode(NodeId node);
+
+  // --- Transactions ---------------------------------------------------------
+
+  Status Transact(Pid caller, NodeId target, std::uint32_t code,
+                  const Parcel& data, Parcel* reply);
+
+  // Hook invoked after every *top-level* transaction returns; the core
+  // facade uses it for GC cadence, soft-reboot handling and defense pumping.
+  void SetPostTransactHook(std::function<void()> hook) {
+    post_transact_hook_ = std::move(hook);
+  }
+
+  // --- Death notification ------------------------------------------------------
+
+  Result<LinkId> LinkToDeath(Pid holder, NodeId node,
+                             std::shared_ptr<DeathRecipient> recipient);
+  bool UnlinkToDeath(LinkId link);
+
+  // --- IPC log (defense) -------------------------------------------------------
+
+  // Turns the extended-driver logging on/off (stock Android: off).
+  void SetDefenseLogging(bool enabled) { defense_logging_ = enabled; }
+  bool defense_logging() const { return defense_logging_; }
+
+  // Reads log records with seq >= since_seq. Permission mirrors the procfs
+  // file mode: only root/system may read (§V.B).
+  Result<std::vector<IpcRecord>> ReadIpcLog(Uid caller,
+                                            std::uint64_t since_seq) const;
+
+  // Renders the textual /proc/jgre_ipc_log content (bounded tail).
+  std::string RenderIpcLogProcfs(std::size_t max_lines = 64) const;
+
+  std::uint64_t ipc_log_next_seq() const { return next_seq_; }
+  std::int64_t total_transactions() const { return total_transactions_; }
+
+ private:
+  struct Node {
+    NodeId id;
+    Pid owner;
+    std::string descriptor;
+    std::shared_ptr<BBinder> strong;  // kernel ref while node is live
+    ObjectId sender_obj;              // JavaBBinder in the owner runtime
+    std::set<Pid> holders;            // processes with a live proxy
+    bool pinned = false;              // servicemanager holds it forever
+    bool dead = false;
+  };
+
+  struct DeathLink {
+    LinkId id;
+    NodeId node;
+    Pid holder;
+    std::shared_ptr<DeathRecipient> recipient;
+    ObjectId recipient_obj;  // JavaDeathRecipient in the holder runtime
+  };
+
+  Node* FindNode(NodeId node);
+  const Node* FindNode(NodeId node) const;
+  void OnProxyCollected(Pid holder, NodeId node);
+  void OnProcessDeath(Pid pid);
+  void ReleaseSenderRef(Node& node);
+  void FireDeathLinks(NodeId node);
+  void AppendLog(Pid from, Uid from_uid, Pid to, NodeId node,
+                 std::uint32_t code, const std::string& descriptor);
+  void AttachRuntimeHooks(Pid pid, rt::Runtime* runtime);
+
+  os::Kernel* kernel_;
+  Config config_;
+  bool defense_logging_ = false;
+
+  std::int64_t next_node_ = 1;
+  std::unordered_map<NodeId, Node> nodes_;
+
+  LinkId next_link_ = 1;
+  std::unordered_map<LinkId, DeathLink> links_;
+
+  std::deque<IpcRecord> ipc_log_;
+  std::uint64_t next_seq_ = 1;
+  std::int64_t total_transactions_ = 0;
+
+  std::set<Pid> hooked_runtimes_;
+  int transact_depth_ = 0;
+  std::function<void()> post_transact_hook_;
+};
+
+}  // namespace jgre::binder
+
+#endif  // JGRE_BINDER_BINDER_DRIVER_H_

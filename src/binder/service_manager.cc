@@ -1,0 +1,43 @@
+#include "binder/service_manager.h"
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace jgre::binder {
+
+Status ServiceManager::AddService(const std::string& name,
+                                  const std::shared_ptr<BBinder>& service,
+                                  Uid caller) {
+  if (caller != kRootUid && caller != kSystemUid) {
+    return PermissionDenied(
+        StrCat("uid ", caller.value(), " may not register service '", name,
+               "'"));
+  }
+  if (service == nullptr || !service->node().valid()) {
+    return InvalidArgument("service must be a registered binder");
+  }
+  services_[name] = service->node();
+  // servicemanager keeps a strong handle on every registered service, so the
+  // service's JavaBBinder reference is permanent.
+  driver_->PinNode(service->node());
+  JGRE_LOG(kDebug, "servicemanager") << "registered " << name;
+  return Status::Ok();
+}
+
+Result<StrongBinder> ServiceManager::GetService(const std::string& name,
+                                                Pid caller) {
+  auto it = services_.find(name);
+  if (it == services_.end()) {
+    return NotFound(StrCat("no service named '", name, "'"));
+  }
+  return driver_->MaterializeBinder(it->second, caller);
+}
+
+std::vector<std::string> ServiceManager::ListServices() const {
+  std::vector<std::string> names;
+  names.reserve(services_.size());
+  for (const auto& [name, node] : services_) names.push_back(name);
+  return names;
+}
+
+}  // namespace jgre::binder

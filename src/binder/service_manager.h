@@ -1,0 +1,52 @@
+// ServiceManager — the binder name service (handle 0).
+//
+// System services register here at boot (`ServiceManager.addService` /
+// `publishBinderService`); apps look them up by name and receive a proxy.
+// Registration is restricted to system uids, mirroring servicemanager's
+// `svc_can_register` check. The paper's IPC-method extractor enumerates
+// exactly the interfaces reachable through this registry.
+#ifndef JGRE_BINDER_SERVICE_MANAGER_H_
+#define JGRE_BINDER_SERVICE_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "binder/binder_driver.h"
+#include "binder/ibinder.h"
+
+namespace jgre::binder {
+
+class ServiceManager {
+ public:
+  explicit ServiceManager(BinderDriver* driver) : driver_(driver) {}
+
+  // Registers `service` under `name`. Only root/system may register
+  // (svc_can_register); re-registration replaces the entry (reboot path).
+  Status AddService(const std::string& name,
+                    const std::shared_ptr<BBinder>& service, Uid caller);
+
+  // Looks up `name` and materializes it in `caller` — for a remote caller
+  // this mints the proxy + JGR on first lookup (cached thereafter).
+  Result<StrongBinder> GetService(const std::string& name, Pid caller);
+
+  bool HasService(const std::string& name) const {
+    return services_.count(name) > 0;
+  }
+  std::vector<std::string> ListServices() const;
+  std::size_t ServiceCount() const { return services_.size(); }
+
+  // Drops all registrations (system soft reboot).
+  void Clear() { services_.clear(); }
+
+ private:
+  BinderDriver* driver_;
+  std::map<std::string, NodeId> services_;
+};
+
+}  // namespace jgre::binder
+
+#endif  // JGRE_BINDER_SERVICE_MANAGER_H_

@@ -1,0 +1,45 @@
+#include "common/clock.h"
+
+#include <cassert>
+#include <utility>
+
+namespace jgre {
+
+void SimClock::AdvanceUs(DurationUs delta) { AdvanceTo(now_us_ + delta); }
+
+void SimClock::AdvanceTo(TimeUs when_us) {
+  assert(when_us >= now_us_ && "virtual time cannot go backwards");
+  // Fire timers one deadline at a time so a timer that schedules another
+  // timer within the window is honoured.
+  while (!timers_.empty() && timers_.begin()->first <= when_us) {
+    auto it = timers_.begin();
+    now_us_ = it->first;
+    // Move the bucket out before invoking: callbacks may schedule/cancel.
+    auto bucket = std::move(it->second);
+    timers_.erase(it);
+    for (auto& [id, fn] : bucket) {
+      ++timers_fired_;
+      fn();
+    }
+  }
+  now_us_ = when_us;
+}
+
+std::int64_t SimClock::ScheduleAt(TimeUs deadline_us,
+                                  std::function<void()> fn) {
+  if (deadline_us < now_us_) deadline_us = now_us_;
+  const std::int64_t id = next_timer_id_++;
+  timers_[deadline_us].emplace(id, std::move(fn));
+  return id;
+}
+
+void SimClock::CancelTimer(std::int64_t timer_id) {
+  for (auto& [deadline, bucket] : timers_) {
+    if (bucket.erase(timer_id) > 0) {
+      if (bucket.empty()) timers_.erase(deadline);
+      return;
+    }
+  }
+}
+
+}  // namespace jgre

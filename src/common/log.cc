@@ -1,0 +1,43 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace jgre {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kVerbose:
+      return 'V';
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kNone:
+      return '?';
+  }
+  return '?';
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, std::string_view tag)
+    : level_(level), tag_(tag) {}
+
+LogMessage::~LogMessage() {
+  std::fprintf(stderr, "%c/%s: %s\n", LevelChar(level_), tag_.c_str(),
+               stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace jgre

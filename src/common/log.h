@@ -1,0 +1,60 @@
+// Minimal leveled logger, logcat-flavoured.
+//
+// Output format mirrors Android logcat (`LEVEL/TAG: message`) so traces read
+// naturally next to the paper. Verbosity is a process-global knob; tests and
+// benches default to WARNING to keep output clean.
+#ifndef JGRE_COMMON_LOG_H_
+#define JGRE_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace jgre {
+
+enum class LogLevel : int {
+  kVerbose = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kNone = 5,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view tag);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace jgre
+
+// Usage: JGRE_LOG(kInfo, "BinderDriver") << "transaction " << code;
+// Operands are not evaluated when the level is disabled.
+#define JGRE_LOG(level, tag)                            \
+  if (::jgre::GetLogLevel() > ::jgre::LogLevel::level)  \
+    ;                                                   \
+  else                                                  \
+    ::jgre::internal::LogMessage(::jgre::LogLevel::level, (tag))
+
+#endif  // JGRE_COMMON_LOG_H_

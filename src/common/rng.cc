@@ -1,0 +1,77 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace jgre {
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t Rng::SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the xoshiro state via SplitMix64 as recommended by the authors; a
+  // zero state would be a fixed point, and SplitMix64 avoids it.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformU64(std::uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u = UniformDouble();
+  if (u <= 0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+bool Rng::Chance(double probability) { return UniformDouble() < probability; }
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace jgre

@@ -1,0 +1,172 @@
+// Lazy segment tree with range-add updates and range-max queries.
+//
+// This is the data structure §V.D.2 of the paper uses to implement
+// Algorithm 1 efficiently: for every (IPC call, JGR creation) pair the
+// algorithm adds 1 over the delay interval [MinDelay, MaxDelay] and finally
+// asks for the maximum bucket — the count of the most self-consistent delay
+// hypothesis. Range add + global max is exactly this tree's bread and butter:
+// O(log n) per interval instead of O(interval length).
+#ifndef JGRE_COMMON_SEGMENT_TREE_H_
+#define JGRE_COMMON_SEGMENT_TREE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace jgre {
+
+class MaxSegmentTree {
+ public:
+  using Value = std::int64_t;
+
+  // Tree over indices [0, size). All buckets start at 0.
+  explicit MaxSegmentTree(std::size_t size)
+      : size_(size), max_(4 * std::max<std::size_t>(size, 1), 0),
+        lazy_(4 * std::max<std::size_t>(size, 1), 0) {}
+
+  std::size_t size() const { return size_; }
+
+  // Adds `delta` to every bucket in [lo, hi] (inclusive, clamped to range).
+  void AddRange(std::int64_t lo, std::int64_t hi, Value delta) {
+    if (size_ == 0) return;
+    lo = std::max<std::int64_t>(lo, 0);
+    hi = std::min<std::int64_t>(hi, static_cast<std::int64_t>(size_) - 1);
+    if (lo > hi) return;
+    AddRangeImpl(1, 0, size_ - 1, static_cast<std::size_t>(lo),
+                 static_cast<std::size_t>(hi), delta);
+  }
+
+  // Maximum over [lo, hi] inclusive (clamped); 0 if the range is empty.
+  Value MaxRange(std::int64_t lo, std::int64_t hi) const {
+    if (size_ == 0) return 0;
+    lo = std::max<std::int64_t>(lo, 0);
+    hi = std::min<std::int64_t>(hi, static_cast<std::int64_t>(size_) - 1);
+    if (lo > hi) return 0;
+    return MaxRangeImpl(1, 0, size_ - 1, static_cast<std::size_t>(lo),
+                        static_cast<std::size_t>(hi), 0);
+  }
+
+  Value GlobalMax() const {
+    return size_ == 0 ? 0 : max_[1] + lazy_[1];
+  }
+
+  // Smallest index whose value equals GlobalMax(). Useful to recover the
+  // most likely Delay value itself, not just its support count.
+  std::size_t ArgGlobalMax() const {
+    assert(size_ > 0);
+    return ArgMaxImpl(1, 0, size_ - 1, 0);
+  }
+
+  void Reset() {
+    std::fill(max_.begin(), max_.end(), 0);
+    std::fill(lazy_.begin(), lazy_.end(), 0);
+  }
+
+ private:
+  void AddRangeImpl(std::size_t node, std::size_t node_lo, std::size_t node_hi,
+                    std::size_t lo, std::size_t hi, Value delta) {
+    if (lo <= node_lo && node_hi <= hi) {
+      lazy_[node] += delta;
+      return;
+    }
+    const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+    if (lo <= mid) {
+      AddRangeImpl(2 * node, node_lo, mid, lo, std::min(hi, mid), delta);
+    }
+    if (hi > mid) {
+      AddRangeImpl(2 * node + 1, mid + 1, node_hi, std::max(lo, mid + 1), hi,
+                   delta);
+    }
+    max_[node] =
+        std::max(max_[2 * node] + lazy_[2 * node],
+                 max_[2 * node + 1] + lazy_[2 * node + 1]);
+  }
+
+  Value MaxRangeImpl(std::size_t node, std::size_t node_lo,
+                     std::size_t node_hi, std::size_t lo, std::size_t hi,
+                     Value acc_lazy) const {
+    acc_lazy += lazy_[node];
+    if (lo <= node_lo && node_hi <= hi) return max_[node] + acc_lazy;
+    const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+    Value best = std::numeric_limits<Value>::min();
+    if (lo <= mid) {
+      best = std::max(best, MaxRangeImpl(2 * node, node_lo, mid, lo,
+                                         std::min(hi, mid), acc_lazy));
+    }
+    if (hi > mid) {
+      best = std::max(best, MaxRangeImpl(2 * node + 1, mid + 1, node_hi,
+                                         std::max(lo, mid + 1), hi, acc_lazy));
+    }
+    return best;
+  }
+
+  std::size_t ArgMaxImpl(std::size_t node, std::size_t node_lo,
+                         std::size_t node_hi, Value acc_lazy) const {
+    acc_lazy += lazy_[node];
+    if (node_lo == node_hi) return node_lo;
+    const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+    const Value left = max_[2 * node] + lazy_[2 * node] + acc_lazy;
+    const Value right = max_[2 * node + 1] + lazy_[2 * node + 1] + acc_lazy;
+    if (left >= right) return ArgMaxImpl(2 * node, node_lo, mid, acc_lazy);
+    return ArgMaxImpl(2 * node + 1, mid + 1, node_hi, acc_lazy);
+  }
+
+  std::size_t size_;
+  // max_[n] is the subtree max *excluding* pending lazy on ancestors and on
+  // n itself; a node's effective max is max_[n] + sum of lazy_ on its path.
+  std::vector<Value> max_;
+  std::vector<Value> lazy_;
+};
+
+// O(n)-per-update reference implementation with identical semantics; used by
+// property tests and by the ablation benchmark contrasting it with the tree.
+class NaiveRangeMax {
+ public:
+  using Value = std::int64_t;
+
+  explicit NaiveRangeMax(std::size_t size) : values_(size, 0) {}
+
+  std::size_t size() const { return values_.size(); }
+
+  void AddRange(std::int64_t lo, std::int64_t hi, Value delta) {
+    lo = std::max<std::int64_t>(lo, 0);
+    hi = std::min<std::int64_t>(hi, static_cast<std::int64_t>(values_.size()) - 1);
+    for (std::int64_t i = lo; i <= hi; ++i) values_[static_cast<std::size_t>(i)] += delta;
+  }
+
+  Value MaxRange(std::int64_t lo, std::int64_t hi) const {
+    lo = std::max<std::int64_t>(lo, 0);
+    hi = std::min<std::int64_t>(hi, static_cast<std::int64_t>(values_.size()) - 1);
+    Value best = 0;
+    bool any = false;
+    for (std::int64_t i = lo; i <= hi; ++i) {
+      const Value v = values_[static_cast<std::size_t>(i)];
+      best = any ? std::max(best, v) : v;
+      any = true;
+    }
+    return any ? best : 0;
+  }
+
+  Value GlobalMax() const {
+    return MaxRange(0, static_cast<std::int64_t>(values_.size()) - 1);
+  }
+
+  // Smallest index attaining GlobalMax (mirrors MaxSegmentTree).
+  std::size_t ArgGlobalMax() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < values_.size(); ++i) {
+      if (values_[i] > values_[best]) best = i;
+    }
+    return best;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace jgre
+
+#endif  // JGRE_COMMON_SEGMENT_TREE_H_

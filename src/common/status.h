@@ -1,0 +1,129 @@
+// Lightweight Status/Result error handling for the simulator.
+//
+// Android's binder layer reports errors as negative status codes
+// (NO_ERROR, PERMISSION_DENIED, ...). We mirror that shape with a typed
+// Status carrying a code and message, and Result<T> for value-or-error.
+// Exceptions are reserved for programming errors (assertions), matching the
+// Core Guidelines advice for recoverable vs unrecoverable errors in
+// deterministic simulation code.
+#ifndef JGRE_COMMON_STATUS_H_
+#define JGRE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace jgre {
+
+enum class StatusCode {
+  kOk = 0,
+  kPermissionDenied,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kResourceExhausted,   // e.g. JGR table overflow
+  kFailedPrecondition,  // e.g. dead process / aborted runtime
+  kUnavailable,         // e.g. binder DEAD_OBJECT
+  kLimitExceeded,       // server-side per-process constraint tripped
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status PermissionDenied(std::string msg) {
+  return {StatusCode::kPermissionDenied, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status InvalidArgument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status LimitExceeded(std::string msg) {
+  return {StatusCode::kLimitExceeded, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+
+// Value-or-Status. Deliberately minimal: the simulator only needs
+// construction, ok(), value(), and status().
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "use the value constructor for OK results");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define JGRE_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::jgre::Status jgre_status_ = (expr);          \
+    if (!jgre_status_.ok()) return jgre_status_;   \
+  } while (0)
+
+}  // namespace jgre
+
+#endif  // JGRE_COMMON_STATUS_H_

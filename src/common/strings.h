@@ -1,0 +1,33 @@
+// String helpers: concatenation, joining, printf-style formatting.
+#ifndef JGRE_COMMON_STRINGS_H_
+#define JGRE_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jgre {
+
+// StrCat("pid=", 42) -> "pid=42"; any ostream-able types.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+bool StrStartsWith(std::string_view text, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace jgre
+
+#endif  // JGRE_COMMON_STRINGS_H_

@@ -1,0 +1,78 @@
+// Strong identifier types shared across the simulator.
+//
+// Every entity in the simulated Android system (process, uid, Java object,
+// binder node) is identified by a small integer. Using distinct wrapper types
+// rather than bare integers prevents the classic pid/uid mix-up bugs at
+// compile time while remaining trivially copyable and hashable.
+#ifndef JGRE_COMMON_TYPES_H_
+#define JGRE_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace jgre {
+
+// CRTP-free tagged integer. `Tag` makes distinct instantiations distinct
+// types; `kInvalid` is the default-constructed sentinel.
+template <typename Tag, typename Int = std::int64_t>
+class TaggedId {
+ public:
+  using value_type = Int;
+  static constexpr Int kInvalid = -1;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(Int value) : value_(value) {}
+
+  constexpr Int value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(TaggedId a, TaggedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TaggedId a, TaggedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TaggedId a, TaggedId b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  Int value_ = kInvalid;
+};
+
+struct PidTag {};
+struct UidTag {};
+struct ObjectTag {};
+struct NodeTag {};
+
+// Linux process id of a simulated process.
+using Pid = TaggedId<PidTag, std::int32_t>;
+// Linux/Android uid. App uids start at 10000 (Android convention);
+// uid 1000 is `system`, uid 0 is root.
+using Uid = TaggedId<UidTag, std::int32_t>;
+// Identity of a simulated Java heap object.
+using ObjectId = TaggedId<ObjectTag, std::int64_t>;
+// Identity of a binder node registered with the driver.
+using NodeId = TaggedId<NodeTag, std::int64_t>;
+
+// Virtual time in microseconds since boot.
+using TimeUs = std::uint64_t;
+// A duration, also in microseconds.
+using DurationUs = std::uint64_t;
+
+inline constexpr Uid kRootUid{0};
+inline constexpr Uid kSystemUid{1000};
+inline constexpr Uid kFirstAppUid{10000};
+
+}  // namespace jgre
+
+namespace std {
+template <typename Tag, typename Int>
+struct hash<jgre::TaggedId<Tag, Int>> {
+  size_t operator()(jgre::TaggedId<Tag, Int> id) const noexcept {
+    return std::hash<Int>{}(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // JGRE_COMMON_TYPES_H_

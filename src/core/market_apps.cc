@@ -1,0 +1,38 @@
+#include "core/market_apps.h"
+
+namespace jgre::core {
+
+void InstallThirdPartyVulnerableApps(AndroidSystem& system) {
+  struct AppDef {
+    const char* package;
+    const char* service;
+  };
+  // Google TTS extends android.speech.tts.TextToSpeechService (inheriting
+  // the vulnerable default setCallback); the other two export their own
+  // AIDL services.
+  services::AppProcess* tts = system.InstallApp("com.google.android.tts");
+  auto tts_service = std::make_shared<services::TextToSpeechService>(
+      &system.context(), "googletts", tts->pid());
+  system.driver().RegisterBinder(tts_service, tts->pid());
+  (void)system.service_manager().AddService("googletts", tts_service,
+                                            kSystemUid);
+  system.KeepServiceAlive("googletts", tts_service);
+
+  services::AppProcess* vpn = system.InstallApp("com.supernet.vpn");
+  auto vpn_service = std::make_shared<services::OpenVpnApiService>(
+      &system.context(), "supernetvpn", vpn->pid());
+  system.driver().RegisterBinder(vpn_service, vpn->pid());
+  (void)system.service_manager().AddService("supernetvpn", vpn_service,
+                                            kSystemUid);
+  system.KeepServiceAlive("supernetvpn", vpn_service);
+
+  services::AppProcess* snap = system.InstallApp("com.snapmovie");
+  auto snap_service = std::make_shared<services::SnapMovieMainService>(
+      &system.context(), "snapmovie", snap->pid());
+  system.driver().RegisterBinder(snap_service, snap->pid());
+  (void)system.service_manager().AddService("snapmovie", snap_service,
+                                            kSystemUid);
+  system.KeepServiceAlive("snapmovie", snap_service);
+}
+
+}  // namespace jgre::core

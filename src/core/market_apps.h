@@ -1,0 +1,18 @@
+// Table V third-party apps: installable on demand for the market-scan
+// experiments (they are not part of a stock device image).
+#ifndef JGRE_CORE_MARKET_APPS_H_
+#define JGRE_CORE_MARKET_APPS_H_
+
+#include "core/android_system.h"
+
+namespace jgre::core {
+
+// Installs the three vulnerable Google Play apps of Table V — Google
+// Text-to-speech ("googletts"), Supernet VPN ("supernetvpn") and SnapMovie
+// ("snapmovie") — launching their processes and registering their exported
+// binder services.
+void InstallThirdPartyVulnerableApps(AndroidSystem& system);
+
+}  // namespace jgre::core
+
+#endif  // JGRE_CORE_MARKET_APPS_H_

@@ -1,0 +1,61 @@
+#include "defense/jgr_monitor.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace jgre::defense {
+
+JgrMonitor::JgrMonitor(SimClock* clock, std::string victim_name, Config config)
+    : clock_(clock), victim_name_(std::move(victim_name)), config_(config) {}
+
+void JgrMonitor::OnJgrAdd(TimeUs now_us, std::size_t count_after,
+                          ObjectId /*obj*/) {
+  if (!recording_) {
+    if (count_after <= config_.alarm_threshold) return;  // passive: no cost
+    recording_ = true;
+    alarm_at_ = now_us;
+    JGRE_LOG(kInfo, "JgrMonitor")
+        << victim_name_ << ": JGR count passed alarm threshold ("
+        << config_.alarm_threshold << "), recording";
+  }
+  clock_->AdvanceUs(config_.record_cost_us);
+  events_.push_back(JgrEvent{clock_->NowUs(), true, count_after});
+  ++adds_since_alarm_;
+  if (!reported_ && adds_since_alarm_ >= config_.report_threshold) {
+    reported_ = true;
+    reported_at_ = clock_->NowUs();
+    JGRE_LOG(kWarning, "JgrMonitor")
+        << victim_name_ << ": " << adds_since_alarm_
+        << " new JGR entries since alarm — notifying JGRE Defender";
+  }
+}
+
+void JgrMonitor::OnJgrRemove(TimeUs now_us, std::size_t count_after,
+                             ObjectId /*obj*/) {
+  if (!recording_) return;
+  clock_->AdvanceUs(config_.record_cost_us);
+  events_.push_back(JgrEvent{clock_->NowUs(), false, count_after});
+  (void)now_us;
+}
+
+std::vector<TimeUs> JgrMonitor::AddTimes() const {
+  std::vector<TimeUs> times;
+  times.reserve(events_.size());
+  for (const JgrEvent& event : events_) {
+    if (event.is_add) times.push_back(event.t);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+void JgrMonitor::Reset() {
+  recording_ = false;
+  reported_ = false;
+  alarm_at_ = 0;
+  reported_at_ = 0;
+  adds_since_alarm_ = 0;
+  events_.clear();
+}
+
+}  // namespace jgre::defense

@@ -1,0 +1,72 @@
+// JgrMonitor — the defense's extended Android Runtime (paper §V.B phase 1).
+//
+// Attached as a JgrObserver to a victim runtime (system_server or a prebuilt
+// app). Below the alarm threshold it is completely passive (zero overhead).
+// Past the alarm threshold (4,000) it timestamps every JGR add/remove,
+// charging ~1 µs per recorded operation — the overhead §V.D.2 measures. When
+// the number of *new* entries recorded since the alarm exceeds the report
+// threshold (12,000) it flags the victim as under attack; the JgreDefender
+// picks the flag up between transactions.
+#ifndef JGRE_DEFENSE_JGR_MONITOR_H_
+#define JGRE_DEFENSE_JGR_MONITOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+#include "runtime/java_vm_ext.h"
+
+namespace jgre::defense {
+
+class JgrMonitor : public rt::JgrObserver {
+ public:
+  struct Config {
+    std::size_t alarm_threshold = 4000;
+    std::size_t report_threshold = 12000;  // new entries since the alarm
+    DurationUs record_cost_us = 1;         // §V.D.2: ~1 µs per recorded op
+  };
+
+  struct JgrEvent {
+    TimeUs t = 0;
+    bool is_add = false;
+    std::size_t count_after = 0;
+  };
+
+  JgrMonitor(SimClock* clock, std::string victim_name, Config config);
+
+  // rt::JgrObserver:
+  void OnJgrAdd(TimeUs now_us, std::size_t count_after, ObjectId obj) override;
+  void OnJgrRemove(TimeUs now_us, std::size_t count_after,
+                   ObjectId obj) override;
+
+  bool recording() const { return recording_; }
+  bool reported() const { return reported_; }
+  TimeUs alarm_at() const { return alarm_at_; }
+  TimeUs reported_at() const { return reported_at_; }
+  const std::vector<JgrEvent>& events() const { return events_; }
+  const std::string& victim_name() const { return victim_name_; }
+
+  // Sorted timestamps of recorded JGR creations (Algorithm 1's JGRAdds).
+  std::vector<TimeUs> AddTimes() const;
+
+  // Clears state after recovery so the monitor can re-arm.
+  void Reset();
+
+ private:
+  SimClock* clock_;
+  std::string victim_name_;
+  Config config_;
+
+  bool recording_ = false;
+  bool reported_ = false;
+  TimeUs alarm_at_ = 0;
+  TimeUs reported_at_ = 0;
+  std::size_t adds_since_alarm_ = 0;
+  std::vector<JgrEvent> events_;
+};
+
+}  // namespace jgre::defense
+
+#endif  // JGRE_DEFENSE_JGR_MONITOR_H_

@@ -1,0 +1,243 @@
+#include "defense/jgre_defender.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/strings.h"
+#include "services/activity_service.h"
+
+namespace jgre::defense {
+
+JgreDefender::JgreDefender(core::AndroidSystem* system, Config config)
+    : system_(system), config_(config) {}
+
+JgreDefender::JgreDefender(core::AndroidSystem* system)
+    : JgreDefender(system, Config{}) {}
+
+JgreDefender::~JgreDefender() {
+  if (installed_) {
+    system_->SetPumpExtension(nullptr);
+    system_->SetPostRebootHook(nullptr);
+    DetachMonitor("system_server", system_->system_runtime());
+    for (const char* pkg : {"com.android.bluetooth", "com.svox.pico"}) {
+      services::AppProcess* app = system_->FindApp(pkg);
+      if (app != nullptr && app->alive()) DetachMonitor(pkg, app->runtime());
+    }
+  }
+}
+
+void JgreDefender::DetachMonitor(const std::string& name,
+                                 rt::Runtime* runtime) {
+  auto it = monitors_.find(name);
+  if (it == monitors_.end() || runtime == nullptr) return;
+  runtime->vm().RemoveObserver(it->second.get());
+}
+
+void JgreDefender::Install() {
+  if (installed_) return;
+  installed_ = true;
+  // Extended binder driver: log every transaction (paper Fig 10's overhead).
+  system_->driver().SetDefenseLogging(true);
+  // Export the log through procfs, readable by system services only.
+  system_->kernel().procfs().Register(
+      "/proc/jgre_ipc_log",
+      [this] { return system_->driver().RenderIpcLogProcfs(); },
+      /*system_only=*/true);
+  // The defender is a standalone system service in its own process — it must
+  // survive a system_server abort to handle the incident that caused it.
+  os::Kernel::ProcessConfig pc;
+  pc.with_runtime = true;
+  pc.boot_class_refs = 60;
+  pc.memory_kb = 12 * 1024;
+  pc.oom_score_adj = os::kPersistentProcAdj;
+  defender_pid_ =
+      system_->kernel().CreateProcess("jgre_defender", kSystemUid, pc);
+
+  AttachMonitors();
+  system_->SetPumpExtension([this] { Check(); });
+  system_->SetPostRebootHook([this] { AttachMonitors(); });
+  JGRE_LOG(kInfo, "JgreDefender") << "installed (alarm="
+                                  << config_.monitor.alarm_threshold
+                                  << ", report="
+                                  << config_.monitor.report_threshold << ")";
+}
+
+void JgreDefender::AttachMonitors() {
+  // (Re-)attach to the current incarnation of each protected runtime. Old
+  // monitors (whose runtimes died) are replaced; their observers died with
+  // the runtime they were registered on.
+  auto attach = [this](const std::string& name, rt::Runtime* runtime) {
+    if (runtime == nullptr) return;
+    // If a monitor for this victim is already attached to the *current*
+    // runtime incarnation, detach it before replacing (avoids double
+    // observation when AttachMonitors is called redundantly).
+    DetachMonitor(name, runtime);
+    auto monitor = std::make_unique<JgrMonitor>(&system_->clock(), name,
+                                                config_.monitor);
+    runtime->vm().AddObserver(monitor.get());
+    monitors_[name] = std::move(monitor);
+  };
+  attach("system_server", system_->system_runtime());
+  for (const char* pkg : {"com.android.bluetooth", "com.svox.pico"}) {
+    services::AppProcess* app = system_->FindApp(pkg);
+    if (app != nullptr && app->alive()) attach(pkg, app->runtime());
+  }
+}
+
+JgrMonitor* JgreDefender::MonitorFor(const std::string& victim_name) {
+  auto it = monitors_.find(victim_name);
+  return it == monitors_.end() ? nullptr : it->second.get();
+}
+
+Pid JgreDefender::VictimPid(const std::string& victim_name) const {
+  if (victim_name == "system_server") return system_->system_server_pid();
+  services::AppProcess* app = system_->FindApp(victim_name);
+  return app == nullptr ? Pid{} : app->pid();
+}
+
+std::size_t JgreDefender::VictimJgrCount(const std::string& victim_name) const {
+  if (victim_name == "system_server") {
+    return system_->SystemServerJgrCount();
+  }
+  services::AppProcess* app = system_->FindApp(victim_name);
+  if (app == nullptr || !app->alive() || app->runtime() == nullptr) return 0;
+  return app->runtime()->JgrCount();
+}
+
+void JgreDefender::Check() {
+  for (auto& [name, monitor] : monitors_) {
+    if (monitor->reported()) {
+      RunIncident(name, monitor.get());
+    }
+  }
+}
+
+std::vector<JgreDefender::ScoreEntry> JgreDefender::RankApps(
+    const JgrMonitor& monitor, Pid victim_pid, const ScoringParams& params,
+    ScoringCost* cost) {
+  // Phase 2, step 1: pull the kernel's IPC log (the defender runs as uid
+  // system, so the procfs permission check passes).
+  auto log = system_->driver().ReadIpcLog(kSystemUid, ipc_log_watermark_);
+  if (!log.ok()) return {};
+  // Score the trailing analysis window (see ScoringParams::analysis_window_us)
+  // of the recording, never anything before the alarm.
+  const TimeUs reference =
+      monitor.reported() ? monitor.reported_at() : system_->clock().NowUs();
+  TimeUs window_start = monitor.alarm_at();
+  if (params.analysis_window_us > 0 &&
+      reference > params.analysis_window_us &&
+      reference - params.analysis_window_us > window_start) {
+    window_start = reference - params.analysis_window_us;
+  }
+
+  // Per-app IPC events targeting the victim since the alarm. System uids are
+  // exempt: the defender only ever kills apps (LMK-style policy).
+  std::map<Uid, std::vector<IpcEvent>> calls_by_app;
+  std::int64_t parsed = 0;
+  for (const binder::IpcRecord& rec : log.value()) {
+    ++parsed;
+    if (rec.timestamp_us < window_start) continue;
+    if (rec.to_pid != victim_pid) continue;
+    if (rec.from_uid.value() < kFirstAppUid.value()) continue;
+    calls_by_app[rec.from_uid].push_back(
+        IpcEvent{rec.timestamp_us, StrCat(rec.descriptor, "#", rec.code)});
+  }
+  // Reading + parsing the log costs real time (part of the response delay).
+  system_->clock().AdvanceUs(
+      static_cast<DurationUs>(parsed) * config_.ipc_record_parse_us);
+
+  std::vector<TimeUs> jgr_adds = monitor.AddTimes();
+  jgr_adds.erase(std::remove_if(jgr_adds.begin(), jgr_adds.end(),
+                                [window_start](TimeUs t) {
+                                  return t < window_start;
+                                }),
+                 jgr_adds.end());
+  system_->clock().AdvanceUs(static_cast<DurationUs>(
+      jgr_adds.size() * config_.jgr_event_transfer_ns / 1000));
+
+  std::vector<ScoreEntry> ranking;
+  for (auto& [uid, events] : calls_by_app) {
+    std::sort(events.begin(), events.end(),
+              [](const IpcEvent& a, const IpcEvent& b) { return a.t < b.t; });
+    ScoringCost app_cost;
+    ScoreEntry entry;
+    entry.uid = uid;
+    entry.score = JgreScoreForApp(events, jgr_adds, params, &app_cost);
+    entry.ipc_calls = static_cast<std::int64_t>(events.size());
+    auto pkg = system_->package_manager().GetPackageForUid(uid);
+    entry.package = pkg.ok() ? pkg.value() : StrCat("uid:", uid.value());
+    ranking.push_back(std::move(entry));
+    system_->clock().AdvanceUs(static_cast<DurationUs>(
+        app_cost.pairs * static_cast<std::int64_t>(config_.pair_cost_ns) /
+        1000));
+    if (cost != nullptr) {
+      cost->ipc_events += app_cost.ipc_events;
+      cost->jgr_events += app_cost.jgr_events;
+      cost->pairs += app_cost.pairs;
+      cost->range_ops += app_cost.range_ops;
+    }
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const ScoreEntry& a, const ScoreEntry& b) {
+              return a.score > b.score;
+            });
+  return ranking;
+}
+
+Status JgreDefender::ForceStop(const std::string& package) {
+  // "am force-stop <pkg>": an IPC from the defender to the activity service.
+  auto activity = system_->service_manager().GetService(
+      services::ActivityService::kName, defender_pid_);
+  if (!activity.ok()) return activity.status();
+  binder::Parcel data;
+  data.WriteInterfaceToken(services::ActivityService::kDescriptor);
+  data.WriteString(package);
+  binder::Parcel reply;
+  return activity.value().binder->Transact(
+      services::ActivityService::TRANSACTION_forceStopPackage, data, &reply);
+}
+
+void JgreDefender::RunIncident(const std::string& victim_name,
+                               JgrMonitor* monitor) {
+  IncidentReport report;
+  report.victim = victim_name;
+  report.alarm_at = monitor->alarm_at();
+  report.reported_at = monitor->reported_at();
+  report.jgr_at_report = VictimJgrCount(victim_name);
+
+  const Pid victim_pid = VictimPid(victim_name);
+  report.ranking =
+      RankApps(*monitor, victim_pid, config_.scoring, &report.cost);
+  report.identified_at = system_->clock().NowUs();
+
+  // Phase 3: kill top-ranked apps until the victim's JGR table is healthy.
+  for (const ScoreEntry& entry : report.ranking) {
+    if (VictimJgrCount(victim_name) <= config_.recovery_target) break;
+    if (static_cast<int>(report.killed_packages.size()) >=
+        config_.max_kills_per_incident) {
+      break;
+    }
+    if (entry.score < config_.min_kill_score) break;
+    JGRE_LOG(kWarning, "JgreDefender")
+        << "force-stopping " << entry.package << " (score " << entry.score
+        << ") to recover " << victim_name;
+    if (ForceStop(entry.package).ok()) {
+      report.killed_packages.push_back(entry.package);
+      // Death notifications dropped the service-side holds; GC reclaims the
+      // JGRs they pinned.
+      system_->CollectAllGarbage();
+    }
+  }
+  report.recovered_at = system_->clock().NowUs();
+  report.jgr_after_recovery = VictimJgrCount(victim_name);
+  report.recovered = report.jgr_after_recovery <= config_.recovery_target;
+  monitor->Reset();
+  ipc_log_watermark_ = system_->driver().ipc_log_next_seq();
+  JGRE_LOG(kWarning, "JgreDefender")
+      << victim_name << ": incident handled, killed "
+      << report.killed_packages.size() << " app(s), JGR "
+      << report.jgr_at_report << " -> " << report.jgr_after_recovery;
+  incidents_.push_back(std::move(report));
+}
+
+}  // namespace jgre::defense

@@ -1,0 +1,89 @@
+#include "defense/scoring.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/segment_tree.h"
+
+namespace jgre::defense {
+
+namespace {
+
+// Scores a single IPC type: interval votes over delay buckets, then the max.
+template <typename Tree>
+std::int64_t ScoreType(const std::vector<TimeUs>& call_times,
+                       const std::vector<TimeUs>& jgr_add_times,
+                       const ScoringParams& params, ScoringCost* cost) {
+  const std::size_t buckets =
+      static_cast<std::size_t>((params.max_delay_us + params.delta_us) /
+                               params.bucket_us) +
+      2;
+  Tree delay_votes(buckets);
+  bool any = false;
+  for (TimeUs ipc_time : call_times) {
+    // JGR adds that could have been caused by this call: those within
+    // [ipc_time, ipc_time + max_delay].
+    auto lo = std::lower_bound(jgr_add_times.begin(), jgr_add_times.end(),
+                               ipc_time);
+    auto hi = std::upper_bound(lo, jgr_add_times.end(),
+                               ipc_time + params.max_delay_us);
+    for (auto it = lo; it != hi; ++it) {
+      const DurationUs min_delay = *it - ipc_time;
+      const DurationUs max_delay = min_delay + params.delta_us;
+      delay_votes.AddRange(
+          static_cast<std::int64_t>(min_delay / params.bucket_us),
+          static_cast<std::int64_t>(max_delay / params.bucket_us), 1);
+      any = true;
+      if (cost != nullptr) {
+        ++cost->pairs;
+        ++cost->range_ops;
+      }
+    }
+  }
+  if (!any) return 0;
+  // Peak peeling (§VI, multiple attack paths): take the best-supported delay
+  // hypothesis, suppress its ±Δ neighbourhood, and repeat up to max_paths
+  // times. With max_paths == 1 this is exactly Algorithm 1.
+  constexpr typename Tree::Value kSuppress = std::int64_t{1} << 40;
+  const std::int64_t peak_halo =
+      static_cast<std::int64_t>(params.delta_us / params.bucket_us) + 1;
+  std::int64_t total = 0;
+  const int paths = std::max(1, params.max_paths);
+  for (int path = 0; path < paths; ++path) {
+    const auto peak = delay_votes.GlobalMax();
+    if (peak <= 0) break;
+    total += peak;
+    if (path + 1 < paths) {
+      const auto arg = static_cast<std::int64_t>(delay_votes.ArgGlobalMax());
+      delay_votes.AddRange(arg - peak_halo, arg + peak_halo, -kSuppress);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::int64_t JgreScoreForApp(const std::vector<IpcEvent>& app_calls,
+                             const std::vector<TimeUs>& jgr_add_times,
+                             const ScoringParams& params, ScoringCost* cost) {
+  assert(std::is_sorted(jgr_add_times.begin(), jgr_add_times.end()));
+  if (cost != nullptr) {
+    cost->ipc_events += static_cast<std::int64_t>(app_calls.size());
+    cost->jgr_events += static_cast<std::int64_t>(jgr_add_times.size());
+  }
+  // IPCCallOfType: split this app's calls by interface type.
+  std::map<std::string, std::vector<TimeUs>> calls_by_type;
+  for (const IpcEvent& event : app_calls) {
+    calls_by_type[event.type].push_back(event.t);
+  }
+  std::int64_t score = 0;
+  for (auto& [type, times] : calls_by_type) {
+    std::sort(times.begin(), times.end());
+    score += params.use_segment_tree
+                 ? ScoreType<MaxSegmentTree>(times, jgr_add_times, params, cost)
+                 : ScoreType<NaiveRangeMax>(times, jgr_add_times, params, cost);
+  }
+  return score;
+}
+
+}  // namespace jgre::defense

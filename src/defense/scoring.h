@@ -1,0 +1,83 @@
+// Algorithm 1 — the JGR scoring algorithm (paper §V.A).
+//
+// Observation 2 says every vulnerable IPC interface exhibits a stable
+// per-interface latency between the IPC call and the JGR creation it
+// triggers: duration = Delay + Δ with constant Delay and small Δ ≥ 0. The
+// defender therefore asks, per app and per IPC type: *is there a single
+// delay hypothesis under which many of this app's calls line up with JGR
+// creations?* For every (IPC call, JGR add) pair it votes +1 on the delay
+// interval [JGRTime − IPCTime, JGRTime − IPCTime + Δ]; the best-supported
+// delay bucket's count is the type's suspicious-call count, and the app's
+// jgre_score is the sum over its IPC types. A benign app's calls do not
+// correlate with the victim's JGR creations, so no single delay accumulates
+// support — which is also why an attacker cannot evade by merely calling a
+// lot (the counts only grow when calls actually produce JGRs at a consistent
+// lag).
+//
+// The interval-vote/max structure is implemented on the lazy segment tree of
+// §V.D.2; a naive O(interval) reference implementation is kept for property
+// tests and the ablation bench.
+#ifndef JGRE_DEFENSE_SCORING_H_
+#define JGRE_DEFENSE_SCORING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jgre::defense {
+
+struct ScoringParams {
+  // Δ: the deviation bound. The paper's single-attacker experiment uses the
+  // services' average of 1.8 ms; Fig 9 sweeps {79, 1900, 3583} µs.
+  DurationUs delta_us = 1800;
+  // Segment-tree bucket granularity over the delay axis.
+  DurationUs bucket_us = 100;
+  // Maximum plausible Delay (TimeLen): pairs farther apart than this cannot
+  // be cause and effect for any interface (the slowest handler finishes well
+  // within ~60 ms at the JGR counts where detection runs).
+  DurationUs max_delay_us = 60'000;
+  bool use_segment_tree = true;
+  // Only the trailing window of the recording is scored. Observation 2 holds
+  // *locally*: a vulnerable interface's Delay is stable over seconds but
+  // drifts as its retained state grows (Fig 5), so scoring the whole
+  // multi-minute recording of a slow attack smears the attacker's votes
+  // across buckets. 0 = score everything.
+  DurationUs analysis_window_us = 6'000'000;
+  // §VI "multiple attack paths": an attacker may drive one IPC method down
+  // k code paths with k distinct Delays, splitting its votes across k delay
+  // clusters. With max_paths > 1 the scorer sums the top-k non-overlapping
+  // delay peaks per type ("classifying different IPC calls triggered by the
+  // same IPC method according to code execution paths"). 1 = Algorithm 1
+  // exactly as printed in the paper.
+  int max_paths = 1;
+};
+
+// One recorded IPC call by one app: when, and which interface (descriptor +
+// transaction code, the "type of IPC interface" Algorithm 1 groups by).
+struct IpcEvent {
+  TimeUs t = 0;
+  std::string type;
+};
+
+struct ScoringCost {
+  std::int64_t ipc_events = 0;
+  std::int64_t jgr_events = 0;
+  std::int64_t pairs = 0;       // (IPC, JGR) pairs examined
+  std::int64_t range_ops = 0;   // interval votes applied
+};
+
+// Computes one app's jgre_score against the victim's JGR-creation times.
+// Both inputs must be sorted ascending by time. `cost`, when non-null,
+// accumulates work counters (used to charge virtual analysis time and for
+// the segment-tree ablation).
+std::int64_t JgreScoreForApp(const std::vector<IpcEvent>& app_calls,
+                             const std::vector<TimeUs>& jgr_add_times,
+                             const ScoringParams& params,
+                             ScoringCost* cost = nullptr);
+
+}  // namespace jgre::defense
+
+#endif  // JGRE_DEFENSE_SCORING_H_

@@ -1,0 +1,36 @@
+#include "model/code_model.h"
+
+namespace jgre::model {
+
+std::string_view PermissionLevelName(PermissionLevel level) {
+  switch (level) {
+    case PermissionLevel::kNone:
+      return "-";
+    case PermissionLevel::kNormal:
+      return "normal";
+    case PermissionLevel::kDangerous:
+      return "dangerous";
+    case PermissionLevel::kSignature:
+      return "signature";
+  }
+  return "?";
+}
+
+const JavaMethodModel* CodeModel::FindJavaMethod(const std::string& id) const {
+  auto it = java_methods.find(id);
+  return it == java_methods.end() ? nullptr : &it->second;
+}
+
+JavaMethodModel* CodeModel::MutableJavaMethod(const std::string& id) {
+  auto it = java_methods.find(id);
+  return it == java_methods.end() ? nullptr : &it->second;
+}
+
+PermissionLevel CodeModel::LevelOf(const std::string& permission) const {
+  if (permission.empty()) return PermissionLevel::kNone;
+  auto it = permission_levels.find(permission);
+  return it == permission_levels.end() ? PermissionLevel::kSignature
+                                       : it->second;
+}
+
+}  // namespace jgre::model

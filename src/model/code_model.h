@@ -1,0 +1,130 @@
+// CodeModel — the intermediate representation the static analysis runs on.
+//
+// Plays the role of the compiled AOSP classes the paper feeds to SOOT plus
+// the native sources it feeds to a call-graph extractor (§III): classes and
+// methods with parameter types, *code-level body facts* (does a method retain
+// its binder argument, and how), call edges, JNI registrations, the native
+// call graph down to IndirectReferenceTable::Add, service-manager
+// registrations, and a PScout-style permission map. The model records what
+// the code does — never verdicts; vulnerable/protected/safe is derived by the
+// pipeline in src/analysis and confirmed by src/dynamic.
+#ifndef JGRE_MODEL_CODE_MODEL_H_
+#define JGRE_MODEL_CODE_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "services/registry_service.h"  // services::ArgKind (parcel layout)
+
+namespace jgre::model {
+
+// What a method's body does with its binder-typed inputs — the facts the
+// paper's sifter rules (§III.C.3) and protection study (§IV.C) key on.
+enum class BodyFact {
+  // Retention patterns:
+  kStoresParamInCollection,   // map/list member: retained until removal/death
+  kStoresParamInMemberSlot,   // single field: replaced on the next call (rule 4)
+  kUsesParamTransiently,      // local use only; GC reclaims it (rule 2)
+  kUsesParamAsReadOnlyKey,    // read-only Map/Set/RCL lookup (rule 3)
+  // Additional JGR sources:
+  kLinksToDeath,              // Binder.linkToDeath → JavaDeathRecipient JGR
+  kCreatesServerSession,      // mints + retains a server-side binder per call
+  kOnlyCreatesThread,         // only Thread.nativeCreate (rule 1)
+  // Server-side guards:
+  kPerProcessConstraint,       // counts/limits registrations per process
+  kConstraintTrustsCallerInput,  // ...but the check keys on a caller-supplied
+                                 // value (enqueueToast's pkg parameter)
+  // §VI: other exhaustible resources (the JGRE pipeline deliberately ignores
+  // this; ExtractOtherResourceRisks surfaces it as future work).
+  kRetainsFileDescriptor,
+};
+
+enum class PermissionLevel { kNone, kNormal, kDangerous, kSignature };
+
+std::string_view PermissionLevelName(PermissionLevel level);
+
+// A Java-side method (IPC entry or framework-internal helper).
+struct JavaMethodModel {
+  std::string id;       // unique: "android.content.IClipboard.addPrimary..."
+  std::string clazz;    // implementing class
+  std::string name;     // method name (with signature suffix if overloaded)
+  // For IPC entries: the service-manager name and transaction code.
+  std::string service;
+  std::uint32_t transaction_code = 0;
+  bool overrides_aidl = false;   // AIDL-defined or IInterface override
+  std::vector<services::ArgKind> args;
+  std::set<BodyFact> facts;
+  std::vector<std::string> callees;  // ids of Java methods this one calls
+  std::string permission;            // required permission ("" = none)
+
+  bool HasFact(BodyFact fact) const { return facts.count(fact) > 0; }
+  bool HasBinderParam() const {
+    for (services::ArgKind a : args) {
+      if (a == services::ArgKind::kBinder) return true;
+    }
+    return false;
+  }
+};
+
+// A native function node in the native call graph.
+struct NativeMethodModel {
+  std::string name;                  // "android::ibinderForJavaObject"
+  std::vector<std::string> callees;  // native call edges
+  bool is_jni_entry = false;         // registered via registerNativeMethods
+  bool runtime_init_only = false;    // only reachable during Runtime::Init
+};
+
+// registerNativeMethods: Java method <-> native entry.
+struct JniRegistration {
+  std::string java_method;   // id in java_methods
+  std::string native_method; // name in native_methods
+};
+
+// ServiceManager.addService / publishBinderService / native addService.
+struct ServiceRegistration {
+  enum class Registrar { kAddService, kPublishBinderService, kNativeAddService };
+  std::string service_name;
+  std::string implementing_class;
+  Registrar registrar = Registrar::kAddService;
+};
+
+// A prebuilt/third-party app exposing IPC (directly or by extending an
+// abstract base service like android.speech.tts.TextToSpeechService).
+struct AppServiceModel {
+  std::string package;
+  std::string service_name;       // how callers reach it
+  std::string implementing_class;
+  std::string base_class;         // non-empty when inherited from a base
+  bool prebuilt = false;          // AOSP prebuilt vs market app
+};
+
+// A client-side guard in a service helper class (Table II).
+struct HelperGuard {
+  enum class Kind { kCap, kMultiplexedTransport };
+  std::string helper_class;   // "android.net.wifi.WifiManager"
+  std::string guarded_method; // id of the guarded IPC method
+  Kind kind = Kind::kMultiplexedTransport;
+  int cap = 0;                // for kCap (MAX_ACTIVE_LOCKS = 50)
+};
+
+struct CodeModel {
+  std::map<std::string, JavaMethodModel> java_methods;
+  std::map<std::string, NativeMethodModel> native_methods;
+  std::vector<JniRegistration> jni_registrations;
+  std::vector<ServiceRegistration> registrations;
+  std::vector<AppServiceModel> app_services;
+  std::vector<HelperGuard> helper_guards;
+  // PScout-style permission map: permission -> protection level.
+  std::map<std::string, PermissionLevel> permission_levels;
+
+  const JavaMethodModel* FindJavaMethod(const std::string& id) const;
+  JavaMethodModel* MutableJavaMethod(const std::string& id);
+  PermissionLevel LevelOf(const std::string& permission) const;
+};
+
+}  // namespace jgre::model
+
+#endif  // JGRE_MODEL_CODE_MODEL_H_

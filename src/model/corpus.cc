@@ -1,0 +1,597 @@
+#include "model/corpus.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "services/activity_service.h"
+#include "services/app_services.h"
+#include "services/audio_service.h"
+#include "services/clipboard_service.h"
+#include "services/location_service.h"
+#include "services/notification_service.h"
+#include "services/package_manager.h"
+#include "services/telephony_registry_service.h"
+#include "services/wifi_service.h"
+
+namespace jgre::model {
+
+namespace sv = jgre::services;
+using services::ArgKind;
+
+namespace {
+
+// --- Shared framework methods (the Java JGR entry points of §III.B.2) -------
+
+void AddFrameworkInternals(CodeModel* model) {
+  auto add = [model](const std::string& id, std::set<BodyFact> facts,
+                     std::vector<std::string> callees) {
+    JavaMethodModel m;
+    m.id = id;
+    const auto dot = id.rfind('.');
+    m.clazz = id.substr(0, dot);
+    m.name = id.substr(dot + 1);
+    m.facts = std::move(facts);
+    m.callees = std::move(callees);
+    model->java_methods[id] = std::move(m);
+  };
+  // RemoteCallbackList retains the callback and links to death.
+  add("android.os.RemoteCallbackList.register",
+      {BodyFact::kStoresParamInCollection, BodyFact::kLinksToDeath},
+      {"android.os.Binder.linkToDeath"});
+  add("android.os.RemoteCallbackList.unregister",
+      {BodyFact::kUsesParamAsReadOnlyKey},
+      {"android.os.Binder.unlinkToDeath"});
+  add("android.os.Binder.linkToDeath", {}, {});
+  add("android.os.Binder.unlinkToDeath", {}, {});
+  add("android.os.Parcel.nativeReadStrongBinder", {}, {});
+  add("android.os.Parcel.nativeWriteStrongBinder", {}, {});
+  add("java.lang.Thread.nativeCreate", {BodyFact::kOnlyCreatesThread}, {});
+  // Thread.start is the Java-visible wrapper services actually call.
+  add("java.lang.Thread.start", {BodyFact::kOnlyCreatesThread},
+      {"java.lang.Thread.nativeCreate"});
+}
+
+// --- Native call graph (§III.B.1): 147 JNI-entry→Add paths, 67 init-only ----
+
+void AddNativeGraph(CodeModel* model) {
+  auto add = [model](const std::string& name, std::vector<std::string> callees,
+                     bool jni_entry = false, bool init_only = false) {
+    NativeMethodModel m;
+    m.name = name;
+    m.callees = std::move(callees);
+    m.is_jni_entry = jni_entry;
+    m.runtime_init_only = init_only;
+    model->native_methods[name] = std::move(m);
+  };
+  auto map_jni = [model](const std::string& java, const std::string& native) {
+    model->jni_registrations.push_back(JniRegistration{java, native});
+  };
+
+  // Core chain down to the sink.
+  add("art::IndirectReferenceTable::Add", {});
+  add("art::JavaVMExt::AddGlobalRef", {"art::IndirectReferenceTable::Add"});
+  add("JNIEnv::NewGlobalRef", {"art::JavaVMExt::AddGlobalRef"});
+  add("android::ibinderForJavaObject", {"JNIEnv::NewGlobalRef"});
+  add("android::javaObjectForIBinder", {"JNIEnv::NewGlobalRef"});
+  add("android::JavaDeathRecipient::JavaDeathRecipient",
+      {"JNIEnv::NewGlobalRef"});
+  add("art::Thread::CreateNativeThread", {"art::JavaVMExt::AddGlobalRef"});
+
+  // The four exploitable JNI entries that matter downstream.
+  add("android_os_Parcel_readStrongBinder",
+      {"android::javaObjectForIBinder"}, /*jni_entry=*/true);
+  add("android_os_Parcel_writeStrongBinder",
+      {"android::ibinderForJavaObject"}, /*jni_entry=*/true);
+  add("android_os_BinderProxy_linkToDeath",
+      {"android::JavaDeathRecipient::JavaDeathRecipient"}, /*jni_entry=*/true);
+  add("Thread_nativeCreate", {"art::Thread::CreateNativeThread"},
+      /*jni_entry=*/true);
+  map_jni("android.os.Parcel.nativeReadStrongBinder",
+          "android_os_Parcel_readStrongBinder");
+  map_jni("android.os.Parcel.nativeWriteStrongBinder",
+          "android_os_Parcel_writeStrongBinder");
+  map_jni("android.os.Binder.linkToDeath",
+          "android_os_BinderProxy_linkToDeath");
+  map_jni("java.lang.Thread.nativeCreate", "Thread_nativeCreate");
+
+  // 67 paths reachable only during Runtime::Init — the ones §III.B.1 filters
+  // out manually (WellKnownClasses::CacheClass and friends).
+  for (int i = 0; i < 67; ++i) {
+    add(StrFormat("art::WellKnownClasses::CacheClass<%02d>", i),
+        {"JNIEnv::NewGlobalRef"}, /*jni_entry=*/true, /*init_only=*/true);
+  }
+  // The remaining non-init JNI entries (147 total - 67 init - 4 above = 76):
+  // NewGlobalRef call sites across libandroid_runtime that never sit on an
+  // IPC path (media, graphics, view internals). They inflate the raw path
+  // count exactly as on real AOSP and must be survived by the pipeline, not
+  // hand-removed.
+  for (int i = 0; i < 76; ++i) {
+    const std::string native = StrFormat("android_internal_jni_entry_%02d", i);
+    add(native, {"JNIEnv::NewGlobalRef"}, /*jni_entry=*/true);
+    const std::string java =
+        StrFormat("android.internal.NativeHolder%02d.nativeOp", i);
+    JavaMethodModel m;
+    m.id = java;
+    m.clazz = StrFormat("android.internal.NativeHolder%02d", i);
+    m.name = "nativeOp";
+    model->java_methods[java] = std::move(m);
+    map_jni(java, native);
+  }
+}
+
+// --- Hand-modeled corpus entries for the handwritten services ---------------
+
+struct HandMethod {
+  const char* name;
+  std::uint32_t code;
+  std::vector<ArgKind> args;
+  std::set<BodyFact> facts;
+  std::vector<std::string> callees;
+  const char* permission;
+};
+
+void AddHandService(CodeModel* model, const std::string& service,
+                    const std::string& descriptor, const std::string& clazz,
+                    const std::vector<HandMethod>& methods) {
+  model->registrations.push_back(ServiceRegistration{
+      service, clazz, ServiceRegistration::Registrar::kAddService});
+  for (const HandMethod& hm : methods) {
+    JavaMethodModel m;
+    m.id = StrCat(descriptor, ".", hm.name);
+    m.clazz = clazz;
+    m.name = hm.name;
+    m.service = service;
+    m.transaction_code = hm.code;
+    m.overrides_aidl = true;
+    m.args = hm.args;
+    m.facts = hm.facts;
+    m.callees = hm.callees;
+    m.permission = hm.permission == nullptr ? "" : hm.permission;
+    model->java_methods[m.id] = std::move(m);
+  }
+}
+
+void AddHandwrittenServices(CodeModel* model) {
+  const std::vector<std::string> kRegisterCallees = {
+      "android.os.RemoteCallbackList.register"};
+  const std::vector<std::string> kUnregisterCallees = {
+      "android.os.RemoteCallbackList.unregister"};
+  const std::set<BodyFact> kRegisterFacts = {
+      BodyFact::kStoresParamInCollection, BodyFact::kLinksToDeath};
+  const std::set<BodyFact> kUnregisterFacts = {
+      BodyFact::kUsesParamAsReadOnlyKey};
+
+  AddHandService(
+      model, sv::ClipboardService::kName, sv::ClipboardService::kDescriptor,
+      "com.android.server.clipboard.ClipboardService",
+      {
+          {"setPrimaryClip", sv::ClipboardService::TRANSACTION_setPrimaryClip,
+           {ArgKind::kString}, {}, {}, nullptr},
+          {"getPrimaryClip", sv::ClipboardService::TRANSACTION_getPrimaryClip,
+           {}, {}, {}, nullptr},
+          {"hasPrimaryClip", sv::ClipboardService::TRANSACTION_hasPrimaryClip,
+           {}, {}, {}, nullptr},
+          {"addPrimaryClipChangedListener",
+           sv::ClipboardService::TRANSACTION_addPrimaryClipChangedListener,
+           {ArgKind::kBinder}, kRegisterFacts, kRegisterCallees, nullptr},
+          {"removePrimaryClipChangedListener",
+           sv::ClipboardService::TRANSACTION_removePrimaryClipChangedListener,
+           {ArgKind::kBinder}, kUnregisterFacts, kUnregisterCallees, nullptr},
+      });
+
+  AddHandService(
+      model, sv::WifiService::kName, sv::WifiService::kDescriptor,
+      "com.android.server.wifi.WifiServiceImpl",
+      {
+          {"acquireWifiLock", sv::WifiService::TRANSACTION_acquireWifiLock,
+           {ArgKind::kBinder, ArgKind::kInt32, ArgKind::kString},
+           kRegisterFacts, kRegisterCallees, sv::perms::kWakeLock},
+          {"releaseWifiLock", sv::WifiService::TRANSACTION_releaseWifiLock,
+           {ArgKind::kBinder}, kUnregisterFacts, kUnregisterCallees, nullptr},
+          {"acquireMulticastLock",
+           sv::WifiService::TRANSACTION_acquireMulticastLock,
+           {ArgKind::kBinder, ArgKind::kString}, kRegisterFacts,
+           kRegisterCallees, sv::perms::kChangeWifiMulticastState},
+          {"releaseMulticastLock",
+           sv::WifiService::TRANSACTION_releaseMulticastLock,
+           {ArgKind::kBinder}, kUnregisterFacts, kUnregisterCallees, nullptr},
+          {"getWifiEnabledState",
+           sv::WifiService::TRANSACTION_getWifiEnabledState, {}, {}, {},
+           nullptr},
+      });
+
+  AddHandService(
+      model, sv::NotificationService::kName,
+      sv::NotificationService::kDescriptor,
+      "com.android.server.notification.NotificationManagerService",
+      {
+          // The per-process cap exists but keys on the caller-supplied pkg
+          // string ("android" bypass, Code-Snippet 3).
+          {"enqueueToast", sv::NotificationService::TRANSACTION_enqueueToast,
+           {ArgKind::kString, ArgKind::kBinder, ArgKind::kInt32},
+           {BodyFact::kStoresParamInCollection, BodyFact::kLinksToDeath,
+            BodyFact::kPerProcessConstraint,
+            BodyFact::kConstraintTrustsCallerInput},
+           kRegisterCallees, nullptr},
+          {"cancelToast", sv::NotificationService::TRANSACTION_cancelToast,
+           {ArgKind::kString, ArgKind::kBinder}, kUnregisterFacts,
+           kUnregisterCallees, nullptr},
+          {"enqueueNotificationWithTag",
+           sv::NotificationService::TRANSACTION_enqueueNotificationWithTag,
+           {}, {BodyFact::kPerProcessConstraint}, {}, nullptr},
+          {"cancelNotificationWithTag",
+           sv::NotificationService::TRANSACTION_cancelNotificationWithTag, {},
+           {}, {}, nullptr},
+          // Retains the listener, but binding requires a signature-level
+          // permission: the pipeline's permission filter discharges it as
+          // unreachable from third-party apps.
+          {"registerListener", 10,
+           {ArgKind::kBinder, ArgKind::kString, ArgKind::kInt32},
+           kRegisterFacts, kRegisterCallees,
+           "android.permission.BIND_NOTIFICATION_LISTENER_SERVICE"},
+      });
+
+  AddHandService(
+      model, sv::LocationService::kName, sv::LocationService::kDescriptor,
+      "com.android.server.LocationManagerService",
+      {
+          {"addGpsStatusListener",
+           sv::LocationService::TRANSACTION_addGpsStatusListener,
+           {ArgKind::kBinder}, kRegisterFacts, kRegisterCallees,
+           sv::perms::kAccessFineLocation},
+          {"removeGpsStatusListener",
+           sv::LocationService::TRANSACTION_removeGpsStatusListener,
+           {ArgKind::kBinder}, kUnregisterFacts, kUnregisterCallees, nullptr},
+          {"addGpsMeasurementsListener",
+           sv::LocationService::TRANSACTION_addGpsMeasurementsListener,
+           {ArgKind::kBinder}, kRegisterFacts, kRegisterCallees,
+           sv::perms::kAccessFineLocation},
+          {"removeGpsMeasurementsListener",
+           sv::LocationService::TRANSACTION_removeGpsMeasurementsListener,
+           {ArgKind::kBinder}, kUnregisterFacts, kUnregisterCallees, nullptr},
+          {"addGpsNavigationMessageListener",
+           sv::LocationService::TRANSACTION_addGpsNavigationMessageListener,
+           {ArgKind::kBinder}, kRegisterFacts, kRegisterCallees,
+           sv::perms::kAccessFineLocation},
+          {"removeGpsNavigationMessageListener",
+           sv::LocationService::TRANSACTION_removeGpsNavigationMessageListener,
+           {ArgKind::kBinder}, kUnregisterFacts, kUnregisterCallees, nullptr},
+          {"getLastLocation", sv::LocationService::TRANSACTION_getLastLocation,
+           {}, {}, {}, nullptr},
+      });
+
+  AddHandService(
+      model, sv::AudioService::kName, sv::AudioService::kDescriptor,
+      "android.media.AudioService",
+      {
+          {"registerRemoteController",
+           sv::AudioService::TRANSACTION_registerRemoteController,
+           {ArgKind::kBinder}, kRegisterFacts, kRegisterCallees, nullptr},
+          {"unregisterRemoteControlDisplay",
+           sv::AudioService::TRANSACTION_unregisterRemoteControlDisplay,
+           {ArgKind::kBinder}, kUnregisterFacts, kUnregisterCallees, nullptr},
+          {"startWatchingRoutes",
+           sv::AudioService::TRANSACTION_startWatchingRoutes,
+           {ArgKind::kBinder}, kRegisterFacts, kRegisterCallees, nullptr},
+          {"getStreamVolume", sv::AudioService::TRANSACTION_getStreamVolume,
+           {ArgKind::kInt32}, {}, {}, nullptr},
+          {"setStreamVolume", sv::AudioService::TRANSACTION_setStreamVolume,
+           {ArgKind::kInt32}, {}, {}, nullptr},
+      });
+
+  AddHandService(
+      model, sv::TelephonyRegistryService::kName,
+      sv::TelephonyRegistryService::kDescriptor,
+      "com.android.server.TelephonyRegistry",
+      {
+          {"listen", sv::TelephonyRegistryService::TRANSACTION_listen,
+           {ArgKind::kString, ArgKind::kBinder, ArgKind::kInt32},
+           kRegisterFacts, kRegisterCallees, sv::perms::kReadPhoneState},
+          {"listenForSubscriber",
+           sv::TelephonyRegistryService::TRANSACTION_listenForSubscriber,
+           {ArgKind::kInt32, ArgKind::kString, ArgKind::kBinder,
+            ArgKind::kInt32},
+           kRegisterFacts, kRegisterCallees, sv::perms::kReadPhoneState},
+          {"addOnSubscriptionsChangedListener",
+           sv::TelephonyRegistryService::
+               TRANSACTION_addOnSubscriptionsChangedListener,
+           {ArgKind::kString, ArgKind::kBinder}, kRegisterFacts,
+           kRegisterCallees, sv::perms::kReadPhoneState},
+          {"removeOnSubscriptionsChangedListener",
+           sv::TelephonyRegistryService::
+               TRANSACTION_removeOnSubscriptionsChangedListener,
+           {ArgKind::kBinder}, kUnregisterFacts, kUnregisterCallees, nullptr},
+      });
+
+  AddHandService(
+      model, sv::ActivityService::kName, sv::ActivityService::kDescriptor,
+      "com.android.server.am.ActivityManagerService",
+      {
+          {"registerTaskStackListener",
+           sv::ActivityService::TRANSACTION_registerTaskStackListener,
+           {ArgKind::kBinder}, kRegisterFacts, kRegisterCallees, nullptr},
+          {"registerReceiver",
+           sv::ActivityService::TRANSACTION_registerReceiver,
+           {ArgKind::kString, ArgKind::kBinder, ArgKind::kString},
+           kRegisterFacts, kRegisterCallees, nullptr},
+          {"unregisterReceiver",
+           sv::ActivityService::TRANSACTION_unregisterReceiver,
+           {ArgKind::kBinder}, kUnregisterFacts, kUnregisterCallees, nullptr},
+          {"bindService", sv::ActivityService::TRANSACTION_bindService,
+           {ArgKind::kString, ArgKind::kBinder}, kRegisterFacts,
+           kRegisterCallees, nullptr},
+          {"unbindService", sv::ActivityService::TRANSACTION_unbindService,
+           {ArgKind::kBinder}, kUnregisterFacts, kUnregisterCallees, nullptr},
+          {"forceStopPackage",
+           sv::ActivityService::TRANSACTION_forceStopPackage,
+           {ArgKind::kString}, {}, {},
+           "android.permission.FORCE_STOP_PACKAGES"},
+      });
+}
+
+// --- Registry-derived corpus entries -----------------------------------------
+
+std::set<BodyFact> FactsForKind(services::MethodKind kind) {
+  switch (kind) {
+    case services::MethodKind::kQuery:
+      return {};
+    case services::MethodKind::kRegister:
+      return {BodyFact::kStoresParamInCollection, BodyFact::kLinksToDeath};
+    case services::MethodKind::kUnregister:
+      return {BodyFact::kUsesParamAsReadOnlyKey};
+    case services::MethodKind::kSession:
+      return {BodyFact::kStoresParamInCollection, BodyFact::kLinksToDeath,
+              BodyFact::kCreatesServerSession};
+    case services::MethodKind::kRegisterPerProcess:
+      return {BodyFact::kStoresParamInCollection, BodyFact::kLinksToDeath,
+              BodyFact::kPerProcessConstraint};
+    case services::MethodKind::kReplaceSingle:
+      return {BodyFact::kStoresParamInMemberSlot};
+    case services::MethodKind::kTransient:
+      return {BodyFact::kUsesParamTransiently};
+    case services::MethodKind::kConsumeFd:
+      return {BodyFact::kRetainsFileDescriptor};
+  }
+  return {};
+}
+
+std::vector<std::string> CalleesForKind(services::MethodKind kind) {
+  switch (kind) {
+    case services::MethodKind::kRegister:
+    case services::MethodKind::kSession:
+    case services::MethodKind::kRegisterPerProcess:
+      return {"android.os.RemoteCallbackList.register"};
+    case services::MethodKind::kUnregister:
+      return {"android.os.RemoteCallbackList.unregister"};
+    case services::MethodKind::kReplaceSingle:
+      // Replacing also uses the list, but the net retention stays one entry.
+      return {"android.os.RemoteCallbackList.register",
+              "android.os.RemoteCallbackList.unregister"};
+    default:
+      return {};
+  }
+}
+
+void AddRegistryDerivedServices(CodeModel* model,
+                                core::AndroidSystem& system) {
+  const std::set<std::string> kNativeServices = {
+      "SurfaceFlinger", "media.camera", "media.player", "media.audio_flinger",
+      "media.audio_policy"};
+  system.ForEachService([&](const std::string& name,
+                            services::SystemService* service) {
+    auto* registry = dynamic_cast<services::RegistryServiceBase*>(service);
+    if (registry == nullptr) return;  // handwritten: modeled above
+    const bool app_hosted =
+        registry->host_pid() != system.system_server_pid();
+    const std::string clazz = service->InterfaceDescriptor();
+    if (app_hosted) {
+      os::Process* host = system.kernel().FindProcess(registry->host_pid());
+      AppServiceModel app;
+      app.package = host != nullptr ? host->name : "unknown";
+      app.service_name = name;
+      app.implementing_class = clazz;
+      if (dynamic_cast<services::TextToSpeechService*>(service) != nullptr) {
+        app.base_class = "android.speech.tts.TextToSpeechService";
+      }
+      app.prebuilt = true;
+      model->app_services.push_back(std::move(app));
+    } else {
+      ServiceRegistration reg;
+      reg.service_name = name;
+      reg.implementing_class = clazz;
+      reg.registrar = kNativeServices.count(name) > 0
+                          ? ServiceRegistration::Registrar::kNativeAddService
+                          : ServiceRegistration::Registrar::kAddService;
+      model->registrations.push_back(std::move(reg));
+    }
+    for (const services::MethodSpec& spec : registry->methods()) {
+      JavaMethodModel m;
+      m.id = StrCat(service->InterfaceDescriptor(), ".", spec.method);
+      m.clazz = clazz;
+      m.name = spec.method;
+      m.service = name;
+      m.transaction_code = spec.code;
+      m.overrides_aidl = true;
+      m.args = spec.args;
+      m.facts = FactsForKind(spec.kind);
+      m.callees = CalleesForKind(spec.kind);
+      m.permission = spec.permission == nullptr ? "" : spec.permission;
+      model->java_methods[m.id] = std::move(m);
+    }
+  });
+}
+
+// A few framework IPC methods reach IndirectReferenceTable::Add solely
+// through Thread.nativeCreate (spawning a worker for the request). The
+// paper's sift rule 1 discharges these: CreateNativeThread releases its
+// reference before returning.
+void AddThreadOnlyIpcMethods(CodeModel* model) {
+  struct Entry {
+    const char* service;
+    const char* method;
+  };
+  for (const Entry& e : {Entry{"alarm", "set"}, Entry{"backup", "dataChanged"},
+                         Entry{"jobscheduler", "schedule"}}) {
+    JavaMethodModel m;
+    m.clazz = StrCat("android.os.I", e.service, "Service");
+    m.id = StrCat(m.clazz, ".", e.method);
+    m.name = e.method;
+    m.service = e.service;
+    m.transaction_code = 100;  // corpus-only: no live transaction handler
+    m.overrides_aidl = true;
+    m.args = {ArgKind::kString};
+    m.facts = {BodyFact::kOnlyCreatesThread};
+    m.callees = {"java.lang.Thread.start"};
+    model->java_methods[m.id] = std::move(m);
+  }
+}
+
+void AddHelperGuards(CodeModel* model) {
+  auto cap = [model](const char* helper, const std::string& method, int n) {
+    model->helper_guards.push_back(
+        HelperGuard{helper, method, HelperGuard::Kind::kCap, n});
+  };
+  auto mux = [model](const char* helper, const std::string& method) {
+    model->helper_guards.push_back(HelperGuard{
+        helper, method, HelperGuard::Kind::kMultiplexedTransport, 0});
+  };
+  cap("android.net.wifi.WifiManager",
+      StrCat(sv::WifiService::kDescriptor, ".acquireWifiLock"), 50);
+  cap("android.net.wifi.WifiManager",
+      StrCat(sv::WifiService::kDescriptor, ".acquireMulticastLock"), 50);
+  mux("android.content.ClipboardManager",
+      StrCat(sv::ClipboardService::kDescriptor,
+             ".addPrimaryClipChangedListener"));
+  mux("android.view.accessibility.AccessibilityManager",
+      "android.view.accessibility.IAccessibilityManager.addClient");
+  mux("android.content.pm.LauncherApps",
+      "android.content.pm.ILauncherApps.addOnAppsChangedListener");
+  mux("android.media.tv.TvInputManager",
+      "android.media.tv.ITvInputManager.registerCallback");
+  mux("android.net.EthernetManager",
+      "android.net.IEthernetManager.addListener");
+  mux("android.location.LocationManager",
+      StrCat(sv::LocationService::kDescriptor, ".addGpsMeasurementsListener"));
+  mux("android.location.LocationManager",
+      StrCat(sv::LocationService::kDescriptor,
+             ".addGpsNavigationMessageListener"));
+}
+
+void AddPermissionMap(CodeModel* model) {
+  model->permission_levels[sv::perms::kAccessFineLocation] =
+      PermissionLevel::kDangerous;
+  model->permission_levels[sv::perms::kUseSip] = PermissionLevel::kDangerous;
+  model->permission_levels[sv::perms::kReadPhoneState] =
+      PermissionLevel::kDangerous;
+  model->permission_levels[sv::perms::kBluetooth] = PermissionLevel::kNormal;
+  model->permission_levels[sv::perms::kWakeLock] = PermissionLevel::kNormal;
+  model->permission_levels[sv::perms::kChangeWifiMulticastState] =
+      PermissionLevel::kNormal;
+  model->permission_levels[sv::perms::kGetPackageSize] =
+      PermissionLevel::kNormal;
+  model->permission_levels[sv::perms::kChangeNetworkState] =
+      PermissionLevel::kNormal;
+  model->permission_levels[sv::perms::kAccessNetworkState] =
+      PermissionLevel::kNormal;
+  model->permission_levels["android.permission.FORCE_STOP_PACKAGES"] =
+      PermissionLevel::kSignature;
+  model->permission_levels
+      ["android.permission.BIND_NOTIFICATION_LISTENER_SERVICE"] =
+          PermissionLevel::kSignature;
+}
+
+}  // namespace
+
+CodeModel BuildAospModel(core::AndroidSystem& system) {
+  CodeModel model;
+  AddFrameworkInternals(&model);
+  AddNativeGraph(&model);
+  AddHandwrittenServices(&model);
+  AddRegistryDerivedServices(&model, system);
+  AddThreadOnlyIpcMethods(&model);
+  AddHelperGuards(&model);
+  AddPermissionMap(&model);
+  return model;
+}
+
+CodeModel BuildMarketModel(const MarketOptions& options) {
+  CodeModel model;
+  AddFrameworkInternals(&model);
+  AddNativeGraph(&model);
+  AddPermissionMap(&model);
+  Rng rng(options.seed);
+
+  auto add_app_method = [&model](const std::string& package,
+                                 const std::string& service,
+                                 const std::string& clazz,
+                                 const std::string& method,
+                                 std::uint32_t code,
+                                 std::vector<ArgKind> args,
+                                 std::set<BodyFact> facts,
+                                 std::vector<std::string> callees,
+                                 const std::string& base_class = "") {
+    AppServiceModel app;
+    app.package = package;
+    app.service_name = service;
+    app.implementing_class = clazz;
+    app.base_class = base_class;
+    app.prebuilt = false;
+    model.app_services.push_back(std::move(app));
+    JavaMethodModel m;
+    m.id = StrCat(clazz, ".", method);
+    m.clazz = clazz;
+    m.name = method;
+    m.service = service;
+    m.transaction_code = code;
+    m.overrides_aidl = true;
+    m.args = std::move(args);
+    m.facts = std::move(facts);
+    m.callees = std::move(callees);
+    model.java_methods[m.id] = std::move(m);
+  };
+
+  // Table V's three vulnerable apps.
+  add_app_method("com.google.android.tts", "googletts",
+                 sv::TextToSpeechService::kDescriptor, "setCallback",
+                 sv::TextToSpeechService::TRANSACTION_setCallback,
+                 {ArgKind::kBinder, ArgKind::kBinder},
+                 {BodyFact::kStoresParamInCollection, BodyFact::kLinksToDeath},
+                 {"android.os.RemoteCallbackList.register"},
+                 "android.speech.tts.TextToSpeechService");
+  add_app_method("com.supernet.vpn", "supernetvpn",
+                 sv::OpenVpnApiService::kDescriptor, "registerStatusCallback",
+                 sv::OpenVpnApiService::TRANSACTION_registerStatusCallback,
+                 {ArgKind::kBinder},
+                 {BodyFact::kStoresParamInCollection, BodyFact::kLinksToDeath},
+                 {"android.os.RemoteCallbackList.register"});
+  add_app_method("com.snapmovie", "snapmovie",
+                 sv::SnapMovieMainService::kDescriptor, "a",
+                 sv::SnapMovieMainService::TRANSACTION_a, {ArgKind::kBinder},
+                 {BodyFact::kStoresParamInCollection, BodyFact::kLinksToDeath},
+                 {"android.os.RemoteCallbackList.register"});
+
+  // The rest of the market: most apps export no IPC at all; the few that do
+  // either take no binders or use the benign retention patterns.
+  for (int i = 0; i < options.app_count - 3; ++i) {
+    const std::string package = StrFormat("com.market.app%04d", i);
+    if (!rng.Chance(0.06)) continue;  // "few apps open IPC interface" (§IV.D)
+    const std::string clazz = StrCat(package, ".ExportedService");
+    const double roll = rng.UniformDouble();
+    if (roll < 0.4) {
+      add_app_method(package, StrCat(package, ".svc"), clazz, "query", 1,
+                     {ArgKind::kInt32, ArgKind::kString}, {}, {});
+    } else if (roll < 0.7) {
+      add_app_method(package, StrCat(package, ".svc"), clazz, "process", 1,
+                     {ArgKind::kBinder},
+                     {BodyFact::kUsesParamTransiently}, {});
+    } else {
+      add_app_method(package, StrCat(package, ".svc"), clazz, "setListener", 1,
+                     {ArgKind::kBinder},
+                     {BodyFact::kStoresParamInMemberSlot},
+                     {"android.os.RemoteCallbackList.register",
+                      "android.os.RemoteCallbackList.unregister"});
+    }
+  }
+  return model;
+}
+
+}  // namespace jgre::model

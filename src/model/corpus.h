@@ -1,0 +1,36 @@
+// Corpus builders — populate the CodeModel with the simulated AOSP 6.0.1.
+//
+// `BuildAospModel` derives the Java-side corpus from a *booted* system (every
+// registered service contributes its interfaces and body facts, exactly as
+// the paper's SOOT pass reads the compiled framework), then adds the
+// hand-modeled pieces a live registry cannot expose: the native call graph
+// down to IndirectReferenceTable::Add (147 paths, 67 of them reachable only
+// during runtime init), the registerNativeMethods table, the five
+// natively-registered services, the helper-class guards, and the PScout-style
+// permission map.
+//
+// `BuildMarketModel` synthesizes the 1,000-app Google Play population of
+// §IV.D: a handful of apps export binder services; three of them retain
+// caller binders unboundedly (Table V).
+#ifndef JGRE_MODEL_CORPUS_H_
+#define JGRE_MODEL_CORPUS_H_
+
+#include <cstdint>
+
+#include "core/android_system.h"
+#include "model/code_model.h"
+
+namespace jgre::model {
+
+CodeModel BuildAospModel(core::AndroidSystem& system);
+
+struct MarketOptions {
+  int app_count = 1000;
+  std::uint64_t seed = 11;
+};
+
+CodeModel BuildMarketModel(const MarketOptions& options);
+
+}  // namespace jgre::model
+
+#endif  // JGRE_MODEL_CORPUS_H_

@@ -1,0 +1,179 @@
+#include "os/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "common/strings.h"
+#include "os/lmk.h"
+
+namespace jgre::os {
+
+Kernel::Kernel() : Kernel(Config{}) {}
+
+Kernel::Kernel(Config config) : config_(config), rng_(config.seed) {}
+
+Kernel::~Kernel() = default;
+
+Pid Kernel::CreateProcess(const std::string& name, Uid uid) {
+  return CreateProcess(name, uid, ProcessConfig{});
+}
+
+Pid Kernel::CreateProcess(const std::string& name, Uid uid,
+                          const ProcessConfig& config) {
+  const Pid pid{next_pid_++};
+  Process proc;
+  proc.pid = pid;
+  proc.uid = uid;
+  proc.name = name;
+  proc.critical = config.critical;
+  proc.oom_score_adj = config.oom_score_adj;
+  proc.memory_kb = config.memory_kb;
+  proc.start_time_us = clock_.NowUs();
+  if (config.with_runtime) {
+    rt::Runtime::Config rt_config;
+    rt_config.name = StrCat(name, "(", pid.value(), ")");
+    rt_config.max_global_refs = config.max_global_refs;
+    rt_config.boot_class_refs = config.boot_class_refs;
+    proc.runtime = std::make_unique<rt::Runtime>(&clock_, rt_config);
+    // JGR table overflow aborts the runtime, which kills the process.
+    proc.runtime->SetAbortHandler([this, pid](const std::string& reason) {
+      KillProcess(pid, StrCat("runtime abort: ", reason));
+    });
+  }
+  used_memory_kb_ += proc.memory_kb;
+  ++live_count_;
+  processes_.emplace(pid, std::move(proc));
+  LogEvent(StrCat("start pid=", pid.value(), " uid=", uid.value(), " ", name));
+  CheckMemoryPressure();
+  return pid;
+}
+
+void Kernel::KillProcess(Pid pid, const std::string& reason) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) return;
+  Process& proc = it->second;
+  proc.alive = false;
+  used_memory_kb_ -= proc.memory_kb;
+  --live_count_;
+  LogEvent(StrCat("kill pid=", pid.value(), " (", proc.name, "): ", reason));
+  JGRE_LOG(kInfo, "kernel") << "killed " << proc.name << " pid="
+                            << pid.value() << ": " << reason;
+  // Death notification (binder driver fans this out to death recipients).
+  for (const DeathListener& listener : death_listeners_) {
+    listener(pid, reason);
+  }
+  if (proc.critical) {
+    ++soft_reboot_count_;
+    pending_soft_reboot_ = reason;
+    LogEvent(StrCat("soft reboot pending: ", reason));
+  }
+}
+
+Process* Kernel::FindProcess(Pid pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+const Process* Kernel::FindProcess(Pid pid) const {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+bool Kernel::IsAlive(Pid pid) const {
+  const Process* p = FindProcess(pid);
+  return p != nullptr && p->alive;
+}
+
+std::vector<Pid> Kernel::LivePids() const {
+  std::vector<Pid> pids;
+  pids.reserve(live_count_);
+  for (const auto& [pid, proc] : processes_) {
+    if (proc.alive) pids.push_back(pid);
+  }
+  return pids;
+}
+
+std::vector<Pid> Kernel::LivePidsForUid(Uid uid) const {
+  std::vector<Pid> pids;
+  for (const auto& [pid, proc] : processes_) {
+    if (proc.alive && proc.uid == uid) pids.push_back(pid);
+  }
+  return pids;
+}
+
+void Kernel::SetOomScoreAdj(Pid pid, int adj) {
+  if (Process* p = FindProcess(pid); p != nullptr && p->alive) {
+    p->oom_score_adj = adj;
+  }
+}
+
+void Kernel::SetProcessMemory(Pid pid, std::int64_t memory_kb) {
+  Process* p = FindProcess(pid);
+  if (p == nullptr || !p->alive) return;
+  used_memory_kb_ += memory_kb - p->memory_kb;
+  p->memory_kb = memory_kb;
+  CheckMemoryPressure();
+}
+
+Status Kernel::AllocFds(Pid pid, int count) {
+  Process* p = FindProcess(pid);
+  if (p == nullptr || !p->alive) {
+    return FailedPrecondition("process is dead");
+  }
+  if (p->open_fds + count > p->fd_limit) {
+    LogEvent(StrCat("EMFILE pid=", pid.value(), " (", p->name, ")"));
+    if (p->critical) {
+      // system_server cannot survive fd starvation: binder, input and
+      // storage paths all abort on EMFILE.
+      KillProcess(pid, "too many open files (EMFILE)");
+    }
+    return ResourceExhausted(
+        StrCat(p->name, ": too many open files (limit ", p->fd_limit, ")"));
+  }
+  p->open_fds += count;
+  return Status::Ok();
+}
+
+void Kernel::ReleaseFds(Pid pid, int count) {
+  Process* p = FindProcess(pid);
+  if (p == nullptr || !p->alive) return;
+  p->open_fds = std::max(0, p->open_fds - count);
+}
+
+int Kernel::OpenFdCount(Pid pid) const {
+  const Process* p = FindProcess(pid);
+  return (p == nullptr || !p->alive) ? 0 : p->open_fds;
+}
+
+void Kernel::AddDeathListener(DeathListener listener) {
+  death_listeners_.push_back(std::move(listener));
+}
+
+void Kernel::SetLowMemoryKiller(std::unique_ptr<LowMemoryKiller> lmk) {
+  lmk_ = std::move(lmk);
+}
+
+std::optional<std::string> Kernel::TakePendingSoftReboot() {
+  auto pending = std::move(pending_soft_reboot_);
+  pending_soft_reboot_.reset();
+  return pending;
+}
+
+void Kernel::ReapDeadProcesses() {
+  for (auto& [pid, proc] : processes_) {
+    if (!proc.alive && proc.runtime != nullptr) {
+      proc.runtime.reset();  // JGR tables and heap disappear with the process
+    }
+  }
+}
+
+void Kernel::LogEvent(const std::string& what) {
+  events_.push_back(Event{clock_.NowUs(), what});
+}
+
+void Kernel::CheckMemoryPressure() {
+  if (lmk_ != nullptr) lmk_->CheckPressure();
+}
+
+}  // namespace jgre::os

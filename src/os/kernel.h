@@ -1,0 +1,157 @@
+// Kernel — simulated Linux kernel: process lifecycle, memory accounting,
+// procfs, death notification, and soft-reboot semantics.
+//
+// Key behaviours the paper depends on:
+// * a runtime abort (JGR overflow) kills the owning process;
+// * killing `system_server` (the critical process hosting nearly all system
+//   services and their shared 51,200-entry JGR table) soft-reboots Android;
+// * process death releases every kernel-side resource: binder nodes get death
+//   notifications (subscribed by the binder driver), memory is returned, and
+//   the runtime with all its JGR entries disappears — which is why killing
+//   the attacker is a complete recovery (defense phase 3) and why the LMK
+//   keeps the benign JGR baseline low (Observation 1 / Fig 4).
+#ifndef JGRE_OS_KERNEL_H_
+#define JGRE_OS_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "os/process.h"
+#include "os/procfs.h"
+
+namespace jgre::os {
+
+class LowMemoryKiller;
+
+class Kernel {
+ public:
+  struct Config {
+    std::int64_t total_ram_kb = 2 * 1024 * 1024;  // Nexus 5X: 2 GB
+    std::uint64_t seed = 1;
+  };
+
+  Kernel();
+  explicit Kernel(Config config);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  SimClock& clock() { return clock_; }
+  ProcFs& procfs() { return procfs_; }
+  Rng& rng() { return rng_; }
+
+  // --- Process lifecycle ---------------------------------------------------
+
+  struct ProcessConfig {
+    bool with_runtime = true;
+    std::size_t boot_class_refs = 180;  // WellKnownClasses baseline
+    std::size_t max_global_refs = rt::kGlobalsMax;
+    std::int64_t memory_kb = 40 * 1024;
+    int oom_score_adj = kForegroundAppAdj;
+    bool critical = false;
+  };
+
+  Pid CreateProcess(const std::string& name, Uid uid);
+  Pid CreateProcess(const std::string& name, Uid uid,
+                    const ProcessConfig& config);
+
+  // Kills a process: fires death listeners, drops memory, destroys the
+  // runtime (all its JGR entries with it). Idempotent.
+  void KillProcess(Pid pid, const std::string& reason);
+
+  Process* FindProcess(Pid pid);
+  const Process* FindProcess(Pid pid) const;
+  bool IsAlive(Pid pid) const;
+
+  // All live processes (stable pid order).
+  std::vector<Pid> LivePids() const;
+  std::vector<Pid> LivePidsForUid(Uid uid) const;
+  std::size_t LiveProcessCount() const { return live_count_; }
+
+  void SetOomScoreAdj(Pid pid, int adj);
+  void SetProcessMemory(Pid pid, std::int64_t memory_kb);
+
+  // --- File descriptors (§VI: the non-JGR exhaustible resource) -------------
+
+  // Allocates `count` fds in `pid`'s table. Fails with kResourceExhausted at
+  // RLIMIT_NOFILE; a *critical* process that exhausts its table dies (fd
+  // starvation makes system_server abort in practice), soft-rebooting the
+  // device — the same detonation as a JGR overflow, on a resource the JGRE
+  // defense does not watch.
+  Status AllocFds(Pid pid, int count);
+  void ReleaseFds(Pid pid, int count);
+  int OpenFdCount(Pid pid) const;
+
+  std::int64_t UsedMemoryKb() const { return used_memory_kb_; }
+  std::int64_t FreeMemoryKb() const {
+    return config_.total_ram_kb - used_memory_kb_;
+  }
+
+  // --- Death notification ---------------------------------------------------
+
+  using DeathListener = std::function<void(Pid, const std::string& reason)>;
+  // Listener survives for the kernel's lifetime (binder driver, LMK, core).
+  void AddDeathListener(DeathListener listener);
+
+  // --- Soft reboot ------------------------------------------------------------
+
+  // Invoked when a critical process dies. The core facade uses this to model
+  // Android's soft reboot (zygote restarts system_server).
+  // A critical-process death does not restart the system from inside the
+  // dying call stack; it records a pending soft reboot which the core facade
+  // consumes between transactions (zygote restarting system_server).
+  std::optional<std::string> TakePendingSoftReboot();
+  bool HasPendingSoftReboot() const { return pending_soft_reboot_.has_value(); }
+  std::int64_t soft_reboot_count() const { return soft_reboot_count_; }
+
+  // Frees the runtimes of dead processes. Must only be called between
+  // transactions (the facade's pump), never from inside a dying call stack.
+  void ReapDeadProcesses();
+
+  // --- LMK -------------------------------------------------------------------
+
+  // Installed by the core facade; consulted whenever memory grows.
+  void SetLowMemoryKiller(std::unique_ptr<LowMemoryKiller> lmk);
+  LowMemoryKiller* lmk() { return lmk_.get(); }
+
+  // Kernel event log (process starts/kills/reboots) for test assertions.
+  struct Event {
+    TimeUs time_us;
+    std::string what;
+  };
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  void LogEvent(const std::string& what);
+  void CheckMemoryPressure();
+
+  Config config_;
+  SimClock clock_;
+  ProcFs procfs_;
+  Rng rng_;
+
+  std::int32_t next_pid_ = 1;
+  std::map<Pid, Process> processes_;
+  std::size_t live_count_ = 0;
+  std::int64_t used_memory_kb_ = 0;
+
+  std::vector<DeathListener> death_listeners_;
+  std::optional<std::string> pending_soft_reboot_;
+  std::int64_t soft_reboot_count_ = 0;
+  std::unique_ptr<LowMemoryKiller> lmk_;
+  std::vector<Event> events_;
+};
+
+}  // namespace jgre::os
+
+#endif  // JGRE_OS_KERNEL_H_

@@ -1,0 +1,56 @@
+// LowMemoryKiller — Android's LMK, the mechanism the paper's defense adopts.
+//
+// Linux's OOM killer reclaims memory only at the last moment and with a
+// global heuristic; Android instead registers minfree thresholds paired with
+// oom_score_adj bands and proactively kills the least-important (highest-adj)
+// processes as free memory sinks through the levels. The paper's JGRE
+// Defender follows the same shape for a different resource: watch a
+// threshold, rank candidates, kill until healthy (§V.A phase 3, §VII).
+#ifndef JGRE_OS_LMK_H_
+#define JGRE_OS_LMK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jgre::os {
+
+class Kernel;
+
+class LowMemoryKiller {
+ public:
+  struct Level {
+    int min_adj;              // processes with adj >= this are eligible
+    std::int64_t minfree_kb;  // trigger when free memory drops below this
+  };
+
+  // Android 6-era defaults for a 2 GB device (lowmemorykiller.c minfree
+  // tuning written by ProcessList), ordered from most to least aggressive.
+  static std::vector<Level> DefaultLevels();
+
+  LowMemoryKiller(Kernel* kernel, std::vector<Level> levels);
+
+  // Evaluates memory pressure and kills processes until free memory rises
+  // above the strictest violated level. Victim selection mirrors the kernel
+  // driver: highest oom_score_adj first, largest RSS to break ties.
+  // Returns the number of processes killed.
+  int CheckPressure();
+
+  std::int64_t total_kills() const { return total_kills_; }
+  const std::vector<Level>& levels() const { return levels_; }
+
+ private:
+  // Chooses the victim among live processes with adj >= min_adj; invalid Pid
+  // if none qualify.
+  Pid SelectVictim(int min_adj) const;
+
+  Kernel* kernel_;
+  std::vector<Level> levels_;
+  std::int64_t total_kills_ = 0;
+};
+
+}  // namespace jgre::os
+
+#endif  // JGRE_OS_LMK_H_

@@ -1,0 +1,26 @@
+#include "os/procfs.h"
+
+#include "common/strings.h"
+
+namespace jgre::os {
+
+void ProcFs::Register(const std::string& path, Provider provider,
+                      bool system_only) {
+  files_[path] = File{std::move(provider), system_only};
+}
+
+void ProcFs::Unregister(const std::string& path) { files_.erase(path); }
+
+Result<std::string> ProcFs::Read(const std::string& path, Uid caller) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFound(StrCat(path, ": no such file"));
+  }
+  if (it->second.system_only && caller != kRootUid && caller != kSystemUid) {
+    return PermissionDenied(StrCat(path, ": uid ", caller.value(),
+                                   " may not read system-only file"));
+  }
+  return it->second.provider();
+}
+
+}  // namespace jgre::os

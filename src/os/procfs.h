@@ -1,0 +1,47 @@
+// ProcFs — in-memory /proc with per-file access control.
+//
+// The paper's defense exports the binder driver's IPC log as
+// /proc/jgre_ipc_log, "set the permission of the file so that it can be only
+// accessed by system service but not third-party apps" (§V.B). Files here are
+// pull-model: a provider callback renders the current content on read, which
+// matches procfs semantics (content generated at open time).
+#ifndef JGRE_OS_PROCFS_H_
+#define JGRE_OS_PROCFS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace jgre::os {
+
+class ProcFs {
+ public:
+  using Provider = std::function<std::string()>;
+
+  // Registers `path` with a content provider. If `system_only` is true, only
+  // root/system uids may read it.
+  void Register(const std::string& path, Provider provider,
+                bool system_only = false);
+
+  void Unregister(const std::string& path);
+
+  // Reads the file as `caller`; kPermissionDenied for protected files,
+  // kNotFound for unknown paths.
+  Result<std::string> Read(const std::string& path, Uid caller) const;
+
+  bool Exists(const std::string& path) const { return files_.count(path) > 0; }
+
+ private:
+  struct File {
+    Provider provider;
+    bool system_only = false;
+  };
+  std::map<std::string, File> files_;
+};
+
+}  // namespace jgre::os
+
+#endif  // JGRE_OS_PROCFS_H_

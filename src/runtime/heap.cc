@@ -1,0 +1,52 @@
+#include "runtime/heap.h"
+
+#include <cassert>
+
+namespace jgre::rt {
+
+ObjectId Heap::Alloc(ObjectKind kind, std::string label) {
+  const ObjectId id{next_id_++};
+  HeapObject obj;
+  obj.id = id;
+  obj.kind = kind;
+  obj.label = std::move(label);
+  objects_.emplace(id, std::move(obj));
+  return id;
+}
+
+const HeapObject& Heap::Get(ObjectId id) const {
+  auto it = objects_.find(id);
+  assert(it != objects_.end() && "access to freed heap object");
+  return it->second;
+}
+
+void Heap::AddHold(ObjectId id) {
+  auto it = objects_.find(id);
+  assert(it != objects_.end());
+  ++it->second.strong_holds;
+}
+
+void Heap::RemoveHold(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;  // already collected
+  assert(it->second.strong_holds > 0 && "hold underflow");
+  --it->second.strong_holds;
+}
+
+std::int32_t Heap::Holds(ObjectId id) const { return Get(id).strong_holds; }
+
+ObjectKind Heap::Kind(ObjectId id) const { return Get(id).kind; }
+
+const std::string& Heap::Label(ObjectId id) const { return Get(id).label; }
+
+void Heap::Free(ObjectId id) { objects_.erase(id); }
+
+std::vector<ObjectId> Heap::UnheldObjects() const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, obj] : objects_) {
+    if (obj.strong_holds == 0) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace jgre::rt

@@ -1,0 +1,74 @@
+// Simulated Java heap with strong-hold accounting.
+//
+// The only heap property the JGRE attack depends on is *reachability*: a
+// binder proxy (or death-recipient) object stays alive while some service
+// data structure holds a strong reference to it, and its associated JNI
+// global reference can only be reclaimed once the object becomes unreachable
+// and the GC runs. We therefore model objects as identities with an explicit
+// strong-hold count instead of a tracing collector — the reachable set is
+// exactly the set of objects with holds > 0, which is what AOSP's retention
+// patterns (maps, RemoteCallbackList, member fields) reduce to.
+#ifndef JGRE_RUNTIME_HEAP_H_
+#define JGRE_RUNTIME_HEAP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace jgre::rt {
+
+enum class ObjectKind {
+  kPlain,           // ordinary Java object
+  kBinderProxy,     // android.os.BinderProxy received over IPC
+  kJavaBBinder,     // server-side Binder wrapper
+  kDeathRecipient,  // IBinder.DeathRecipient registered via linkToDeath
+  kClassRoot,       // class cached at runtime init (WellKnownClasses)
+};
+
+struct HeapObject {
+  ObjectId id;
+  ObjectKind kind = ObjectKind::kPlain;
+  std::int32_t strong_holds = 0;
+  std::string label;
+};
+
+class Heap {
+ public:
+  Heap() = default;
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  ObjectId Alloc(ObjectKind kind, std::string label);
+
+  // Strong-hold accounting. AddHold/RemoveHold model a service data structure
+  // taking/dropping a strong reference to the object.
+  void AddHold(ObjectId id);
+  void RemoveHold(ObjectId id);
+
+  bool IsAlive(ObjectId id) const { return objects_.count(id) > 0; }
+  std::int32_t Holds(ObjectId id) const;
+  ObjectKind Kind(ObjectId id) const;
+  const std::string& Label(ObjectId id) const;
+
+  // Frees the object outright (GC decided it is unreachable).
+  void Free(ObjectId id);
+
+  // All live objects with zero strong holds — the GC's collection candidates.
+  std::vector<ObjectId> UnheldObjects() const;
+
+  std::size_t LiveCount() const { return objects_.size(); }
+  std::int64_t total_allocated() const { return next_id_ - 1; }
+
+ private:
+  const HeapObject& Get(ObjectId id) const;
+
+  std::int64_t next_id_ = 1;
+  std::unordered_map<ObjectId, HeapObject> objects_;
+};
+
+}  // namespace jgre::rt
+
+#endif  // JGRE_RUNTIME_HEAP_H_

@@ -1,0 +1,154 @@
+#include "runtime/indirect_reference_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace jgre::rt {
+
+namespace {
+// Reference layout: [index+1 : bits 34..63][serial : bits 2..33][kind : 0..1].
+// index is stored +1 so a valid reference is never 0 (NULL jobject).
+constexpr int kKindBits = 2;
+constexpr int kSerialBits = 32;
+constexpr std::uint64_t kKindMask = (1ULL << kKindBits) - 1;
+constexpr std::uint64_t kSerialMask = (1ULL << kSerialBits) - 1;
+}  // namespace
+
+IndirectRefKind GetIndirectRefKind(IndirectRef ref) {
+  return static_cast<IndirectRefKind>(ref & kKindMask);
+}
+
+IndirectReferenceTable::IndirectReferenceTable(std::size_t max_entries,
+                                               IndirectRefKind kind,
+                                               std::string name)
+    : max_entries_(max_entries), kind_(kind), name_(std::move(name)) {
+  assert(max_entries_ > 0);
+}
+
+IndirectRef IndirectReferenceTable::EncodeRef(std::size_t index,
+                                              std::uint32_t serial) const {
+  return (static_cast<std::uint64_t>(index + 1) << (kKindBits + kSerialBits)) |
+         ((static_cast<std::uint64_t>(serial) & kSerialMask) << kKindBits) |
+         static_cast<std::uint64_t>(kind_);
+}
+
+bool IndirectReferenceTable::DecodeRef(IndirectRef ref, std::size_t* index,
+                                       std::uint32_t* serial) const {
+  if (ref == kNullIndirectRef) return false;
+  if (static_cast<IndirectRefKind>(ref & kKindMask) != kind_) return false;
+  const std::uint64_t biased_index = ref >> (kKindBits + kSerialBits);
+  if (biased_index == 0) return false;
+  *index = static_cast<std::size_t>(biased_index - 1);
+  *serial = static_cast<std::uint32_t>((ref >> kKindBits) & kSerialMask);
+  return true;
+}
+
+Result<IndirectRef> IndirectReferenceTable::Add(Cookie cookie, ObjectId obj) {
+  assert(obj.valid());
+  // Prefer reusing a hole inside the current segment (ART scans for holes
+  // above the previous segment state before growing the top).
+  for (std::size_t i = hole_list_.size(); i-- > 0;) {
+    const std::size_t slot_index = hole_list_[i];
+    if (slot_index < cookie) continue;  // belongs to an outer frame
+    hole_list_.erase(hole_list_.begin() + static_cast<std::ptrdiff_t>(i));
+    Slot& slot = slots_[slot_index];
+    assert(!slot.active);
+    slot.obj = obj;
+    ++slot.serial;
+    slot.active = true;
+    ++live_entries_;
+    ++total_adds_;
+    return EncodeRef(slot_index, slot.serial);
+  }
+  if (top_index_ >= max_entries_) {
+    // This is ART's "JNI ERROR (app bug): <name> reference table overflow
+    // (max=...)" condition: the caller's runtime aborts.
+    return ResourceExhausted(
+        StrCat(name_, " reference table overflow (max=", max_entries_, ")"));
+  }
+  const std::size_t slot_index = top_index_++;
+  if (slot_index >= slots_.size()) slots_.resize(slot_index + 1);
+  Slot& slot = slots_[slot_index];
+  slot.obj = obj;
+  ++slot.serial;
+  slot.active = true;
+  ++live_entries_;
+  ++total_adds_;
+  return EncodeRef(slot_index, slot.serial);
+}
+
+bool IndirectReferenceTable::Remove(Cookie cookie, IndirectRef ref) {
+  std::size_t index;
+  std::uint32_t serial;
+  if (!DecodeRef(ref, &index, &serial)) return false;
+  if (index < cookie || index >= top_index_) return false;
+  Slot& slot = slots_[index];
+  if (!slot.active || slot.serial != serial) return false;  // stale reference
+  slot.active = false;
+  slot.obj = ObjectId{};
+  hole_list_.push_back(index);
+  --live_entries_;
+  ++total_removes_;
+  return true;
+}
+
+Result<ObjectId> IndirectReferenceTable::Get(IndirectRef ref) const {
+  std::size_t index;
+  std::uint32_t serial;
+  if (!DecodeRef(ref, &index, &serial)) {
+    return NotFound(StrCat(name_, ": invalid indirect ref"));
+  }
+  if (index >= top_index_) return NotFound(StrCat(name_, ": index past top"));
+  const Slot& slot = slots_[index];
+  if (!slot.active || slot.serial != serial) {
+    return NotFound(StrCat(name_, ": stale indirect ref"));
+  }
+  return slot.obj;
+}
+
+IndirectReferenceTable::Cookie IndirectReferenceTable::PushFrame() {
+  const Cookie cookie = static_cast<Cookie>(top_index_);
+  segment_stack_.push_back(segment_start_);
+  segment_start_ = cookie;
+  return cookie;
+}
+
+void IndirectReferenceTable::PopFrame(Cookie cookie) {
+  assert(cookie == segment_start_ && "unbalanced PopFrame");
+  for (std::size_t i = cookie; i < top_index_; ++i) {
+    if (slots_[i].active) {
+      slots_[i].active = false;
+      slots_[i].obj = ObjectId{};
+      --live_entries_;
+      ++total_removes_;
+    }
+  }
+  hole_list_.erase(
+      std::remove_if(hole_list_.begin(), hole_list_.end(),
+                     [cookie](std::size_t idx) { return idx >= cookie; }),
+      hole_list_.end());
+  top_index_ = cookie;
+  assert(!segment_stack_.empty());
+  segment_start_ = segment_stack_.back();
+  segment_stack_.pop_back();
+}
+
+void IndirectReferenceTable::VisitRoots(
+    const std::function<void(ObjectId)>& visitor) const {
+  for (std::size_t i = 0; i < top_index_; ++i) {
+    if (slots_[i].active) visitor(slots_[i].obj);
+  }
+}
+
+std::string IndirectReferenceTable::DumpSummary() const {
+  std::ostringstream os;
+  os << name_ << ": " << live_entries_ << " of " << max_entries_
+     << " entries in use (top=" << top_index_ << ", holes=" << hole_list_.size()
+     << ", adds=" << total_adds_ << ", removes=" << total_removes_ << ")";
+  return os.str();
+}
+
+}  // namespace jgre::rt

@@ -1,0 +1,116 @@
+// IndirectReferenceTable — the ART data structure at the heart of the paper.
+//
+// Modeled on art/runtime/indirect_reference_table.{h,cc} from AOSP 6.0.1:
+// * every JNI reference handed to native code is an *indirect* reference —
+//   an opaque value encoding (kind, serial, index) — so stale or forged
+//   references are detected instead of dereferencing freed memory;
+// * the table has a hard capacity (`max_entries`); `Add` past capacity is the
+//   "global reference table overflow" that aborts the runtime and is the
+//   JGRE attack's detonation point (51,200 for the global table,
+//   hard-coded in art/runtime/java_vm_ext.cc);
+// * local tables use segment cookies so a native frame can bulk-release the
+//   references it created (`PushFrame`/`PopFrame`);
+// * slots are reused through a hole list, with per-slot serial numbers so a
+//   stale reference to a reused slot is rejected.
+#ifndef JGRE_RUNTIME_INDIRECT_REFERENCE_TABLE_H_
+#define JGRE_RUNTIME_INDIRECT_REFERENCE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace jgre::rt {
+
+enum class IndirectRefKind : std::uint64_t {
+  kLocal = 1,
+  kGlobal = 2,
+  kWeakGlobal = 3,
+};
+
+// Opaque reference value. 0 is never a valid reference (mirrors NULL jobject).
+using IndirectRef = std::uint64_t;
+
+constexpr IndirectRef kNullIndirectRef = 0;
+
+IndirectRefKind GetIndirectRefKind(IndirectRef ref);
+
+class IndirectReferenceTable {
+ public:
+  // Cookie identifies a segment boundary (the table top at frame entry).
+  using Cookie = std::uint32_t;
+
+  IndirectReferenceTable(std::size_t max_entries, IndirectRefKind kind,
+                         std::string name);
+
+  IndirectReferenceTable(const IndirectReferenceTable&) = delete;
+  IndirectReferenceTable& operator=(const IndirectReferenceTable&) = delete;
+
+  // Adds a reference to `obj` within the segment identified by `cookie`
+  // (use CurrentCookie() for the global table, which has a single segment).
+  // Fails with kResourceExhausted when the table is full — the condition the
+  // JGRE attack drives the victim into.
+  Result<IndirectRef> Add(Cookie cookie, ObjectId obj);
+
+  // Removes a reference. Returns false for null, stale (serial mismatch),
+  // out-of-segment, or already-removed references — ART logs and ignores
+  // these rather than crashing.
+  bool Remove(Cookie cookie, IndirectRef ref);
+
+  // Resolves a reference; kNotFound for stale/invalid ones.
+  Result<ObjectId> Get(IndirectRef ref) const;
+
+  bool Contains(IndirectRef ref) const { return Get(ref).ok(); }
+
+  // Segment management for local tables. PushFrame returns the cookie to
+  // later pass to PopFrame, which releases every reference added since.
+  Cookie PushFrame();
+  void PopFrame(Cookie cookie);
+  Cookie CurrentCookie() const { return segment_start_; }
+
+  std::size_t Size() const { return live_entries_; }
+  std::size_t Capacity() const { return max_entries_; }
+  const std::string& name() const { return name_; }
+
+  // Enumerates live references (GC root visiting).
+  void VisitRoots(const std::function<void(ObjectId)>& visitor) const;
+
+  // Dumps "<name>: N entries (capacity M)" plus top labels, like ART's
+  // ReferenceTable::Dump used in overflow abort messages.
+  std::string DumpSummary() const;
+
+  std::int64_t total_adds() const { return total_adds_; }
+  std::int64_t total_removes() const { return total_removes_; }
+
+ private:
+  struct Slot {
+    ObjectId obj;
+    std::uint32_t serial = 0;
+    bool active = false;
+  };
+
+  IndirectRef EncodeRef(std::size_t index, std::uint32_t serial) const;
+  bool DecodeRef(IndirectRef ref, std::size_t* index,
+                 std::uint32_t* serial) const;
+
+  const std::size_t max_entries_;
+  const IndirectRefKind kind_;
+  const std::string name_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> hole_list_;  // inactive slots below top, reusable
+  std::size_t top_index_ = 0;           // one past the highest used slot
+  std::size_t live_entries_ = 0;
+  Cookie segment_start_ = 0;
+  std::vector<Cookie> segment_stack_;   // outer frames' segment starts
+
+  std::int64_t total_adds_ = 0;
+  std::int64_t total_removes_ = 0;
+};
+
+}  // namespace jgre::rt
+
+#endif  // JGRE_RUNTIME_INDIRECT_REFERENCE_TABLE_H_

@@ -1,0 +1,92 @@
+#include "runtime/java_vm_ext.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace jgre::rt {
+
+JavaVMExt::JavaVMExt(SimClock* clock, std::string runtime_name,
+                     std::size_t max_globals, std::size_t max_weak_globals)
+    : clock_(clock),
+      runtime_name_(std::move(runtime_name)),
+      globals_(max_globals, IndirectRefKind::kGlobal,
+               StrCat(runtime_name_, " JNI global")),
+      weak_globals_(max_weak_globals, IndirectRefKind::kWeakGlobal,
+                    StrCat(runtime_name_, " JNI weak global")) {}
+
+Result<IndirectRef> JavaVMExt::AddGlobalRef(ObjectId obj) {
+  if (aborted_) {
+    return FailedPrecondition(StrCat(runtime_name_, " runtime aborted"));
+  }
+  auto result = globals_.Add(globals_.CurrentCookie(), obj);
+  if (!result.ok()) {
+    // ART: "JNI ERROR (app bug): global reference table overflow" followed
+    // by Runtime::Abort — the process dies.
+    Abort(StrCat("JNI ERROR (app bug): ", globals_.DumpSummary()));
+    return result;
+  }
+  NotifyAdd(obj);
+  return result;
+}
+
+bool JavaVMExt::DeleteGlobalRef(IndirectRef ref) {
+  auto obj = globals_.Get(ref);
+  if (!globals_.Remove(globals_.CurrentCookie(), ref)) {
+    JGRE_LOG(kWarning, "JavaVMExt")
+        << runtime_name_ << ": DeleteGlobalRef on invalid/stale reference";
+    return false;
+  }
+  NotifyRemove(obj.ok() ? obj.value() : ObjectId{});
+  return true;
+}
+
+Result<IndirectRef> JavaVMExt::AddWeakGlobalRef(ObjectId obj) {
+  if (aborted_) {
+    return FailedPrecondition(StrCat(runtime_name_, " runtime aborted"));
+  }
+  auto result = weak_globals_.Add(weak_globals_.CurrentCookie(), obj);
+  if (!result.ok()) {
+    Abort(StrCat("JNI ERROR (app bug): ", weak_globals_.DumpSummary()));
+  }
+  return result;
+}
+
+bool JavaVMExt::DeleteWeakGlobalRef(IndirectRef ref) {
+  return weak_globals_.Remove(weak_globals_.CurrentCookie(), ref);
+}
+
+Result<ObjectId> JavaVMExt::DecodeGlobal(IndirectRef ref) const {
+  return globals_.Get(ref);
+}
+
+void JavaVMExt::AddObserver(JgrObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void JavaVMExt::RemoveObserver(JgrObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void JavaVMExt::NotifyAdd(ObjectId obj) {
+  const TimeUs now = clock_->NowUs();
+  const std::size_t count = globals_.Size();
+  for (JgrObserver* o : observers_) o->OnJgrAdd(now, count, obj);
+}
+
+void JavaVMExt::NotifyRemove(ObjectId obj) {
+  const TimeUs now = clock_->NowUs();
+  const std::size_t count = globals_.Size();
+  for (JgrObserver* o : observers_) o->OnJgrRemove(now, count, obj);
+}
+
+void JavaVMExt::Abort(const std::string& reason) {
+  if (aborted_) return;
+  aborted_ = true;
+  JGRE_LOG(kError, "art") << runtime_name_ << ": " << reason;
+  if (abort_handler_) abort_handler_(reason);
+}
+
+}  // namespace jgre::rt

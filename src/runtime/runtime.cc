@@ -1,0 +1,128 @@
+#include "runtime/runtime.h"
+
+#include <vector>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace jgre::rt {
+
+namespace {
+// art/runtime/jni_env_ext: kLocalsMax.
+constexpr std::size_t kLocalsMax = 512;
+}  // namespace
+
+Runtime::Runtime(SimClock* clock, Config config)
+    : clock_(clock),
+      config_(std::move(config)),
+      vm_(clock, config_.name, config_.max_global_refs),
+      locals_(kLocalsMax, IndirectRefKind::kLocal,
+              StrCat(config_.name, " JNI local")) {
+  // Runtime-init references (WellKnownClasses::CacheClass etc.). They are
+  // held forever, so the GC never reclaims them; the paper's static analysis
+  // filters the 67 native paths that only run here.
+  for (std::size_t i = 0; i < config_.boot_class_refs; ++i) {
+    const ObjectId cls =
+        heap_.Alloc(ObjectKind::kClassRoot, StrCat("class-root#", i));
+    heap_.AddHold(cls);  // pinned by the class table
+    auto ref = vm_.AddGlobalRef(cls);
+    (void)ref;
+  }
+}
+
+Result<IndirectRef> Runtime::AddLocalRef(ObjectId obj) {
+  // Overflow ("local reference table overflow (max=512)") surfaces as a
+  // failed call; unlike global overflow it cannot be accumulated across
+  // transactions, because PopLocalFrame wipes the segment either way.
+  return locals_.Add(locals_.CurrentCookie(), obj);
+}
+
+Result<ObjectId> Runtime::GetOrCreateBinderProxy(NodeId node,
+                                                 const std::string& label) {
+  if (auto it = proxy_cache_.find(node); it != proxy_cache_.end()) {
+    return it->second;
+  }
+  const ObjectId proxy = heap_.Alloc(ObjectKind::kBinderProxy, label);
+  auto ref = vm_.AddGlobalRef(proxy);
+  if (!ref.ok()) {
+    heap_.Free(proxy);
+    return ref.status();
+  }
+  // libbinder's BinderProxy cache (gBinderProxyOffsets.mProxyMap) tracks the
+  // proxy through a *weak* global reference — a second capped table the same
+  // traffic fills.
+  auto weak = vm_.AddWeakGlobalRef(proxy);
+  if (!weak.ok()) {
+    vm_.DeleteGlobalRef(ref.value());
+    heap_.Free(proxy);
+    return weak.status();
+  }
+  proxy_cache_.emplace(node, proxy);
+  proxy_nodes_.emplace(proxy, node);
+  proxy_weak_refs_.emplace(proxy, weak.value());
+  managed_refs_.emplace(proxy, ref.value());
+  return proxy;
+}
+
+Result<ObjectId> Runtime::AllocManagedObject(ObjectKind kind,
+                                             const std::string& label) {
+  const ObjectId obj = heap_.Alloc(kind, label);
+  auto ref = vm_.AddGlobalRef(obj);
+  if (!ref.ok()) {
+    heap_.Free(obj);
+    return ref.status();
+  }
+  managed_refs_.emplace(obj, ref.value());
+  return obj;
+}
+
+std::size_t Runtime::CollectGarbage() {
+  if (aborted()) return 0;
+  ++gc_runs_;
+  clock_->AdvanceUs(gc_pause_us);
+  std::size_t released = 0;
+  std::vector<NodeId> collected_proxies;
+  // Iterate to a fixed point: freeing an object can drop holds on others in
+  // richer object graphs; here one pass usually suffices but the loop keeps
+  // the invariant "no unheld managed object survives a GC".
+  for (;;) {
+    std::vector<ObjectId> candidates = heap_.UnheldObjects();
+    std::size_t freed_this_round = 0;
+    for (ObjectId obj : candidates) {
+      auto ref_it = managed_refs_.find(obj);
+      if (ref_it == managed_refs_.end()) {
+        // Plain unreferenced object: just reclaim the heap slot.
+        if (heap_.Kind(obj) == ObjectKind::kPlain) {
+          heap_.Free(obj);
+          ++freed_this_round;
+        }
+        continue;
+      }
+      vm_.DeleteGlobalRef(ref_it->second);
+      managed_refs_.erase(ref_it);
+      if (auto node_it = proxy_nodes_.find(obj); node_it != proxy_nodes_.end()) {
+        collected_proxies.push_back(node_it->second);
+        proxy_cache_.erase(node_it->second);
+        proxy_nodes_.erase(node_it);
+      }
+      if (auto weak_it = proxy_weak_refs_.find(obj);
+          weak_it != proxy_weak_refs_.end()) {
+        vm_.DeleteWeakGlobalRef(weak_it->second);
+        proxy_weak_refs_.erase(weak_it);
+      }
+      heap_.Free(obj);
+      ++released;
+      ++freed_this_round;
+    }
+    if (freed_this_round == 0) break;
+  }
+  if (proxy_collect_handler_) {
+    for (NodeId node : collected_proxies) proxy_collect_handler_(node);
+  }
+  JGRE_LOG(kDebug, "art") << config_.name << ": GC released " << released
+                          << " global refs, " << vm_.GlobalRefCount()
+                          << " remain";
+  return released;
+}
+
+}  // namespace jgre::rt

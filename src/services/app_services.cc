@@ -1,0 +1,77 @@
+#include "services/app_services.h"
+
+namespace jgre::services {
+
+TextToSpeechService::TextToSpeechService(SystemContext* sys,
+                                         const std::string& service_name,
+                                         Pid host_pid)
+    : RegistryServiceBase(
+          sys, service_name, kDescriptor, host_pid, {"tts.Callbacks"},
+          {
+              // setCallback(IBinder caller, ITextToSpeechCallback cb): the
+              // default implementation maps caller binder -> callback and
+              // releases entries only on caller death.
+              {TRANSACTION_setCallback, "setCallback", MethodKind::kRegister,
+               {ArgKind::kBinder, ArgKind::kBinder}, 0, nullptr,
+               CostProfile{600, 1.10, 900}},
+              {TRANSACTION_speak, "speak", MethodKind::kQuery,
+               {ArgKind::kString}, 0, nullptr, CostProfile{900, 0.0, 600}},
+              {TRANSACTION_stop, "stop", MethodKind::kQuery, {}, 0, nullptr,
+               CostProfile{250, 0.0, 150}},
+          }) {}
+
+GattService::GattService(SystemContext* sys, Pid host_pid)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, host_pid, {"gatt.ServerMap"},
+          {
+              // registerServer(ParcelUuid, IBluetoothGattServerCallback)
+              {TRANSACTION_registerServer, "registerServer",
+               MethodKind::kSession, {ArgKind::kString, ArgKind::kBinder}, 0,
+               nullptr, CostProfile{800, 1.40, 1100}},
+              {TRANSACTION_unregisterServer, "unregisterServer",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{350, 0.40, 300}},
+          }) {}
+
+BluetoothAdapterService::BluetoothAdapterService(SystemContext* sys,
+                                                 Pid host_pid)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, host_pid, {"adapter.Callbacks"},
+          {
+              {TRANSACTION_registerCallback, "registerCallback",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{420, 0.90, 600}},
+              {TRANSACTION_unregisterCallback, "unregisterCallback",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{260, 0.35, 250}},
+              {TRANSACTION_getState, "getState", MethodKind::kQuery, {}, 0,
+               nullptr, CostProfile{120, 0.0, 80}},
+          }) {}
+
+OpenVpnApiService::OpenVpnApiService(SystemContext* sys,
+                                     const std::string& service_name,
+                                     Pid host_pid)
+    : RegistryServiceBase(
+          sys, service_name, kDescriptor, host_pid, {"openvpn.StatusCallbacks"},
+          {
+              {TRANSACTION_registerStatusCallback, "registerStatusCallback",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{500, 1.00, 700}},
+              {TRANSACTION_unregisterStatusCallback,
+               "unregisterStatusCallback", MethodKind::kUnregister,
+               {ArgKind::kBinder}, 0, nullptr, CostProfile{280, 0.35, 250}},
+          }) {}
+
+SnapMovieMainService::SnapMovieMainService(SystemContext* sys,
+                                           const std::string& service_name,
+                                           Pid host_pid)
+    : RegistryServiceBase(
+          sys, service_name, kDescriptor, host_pid, {"snapmovie.Callbacks"},
+          {
+              // The decompiled interface exposes a single obfuscated method
+              // `a(IBinder)` that retains its argument.
+              {TRANSACTION_a, "a", MethodKind::kRegister, {ArgKind::kBinder},
+               0, nullptr, CostProfile{450, 0.95, 650}},
+          }) {}
+
+}  // namespace jgre::services

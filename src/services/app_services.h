@@ -1,0 +1,83 @@
+// App-hosted binder services (Table IV / Table V).
+//
+// Unlike framework services these run in *their own* processes, so a JGRE
+// attack aborts the app (e.g. Bluetooth or PicoTts), not system_server. The
+// TextToSpeechService base class is the interesting case: every app that
+// extends it inherits the vulnerable default `setCallback` implementation —
+// including Google Text-to-speech with 10^10 installs (§IV.D).
+#ifndef JGRE_SERVICES_APP_SERVICES_H_
+#define JGRE_SERVICES_APP_SERVICES_H_
+
+#include "services/registry_service.h"
+
+namespace jgre::services {
+
+// android.speech.tts.TextToSpeechService — the abstract base service whose
+// default ITextToSpeechService implementation retains one callback per caller
+// binder. PicoTts's PicoService and Google TTS both inherit it unchanged.
+class TextToSpeechService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kDescriptor =
+      "android.speech.tts.ITextToSpeechService";
+  enum Code : std::uint32_t {
+    TRANSACTION_setCallback = 1,
+    TRANSACTION_speak = 2,
+    TRANSACTION_stop = 3,
+  };
+  TextToSpeechService(SystemContext* sys, const std::string& service_name,
+                      Pid host_pid);
+};
+
+// com.android.bluetooth GattService.registerServer: mints a server-side
+// GATT server handle per registration.
+class GattService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "bluetooth.gatt";
+  static constexpr const char* kDescriptor = "android.bluetooth.IBluetoothGatt";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerServer = 1,
+    TRANSACTION_unregisterServer = 2,
+  };
+  GattService(SystemContext* sys, Pid host_pid);
+};
+
+// com.android.bluetooth AdapterService.registerCallback.
+class BluetoothAdapterService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "bluetooth.adapter";
+  static constexpr const char* kDescriptor = "android.bluetooth.IBluetooth";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerCallback = 1,
+    TRANSACTION_unregisterCallback = 2,
+    TRANSACTION_getState = 3,
+  };
+  BluetoothAdapterService(SystemContext* sys, Pid host_pid);
+};
+
+// Supernet VPN's IOpenVPNAPIService.registerStatusCallback (Table V).
+class OpenVpnApiService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kDescriptor =
+      "de.blinkt.openvpn.api.IOpenVPNAPIService";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerStatusCallback = 1,
+    TRANSACTION_unregisterStatusCallback = 2,
+  };
+  OpenVpnApiService(SystemContext* sys, const std::string& service_name,
+                    Pid host_pid);
+};
+
+// SnapMovie's obfuscated IMainService.a() (Table V).
+class SnapMovieMainService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kDescriptor = "com.snapmovie.IMainService";
+  enum Code : std::uint32_t {
+    TRANSACTION_a = 1,
+  };
+  SnapMovieMainService(SystemContext* sys, const std::string& service_name,
+                       Pid host_pid);
+};
+
+}  // namespace jgre::services
+
+#endif  // JGRE_SERVICES_APP_SERVICES_H_

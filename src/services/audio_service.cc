@@ -1,0 +1,73 @@
+#include "services/audio_service.h"
+
+namespace jgre::services {
+
+namespace {
+// startWatchingRoutes merely appends an observer to AudioRoutesInfo state:
+// tiny base and growth — the fastest JGR accumulation in Fig 3 (~100 s).
+constexpr CostProfile kWatchRoutesCost{300, 0.28, 150};
+constexpr CostProfile kRegisterControllerCost{800, 0.60, 400};
+constexpr CostProfile kVolumeCost{150, 0.0, 80};
+}  // namespace
+
+AudioService::AudioService(SystemContext* sys)
+    : SystemService(sys, kName, kDescriptor),
+      remote_controllers_(sys->driver, sys->system_server_pid,
+                          "audio.RemoteControllers"),
+      routes_observers_(sys->driver, sys->system_server_pid,
+                        "audio.RoutesObservers") {}
+
+Status AudioService::OnTransact(std::uint32_t code,
+                                const binder::Parcel& data,
+                                binder::Parcel* reply,
+                                const binder::CallContext& ctx) {
+  JGRE_RETURN_IF_ERROR(data.EnforceInterface(kDescriptor));
+  switch (code) {
+    case TRANSACTION_registerRemoteController: {
+      Charge(ctx, kRegisterControllerCost,
+             remote_controllers_.RegisteredCount());
+      auto controller = data.ReadStrongBinder(ctx);
+      if (!controller.ok()) return controller.status();
+      if (controller.value().valid()) {
+        remote_controllers_.Register(controller.value());
+      }
+      reply->WriteBool(true);
+      return Status::Ok();
+    }
+    case TRANSACTION_unregisterRemoteControlDisplay: {
+      Charge(ctx, kVolumeCost, remote_controllers_.RegisteredCount());
+      auto controller = data.ReadStrongBinder(ctx);
+      if (!controller.ok()) return controller.status();
+      if (controller.value().valid()) {
+        remote_controllers_.Unregister(controller.value().node);
+      }
+      return Status::Ok();
+    }
+    case TRANSACTION_startWatchingRoutes: {
+      // Returns the current AudioRoutesInfo and retains the observer forever
+      // (there is no unregister counterpart in AOSP 6).
+      Charge(ctx, kWatchRoutesCost, routes_observers_.RegisteredCount());
+      auto observer = data.ReadStrongBinder(ctx);
+      if (!observer.ok()) return observer.status();
+      if (observer.value().valid()) routes_observers_.Register(observer.value());
+      reply->WriteInt32(0);  // flattened AudioRoutesInfo
+      return Status::Ok();
+    }
+    case TRANSACTION_getStreamVolume: {
+      Charge(ctx, kVolumeCost, 0);
+      reply->WriteInt32(stream_volume_);
+      return Status::Ok();
+    }
+    case TRANSACTION_setStreamVolume: {
+      Charge(ctx, kVolumeCost, 0);
+      auto vol = data.ReadInt32();
+      if (!vol.ok()) return vol.status();
+      stream_volume_ = vol.value();
+      return Status::Ok();
+    }
+    default:
+      return InvalidArgument("unknown audio transaction");
+  }
+}
+
+}  // namespace jgre::services

@@ -1,0 +1,67 @@
+#include "services/clipboard_service.h"
+
+namespace jgre::services {
+
+namespace {
+// Listener registration walks the callback list; clip get/set are cheap.
+constexpr CostProfile kAddListenerCost{320, 0.35, 260};
+constexpr CostProfile kClipCost{150, 0.0, 80};
+}  // namespace
+
+ClipboardService::ClipboardService(SystemContext* sys)
+    : SystemService(sys, kName, kDescriptor),
+      listeners_(sys->driver, sys->system_server_pid,
+                 "clipboard.PrimaryClipListeners") {}
+
+Status ClipboardService::OnTransact(std::uint32_t code,
+                                    const binder::Parcel& data,
+                                    binder::Parcel* reply,
+                                    const binder::CallContext& ctx) {
+  JGRE_RETURN_IF_ERROR(data.EnforceInterface(kDescriptor));
+  switch (code) {
+    case TRANSACTION_setPrimaryClip: {
+      Charge(ctx, kClipCost, listeners_.RegisteredCount());
+      auto clip = data.ReadString();
+      if (!clip.ok()) return clip.status();
+      primary_clip_ = clip.value();
+      listeners_.Broadcast([](binder::IBinder& cb) {
+        binder::Parcel note;
+        note.WriteInterfaceToken("android.content.IOnPrimaryClipChangedListener");
+        binder::Parcel ignored;
+        (void)cb.Transact(1, note, &ignored);
+      });
+      return Status::Ok();
+    }
+    case TRANSACTION_getPrimaryClip: {
+      Charge(ctx, kClipCost, 0);
+      reply->WriteString(primary_clip_);
+      return Status::Ok();
+    }
+    case TRANSACTION_hasPrimaryClip: {
+      Charge(ctx, kClipCost, 0);
+      reply->WriteBool(!primary_clip_.empty());
+      return Status::Ok();
+    }
+    case TRANSACTION_addPrimaryClipChangedListener: {
+      // No permission and no server-side cap: the vulnerable path.
+      Charge(ctx, kAddListenerCost, listeners_.RegisteredCount());
+      auto listener = data.ReadStrongBinder(ctx);
+      if (!listener.ok()) return listener.status();
+      listeners_.Register(listener.value());
+      return Status::Ok();
+    }
+    case TRANSACTION_removePrimaryClipChangedListener: {
+      Charge(ctx, kClipCost, listeners_.RegisteredCount());
+      auto listener = data.ReadStrongBinder(ctx);
+      if (!listener.ok()) return listener.status();
+      if (listener.value().valid()) {
+        listeners_.Unregister(listener.value().node);
+      }
+      return Status::Ok();
+    }
+    default:
+      return InvalidArgument("unknown clipboard transaction");
+  }
+}
+
+}  // namespace jgre::services

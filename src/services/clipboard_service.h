@@ -1,0 +1,45 @@
+// ClipboardService — the paper's running example (§II.A).
+//
+// `addPrimaryClipChangedListener` registers a listener that is retained until
+// the registering process exits; each call with a fresh Binder pins two JGRs
+// in system_server. The server side enforces no cap — the only guard lives in
+// the ClipboardManager helper class, which a direct binder call bypasses
+// (Table II row 1).
+#ifndef JGRE_SERVICES_CLIPBOARD_SERVICE_H_
+#define JGRE_SERVICES_CLIPBOARD_SERVICE_H_
+
+#include <string>
+
+#include "services/system_service.h"
+
+namespace jgre::services {
+
+class ClipboardService : public SystemService {
+ public:
+  static constexpr const char* kName = "clipboard";
+  static constexpr const char* kDescriptor = "android.content.IClipboard";
+
+  enum Code : std::uint32_t {
+    TRANSACTION_setPrimaryClip = 1,
+    TRANSACTION_getPrimaryClip = 2,
+    TRANSACTION_hasPrimaryClip = 3,
+    TRANSACTION_addPrimaryClipChangedListener = 4,
+    TRANSACTION_removePrimaryClipChangedListener = 5,
+  };
+
+  explicit ClipboardService(SystemContext* sys);
+
+  Status OnTransact(std::uint32_t code, const binder::Parcel& data,
+                    binder::Parcel* reply,
+                    const binder::CallContext& ctx) override;
+
+  std::size_t ListenerCount() const { return listeners_.RegisteredCount(); }
+
+ private:
+  binder::RemoteCallbackList listeners_;
+  std::string primary_clip_;
+};
+
+}  // namespace jgre::services
+
+#endif  // JGRE_SERVICES_CLIPBOARD_SERVICE_H_

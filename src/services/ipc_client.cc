@@ -1,0 +1,23 @@
+#include "services/ipc_client.h"
+
+namespace jgre::services {
+
+Status IpcClient::Call(std::uint32_t code,
+                       const std::function<void(binder::Parcel&)>& write_args,
+                       binder::Parcel* reply) const {
+  if (!service_.valid()) {
+    return FailedPrecondition("IpcClient has no service binder");
+  }
+  binder::Parcel data;
+  data.WriteInterfaceToken(descriptor_);
+  if (write_args) write_args(data);
+  binder::Parcel local_reply;
+  return service_.binder->Transact(code, data,
+                                   reply != nullptr ? reply : &local_reply);
+}
+
+Status IpcClient::Call(std::uint32_t code, binder::Parcel* reply) const {
+  return Call(code, nullptr, reply);
+}
+
+}  // namespace jgre::services

@@ -1,0 +1,72 @@
+#include "services/location_service.h"
+
+namespace jgre::services {
+
+namespace {
+constexpr CostProfile kAddListenerCost{550, 0.55, 350};
+constexpr CostProfile kRemoveListenerCost{300, 0.30, 150};
+constexpr CostProfile kQueryCost{180, 0.0, 90};
+}  // namespace
+
+LocationService::LocationService(SystemContext* sys)
+    : SystemService(sys, kName, kDescriptor),
+      gps_status_listeners_(sys->driver, sys->system_server_pid,
+                            "location.GpsStatusListeners"),
+      measurements_listeners_(sys->driver, sys->system_server_pid,
+                              "location.GpsMeasurementsListeners"),
+      navigation_listeners_(sys->driver, sys->system_server_pid,
+                            "location.GpsNavigationMessageListeners") {}
+
+Status LocationService::OnTransact(std::uint32_t code,
+                                   const binder::Parcel& data,
+                                   binder::Parcel* reply,
+                                   const binder::CallContext& ctx) {
+  JGRE_RETURN_IF_ERROR(data.EnforceInterface(kDescriptor));
+
+  // Helper lambda: register into `list` after reading the listener binder.
+  auto register_into = [&](binder::RemoteCallbackList& list) -> Status {
+    Charge(ctx, kAddListenerCost, list.RegisteredCount());
+    auto listener = data.ReadStrongBinder(ctx);
+    if (!listener.ok()) return listener.status();
+    if (listener.value().valid()) list.Register(listener.value());
+    reply->WriteBool(true);
+    return Status::Ok();
+  };
+  auto unregister_from = [&](binder::RemoteCallbackList& list) -> Status {
+    Charge(ctx, kRemoveListenerCost, list.RegisteredCount());
+    auto listener = data.ReadStrongBinder(ctx);
+    if (!listener.ok()) return listener.status();
+    if (listener.value().valid()) list.Unregister(listener.value().node);
+    return Status::Ok();
+  };
+
+  switch (code) {
+    case TRANSACTION_addGpsStatusListener:
+      // Requires a dangerous permission (Table I) — the attack needs it
+      // granted, but the permission does not bound how many listeners the
+      // holder may register.
+      JGRE_RETURN_IF_ERROR(Enforce(ctx, perms::kAccessFineLocation));
+      return register_into(gps_status_listeners_);
+    case TRANSACTION_removeGpsStatusListener:
+      return unregister_from(gps_status_listeners_);
+    case TRANSACTION_addGpsMeasurementsListener:
+      JGRE_RETURN_IF_ERROR(Enforce(ctx, perms::kAccessFineLocation));
+      return register_into(measurements_listeners_);
+    case TRANSACTION_removeGpsMeasurementsListener:
+      return unregister_from(measurements_listeners_);
+    case TRANSACTION_addGpsNavigationMessageListener:
+      JGRE_RETURN_IF_ERROR(Enforce(ctx, perms::kAccessFineLocation));
+      return register_into(navigation_listeners_);
+    case TRANSACTION_removeGpsNavigationMessageListener:
+      return unregister_from(navigation_listeners_);
+    case TRANSACTION_getLastLocation: {
+      Charge(ctx, kQueryCost, 0);
+      reply->WriteString("0.0,0.0");
+      return Status::Ok();
+    }
+    default:
+      return InvalidArgument("unknown location transaction");
+  }
+}
+
+}  // namespace jgre::services

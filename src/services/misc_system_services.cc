@@ -1,0 +1,171 @@
+#include "services/misc_system_services.h"
+
+namespace jgre::services {
+
+namespace {
+constexpr Pid kHostIsSystemServer{};  // resolved in helper below
+}
+
+// Every service in this file runs as a thread of system_server.
+static Pid Host(SystemContext* sys) {
+  (void)kHostIsSystemServer;
+  return sys->system_server_pid;
+}
+
+PowerService::PowerService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"power.WakeLocks"},
+          {
+              // acquireWakeLock(IBinder lock, int flags, String tag, String pkg)
+              {TRANSACTION_acquireWakeLock, "acquireWakeLock",
+               MethodKind::kRegister,
+               {ArgKind::kBinder, ArgKind::kInt32, ArgKind::kString,
+                ArgKind::kString},
+               0, perms::kWakeLock, CostProfile{450, 0.75, 600}},
+              {TRANSACTION_releaseWakeLock, "releaseWakeLock",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{260, 0.40, 250}},
+              {TRANSACTION_isScreenOn, "isScreenOn", MethodKind::kQuery, {}, 0,
+               nullptr, CostProfile{100, 0.0, 60}},
+          }) {}
+
+AppOpsService::AppOpsService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys),
+          {"appops.ModeWatchers", "appops.ClientTokens"},
+          {
+              // startWatchingMode(int op, String pkg, IAppOpsCallback)
+              {TRANSACTION_startWatchingMode, "startWatchingMode",
+               MethodKind::kRegister,
+               {ArgKind::kInt32, ArgKind::kString, ArgKind::kBinder}, 0,
+               nullptr, CostProfile{260, 0.60, 400}},
+              {TRANSACTION_stopWatchingMode, "stopWatchingMode",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{200, 0.30, 200}},
+              // getToken(IBinder clientToken) -> IBinder (kept in mClients)
+              {TRANSACTION_getToken, "getToken", MethodKind::kSession,
+               {ArgKind::kBinder}, 1, nullptr, CostProfile{400, 0.90, 500}},
+              {TRANSACTION_checkOperation, "checkOperation", MethodKind::kQuery,
+               {ArgKind::kInt32, ArgKind::kInt32, ArgKind::kString}, 0,
+               nullptr, CostProfile{150, 0.0, 100}},
+          }) {}
+
+MountService::MountService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"mount.Listeners"},
+          {
+              {TRANSACTION_registerListener, "registerListener",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{280, 0.90, 350}},
+              {TRANSACTION_unregisterListener, "unregisterListener",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{220, 0.40, 200}},
+              {TRANSACTION_getVolumeState, "getVolumeState", MethodKind::kQuery,
+               {ArgKind::kString}, 0, nullptr, CostProfile{130, 0.0, 80}},
+          }) {}
+
+ContentService::ContentService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys),
+          {"content.Observers", "content.SyncStatusObservers"},
+          {
+              // registerContentObserver(String uri, boolean descendants,
+              //                         IContentObserver)
+              {TRANSACTION_registerContentObserver, "registerContentObserver",
+               MethodKind::kRegister,
+               {ArgKind::kString, ArgKind::kBool, ArgKind::kBinder}, 0,
+               nullptr, CostProfile{350, 1.00, 800}},
+              {TRANSACTION_unregisterContentObserver,
+               "unregisterContentObserver", MethodKind::kUnregister,
+               {ArgKind::kBinder}, 0, nullptr, CostProfile{260, 0.50, 300}},
+              // addStatusChangeListener(int mask, ISyncStatusObserver)
+              {TRANSACTION_addStatusChangeListener, "addStatusChangeListener",
+               MethodKind::kRegister, {ArgKind::kInt32, ArgKind::kBinder}, 1,
+               nullptr, CostProfile{300, 0.70, 500}},
+              {TRANSACTION_removeStatusChangeListener,
+               "removeStatusChangeListener", MethodKind::kUnregister,
+               {ArgKind::kBinder}, 1, nullptr, CostProfile{220, 0.35, 200}},
+          }) {}
+
+CountryDetectorService::CountryDetectorService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"country.Listeners"},
+          {
+              {TRANSACTION_addCountryListener, "addCountryListener",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{250, 0.65, 300}},
+              {TRANSACTION_removeCountryListener, "removeCountryListener",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{200, 0.30, 150}},
+              {TRANSACTION_detectCountry, "detectCountry", MethodKind::kQuery,
+               {}, 0, nullptr, CostProfile{400, 0.0, 200}},
+          }) {}
+
+BluetoothManagerService::BluetoothManagerService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys),
+          {"btmgr.AdapterCallbacks", "btmgr.StateChangeCallbacks",
+           "btmgr.ProfileConnections"},
+          {
+              {TRANSACTION_registerAdapter, "registerAdapter",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{320, 0.50, 350}},
+              {TRANSACTION_unregisterAdapter, "unregisterAdapter",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{240, 0.30, 200}},
+              {TRANSACTION_registerStateChangeCallback,
+               "registerStateChangeCallback", MethodKind::kRegister,
+               {ArgKind::kBinder}, 1, perms::kBluetooth,
+               CostProfile{300, 0.55, 400}},
+              // bindBluetoothProfileService(int profile, connection)
+              {TRANSACTION_bindBluetoothProfileService,
+               "bindBluetoothProfileService", MethodKind::kRegister,
+               {ArgKind::kInt32, ArgKind::kBinder}, 2, nullptr,
+               CostProfile{600, 1.10, 900}},
+              // The overload Table I lists as a second row.
+              {TRANSACTION_bindBluetoothProfileService2,
+               "bindBluetoothProfileService(IBinder)", MethodKind::kRegister,
+               {ArgKind::kBinder}, 2, nullptr, CostProfile{620, 1.15, 900}},
+              {TRANSACTION_isEnabled, "isEnabled", MethodKind::kQuery, {}, 0,
+               nullptr, CostProfile{110, 0.0, 60}},
+          }) {}
+
+PackageService::PackageService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"package.StatsObservers"},
+          {
+              // getPackageSizeInfo(String pkg, IPackageStatsObserver)
+              {TRANSACTION_getPackageSizeInfo, "getPackageSizeInfo",
+               MethodKind::kRegister, {ArgKind::kString, ArgKind::kBinder}, 0,
+               perms::kGetPackageSize, CostProfile{900, 1.60, 1200}},
+              {TRANSACTION_getPackageUid, "getPackageUid", MethodKind::kQuery,
+               {ArgKind::kString}, 0, nullptr, CostProfile{200, 0.0, 120}},
+          }) {}
+
+FingerprintService::FingerprintService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"fingerprint.LockoutCallbacks"},
+          {
+              {TRANSACTION_addLockoutResetCallback, "addLockoutResetCallback",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{320, 0.75, 450}},
+              {TRANSACTION_isHardwareDetected, "isHardwareDetected",
+               MethodKind::kQuery, {}, 0, nullptr, CostProfile{140, 0.0, 80}},
+          }) {}
+
+TextServicesService::TextServicesService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"textservices.SpellCallbacks"},
+          {
+              // getSpellCheckerService(String sciId, String locale,
+              //                        ISpellCheckerServiceCallback)
+              {TRANSACTION_getSpellCheckerService, "getSpellCheckerService",
+               MethodKind::kRegister,
+               {ArgKind::kString, ArgKind::kString, ArgKind::kBinder}, 0,
+               nullptr, CostProfile{600, 1.20, 1000}},
+              {TRANSACTION_finishSpellCheckerService,
+               "finishSpellCheckerService", MethodKind::kUnregister,
+               {ArgKind::kBinder}, 0, nullptr, CostProfile{300, 0.40, 250}},
+          }) {}
+
+}  // namespace jgre::services

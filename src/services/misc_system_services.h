@@ -1,0 +1,143 @@
+// System-side miscellaneous services from Table I: power, appops, mount,
+// content, country_detector, bluetooth_manager, package, fingerprint,
+// textservices. Each declares its vulnerable interfaces (and the benign
+// bookkeeping ones) through RegistryServiceBase method specs.
+#ifndef JGRE_SERVICES_MISC_SYSTEM_SERVICES_H_
+#define JGRE_SERVICES_MISC_SYSTEM_SERVICES_H_
+
+#include "services/registry_service.h"
+
+namespace jgre::services {
+
+// PowerManagerService: acquireWakeLock retains one lock binder per token
+// (WAKE_LOCK, normal).
+class PowerService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "power";
+  static constexpr const char* kDescriptor = "android.os.IPowerManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_acquireWakeLock = 1,
+    TRANSACTION_releaseWakeLock = 2,
+    TRANSACTION_isScreenOn = 3,
+  };
+  explicit PowerService(SystemContext* sys);
+};
+
+// AppOpsService: startWatchingMode retains the callback; getToken mints and
+// retains a per-client token binder (kSession).
+class AppOpsService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "appops";
+  static constexpr const char* kDescriptor =
+      "com.android.internal.app.IAppOpsService";
+  enum Code : std::uint32_t {
+    TRANSACTION_startWatchingMode = 1,
+    TRANSACTION_stopWatchingMode = 2,
+    TRANSACTION_getToken = 3,
+    TRANSACTION_checkOperation = 4,
+  };
+  explicit AppOpsService(SystemContext* sys);
+};
+
+// MountService: registerListener retains IMountServiceListener.
+class MountService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "mount";
+  static constexpr const char* kDescriptor = "android.os.storage.IMountService";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerListener = 1,
+    TRANSACTION_unregisterListener = 2,
+    TRANSACTION_getVolumeState = 3,
+  };
+  explicit MountService(SystemContext* sys);
+};
+
+// ContentService: registerContentObserver + addStatusChangeListener.
+class ContentService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "content";
+  static constexpr const char* kDescriptor = "android.content.IContentService";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerContentObserver = 1,
+    TRANSACTION_unregisterContentObserver = 2,
+    TRANSACTION_addStatusChangeListener = 3,
+    TRANSACTION_removeStatusChangeListener = 4,
+  };
+  explicit ContentService(SystemContext* sys);
+};
+
+// CountryDetectorService: addCountryListener.
+class CountryDetectorService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "country_detector";
+  static constexpr const char* kDescriptor =
+      "android.location.ICountryDetector";
+  enum Code : std::uint32_t {
+    TRANSACTION_addCountryListener = 1,
+    TRANSACTION_removeCountryListener = 2,
+    TRANSACTION_detectCountry = 3,
+  };
+  explicit CountryDetectorService(SystemContext* sys);
+};
+
+// BluetoothManagerService: four vulnerable interfaces (Table I lists the
+// bindBluetoothProfileService overload twice).
+class BluetoothManagerService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "bluetooth_manager";
+  static constexpr const char* kDescriptor =
+      "android.bluetooth.IBluetoothManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerAdapter = 1,
+    TRANSACTION_unregisterAdapter = 2,
+    TRANSACTION_registerStateChangeCallback = 3,
+    TRANSACTION_bindBluetoothProfileService = 4,
+    TRANSACTION_bindBluetoothProfileService2 = 5,
+    TRANSACTION_isEnabled = 6,
+  };
+  explicit BluetoothManagerService(SystemContext* sys);
+};
+
+// PackageManagerService binder ("package"): getPackageSizeInfo queues the
+// stats observer (GET_PACKAGE_SIZE, normal).
+class PackageService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "package";
+  static constexpr const char* kDescriptor =
+      "android.content.pm.IPackageManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_getPackageSizeInfo = 1,
+    TRANSACTION_getPackageUid = 2,
+  };
+  explicit PackageService(SystemContext* sys);
+};
+
+// FingerprintService: addLockoutResetCallback.
+class FingerprintService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "fingerprint";
+  static constexpr const char* kDescriptor =
+      "android.hardware.fingerprint.IFingerprintService";
+  enum Code : std::uint32_t {
+    TRANSACTION_addLockoutResetCallback = 1,
+    TRANSACTION_isHardwareDetected = 2,
+  };
+  explicit FingerprintService(SystemContext* sys);
+};
+
+// TextServicesManagerService: getSpellCheckerService retains the callback.
+class TextServicesService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "textservices";
+  static constexpr const char* kDescriptor =
+      "com.android.internal.textservice.ITextServicesManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_getSpellCheckerService = 1,
+    TRANSACTION_finishSpellCheckerService = 2,
+  };
+  explicit TextServicesService(SystemContext* sys);
+};
+
+}  // namespace jgre::services
+
+#endif  // JGRE_SERVICES_MISC_SYSTEM_SERVICES_H_

@@ -1,0 +1,165 @@
+#include "services/net_media_services.h"
+
+namespace jgre::services {
+
+static Pid Host(SystemContext* sys) { return sys->system_server_pid; }
+
+NetworkManagementService::NetworkManagementService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"netd.ActivityListeners"},
+          {
+              {TRANSACTION_registerNetworkActivityListener,
+               "registerNetworkActivityListener", MethodKind::kRegister,
+               {ArgKind::kBinder}, 0, perms::kChangeNetworkState,
+               CostProfile{400, 0.90, 600}},
+              {TRANSACTION_unregisterNetworkActivityListener,
+               "unregisterNetworkActivityListener", MethodKind::kUnregister,
+               {ArgKind::kBinder}, 0, nullptr, CostProfile{260, 0.35, 250}},
+              {TRANSACTION_isNetworkActive, "isNetworkActive",
+               MethodKind::kQuery, {}, 0, nullptr, CostProfile{130, 0.0, 80}},
+          }) {}
+
+ConnectivityService::ConnectivityService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys),
+          {"connectivity.NetworkRequests", "connectivity.NetworkListens"},
+          {
+              // requestNetwork(NetworkCapabilities, Messenger, timeout,
+              //                IBinder, legacyType)
+              {TRANSACTION_requestNetwork, "requestNetwork",
+               MethodKind::kRegister, {ArgKind::kString, ArgKind::kBinder}, 0,
+               perms::kChangeNetworkState, CostProfile{800, 1.50, 1400}},
+              {TRANSACTION_listenForNetwork, "listenForNetwork",
+               MethodKind::kRegister, {ArgKind::kString, ArgKind::kBinder}, 1,
+               perms::kAccessNetworkState, CostProfile{700, 1.30, 1200}},
+              {TRANSACTION_releaseNetworkRequest, "releaseNetworkRequest",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{350, 0.40, 300}},
+              {TRANSACTION_getActiveNetworkInfo, "getActiveNetworkInfo",
+               MethodKind::kQuery, {}, 0, nullptr, CostProfile{180, 0.0, 120}},
+          }) {}
+
+SipService::SipService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys),
+          {"sip.OpenProfiles", "sip.Sessions"},
+          {
+              // open3(String profileUri, PendingIntent, ISipSessionListener)
+              {TRANSACTION_open3, "open3", MethodKind::kSession,
+               {ArgKind::kString, ArgKind::kBinder}, 0, perms::kUseSip,
+               CostProfile{900, 1.20, 1500}},
+              {TRANSACTION_createSession, "createSession", MethodKind::kSession,
+               {ArgKind::kString, ArgKind::kBinder}, 1, perms::kUseSip,
+               CostProfile{800, 1.50, 1300}},
+              {TRANSACTION_close, "close", MethodKind::kUnregister,
+               {ArgKind::kBinder}, 0, nullptr, CostProfile{400, 0.40, 300}},
+          }) {}
+
+EthernetService::EthernetService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"ethernet.Listeners"},
+          {
+              {TRANSACTION_addListener, "addListener", MethodKind::kRegister,
+               {ArgKind::kBinder}, 0, nullptr, CostProfile{300, 0.70, 400}},
+              {TRANSACTION_removeListener, "removeListener",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{230, 0.30, 200}},
+          }) {}
+
+MediaSessionService::MediaSessionService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys),
+          {"mediasession.CallbackListeners", "mediasession.Sessions"},
+          {
+              {TRANSACTION_registerCallbackListener, "registerCallbackListener",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{400, 0.50, 500}},
+              {TRANSACTION_unregisterCallbackListener,
+               "unregisterCallbackListener", MethodKind::kUnregister,
+               {ArgKind::kBinder}, 0, nullptr, CostProfile{260, 0.30, 250}},
+              // createSession(String pkg, ISessionCallback, String tag)
+              {TRANSACTION_createSession, "createSession", MethodKind::kSession,
+               {ArgKind::kString, ArgKind::kBinder, ArgKind::kString}, 1,
+               nullptr, CostProfile{700, 1.40, 1100}},
+          }) {}
+
+MediaRouterService::MediaRouterService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"mediarouter.Clients"},
+          {
+              // registerClientAsUser(IMediaRouterClient, String pkg, int user)
+              {TRANSACTION_registerClientAsUser, "registerClientAsUser",
+               MethodKind::kRegister,
+               {ArgKind::kBinder, ArgKind::kString, ArgKind::kInt32}, 0,
+               nullptr, CostProfile{450, 0.80, 700}},
+              {TRANSACTION_unregisterClient, "unregisterClient",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{280, 0.35, 250}},
+          }) {}
+
+MediaProjectionService::MediaProjectionService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"mediaprojection.Callbacks"},
+          {
+              {TRANSACTION_registerCallback, "registerCallback",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{380, 0.70, 500}},
+              {TRANSACTION_unregisterCallback, "unregisterCallback",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{250, 0.30, 250}},
+          }) {}
+
+MidiService::MidiService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys),
+          {"midi.Listeners", "midi.OpenDevices", "midi.BluetoothDevices",
+           "midi.DeviceServers"},
+          {
+              {TRANSACTION_registerListener, "registerListener",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{300, 0.80, 500}},
+              {TRANSACTION_unregisterListener, "unregisterListener",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{240, 0.30, 250}},
+              // openDevice(MidiDeviceInfo, IMidiDeviceOpenCallback)
+              {TRANSACTION_openDevice, "openDevice", MethodKind::kSession,
+               {ArgKind::kString, ArgKind::kBinder}, 1, nullptr,
+               CostProfile{700, 2.00, 1200}},
+              {TRANSACTION_openBluetoothDevice, "openBluetoothDevice",
+               MethodKind::kSession, {ArgKind::kString, ArgKind::kBinder}, 2,
+               nullptr, CostProfile{900, 2.50, 1600}},
+              // registerDeviceServer(IMidiDeviceServer, numIn, numOut, ...):
+              // the heaviest vulnerable call — detection takes ~3.6 s (§V.D.1).
+              {TRANSACTION_registerDeviceServer, "registerDeviceServer",
+               MethodKind::kSession, {ArgKind::kBinder, ArgKind::kInt32,
+                ArgKind::kInt32, ArgKind::kString}, 3, nullptr,
+               CostProfile{1300, 1.80, 2200}},
+              {TRANSACTION_getDevices, "getDevices", MethodKind::kQuery, {}, 0,
+               nullptr, CostProfile{200, 0.0, 120}},
+          }) {}
+
+LauncherAppsService::LauncherAppsService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"launcherapps.Listeners"},
+          {
+              {TRANSACTION_addOnAppsChangedListener, "addOnAppsChangedListener",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{420, 0.80, 600}},
+              {TRANSACTION_removeOnAppsChangedListener,
+               "removeOnAppsChangedListener", MethodKind::kUnregister,
+               {ArgKind::kBinder}, 0, nullptr, CostProfile{260, 0.35, 250}},
+          }) {}
+
+TvInputService::TvInputService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"tv.Callbacks"},
+          {
+              // registerCallback(ITvInputManagerCallback, int userId)
+              {TRANSACTION_registerCallback, "registerCallback",
+               MethodKind::kRegister, {ArgKind::kBinder, ArgKind::kInt32}, 0,
+               nullptr, CostProfile{380, 0.85, 550}},
+              {TRANSACTION_getTvInputList, "getTvInputList", MethodKind::kQuery,
+               {ArgKind::kInt32}, 0, nullptr, CostProfile{180, 0.0, 120}},
+          }) {}
+
+}  // namespace jgre::services

@@ -1,0 +1,149 @@
+// Network- and media-plane services: network_management, connectivity, sip,
+// ethernet, media_session, media_router, media_projection, midi,
+// launcherapps, tv_input.
+#ifndef JGRE_SERVICES_NET_MEDIA_SERVICES_H_
+#define JGRE_SERVICES_NET_MEDIA_SERVICES_H_
+
+#include "services/registry_service.h"
+
+namespace jgre::services {
+
+// NetworkManagementService: registerNetworkActivityListener.
+class NetworkManagementService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "network_management";
+  static constexpr const char* kDescriptor =
+      "android.os.INetworkManagementService";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerNetworkActivityListener = 1,
+    TRANSACTION_unregisterNetworkActivityListener = 2,
+    TRANSACTION_isNetworkActive = 3,
+  };
+  explicit NetworkManagementService(SystemContext* sys);
+};
+
+// ConnectivityService: requestNetwork / listenForNetwork retain the request
+// binder until release.
+class ConnectivityService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "connectivity";
+  static constexpr const char* kDescriptor = "android.net.IConnectivityManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_requestNetwork = 1,
+    TRANSACTION_listenForNetwork = 2,
+    TRANSACTION_releaseNetworkRequest = 3,
+    TRANSACTION_getActiveNetworkInfo = 4,
+  };
+  explicit ConnectivityService(SystemContext* sys);
+};
+
+// SipService: open3 / createSession mint per-call SIP session objects.
+class SipService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "sip";
+  static constexpr const char* kDescriptor = "android.net.sip.ISipService";
+  enum Code : std::uint32_t {
+    TRANSACTION_open3 = 1,
+    TRANSACTION_createSession = 2,
+    TRANSACTION_close = 3,
+  };
+  explicit SipService(SystemContext* sys);
+};
+
+// EthernetService: addListener — capped only in EthernetManager (Table II).
+class EthernetService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "ethernet";
+  static constexpr const char* kDescriptor =
+      "android.net.IEthernetManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_addListener = 1,
+    TRANSACTION_removeListener = 2,
+  };
+  explicit EthernetService(SystemContext* sys);
+};
+
+// MediaSessionService: registerCallbackListener / createSession.
+class MediaSessionService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "media_session";
+  static constexpr const char* kDescriptor = "android.media.session.ISessionManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerCallbackListener = 1,
+    TRANSACTION_unregisterCallbackListener = 2,
+    TRANSACTION_createSession = 3,
+  };
+  explicit MediaSessionService(SystemContext* sys);
+};
+
+// MediaRouterService: registerClientAsUser.
+class MediaRouterService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "media_router";
+  static constexpr const char* kDescriptor =
+      "android.media.IMediaRouterService";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerClientAsUser = 1,
+    TRANSACTION_unregisterClient = 2,
+  };
+  explicit MediaRouterService(SystemContext* sys);
+};
+
+// MediaProjectionService: registerCallback.
+class MediaProjectionService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "media_projection";
+  static constexpr const char* kDescriptor =
+      "android.media.projection.IMediaProjectionManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerCallback = 1,
+    TRANSACTION_unregisterCallback = 2,
+  };
+  explicit MediaProjectionService(SystemContext* sys);
+};
+
+// MidiService: four vulnerable interfaces; registerDeviceServer is the
+// heaviest per call and yields the paper's slowest detection (~3.6 s).
+class MidiService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "midi";
+  static constexpr const char* kDescriptor = "android.media.midi.IMidiManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerListener = 1,
+    TRANSACTION_unregisterListener = 2,
+    TRANSACTION_openDevice = 3,
+    TRANSACTION_openBluetoothDevice = 4,
+    TRANSACTION_registerDeviceServer = 5,
+    TRANSACTION_getDevices = 6,
+  };
+  explicit MidiService(SystemContext* sys);
+};
+
+// LauncherAppsService: addOnAppsChangedListener — helper-capped (Table II).
+class LauncherAppsService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "launcherapps";
+  static constexpr const char* kDescriptor =
+      "android.content.pm.ILauncherApps";
+  enum Code : std::uint32_t {
+    TRANSACTION_addOnAppsChangedListener = 1,
+    TRANSACTION_removeOnAppsChangedListener = 2,
+  };
+  explicit LauncherAppsService(SystemContext* sys);
+};
+
+// TvInputManagerService: registerCallback — helper-capped (Table II).
+class TvInputService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "tv_input";
+  static constexpr const char* kDescriptor = "android.media.tv.ITvInputManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerCallback = 1,
+    TRANSACTION_getTvInputList = 2,
+  };
+  explicit TvInputService(SystemContext* sys);
+};
+
+}  // namespace jgre::services
+
+#endif  // JGRE_SERVICES_NET_MEDIA_SERVICES_H_

@@ -1,0 +1,67 @@
+#include "services/safe_service.h"
+
+#include "common/strings.h"
+
+namespace jgre::services {
+
+GenericSafeService::GenericSafeService(SystemContext* sys,
+                                       const std::string& name)
+    : RegistryServiceBase(
+          sys, name, StrCat("android.os.I", name, "Service"),
+          sys->system_server_pid,
+          {StrCat(name, ".CallbackSlot"), StrCat(name, ".PerProcess")},
+          {
+              {TRANSACTION_query, "query", MethodKind::kQuery,
+               {ArgKind::kInt32}, 0, nullptr, CostProfile{160, 0.0, 120}},
+              // Binder parameter used inside the call only: reclaimed by GC
+              // right after (sift rules 2/3 — not exploitable).
+              {TRANSACTION_oneShot, "oneShot", MethodKind::kTransient,
+               {ArgKind::kBinder}, 0, nullptr, CostProfile{240, 0.0, 180}},
+              // Member-variable slot: re-registration replaces the previous
+              // binder (sift rule 4 — not exploitable).
+              {TRANSACTION_setCallback, "setCallback",
+               MethodKind::kReplaceSingle, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{260, 0.0, 200}},
+              // A second member-variable slot on its own registry: observer
+              // re-registration swaps the previous binder out (rule 4 again,
+              // on a distinct piece of service state).
+              {TRANSACTION_registerObserver, "registerObserver",
+               MethodKind::kReplaceSingle, {ArgKind::kBinder}, 1, nullptr,
+               CostProfile{280, 0.0, 220}},
+              // JGR-safe but fd-UNSAFE: dups the caller's descriptor into
+              // system_server and never closes it (dropbox addFile-style).
+              // The JGRE pipeline correctly classifies this method as not
+              // JGR-exploitable — and §VI explains why that is not the same
+              // as safe.
+              {TRANSACTION_addFile, "addFile", MethodKind::kConsumeFd,
+               {ArgKind::kString, ArgKind::kFd}, 0, nullptr,
+               CostProfile{350, 0.0, 250}},
+          }) {}
+
+const std::vector<std::string>& GenericSafeService::SafeServiceNames() {
+  // 71 generic services + the 33 modeled ones (32 vulnerable + the protected
+  // display service) = the 104-service census of Android 6.0.1. Names follow
+  // `adb shell service list` on a Nexus 5X running 6.0.1.
+  static const std::vector<std::string> kNames = {
+      "account", "alarm", "appwidget", "assetatlas", "backup", "battery",
+      "batteryproperties", "batterystats", "carrier_config",
+      "commontime_management", "consumer_ir", "cpuinfo", "dbinfo",
+      "device_policy", "deviceidle", "devicestoragemonitor", "diskstats",
+      "dreams", "dropbox", "gfxinfo", "graphicsstats", "hdmi_control", "isms",
+      "isub", "jobscheduler", "lock_settings", "media.audio_flinger",
+      "media.audio_policy", "media.camera", "media.player",
+      "media.resource_manager", "meminfo", "netpolicy", "netstats",
+      "network_score", "permission", "persistent_data_block", "phone",
+      "pinner", "processinfo", "procstats", "restrictions", "rttmanager",
+      "samplingprofiler", "scheduling_policy", "search", "sensorservice",
+      "serial", "servicediscovery", "simphonebook", "soundtrigger",
+      "statusbar", "telecom", "trust", "uimode", "updatelock", "usagestats",
+      "usb", "user", "vibrator", "voiceinteraction", "webviewupdate",
+      "wifip2p", "wifiscanner", "drm.drmManager", "android.security.keystore",
+      "SurfaceFlinger", "display.qservice", "media.log", "bluetooth_a2dp",
+      "nfc",
+  };
+  return kNames;
+}
+
+}  // namespace jgre::services

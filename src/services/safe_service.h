@@ -1,0 +1,38 @@
+// GenericSafeService — the non-vulnerable majority of the 104 services.
+//
+// Android 6.0.1 registers 104 system services; the paper finds 32 vulnerable.
+// The remaining services still take binders over IPC, but only through the
+// benign patterns the paper's sifter rules out: transient use (rules 1–3),
+// member-variable replacement (rule 4), or correct per-process constraints.
+// These instances make the census denominators real and give the sifter and
+// the dynamic verifier true negatives to prove themselves against.
+#ifndef JGRE_SERVICES_SAFE_SERVICE_H_
+#define JGRE_SERVICES_SAFE_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "services/registry_service.h"
+
+namespace jgre::services {
+
+class GenericSafeService : public RegistryServiceBase {
+ public:
+  enum Code : std::uint32_t {
+    TRANSACTION_query = 1,
+    TRANSACTION_oneShot = 2,          // transient binder use (sift rules 2/3)
+    TRANSACTION_setCallback = 3,      // member-variable slot (sift rule 4)
+    TRANSACTION_registerObserver = 4, // second replaceable slot (rule 4)
+    TRANSACTION_addFile = 5,          // retains a dup'd fd forever (§VI!)
+  };
+
+  GenericSafeService(SystemContext* sys, const std::string& name);
+
+  // The 71 AOSP 6.0.1 service names that are registered but not modeled
+  // in detail (the other 33 are the 32 vulnerable services + display).
+  static const std::vector<std::string>& SafeServiceNames();
+};
+
+}  // namespace jgre::services
+
+#endif  // JGRE_SERVICES_SAFE_SERVICE_H_

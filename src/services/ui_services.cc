@@ -1,0 +1,137 @@
+#include "services/ui_services.h"
+
+namespace jgre::services {
+
+static Pid Host(SystemContext* sys) { return sys->system_server_pid; }
+
+InputMethodService::InputMethodService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"imms.Clients"},
+          {
+              // addClient(IInputMethodClient client, IInputContext ctx, ...)
+              {TRANSACTION_addClient, "addClient", MethodKind::kRegister,
+               {ArgKind::kBinder, ArgKind::kBinder}, 0, nullptr,
+               CostProfile{500, 0.85, 700}},
+              {TRANSACTION_removeClient, "removeClient",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{280, 0.40, 250}},
+              {TRANSACTION_getInputMethodList, "getInputMethodList",
+               MethodKind::kQuery, {}, 0, nullptr, CostProfile{250, 0.0, 150}},
+          }) {}
+
+AccessibilityService::AccessibilityService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys),
+          {"a11y.InteractionConnections", "a11y.Clients"},
+          {
+              // addAccessibilityInteractionConnection(IWindow token,
+              //     IAccessibilityInteractionConnection connection)
+              {TRANSACTION_addAccessibilityInteractionConnection,
+               "addAccessibilityInteractionConnection", MethodKind::kRegister,
+               {ArgKind::kBinder, ArgKind::kBinder}, 0, nullptr,
+               CostProfile{700, 3.00, 1200}},
+              {TRANSACTION_removeAccessibilityInteractionConnection,
+               "removeAccessibilityInteractionConnection",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{320, 0.50, 300}},
+              // addClient(IAccessibilityManagerClient) — capped only in the
+              // AccessibilityManager helper (Table II).
+              {TRANSACTION_addClient, "addClient", MethodKind::kRegister,
+               {ArgKind::kBinder}, 1, nullptr, CostProfile{400, 0.60, 450}},
+              {TRANSACTION_getEnabledAccessibilityServiceList,
+               "getEnabledAccessibilityServiceList", MethodKind::kQuery,
+               {ArgKind::kInt32}, 1, nullptr, CostProfile{200, 0.0, 120}},
+          }) {}
+
+PrintService::PrintService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys),
+          {"print.Jobs", "print.JobStateListeners", "print.DiscoverySessions"},
+          {
+              // print(String jobName, IPrintDocumentAdapter, ...) -> job
+              {TRANSACTION_print, "print", MethodKind::kSession,
+               {ArgKind::kString, ArgKind::kBinder}, 0, nullptr,
+               CostProfile{1500, 3.00, 2500}},
+              {TRANSACTION_addPrintJobStateChangeListener,
+               "addPrintJobStateChangeListener", MethodKind::kRegister,
+               {ArgKind::kBinder, ArgKind::kInt32}, 1, nullptr,
+               CostProfile{600, 1.30, 900}},
+              {TRANSACTION_removePrintJobStateChangeListener,
+               "removePrintJobStateChangeListener", MethodKind::kUnregister,
+               {ArgKind::kBinder}, 1, nullptr, CostProfile{300, 0.40, 300}},
+              {TRANSACTION_createPrinterDiscoverySession,
+               "createPrinterDiscoverySession", MethodKind::kSession,
+               {ArgKind::kBinder}, 2, nullptr, CostProfile{1200, 2.40, 2000}},
+              {TRANSACTION_getPrintJobInfos, "getPrintJobInfos",
+               MethodKind::kQuery, {}, 0, nullptr, CostProfile{350, 0.0, 200}},
+          }) {}
+
+WindowService::WindowService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"wms.RotationWatchers"},
+          {
+              {TRANSACTION_watchRotation, "watchRotation",
+               MethodKind::kRegister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{300, 0.60, 400}},
+              {TRANSACTION_removeRotationWatcher, "removeRotationWatcher",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{240, 0.30, 200}},
+              {TRANSACTION_getDefaultDisplayRotation,
+               "getDefaultDisplayRotation", MethodKind::kQuery, {}, 0, nullptr,
+               CostProfile{120, 0.0, 60}},
+          }) {}
+
+WallpaperService::WallpaperService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"wallpaper.Callbacks"},
+          {
+              // getWallpaper(IWallpaperManagerCallback cb, ...) retains cb
+              // in mCallbacks until the caller dies.
+              {TRANSACTION_getWallpaper, "getWallpaper", MethodKind::kRegister,
+               {ArgKind::kBinder}, 0, nullptr, CostProfile{550, 1.00, 800}},
+              {TRANSACTION_setWallpaper, "setWallpaper", MethodKind::kQuery,
+               {ArgKind::kByteArray}, 0, nullptr, CostProfile{900, 0.0, 500}},
+          }) {}
+
+InputService::InputService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys),
+          {"input.VibratorTokens", "input.DevicesChangedListeners",
+           "input.TabletModeListeners"},
+          {
+              // vibrate(int[] pattern, int repeat, IBinder token): token kept
+              // in mVibratorTokens — unprotected (Table I).
+              {TRANSACTION_vibrate, "vibrate", MethodKind::kRegister,
+               {ArgKind::kByteArray, ArgKind::kInt32, ArgKind::kBinder}, 0,
+               nullptr, CostProfile{350, 0.50, 450}},
+              {TRANSACTION_cancelVibrate, "cancelVibrate",
+               MethodKind::kUnregister, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{220, 0.30, 200}},
+              // Correct per-process constraints (Table III "Yes" rows).
+              {TRANSACTION_registerInputDevicesChangedListener,
+               "registerInputDevicesChangedListener",
+               MethodKind::kRegisterPerProcess, {ArgKind::kBinder}, 1, nullptr,
+               CostProfile{300, 0.40, 300}},
+              {TRANSACTION_registerTabletModeChangedListener,
+               "registerTabletModeChangedListener",
+               MethodKind::kRegisterPerProcess, {ArgKind::kBinder}, 2, nullptr,
+               CostProfile{300, 0.40, 300}},
+              {TRANSACTION_getInputDeviceIds, "getInputDeviceIds",
+               MethodKind::kQuery, {}, 0, nullptr, CostProfile{130, 0.0, 80}},
+          }) {}
+
+DisplayService::DisplayService(SystemContext* sys)
+    : RegistryServiceBase(
+          sys, kName, kDescriptor, Host(sys), {"display.Callbacks"},
+          {
+              // registerCallback: one retained callback per process —
+              // correctly protected (Table III).
+              {TRANSACTION_registerCallback, "registerCallback",
+               MethodKind::kRegisterPerProcess, {ArgKind::kBinder}, 0, nullptr,
+               CostProfile{280, 0.40, 300}},
+              {TRANSACTION_getDisplayInfo, "getDisplayInfo",
+               MethodKind::kQuery, {ArgKind::kInt32}, 0, nullptr,
+               CostProfile{150, 0.0, 100}},
+          }) {}
+
+}  // namespace jgre::services

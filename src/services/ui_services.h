@@ -1,0 +1,117 @@
+// UI-plane services: input_method, accessibility, print, window, wallpaper,
+// input, display. `input` and `display` carry the *correct* per-process
+// constraints of Table III next to `input.vibrate`, which has none.
+#ifndef JGRE_SERVICES_UI_SERVICES_H_
+#define JGRE_SERVICES_UI_SERVICES_H_
+
+#include "services/registry_service.h"
+
+namespace jgre::services {
+
+// InputMethodManagerService: addClient retains the client + input context.
+class InputMethodService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "input_method";
+  static constexpr const char* kDescriptor =
+      "com.android.internal.view.IInputMethodManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_addClient = 1,
+    TRANSACTION_removeClient = 2,
+    TRANSACTION_getInputMethodList = 3,
+  };
+  explicit InputMethodService(SystemContext* sys);
+};
+
+// AccessibilityManagerService: addAccessibilityInteractionConnection (two
+// retained binders per call, Table I) and addClient (helper-capped only,
+// Table II).
+class AccessibilityService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "accessibility";
+  static constexpr const char* kDescriptor =
+      "android.view.accessibility.IAccessibilityManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_addAccessibilityInteractionConnection = 1,
+    TRANSACTION_removeAccessibilityInteractionConnection = 2,
+    TRANSACTION_addClient = 3,
+    TRANSACTION_getEnabledAccessibilityServiceList = 4,
+  };
+  explicit AccessibilityService(SystemContext* sys);
+};
+
+// PrintManagerService: print / addPrintJobStateChangeListener /
+// createPrinterDiscoverySession.
+class PrintService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "print";
+  static constexpr const char* kDescriptor = "android.print.IPrintManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_print = 1,
+    TRANSACTION_addPrintJobStateChangeListener = 2,
+    TRANSACTION_removePrintJobStateChangeListener = 3,
+    TRANSACTION_createPrinterDiscoverySession = 4,
+    TRANSACTION_getPrintJobInfos = 5,
+  };
+  explicit PrintService(SystemContext* sys);
+};
+
+// WindowManagerService: watchRotation retains IRotationWatcher.
+class WindowService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "window";
+  static constexpr const char* kDescriptor = "android.view.IWindowManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_watchRotation = 1,
+    TRANSACTION_removeRotationWatcher = 2,
+    TRANSACTION_getDefaultDisplayRotation = 3,
+  };
+  explicit WindowService(SystemContext* sys);
+};
+
+// WallpaperManagerService: getWallpaper(cb) retains the change callback.
+class WallpaperService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "wallpaper";
+  static constexpr const char* kDescriptor =
+      "android.app.IWallpaperManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_getWallpaper = 1,
+    TRANSACTION_setWallpaper = 2,
+  };
+  explicit WallpaperService(SystemContext* sys);
+};
+
+// InputManagerService: vibrate is unprotected (Table I) while the two
+// listener interfaces hold the correct per-process cap (Table III, "Yes").
+class InputService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "input";
+  static constexpr const char* kDescriptor =
+      "android.hardware.input.IInputManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_vibrate = 1,
+    TRANSACTION_cancelVibrate = 2,
+    TRANSACTION_registerInputDevicesChangedListener = 3,
+    TRANSACTION_registerTabletModeChangedListener = 4,
+    TRANSACTION_getInputDeviceIds = 5,
+  };
+  explicit InputService(SystemContext* sys);
+};
+
+// DisplayManagerService: registerCallback with the correct per-process cap
+// (Table III, "Yes").
+class DisplayService : public RegistryServiceBase {
+ public:
+  static constexpr const char* kName = "display";
+  static constexpr const char* kDescriptor =
+      "android.hardware.display.IDisplayManager";
+  enum Code : std::uint32_t {
+    TRANSACTION_registerCallback = 1,
+    TRANSACTION_getDisplayInfo = 2,
+  };
+  explicit DisplayService(SystemContext* sys);
+};
+
+}  // namespace jgre::services
+
+#endif  // JGRE_SERVICES_UI_SERVICES_H_

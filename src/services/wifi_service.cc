@@ -1,0 +1,78 @@
+#include "services/wifi_service.h"
+
+namespace jgre::services {
+
+namespace {
+constexpr CostProfile kAcquireCost{420, 0.40, 300};
+constexpr CostProfile kReleaseCost{260, 0.25, 150};
+constexpr CostProfile kQueryCost{120, 0.0, 60};
+}  // namespace
+
+WifiService::WifiService(SystemContext* sys)
+    : SystemService(sys, kName, kDescriptor),
+      wifi_locks_(sys->driver, sys->system_server_pid, "wifi.Locks"),
+      multicast_locks_(sys->driver, sys->system_server_pid,
+                       "wifi.Multicasters") {}
+
+Status WifiService::OnTransact(std::uint32_t code, const binder::Parcel& data,
+                               binder::Parcel* reply,
+                               const binder::CallContext& ctx) {
+  JGRE_RETURN_IF_ERROR(data.EnforceInterface(kDescriptor));
+  switch (code) {
+    case TRANSACTION_acquireWifiLock: {
+      // WifiServiceImpl enforces WAKE_LOCK (a normal permission) but has NO
+      // per-process cap — MAX_ACTIVE_LOCKS is client-side only.
+      JGRE_RETURN_IF_ERROR(Enforce(ctx, perms::kWakeLock));
+      Charge(ctx, kAcquireCost, wifi_locks_.RegisteredCount());
+      auto lock = data.ReadStrongBinder(ctx);
+      if (!lock.ok()) return lock.status();
+      auto lock_type = data.ReadInt32();
+      if (!lock_type.ok()) return lock_type.status();
+      auto tag = data.ReadString();
+      if (!tag.ok()) return tag.status();
+      if (lock.value().valid() && wifi_locks_.Register(lock.value())) {
+        lock_tags_[lock.value().node] = tag.value();
+      }
+      reply->WriteBool(true);
+      return Status::Ok();
+    }
+    case TRANSACTION_releaseWifiLock: {
+      Charge(ctx, kReleaseCost, wifi_locks_.RegisteredCount());
+      auto lock = data.ReadStrongBinder(ctx);
+      if (!lock.ok()) return lock.status();
+      bool released = false;
+      if (lock.value().valid()) {
+        released = wifi_locks_.Unregister(lock.value().node);
+        lock_tags_.erase(lock.value().node);
+      }
+      reply->WriteBool(released);
+      return Status::Ok();
+    }
+    case TRANSACTION_acquireMulticastLock: {
+      JGRE_RETURN_IF_ERROR(Enforce(ctx, perms::kChangeWifiMulticastState));
+      Charge(ctx, kAcquireCost, multicast_locks_.RegisteredCount());
+      auto lock = data.ReadStrongBinder(ctx);
+      if (!lock.ok()) return lock.status();
+      auto tag = data.ReadString();
+      if (!tag.ok()) return tag.status();
+      if (lock.value().valid()) multicast_locks_.Register(lock.value());
+      return Status::Ok();
+    }
+    case TRANSACTION_releaseMulticastLock: {
+      Charge(ctx, kReleaseCost, multicast_locks_.RegisteredCount());
+      auto lock = data.ReadStrongBinder(ctx);
+      if (!lock.ok()) return lock.status();
+      if (lock.value().valid()) multicast_locks_.Unregister(lock.value().node);
+      return Status::Ok();
+    }
+    case TRANSACTION_getWifiEnabledState: {
+      Charge(ctx, kQueryCost, 0);
+      reply->WriteInt32(3);  // WIFI_STATE_ENABLED
+      return Status::Ok();
+    }
+    default:
+      return InvalidArgument("unknown wifi transaction");
+  }
+}
+
+}  // namespace jgre::services

@@ -1,0 +1,169 @@
+// Attack framework tests: registry integrity, per-vulnerability
+// exploitability (parameterized over all 57), permission gating, and the
+// benign workload's bounded footprint.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/benign_workload.h"
+#include "attack/malicious_app.h"
+#include "attack/vuln_registry.h"
+#include "core/android_system.h"
+
+namespace jgre {
+namespace {
+
+TEST(VulnRegistryTest, CensusCountsMatchThePaper) {
+  const auto& all = attack::AllVulnerabilities();
+  EXPECT_EQ(all.size(), 57u);
+  int system_side = 0, prebuilt = 0;
+  std::set<std::string> services, prebuilt_packages;
+  std::set<int> ids;
+  int helper = 0, flawed = 0, unprotected = 0;
+  for (const auto& vuln : all) {
+    EXPECT_TRUE(ids.insert(vuln.id).second) << "duplicate id " << vuln.id;
+    ASSERT_TRUE(static_cast<bool>(vuln.write_args)) << vuln.interface;
+    if (vuln.victim == attack::VictimKind::kSystemServer) {
+      ++system_side;
+      services.insert(vuln.service);
+    } else {
+      ++prebuilt;
+      prebuilt_packages.insert(vuln.victim_package);
+    }
+    switch (vuln.protection) {
+      case attack::Protection::kNone:
+        ++unprotected;
+        break;
+      case attack::Protection::kHelperClass:
+        ++helper;
+        break;
+      case attack::Protection::kPerProcessFlawed:
+        ++flawed;
+        break;
+    }
+  }
+  EXPECT_EQ(system_side, 54);
+  EXPECT_EQ(prebuilt, 3);
+  EXPECT_EQ(services.size(), 32u);
+  EXPECT_EQ(prebuilt_packages.size(), 2u);
+  EXPECT_EQ(helper, 9);
+  EXPECT_EQ(flawed, 1);
+  EXPECT_EQ(unprotected, 47);  // 44 system + 3 prebuilt
+}
+
+TEST(VulnRegistryTest, LookupByServiceAndInterface) {
+  const auto* vuln = attack::FindVulnerability("wifi", "acquireWifiLock");
+  ASSERT_NE(vuln, nullptr);
+  EXPECT_EQ(vuln->protection, attack::Protection::kHelperClass);
+  EXPECT_EQ(attack::FindVulnerability("wifi", "nope"), nullptr);
+  EXPECT_EQ(attack::ThirdPartyVulnerabilities().size(), 3u);
+}
+
+TEST(MaliciousAppTest, PermissionGatedAttackFailsWithoutGrant) {
+  core::AndroidSystem system;
+  system.Boot();
+  const auto* vuln =
+      attack::FindVulnerability("location", "addGpsStatusListener");
+  ASSERT_NE(vuln, nullptr);
+  // Deliberately install WITHOUT the dangerous permission.
+  services::AppProcess* evil = system.InstallApp("com.evil.noperm");
+  attack::MaliciousApp attacker(&system, evil, *vuln);
+  auto result = attacker.Run();
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_EQ(result.calls_failed, result.calls_issued);
+  EXPECT_EQ(system.soft_reboots(), 0);
+}
+
+// Parameterized sweep: every registered vulnerability must leak its declared
+// JGRs per call into the declared victim, surviving GC.
+class ExploitabilityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExploitabilityTest, LeaksDeclaredJgrsPerCall) {
+  const attack::VulnSpec& vuln =
+      attack::AllVulnerabilities()[static_cast<std::size_t>(GetParam())];
+  core::AndroidSystem system;
+  system.Boot();
+  services::AppProcess* evil =
+      attack::InstallAttackApp(&system, "com.evil.app", vuln);
+  attack::MaliciousApp attacker(&system, evil, vuln);
+  system.CollectAllGarbage();
+  const std::size_t before = attacker.VictimJgrCount();
+  constexpr int kCalls = 200;
+  for (int i = 0; i < kCalls; ++i) {
+    ASSERT_TRUE(attacker.Step().ok()) << vuln.service << "." << vuln.interface;
+  }
+  system.CollectAllGarbage();
+  const double growth_per_call =
+      (static_cast<double>(attacker.VictimJgrCount()) -
+       static_cast<double>(before)) /
+      kCalls;
+  EXPECT_NEAR(growth_per_call, vuln.jgrs_per_call, 0.35)
+      << vuln.service << "." << vuln.interface;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVulnerabilities, ExploitabilityTest,
+    ::testing::Range(0, static_cast<int>(attack::AllVulnerabilities().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      const attack::VulnSpec& vuln =
+          attack::AllVulnerabilities()[static_cast<std::size_t>(info.param)];
+      std::string name = vuln.service + "_" + vuln.interface;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(BenignWorkloadTest, KeepsSystemServerInTheBenignBand) {
+  core::AndroidSystem system;
+  system.Boot();
+  attack::BenignWorkload::Options options;
+  options.app_count = 30;
+  options.per_app_foreground_us = 3'000'000;
+  attack::BenignWorkload workload(&system, options);
+  workload.InstallAll();
+  EXPECT_EQ(workload.packages().size(), 30u);
+  workload.RunMonkeySession();
+  // Observation 1: benign JGR footprint is stable and far below the cap.
+  EXPECT_LT(system.SystemServerJgrCount(), 3000u);
+  EXPECT_GT(system.SystemServerJgrCount(), 1000u);
+  EXPECT_EQ(system.soft_reboots(), 0);
+}
+
+TEST(BenignWorkloadTest, ChattyLoopCreatesNoRetainedJgrs) {
+  core::AndroidSystem system;
+  system.Boot();
+  attack::BenignWorkload::Options options;
+  options.app_count = 1;
+  attack::BenignWorkload workload(&system, options);
+  workload.InstallAll();
+  services::AppProcess* app = system.FindApp(workload.packages().front());
+  system.CollectAllGarbage();
+  const std::size_t before = system.SystemServerJgrCount();
+  workload.ChattyQueryLoop(app, 500, 100);
+  system.CollectAllGarbage();
+  EXPECT_LE(system.SystemServerJgrCount(), before + 2);
+}
+
+TEST(MaliciousAppTest, AttackCurveIsMonotonicallyIncreasing) {
+  core::AndroidSystem system;
+  system.Boot();
+  const auto* vuln = attack::FindVulnerability("mount", "registerListener");
+  services::AppProcess* evil =
+      attack::InstallAttackApp(&system, "com.evil.app", *vuln);
+  attack::MaliciousApp attacker(&system, evil, *vuln);
+  attack::MaliciousApp::RunOptions options;
+  options.max_calls = 3000;
+  options.stop_on_victim_abort = false;
+  options.sample_every_calls = 100;
+  auto result = attacker.Run(options);
+  const auto& points = result.jgr_curve.points();
+  ASSERT_GT(points.size(), 10u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].second + 1, points[i - 1].second);
+    EXPECT_GE(points[i].first, points[i - 1].first);
+  }
+}
+
+}  // namespace
+}  // namespace jgre

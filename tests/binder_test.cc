@@ -1,0 +1,366 @@
+// Binder layer tests: Parcel semantics, driver routing, JGR side effects of
+// crossing the IPC boundary, death links, node release, RemoteCallbackList
+// and ServiceManager.
+#include <gtest/gtest.h>
+
+#include "binder/binder_driver.h"
+#include "binder/parcel.h"
+#include "binder/remote_callback_list.h"
+#include "binder/service_manager.h"
+#include "os/kernel.h"
+
+namespace jgre::binder {
+namespace {
+
+// Minimal echo service used as a transaction target.
+class EchoBinder : public BBinder {
+ public:
+  EchoBinder() : BBinder("test.IEcho") {}
+  Status OnTransact(std::uint32_t code, const Parcel& data, Parcel* reply,
+                    const CallContext& ctx) override {
+    last_calling_uid = ctx.calling_uid;
+    last_calling_pid = ctx.calling_pid;
+    ++calls;
+    if (code == 1) {  // echo int
+      auto v = data.ReadInt32();
+      if (!v.ok()) return v.status();
+      reply->WriteInt32(v.value());
+    } else if (code == 2) {  // retain binder
+      auto b = data.ReadStrongBinder(ctx);
+      if (!b.ok()) return b.status();
+      retained.push_back(b.value());
+      if (ctx.runtime != nullptr && b.value().java_obj.valid()) {
+        ctx.runtime->heap().AddHold(b.value().java_obj);
+      }
+    }
+    return Status::Ok();
+  }
+  int calls = 0;
+  Uid last_calling_uid;
+  Pid last_calling_pid;
+  std::vector<StrongBinder> retained;
+};
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : driver_(&kernel_), service_manager_(&driver_) {
+    os::Kernel::ProcessConfig config;
+    config.with_runtime = true;
+    config.boot_class_refs = 0;
+    config.memory_kb = 1024;
+    server_pid_ = kernel_.CreateProcess("server", kSystemUid, config);
+    client_pid_ = kernel_.CreateProcess("client", Uid{10001}, config);
+    echo_ = driver_.MakeBinder<EchoBinder>(server_pid_);
+  }
+
+  rt::Runtime* ServerRuntime() {
+    return kernel_.FindProcess(server_pid_)->runtime.get();
+  }
+  rt::Runtime* ClientRuntime() {
+    return kernel_.FindProcess(client_pid_)->runtime.get();
+  }
+
+  os::Kernel kernel_;
+  BinderDriver driver_;
+  ServiceManager service_manager_;
+  Pid server_pid_;
+  Pid client_pid_;
+  std::shared_ptr<EchoBinder> echo_;
+};
+
+// --- Parcel -------------------------------------------------------------------
+
+TEST(ParcelTest, TypedRoundTrip) {
+  Parcel parcel;
+  parcel.WriteInterfaceToken("test.IFoo");
+  parcel.WriteInt32(-7);
+  parcel.WriteInt64(1LL << 40);
+  parcel.WriteBool(true);
+  parcel.WriteString("hello");
+  parcel.WriteByteArray(512);
+
+  EXPECT_TRUE(parcel.EnforceInterface("test.IFoo").ok());
+  EXPECT_EQ(parcel.ReadInt32().value(), -7);
+  EXPECT_EQ(parcel.ReadInt64().value(), 1LL << 40);
+  EXPECT_TRUE(parcel.ReadBool().value());
+  EXPECT_EQ(parcel.ReadString().value(), "hello");
+  EXPECT_EQ(parcel.ReadByteArray().value(), 512u);
+  // Past the end.
+  EXPECT_FALSE(parcel.ReadInt32().ok());
+}
+
+TEST(ParcelTest, TypeConfusionIsRejected) {
+  Parcel parcel;
+  parcel.WriteInt32(1);
+  auto s = parcel.ReadString();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParcelTest, InterfaceTokenMismatchRejected) {
+  Parcel parcel;
+  parcel.WriteInterfaceToken("test.IFoo");
+  EXPECT_FALSE(parcel.EnforceInterface("test.IBar").ok());
+}
+
+TEST(ParcelTest, PayloadBytesTrackWrites) {
+  Parcel parcel;
+  EXPECT_EQ(parcel.payload_bytes(), 0u);
+  parcel.WriteByteArray(100 * 1024);
+  EXPECT_GE(parcel.payload_bytes(), 100u * 1024u);
+  EXPECT_FALSE(parcel.has_binders());
+  parcel.WriteNullBinder();
+  EXPECT_TRUE(parcel.has_binders());
+}
+
+// --- Driver routing -------------------------------------------------------------
+
+TEST_F(BinderTest, TransactRoutesAndCarriesIdentity) {
+  auto proxy = driver_.MaterializeBinder(echo_->node(), client_pid_);
+  ASSERT_TRUE(proxy.ok());
+  Parcel data;
+  data.WriteInt32(41);
+  Parcel reply;
+  ASSERT_TRUE(proxy.value().binder->Transact(1, data, &reply).ok());
+  EXPECT_EQ(reply.ReadInt32().value(), 41);
+  EXPECT_EQ(echo_->last_calling_pid, client_pid_);
+  EXPECT_EQ(echo_->last_calling_uid, Uid{10001});
+  EXPECT_EQ(driver_.total_transactions(), 1);
+}
+
+TEST_F(BinderTest, TransactAdvancesVirtualTimeWithPayload) {
+  auto proxy = driver_.MaterializeBinder(echo_->node(), client_pid_);
+  ASSERT_TRUE(proxy.ok());
+  Parcel small, big;
+  small.WriteInt32(1);
+  big.WriteInt32(1);
+  big.WriteByteArray(400 * 1024);
+  Parcel reply;
+  const TimeUs t0 = kernel_.clock().NowUs();
+  (void)proxy.value().binder->Transact(1, small, &reply);
+  const DurationUs small_cost = kernel_.clock().NowUs() - t0;
+  const TimeUs t1 = kernel_.clock().NowUs();
+  (void)proxy.value().binder->Transact(1, big, &reply);
+  const DurationUs big_cost = kernel_.clock().NowUs() - t1;
+  EXPECT_GT(big_cost, small_cost + 2000);  // ~6.5 us/KB over 400 KB
+}
+
+TEST_F(BinderTest, SameProcessMaterializationIsFree) {
+  auto local = driver_.MaterializeBinder(echo_->node(), server_pid_);
+  ASSERT_TRUE(local.ok());
+  EXPECT_FALSE(local.value().binder->IsProxy());
+  EXPECT_FALSE(local.value().java_obj.valid());
+}
+
+TEST_F(BinderTest, CrossProcessMaterializationMintsOneJgr) {
+  // Registering the binder already pinned the sender-side JavaBBinder.
+  const std::size_t server_before = ServerRuntime()->JgrCount();
+  const std::size_t client_before = ClientRuntime()->JgrCount();
+  auto p1 = driver_.MaterializeBinder(echo_->node(), client_pid_);
+  auto p2 = driver_.MaterializeBinder(echo_->node(), client_pid_);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1.value().java_obj, p2.value().java_obj);  // proxy cache
+  EXPECT_EQ(ClientRuntime()->JgrCount(), client_before + 1);
+  EXPECT_EQ(ServerRuntime()->JgrCount(), server_before);
+}
+
+TEST_F(BinderTest, DeadNodeYieldsDeadObject) {
+  auto proxy = driver_.MaterializeBinder(echo_->node(), client_pid_);
+  ASSERT_TRUE(proxy.ok());
+  kernel_.KillProcess(server_pid_, "gone");
+  Parcel data, reply;
+  data.WriteInt32(1);
+  Status status = proxy.value().binder->Transact(1, data, &reply);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(driver_.MaterializeBinder(echo_->node(), client_pid_).ok());
+}
+
+TEST_F(BinderTest, ReadStrongBinderCreatesJgrInReceiver) {
+  // Client sends a fresh binder to the server, which retains it: the
+  // vulnerable pattern. Server gains proxy + (client gains JavaBBinder).
+  auto service_proxy = driver_.MaterializeBinder(echo_->node(), client_pid_);
+  ASSERT_TRUE(service_proxy.ok());
+  const std::size_t server_before = ServerRuntime()->JgrCount();
+  auto callback = driver_.MakeBinder<EchoBinder>(client_pid_);
+  Parcel data, reply;
+  data.WriteStrongBinder(callback);
+  ASSERT_TRUE(service_proxy.value().binder->Transact(2, data, &reply).ok());
+  EXPECT_EQ(ServerRuntime()->JgrCount(), server_before + 1);
+  // Retained by the handler: GC must NOT reclaim it.
+  ServerRuntime()->CollectGarbage();
+  EXPECT_EQ(ServerRuntime()->JgrCount(), server_before + 1);
+}
+
+TEST_F(BinderTest, UnretainedBinderIsReclaimedByGc) {
+  auto service_proxy = driver_.MaterializeBinder(echo_->node(), client_pid_);
+  ASSERT_TRUE(service_proxy.ok());
+  const std::size_t server_before = ServerRuntime()->JgrCount();
+  // code 1 reads an int; the attached binder is read... never: write a
+  // binder that the handler does not read or retain. Use code 1 with int.
+  auto callback = driver_.MakeBinder<EchoBinder>(client_pid_);
+  Parcel data, reply;
+  data.WriteInt32(9);
+  data.WriteStrongBinder(callback);  // ignored by the handler
+  ASSERT_TRUE(service_proxy.value().binder->Transact(1, data, &reply).ok());
+  // Never materialized server-side: no JGR at all.
+  EXPECT_EQ(ServerRuntime()->JgrCount(), server_before);
+}
+
+TEST_F(BinderTest, SenderSideJavaBBinderReleasedWhenProxiesDie) {
+  const std::size_t client_base = ClientRuntime()->JgrCount();
+  auto callback = driver_.MakeBinder<EchoBinder>(client_pid_);
+  EXPECT_EQ(ClientRuntime()->JgrCount(), client_base + 1);  // JavaBBinder
+  auto proxy = driver_.MaterializeBinder(callback->node(), server_pid_);
+  ASSERT_TRUE(proxy.ok());
+  // Server drops it: GC collects the proxy, the kernel releases the node,
+  // and the client-side JavaBBinder becomes collectable.
+  ServerRuntime()->CollectGarbage();
+  ClientRuntime()->CollectGarbage();
+  EXPECT_EQ(ClientRuntime()->JgrCount(), client_base);
+}
+
+// --- Death links ----------------------------------------------------------------
+
+class RecordingRecipient : public DeathRecipient {
+ public:
+  void BinderDied(NodeId who) override { deaths.push_back(who); }
+  std::vector<NodeId> deaths;
+};
+
+TEST_F(BinderTest, DeathLinkFiresOnOwnerDeath) {
+  auto callback = driver_.MakeBinder<EchoBinder>(client_pid_);
+  auto recipient = std::make_shared<RecordingRecipient>();
+  const std::size_t server_before = ServerRuntime()->JgrCount();
+  auto link = driver_.LinkToDeath(server_pid_, callback->node(), recipient);
+  ASSERT_TRUE(link.ok());
+  // JavaDeathRecipient pins one JGR in the holder while linked.
+  EXPECT_EQ(ServerRuntime()->JgrCount(), server_before + 1);
+  kernel_.KillProcess(client_pid_, "bye");
+  ASSERT_EQ(recipient->deaths.size(), 1u);
+  EXPECT_EQ(recipient->deaths.front(), callback->node());
+  ServerRuntime()->CollectGarbage();
+  EXPECT_EQ(ServerRuntime()->JgrCount(), server_before);
+}
+
+TEST_F(BinderTest, UnlinkReleasesTheRecipientJgr) {
+  auto callback = driver_.MakeBinder<EchoBinder>(client_pid_);
+  auto recipient = std::make_shared<RecordingRecipient>();
+  const std::size_t server_before = ServerRuntime()->JgrCount();
+  auto link = driver_.LinkToDeath(server_pid_, callback->node(), recipient);
+  ASSERT_TRUE(link.ok());
+  EXPECT_TRUE(driver_.UnlinkToDeath(link.value()));
+  EXPECT_FALSE(driver_.UnlinkToDeath(link.value()));  // idempotent
+  ServerRuntime()->CollectGarbage();
+  EXPECT_EQ(ServerRuntime()->JgrCount(), server_before);
+  kernel_.KillProcess(client_pid_, "bye");
+  EXPECT_TRUE(recipient->deaths.empty());  // unlinked: no callback
+}
+
+TEST_F(BinderTest, LinkToDeadBinderFails) {
+  auto callback = driver_.MakeBinder<EchoBinder>(client_pid_);
+  kernel_.KillProcess(client_pid_, "bye");
+  auto link = driver_.LinkToDeath(server_pid_, callback->node(),
+                                  std::make_shared<RecordingRecipient>());
+  EXPECT_FALSE(link.ok());
+  EXPECT_EQ(link.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(BinderTest, ReleaseNodeFiresLinksAndFreesSenderRef) {
+  auto session = driver_.MakeBinder<EchoBinder>(server_pid_);
+  auto recipient = std::make_shared<RecordingRecipient>();
+  auto link = driver_.LinkToDeath(client_pid_, session->node(), recipient);
+  ASSERT_TRUE(link.ok());
+  const std::size_t server_jgr = ServerRuntime()->JgrCount();
+  driver_.ReleaseNode(session->node());
+  EXPECT_FALSE(driver_.IsNodeAlive(session->node()));
+  EXPECT_EQ(recipient->deaths.size(), 1u);
+  ServerRuntime()->CollectGarbage();
+  EXPECT_LT(ServerRuntime()->JgrCount(), server_jgr);
+}
+
+// --- IPC log ----------------------------------------------------------------------
+
+TEST_F(BinderTest, IpcLogOnlyWhenDefenseEnabledAndSystemReadable) {
+  auto proxy = driver_.MaterializeBinder(echo_->node(), client_pid_);
+  ASSERT_TRUE(proxy.ok());
+  Parcel data, reply;
+  data.WriteInt32(1);
+  (void)proxy.value().binder->Transact(1, data, &reply);
+  auto empty_log = driver_.ReadIpcLog(kSystemUid, 0);
+  ASSERT_TRUE(empty_log.ok());
+  EXPECT_TRUE(empty_log.value().empty());  // stock driver: no log
+
+  driver_.SetDefenseLogging(true);
+  (void)proxy.value().binder->Transact(1, data, &reply);
+  auto log = driver_.ReadIpcLog(kSystemUid, 0);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log.value().size(), 1u);
+  EXPECT_EQ(log.value().front().from_pid, client_pid_);
+  EXPECT_EQ(log.value().front().to_pid, server_pid_);
+  EXPECT_EQ(log.value().front().descriptor, "test.IEcho");
+  // Third-party uids may not read the log (§V.B file permissions).
+  EXPECT_EQ(driver_.ReadIpcLog(Uid{10001}, 0).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+// --- RemoteCallbackList -----------------------------------------------------------
+
+TEST_F(BinderTest, RemoteCallbackListRetainsTwoJgrsPerRegistration) {
+  RemoteCallbackList list(&driver_, server_pid_, "test.List");
+  const std::size_t before = ServerRuntime()->JgrCount();
+  auto cb = driver_.MakeBinder<EchoBinder>(client_pid_);
+  auto materialized = driver_.MaterializeBinder(cb->node(), server_pid_);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_TRUE(list.Register(materialized.value()));
+  EXPECT_FALSE(list.Register(materialized.value()));  // duplicate node
+  EXPECT_EQ(list.RegisteredCount(), 1u);
+  // proxy + JavaDeathRecipient = 2 retained JGRs; GC-proof.
+  ServerRuntime()->CollectGarbage();
+  EXPECT_EQ(ServerRuntime()->JgrCount(), before + 2);
+  EXPECT_TRUE(list.Unregister(cb->node()));
+  ServerRuntime()->CollectGarbage();
+  EXPECT_EQ(ServerRuntime()->JgrCount(), before);
+}
+
+TEST_F(BinderTest, RemoteCallbackListPrunesDeadClients) {
+  RemoteCallbackList list(&driver_, server_pid_, "test.List");
+  std::vector<NodeId> died;
+  list.SetOnCallbackDied([&](NodeId node) { died.push_back(node); });
+  const std::size_t before = ServerRuntime()->JgrCount();
+  for (int i = 0; i < 5; ++i) {
+    auto cb = driver_.MakeBinder<EchoBinder>(client_pid_);
+    auto m = driver_.MaterializeBinder(cb->node(), server_pid_);
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(list.Register(m.value()));
+  }
+  EXPECT_EQ(list.RegisteredCount(), 5u);
+  kernel_.KillProcess(client_pid_, "bye");
+  EXPECT_EQ(list.RegisteredCount(), 0u);
+  EXPECT_EQ(list.dead_callbacks(), 5);
+  EXPECT_EQ(died.size(), 5u);
+  ServerRuntime()->CollectGarbage();
+  EXPECT_EQ(ServerRuntime()->JgrCount(), before);
+}
+
+// --- ServiceManager ------------------------------------------------------------------
+
+TEST_F(BinderTest, ServiceManagerRegistrationRequiresSystemUid) {
+  EXPECT_TRUE(service_manager_.AddService("echo", echo_, kSystemUid).ok());
+  EXPECT_EQ(
+      service_manager_.AddService("evil", echo_, Uid{10001}).code(),
+      StatusCode::kPermissionDenied);
+  EXPECT_TRUE(service_manager_.HasService("echo"));
+  EXPECT_FALSE(service_manager_.HasService("evil"));
+}
+
+TEST_F(BinderTest, GetServiceMaterializesInCaller) {
+  ASSERT_TRUE(service_manager_.AddService("echo", echo_, kSystemUid).ok());
+  auto svc = service_manager_.GetService("echo", client_pid_);
+  ASSERT_TRUE(svc.ok());
+  EXPECT_TRUE(svc.value().binder->IsProxy());
+  EXPECT_FALSE(service_manager_.GetService("nope", client_pid_).ok());
+}
+
+}  // namespace
+}  // namespace jgre::binder

@@ -1,0 +1,292 @@
+// Defense tests: monitor thresholds, Algorithm 1 scoring, the defender's
+// end-to-end incident handling for every vulnerability, collusion, and the
+// trust boundary of the IPC log.
+#include <gtest/gtest.h>
+
+#include "attack/benign_workload.h"
+#include "attack/malicious_app.h"
+#include "attack/vuln_registry.h"
+#include "common/rng.h"
+#include "core/android_system.h"
+#include "defense/jgr_monitor.h"
+#include "defense/jgre_defender.h"
+#include "defense/scoring.h"
+
+namespace jgre {
+namespace {
+
+// --- JgrMonitor ----------------------------------------------------------------
+
+TEST(JgrMonitorTest, PassiveBelowAlarmThreshold) {
+  SimClock clock;
+  defense::JgrMonitor::Config config;
+  config.alarm_threshold = 100;
+  config.report_threshold = 50;
+  defense::JgrMonitor monitor(&clock, "victim", config);
+  for (std::size_t count = 1; count <= 100; ++count) {
+    monitor.OnJgrAdd(clock.NowUs(), count, ObjectId{1});
+  }
+  EXPECT_FALSE(monitor.recording());
+  EXPECT_TRUE(monitor.events().empty());
+  EXPECT_EQ(clock.NowUs(), 0u);  // zero recording cost while passive
+}
+
+TEST(JgrMonitorTest, RecordsAndReportsPastThresholds) {
+  SimClock clock;
+  defense::JgrMonitor::Config config;
+  config.alarm_threshold = 10;
+  config.report_threshold = 5;
+  config.record_cost_us = 1;
+  defense::JgrMonitor monitor(&clock, "victim", config);
+  for (std::size_t count = 1; count <= 16; ++count) {
+    monitor.OnJgrAdd(clock.NowUs(), count, ObjectId{1});
+  }
+  EXPECT_TRUE(monitor.recording());
+  EXPECT_TRUE(monitor.reported());
+  EXPECT_EQ(monitor.events().size(), 6u);  // counts 11..16
+  EXPECT_EQ(monitor.AddTimes().size(), 6u);
+  EXPECT_EQ(clock.NowUs(), 6u);  // 1 us per recorded op
+  monitor.OnJgrRemove(clock.NowUs(), 15, ObjectId{1});
+  EXPECT_EQ(monitor.events().size(), 7u);
+  EXPECT_EQ(monitor.AddTimes().size(), 6u);  // removes excluded
+  monitor.Reset();
+  EXPECT_FALSE(monitor.recording());
+  EXPECT_TRUE(monitor.events().empty());
+}
+
+// --- Algorithm 1 ------------------------------------------------------------------
+
+defense::ScoringParams TestParams(bool tree = true) {
+  defense::ScoringParams params;
+  params.delta_us = 500;
+  params.bucket_us = 50;
+  params.max_delay_us = 20'000;
+  params.analysis_window_us = 0;
+  params.use_segment_tree = tree;
+  return params;
+}
+
+TEST(ScoringTest, PerfectCorrelationScoresEveryCall) {
+  std::vector<defense::IpcEvent> calls;
+  std::vector<TimeUs> adds;
+  for (int i = 0; i < 100; ++i) {
+    const TimeUs t = 1000 + static_cast<TimeUs>(i) * 10'000;
+    calls.push_back({t, "IEvil#1"});
+    adds.push_back(t + 700);  // constant Delay, zero jitter
+  }
+  EXPECT_EQ(defense::JgreScoreForApp(calls, adds, TestParams()), 100);
+}
+
+TEST(ScoringTest, UncorrelatedCallsScoreLow) {
+  Rng rng(5);
+  std::vector<defense::IpcEvent> calls;
+  std::vector<TimeUs> adds;
+  TimeUs t = 1000;
+  for (int i = 0; i < 200; ++i) {
+    t += 1000 + rng.UniformU64(9000);
+    calls.push_back({t, "IBenign#1"});
+  }
+  TimeUs a = 1500;
+  for (int i = 0; i < 200; ++i) {
+    a += 1000 + rng.UniformU64(9000);
+    adds.push_back(a);
+  }
+  std::sort(adds.begin(), adds.end());
+  const auto score = defense::JgreScoreForApp(calls, adds, TestParams());
+  EXPECT_LT(score, 40);  // no consistent delay hypothesis
+}
+
+TEST(ScoringTest, JitterWithinDeltaStillScoresHigh) {
+  Rng rng(9);
+  std::vector<defense::IpcEvent> calls;
+  std::vector<TimeUs> adds;
+  for (int i = 0; i < 100; ++i) {
+    const TimeUs t = 1000 + static_cast<TimeUs>(i) * 10'000;
+    calls.push_back({t, "IEvil#1"});
+    adds.push_back(t + 700 + rng.UniformU64(400));  // jitter < delta=500
+  }
+  std::sort(adds.begin(), adds.end());
+  EXPECT_GE(defense::JgreScoreForApp(calls, adds, TestParams()), 90);
+}
+
+TEST(ScoringTest, ScoreSumsAcrossIpcTypes) {
+  std::vector<defense::IpcEvent> calls;
+  std::vector<TimeUs> adds;
+  for (int i = 0; i < 50; ++i) {
+    const TimeUs t = 1000 + static_cast<TimeUs>(i) * 10'000;
+    calls.push_back({t, "IEvil#1"});
+    adds.push_back(t + 500);
+    calls.push_back({t + 2'000, "IEvil#2"});
+    adds.push_back(t + 2'900);
+  }
+  std::sort(adds.begin(), adds.end());
+  EXPECT_EQ(defense::JgreScoreForApp(calls, adds, TestParams()), 100);
+}
+
+TEST(ScoringTest, PairsOutsideMaxDelayIgnored) {
+  std::vector<defense::IpcEvent> calls{{1000, "IEvil#1"}};
+  std::vector<TimeUs> adds{1000 + 25'000};  // beyond max_delay = 20ms
+  defense::ScoringCost cost;
+  EXPECT_EQ(defense::JgreScoreForApp(calls, adds, TestParams(), &cost), 0);
+  EXPECT_EQ(cost.pairs, 0);
+}
+
+// Property: segment-tree and naive scoring agree on random workloads.
+class ScoringEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ScoringEquivalenceTest, TreeMatchesNaive) {
+  Rng rng(GetParam());
+  std::vector<defense::IpcEvent> calls;
+  std::vector<TimeUs> adds;
+  TimeUs t = 1000;
+  const int n = 50 + static_cast<int>(rng.UniformU64(300));
+  for (int i = 0; i < n; ++i) {
+    t += 200 + rng.UniformU64(3000);
+    calls.push_back(
+        {t, rng.Chance(0.5) ? std::string("IA#1") : std::string("IB#2")});
+    if (rng.Chance(0.8)) adds.push_back(t + 100 + rng.UniformU64(5000));
+    if (rng.Chance(0.2)) adds.push_back(t + rng.UniformU64(30'000));
+  }
+  std::sort(adds.begin(), adds.end());
+  EXPECT_EQ(defense::JgreScoreForApp(calls, adds, TestParams(true)),
+            defense::JgreScoreForApp(calls, adds, TestParams(false)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ScoringEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+// --- End-to-end defense, parameterized over every vulnerability -------------------
+
+class DefensePerVulnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DefensePerVulnTest, DefenderStopsTheAttackBeforeOverflow) {
+  const attack::VulnSpec& vuln =
+      attack::AllVulnerabilities()[static_cast<std::size_t>(GetParam())];
+  core::AndroidSystem system;
+  system.Boot();
+  defense::JgreDefender defender(&system);
+  defender.Install();
+  services::AppProcess* evil =
+      attack::InstallAttackApp(&system, "com.evil.app", vuln);
+  attack::MaliciousApp attacker(&system, evil, vuln);
+  auto result = attacker.Run();
+
+  EXPECT_FALSE(result.succeeded) << vuln.service << "." << vuln.interface;
+  EXPECT_EQ(system.soft_reboots(), 0);
+  ASSERT_EQ(defender.incidents().size(), 1u);
+  const auto& incident = defender.incidents().front();
+  EXPECT_TRUE(incident.recovered);
+  ASSERT_FALSE(incident.ranking.empty());
+  EXPECT_EQ(incident.ranking.front().package, "com.evil.app");
+  EXPECT_FALSE(evil->alive());
+  // Identification is far faster than the fastest overflow (~100 s).
+  EXPECT_LT(incident.response_delay_us(), 10'000'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVulnerabilities, DefensePerVulnTest,
+    ::testing::Range(0, static_cast<int>(attack::AllVulnerabilities().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      const attack::VulnSpec& vuln =
+          attack::AllVulnerabilities()[static_cast<std::size_t>(info.param)];
+      std::string name = vuln.service + "_" + vuln.interface;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --- Collusion + trust boundary -----------------------------------------------------
+
+TEST(DefenseTest, CollusionIsFullyIdentified) {
+  core::AndroidSystem system;
+  system.Boot();
+  defense::JgreDefender defender(&system);
+  defender.Install();
+  std::vector<std::unique_ptr<attack::MaliciousApp>> attackers;
+  for (int i = 0; i < 3; ++i) {
+    const char* targets[][2] = {{"clipboard", "addPrimaryClipChangedListener"},
+                                {"audio", "startWatchingRoutes"},
+                                {"window", "watchRotation"}};
+    const auto* vuln =
+        attack::FindVulnerability(targets[i][0], targets[i][1]);
+    auto* app = attack::InstallAttackApp(
+        &system, "com.colluder" + std::to_string(i), *vuln);
+    attackers.push_back(
+        std::make_unique<attack::MaliciousApp>(&system, app, *vuln));
+  }
+  Rng rng(3);
+  int rounds = 0;
+  while (defender.incidents().empty() && rounds++ < 20'000) {
+    for (auto& attacker : attackers) {
+      if (attacker->app()->alive()) (void)attacker->Step();
+      system.clock().AdvanceUs(rng.UniformU64(1200));
+    }
+  }
+  ASSERT_EQ(defender.incidents().size(), 1u);
+  const auto& incident = defender.incidents().front();
+  EXPECT_TRUE(incident.recovered);
+  EXPECT_EQ(incident.killed_packages.size(), 3u);
+  for (auto& attacker : attackers) EXPECT_FALSE(attacker->app()->alive());
+  EXPECT_LE(system.SystemServerJgrCount(), defender.config().recovery_target);
+}
+
+TEST(DefenseTest, ProcfsLogIsSystemOnly) {
+  core::AndroidSystem system;
+  system.Boot();
+  defense::JgreDefender defender(&system);
+  defender.Install();
+  EXPECT_TRUE(system.kernel().procfs().Exists("/proc/jgre_ipc_log"));
+  EXPECT_TRUE(
+      system.kernel().procfs().Read("/proc/jgre_ipc_log", kSystemUid).ok());
+  auto denied = system.kernel().procfs().Read("/proc/jgre_ipc_log", Uid{10050});
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(DefenseTest, DefenderReattachesAfterSoftReboot) {
+  core::AndroidSystem system;
+  system.Boot();
+  // Report threshold too high to stop the first attack: the system reboots,
+  // and the defender must protect the NEW system_server incarnation.
+  defense::JgreDefender::Config config;
+  config.monitor.report_threshold = 100'000;
+  defense::JgreDefender weak_defender(&system, config);
+  weak_defender.Install();
+  const auto* vuln =
+      attack::FindVulnerability("clipboard", "addPrimaryClipChangedListener");
+  {
+    services::AppProcess* evil =
+        attack::InstallAttackApp(&system, "com.evil.one", *vuln);
+    attack::MaliciousApp attacker(&system, evil, *vuln);
+    auto result = attacker.Run();
+    EXPECT_TRUE(result.succeeded);
+    EXPECT_EQ(system.soft_reboots(), 1);
+  }
+  // After the reboot the monitor must be live on the new runtime: drive the
+  // new system_server past the alarm threshold and verify recording starts.
+  defense::JgrMonitor* monitor = weak_defender.MonitorFor("system_server");
+  ASSERT_NE(monitor, nullptr);
+  EXPECT_FALSE(monitor->recording());
+  services::AppProcess* evil2 = system.InstallApp("com.evil.two");
+  attack::MaliciousApp attacker2(&system, evil2, *vuln);
+  for (int i = 0; i < 2000; ++i) (void)attacker2.Step();
+  EXPECT_TRUE(monitor->recording());
+}
+
+TEST(DefenseTest, BenignWorkloadRaisesNoIncidents) {
+  core::AndroidSystem system;
+  system.Boot();
+  defense::JgreDefender defender(&system);
+  defender.Install();
+  attack::BenignWorkload::Options options;
+  options.app_count = 25;
+  options.per_app_foreground_us = 4'000'000;
+  attack::BenignWorkload workload(&system, options);
+  workload.InstallAll();
+  workload.RunMonkeySession();
+  EXPECT_TRUE(defender.incidents().empty());
+}
+
+}  // namespace
+}  // namespace jgre

@@ -1,0 +1,79 @@
+// End-to-end smoke tests: the attack detonates, the defense defuses.
+#include <gtest/gtest.h>
+
+#include "attack/malicious_app.h"
+#include "attack/vuln_registry.h"
+#include "core/android_system.h"
+#include "defense/jgre_defender.h"
+#include "runtime/java_vm_ext.h"
+
+namespace jgre {
+namespace {
+
+TEST(BootSmoke, RegistersTheFullServiceCensus) {
+  core::AndroidSystem system;
+  system.Boot();
+  // 104 system services + 3 app-hosted services (gatt, adapter, picotts).
+  EXPECT_EQ(system.service_manager().ServiceCount(), 104u + 3u);
+  EXPECT_GT(system.SystemServerJgrCount(), 1000u);
+  EXPECT_LT(system.SystemServerJgrCount(), 3000u);
+  // 379 daemons + system_server + bluetooth + pico = 382 (stock baseline).
+  EXPECT_EQ(system.kernel().LiveProcessCount(), 382u);
+}
+
+TEST(AttackSmoke, ClipboardAttackSoftRebootsTheSystem) {
+  core::AndroidSystem system;
+  system.Boot();
+  const attack::VulnSpec* vuln =
+      attack::FindVulnerability("clipboard", "addPrimaryClipChangedListener");
+  ASSERT_NE(vuln, nullptr);
+  services::AppProcess* evil =
+      attack::InstallAttackApp(&system, "com.evil.app", *vuln);
+  attack::MaliciousApp attacker(&system, evil, *vuln);
+
+  attack::MaliciousApp::RunOptions options;
+  options.sample_every_calls = 1000;
+  auto result = attacker.Run(options);
+
+  EXPECT_TRUE(result.succeeded);
+  EXPECT_EQ(system.soft_reboots(), 1);
+  // ~2 JGRs per call from a ~1,200 baseline to the 51,200 cap.
+  EXPECT_GT(result.calls_issued, 20'000);
+  EXPECT_LT(result.calls_issued, 30'000);
+  EXPECT_GE(result.peak_victim_jgr, rt::kGlobalsMax - 2);
+  // The system recovered: services are back and usable.
+  EXPECT_TRUE(system.service_manager().HasService("clipboard"));
+  EXPECT_LT(system.SystemServerJgrCount(), 3000u);
+}
+
+TEST(DefenseSmoke, DefenderKillsTheAttackerBeforeOverflow) {
+  core::AndroidSystem system;
+  system.Boot();
+  defense::JgreDefender defender(&system);
+  defender.Install();
+
+  const attack::VulnSpec* vuln =
+      attack::FindVulnerability("audio", "startWatchingRoutes");
+  ASSERT_NE(vuln, nullptr);
+  services::AppProcess* evil =
+      attack::InstallAttackApp(&system, "com.evil.app", *vuln);
+  attack::MaliciousApp attacker(&system, evil, *vuln);
+
+  auto result = attacker.Run();
+
+  // No overflow, no reboot: the defender killed the attacker first.
+  EXPECT_FALSE(result.succeeded);
+  EXPECT_EQ(system.soft_reboots(), 0);
+  ASSERT_EQ(defender.incidents().size(), 1u);
+  const auto& incident = defender.incidents().front();
+  EXPECT_TRUE(incident.recovered);
+  ASSERT_FALSE(incident.ranking.empty());
+  EXPECT_EQ(incident.ranking.front().package, "com.evil.app");
+  ASSERT_EQ(incident.killed_packages.size(), 1u);
+  EXPECT_EQ(incident.killed_packages.front(), "com.evil.app");
+  EXPECT_FALSE(evil->alive());
+  EXPECT_LE(system.SystemServerJgrCount(), 3500u);
+}
+
+}  // namespace
+}  // namespace jgre

@@ -1,0 +1,192 @@
+// IndirectReferenceTable tests — the ART data structure whose hard capacity
+// is the entire attack surface of the paper.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/indirect_reference_table.h"
+
+namespace jgre::rt {
+namespace {
+
+IndirectReferenceTable MakeTable(std::size_t capacity = 64) {
+  return IndirectReferenceTable(capacity, IndirectRefKind::kGlobal, "test");
+}
+
+TEST(IrtTest, AddAndGetRoundTrip) {
+  auto table = MakeTable();
+  auto ref = table.Add(0, ObjectId{11});
+  ASSERT_TRUE(ref.ok());
+  EXPECT_NE(ref.value(), kNullIndirectRef);
+  EXPECT_EQ(GetIndirectRefKind(ref.value()), IndirectRefKind::kGlobal);
+  auto obj = table.Get(ref.value());
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj.value(), ObjectId{11});
+  EXPECT_EQ(table.Size(), 1u);
+}
+
+TEST(IrtTest, RemoveInvalidatesReference) {
+  auto table = MakeTable();
+  auto ref = table.Add(0, ObjectId{1});
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(table.Remove(0, ref.value()));
+  EXPECT_FALSE(table.Get(ref.value()).ok());
+  EXPECT_EQ(table.Size(), 0u);
+  // Double remove is rejected, not fatal (ART logs and ignores).
+  EXPECT_FALSE(table.Remove(0, ref.value()));
+}
+
+TEST(IrtTest, StaleReferenceToReusedSlotIsRejected) {
+  auto table = MakeTable();
+  auto ref1 = table.Add(0, ObjectId{1});
+  ASSERT_TRUE(ref1.ok());
+  EXPECT_TRUE(table.Remove(0, ref1.value()));
+  auto ref2 = table.Add(0, ObjectId{2});  // reuses the hole
+  ASSERT_TRUE(ref2.ok());
+  EXPECT_NE(ref1.value(), ref2.value());  // serial number differs
+  EXPECT_FALSE(table.Get(ref1.value()).ok());
+  ASSERT_TRUE(table.Get(ref2.value()).ok());
+  EXPECT_EQ(table.Get(ref2.value()).value(), ObjectId{2});
+}
+
+TEST(IrtTest, NullAndForeignKindRefsRejected) {
+  auto table = MakeTable();
+  EXPECT_FALSE(table.Get(kNullIndirectRef).ok());
+  IndirectReferenceTable locals(16, IndirectRefKind::kLocal, "locals");
+  auto local_ref = locals.Add(0, ObjectId{5});
+  ASSERT_TRUE(local_ref.ok());
+  // A local reference handed to the global table is detected by its kind.
+  EXPECT_FALSE(table.Get(local_ref.value()).ok());
+  EXPECT_FALSE(table.Remove(0, local_ref.value()));
+}
+
+TEST(IrtTest, OverflowAtCapacity) {
+  auto table = MakeTable(8);
+  std::vector<IndirectRef> refs;
+  for (int i = 0; i < 8; ++i) {
+    auto ref = table.Add(0, ObjectId{i + 1});
+    ASSERT_TRUE(ref.ok()) << i;
+    refs.push_back(ref.value());
+  }
+  auto overflow = table.Add(0, ObjectId{99});
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  // Freeing one slot makes room again.
+  EXPECT_TRUE(table.Remove(0, refs[3]));
+  EXPECT_TRUE(table.Add(0, ObjectId{100}).ok());
+}
+
+TEST(IrtTest, HolesAreReusedBeforeGrowingTop) {
+  auto table = MakeTable(4);
+  auto a = table.Add(0, ObjectId{1});
+  auto b = table.Add(0, ObjectId{2});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(table.Remove(0, a.value()));
+  // Fill the remaining capacity; the removed slot must be reused so 4 total
+  // live entries fit.
+  EXPECT_TRUE(table.Add(0, ObjectId{3}).ok());
+  EXPECT_TRUE(table.Add(0, ObjectId{4}).ok());
+  EXPECT_TRUE(table.Add(0, ObjectId{5}).ok());
+  EXPECT_EQ(table.Size(), 4u);
+  EXPECT_FALSE(table.Add(0, ObjectId{6}).ok());
+}
+
+TEST(IrtTest, PushPopFrameReleasesSegment) {
+  IndirectReferenceTable locals(32, IndirectRefKind::kLocal, "locals");
+  auto outer = locals.Add(locals.CurrentCookie(), ObjectId{1});
+  ASSERT_TRUE(outer.ok());
+  const auto cookie = locals.PushFrame();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(locals.Add(cookie, ObjectId{10 + i}).ok());
+  }
+  EXPECT_EQ(locals.Size(), 6u);
+  locals.PopFrame(cookie);
+  EXPECT_EQ(locals.Size(), 1u);
+  EXPECT_TRUE(locals.Get(outer.value()).ok());  // outer frame survives
+}
+
+TEST(IrtTest, NestedFramesUnwindCorrectly) {
+  IndirectReferenceTable locals(32, IndirectRefKind::kLocal, "locals");
+  const auto c1 = locals.PushFrame();
+  auto r1 = locals.Add(c1, ObjectId{1});
+  const auto c2 = locals.PushFrame();
+  auto r2 = locals.Add(c2, ObjectId{2});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  locals.PopFrame(c2);
+  EXPECT_FALSE(locals.Get(r2.value()).ok());
+  EXPECT_TRUE(locals.Get(r1.value()).ok());
+  locals.PopFrame(c1);
+  EXPECT_EQ(locals.Size(), 0u);
+}
+
+TEST(IrtTest, VisitRootsSeesExactlyLiveEntries) {
+  auto table = MakeTable();
+  auto a = table.Add(0, ObjectId{1});
+  auto b = table.Add(0, ObjectId{2});
+  auto c = table.Add(0, ObjectId{3});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  table.Remove(0, b.value());
+  std::set<std::int64_t> seen;
+  table.VisitRoots([&](ObjectId obj) { seen.insert(obj.value()); });
+  EXPECT_EQ(seen, (std::set<std::int64_t>{1, 3}));
+}
+
+TEST(IrtTest, CountersTrackAddsAndRemoves) {
+  auto table = MakeTable();
+  auto r = table.Add(0, ObjectId{1});
+  ASSERT_TRUE(r.ok());
+  table.Remove(0, r.value());
+  EXPECT_EQ(table.total_adds(), 1);
+  EXPECT_EQ(table.total_removes(), 1);
+  EXPECT_NE(table.DumpSummary().find("0 of 64"), std::string::npos);
+}
+
+// Property: random add/remove churn never corrupts the table — live set
+// matches a reference map, stale refs always rejected.
+class IrtPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IrtPropertyTest, RandomChurnKeepsInvariants) {
+  Rng rng(GetParam());
+  const std::size_t capacity = 16 + rng.UniformU64(64);
+  IndirectReferenceTable table(capacity, IndirectRefKind::kGlobal, "prop");
+  std::vector<std::pair<IndirectRef, ObjectId>> live;
+  std::vector<IndirectRef> dead;
+  std::int64_t next_obj = 1;
+  for (int op = 0; op < 2000; ++op) {
+    const double roll = rng.UniformDouble();
+    if (roll < 0.55 && live.size() < capacity) {
+      const ObjectId obj{next_obj++};
+      auto ref = table.Add(0, obj);
+      ASSERT_TRUE(ref.ok());
+      live.emplace_back(ref.value(), obj);
+    } else if (roll < 0.9 && !live.empty()) {
+      const std::size_t idx = rng.UniformU64(live.size());
+      ASSERT_TRUE(table.Remove(0, live[idx].first));
+      dead.push_back(live[idx].first);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (!dead.empty()) {
+      // Stale refs must stay dead forever.
+      const std::size_t idx = rng.UniformU64(dead.size());
+      ASSERT_FALSE(table.Get(dead[idx]).ok());
+      ASSERT_FALSE(table.Remove(0, dead[idx]));
+    }
+    ASSERT_EQ(table.Size(), live.size());
+  }
+  for (const auto& [ref, obj] : live) {
+    auto got = table.Get(ref);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.value(), obj);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IrtPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace jgre::rt

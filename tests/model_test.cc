@@ -1,0 +1,146 @@
+// Code-model and corpus integrity tests: the analysis input must faithfully
+// mirror the live system it was derived from.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/android_system.h"
+#include "model/code_model.h"
+#include "model/corpus.h"
+#include "services/registry_service.h"
+
+namespace jgre {
+namespace {
+
+class ModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = new core::AndroidSystem();
+    system_->Boot();
+    model_ = new model::CodeModel(model::BuildAospModel(*system_));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete system_;
+  }
+  static core::AndroidSystem* system_;
+  static model::CodeModel* model_;
+};
+
+core::AndroidSystem* ModelTest::system_ = nullptr;
+model::CodeModel* ModelTest::model_ = nullptr;
+
+TEST_F(ModelTest, EveryLiveServiceHasCorpusRegistration) {
+  std::set<std::string> registered;
+  for (const auto& reg : model_->registrations) {
+    registered.insert(reg.service_name);
+  }
+  std::set<std::string> app_services;
+  for (const auto& app : model_->app_services) {
+    app_services.insert(app.service_name);
+  }
+  for (const std::string& name : system_->service_manager().ListServices()) {
+    EXPECT_TRUE(registered.count(name) > 0 || app_services.count(name) > 0)
+        << "live service missing from corpus: " << name;
+  }
+}
+
+TEST_F(ModelTest, CorpusMethodsMatchLiveTransactionCodes) {
+  // Every registry-derived corpus method must agree with the live service's
+  // spec on transaction code, arg layout and permission.
+  system_->ForEachService([&](const std::string& /*name*/,
+                              services::SystemService* service) {
+    auto* registry = dynamic_cast<services::RegistryServiceBase*>(service);
+    if (registry == nullptr) return;
+    for (const services::MethodSpec& spec : registry->methods()) {
+      const std::string id =
+          service->InterfaceDescriptor() + "." + spec.method;
+      const model::JavaMethodModel* m = model_->FindJavaMethod(id);
+      ASSERT_NE(m, nullptr) << id;
+      EXPECT_EQ(m->transaction_code, spec.code) << id;
+      EXPECT_EQ(m->args.size(), spec.args.size()) << id;
+      const std::string expected_perm =
+          spec.permission == nullptr ? "" : spec.permission;
+      EXPECT_EQ(m->permission, expected_perm) << id;
+    }
+  });
+}
+
+TEST_F(ModelTest, JniRegistrationsResolveBothWays) {
+  for (const auto& reg : model_->jni_registrations) {
+    EXPECT_NE(model_->FindJavaMethod(reg.java_method), nullptr)
+        << reg.java_method;
+    EXPECT_TRUE(model_->native_methods.count(reg.native_method) > 0)
+        << reg.native_method;
+  }
+}
+
+TEST_F(ModelTest, CalleesResolveToModeledMethods) {
+  for (const auto& [id, method] : model_->java_methods) {
+    for (const std::string& callee : method.callees) {
+      EXPECT_NE(model_->FindJavaMethod(callee), nullptr)
+          << id << " calls unmodeled " << callee;
+    }
+  }
+}
+
+TEST_F(ModelTest, NativeGraphIsAcyclicAndSinksAtAdd) {
+  // Every JNI entry must terminate (the path counter treats cycles as 0);
+  // exploitable entries must reach the sink.
+  EXPECT_TRUE(model_->native_methods.count("art::IndirectReferenceTable::Add"));
+  for (const auto& [name, native] : model_->native_methods) {
+    for (const std::string& callee : native.callees) {
+      EXPECT_TRUE(model_->native_methods.count(callee) > 0 ||
+                  callee == "art::IndirectReferenceTable::Add")
+          << name << " -> " << callee;
+    }
+  }
+}
+
+TEST_F(ModelTest, PermissionLevelsKnownForEveryUsedPermission) {
+  for (const auto& [id, method] : model_->java_methods) {
+    if (method.permission.empty()) continue;
+    // Unknown permissions default to signature (fail-closed); every
+    // permission the corpus uses must be explicitly declared instead.
+    EXPECT_TRUE(model_->permission_levels.count(method.permission) > 0)
+        << id << " uses undeclared " << method.permission;
+  }
+  EXPECT_EQ(model_->LevelOf(""), model::PermissionLevel::kNone);
+  EXPECT_EQ(model_->LevelOf("com.made.UP"), model::PermissionLevel::kSignature);
+}
+
+TEST_F(ModelTest, HelperGuardsPointAtRealMethods) {
+  EXPECT_EQ(model_->helper_guards.size(), 9u);  // Table II
+  int caps = 0;
+  for (const auto& guard : model_->helper_guards) {
+    EXPECT_NE(model_->FindJavaMethod(guard.guarded_method), nullptr)
+        << guard.guarded_method;
+    if (guard.kind == model::HelperGuard::Kind::kCap) {
+      ++caps;
+      EXPECT_EQ(guard.cap, 50);  // MAX_ACTIVE_LOCKS
+    }
+  }
+  EXPECT_EQ(caps, 2);  // both wifi locks
+}
+
+TEST(MarketModelTest, DeterministicAndPaperShaped) {
+  model::MarketOptions options;
+  model::CodeModel a = model::BuildMarketModel(options);
+  model::CodeModel b = model::BuildMarketModel(options);
+  EXPECT_EQ(a.app_services.size(), b.app_services.size());
+  EXPECT_EQ(a.java_methods.size(), b.java_methods.size());
+  // "few apps open IPC interface to other third-party apps" (§IV.D).
+  EXPECT_LT(a.app_services.size(), 120u);
+  EXPECT_GT(a.app_services.size(), 20u);
+  int vulnerable_pattern = 0;
+  for (const auto& [id, m] : a.java_methods) {
+    if (m.service.empty()) continue;
+    if (m.HasFact(model::BodyFact::kStoresParamInCollection)) {
+      ++vulnerable_pattern;
+    }
+  }
+  EXPECT_EQ(vulnerable_pattern, 3);  // Table V exactly
+}
+
+}  // namespace
+}  // namespace jgre

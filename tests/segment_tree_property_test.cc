@@ -1,0 +1,98 @@
+// Property tests for the lazy segment tree against the naive reference —
+// the optimization §V.D.2 relies on must be behaviorally identical.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/segment_tree.h"
+
+namespace jgre {
+namespace {
+
+TEST(MaxSegmentTreeTest, EmptyTreeIsAllZero) {
+  MaxSegmentTree tree(16);
+  EXPECT_EQ(tree.GlobalMax(), 0);
+  EXPECT_EQ(tree.MaxRange(0, 15), 0);
+}
+
+TEST(MaxSegmentTreeTest, SingleRangeAdd) {
+  MaxSegmentTree tree(10);
+  tree.AddRange(2, 5, 3);
+  EXPECT_EQ(tree.GlobalMax(), 3);
+  EXPECT_EQ(tree.MaxRange(0, 1), 0);
+  EXPECT_EQ(tree.MaxRange(2, 2), 3);
+  EXPECT_EQ(tree.MaxRange(5, 9), 3);
+  EXPECT_EQ(tree.MaxRange(6, 9), 0);
+}
+
+TEST(MaxSegmentTreeTest, OverlappingAddsAccumulate) {
+  MaxSegmentTree tree(8);
+  tree.AddRange(0, 7, 1);
+  tree.AddRange(2, 4, 1);
+  tree.AddRange(3, 3, 1);
+  EXPECT_EQ(tree.GlobalMax(), 3);
+  EXPECT_EQ(tree.ArgGlobalMax(), 3u);
+  EXPECT_EQ(tree.MaxRange(0, 2), 2);
+}
+
+TEST(MaxSegmentTreeTest, ClampsOutOfRangeIntervals) {
+  MaxSegmentTree tree(4);
+  tree.AddRange(-10, 100, 5);  // clamps to [0, 3]
+  EXPECT_EQ(tree.GlobalMax(), 5);
+  tree.AddRange(10, 20, 7);  // entirely outside: no-op
+  EXPECT_EQ(tree.GlobalMax(), 5);
+  EXPECT_EQ(tree.MaxRange(10, 20), 0);
+}
+
+TEST(MaxSegmentTreeTest, SizeOneTree) {
+  MaxSegmentTree tree(1);
+  tree.AddRange(0, 0, 2);
+  tree.AddRange(0, 0, 3);
+  EXPECT_EQ(tree.GlobalMax(), 5);
+  EXPECT_EQ(tree.ArgGlobalMax(), 0u);
+}
+
+TEST(MaxSegmentTreeTest, ResetClearsState) {
+  MaxSegmentTree tree(32);
+  tree.AddRange(1, 30, 9);
+  tree.Reset();
+  EXPECT_EQ(tree.GlobalMax(), 0);
+}
+
+TEST(MaxSegmentTreeTest, NegativeDeltasSupported) {
+  MaxSegmentTree tree(8);
+  tree.AddRange(0, 7, 5);
+  tree.AddRange(2, 5, -3);
+  EXPECT_EQ(tree.GlobalMax(), 5);
+  EXPECT_EQ(tree.MaxRange(2, 5), 2);
+}
+
+// Randomized equivalence with the naive implementation.
+class SegmentTreePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SegmentTreePropertyTest, MatchesNaiveOnRandomWorkload) {
+  Rng rng(GetParam());
+  const std::size_t size = 1 + rng.UniformU64(300);
+  MaxSegmentTree tree(size);
+  NaiveRangeMax naive(size);
+  for (int op = 0; op < 500; ++op) {
+    const std::int64_t a = rng.UniformInt(-5, static_cast<std::int64_t>(size) + 5);
+    const std::int64_t b = rng.UniformInt(-5, static_cast<std::int64_t>(size) + 5);
+    const std::int64_t lo = std::min(a, b), hi = std::max(a, b);
+    if (rng.Chance(0.7)) {
+      const auto delta = rng.UniformInt(-3, 8);
+      tree.AddRange(lo, hi, delta);
+      naive.AddRange(lo, hi, delta);
+    } else {
+      ASSERT_EQ(tree.MaxRange(lo, hi), naive.MaxRange(lo, hi))
+          << "size=" << size << " op=" << op << " [" << lo << "," << hi << "]";
+    }
+    ASSERT_EQ(tree.GlobalMax(), naive.GlobalMax()) << "op=" << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SegmentTreePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace jgre

@@ -1,0 +1,11 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  // Service-level warnings (toast caps, defender kills) are expected noise in
+  // adversarial tests; keep test output readable.
+  jgre::SetLogLevel(jgre::LogLevel::kError);
+  return RUN_ALL_TESTS();
+}
