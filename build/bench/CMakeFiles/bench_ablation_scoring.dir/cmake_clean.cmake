@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scoring.dir/bench_ablation_scoring.cpp.o"
+  "CMakeFiles/bench_ablation_scoring.dir/bench_ablation_scoring.cpp.o.d"
+  "bench_ablation_scoring"
+  "bench_ablation_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_discussion.dir/bench_ext_discussion.cpp.o"
+  "CMakeFiles/bench_ext_discussion.dir/bench_ext_discussion.cpp.o.d"
+  "bench_ext_discussion"
+  "bench_ext_discussion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_discussion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_single_attacker.dir/bench_fig8_single_attacker.cpp.o"
+  "CMakeFiles/bench_fig8_single_attacker.dir/bench_fig8_single_attacker.cpp.o.d"
+  "bench_fig8_single_attacker"
+  "bench_fig8_single_attacker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_single_attacker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_colluding.dir/bench_fig9_colluding.cpp.o"
+  "CMakeFiles/bench_fig9_colluding.dir/bench_fig9_colluding.cpp.o.d"
+  "bench_fig9_colluding"
+  "bench_fig9_colluding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_colluding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

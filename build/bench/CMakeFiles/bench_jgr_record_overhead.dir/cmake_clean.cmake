@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jgr_record_overhead.dir/bench_jgr_record_overhead.cpp.o"
+  "CMakeFiles/bench_jgr_record_overhead.dir/bench_jgr_record_overhead.cpp.o.d"
+  "bench_jgr_record_overhead"
+  "bench_jgr_record_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jgr_record_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

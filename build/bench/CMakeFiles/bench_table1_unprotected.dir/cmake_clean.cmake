@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_unprotected.dir/bench_table1_unprotected.cpp.o"
+  "CMakeFiles/bench_table1_unprotected.dir/bench_table1_unprotected.cpp.o.d"
+  "bench_table1_unprotected"
+  "bench_table1_unprotected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_unprotected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_helper_bypass.dir/bench_table2_helper_bypass.cpp.o"
+  "CMakeFiles/bench_table2_helper_bypass.dir/bench_table2_helper_bypass.cpp.o.d"
+  "bench_table2_helper_bypass"
+  "bench_table2_helper_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_helper_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

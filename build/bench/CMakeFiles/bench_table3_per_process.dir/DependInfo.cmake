@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_per_process.cpp" "bench/CMakeFiles/bench_table3_per_process.dir/bench_table3_per_process.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_per_process.dir/bench_table3_per_process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/jgre_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/jgre_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/jgre_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynamic/CMakeFiles/jgre_dynamic.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/jgre_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/jgre_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jgre_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/jgre_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/binder/CMakeFiles/jgre_binder.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jgre_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jgre_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jgre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_per_process.dir/bench_table3_per_process.cpp.o"
+  "CMakeFiles/bench_table3_per_process.dir/bench_table3_per_process.cpp.o.d"
+  "bench_table3_per_process"
+  "bench_table3_per_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_per_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

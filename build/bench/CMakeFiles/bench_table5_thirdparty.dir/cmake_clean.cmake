@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_thirdparty.dir/bench_table5_thirdparty.cpp.o"
+  "CMakeFiles/bench_table5_thirdparty.dir/bench_table5_thirdparty.cpp.o.d"
+  "bench_table5_thirdparty"
+  "bench_table5_thirdparty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_thirdparty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

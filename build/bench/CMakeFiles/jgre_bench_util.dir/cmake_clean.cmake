@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/jgre_bench_util.dir/bench_util.cc.o.d"
+  "libjgre_bench_util.a"
+  "libjgre_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjgre_bench_util.a"
+)

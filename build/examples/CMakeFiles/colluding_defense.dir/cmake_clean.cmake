@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colluding_defense.dir/colluding_defense.cpp.o"
+  "CMakeFiles/colluding_defense.dir/colluding_defense.cpp.o.d"
+  "colluding_defense"
+  "colluding_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colluding_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("runtime")
+subdirs("os")
+subdirs("binder")
+subdirs("services")
+subdirs("model")
+subdirs("analysis")
+subdirs("dynamic")
+subdirs("attack")
+subdirs("defense")
+subdirs("core")

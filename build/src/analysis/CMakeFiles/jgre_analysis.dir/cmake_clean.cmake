@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_analysis.dir/pipeline.cc.o"
+  "CMakeFiles/jgre_analysis.dir/pipeline.cc.o.d"
+  "libjgre_analysis.a"
+  "libjgre_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

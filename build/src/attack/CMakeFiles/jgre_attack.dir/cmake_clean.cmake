@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_attack.dir/benign_workload.cc.o"
+  "CMakeFiles/jgre_attack.dir/benign_workload.cc.o.d"
+  "CMakeFiles/jgre_attack.dir/malicious_app.cc.o"
+  "CMakeFiles/jgre_attack.dir/malicious_app.cc.o.d"
+  "CMakeFiles/jgre_attack.dir/vuln_registry.cc.o"
+  "CMakeFiles/jgre_attack.dir/vuln_registry.cc.o.d"
+  "libjgre_attack.a"
+  "libjgre_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binder/binder_driver.cc" "src/binder/CMakeFiles/jgre_binder.dir/binder_driver.cc.o" "gcc" "src/binder/CMakeFiles/jgre_binder.dir/binder_driver.cc.o.d"
+  "/root/repo/src/binder/ibinder.cc" "src/binder/CMakeFiles/jgre_binder.dir/ibinder.cc.o" "gcc" "src/binder/CMakeFiles/jgre_binder.dir/ibinder.cc.o.d"
+  "/root/repo/src/binder/parcel.cc" "src/binder/CMakeFiles/jgre_binder.dir/parcel.cc.o" "gcc" "src/binder/CMakeFiles/jgre_binder.dir/parcel.cc.o.d"
+  "/root/repo/src/binder/remote_callback_list.cc" "src/binder/CMakeFiles/jgre_binder.dir/remote_callback_list.cc.o" "gcc" "src/binder/CMakeFiles/jgre_binder.dir/remote_callback_list.cc.o.d"
+  "/root/repo/src/binder/service_manager.cc" "src/binder/CMakeFiles/jgre_binder.dir/service_manager.cc.o" "gcc" "src/binder/CMakeFiles/jgre_binder.dir/service_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jgre_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jgre_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jgre_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_binder.dir/binder_driver.cc.o"
+  "CMakeFiles/jgre_binder.dir/binder_driver.cc.o.d"
+  "CMakeFiles/jgre_binder.dir/ibinder.cc.o"
+  "CMakeFiles/jgre_binder.dir/ibinder.cc.o.d"
+  "CMakeFiles/jgre_binder.dir/parcel.cc.o"
+  "CMakeFiles/jgre_binder.dir/parcel.cc.o.d"
+  "CMakeFiles/jgre_binder.dir/remote_callback_list.cc.o"
+  "CMakeFiles/jgre_binder.dir/remote_callback_list.cc.o.d"
+  "CMakeFiles/jgre_binder.dir/service_manager.cc.o"
+  "CMakeFiles/jgre_binder.dir/service_manager.cc.o.d"
+  "libjgre_binder.a"
+  "libjgre_binder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

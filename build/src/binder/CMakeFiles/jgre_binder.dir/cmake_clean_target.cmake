@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjgre_binder.a"
+)

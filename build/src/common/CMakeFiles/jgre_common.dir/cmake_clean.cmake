@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_common.dir/clock.cc.o"
+  "CMakeFiles/jgre_common.dir/clock.cc.o.d"
+  "CMakeFiles/jgre_common.dir/log.cc.o"
+  "CMakeFiles/jgre_common.dir/log.cc.o.d"
+  "CMakeFiles/jgre_common.dir/rng.cc.o"
+  "CMakeFiles/jgre_common.dir/rng.cc.o.d"
+  "CMakeFiles/jgre_common.dir/stats.cc.o"
+  "CMakeFiles/jgre_common.dir/stats.cc.o.d"
+  "CMakeFiles/jgre_common.dir/status.cc.o"
+  "CMakeFiles/jgre_common.dir/status.cc.o.d"
+  "CMakeFiles/jgre_common.dir/strings.cc.o"
+  "CMakeFiles/jgre_common.dir/strings.cc.o.d"
+  "libjgre_common.a"
+  "libjgre_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

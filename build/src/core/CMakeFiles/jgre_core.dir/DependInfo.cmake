@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/android_system.cc" "src/core/CMakeFiles/jgre_core.dir/android_system.cc.o" "gcc" "src/core/CMakeFiles/jgre_core.dir/android_system.cc.o.d"
+  "/root/repo/src/core/market_apps.cc" "src/core/CMakeFiles/jgre_core.dir/market_apps.cc.o" "gcc" "src/core/CMakeFiles/jgre_core.dir/market_apps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/services/CMakeFiles/jgre_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/binder/CMakeFiles/jgre_binder.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jgre_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jgre_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jgre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

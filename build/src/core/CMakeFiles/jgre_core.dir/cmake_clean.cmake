@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_core.dir/android_system.cc.o"
+  "CMakeFiles/jgre_core.dir/android_system.cc.o.d"
+  "CMakeFiles/jgre_core.dir/market_apps.cc.o"
+  "CMakeFiles/jgre_core.dir/market_apps.cc.o.d"
+  "libjgre_core.a"
+  "libjgre_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

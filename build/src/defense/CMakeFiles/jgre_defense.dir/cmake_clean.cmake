@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_defense.dir/jgr_monitor.cc.o"
+  "CMakeFiles/jgre_defense.dir/jgr_monitor.cc.o.d"
+  "CMakeFiles/jgre_defense.dir/jgre_defender.cc.o"
+  "CMakeFiles/jgre_defense.dir/jgre_defender.cc.o.d"
+  "CMakeFiles/jgre_defense.dir/scoring.cc.o"
+  "CMakeFiles/jgre_defense.dir/scoring.cc.o.d"
+  "libjgre_defense.a"
+  "libjgre_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

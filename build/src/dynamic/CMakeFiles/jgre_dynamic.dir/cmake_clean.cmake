@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_dynamic.dir/verifier.cc.o"
+  "CMakeFiles/jgre_dynamic.dir/verifier.cc.o.d"
+  "libjgre_dynamic.a"
+  "libjgre_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_model.dir/code_model.cc.o"
+  "CMakeFiles/jgre_model.dir/code_model.cc.o.d"
+  "CMakeFiles/jgre_model.dir/corpus.cc.o"
+  "CMakeFiles/jgre_model.dir/corpus.cc.o.d"
+  "libjgre_model.a"
+  "libjgre_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_os.dir/kernel.cc.o"
+  "CMakeFiles/jgre_os.dir/kernel.cc.o.d"
+  "CMakeFiles/jgre_os.dir/lmk.cc.o"
+  "CMakeFiles/jgre_os.dir/lmk.cc.o.d"
+  "CMakeFiles/jgre_os.dir/procfs.cc.o"
+  "CMakeFiles/jgre_os.dir/procfs.cc.o.d"
+  "libjgre_os.a"
+  "libjgre_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

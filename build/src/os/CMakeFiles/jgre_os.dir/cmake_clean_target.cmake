@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjgre_os.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/heap.cc" "src/runtime/CMakeFiles/jgre_runtime.dir/heap.cc.o" "gcc" "src/runtime/CMakeFiles/jgre_runtime.dir/heap.cc.o.d"
+  "/root/repo/src/runtime/indirect_reference_table.cc" "src/runtime/CMakeFiles/jgre_runtime.dir/indirect_reference_table.cc.o" "gcc" "src/runtime/CMakeFiles/jgre_runtime.dir/indirect_reference_table.cc.o.d"
+  "/root/repo/src/runtime/java_vm_ext.cc" "src/runtime/CMakeFiles/jgre_runtime.dir/java_vm_ext.cc.o" "gcc" "src/runtime/CMakeFiles/jgre_runtime.dir/java_vm_ext.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/runtime/CMakeFiles/jgre_runtime.dir/runtime.cc.o" "gcc" "src/runtime/CMakeFiles/jgre_runtime.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jgre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

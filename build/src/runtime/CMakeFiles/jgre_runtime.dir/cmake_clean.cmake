@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jgre_runtime.dir/heap.cc.o"
+  "CMakeFiles/jgre_runtime.dir/heap.cc.o.d"
+  "CMakeFiles/jgre_runtime.dir/indirect_reference_table.cc.o"
+  "CMakeFiles/jgre_runtime.dir/indirect_reference_table.cc.o.d"
+  "CMakeFiles/jgre_runtime.dir/java_vm_ext.cc.o"
+  "CMakeFiles/jgre_runtime.dir/java_vm_ext.cc.o.d"
+  "CMakeFiles/jgre_runtime.dir/runtime.cc.o"
+  "CMakeFiles/jgre_runtime.dir/runtime.cc.o.d"
+  "libjgre_runtime.a"
+  "libjgre_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jgre_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

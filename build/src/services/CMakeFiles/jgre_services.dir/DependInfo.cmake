@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/activity_service.cc" "src/services/CMakeFiles/jgre_services.dir/activity_service.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/activity_service.cc.o.d"
+  "/root/repo/src/services/app.cc" "src/services/CMakeFiles/jgre_services.dir/app.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/app.cc.o.d"
+  "/root/repo/src/services/app_services.cc" "src/services/CMakeFiles/jgre_services.dir/app_services.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/app_services.cc.o.d"
+  "/root/repo/src/services/audio_service.cc" "src/services/CMakeFiles/jgre_services.dir/audio_service.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/audio_service.cc.o.d"
+  "/root/repo/src/services/clipboard_service.cc" "src/services/CMakeFiles/jgre_services.dir/clipboard_service.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/clipboard_service.cc.o.d"
+  "/root/repo/src/services/ipc_client.cc" "src/services/CMakeFiles/jgre_services.dir/ipc_client.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/ipc_client.cc.o.d"
+  "/root/repo/src/services/location_service.cc" "src/services/CMakeFiles/jgre_services.dir/location_service.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/location_service.cc.o.d"
+  "/root/repo/src/services/misc_system_services.cc" "src/services/CMakeFiles/jgre_services.dir/misc_system_services.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/misc_system_services.cc.o.d"
+  "/root/repo/src/services/net_media_services.cc" "src/services/CMakeFiles/jgre_services.dir/net_media_services.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/net_media_services.cc.o.d"
+  "/root/repo/src/services/notification_service.cc" "src/services/CMakeFiles/jgre_services.dir/notification_service.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/notification_service.cc.o.d"
+  "/root/repo/src/services/package_manager.cc" "src/services/CMakeFiles/jgre_services.dir/package_manager.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/package_manager.cc.o.d"
+  "/root/repo/src/services/registry_service.cc" "src/services/CMakeFiles/jgre_services.dir/registry_service.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/registry_service.cc.o.d"
+  "/root/repo/src/services/safe_service.cc" "src/services/CMakeFiles/jgre_services.dir/safe_service.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/safe_service.cc.o.d"
+  "/root/repo/src/services/service_helpers.cc" "src/services/CMakeFiles/jgre_services.dir/service_helpers.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/service_helpers.cc.o.d"
+  "/root/repo/src/services/system_service.cc" "src/services/CMakeFiles/jgre_services.dir/system_service.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/system_service.cc.o.d"
+  "/root/repo/src/services/telephony_registry_service.cc" "src/services/CMakeFiles/jgre_services.dir/telephony_registry_service.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/telephony_registry_service.cc.o.d"
+  "/root/repo/src/services/ui_services.cc" "src/services/CMakeFiles/jgre_services.dir/ui_services.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/ui_services.cc.o.d"
+  "/root/repo/src/services/wifi_service.cc" "src/services/CMakeFiles/jgre_services.dir/wifi_service.cc.o" "gcc" "src/services/CMakeFiles/jgre_services.dir/wifi_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binder/CMakeFiles/jgre_binder.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jgre_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jgre_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jgre_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_pipeline_test.dir/analysis_pipeline_test.cc.o"
+  "CMakeFiles/analysis_pipeline_test.dir/analysis_pipeline_test.cc.o.d"
+  "CMakeFiles/analysis_pipeline_test.dir/test_main.cc.o"
+  "CMakeFiles/analysis_pipeline_test.dir/test_main.cc.o.d"
+  "analysis_pipeline_test"
+  "analysis_pipeline_test.pdb"
+  "analysis_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

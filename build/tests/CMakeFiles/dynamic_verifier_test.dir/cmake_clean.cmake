@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_verifier_test.dir/dynamic_verifier_test.cc.o"
+  "CMakeFiles/dynamic_verifier_test.dir/dynamic_verifier_test.cc.o.d"
+  "CMakeFiles/dynamic_verifier_test.dir/test_main.cc.o"
+  "CMakeFiles/dynamic_verifier_test.dir/test_main.cc.o.d"
+  "dynamic_verifier_test"
+  "dynamic_verifier_test.pdb"
+  "dynamic_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

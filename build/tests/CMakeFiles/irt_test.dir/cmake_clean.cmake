@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irt_test.dir/irt_test.cc.o"
+  "CMakeFiles/irt_test.dir/irt_test.cc.o.d"
+  "CMakeFiles/irt_test.dir/test_main.cc.o"
+  "CMakeFiles/irt_test.dir/test_main.cc.o.d"
+  "irt_test"
+  "irt_test.pdb"
+  "irt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

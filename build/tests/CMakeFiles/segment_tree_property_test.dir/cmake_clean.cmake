@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_tree_property_test.dir/segment_tree_property_test.cc.o"
+  "CMakeFiles/segment_tree_property_test.dir/segment_tree_property_test.cc.o.d"
+  "CMakeFiles/segment_tree_property_test.dir/test_main.cc.o"
+  "CMakeFiles/segment_tree_property_test.dir/test_main.cc.o.d"
+  "segment_tree_property_test"
+  "segment_tree_property_test.pdb"
+  "segment_tree_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_tree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
