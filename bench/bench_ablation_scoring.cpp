@@ -27,7 +27,7 @@ Workload MakeWorkload(int n, std::uint64_t seed) {
   TimeUs t = 1'000'000;
   for (int i = 0; i < n; ++i) {
     t += 800 + rng.UniformU64(400);
-    w.calls.push_back(defense::IpcEvent{t, "android.test.IFoo#1"});
+    w.calls.push_back(defense::IpcEvent{t, defense::MakeIpcTypeKey(1, 1)});
     const TimeUs add = t + 450 + rng.UniformU64(150);
     w.adds.push_back(add);
     w.adds.push_back(add + 5 + rng.UniformU64(20));

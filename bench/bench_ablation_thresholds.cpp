@@ -4,80 +4,132 @@
 // argues qualitatively: a lower report threshold reacts earlier but records
 // less evidence; an alarm threshold inside the benign band (Fig 4's
 // 1,000–3,000) would false-alarm on benign workloads.
+//
+// Harness-driven: every sweep point is an independent simulation; each sweep
+// fans its points out --jobs-wide and prints from ordered results, so stdout
+// and JSON are byte-identical for any --jobs value.
 #include <cstdio>
+#include <vector>
 
 #include "attack/benign_workload.h"
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
+#include "common/log.h"
 #include "core/android_system.h"
 #include "defense/jgre_defender.h"
+#include "harness/experiment_runner.h"
+#include "harness/json.h"
 
 using namespace jgre;
 
 namespace {
 
-void SweepReportThreshold() {
+harness::Json SweepReportThreshold(const harness::HarnessOptions& opts) {
   std::printf("\n--- report-threshold sweep (attack: clipboard, alarm=4000) "
               "---\n");
   std::printf("%-18s %12s %14s %12s %10s\n", "report_threshold",
               "jgr_at_report", "response_ms", "recovered", "pairs");
-  for (std::size_t report : {6'000u, 8'000u, 12'000u, 20'000u, 30'000u}) {
-    bench::DefendedAttackOptions options;
-    options.defender.monitor.report_threshold = report;
-    auto result = bench::RunDefendedAttack(
-        *attack::FindVulnerability("clipboard",
-                                   "addPrimaryClipChangedListener"),
-        options);
-    std::printf("%-18zu %12zu %14.1f %12s %10lld\n", report,
-                result.incident ? result.report.jgr_at_report : 0,
-                result.incident ? result.report.response_delay_us() / 1e3 : -1,
+  const std::vector<std::size_t> thresholds = {6'000u, 8'000u, 12'000u,
+                                               20'000u, 30'000u};
+  const attack::VulnSpec& vuln = *attack::FindVulnerability(
+      "clipboard", "addPrimaryClipChangedListener");
+  const auto results = harness::RunOrdered<bench::DefendedAttackResult>(
+      thresholds.size(), opts.jobs, [&](std::size_t i) {
+        bench::DefendedAttackOptions options;
+        options.seed = opts.seed;
+        options.defender.monitor.report_threshold = thresholds[i];
+        return bench::RunDefendedAttack(vuln, options);
+      });
+  harness::Json rows = harness::Json::Array();
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const auto& result = results[i];
+    const double response_ms =
+        result.incident ? result.report.response_delay_us() / 1e3 : -1;
+    std::printf("%-18zu %12zu %14.1f %12s %10lld\n", thresholds[i],
+                result.incident ? result.report.jgr_at_report : 0, response_ms,
                 result.incident && result.report.recovered ? "yes" : "NO",
                 result.incident
                     ? static_cast<long long>(result.report.cost.pairs)
                     : 0);
+    rows.Push(harness::Json::Object()
+                  .Set("report_threshold", thresholds[i])
+                  .Set("jgr_at_report",
+                       result.incident ? result.report.jgr_at_report : 0)
+                  .Set("response_ms", response_ms)
+                  .Set("recovered", result.incident && result.report.recovered)
+                  .Set("pairs", result.incident ? result.report.cost.pairs
+                                                : std::int64_t{0}));
   }
+  return rows;
 }
 
-void SweepAlarmThresholdFalsePositives() {
+harness::Json SweepAlarmThresholdFalsePositives(
+    const harness::HarnessOptions& opts) {
   std::printf("\n--- alarm-threshold sweep under a purely benign workload "
               "(no attacker) ---\n");
   std::printf("%-16s %12s %12s\n", "alarm_threshold", "incidents",
               "apps_killed");
-  for (std::size_t alarm : {1'500u, 2'500u, 4'000u, 8'000u}) {
-    core::AndroidSystem system;
-    system.Boot();
-    defense::JgreDefender::Config config;
-    config.monitor.alarm_threshold = alarm;
-    config.monitor.report_threshold = 800;  // aggressive, to expose FPs
-    defense::JgreDefender defender(&system, config);
-    defender.Install();
-    attack::BenignWorkload::Options benign_options;
-    benign_options.app_count = 40;
-    benign_options.per_app_foreground_us = 6'000'000;
-    attack::BenignWorkload workload(&system, benign_options);
-    workload.InstallAll();
-    workload.RunMonkeySession();
+  const std::vector<std::size_t> alarms = {1'500u, 2'500u, 4'000u, 8'000u};
+  struct SweepResult {
+    std::size_t incidents = 0;
     std::size_t kills = 0;
-    for (const auto& incident : defender.incidents()) {
-      kills += incident.killed_packages.size();
-    }
-    std::printf("%-16zu %12zu %12zu %s\n", alarm, defender.incidents().size(),
-                kills,
-                alarm < 3000 ? "(inside the benign band: false alarms)"
-                             : "(above the benign band: quiet)");
+  };
+  const auto results = harness::RunOrdered<SweepResult>(
+      alarms.size(), opts.jobs, [&](std::size_t i) {
+        core::SystemConfig sc;
+        sc.seed = opts.seed;
+        core::AndroidSystem system(sc);
+        system.Boot();
+        defense::JgreDefender::Config config;
+        config.monitor.alarm_threshold = alarms[i];
+        config.monitor.report_threshold = 800;  // aggressive, to expose FPs
+        defense::JgreDefender defender(&system, config);
+        defender.Install();
+        attack::BenignWorkload::Options benign_options;
+        benign_options.app_count = 40;
+        benign_options.per_app_foreground_us = 6'000'000;
+        attack::BenignWorkload workload(&system, benign_options);
+        workload.InstallAll();
+        workload.RunMonkeySession();
+        SweepResult r;
+        r.incidents = defender.incidents().size();
+        for (const auto& incident : defender.incidents()) {
+          r.kills += incident.killed_packages.size();
+        }
+        return r;
+      });
+  harness::Json rows = harness::Json::Array();
+  for (std::size_t i = 0; i < alarms.size(); ++i) {
+    std::printf("%-16zu %12zu %12zu %s\n", alarms[i], results[i].incidents,
+                results[i].kills,
+                alarms[i] < 3000 ? "(inside the benign band: false alarms)"
+                                 : "(above the benign band: quiet)");
+    rows.Push(harness::Json::Object()
+                  .Set("alarm_threshold", alarms[i])
+                  .Set("incidents", results[i].incidents)
+                  .Set("apps_killed", results[i].kills));
   }
+  return rows;
 }
 
-void SweepDelta() {
+harness::Json SweepDelta(const harness::HarnessOptions& opts) {
   std::printf("\n--- delta sweep (single attacker, 30 benign apps) ---\n");
   std::printf("%-12s %12s %14s %12s\n", "delta_us", "malicious", "top_benign",
               "separation");
-  for (DurationUs delta : {79u, 500u, 1'800u, 3'583u, 8'000u}) {
-    bench::DefendedAttackOptions options;
-    options.benign_apps = 30;
-    options.defender.scoring.delta_us = delta;
-    auto result = bench::RunDefendedAttack(
-        *attack::FindVulnerability("audio", "startWatchingRoutes"), options);
+  const std::vector<DurationUs> deltas = {79u, 500u, 1'800u, 3'583u, 8'000u};
+  const attack::VulnSpec& vuln =
+      *attack::FindVulnerability("audio", "startWatchingRoutes");
+  const auto results = harness::RunOrdered<bench::DefendedAttackResult>(
+      deltas.size(), opts.jobs, [&](std::size_t i) {
+        bench::DefendedAttackOptions options;
+        options.seed = opts.seed;
+        options.benign_apps = 30;
+        options.defender.scoring.delta_us = deltas[i];
+        return bench::RunDefendedAttack(vuln, options);
+      });
+  harness::Json rows = harness::Json::Array();
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const auto& result = results[i];
     long long malicious = 0, benign = 0;
     if (result.incident) {
       for (const auto& entry : result.report.ranking) {
@@ -88,19 +140,51 @@ void SweepDelta() {
         }
       }
     }
+    const double separation =
+        benign > 0 ? static_cast<double>(malicious) / benign : 999.0;
     std::printf("%-12llu %12lld %14lld %11.1fx\n",
-                static_cast<unsigned long long>(delta), malicious, benign,
-                benign > 0 ? static_cast<double>(malicious) / benign : 999.0);
+                static_cast<unsigned long long>(deltas[i]), malicious, benign,
+                separation);
+    rows.Push(harness::Json::Object()
+                  .Set("delta_us", deltas[i])
+                  .Set("malicious_score", malicious)
+                  .Set("top_benign_score", benign)
+                  .Set("separation", separation));
   }
+  return rows;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::HarnessSpec spec;
+  spec.name = "ablation_thresholds";
+  spec.default_seed = 42;
+  const harness::HarnessOptions opts =
+      harness::ParseHarnessOptions(spec, argc, argv);
+  if (opts.help) return 0;
+  if (!opts.error.empty() || !opts.extra.empty()) {
+    for (const auto& arg : opts.extra) {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+    }
+    return 2;
+  }
+  SetLogLevel(LogLevel::kError);
+
   bench::PrintBanner("ABLATION: THRESHOLDS & DELTA",
                      "Sensitivity of the defense's detection knobs");
-  SweepReportThreshold();
-  SweepAlarmThresholdFalsePositives();
-  SweepDelta();
+  harness::Json report_rows = SweepReportThreshold(opts);
+  harness::Json alarm_rows = SweepAlarmThresholdFalsePositives(opts);
+  harness::Json delta_rows = SweepDelta(opts);
+
+  if (opts.emit_json) {
+    harness::Json doc = harness::Json::Object();
+    doc.Set("bench", spec.name)
+        .Set("seed", opts.seed)
+        .Set("report_threshold_sweep", std::move(report_rows))
+        .Set("alarm_threshold_sweep", std::move(alarm_rows))
+        .Set("delta_sweep", std::move(delta_rows));
+    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+  }
   return 0;
 }

@@ -72,7 +72,7 @@ void MultiPathExperiment() {
     const DurationUs path_delay[] = {700, 9'000, 16'000};
     for (int i = 0; i < 300; ++i) {
       const TimeUs t = 10'000 + static_cast<TimeUs>(i) * 20'000;
-      calls.push_back({t, "IEvil#1"});
+      calls.push_back({t, defense::MakeIpcTypeKey(1, 1)});
       adds.push_back(t + path_delay[i % paths]);
     }
     std::sort(adds.begin(), adds.end());

@@ -5,57 +5,93 @@
 //
 // Paper shape: every curve climbs to ~51,200; durations span ~100 s (audio
 // startWatchingRoutes) to ~1,800 s (notification enqueueToast).
+//
+// Harness-driven: each interface's attack is an independent simulation (its
+// own AndroidSystem + seed), run --jobs-wide via the work-stealing pool.
+// Results are collected in submission order, so stdout and the JSON file are
+// byte-identical for any --jobs value.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "attack/malicious_app.h"
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
 #include "core/android_system.h"
+#include "harness/experiment_runner.h"
+#include "harness/json.h"
 
 using namespace jgre;
 
 int main(int argc, char** argv) {
-  const bool print_curves = argc > 1 && std::string(argv[1]) == "--curves";
-  bench::PrintBanner("FIGURE 3",
-                     "Misuse effectiveness of the 54 vulnerable interfaces");
-  struct Row {
-    const attack::VulnSpec* vuln;
-    attack::MaliciousApp::AttackResult result;
-  };
-  std::vector<Row> rows;
-  const auto vulns = attack::SystemServerVulnerabilities();
-  for (const attack::VulnSpec& vuln : vulns) {
-    core::AndroidSystem system;
-    system.Boot();
-    services::AppProcess* evil =
-        attack::InstallAttackApp(&system, "com.evil.app", vuln);
-    attack::MaliciousApp attacker(&system, evil, vuln);
-    attack::MaliciousApp::RunOptions options;
-    options.sample_every_calls = 500;
-    rows.push_back(Row{&vuln, attacker.Run(options)});
+  harness::HarnessSpec spec;
+  spec.name = "fig3_attack_curves";
+  spec.default_seed = 42;
+  spec.extra_usage = "  --curves     print the full per-interface CSV series\n";
+  const harness::HarnessOptions opts =
+      harness::ParseHarnessOptions(spec, argc, argv);
+  if (opts.help) return 0;
+  if (!opts.error.empty()) return 2;
+  bool print_curves = false;
+  for (const std::string& arg : opts.extra) {
+    if (arg == "--curves") {
+      print_curves = true;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
   }
 
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    return a.result.duration_us() < b.result.duration_us();
+  bench::PrintBanner("FIGURE 3",
+                     "Misuse effectiveness of the 54 vulnerable interfaces");
+  const auto vulns = attack::SystemServerVulnerabilities();
+  const auto results =
+      harness::RunOrdered<attack::MaliciousApp::AttackResult>(
+          vulns.size(), opts.jobs, [&](std::size_t i) {
+            core::SystemConfig config;
+            config.seed = opts.seed;
+            core::AndroidSystem system(config);
+            system.Boot();
+            services::AppProcess* evil =
+                attack::InstallAttackApp(&system, "com.evil.app", vulns[i]);
+            attack::MaliciousApp attacker(&system, evil, vulns[i]);
+            attack::MaliciousApp::RunOptions options;
+            options.sample_every_calls = 500;
+            return attacker.Run(options);
+          });
+
+  struct Row {
+    const attack::VulnSpec* vuln;
+    const attack::MaliciousApp::AttackResult* result;
+  };
+  std::vector<Row> rows;
+  rows.reserve(vulns.size());
+  for (std::size_t i = 0; i < vulns.size(); ++i) {
+    rows.push_back(Row{&vulns[i], &results[i]});
+  }
+  // stable_sort: rows with equal durations keep registry order, so the table
+  // is reproducible independent of how the sort breaks ties.
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.result->duration_us() < b.result->duration_us();
   });
+
   std::printf("\n%-3s %-20s %-40s %9s %8s %9s %s\n", "#", "service",
               "interface", "calls", "dur_s", "peak_jgr", "overflow");
   DurationUs min_duration = ~0ULL, max_duration = 0;
   int succeeded = 0;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
-    if (row.result.succeeded) {
+    if (row.result->succeeded) {
       ++succeeded;
-      min_duration = std::min(min_duration, row.result.duration_us());
-      max_duration = std::max(max_duration, row.result.duration_us());
+      min_duration = std::min(min_duration, row.result->duration_us());
+      max_duration = std::max(max_duration, row.result->duration_us());
     }
     std::printf("%-3zu %-20s %-40s %9d %8.1f %9zu %s\n", i + 1,
                 row.vuln->service.c_str(), row.vuln->interface.c_str(),
-                row.result.calls_issued, row.result.duration_us() / 1e6,
-                row.result.peak_victim_jgr,
-                row.result.succeeded ? "YES" : "no");
+                row.result->calls_issued, row.result->duration_us() / 1e6,
+                row.result->peak_victim_jgr,
+                row.result->succeeded ? "YES" : "no");
   }
   std::printf("\n%d/54 attacks overflowed the table (paper: 54/54); attack "
               "durations %.0f–%.0f s (paper: ~100–1800 s)\n",
@@ -66,12 +102,42 @@ int main(int argc, char** argv) {
     for (const Row& row : rows) {
       std::printf("\n# %s.%s\n", row.vuln->service.c_str(),
                   row.vuln->interface.c_str());
-      for (const auto& [t, v] : row.result.jgr_curve.Downsample(40).points()) {
+      const TimeSeries downsampled = row.result->jgr_curve.Downsample(40);
+      for (const auto& [t, v] : downsampled.points()) {
         std::printf("%.1f,%.0f\n", t / 1e6, v);
       }
     }
   } else {
     std::printf("(run with --curves for the full per-interface CSV series)\n");
+  }
+
+  if (opts.emit_json) {
+    harness::Json doc = harness::Json::Object();
+    doc.Set("bench", spec.name).Set("seed", opts.seed);
+    harness::Json json_rows = harness::Json::Array();
+    for (const Row& row : rows) {
+      harness::Json r = harness::Json::Object();
+      r.Set("service", row.vuln->service)
+          .Set("interface", row.vuln->interface)
+          .Set("calls", row.result->calls_issued)
+          .Set("duration_us", row.result->duration_us())
+          .Set("peak_jgr", row.result->peak_victim_jgr)
+          .Set("overflowed", row.result->succeeded);
+      harness::Json curve = harness::Json::Array();
+      const TimeSeries downsampled = row.result->jgr_curve.Downsample(40);
+      for (const auto& [t, v] : downsampled.points()) {
+        curve.Push(harness::Json::Array().Push(t).Push(v));
+      }
+      r.Set("jgr_curve", std::move(curve));
+      json_rows.Push(std::move(r));
+    }
+    doc.Set("rows", std::move(json_rows));
+    doc.Set("summary", harness::Json::Object()
+                           .Set("overflowed", succeeded)
+                           .Set("total", static_cast<int>(rows.size()))
+                           .Set("min_duration_us", min_duration)
+                           .Set("max_duration_us", max_duration));
+    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
   }
   return succeeded == 54 ? 0 : 1;
 }

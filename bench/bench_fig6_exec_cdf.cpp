@@ -2,6 +2,10 @@
 // 1,000 IPC calls for each of the 54 vulnerable interfaces. Observation 2:
 // at low state sizes every interface's duration is Delay + Δ with stable
 // Delay and small Δ, so the aggregate CDF is tight (paper: ~0–8,000 µs).
+//
+// Harness-driven: one simulation per interface, fanned out --jobs-wide; the
+// aggregate CDF is merged from per-task results in submission order, so it
+// (and everything else printed) is byte-identical for any --jobs value.
 #include <cstdio>
 
 #include "attack/malicious_app.h"
@@ -9,40 +13,87 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "core/android_system.h"
+#include "harness/experiment_runner.h"
+#include "harness/json.h"
 
 using namespace jgre;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::HarnessSpec spec;
+  spec.name = "fig6_exec_cdf";
+  spec.default_seed = 42;
+  const harness::HarnessOptions opts =
+      harness::ParseHarnessOptions(spec, argc, argv);
+  if (opts.help) return 0;
+  if (!opts.error.empty() || !opts.extra.empty()) {
+    for (const auto& arg : opts.extra) {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+    }
+    return 2;
+  }
+
   bench::PrintBanner("FIGURE 6",
                      "CDF of execution time, 54 interfaces x 1000 calls");
+  const auto vulns = attack::SystemServerVulnerabilities();
+  const auto results =
+      harness::RunOrdered<attack::MaliciousApp::AttackResult>(
+          vulns.size(), opts.jobs, [&](std::size_t i) {
+            core::SystemConfig config;
+            config.seed = opts.seed;
+            core::AndroidSystem system(config);
+            system.Boot();
+            services::AppProcess* evil =
+                attack::InstallAttackApp(&system, "com.evil.app", vulns[i]);
+            attack::MaliciousApp attacker(&system, evil, vulns[i]);
+            attack::MaliciousApp::RunOptions options;
+            options.max_calls = 1000;
+            options.record_exec_times = true;
+            options.sample_every_calls = 0;
+            options.stop_on_victim_abort = true;
+            return attacker.Run(options);
+          });
+
   Summary all;
+  harness::Json json_rows = harness::Json::Array();
   std::printf("\n%-20s %-40s %8s %8s %8s\n", "service", "interface", "p50_us",
               "p95_us", "max_us");
-  for (const attack::VulnSpec& vuln : attack::SystemServerVulnerabilities()) {
-    core::AndroidSystem system;
-    system.Boot();
-    services::AppProcess* evil =
-        attack::InstallAttackApp(&system, "com.evil.app", vuln);
-    attack::MaliciousApp attacker(&system, evil, vuln);
-    attack::MaliciousApp::RunOptions options;
-    options.max_calls = 1000;
-    options.record_exec_times = true;
-    options.sample_every_calls = 0;
-    options.stop_on_victim_abort = true;
-    auto result = attacker.Run(options);
+  for (std::size_t i = 0; i < vulns.size(); ++i) {
+    const attack::VulnSpec& vuln = vulns[i];
+    const auto& result = results[i];
     std::printf("%-20s %-40s %8.0f %8.0f %8.0f\n", vuln.service.c_str(),
                 vuln.interface.c_str(), result.exec_times_us.Percentile(50),
                 result.exec_times_us.Percentile(95),
                 result.exec_times_us.max());
     for (double t : result.exec_times_us.samples()) all.Add(t);
+    json_rows.Push(harness::Json::Object()
+                       .Set("service", vuln.service)
+                       .Set("interface", vuln.interface)
+                       .Set("p50_us", result.exec_times_us.Percentile(50))
+                       .Set("p95_us", result.exec_times_us.Percentile(95))
+                       .Set("max_us", result.exec_times_us.max()));
   }
 
   std::printf("\naggregate CDF over %zu samples:\n", all.count());
   std::printf("exec_time_us,cumulative_probability\n");
+  harness::Json cdf = harness::Json::Array();
   for (const auto& [value, prob] : all.Cdf(40)) {
     std::printf("%.0f,%.3f\n", value, prob);
+    cdf.Push(harness::Json::Array().Push(value).Push(prob));
   }
   std::printf("\nrange %.0f–%.0f us (paper Fig 6 x-axis: 0–8000 us)\n",
               all.min(), all.max());
+
+  if (opts.emit_json) {
+    harness::Json doc = harness::Json::Object();
+    doc.Set("bench", spec.name)
+        .Set("seed", opts.seed)
+        .Set("rows", std::move(json_rows))
+        .Set("aggregate_cdf", std::move(cdf))
+        .Set("summary", harness::Json::Object()
+                            .Set("samples", all.count())
+                            .Set("min_us", all.min())
+                            .Set("max_us", all.max()));
+    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+  }
   return 0;
 }

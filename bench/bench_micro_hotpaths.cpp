@@ -1,0 +1,179 @@
+// bench_micro_hotpaths — wall-clock microbenchmarks of the three hot paths
+// the simulation core spends its time in:
+//   * IndirectReferenceTable Add/Remove churn (free-list slot reuse);
+//   * a full binder Transact round-trip (routing, logging, scheduling);
+//   * Algorithm 1 scoring throughput (segment-tree pass over an IPC window).
+//
+// Emits BENCH_perf.json. Unlike the figure benches this one measures real
+// time, so its numbers vary run to run; the JSON is for tracking relative
+// regressions, not for byte-exact comparison.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/android_system.h"
+#include "defense/scoring.h"
+#include "harness/experiment_runner.h"
+#include "harness/json.h"
+#include "runtime/indirect_reference_table.h"
+#include "services/safe_service.h"
+
+using namespace jgre;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - start)
+      .count();
+}
+
+// Steady-state churn on a fragmented global table: fill, punch holes, then
+// alternate Remove/Add so every Add lands on the free list. The seed
+// implementation scanned a hole vector per Add (O(holes)); the free list
+// makes both operations O(1).
+double IrtChurnNsPerOp(harness::Json* out) {
+  constexpr std::size_t kLive = 8'192;
+  constexpr int kOps = 2'000'000;
+  rt::IndirectReferenceTable table(51'200, rt::IndirectRefKind::kGlobal,
+                                   "bench global");
+  std::vector<rt::IndirectRef> refs;
+  refs.reserve(kLive);
+  for (std::size_t i = 0; i < kLive; ++i) {
+    refs.push_back(
+        table.Add(table.CurrentCookie(),
+                  ObjectId(static_cast<std::int64_t>(i + 1)))
+            .value());
+  }
+  // Punch holes at every other slot so the free list stays deep throughout.
+  for (std::size_t i = 0; i < kLive; i += 2) {
+    table.Remove(table.CurrentCookie(), refs[i]);
+  }
+  Rng rng(1);
+  const auto start = Clock::now();
+  for (int op = 0; op < kOps; ++op) {
+    const std::size_t i = 1 + 2 * (rng.UniformU64(kLive / 2));
+    table.Remove(table.CurrentCookie(), refs[i]);
+    refs[i] = table
+                  .Add(table.CurrentCookie(),
+                       ObjectId(static_cast<std::int64_t>(i + 1)))
+                  .value();
+  }
+  const double ns_per_op = ElapsedNs(start) / (2.0 * kOps);
+  out->Set("irt_churn",
+           harness::Json::Object()
+               .Set("live_entries", kLive)
+               .Set("holes", table.HoleCount())
+               .Set("ops", 2 * kOps)
+               .Set("ns_per_op", ns_per_op));
+  return ns_per_op;
+}
+
+// Full client->system_server Transact round-trip through the simulator
+// (parcel, routing, per-transaction logging, virtual-time accounting).
+double TransactNsPerCall(bool defense_logging, harness::Json* out,
+                         const char* key) {
+  constexpr int kCalls = 50'000;
+  core::AndroidSystem system;
+  system.Boot();
+  services::AppProcess* app = system.InstallApp("com.bench.app");
+  system.driver().SetDefenseLogging(defense_logging);
+  auto client = app->GetService("dropbox", "android.os.IdropboxService");
+  const auto start = Clock::now();
+  for (int i = 0; i < kCalls; ++i) {
+    (void)client.value().Call(
+        services::GenericSafeService::TRANSACTION_query,
+        [](binder::Parcel& p) {
+          p.WriteInt32(0);
+          p.WriteByteArray(64);
+        });
+  }
+  const double ns_per_call = ElapsedNs(start) / kCalls;
+  out->Set(key, harness::Json::Object()
+                    .Set("calls", kCalls)
+                    .Set("defense_logging", defense_logging)
+                    .Set("ns_per_call", ns_per_call));
+  return ns_per_call;
+}
+
+// Algorithm 1 over a synthetic single-type workload: n IPC calls, each
+// followed by a JGR add ~700 µs later. Throughput is reported per
+// (call, add) pair actually examined by the scorer.
+double ScoringNsPerPair(harness::Json* out) {
+  constexpr int kEvents = 4'000;
+  constexpr int kRounds = 200;
+  std::vector<defense::IpcEvent> calls;
+  std::vector<TimeUs> adds;
+  for (int i = 0; i < kEvents; ++i) {
+    const TimeUs t = 10'000 + static_cast<TimeUs>(i) * 20'000;
+    calls.push_back({t, defense::MakeIpcTypeKey(1, 1)});
+    adds.push_back(t + 700);
+  }
+  defense::ScoringParams params;
+  params.delta_us = 500;
+  params.bucket_us = 50;
+  params.max_delay_us = 20'000;
+  params.analysis_window_us = 0;
+  defense::ScoringWorkspace workspace;
+  defense::ScoringCost cost;
+  std::int64_t score_sum = 0;
+  const auto start = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    score_sum += defense::JgreScoreForApp(calls, adds, params, &cost,
+                                          &workspace);
+  }
+  const double total_ns = ElapsedNs(start);
+  const double ns_per_pair =
+      cost.pairs > 0 ? total_ns / static_cast<double>(cost.pairs) : 0;
+  out->Set("scoring", harness::Json::Object()
+                          .Set("events", kEvents)
+                          .Set("rounds", kRounds)
+                          .Set("pairs", cost.pairs)
+                          .Set("range_ops", cost.range_ops)
+                          .Set("score_sum", score_sum)
+                          .Set("ns_per_pair", ns_per_pair));
+  return ns_per_pair;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::HarnessSpec spec;
+  spec.name = "micro_hotpaths";
+  spec.json_name = "perf";
+  const harness::HarnessOptions opts =
+      harness::ParseHarnessOptions(spec, argc, argv);
+  if (opts.help) return 0;
+  if (!opts.error.empty() || !opts.extra.empty()) {
+    for (const auto& arg : opts.extra) {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+    }
+    return 2;
+  }
+
+  std::printf("\n================================================================\n");
+  std::printf("MICRO HOTPATHS — wall-clock cost of the simulation core\n");
+  std::printf("================================================================\n");
+
+  harness::Json sections = harness::Json::Object();
+  const double irt_ns = IrtChurnNsPerOp(&sections);
+  std::printf("irt add/remove churn:      %8.1f ns/op\n", irt_ns);
+  const double stock_ns =
+      TransactNsPerCall(false, &sections, "transact_stock");
+  std::printf("transact (stock driver):   %8.1f ns/call\n", stock_ns);
+  const double defended_ns =
+      TransactNsPerCall(true, &sections, "transact_defended");
+  std::printf("transact (defense log on): %8.1f ns/call\n", defended_ns);
+  const double pair_ns = ScoringNsPerPair(&sections);
+  std::printf("scoring (Algorithm 1):     %8.2f ns/pair\n", pair_ns);
+
+  if (opts.emit_json) {
+    harness::Json doc = harness::Json::Object();
+    doc.Set("bench", spec.name);
+    doc.Set("sections", std::move(sections));
+    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+  }
+  return 0;
+}

@@ -10,7 +10,7 @@
 namespace jgre::binder {
 
 BinderDriver::BinderDriver(os::Kernel* kernel, Config config)
-    : kernel_(kernel), config_(config) {
+    : kernel_(kernel), config_(config), ipc_log_(config.ipc_log_capacity) {
   kernel_->AddDeathListener(
       [this](Pid pid, const std::string& /*reason*/) { OnProcessDeath(pid); });
 }
@@ -27,14 +27,15 @@ NodeId BinderDriver::RegisterBinder(const std::shared_ptr<BBinder>& binder,
   Node node;
   node.id = node_id;
   node.owner = owner;
-  node.descriptor = binder->InterfaceDescriptor();
+  node.descriptor_id = descriptors_.Intern(binder->InterfaceDescriptor());
   node.strong = binder;
   if (proc->HasRuntime()) {
     // The Java-side Binder object: JavaBBinder takes a global ref in the
     // *sender* process (android_util_Binder.cpp), held while the kernel
     // keeps the node referenced.
     auto obj = proc->runtime->AllocManagedObject(
-        rt::ObjectKind::kJavaBBinder, StrCat("JavaBBinder:", node.descriptor));
+        rt::ObjectKind::kJavaBBinder,
+        StrCat("JavaBBinder:", descriptors_.Name(node.descriptor_id)));
     if (obj.ok()) {
       node.sender_obj = obj.value();
       proc->runtime->heap().AddHold(node.sender_obj);
@@ -42,18 +43,20 @@ NodeId BinderDriver::RegisterBinder(const std::shared_ptr<BBinder>& binder,
     AttachRuntimeHooks(owner, proc->runtime.get());
   }
   binder->AttachNode(this, node_id, owner);
-  nodes_.emplace(node_id, std::move(node));
+  nodes_.push_back(std::move(node));
   return node_id;
 }
 
 BinderDriver::Node* BinderDriver::FindNode(NodeId node) {
-  auto it = nodes_.find(node);
-  return it == nodes_.end() ? nullptr : &it->second;
+  const std::int64_t id = node.value();
+  if (id < 1 || id >= next_node_) return nullptr;
+  return &nodes_[static_cast<std::size_t>(id - 1)];
 }
 
 const BinderDriver::Node* BinderDriver::FindNode(NodeId node) const {
-  auto it = nodes_.find(node);
-  return it == nodes_.end() ? nullptr : &it->second;
+  const std::int64_t id = node.value();
+  if (id < 1 || id >= next_node_) return nullptr;
+  return &nodes_[static_cast<std::size_t>(id - 1)];
 }
 
 bool BinderDriver::IsNodeAlive(NodeId node) const {
@@ -92,12 +95,12 @@ Result<StrongBinder> BinderDriver::MaterializeBinder(NodeId node_id,
   }
   StrongBinder out;
   out.node = node_id;
-  out.binder = std::make_shared<BpBinder>(this, node_id, holder,
-                                          node->descriptor);
+  const std::string& descriptor = descriptors_.Name(node->descriptor_id);
+  out.binder = std::make_shared<BpBinder>(this, node_id, holder, descriptor);
   if (holder_proc->HasRuntime()) {
     AttachRuntimeHooks(holder, holder_proc->runtime.get());
     auto proxy = holder_proc->runtime->GetOrCreateBinderProxy(
-        node_id, StrCat("BinderProxy:", node->descriptor));
+        node_id, StrCat("BinderProxy:", descriptor));
     if (!proxy.ok()) return proxy.status();  // JGR table overflow in holder
     out.java_obj = proxy.value();
     node->holders.insert(holder);
@@ -148,17 +151,17 @@ void BinderDriver::OnProxyCollected(Pid holder, NodeId node_id) {
 void BinderDriver::OnProcessDeath(Pid pid) {
   // 1. Nodes owned by the dead process die; their death links fire.
   std::vector<NodeId> dead_nodes;
-  for (auto& [id, node] : nodes_) {
+  for (Node& node : nodes_) {
     if (node.owner == pid && !node.dead) {
       node.dead = true;
       node.strong.reset();
       node.sender_obj = ObjectId{};  // runtime is gone
-      dead_nodes.push_back(id);
+      dead_nodes.push_back(node.id);
     }
   }
   for (NodeId node : dead_nodes) FireDeathLinks(node);
   // 2. Proxies held by the dead process disappear with its runtime.
-  for (auto& [id, node] : nodes_) {
+  for (Node& node : nodes_) {
     if (node.holders.erase(pid) > 0 && node.holders.empty() && !node.dead &&
         !node.pinned) {
       ReleaseSenderRef(node);
@@ -216,7 +219,8 @@ Result<LinkId> BinderDriver::LinkToDeath(
     // JavaDeathRecipient holds one JGR on the recipient object while linked.
     auto obj = holder_proc->runtime->AllocManagedObject(
         rt::ObjectKind::kDeathRecipient,
-        StrCat("JavaDeathRecipient:", node->descriptor));
+        StrCat("JavaDeathRecipient:",
+               descriptors_.Name(node->descriptor_id)));
     if (!obj.ok()) return obj.status();  // JGR overflow in the holder
     link.recipient_obj = obj.value();
     holder_proc->runtime->heap().AddHold(link.recipient_obj);
@@ -268,7 +272,7 @@ Status BinderDriver::Transact(Pid caller, NodeId target, std::uint32_t code,
 
   if (defense_logging_) {
     AppendLog(caller, caller_proc->uid, node->owner, target, code,
-              node->descriptor);
+              node->descriptor_id);
   }
 
   ++total_transactions_;
@@ -303,8 +307,7 @@ Status BinderDriver::Transact(Pid caller, NodeId target, std::uint32_t code,
 }
 
 void BinderDriver::AppendLog(Pid from, Uid from_uid, Pid to, NodeId node,
-                             std::uint32_t code,
-                             const std::string& descriptor) {
+                             std::uint32_t code, DescriptorId descriptor_id) {
   IpcRecord rec;
   rec.seq = next_seq_++;
   rec.timestamp_us = kernel_->clock().NowUs();
@@ -313,35 +316,53 @@ void BinderDriver::AppendLog(Pid from, Uid from_uid, Pid to, NodeId node,
   rec.to_pid = to;
   rec.target_node = node;
   rec.code = code;
-  rec.descriptor = descriptor;
-  ipc_log_.push_back(std::move(rec));
-  if (ipc_log_.size() > config_.ipc_log_capacity) ipc_log_.pop_front();
+  rec.descriptor_id = descriptor_id;
+  ipc_log_.Push(rec);
 }
 
-Result<std::vector<IpcRecord>> BinderDriver::ReadIpcLog(
-    Uid caller, std::uint64_t since_seq) const {
+Result<std::size_t> BinderDriver::VisitIpcLogSince(
+    Uid caller, std::uint64_t since_seq,
+    const std::function<void(const IpcRecord&)>& visitor,
+    std::size_t max_records) const {
   if (caller != kRootUid && caller != kSystemUid) {
     return PermissionDenied(
         "/proc/jgre_ipc_log is only readable by system services");
   }
-  std::vector<IpcRecord> out;
-  for (const IpcRecord& rec : ipc_log_) {
-    if (rec.seq >= since_seq) out.push_back(rec);
+  // Seq s lives at logical index s - 1 (seqs start at 1 and are assigned in
+  // push order), so the window start is a constant-time computation.
+  std::uint64_t index = since_seq > 0 ? since_seq - 1 : 0;
+  if (index < ipc_log_.first_index()) index = ipc_log_.first_index();
+  std::size_t visited = 0;
+  for (; index < ipc_log_.end_index() && visited < max_records;
+       ++index, ++visited) {
+    visitor(ipc_log_.At(index));
   }
+  return visited;
+}
+
+Result<std::vector<IpcRecord>> BinderDriver::ReadIpcLog(
+    Uid caller, std::uint64_t since_seq, std::size_t max_records) const {
+  std::vector<IpcRecord> out;
+  auto visited = VisitIpcLogSince(
+      caller, since_seq, [&out](const IpcRecord& rec) { out.push_back(rec); },
+      max_records);
+  if (!visited.ok()) return visited.status();
   return out;
 }
 
 std::string BinderDriver::RenderIpcLogProcfs(std::size_t max_lines) const {
   std::ostringstream os;
   os << "seq timestamp_us from_pid from_uid to_pid target_node code iface\n";
-  const std::size_t start =
-      ipc_log_.size() > max_lines ? ipc_log_.size() - max_lines : 0;
-  for (std::size_t i = start; i < ipc_log_.size(); ++i) {
-    const IpcRecord& r = ipc_log_[i];
+  std::uint64_t index = ipc_log_.first_index();
+  if (ipc_log_.size() > max_lines) {
+    index = ipc_log_.end_index() - max_lines;
+  }
+  for (; index < ipc_log_.end_index(); ++index) {
+    const IpcRecord& r = ipc_log_.At(index);
     os << r.seq << " " << r.timestamp_us << " " << r.from_pid.value() << " "
        << r.from_uid.value() << " " << r.to_pid.value() << " "
-       << r.target_node.value() << " " << r.code << " " << r.descriptor
-       << "\n";
+       << r.target_node.value() << " " << r.code << " "
+       << descriptors_.Name(r.descriptor_id) << "\n";
   }
   return os.str();
 }

@@ -19,7 +19,6 @@
 #define JGRE_BINDER_BINDER_DRIVER_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <set>
@@ -27,6 +26,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
+#include "common/ring_buffer.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "binder/ibinder.h"
@@ -37,7 +38,14 @@ namespace jgre::binder {
 
 using LinkId = std::int64_t;
 
-// One record of the defense's binder-driver IPC log.
+// Dense id of an interned interface descriptor (see BinderDriver::
+// DescriptorName). Assigned in registration order, so a deterministic boot
+// yields deterministic ids.
+using DescriptorId = StringInterner::Id;
+
+// One record of the defense's binder-driver IPC log. Trivially copyable —
+// the descriptor travels as an interned id, not a heap string, so appending
+// a record is a flat 48-byte store.
 struct IpcRecord {
   std::uint64_t seq = 0;
   TimeUs timestamp_us = 0;
@@ -48,7 +56,7 @@ struct IpcRecord {
   std::uint32_t code = 0;
   // Interface descriptor + code give the "type of IPC interface" Algorithm 1
   // groups by; on real Android the defender recovers this from the handle.
-  std::string descriptor;
+  DescriptorId descriptor_id = StringInterner::kInvalidId;
 };
 
 class BinderDriver {
@@ -131,22 +139,42 @@ class BinderDriver {
   void SetDefenseLogging(bool enabled) { defense_logging_ = enabled; }
   bool defense_logging() const { return defense_logging_; }
 
-  // Reads log records with seq >= since_seq. Permission mirrors the procfs
-  // file mode: only root/system may read (§V.B).
-  Result<std::vector<IpcRecord>> ReadIpcLog(Uid caller,
-                                            std::uint64_t since_seq) const;
+  // Reads log records with seq >= since_seq, at most `max_records` of them
+  // (oldest first). Permission mirrors the procfs file mode: only
+  // root/system may read (§V.B). The window is located in O(1) via the ring
+  // buffer's logical indices; only the returned records are copied.
+  Result<std::vector<IpcRecord>> ReadIpcLog(
+      Uid caller, std::uint64_t since_seq,
+      std::size_t max_records = kNoRecordLimit) const;
+
+  // Zero-copy variant: invokes `visitor` on every retained record with
+  // seq >= since_seq, oldest first, up to `max_records`. Returns the number
+  // of records visited. This is the defender's poll path — the seed
+  // implementation copied the entire log vector on every poll.
+  Result<std::size_t> VisitIpcLogSince(
+      Uid caller, std::uint64_t since_seq,
+      const std::function<void(const IpcRecord&)>& visitor,
+      std::size_t max_records = kNoRecordLimit) const;
+
+  // Resolves an interned descriptor id back to the interface string.
+  const std::string& DescriptorName(DescriptorId id) const {
+    return descriptors_.Name(id);
+  }
 
   // Renders the textual /proc/jgre_ipc_log content (bounded tail).
   std::string RenderIpcLogProcfs(std::size_t max_lines = 64) const;
 
+  static constexpr std::size_t kNoRecordLimit = ~std::size_t{0};
+
   std::uint64_t ipc_log_next_seq() const { return next_seq_; }
+  std::size_t ipc_log_size() const { return ipc_log_.size(); }
   std::int64_t total_transactions() const { return total_transactions_; }
 
  private:
   struct Node {
     NodeId id;
     Pid owner;
-    std::string descriptor;
+    DescriptorId descriptor_id = StringInterner::kInvalidId;
     std::shared_ptr<BBinder> strong;  // kernel ref while node is live
     ObjectId sender_obj;              // JavaBBinder in the owner runtime
     std::set<Pid> holders;            // processes with a live proxy
@@ -169,20 +197,26 @@ class BinderDriver {
   void ReleaseSenderRef(Node& node);
   void FireDeathLinks(NodeId node);
   void AppendLog(Pid from, Uid from_uid, Pid to, NodeId node,
-                 std::uint32_t code, const std::string& descriptor);
+                 std::uint32_t code, DescriptorId descriptor_id);
   void AttachRuntimeHooks(Pid pid, rt::Runtime* runtime);
 
   os::Kernel* kernel_;
   Config config_;
   bool defense_logging_ = false;
 
+  // Node ids are dense (1, 2, 3, ...) and nodes are never erased — dead ones
+  // are only marked — so the node table is a flat vector indexed by id - 1:
+  // routing a transaction is a bounds check + array index, not a hash lookup.
   std::int64_t next_node_ = 1;
-  std::unordered_map<NodeId, Node> nodes_;
+  std::vector<Node> nodes_;
+
+  // Interface descriptors, interned once per distinct string.
+  StringInterner descriptors_;
 
   LinkId next_link_ = 1;
   std::unordered_map<LinkId, DeathLink> links_;
 
-  std::deque<IpcRecord> ipc_log_;
+  RingBuffer<IpcRecord> ipc_log_;
   std::uint64_t next_seq_ = 1;
   std::int64_t total_transactions_ = 0;
 

@@ -1,5 +1,7 @@
 #include "binder/service_manager.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "common/strings.h"
 
@@ -16,7 +18,10 @@ Status ServiceManager::AddService(const std::string& name,
   if (service == nullptr || !service->node().valid()) {
     return InvalidArgument("service must be a registered binder");
   }
-  services_[name] = service->node();
+  const StringInterner::Id id = names_.Intern(name);
+  if (id >= nodes_by_name_.size()) nodes_by_name_.resize(id + 1);
+  if (!nodes_by_name_[id].valid()) ++service_count_;
+  nodes_by_name_[id] = service->node();
   // servicemanager keeps a strong handle on every registered service, so the
   // service's JavaBBinder reference is permanent.
   driver_->PinNode(service->node());
@@ -26,18 +31,28 @@ Status ServiceManager::AddService(const std::string& name,
 
 Result<StrongBinder> ServiceManager::GetService(const std::string& name,
                                                 Pid caller) {
-  auto it = services_.find(name);
-  if (it == services_.end()) {
+  const StringInterner::Id id = names_.Find(name);
+  if (id == StringInterner::kInvalidId || !nodes_by_name_[id].valid()) {
     return NotFound(StrCat("no service named '", name, "'"));
   }
-  return driver_->MaterializeBinder(it->second, caller);
+  return driver_->MaterializeBinder(nodes_by_name_[id], caller);
 }
 
 std::vector<std::string> ServiceManager::ListServices() const {
   std::vector<std::string> names;
-  names.reserve(services_.size());
-  for (const auto& [name, node] : services_) names.push_back(name);
+  names.reserve(service_count_);
+  for (StringInterner::Id id = 0; id < nodes_by_name_.size(); ++id) {
+    if (nodes_by_name_[id].valid()) names.push_back(names_.Name(id));
+  }
+  // The seed kept a std::map, so callers saw names in sorted order; preserve
+  // that contract.
+  std::sort(names.begin(), names.end());
   return names;
+}
+
+void ServiceManager::Clear() {
+  std::fill(nodes_by_name_.begin(), nodes_by_name_.end(), NodeId{});
+  service_count_ = 0;
 }
 
 }  // namespace jgre::binder

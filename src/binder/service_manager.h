@@ -8,11 +8,11 @@
 #ifndef JGRE_BINDER_SERVICE_MANAGER_H_
 #define JGRE_BINDER_SERVICE_MANAGER_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "binder/binder_driver.h"
@@ -34,17 +34,23 @@ class ServiceManager {
   Result<StrongBinder> GetService(const std::string& name, Pid caller);
 
   bool HasService(const std::string& name) const {
-    return services_.count(name) > 0;
+    const StringInterner::Id id = names_.Find(name);
+    return id != StringInterner::kInvalidId && nodes_by_name_[id].valid();
   }
   std::vector<std::string> ListServices() const;
-  std::size_t ServiceCount() const { return services_.size(); }
+  std::size_t ServiceCount() const { return service_count_; }
 
-  // Drops all registrations (system soft reboot).
-  void Clear() { services_.clear(); }
+  // Drops all registrations (system soft reboot). Interned name ids are
+  // stable across reboots; only the name → node routing entries clear.
+  void Clear();
 
  private:
   BinderDriver* driver_;
-  std::map<std::string, NodeId> services_;
+  // Service names are interned to dense ids once; routing is then a flat
+  // vector lookup instead of a red-black-tree string walk per GetService.
+  StringInterner names_;
+  std::vector<NodeId> nodes_by_name_;  // indexed by interned name id
+  std::size_t service_count_ = 0;
 };
 
 }  // namespace jgre::binder

@@ -1,0 +1,66 @@
+// StringInterner — string → dense id mapping for hot routing paths.
+//
+// The binder driver and service manager route by interface descriptor /
+// service name. Interning each distinct string once turns per-transaction
+// descriptor handling (IPC log records, scoring type keys) into integer
+// copies and comparisons: an `IpcRecord` carries a 4-byte id instead of a
+// heap-allocated string, and Algorithm 1 groups calls by a 64-bit
+// (descriptor, code) key instead of a concatenated string.
+//
+// Ids are dense, start at 0, and are assigned in first-intern order, so a
+// deterministic boot sequence yields deterministic ids.
+#ifndef JGRE_COMMON_INTERNER_H_
+#define JGRE_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace jgre {
+
+class StringInterner {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalidId = ~Id{0};
+
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  // Returns the id for `s`, assigning the next dense id on first sight.
+  Id Intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    const Id id = static_cast<Id>(names_.size());
+    names_.emplace_back(s);
+    // The key string_view points into names_ (a deque: stable addresses).
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Looks up `s` without interning; kInvalidId if unseen.
+  Id Find(std::string_view s) const {
+    auto it = ids_.find(s);
+    return it == ids_.end() ? kInvalidId : it->second;
+  }
+
+  const std::string& Name(Id id) const { return names_[id]; }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::deque<std::string> names_;  // id -> string; deque keeps refs stable
+  std::unordered_map<std::string_view, Id, Hash, std::equal_to<>> ids_;
+};
+
+}  // namespace jgre
+
+#endif  // JGRE_COMMON_INTERNER_H_

@@ -115,10 +115,6 @@ void JgreDefender::Check() {
 std::vector<JgreDefender::ScoreEntry> JgreDefender::RankApps(
     const JgrMonitor& monitor, Pid victim_pid, const ScoringParams& params,
     ScoringCost* cost) {
-  // Phase 2, step 1: pull the kernel's IPC log (the defender runs as uid
-  // system, so the procfs permission check passes).
-  auto log = system_->driver().ReadIpcLog(kSystemUid, ipc_log_watermark_);
-  if (!log.ok()) return {};
   // Score the trailing analysis window (see ScoringParams::analysis_window_us)
   // of the recording, never anything before the alarm.
   const TimeUs reference =
@@ -130,21 +126,24 @@ std::vector<JgreDefender::ScoreEntry> JgreDefender::RankApps(
     window_start = reference - params.analysis_window_us;
   }
 
-  // Per-app IPC events targeting the victim since the alarm. System uids are
-  // exempt: the defender only ever kills apps (LMK-style policy).
+  // Phase 2, step 1: walk the kernel's IPC log in place (the defender runs
+  // as uid system, so the procfs permission check passes). Per-app IPC
+  // events targeting the victim since the alarm; system uids are exempt:
+  // the defender only ever kills apps (LMK-style policy).
   std::map<Uid, std::vector<IpcEvent>> calls_by_app;
-  std::int64_t parsed = 0;
-  for (const binder::IpcRecord& rec : log.value()) {
-    ++parsed;
-    if (rec.timestamp_us < window_start) continue;
-    if (rec.to_pid != victim_pid) continue;
-    if (rec.from_uid.value() < kFirstAppUid.value()) continue;
-    calls_by_app[rec.from_uid].push_back(
-        IpcEvent{rec.timestamp_us, StrCat(rec.descriptor, "#", rec.code)});
-  }
+  auto parsed = system_->driver().VisitIpcLogSince(
+      kSystemUid, ipc_log_watermark_,
+      [&](const binder::IpcRecord& rec) {
+        if (rec.timestamp_us < window_start) return;
+        if (rec.to_pid != victim_pid) return;
+        if (rec.from_uid.value() < kFirstAppUid.value()) return;
+        calls_by_app[rec.from_uid].push_back(IpcEvent{
+            rec.timestamp_us, MakeIpcTypeKey(rec.descriptor_id, rec.code)});
+      });
+  if (!parsed.ok()) return {};
   // Reading + parsing the log costs real time (part of the response delay).
-  system_->clock().AdvanceUs(
-      static_cast<DurationUs>(parsed) * config_.ipc_record_parse_us);
+  system_->clock().AdvanceUs(static_cast<DurationUs>(parsed.value()) *
+                             config_.ipc_record_parse_us);
 
   std::vector<TimeUs> jgr_adds = monitor.AddTimes();
   jgr_adds.erase(std::remove_if(jgr_adds.begin(), jgr_adds.end(),
@@ -157,12 +156,13 @@ std::vector<JgreDefender::ScoreEntry> JgreDefender::RankApps(
 
   std::vector<ScoreEntry> ranking;
   for (auto& [uid, events] : calls_by_app) {
-    std::sort(events.begin(), events.end(),
-              [](const IpcEvent& a, const IpcEvent& b) { return a.t < b.t; });
+    // Events arrive in log (time) order; JgreScoreForApp groups them by type
+    // itself, so no pre-sort is needed.
     ScoringCost app_cost;
     ScoreEntry entry;
     entry.uid = uid;
-    entry.score = JgreScoreForApp(events, jgr_adds, params, &app_cost);
+    entry.score =
+        JgreScoreForApp(events, jgr_adds, params, &app_cost, &workspace_);
     entry.ipc_calls = static_cast<std::int64_t>(events.size());
     auto pkg = system_->package_manager().GetPackageForUid(uid);
     entry.package = pkg.ok() ? pkg.value() : StrCat("uid:", uid.value());

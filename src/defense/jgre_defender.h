@@ -109,6 +109,9 @@ class JgreDefender {
   std::map<std::string, std::unique_ptr<JgrMonitor>> monitors_;
   std::uint64_t ipc_log_watermark_ = 1;
   std::vector<IncidentReport> incidents_;
+  // Reusable scoring buffers (segment tree, grouping scratch) shared across
+  // apps and incidents.
+  ScoringWorkspace workspace_;
 };
 
 }  // namespace jgre::defense

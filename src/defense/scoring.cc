@@ -3,22 +3,23 @@
 #include <algorithm>
 #include <cassert>
 
-#include "common/segment_tree.h"
-
 namespace jgre::defense {
 
 namespace {
 
+// Number of delay buckets the vote axis needs for the given parameters.
+std::size_t BucketCount(const ScoringParams& params) {
+  return static_cast<std::size_t>((params.max_delay_us + params.delta_us) /
+                                  params.bucket_us) +
+         2;
+}
+
 // Scores a single IPC type: interval votes over delay buckets, then the max.
+// `delay_votes` must arrive zeroed; call_times must be sorted ascending.
 template <typename Tree>
-std::int64_t ScoreType(const std::vector<TimeUs>& call_times,
+std::int64_t ScoreType(Tree& delay_votes, const std::vector<TimeUs>& call_times,
                        const std::vector<TimeUs>& jgr_add_times,
                        const ScoringParams& params, ScoringCost* cost) {
-  const std::size_t buckets =
-      static_cast<std::size_t>((params.max_delay_us + params.delta_us) /
-                               params.bucket_us) +
-      2;
-  Tree delay_votes(buckets);
   bool any = false;
   for (TimeUs ipc_time : call_times) {
     // JGR adds that could have been caused by this call: those within
@@ -63,25 +64,60 @@ std::int64_t ScoreType(const std::vector<TimeUs>& call_times,
 
 }  // namespace
 
+MaxSegmentTree& ScoringWorkspace::AcquireTree(std::size_t buckets) {
+  if (tree_ == nullptr || tree_->size() != buckets) {
+    tree_ = std::make_unique<MaxSegmentTree>(buckets);
+  } else {
+    tree_->Reset();
+  }
+  return *tree_;
+}
+
 std::int64_t JgreScoreForApp(const std::vector<IpcEvent>& app_calls,
                              const std::vector<TimeUs>& jgr_add_times,
-                             const ScoringParams& params, ScoringCost* cost) {
+                             const ScoringParams& params, ScoringCost* cost,
+                             ScoringWorkspace* workspace) {
   assert(std::is_sorted(jgr_add_times.begin(), jgr_add_times.end()));
   if (cost != nullptr) {
     cost->ipc_events += static_cast<std::int64_t>(app_calls.size());
     cost->jgr_events += static_cast<std::int64_t>(jgr_add_times.size());
   }
-  // IPCCallOfType: split this app's calls by interface type.
-  std::map<std::string, std::vector<TimeUs>> calls_by_type;
-  for (const IpcEvent& event : app_calls) {
-    calls_by_type[event.type].push_back(event.t);
-  }
+  ScoringWorkspace local_workspace;
+  ScoringWorkspace& ws =
+      workspace != nullptr ? *workspace : local_workspace;
+  // IPCCallOfType: group this app's calls by interface type. Sorting one
+  // reused buffer by (type, time) replaces the seed's per-call
+  // map<string, vector> insertion; each run of equal types is one type's
+  // call list, already time-sorted.
+  std::vector<IpcEvent>& events = ws.grouping_buffer();
+  events.assign(app_calls.begin(), app_calls.end());
+  std::sort(events.begin(), events.end(),
+            [](const IpcEvent& a, const IpcEvent& b) {
+              return a.type != b.type ? a.type < b.type : a.t < b.t;
+            });
+  const std::size_t buckets = BucketCount(params);
   std::int64_t score = 0;
-  for (auto& [type, times] : calls_by_type) {
-    std::sort(times.begin(), times.end());
-    score += params.use_segment_tree
-                 ? ScoreType<MaxSegmentTree>(times, jgr_add_times, params, cost)
-                 : ScoreType<NaiveRangeMax>(times, jgr_add_times, params, cost);
+  std::size_t run_start = 0;
+  while (run_start < events.size()) {
+    std::size_t run_end = run_start + 1;
+    while (run_end < events.size() &&
+           events[run_end].type == events[run_start].type) {
+      ++run_end;
+    }
+    std::vector<TimeUs>& times = ws.times_buffer();
+    times.clear();
+    times.reserve(run_end - run_start);
+    for (std::size_t i = run_start; i < run_end; ++i) {
+      times.push_back(events[i].t);
+    }
+    if (params.use_segment_tree) {
+      score += ScoreType(ws.AcquireTree(buckets), times, jgr_add_times, params,
+                         cost);
+    } else {
+      NaiveRangeMax naive(buckets);
+      score += ScoreType(naive, times, jgr_add_times, params, cost);
+    }
+    run_start = run_end;
   }
   return score;
 }

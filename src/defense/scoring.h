@@ -21,10 +21,10 @@
 #define JGRE_DEFENSE_SCORING_H_
 
 #include <cstdint>
-#include <map>
-#include <string>
+#include <memory>
 #include <vector>
 
+#include "common/segment_tree.h"
 #include "common/types.h"
 
 namespace jgre::defense {
@@ -55,11 +55,24 @@ struct ScoringParams {
   int max_paths = 1;
 };
 
-// One recorded IPC call by one app: when, and which interface (descriptor +
-// transaction code, the "type of IPC interface" Algorithm 1 groups by).
+// Dense key identifying the "type of IPC interface" Algorithm 1 groups by:
+// the interned interface-descriptor id in the high 32 bits, the transaction
+// code in the low 32. The seed implementation concatenated
+// "<descriptor>#<code>" strings per record and grouped through a
+// std::map<std::string, ...>; the integer key removes every allocation and
+// string comparison from the defender's hot parse/score loop.
+using IpcTypeKey = std::uint64_t;
+
+constexpr IpcTypeKey MakeIpcTypeKey(std::uint32_t descriptor_id,
+                                    std::uint32_t code) {
+  return (static_cast<IpcTypeKey>(descriptor_id) << 32) |
+         static_cast<IpcTypeKey>(code);
+}
+
+// One recorded IPC call by one app: when, and which interface type.
 struct IpcEvent {
   TimeUs t = 0;
-  std::string type;
+  IpcTypeKey type = 0;
 };
 
 struct ScoringCost {
@@ -69,14 +82,39 @@ struct ScoringCost {
   std::int64_t range_ops = 0;   // interval votes applied
 };
 
+// Reusable scratch buffers for the scoring pass. The segment tree over the
+// delay axis and the per-type grouping buffer are allocated once and reused
+// across apps and incidents instead of rebuilt per IPC type (the seed
+// allocated a fresh 4n-node tree for every (app, type) pair). Not
+// thread-safe: use one workspace per defender/thread.
+class ScoringWorkspace {
+ public:
+  ScoringWorkspace() = default;
+  ScoringWorkspace(const ScoringWorkspace&) = delete;
+  ScoringWorkspace& operator=(const ScoringWorkspace&) = delete;
+
+  // Returns the shared tree sized for `buckets`, reset to all-zero.
+  MaxSegmentTree& AcquireTree(std::size_t buckets);
+  std::vector<IpcEvent>& grouping_buffer() { return grouping_; }
+  std::vector<TimeUs>& times_buffer() { return times_; }
+
+ private:
+  std::unique_ptr<MaxSegmentTree> tree_;
+  std::vector<IpcEvent> grouping_;
+  std::vector<TimeUs> times_;
+};
+
 // Computes one app's jgre_score against the victim's JGR-creation times.
-// Both inputs must be sorted ascending by time. `cost`, when non-null,
-// accumulates work counters (used to charge virtual analysis time and for
-// the segment-tree ablation).
+// `jgr_add_times` must be sorted ascending; `app_calls` may be in any order.
+// `cost`, when non-null, accumulates work counters (used to charge virtual
+// analysis time and for the segment-tree ablation). `workspace`, when
+// non-null, supplies reusable buffers (recommended on the defender's hot
+// path); when null a temporary workspace is created per call.
 std::int64_t JgreScoreForApp(const std::vector<IpcEvent>& app_calls,
                              const std::vector<TimeUs>& jgr_add_times,
                              const ScoringParams& params,
-                             ScoringCost* cost = nullptr);
+                             ScoringCost* cost = nullptr,
+                             ScoringWorkspace* workspace = nullptr);
 
 }  // namespace jgre::defense
 

@@ -1,0 +1,108 @@
+#include "harness/experiment_runner.h"
+
+#include <charconv>
+#include <cstring>
+#include <iostream>
+#include <string_view>
+#include <thread>
+
+namespace jgre::harness {
+namespace {
+
+void PrintUsage(const HarnessSpec& spec, std::ostream& out) {
+  out << "usage: bench_" << spec.name << " [options]\n"
+      << "  --jobs N     run N simulations concurrently (0 = all cores; "
+         "default 1)\n"
+      << "  --seed S     base RNG seed (default " << spec.default_seed << ")\n"
+      << "  --json PATH  write machine-readable results to PATH\n"
+      << "               (default BENCH_"
+      << (spec.json_name.empty() ? spec.name : spec.json_name) << ".json)\n"
+      << "  --no-json    skip the JSON file\n"
+      << "  --help       this text\n";
+  if (!spec.extra_usage.empty()) out << spec.extra_usage;
+}
+
+template <typename T>
+bool ParseNumber(std::string_view text, T* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto res = std::from_chars(begin, end, *out);
+  return res.ec == std::errc{} && res.ptr == end;
+}
+
+}  // namespace
+
+int ResolveJobs(int jobs) {
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return jobs < 1 ? 1 : jobs;
+}
+
+HarnessOptions ParseHarnessOptions(const HarnessSpec& spec, int argc,
+                                   char** argv) {
+  HarnessOptions options;
+  options.seed = spec.default_seed;
+  options.json_path =
+      "BENCH_" + (spec.json_name.empty() ? spec.name : spec.json_name) +
+      ".json";
+
+  auto need_value = [&](int i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      options.error = std::string(flag) + " requires a value";
+      return nullptr;
+    }
+    return argv[i + 1];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+      PrintUsage(spec, std::cout);
+      return options;
+    }
+    if (arg == "--jobs" || arg == "-j") {
+      const char* value = need_value(i, "--jobs");
+      if (value == nullptr) break;
+      int jobs = 0;
+      if (!ParseNumber(std::string_view(value), &jobs) || jobs < 0) {
+        options.error = "--jobs expects a non-negative integer, got '" +
+                        std::string(value) + "'";
+        break;
+      }
+      options.jobs = ResolveJobs(jobs);
+      ++i;
+    } else if (arg == "--seed") {
+      const char* value = need_value(i, "--seed");
+      if (value == nullptr) break;
+      std::uint64_t seed = 0;
+      if (!ParseNumber(std::string_view(value), &seed)) {
+        options.error =
+            "--seed expects an unsigned integer, got '" + std::string(value) +
+            "'";
+        break;
+      }
+      options.seed = seed;
+      ++i;
+    } else if (arg == "--json") {
+      const char* value = need_value(i, "--json");
+      if (value == nullptr) break;
+      options.json_path = value;
+      ++i;
+    } else if (arg == "--no-json") {
+      options.emit_json = false;
+    } else {
+      options.extra.emplace_back(arg);
+    }
+  }
+
+  if (!options.error.empty()) {
+    std::cerr << "error: " << options.error << "\n";
+    PrintUsage(spec, std::cerr);
+  }
+  return options;
+}
+
+}  // namespace jgre::harness

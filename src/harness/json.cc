@@ -1,0 +1,145 @@
+#include "harness/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace jgre::harness {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; null is the usual stand-in.
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out->append(buf, res.ptr);
+}
+
+void Indent(std::string* out, int depth) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+Json& Json::Set(std::string key, Json value) {
+  if (!is_object()) value_ = ObjectStorage{};
+  std::get<ObjectStorage>(value_).emplace_back(std::move(key),
+                                              std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  if (!is_array()) value_ = ArrayStorage{};
+  std::get<ArrayStorage>(value_).push_back(std::move(value));
+  return *this;
+}
+
+void Json::DumpTo(std::string* out, int depth) const {
+  switch (value_.index()) {
+    case 0:
+      *out += "null";
+      break;
+    case 1:
+      *out += std::get<bool>(value_) ? "true" : "false";
+      break;
+    case 2:
+      *out += std::to_string(std::get<std::int64_t>(value_));
+      break;
+    case 3:
+      *out += std::to_string(std::get<std::uint64_t>(value_));
+      break;
+    case 4:
+      AppendDouble(out, std::get<double>(value_));
+      break;
+    case 5:
+      AppendEscaped(out, std::get<std::string>(value_));
+      break;
+    case 6: {
+      const auto& arr = std::get<ArrayStorage>(value_);
+      if (arr.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[\n";
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        Indent(out, depth + 1);
+        arr[i].DumpTo(out, depth + 1);
+        if (i + 1 < arr.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      Indent(out, depth);
+      out->push_back(']');
+      break;
+    }
+    case 7: {
+      const auto& obj = std::get<ObjectStorage>(value_);
+      if (obj.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{\n";
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        Indent(out, depth + 1);
+        AppendEscaped(out, obj[i].first);
+        *out += ": ";
+        obj[i].second.DumpTo(out, depth + 1);
+        if (i + 1 < obj.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      Indent(out, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+bool WriteJsonFile(const std::string& path, const Json& doc) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::cerr << "harness: cannot open " << path << " for writing\n";
+    return false;
+  }
+  file << doc.Dump();
+  file.flush();
+  if (!file) {
+    std::cerr << "harness: write to " << path << " failed\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace jgre::harness

@@ -1,0 +1,74 @@
+// Minimal JSON document builder for BENCH_*.json emission.
+//
+// Deliberately tiny: insertion-ordered objects (so emitted files diff
+// cleanly and are byte-stable across runs), shortest-round-trip double
+// formatting via std::to_chars, no parsing. Not a general JSON library.
+#ifndef JGRE_HARNESS_JSON_H_
+#define JGRE_HARNESS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace jgre::harness {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(long long v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : value_(static_cast<std::uint64_t>(v)) {}
+  Json(unsigned long v) : value_(static_cast<std::uint64_t>(v)) {}
+  Json(unsigned long long v) : value_(static_cast<std::uint64_t>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json Object() {
+    Json j;
+    j.value_ = ObjectStorage{};
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.value_ = ArrayStorage{};
+    return j;
+  }
+
+  // Object insert (last write for a repeated key wins in consumers; we never
+  // repeat keys). Returns *this for chaining.
+  Json& Set(std::string key, Json value);
+  // Array append.
+  Json& Push(Json value);
+
+  bool is_object() const { return std::holds_alternative<ObjectStorage>(value_); }
+  bool is_array() const { return std::holds_alternative<ArrayStorage>(value_); }
+
+  // Serializes with 2-space indentation and a trailing newline at top level.
+  std::string Dump() const;
+
+ private:
+  using ObjectStorage = std::vector<std::pair<std::string, Json>>;
+  using ArrayStorage = std::vector<Json>;
+
+  void DumpTo(std::string* out, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, ArrayStorage, ObjectStorage>
+      value_;
+};
+
+// Writes `doc.Dump()` to `path`. Returns false (and logs to stderr) on I/O
+// failure.
+bool WriteJsonFile(const std::string& path, const Json& doc);
+
+}  // namespace jgre::harness
+
+#endif  // JGRE_HARNESS_JSON_H_

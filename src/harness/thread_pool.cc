@@ -1,0 +1,100 @@
+#include "harness/thread_pool.h"
+
+#include <utility>
+
+namespace jgre::harness {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    threads_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  unfinished_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++work_epoch_;
+  }
+  wake_cv_.notify_all();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  idle_cv_.wait(lock, [this] {
+    return unfinished_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+bool ThreadPool::TryPopOwn(std::size_t idx, std::function<void()>* task) {
+  Worker& w = *workers_[idx];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.queue.empty()) return false;
+  *task = std::move(w.queue.front());
+  w.queue.pop_front();
+  return true;
+}
+
+bool ThreadPool::TrySteal(std::size_t idx, std::function<void()>* task) {
+  const std::size_t n = workers_.size();
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    Worker& victim = *workers_[(idx + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.queue.empty()) continue;
+    *task = std::move(victim.queue.back());
+    victim.queue.pop_back();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t idx) {
+  for (;;) {
+    std::uint64_t observed_epoch;
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      if (stop_) return;
+      observed_epoch = work_epoch_;
+    }
+    std::function<void()> task;
+    if (TryPopOwn(idx, &task) || TrySteal(idx, &task)) {
+      task();
+      if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last outstanding task: wake Wait() callers. Empty critical section
+        // pairs with the predicate check inside Wait().
+        { std::lock_guard<std::mutex> lock(wake_mu_); }
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this, observed_epoch] {
+      return stop_ || work_epoch_ != observed_epoch;
+    });
+  }
+}
+
+}  // namespace jgre::harness

@@ -1,0 +1,81 @@
+// Work-stealing thread pool for the experiment harness.
+//
+// Each worker owns a deque: it pops its own tasks from the front and, when
+// empty, steals from the back of a sibling's deque, so a worker that drew
+// short tasks drains the queues of workers stuck on long ones (the
+// per-interface attack simulations vary ~20x in duration — round-robin
+// assignment alone would leave most cores idle at the tail).
+//
+// Tasks are opaque closures; the pool makes no fairness or ordering
+// guarantees. Determinism of the *experiments* comes from task isolation
+// (one AndroidSystem per task, no shared mutable state), not from the
+// schedule — see experiment_runner.h, which collects results in submission
+// order regardless of completion order.
+#ifndef JGRE_HARNESS_THREAD_POOL_H_
+#define JGRE_HARNESS_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jgre::harness {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  // Drains nothing: joins workers after they finish in-flight tasks; tasks
+  // still queued are abandoned. Call Wait() first if completion matters.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task (round-robin across worker deques).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has completed.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+  // Number of tasks a worker obtained from a sibling's deque (observability;
+  // nonzero whenever stealing actually balanced load).
+  std::int64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> queue;
+  };
+
+  bool TryPopOwn(std::size_t idx, std::function<void()>* task);
+  bool TrySteal(std::size_t idx, std::function<void()>* task);
+  void WorkerLoop(std::size_t idx);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;  // new work or shutdown
+  std::condition_variable idle_cv_;  // all submitted work finished
+  std::uint64_t work_epoch_ = 0;     // bumped per Submit, guarded by wake_mu_
+  bool stop_ = false;                // guarded by wake_mu_
+
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::int64_t> unfinished_{0};
+  std::atomic<std::int64_t> steals_{0};
+};
+
+}  // namespace jgre::harness
+
+#endif  // JGRE_HARNESS_THREAD_POOL_H_

@@ -1,6 +1,5 @@
 #include "runtime/indirect_reference_table.h"
 
-#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -48,14 +47,18 @@ bool IndirectReferenceTable::DecodeRef(IndirectRef ref, std::size_t* index,
 
 Result<IndirectRef> IndirectReferenceTable::Add(Cookie cookie, ObjectId obj) {
   assert(obj.valid());
-  // Prefer reusing a hole inside the current segment (ART scans for holes
-  // above the previous segment state before growing the top).
-  for (std::size_t i = hole_list_.size(); i-- > 0;) {
-    const std::size_t slot_index = hole_list_[i];
-    if (slot_index < cookie) continue;  // belongs to an outer frame
-    hole_list_.erase(hole_list_.begin() + static_cast<std::ptrdiff_t>(i));
+  (void)cookie;  // holes are per-segment, so the list never crosses frames
+  // Prefer reusing a hole inside the current segment: pop the head of the
+  // segment's intrusive free list — O(1) where ART scans for holes above the
+  // previous segment state before growing the top.
+  if (free_head_ != kNoFreeSlot) {
+    const std::size_t slot_index = free_head_;
     Slot& slot = slots_[slot_index];
     assert(!slot.active);
+    assert(slot_index >= segment_start_);
+    free_head_ = slot.next_free;
+    slot.next_free = kNoFreeSlot;
+    --hole_count_;
     slot.obj = obj;
     ++slot.serial;
     slot.active = true;
@@ -89,7 +92,9 @@ bool IndirectReferenceTable::Remove(Cookie cookie, IndirectRef ref) {
   if (!slot.active || slot.serial != serial) return false;  // stale reference
   slot.active = false;
   slot.obj = ObjectId{};
-  hole_list_.push_back(index);
+  slot.next_free = free_head_;
+  free_head_ = static_cast<std::uint32_t>(index);
+  ++hole_count_;
   --live_entries_;
   ++total_removes_;
   return true;
@@ -111,8 +116,9 @@ Result<ObjectId> IndirectReferenceTable::Get(IndirectRef ref) const {
 
 IndirectReferenceTable::Cookie IndirectReferenceTable::PushFrame() {
   const Cookie cookie = static_cast<Cookie>(top_index_);
-  segment_stack_.push_back(segment_start_);
+  segment_stack_.push_back(FrameState{segment_start_, free_head_});
   segment_start_ = cookie;
+  free_head_ = kNoFreeSlot;  // inner frames never reuse outer frames' holes
   return cookie;
 }
 
@@ -124,15 +130,17 @@ void IndirectReferenceTable::PopFrame(Cookie cookie) {
       slots_[i].obj = ObjectId{};
       --live_entries_;
       ++total_removes_;
+    } else {
+      // An inactive slot below the top is a hole of the popped frame; it is
+      // released with the frame rather than staying reusable.
+      --hole_count_;
     }
+    slots_[i].next_free = kNoFreeSlot;
   }
-  hole_list_.erase(
-      std::remove_if(hole_list_.begin(), hole_list_.end(),
-                     [cookie](std::size_t idx) { return idx >= cookie; }),
-      hole_list_.end());
   top_index_ = cookie;
   assert(!segment_stack_.empty());
-  segment_start_ = segment_stack_.back();
+  segment_start_ = segment_stack_.back().segment_start;
+  free_head_ = segment_stack_.back().free_head;
   segment_stack_.pop_back();
 }
 
@@ -146,7 +154,7 @@ void IndirectReferenceTable::VisitRoots(
 std::string IndirectReferenceTable::DumpSummary() const {
   std::ostringstream os;
   os << name_ << ": " << live_entries_ << " of " << max_entries_
-     << " entries in use (top=" << top_index_ << ", holes=" << hole_list_.size()
+     << " entries in use (top=" << top_index_ << ", holes=" << hole_count_
      << ", adds=" << total_adds_ << ", removes=" << total_removes_ << ")";
   return os.str();
 }

@@ -10,8 +10,11 @@
 //   hard-coded in art/runtime/java_vm_ext.cc);
 // * local tables use segment cookies so a native frame can bulk-release the
 //   references it created (`PushFrame`/`PopFrame`);
-// * slots are reused through a hole list, with per-slot serial numbers so a
-//   stale reference to a reused slot is rejected.
+// * slots are reused through a per-segment free list, with per-slot serial
+//   numbers so a stale reference to a reused slot is rejected. The free list
+//   is threaded through the slots themselves (each inactive slot stores the
+//   index of the next hole), so allocation and release are O(1) — where ART
+//   (and the seed implementation) scanned a hole vector per Add.
 #ifndef JGRE_RUNTIME_INDIRECT_REFERENCE_TABLE_H_
 #define JGRE_RUNTIME_INDIRECT_REFERENCE_TABLE_H_
 
@@ -85,11 +88,28 @@ class IndirectReferenceTable {
   std::int64_t total_adds() const { return total_adds_; }
   std::int64_t total_removes() const { return total_removes_; }
 
+  // Number of reusable holes across all segments (observability).
+  std::size_t HoleCount() const { return hole_count_; }
+
  private:
+  static constexpr std::uint32_t kNoFreeSlot = ~std::uint32_t{0};
+
   struct Slot {
     ObjectId obj;
     std::uint32_t serial = 0;
+    // While inactive and below the top: index of the next hole in this
+    // segment's free list (kNoFreeSlot terminates the list).
+    std::uint32_t next_free = kNoFreeSlot;
     bool active = false;
+  };
+
+  // Saved state of an outer frame: its segment start and the head of its
+  // free list at the time the inner frame was pushed. Holes always belong to
+  // the segment that created them, so an inner frame never reuses an outer
+  // frame's holes and PopFrame restores the outer list wholesale.
+  struct FrameState {
+    Cookie segment_start;
+    std::uint32_t free_head;
   };
 
   IndirectRef EncodeRef(std::size_t index, std::uint32_t serial) const;
@@ -101,11 +121,12 @@ class IndirectReferenceTable {
   const std::string name_;
 
   std::vector<Slot> slots_;
-  std::vector<std::size_t> hole_list_;  // inactive slots below top, reusable
-  std::size_t top_index_ = 0;           // one past the highest used slot
+  std::uint32_t free_head_ = kNoFreeSlot;  // current segment's hole list
+  std::size_t hole_count_ = 0;             // holes across all segments
+  std::size_t top_index_ = 0;              // one past the highest used slot
   std::size_t live_entries_ = 0;
   Cookie segment_start_ = 0;
-  std::vector<Cookie> segment_stack_;   // outer frames' segment starts
+  std::vector<FrameState> segment_stack_;  // outer frames' saved state
 
   std::int64_t total_adds_ = 0;
   std::int64_t total_removes_ = 0;

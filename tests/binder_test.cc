@@ -298,9 +298,97 @@ TEST_F(BinderTest, IpcLogOnlyWhenDefenseEnabledAndSystemReadable) {
   ASSERT_EQ(log.value().size(), 1u);
   EXPECT_EQ(log.value().front().from_pid, client_pid_);
   EXPECT_EQ(log.value().front().to_pid, server_pid_);
-  EXPECT_EQ(log.value().front().descriptor, "test.IEcho");
+  EXPECT_EQ(driver_.DescriptorName(log.value().front().descriptor_id),
+            "test.IEcho");
   // Third-party uids may not read the log (§V.B file permissions).
   EXPECT_EQ(driver_.ReadIpcLog(Uid{10001}, 0).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(BinderTest, IpcLogWindowBySeqAndMaxRecords) {
+  driver_.SetDefenseLogging(true);
+  auto proxy = driver_.MaterializeBinder(echo_->node(), client_pid_);
+  ASSERT_TRUE(proxy.ok());
+  Parcel data;
+  data.WriteInt32(1);
+  for (int i = 0; i < 10; ++i) {
+    Parcel reply;
+    ASSERT_TRUE(proxy.value().binder->Transact(1, data, &reply).ok());
+  }
+  // Full read: sequence numbers are 1-based and contiguous.
+  auto all = driver_.ReadIpcLog(kSystemUid, 0);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 10u);
+  for (std::size_t i = 0; i < all.value().size(); ++i) {
+    EXPECT_EQ(all.value()[i].seq, i + 1);
+  }
+  // since_seq returns only records at or after that sequence number.
+  auto tail = driver_.ReadIpcLog(kSystemUid, 8);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail.value().size(), 3u);
+  EXPECT_EQ(tail.value().front().seq, 8u);
+  EXPECT_EQ(tail.value().back().seq, 10u);
+  // max_records bounds the window from the front (oldest first).
+  auto bounded = driver_.ReadIpcLog(kSystemUid, 4, 2);
+  ASSERT_TRUE(bounded.ok());
+  ASSERT_EQ(bounded.value().size(), 2u);
+  EXPECT_EQ(bounded.value().front().seq, 4u);
+  EXPECT_EQ(bounded.value().back().seq, 5u);
+  // A since_seq past the end yields an empty window, not an error.
+  auto beyond = driver_.ReadIpcLog(kSystemUid, 99);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_TRUE(beyond.value().empty());
+}
+
+TEST_F(BinderTest, IpcLogRingDropsOldestButKeepsSeqStable) {
+  // A tiny ring: 16 transactions through a 4-record log keep only the last 4,
+  // but their sequence numbers are untouched, so a defender watermark taken
+  // before the wrap still selects the correct (surviving) window.
+  BinderDriver::Config config;
+  config.ipc_log_capacity = 4;
+  os::Kernel kernel;
+  BinderDriver driver(&kernel, config);
+  os::Kernel::ProcessConfig pc;
+  pc.with_runtime = true;
+  pc.boot_class_refs = 0;
+  pc.memory_kb = 1024;
+  const Pid server = kernel.CreateProcess("server", kSystemUid, pc);
+  const Pid client = kernel.CreateProcess("client", Uid{10001}, pc);
+  auto echo = driver.MakeBinder<EchoBinder>(server);
+  driver.SetDefenseLogging(true);
+  auto proxy = driver.MaterializeBinder(echo->node(), client);
+  ASSERT_TRUE(proxy.ok());
+  Parcel data;
+  data.WriteInt32(1);
+  for (int i = 0; i < 16; ++i) {
+    Parcel reply;
+    ASSERT_TRUE(proxy.value().binder->Transact(1, data, &reply).ok());
+  }
+  EXPECT_EQ(driver.ipc_log_size(), 4u);
+  EXPECT_EQ(driver.ipc_log_next_seq(), 17u);
+  auto log = driver.ReadIpcLog(kSystemUid, 0);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log.value().size(), 4u);
+  EXPECT_EQ(log.value().front().seq, 13u);
+  EXPECT_EQ(log.value().back().seq, 16u);
+  // A watermark pointing into the evicted range clamps to the oldest
+  // retained record instead of wrapping or failing.
+  auto clamped = driver.ReadIpcLog(kSystemUid, 5);
+  ASSERT_TRUE(clamped.ok());
+  ASSERT_EQ(clamped.value().size(), 4u);
+  EXPECT_EQ(clamped.value().front().seq, 13u);
+  // The visitor sees the same window without copying.
+  std::vector<std::uint64_t> seqs;
+  auto visited = driver.VisitIpcLogSince(
+      kSystemUid, 14, [&](const IpcRecord& rec) { seqs.push_back(rec.seq); });
+  ASSERT_TRUE(visited.ok());
+  EXPECT_EQ(visited.value(), 3u);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{14, 15, 16}));
+  // Permission model applies to the visitor too.
+  EXPECT_EQ(driver
+                .VisitIpcLogSince(Uid{10001}, 0, [](const IpcRecord&) {})
+                .status()
+                .code(),
             StatusCode::kPermissionDenied);
 }
 

@@ -56,6 +56,13 @@ TEST(JgrMonitorTest, RecordsAndReportsPastThresholds) {
 
 // --- Algorithm 1 ------------------------------------------------------------------
 
+// Interned (descriptor, code) type keys for synthetic scoring workloads.
+constexpr defense::IpcTypeKey kEvil1 = defense::MakeIpcTypeKey(1, 1);
+constexpr defense::IpcTypeKey kEvil2 = defense::MakeIpcTypeKey(1, 2);
+constexpr defense::IpcTypeKey kBenign1 = defense::MakeIpcTypeKey(2, 1);
+constexpr defense::IpcTypeKey kTypeA = defense::MakeIpcTypeKey(3, 1);
+constexpr defense::IpcTypeKey kTypeB = defense::MakeIpcTypeKey(4, 2);
+
 defense::ScoringParams TestParams(bool tree = true) {
   defense::ScoringParams params;
   params.delta_us = 500;
@@ -71,7 +78,7 @@ TEST(ScoringTest, PerfectCorrelationScoresEveryCall) {
   std::vector<TimeUs> adds;
   for (int i = 0; i < 100; ++i) {
     const TimeUs t = 1000 + static_cast<TimeUs>(i) * 10'000;
-    calls.push_back({t, "IEvil#1"});
+    calls.push_back({t, kEvil1});
     adds.push_back(t + 700);  // constant Delay, zero jitter
   }
   EXPECT_EQ(defense::JgreScoreForApp(calls, adds, TestParams()), 100);
@@ -84,7 +91,7 @@ TEST(ScoringTest, UncorrelatedCallsScoreLow) {
   TimeUs t = 1000;
   for (int i = 0; i < 200; ++i) {
     t += 1000 + rng.UniformU64(9000);
-    calls.push_back({t, "IBenign#1"});
+    calls.push_back({t, kBenign1});
   }
   TimeUs a = 1500;
   for (int i = 0; i < 200; ++i) {
@@ -102,7 +109,7 @@ TEST(ScoringTest, JitterWithinDeltaStillScoresHigh) {
   std::vector<TimeUs> adds;
   for (int i = 0; i < 100; ++i) {
     const TimeUs t = 1000 + static_cast<TimeUs>(i) * 10'000;
-    calls.push_back({t, "IEvil#1"});
+    calls.push_back({t, kEvil1});
     adds.push_back(t + 700 + rng.UniformU64(400));  // jitter < delta=500
   }
   std::sort(adds.begin(), adds.end());
@@ -114,9 +121,9 @@ TEST(ScoringTest, ScoreSumsAcrossIpcTypes) {
   std::vector<TimeUs> adds;
   for (int i = 0; i < 50; ++i) {
     const TimeUs t = 1000 + static_cast<TimeUs>(i) * 10'000;
-    calls.push_back({t, "IEvil#1"});
+    calls.push_back({t, kEvil1});
     adds.push_back(t + 500);
-    calls.push_back({t + 2'000, "IEvil#2"});
+    calls.push_back({t + 2'000, kEvil2});
     adds.push_back(t + 2'900);
   }
   std::sort(adds.begin(), adds.end());
@@ -124,7 +131,7 @@ TEST(ScoringTest, ScoreSumsAcrossIpcTypes) {
 }
 
 TEST(ScoringTest, PairsOutsideMaxDelayIgnored) {
-  std::vector<defense::IpcEvent> calls{{1000, "IEvil#1"}};
+  std::vector<defense::IpcEvent> calls{{1000, kEvil1}};
   std::vector<TimeUs> adds{1000 + 25'000};  // beyond max_delay = 20ms
   defense::ScoringCost cost;
   EXPECT_EQ(defense::JgreScoreForApp(calls, adds, TestParams(), &cost), 0);
@@ -144,7 +151,7 @@ TEST_P(ScoringEquivalenceTest, TreeMatchesNaive) {
   for (int i = 0; i < n; ++i) {
     t += 200 + rng.UniformU64(3000);
     calls.push_back(
-        {t, rng.Chance(0.5) ? std::string("IA#1") : std::string("IB#2")});
+        {t, rng.Chance(0.5) ? kTypeA : kTypeB});
     if (rng.Chance(0.8)) adds.push_back(t + 100 + rng.UniformU64(5000));
     if (rng.Chance(0.2)) adds.push_back(t + rng.UniformU64(30'000));
   }

@@ -145,6 +145,8 @@ TEST(FdExhaustionTest, HonestFdUseIsBounded) {
 
 // Synthetic two-path attacker: calls alternate between a fast path
 // (Delay ~ 700 µs) and a slow path (Delay ~ 9,000 µs).
+constexpr defense::IpcTypeKey kEvilType = defense::MakeIpcTypeKey(1, 1);
+
 struct TwoPathWorkload {
   std::vector<defense::IpcEvent> calls;
   std::vector<TimeUs> adds;
@@ -154,7 +156,7 @@ TwoPathWorkload MakeTwoPathWorkload(int n) {
   TwoPathWorkload w;
   for (int i = 0; i < n; ++i) {
     const TimeUs t = 10'000 + static_cast<TimeUs>(i) * 20'000;
-    w.calls.push_back({t, "IEvil#1"});
+    w.calls.push_back({t, kEvilType});
     w.adds.push_back(t + (i % 2 == 0 ? 700 : 9'000));
   }
   std::sort(w.adds.begin(), w.adds.end());
@@ -190,7 +192,7 @@ TEST(MultiPathScoringTest, ExtraPathsDoNotInflateSinglePathAttackers) {
   std::vector<TimeUs> adds;
   for (int i = 0; i < 200; ++i) {
     const TimeUs t = 10'000 + static_cast<TimeUs>(i) * 20'000;
-    calls.push_back({t, "IEvil#1"});
+    calls.push_back({t, kEvilType});
     adds.push_back(t + 700);
   }
   const auto k1 = defense::JgreScoreForApp(calls, adds, PathParams(1));

@@ -147,6 +147,128 @@ TEST(IrtTest, CountersTrackAddsAndRemoves) {
   EXPECT_NE(table.DumpSummary().find("0 of 64"), std::string::npos);
 }
 
+// --- Free-list behaviour (O(1) hole reuse) --------------------------------
+
+// VisitRoots walks slots in index order, so the visited sequence reveals
+// which slot an Add landed in.
+std::vector<std::int64_t> RootsInOrder(const IndirectReferenceTable& table) {
+  std::vector<std::int64_t> roots;
+  table.VisitRoots([&](ObjectId obj) { roots.push_back(obj.value()); });
+  return roots;
+}
+
+TEST(IrtFreeListTest, HoleCountTracksRemovalsAndReuse) {
+  auto table = MakeTable();
+  std::vector<IndirectRef> refs;
+  for (int i = 0; i < 4; ++i) {
+    refs.push_back(table.Add(0, ObjectId{i + 1}).value());
+  }
+  EXPECT_EQ(table.HoleCount(), 0u);
+  table.Remove(0, refs[1]);
+  table.Remove(0, refs[2]);
+  EXPECT_EQ(table.HoleCount(), 2u);
+  ASSERT_TRUE(table.Add(0, ObjectId{10}).ok());
+  EXPECT_EQ(table.HoleCount(), 1u);
+  ASSERT_TRUE(table.Add(0, ObjectId{11}).ok());
+  EXPECT_EQ(table.HoleCount(), 0u);
+  // Free list exhausted: the next add grows the top instead.
+  ASSERT_TRUE(table.Add(0, ObjectId{12}).ok());
+  EXPECT_EQ(table.HoleCount(), 0u);
+  EXPECT_EQ(RootsInOrder(table).size(), 5u);
+}
+
+TEST(IrtFreeListTest, ReuseIsLifo) {
+  auto table = MakeTable();
+  auto a = table.Add(0, ObjectId{1});  // slot 0
+  auto b = table.Add(0, ObjectId{2});  // slot 1
+  auto c = table.Add(0, ObjectId{3});  // slot 2
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  table.Remove(0, a.value());
+  table.Remove(0, c.value());
+  // Most recently freed slot (2) is reused first, then slot 0.
+  ASSERT_TRUE(table.Add(0, ObjectId{4}).ok());
+  EXPECT_EQ(RootsInOrder(table), (std::vector<std::int64_t>{2, 4}));
+  ASSERT_TRUE(table.Add(0, ObjectId{5}).ok());
+  EXPECT_EQ(RootsInOrder(table), (std::vector<std::int64_t>{5, 2, 4}));
+}
+
+TEST(IrtFreeListTest, SerialBumpsOnEveryReuse) {
+  auto table = MakeTable();
+  auto ref = table.Add(0, ObjectId{1});
+  ASSERT_TRUE(ref.ok());
+  IndirectRef previous = ref.value();
+  // Same slot cycled repeatedly: every incarnation gets a distinct reference
+  // value and invalidates all prior ones.
+  for (int i = 2; i <= 6; ++i) {
+    EXPECT_TRUE(table.Remove(0, previous));
+    auto next = table.Add(0, ObjectId{i});
+    ASSERT_TRUE(next.ok());
+    EXPECT_NE(next.value(), previous);
+    EXPECT_FALSE(table.Get(previous).ok());
+    previous = next.value();
+  }
+  EXPECT_EQ(RootsInOrder(table), (std::vector<std::int64_t>{6}));
+}
+
+TEST(IrtFreeListTest, InnerFrameDoesNotReuseOuterHoles) {
+  IndirectReferenceTable locals(32, IndirectRefKind::kLocal, "locals");
+  auto o1 = locals.Add(locals.CurrentCookie(), ObjectId{1});  // slot 0
+  auto o2 = locals.Add(locals.CurrentCookie(), ObjectId{2});  // slot 1
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_TRUE(locals.Remove(locals.CurrentCookie(), o1.value()));
+  EXPECT_EQ(locals.HoleCount(), 1u);
+  const auto cookie = locals.PushFrame();
+  // The hole at slot 0 belongs to the outer segment; the inner frame's add
+  // must go above the cookie, not into it (a stale outer ref must never
+  // alias an inner object).
+  ASSERT_TRUE(locals.Add(cookie, ObjectId{3}).ok());
+  EXPECT_EQ(RootsInOrder(locals), (std::vector<std::int64_t>{2, 3}));
+  EXPECT_EQ(locals.HoleCount(), 1u);
+  locals.PopFrame(cookie);
+  // Back in the outer frame the saved free list is live again: slot 0 is
+  // reused by the next add.
+  ASSERT_TRUE(locals.Add(locals.CurrentCookie(), ObjectId{4}).ok());
+  EXPECT_EQ(RootsInOrder(locals), (std::vector<std::int64_t>{4, 2}));
+  EXPECT_EQ(locals.HoleCount(), 0u);
+}
+
+TEST(IrtFreeListTest, PopFrameReleasesInnerHoles) {
+  IndirectReferenceTable locals(32, IndirectRefKind::kLocal, "locals");
+  const auto cookie = locals.PushFrame();
+  std::vector<IndirectRef> refs;
+  for (int i = 0; i < 3; ++i) {
+    refs.push_back(locals.Add(cookie, ObjectId{i + 1}).value());
+  }
+  EXPECT_TRUE(locals.Remove(cookie, refs[1]));
+  EXPECT_EQ(locals.HoleCount(), 1u);
+  locals.PopFrame(cookie);
+  // The popped frame's holes die with it — both the count and the list.
+  EXPECT_EQ(locals.HoleCount(), 0u);
+  EXPECT_EQ(locals.Size(), 0u);
+  ASSERT_TRUE(locals.Add(locals.CurrentCookie(), ObjectId{9}).ok());
+  EXPECT_EQ(RootsInOrder(locals), (std::vector<std::int64_t>{9}));
+}
+
+TEST(IrtFreeListTest, ChurnAtCapacityNeverLosesSlots) {
+  // Full table, then sustained remove+add churn: every add must succeed by
+  // reusing the slot just freed, regardless of position.
+  auto table = MakeTable(16);
+  std::vector<IndirectRef> refs;
+  for (int i = 0; i < 16; ++i) {
+    refs.push_back(table.Add(0, ObjectId{i + 1}).value());
+  }
+  Rng rng(99);
+  for (int op = 0; op < 1000; ++op) {
+    const std::size_t i = rng.UniformU64(refs.size());
+    ASSERT_TRUE(table.Remove(0, refs[i]));
+    auto ref = table.Add(0, ObjectId{100 + op});
+    ASSERT_TRUE(ref.ok()) << "op " << op;
+    refs[i] = ref.value();
+  }
+  EXPECT_EQ(table.Size(), 16u);
+  EXPECT_EQ(table.HoleCount(), 0u);
+}
+
 // Property: random add/remove churn never corrupts the table — live set
 // matches a reference map, stale refs always rejected.
 class IrtPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
