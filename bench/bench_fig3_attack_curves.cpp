@@ -9,7 +9,11 @@
 // Harness-driven: each interface's attack is an independent simulation (its
 // own AndroidSystem + seed), run --jobs-wide via the work-stealing pool.
 // Results are collected in submission order, so stdout and the JSON file are
-// byte-identical for any --jobs value.
+// byte-identical for any --jobs value. --metrics folds each simulation's
+// event stream into one registry (merged in submission order — same bytes
+// for any --jobs); --trace writes a Chrome-trace timeline of one *defended*
+// enqueueToast attack, a single dedicated simulation whose bytes depend only
+// on the seed.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -18,9 +22,11 @@
 #include "attack/malicious_app.h"
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
-#include "core/android_system.h"
+#include "experiment/experiment.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
+#include "harness/obs_json.h"
+#include "obs/metrics.h"
 
 using namespace jgre;
 
@@ -28,38 +34,36 @@ int main(int argc, char** argv) {
   harness::HarnessSpec spec;
   spec.name = "fig3_attack_curves";
   spec.default_seed = 42;
-  spec.extra_usage = "  --curves     print the full per-interface CSV series\n";
+  spec.supports_trace = true;
+  spec.supports_metrics = true;
+  spec.extra_flags = {
+      {"--curves", false, "print the full per-interface CSV series"}};
   const harness::HarnessOptions opts =
       harness::ParseHarnessOptions(spec, argc, argv);
   if (opts.help) return 0;
   if (!opts.error.empty()) return 2;
-  bool print_curves = false;
-  for (const std::string& arg : opts.extra) {
-    if (arg == "--curves") {
-      print_curves = true;
-    } else {
-      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
-      return 2;
-    }
-  }
+  const bool print_curves = harness::HasFlag(opts, "--curves");
 
   bench::PrintBanner("FIGURE 3",
                      "Misuse effectiveness of the 54 vulnerable interfaces");
   const auto vulns = attack::SystemServerVulnerabilities();
-  const auto results =
-      harness::RunOrdered<attack::MaliciousApp::AttackResult>(
-          vulns.size(), opts.jobs, [&](std::size_t i) {
-            core::SystemConfig config;
-            config.seed = opts.seed;
-            core::AndroidSystem system(config);
-            system.Boot();
-            services::AppProcess* evil =
-                attack::InstallAttackApp(&system, "com.evil.app", vulns[i]);
-            attack::MaliciousApp attacker(&system, evil, vulns[i]);
-            attack::MaliciousApp::RunOptions options;
-            options.sample_every_calls = 500;
-            return attacker.Run(options);
-          });
+  struct TaskResult {
+    attack::MaliciousApp::AttackResult result;
+    obs::MetricsRegistry metrics;
+  };
+  const auto results = harness::RunOrdered<TaskResult>(
+      vulns.size(), opts.jobs, [&](std::size_t i) {
+        experiment::ExperimentConfig config;
+        config.WithSeed(opts.seed).WithAttack(vulns[i]);
+        if (opts.emit_metrics) config.WithMetrics();
+        auto exp = config.Build();
+        attack::MaliciousApp::RunOptions options;
+        options.sample_every_calls = 500;
+        TaskResult out;
+        out.result = exp->attacker()->Run(options);
+        if (exp->metrics() != nullptr) out.metrics = *exp->metrics();
+        return out;
+      });
 
   struct Row {
     const attack::VulnSpec* vuln;
@@ -68,7 +72,7 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   rows.reserve(vulns.size());
   for (std::size_t i = 0; i < vulns.size(); ++i) {
-    rows.push_back(Row{&vulns[i], &results[i]});
+    rows.push_back(Row{&vulns[i], &results[i].result});
   }
   // stable_sort: rows with equal durations keep registry order, so the table
   // is reproducible independent of how the sort breaks ties.
@@ -111,6 +115,26 @@ int main(int argc, char** argv) {
     std::printf("(run with --curves for the full per-interface CSV series)\n");
   }
 
+  if (!opts.trace_path.empty()) {
+    // One dedicated *defended* run of the flawed enqueueToast interface: its
+    // timeline shows the jgr climb, the attacker's ipc bursts, and the
+    // defense alarm/report/kill/recovery annotations. Independent of the
+    // table's 54 undefended simulations, so the bytes are identical for any
+    // --jobs.
+    const attack::VulnSpec* toast =
+        attack::FindVulnerability("notification", "enqueueToast");
+    if (toast == nullptr ||
+        !bench::WriteDefendedAttackTrace(*toast, opts.seed,
+                                         /*benign_apps=*/10,
+                                         opts.trace_path)) {
+      std::fprintf(stderr, "error: could not write %s\n",
+                   opts.trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome-trace timeline (defended enqueueToast) to %s\n",
+                opts.trace_path.c_str());
+  }
+
   if (opts.emit_json) {
     harness::Json doc = harness::Json::Object();
     doc.Set("bench", spec.name).Set("seed", opts.seed);
@@ -137,6 +161,13 @@ int main(int argc, char** argv) {
                            .Set("total", static_cast<int>(rows.size()))
                            .Set("min_duration_us", min_duration)
                            .Set("max_duration_us", max_duration));
+    if (opts.emit_metrics) {
+      // Per-task registries merged in submission (registry) order: the
+      // merged table is byte-identical for any --jobs.
+      obs::MetricsRegistry merged;
+      for (const TaskResult& task : results) merged.Merge(task.metrics);
+      doc.Set("metrics", harness::MetricsToJson(merged));
+    }
     if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
   }
   return succeeded == 54 ? 0 : 1;

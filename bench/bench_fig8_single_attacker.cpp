@@ -6,28 +6,64 @@
 // Paper setting: top-100 benign apps, Δ = 1.8 ms (the services' average).
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
+#include "harness/experiment_runner.h"
+#include "harness/json.h"
+#include "harness/obs_json.h"
+#include "obs/metrics.h"
 
 using namespace jgre;
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  harness::HarnessSpec spec;
+  spec.name = "fig8_single_attacker";
+  spec.default_seed = 42;
+  spec.supports_metrics = true;
+  spec.extra_flags = {
+      {"--quick", false, "20 benign apps instead of the paper's 100"}};
+  const harness::HarnessOptions opts =
+      harness::ParseHarnessOptions(spec, argc, argv);
+  if (opts.help) return 0;
+  if (!opts.error.empty()) return 2;
+  const bool quick = harness::HasFlag(opts, "--quick");
+
   bench::PrintBanner("FIGURE 8",
                      "Suspicious IPC calls: malicious vs top benign app "
                      "(delta = 1.8 ms)");
-  bench::DefendedAttackOptions options;
-  options.benign_apps = quick ? 20 : 100;
-  options.defender.scoring.delta_us = 1800;
+  const auto vulns = attack::SystemServerVulnerabilities();
+  defense::JgreDefender::Config defender_config;
+  defender_config.scoring.delta_us = 1800;
+  const int benign_apps = quick ? 20 : 100;
+
+  struct TaskResult {
+    experiment::DefendedAttackResult result;
+    obs::MetricsRegistry metrics;
+  };
+  const auto results = harness::RunOrdered<TaskResult>(
+      vulns.size(), opts.jobs, [&](std::size_t i) {
+        experiment::ExperimentConfig config;
+        config.WithSeed(opts.seed + static_cast<std::uint64_t>(vulns[i].id))
+            .WithBenignApps(benign_apps)
+            .WithAttack(vulns[i])
+            .WithDefenderConfig(defender_config);
+        if (opts.emit_metrics) config.WithMetrics();
+        auto exp = config.Build();
+        TaskResult out;
+        out.result = exp->RunDefendedAttack();
+        if (exp->metrics() != nullptr) out.metrics = *exp->metrics();
+        return out;
+      });
 
   std::printf("\n%-3s %-20s %-38s %10s %12s %10s\n", "#", "service",
               "interface", "malicious", "top benign", "detected");
-  int detected = 0, separated = 0, index = 0;
-  for (const attack::VulnSpec& vuln : attack::SystemServerVulnerabilities()) {
-    options.seed = 42 + static_cast<std::uint64_t>(vuln.id);
-    auto result = bench::RunDefendedAttack(vuln, options);
-    ++index;
+  int detected = 0, separated = 0;
+  harness::Json json_rows = harness::Json::Array();
+  for (std::size_t i = 0; i < vulns.size(); ++i) {
+    const attack::VulnSpec& vuln = vulns[i];
+    const experiment::DefendedAttackResult& result = results[i].result;
     long long malicious_score = 0, benign_score = 0;
     if (result.incident) {
       ++detected;
@@ -40,13 +76,37 @@ int main(int argc, char** argv) {
       }
       if (malicious_score > 2 * benign_score) ++separated;
     }
-    std::printf("%-3d %-20s %-38s %10lld %12lld %10s\n", index,
+    std::printf("%-3zu %-20s %-38s %10lld %12lld %10s\n", i + 1,
                 vuln.service.c_str(), vuln.interface.c_str(), malicious_score,
                 benign_score, result.incident ? "yes" : "NO");
+    json_rows.Push(harness::Json::Object()
+                       .Set("service", vuln.service)
+                       .Set("interface", vuln.interface)
+                       .Set("malicious_score", malicious_score)
+                       .Set("top_benign_score", benign_score)
+                       .Set("detected", result.incident));
   }
   std::printf("\ndetected %d/54 attacks; attacker scored >2x the best benign "
               "app in %d/54 (paper: the malicious count is significantly "
               "larger for all)\n",
               detected, separated);
+
+  if (opts.emit_json) {
+    harness::Json doc = harness::Json::Object();
+    doc.Set("bench", spec.name)
+        .Set("seed", opts.seed)
+        .Set("benign_apps", benign_apps)
+        .Set("rows", std::move(json_rows))
+        .Set("summary", harness::Json::Object()
+                            .Set("detected", detected)
+                            .Set("separated_2x", separated)
+                            .Set("total", static_cast<int>(vulns.size())));
+    if (opts.emit_metrics) {
+      obs::MetricsRegistry merged;
+      for (const TaskResult& task : results) merged.Merge(task.metrics);
+      doc.Set("metrics", harness::MetricsToJson(merged));
+    }
+    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+  }
   return detected == 54 ? 0 : 1;
 }

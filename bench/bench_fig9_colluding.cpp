@@ -3,8 +3,13 @@
 // interface while a benign app fires IPC at random 0–100 ms intervals. The
 // top-4 suspicious-call counts must belong to the four attackers for every
 // tested Δ ∈ {79, 1900, 3583} µs.
+//
+// One simulation scored three ways — --trace captures its full timeline and
+// --metrics its event tallies.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "attack/benign_workload.h"
@@ -12,23 +17,40 @@
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
 #include "common/rng.h"
-#include "core/android_system.h"
-#include "defense/jgre_defender.h"
+#include "harness/experiment_runner.h"
+#include "harness/json.h"
+#include "harness/obs_json.h"
 
 using namespace jgre;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::HarnessSpec spec;
+  spec.name = "fig9_colluding";
+  spec.default_seed = 42;
+  spec.supports_trace = true;
+  spec.supports_metrics = true;
+  const harness::HarnessOptions opts =
+      harness::ParseHarnessOptions(spec, argc, argv);
+  if (opts.help) return 0;
+  if (!opts.error.empty()) return 2;
+
   bench::PrintBanner("FIGURE 9",
                      "Colluding attackers: suspicious IPC calls by top-5 apps "
                      "for three deltas");
-  core::AndroidSystem system;
-  system.Boot();
   // High report threshold: gather data without triggering recovery so the
   // same recording can be scored under all three Δ values.
-  defense::JgreDefender::Config config;
-  config.monitor.report_threshold = 1'000'000;
-  defense::JgreDefender defender(&system, config);
-  defender.Install();
+  defense::JgreDefender::Config defender_config;
+  defender_config.monitor.report_threshold = 1'000'000;
+  experiment::ExperimentConfig config;
+  config.WithSeed(opts.seed)
+      .WithBenignApps(1)
+      .WithDefenderConfig(defender_config);
+  if (!opts.trace_path.empty()) config.WithTrace();
+  if (opts.emit_metrics) config.WithMetrics();
+  auto exp = config.Build();
+  core::AndroidSystem& system = exp->system();
+  defense::JgreDefender& defender = *exp->defender();
+  attack::BenignWorkload& benign = *exp->benign();
 
   const std::vector<std::pair<const char*, const char*>> targets = {
       {"clipboard", "addPrimaryClipChangedListener"},
@@ -47,14 +69,10 @@ int main() {
         std::make_unique<attack::MaliciousApp>(&system, app, *vuln));
     attacker_packages.push_back(package);
   }
-  attack::BenignWorkload::Options benign_options;
-  benign_options.app_count = 1;
-  attack::BenignWorkload benign(&system, benign_options);
-  benign.InstallAll();
   services::AppProcess* chatty = system.FindApp(benign.packages().front());
 
   // Run until the victim accumulated a solid recording (~14k JGRs).
-  Rng rng(77);
+  Rng rng(opts.seed + 35);  // default seed keeps the historical stream (77)
   TimeUs benign_next = system.clock().NowUs();
   while (system.SystemServerJgrCount() < 16'000) {
     for (auto& attacker : attackers) {
@@ -69,6 +87,7 @@ int main() {
 
   defense::JgrMonitor* monitor = defender.MonitorFor("system_server");
   bool all_separated = true;
+  harness::Json json_deltas = harness::Json::Array();
   for (DurationUs delta : {79u, 1900u, 3583u}) {
     defense::ScoringParams params;
     params.delta_us = delta;
@@ -78,6 +97,7 @@ int main() {
                 static_cast<unsigned long long>(delta));
     int shown = 0;
     int attackers_in_top4 = 0;
+    harness::Json json_top = harness::Json::Array();
     for (const auto& entry : ranking) {
       if (shown++ >= 5) break;
       const bool is_attacker =
@@ -88,12 +108,43 @@ int main() {
                   entry.package.c_str(),
                   static_cast<long long>(entry.score),
                   is_attacker ? "malicious" : "benign");
+      json_top.Push(harness::Json::Object()
+                        .Set("uid", entry.uid.value())
+                        .Set("package", entry.package)
+                        .Set("score", entry.score)
+                        .Set("malicious", is_attacker));
     }
     std::printf("  -> top-4 are all attackers: %s\n",
                 attackers_in_top4 == 4 ? "YES" : "NO");
     if (attackers_in_top4 != 4) all_separated = false;
+    json_deltas.Push(harness::Json::Object()
+                         .Set("delta_us", delta)
+                         .Set("attackers_in_top4", attackers_in_top4)
+                         .Set("top5", std::move(json_top)));
   }
   std::printf("\npaper: for each delta the four malicious apps' counts are "
               "significantly larger than the benign app's\n");
+
+  if (!opts.trace_path.empty()) {
+    if (!exp->WriteChromeTrace(opts.trace_path)) {
+      std::fprintf(stderr, "error: could not write %s\n",
+                   opts.trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome-trace timeline to %s\n",
+                opts.trace_path.c_str());
+  }
+  if (opts.emit_json) {
+    harness::Json doc = harness::Json::Object();
+    doc.Set("bench", spec.name)
+        .Set("seed", opts.seed)
+        .Set("deltas", std::move(json_deltas))
+        .Set("summary",
+             harness::Json::Object().Set("all_separated", all_separated));
+    if (opts.emit_metrics && exp->metrics() != nullptr) {
+      doc.Set("metrics", harness::MetricsToJson(*exp->metrics()));
+    }
+    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+  }
   return all_separated ? 0 : 1;
 }

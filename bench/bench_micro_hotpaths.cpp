@@ -146,12 +146,7 @@ int main(int argc, char** argv) {
   const harness::HarnessOptions opts =
       harness::ParseHarnessOptions(spec, argc, argv);
   if (opts.help) return 0;
-  if (!opts.error.empty() || !opts.extra.empty()) {
-    for (const auto& arg : opts.extra) {
-      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
-    }
-    return 2;
-  }
+  if (!opts.error.empty()) return 2;
 
   std::printf("\n================================================================\n");
   std::printf("MICRO HOTPATHS — wall-clock cost of the simulation core\n");

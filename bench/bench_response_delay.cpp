@@ -21,6 +21,8 @@
 #include "common/log.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
+#include "harness/obs_json.h"
+#include "obs/metrics.h"
 
 using namespace jgre;
 
@@ -28,26 +30,33 @@ int main(int argc, char** argv) {
   harness::HarnessSpec spec;
   spec.name = "response_delay";
   spec.default_seed = 7;
+  spec.supports_metrics = true;
   const harness::HarnessOptions opts =
       harness::ParseHarnessOptions(spec, argc, argv);
   if (opts.help) return 0;
-  if (!opts.error.empty() || !opts.extra.empty()) {
-    for (const auto& arg : opts.extra) {
-      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
-    }
-    return 2;
-  }
+  if (!opts.error.empty()) return 2;
   SetLogLevel(LogLevel::kError);
 
   bench::PrintBanner("RESPONSE DELAY (paper §V.D.1)",
                      "Attack-source identification latency per vulnerability");
   const auto vulns = attack::AllVulnerabilities();
-  const auto results = harness::RunOrdered<bench::DefendedAttackResult>(
+  struct TaskResult {
+    experiment::DefendedAttackResult result;
+    obs::MetricsRegistry metrics;
+  };
+  const auto results = harness::RunOrdered<TaskResult>(
       vulns.size(), opts.jobs, [&](std::size_t i) {
-        bench::DefendedAttackOptions options;
-        options.benign_apps = 10;  // light background traffic
-        options.seed = opts.seed + static_cast<std::uint64_t>(vulns[i].id);
-        return bench::RunDefendedAttack(vulns[i], options);
+        experiment::ExperimentConfig config;
+        config.WithSeed(opts.seed + static_cast<std::uint64_t>(vulns[i].id))
+            .WithBenignApps(10)  // light background traffic
+            .WithAttack(vulns[i])
+            .WithDefense();
+        if (opts.emit_metrics) config.WithMetrics();
+        auto exp = config.Build();
+        TaskResult out;
+        out.result = exp->RunDefendedAttack();
+        if (exp->metrics() != nullptr) out.metrics = *exp->metrics();
+        return out;
       });
 
   std::printf("\n%-20s %-40s %12s %10s %10s\n", "service", "interface",
@@ -58,7 +67,7 @@ int main(int argc, char** argv) {
   int total = 0;
   for (std::size_t i = 0; i < vulns.size(); ++i) {
     const attack::VulnSpec& vuln = vulns[i];
-    const auto& result = results[i];
+    const auto& result = results[i].result;
     ++total;
     double delay_ms = -1;
     bool recovered = false;
@@ -106,6 +115,11 @@ int main(int argc, char** argv) {
         .Set("seed", opts.seed)
         .Set("rows", std::move(json_rows))
         .Set("summary", std::move(summary));
+    if (opts.emit_metrics) {
+      obs::MetricsRegistry merged;
+      for (const TaskResult& task : results) merged.Merge(task.metrics);
+      doc.Set("metrics", harness::MetricsToJson(merged));
+    }
     if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
   }
   return defended == total ? 0 : 1;

@@ -1,66 +1,31 @@
 #include "bench_util.h"
 
-#include <vector>
-
-#include "common/rng.h"
-
 namespace jgre::bench {
 
 DefendedAttackResult RunDefendedAttack(const attack::VulnSpec& vuln,
                                        const DefendedAttackOptions& options) {
-  DefendedAttackResult result;
-  core::SystemConfig config;
-  config.seed = options.seed;
-  core::AndroidSystem system(config);
-  system.Boot();
-  defense::JgreDefender defender(&system, options.defender);
-  defender.Install();
+  auto exp = experiment::ExperimentConfig()
+                 .WithSeed(options.seed)
+                 .WithBenignApps(options.benign_apps)
+                 .WithAttack(vuln)
+                 .WithDefenderConfig(options.defender)
+                 .WithMaxAttackerCalls(options.max_attacker_calls)
+                 .Build();
+  return exp->RunDefendedAttack();
+}
 
-  attack::BenignWorkload::Options benign_options;
-  benign_options.app_count = options.benign_apps;
-  benign_options.seed = options.seed + 1;
-  attack::BenignWorkload benign(&system, benign_options);
-  std::vector<TimeUs> next_benign;
-  Rng rng(options.seed + 2);
-  if (options.benign_apps > 0) {
-    benign.InstallAll();
-    next_benign.resize(benign.packages().size());
-    for (auto& t : next_benign) {
-      t = system.clock().NowUs() + rng.UniformU64(150'000);
-    }
-  }
-
-  services::AppProcess* evil =
-      attack::InstallAttackApp(&system, "com.evil.app", vuln);
-  attack::MaliciousApp attacker(&system, evil, vuln);
-  const TimeUs start = system.clock().NowUs();
-
-  while (defender.incidents().empty() &&
-         result.attacker_calls < options.max_attacker_calls) {
-    if (!evil->alive()) break;
-    (void)attacker.Step();
-    ++result.attacker_calls;
-    // Benign apps interact on their own randomized schedules.
-    const TimeUs now = system.clock().NowUs();
-    for (std::size_t i = 0; i < next_benign.size(); ++i) {
-      if (now >= next_benign[i]) {
-        benign.InteractOnce(i);
-        next_benign[i] =
-            system.clock().NowUs() + 20'000 + rng.UniformU64(130'000);
-      }
-    }
-    if (system.soft_reboots() > 0) {
-      result.soft_rebooted = true;
-      break;
-    }
-  }
-  result.virtual_duration_us = system.clock().NowUs() - start;
-  result.attacker_killed = !evil->alive();
-  if (!defender.incidents().empty()) {
-    result.incident = true;
-    result.report = defender.incidents().front();
-  }
-  return result;
+bool WriteDefendedAttackTrace(const attack::VulnSpec& vuln,
+                              std::uint64_t seed, int benign_apps,
+                              const std::string& path) {
+  auto exp = experiment::ExperimentConfig()
+                 .WithSeed(seed)
+                 .WithBenignApps(benign_apps)
+                 .WithAttack(vuln)
+                 .WithDefense()
+                 .WithTrace()
+                 .Build();
+  (void)exp->RunDefendedAttack();
+  return exp->WriteChromeTrace(path);
 }
 
 }  // namespace jgre::bench

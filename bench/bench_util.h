@@ -1,21 +1,20 @@
 // Shared helpers for the experiment harnesses under bench/.
 //
 // Each bench binary regenerates one table or figure from the paper's
-// evaluation; these helpers hold the scenario plumbing they share (banner
-// formatting, the defended-attack driver with interleaved benign traffic).
+// evaluation. The scenario plumbing they used to share lives in
+// src/experiment (ExperimentConfig/Experiment); the adapters here are
+// DEPRECATED shims over it, kept one PR for callers that still spell
+// bench::RunDefendedAttack.
 #ifndef JGRE_BENCH_BENCH_UTIL_H_
 #define JGRE_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
-#include <memory>
-#include <optional>
 #include <string>
 
-#include "attack/benign_workload.h"
-#include "attack/malicious_app.h"
 #include "attack/vuln_registry.h"
-#include "core/android_system.h"
 #include "defense/jgre_defender.h"
+#include "experiment/experiment.h"
 
 namespace jgre::bench {
 
@@ -25,6 +24,7 @@ inline void PrintBanner(const char* id, const char* title) {
   std::printf("================================================================\n");
 }
 
+// DEPRECATED: use experiment::ExperimentConfig directly.
 struct DefendedAttackOptions {
   int benign_apps = 0;
   std::uint64_t seed = 42;
@@ -32,22 +32,20 @@ struct DefendedAttackOptions {
   defense::JgreDefender::Config defender;
 };
 
-struct DefendedAttackResult {
-  bool incident = false;
-  defense::JgreDefender::IncidentReport report;
-  int attacker_calls = 0;
-  bool attacker_killed = false;
-  bool soft_rebooted = false;
-  DurationUs virtual_duration_us = 0;
-};
+using DefendedAttackResult = experiment::DefendedAttackResult;
 
-// Boots a defended device, optionally populates it with benign apps whose
-// interactions interleave with the attack (randomized 20–150 ms cadence per
-// app, as MonkeyRunner-driven apps behave), runs `vuln`'s attack loop until
-// the defender raises an incident (or the attacker dies / the call budget is
-// exhausted), and returns the incident report.
+// DEPRECATED adapter: builds the equivalent Experiment and runs it. Byte-
+// identical results to the pre-experiment implementation.
 DefendedAttackResult RunDefendedAttack(const attack::VulnSpec& vuln,
                                        const DefendedAttackOptions& options);
+
+// Runs one defended attack against `vuln` with full tracing subscribed and
+// writes the Chrome-trace JSON timeline to `path`. Returns false if the
+// write fails. The simulation is independent of any other run in the bench,
+// so the emitted bytes only depend on (vuln, seed, benign_apps).
+bool WriteDefendedAttackTrace(const attack::VulnSpec& vuln,
+                              std::uint64_t seed, int benign_apps,
+                              const std::string& path);
 
 }  // namespace jgre::bench
 

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a bench run emits.
+
+Usage:
+  validate_obs_json.py --trace TRACE.json [--require-cats jgr,ipc,defense]
+  validate_obs_json.py --bench BENCH.json   # requires a non-empty "metrics"
+
+Checks the Chrome-trace file is loadable (what ui.perfetto.dev and
+chrome://tracing accept), structurally sound, and actually covers the
+categories the simulation should have emitted; and that a bench JSON carries
+a populated metrics table. Stdlib only.
+"""
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_obs_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path, require_cats):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    if "droppedEvents" not in doc:
+        fail(f"{path}: droppedEvents count missing")
+    cats = set()
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                fail(f"{path}: event {i} lacks required key '{key}'")
+        if ev["ph"] == "M":
+            continue  # metadata records carry no timestamp
+        for key in ("ts", "cat"):
+            if key not in ev:
+                fail(f"{path}: event {i} ({ev['name']}) lacks '{key}'")
+        if not isinstance(ev["ts"], int) or ev["ts"] < 0:
+            fail(f"{path}: event {i} has non-integer ts {ev['ts']!r}")
+        cats.add(ev["cat"])
+    missing = set(require_cats) - cats
+    if missing:
+        fail(f"{path}: missing required categories {sorted(missing)} "
+             f"(saw {sorted(cats)})")
+    print(f"validate_obs_json: {path} OK — {len(events)} events, "
+          f"categories {sorted(cats)}, dropped {doc['droppedEvents']}")
+
+
+def validate_bench(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"{path}: no 'metrics' object (was the bench run with --metrics?)")
+    counters = metrics.get("counters", {})
+    if not counters:
+        fail(f"{path}: metrics.counters is empty")
+    bad = [k for k, v in counters.items() if not isinstance(v, int)]
+    if bad:
+        fail(f"{path}: non-integer counters {bad}")
+    if counters.get("ipc.calls", 0) <= 0:
+        fail(f"{path}: expected a positive ipc.calls counter, "
+             f"got {counters.get('ipc.calls')}")
+    print(f"validate_obs_json: {path} OK — {len(counters)} counters, "
+          f"{len(metrics.get('gauges', {}))} gauges, "
+          f"{len(metrics.get('histograms', {}))} histograms")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trace", help="Chrome-trace JSON to validate")
+    parser.add_argument("--bench", help="bench BENCH_*.json to validate")
+    parser.add_argument("--require-cats", default="jgr,ipc,defense",
+                        help="comma-separated categories the trace must cover")
+    args = parser.parse_args()
+    if not args.trace and not args.bench:
+        parser.error("give at least one of --trace / --bench")
+    if args.trace:
+        validate_trace(args.trace,
+                       [c for c in args.require_cats.split(",") if c])
+    if args.bench:
+        validate_bench(args.bench)
+
+
+if __name__ == "__main__":
+    main()

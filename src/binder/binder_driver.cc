@@ -274,6 +274,17 @@ Status BinderDriver::Transact(Pid caller, NodeId target, std::uint32_t code,
     AppendLog(caller, caller_proc->uid, node->owner, target, code,
               node->descriptor_id);
   }
+  if (obs::EventBus& bus = kernel_->bus();
+      bus.Wants(obs::Category::kIpc)) {
+    // arg1 packs (descriptor_id, code) exactly like defense::MakeIpcTypeKey,
+    // so the defender can score straight off the event stream.
+    bus.Emit(obs::MakeEvent(
+        obs::Category::kIpc, DescriptorLabel(node->descriptor_id),
+        kernel_->clock().NowUs(), caller.value(), caller_proc->uid.value(),
+        node->owner.value(),
+        static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(node->descriptor_id) << 32) | code)));
+  }
 
   ++total_transactions_;
   CallContext ctx;
@@ -304,6 +315,19 @@ Status BinderDriver::Transact(Pid caller, NodeId target, std::uint32_t code,
   --transact_depth_;
   if (transact_depth_ == 0 && post_transact_hook_) post_transact_hook_();
   return status;
+}
+
+obs::LabelId BinderDriver::DescriptorLabel(DescriptorId id) {
+  if (id == StringInterner::kInvalidId) {
+    return obs::LabelIdOf(obs::Label::kIpcTransact);
+  }
+  if (descriptor_labels_.size() <= id) {
+    descriptor_labels_.resize(id + 1, StringInterner::kInvalidId);
+  }
+  if (descriptor_labels_[id] == StringInterner::kInvalidId) {
+    descriptor_labels_[id] = kernel_->bus().InternLabel(descriptors_.Name(id));
+  }
+  return descriptor_labels_[id];
 }
 
 void BinderDriver::AppendLog(Pid from, Uid from_uid, Pid to, NodeId node,

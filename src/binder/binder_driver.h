@@ -32,6 +32,7 @@
 #include "common/types.h"
 #include "binder/ibinder.h"
 #include "binder/parcel.h"
+#include "obs/event_bus.h"
 #include "os/kernel.h"
 
 namespace jgre::binder {
@@ -199,6 +200,9 @@ class BinderDriver {
   void AppendLog(Pid from, Uid from_uid, Pid to, NodeId node,
                  std::uint32_t code, DescriptorId descriptor_id);
   void AttachRuntimeHooks(Pid pid, rt::Runtime* runtime);
+  // Bus label for a descriptor, interned once per descriptor on first use so
+  // the per-transaction emit is an array load.
+  obs::LabelId DescriptorLabel(DescriptorId id);
 
   os::Kernel* kernel_;
   Config config_;
@@ -212,6 +216,8 @@ class BinderDriver {
 
   // Interface descriptors, interned once per distinct string.
   StringInterner descriptors_;
+  // descriptor_id -> bus LabelId, filled lazily (kInvalidId sentinel = ~0).
+  std::vector<obs::LabelId> descriptor_labels_;
 
   LinkId next_link_ = 1;
   std::unordered_map<LinkId, DeathLink> links_;

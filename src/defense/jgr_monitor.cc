@@ -3,11 +3,28 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace jgre::defense {
 
 JgrMonitor::JgrMonitor(SimClock* clock, std::string victim_name, Config config)
     : clock_(clock), victim_name_(std::move(victim_name)), config_(config) {}
+
+void JgrMonitor::OnEvent(const obs::TraceEvent& event) {
+  if (event.category != obs::Category::kJgr) return;
+  switch (event.name) {
+    case obs::LabelIdOf(obs::Label::kJgrAdd):
+      OnJgrAdd(event.ts_us, static_cast<std::size_t>(event.arg0),
+               ObjectId{static_cast<std::int64_t>(event.arg1)});
+      break;
+    case obs::LabelIdOf(obs::Label::kJgrRemove):
+      OnJgrRemove(event.ts_us, static_cast<std::size_t>(event.arg0),
+                  ObjectId{static_cast<std::int64_t>(event.arg1)});
+      break;
+    default:
+      break;  // kJgrOverflow: the kernel kill path reports it
+  }
+}
 
 void JgrMonitor::OnJgrAdd(TimeUs now_us, std::size_t count_after,
                           ObjectId /*obj*/) {
@@ -18,6 +35,10 @@ void JgrMonitor::OnJgrAdd(TimeUs now_us, std::size_t count_after,
     JGRE_LOG(kInfo, "JgrMonitor")
         << victim_name_ << ": JGR count passed alarm threshold ("
         << config_.alarm_threshold << "), recording";
+    JGRE_TRACE(source_.bus, obs::Category::kDefense,
+               obs::MakeEvent(obs::Category::kDefense,
+                              obs::Label::kMonitorAlarm, now_us, source_.pid,
+                              source_.uid, count_after));
   }
   clock_->AdvanceUs(config_.record_cost_us);
   events_.push_back(JgrEvent{clock_->NowUs(), true, count_after});
@@ -28,6 +49,10 @@ void JgrMonitor::OnJgrAdd(TimeUs now_us, std::size_t count_after,
     JGRE_LOG(kWarning, "JgrMonitor")
         << victim_name_ << ": " << adds_since_alarm_
         << " new JGR entries since alarm — notifying JGRE Defender";
+    JGRE_TRACE(source_.bus, obs::Category::kDefense,
+               obs::MakeEvent(obs::Category::kDefense,
+                              obs::Label::kMonitorReport, reported_at_,
+                              source_.pid, source_.uid, adds_since_alarm_));
   }
 }
 

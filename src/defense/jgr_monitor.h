@@ -16,11 +16,17 @@
 
 #include "common/clock.h"
 #include "common/types.h"
+#include "obs/event.h"
+#include "obs/event_bus.h"
 #include "runtime/java_vm_ext.h"
 
 namespace jgre::defense {
 
-class JgrMonitor : public rt::JgrObserver {
+// The monitor consumes the victim's JGR activity either as a bus EventSink
+// (subscribed with a pid filter on the kJgr category — the unified path) or
+// via the deprecated rt::JgrObserver attachment; both feed the same
+// recording logic with identical timestamps and virtual-time costs.
+class JgrMonitor : public obs::EventSink, public rt::JgrObserver {
  public:
   struct Config {
     std::size_t alarm_threshold = 4000;
@@ -36,10 +42,17 @@ class JgrMonitor : public rt::JgrObserver {
 
   JgrMonitor(SimClock* clock, std::string victim_name, Config config);
 
-  // rt::JgrObserver:
+  // obs::EventSink — the bus delivers the victim's kJgr events here.
+  void OnEvent(const obs::TraceEvent& event) override;
+
+  // rt::JgrObserver (DEPRECATED direct-attachment path; kept one PR):
   void OnJgrAdd(TimeUs now_us, std::size_t count_after, ObjectId obj) override;
   void OnJgrRemove(TimeUs now_us, std::size_t count_after,
                    ObjectId obj) override;
+
+  // Where the monitor publishes its own kDefense events (alarm/report).
+  // Optional: an unset source keeps the monitor silent on the bus.
+  void set_source(obs::Source source) { source_ = source; }
 
   bool recording() const { return recording_; }
   bool reported() const { return reported_; }
@@ -58,6 +71,7 @@ class JgrMonitor : public rt::JgrObserver {
   SimClock* clock_;
   std::string victim_name_;
   Config config_;
+  obs::Source source_;
 
   bool recording_ = false;
   bool reported_ = false;

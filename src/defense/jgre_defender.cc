@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "services/activity_service.h"
 
 namespace jgre::defense {
@@ -18,19 +19,17 @@ JgreDefender::~JgreDefender() {
   if (installed_) {
     system_->SetPumpExtension(nullptr);
     system_->SetPostRebootHook(nullptr);
-    DetachMonitor("system_server", system_->system_runtime());
-    for (const char* pkg : {"com.android.bluetooth", "com.svox.pico"}) {
-      services::AppProcess* app = system_->FindApp(pkg);
-      if (app != nullptr && app->alive()) DetachMonitor(pkg, app->runtime());
+    for (auto& [name, monitor] : monitors_) {
+      system_->kernel().bus().Unsubscribe(monitor.get());
     }
+    if (tap_ != nullptr) system_->kernel().bus().Unsubscribe(tap_.get());
   }
 }
 
-void JgreDefender::DetachMonitor(const std::string& name,
-                                 rt::Runtime* runtime) {
+void JgreDefender::DetachMonitor(const std::string& name) {
   auto it = monitors_.find(name);
-  if (it == monitors_.end() || runtime == nullptr) return;
-  runtime->vm().RemoveObserver(it->second.get());
+  if (it == monitors_.end()) return;
+  system_->kernel().bus().Unsubscribe(it->second.get());
 }
 
 void JgreDefender::Install() {
@@ -53,6 +52,12 @@ void JgreDefender::Install() {
   defender_pid_ =
       system_->kernel().CreateProcess("jgre_defender", kSystemUid, pc);
 
+  // The defender's IPC tap: every kernel-side transaction record arrives as
+  // a bus event the moment it happens — no more polling the procfs log.
+  tap_ = std::make_unique<IpcTap>(config_.ipc_event_capacity);
+  system_->kernel().bus().Subscribe(tap_.get(),
+                                    obs::MaskOf(obs::Category::kIpc));
+
   AttachMonitors();
   system_->SetPumpExtension([this] { Check(); });
   system_->SetPostRebootHook([this] { AttachMonitors(); });
@@ -63,24 +68,28 @@ void JgreDefender::Install() {
 }
 
 void JgreDefender::AttachMonitors() {
-  // (Re-)attach to the current incarnation of each protected runtime. Old
-  // monitors (whose runtimes died) are replaced; their observers died with
-  // the runtime they were registered on.
-  auto attach = [this](const std::string& name, rt::Runtime* runtime) {
-    if (runtime == nullptr) return;
-    // If a monitor for this victim is already attached to the *current*
-    // runtime incarnation, detach it before replacing (avoids double
-    // observation when AttachMonitors is called redundantly).
-    DetachMonitor(name, runtime);
+  // (Re-)attach to the current incarnation of each protected runtime: each
+  // monitor subscribes to the bus for the victim pid's kJgr events. A soft
+  // reboot gives system_server a new pid, so the subscription (and its pid
+  // filter) is rebuilt here by the post-reboot hook.
+  obs::EventBus& bus = system_->kernel().bus();
+  auto attach = [this, &bus](const std::string& name, Pid victim_pid) {
+    if (!victim_pid.valid()) return;
+    // Drop the old subscription before the old monitor is destroyed by the
+    // map assignment (also avoids double observation when AttachMonitors is
+    // called redundantly).
+    DetachMonitor(name);
     auto monitor = std::make_unique<JgrMonitor>(&system_->clock(), name,
                                                 config_.monitor);
-    runtime->vm().AddObserver(monitor.get());
+    monitor->set_source(obs::Source{&bus, victim_pid.value(), -1});
+    bus.Subscribe(monitor.get(), obs::MaskOf(obs::Category::kJgr),
+                  victim_pid.value());
     monitors_[name] = std::move(monitor);
   };
-  attach("system_server", system_->system_runtime());
+  attach("system_server", system_->system_server_pid());
   for (const char* pkg : {"com.android.bluetooth", "com.svox.pico"}) {
     services::AppProcess* app = system_->FindApp(pkg);
-    if (app != nullptr && app->alive()) attach(pkg, app->runtime());
+    if (app != nullptr && app->alive()) attach(pkg, app->pid());
   }
 }
 
@@ -126,23 +135,41 @@ std::vector<JgreDefender::ScoreEntry> JgreDefender::RankApps(
     window_start = reference - params.analysis_window_us;
   }
 
-  // Phase 2, step 1: walk the kernel's IPC log in place (the defender runs
-  // as uid system, so the procfs permission check passes). Per-app IPC
-  // events targeting the victim since the alarm; system uids are exempt:
-  // the defender only ever kills apps (LMK-style policy).
+  // Phase 2, step 1: replay the captured IPC records. Per-app IPC events
+  // targeting the victim since the alarm; system uids are exempt: the
+  // defender only ever kills apps (LMK-style policy). The installed path
+  // reads the defender's own bus-fed tap (kIpc events carry the exact
+  // MakeIpcTypeKey packing in arg1); an uninstalled defender falls back to
+  // the deprecated kernel-log polling path.
   std::map<Uid, std::vector<IpcEvent>> calls_by_app;
-  auto parsed = system_->driver().VisitIpcLogSince(
-      kSystemUid, ipc_log_watermark_,
-      [&](const binder::IpcRecord& rec) {
-        if (rec.timestamp_us < window_start) return;
-        if (rec.to_pid != victim_pid) return;
-        if (rec.from_uid.value() < kFirstAppUid.value()) return;
-        calls_by_app[rec.from_uid].push_back(IpcEvent{
-            rec.timestamp_us, MakeIpcTypeKey(rec.descriptor_id, rec.code)});
-      });
-  if (!parsed.ok()) return {};
-  // Reading + parsing the log costs real time (part of the response delay).
-  system_->clock().AdvanceUs(static_cast<DurationUs>(parsed.value()) *
+  std::size_t parsed_records = 0;
+  if (tap_ != nullptr) {
+    const RingBuffer<obs::TraceEvent>& ring = tap_->ring();
+    for (std::uint64_t i = ring.first_index(); i < ring.end_index(); ++i) {
+      const obs::TraceEvent& e = ring.At(i);
+      ++parsed_records;
+      if (e.ts_us < window_start) continue;
+      if (e.arg0 != victim_pid.value()) continue;
+      if (e.uid < kFirstAppUid.value()) continue;
+      calls_by_app[Uid{e.uid}].push_back(
+          IpcEvent{e.ts_us, static_cast<IpcTypeKey>(e.arg1)});
+    }
+  } else {
+    auto parsed = system_->driver().VisitIpcLogSince(
+        kSystemUid, ipc_log_watermark_,
+        [&](const binder::IpcRecord& rec) {
+          if (rec.timestamp_us < window_start) return;
+          if (rec.to_pid != victim_pid) return;
+          if (rec.from_uid.value() < kFirstAppUid.value()) return;
+          calls_by_app[rec.from_uid].push_back(IpcEvent{
+              rec.timestamp_us, MakeIpcTypeKey(rec.descriptor_id, rec.code)});
+        });
+    if (!parsed.ok()) return {};
+    parsed_records = parsed.value();
+  }
+  // Reading + parsing the records costs real time (part of the response
+  // delay).
+  system_->clock().AdvanceUs(static_cast<DurationUs>(parsed_records) *
                              config_.ipc_record_parse_us);
 
   std::vector<TimeUs> jgr_adds = monitor.AddTimes();
@@ -209,6 +236,14 @@ void JgreDefender::RunIncident(const std::string& victim_name,
   report.ranking =
       RankApps(*monitor, victim_pid, config_.scoring, &report.cost);
   report.identified_at = system_->clock().NowUs();
+  JGRE_TRACE(&system_->kernel().bus(), obs::Category::kDefense,
+             obs::MakeEvent(
+                 obs::Category::kDefense, obs::Label::kIncidentIdentified,
+                 report.identified_at, defender_pid_.value(),
+                 kSystemUid.value(),
+                 static_cast<std::int64_t>(report.ranking.size()),
+                 static_cast<std::int64_t>(report.identified_at -
+                                           report.reported_at)));
 
   // Phase 3: kill top-ranked apps until the victim's JGR table is healthy.
   for (const ScoreEntry& entry : report.ranking) {
@@ -223,6 +258,12 @@ void JgreDefender::RunIncident(const std::string& victim_name,
         << ") to recover " << victim_name;
     if (ForceStop(entry.package).ok()) {
       report.killed_packages.push_back(entry.package);
+      JGRE_TRACE(&system_->kernel().bus(), obs::Category::kDefense,
+                 obs::MakeEvent(obs::Category::kDefense,
+                                obs::Label::kDefenseKill,
+                                system_->clock().NowUs(),
+                                defender_pid_.value(), kSystemUid.value(),
+                                entry.uid.value(), entry.score));
       // Death notifications dropped the service-side holds; GC reclaims the
       // JGRs they pinned.
       system_->CollectAllGarbage();
@@ -231,7 +272,16 @@ void JgreDefender::RunIncident(const std::string& victim_name,
   report.recovered_at = system_->clock().NowUs();
   report.jgr_after_recovery = VictimJgrCount(victim_name);
   report.recovered = report.jgr_after_recovery <= config_.recovery_target;
+  JGRE_TRACE(&system_->kernel().bus(), obs::Category::kDefense,
+             obs::MakeEvent(
+                 obs::Category::kDefense, obs::Label::kIncidentRecovered,
+                 report.recovered_at, defender_pid_.value(),
+                 kSystemUid.value(),
+                 static_cast<std::int64_t>(report.jgr_after_recovery),
+                 report.recovered ? 1 : 0));
   monitor->Reset();
+  // Drop the consumed window: the next incident scores fresh records only.
+  if (tap_ != nullptr) tap_->Clear();
   ipc_log_watermark_ = system_->driver().ipc_log_next_seq();
   JGRE_LOG(kWarning, "JgreDefender")
       << victim_name << ": incident handled, killed "

@@ -22,9 +22,11 @@
 #include <string>
 #include <vector>
 
+#include "common/ring_buffer.h"
 #include "core/android_system.h"
 #include "defense/jgr_monitor.h"
 #include "defense/scoring.h"
+#include "obs/event.h"
 
 namespace jgre::defense {
 
@@ -45,6 +47,10 @@ class JgreDefender {
     DurationUs ipc_record_parse_us = 2;
     DurationUs jgr_event_transfer_ns = 500;
     DurationUs pair_cost_ns = 400;
+    // Capacity of the defender's bus-fed IPC tap. Defaults to the binder
+    // driver's ipc_log_capacity so the tap retains exactly the window the
+    // deprecated /proc/jgre_ipc_log polling path retained.
+    std::size_t ipc_event_capacity = 1 << 21;
   };
 
   struct ScoreEntry {
@@ -92,9 +98,25 @@ class JgreDefender {
   JgrMonitor* MonitorFor(const std::string& victim_name);
   bool installed() const { return installed_; }
 
+  // The defender's bus subscription: buffers every kIpc event since install
+  // (or the last handled incident) so ranking never re-reads the kernel log.
+  // Replaces the deprecated VisitIpcLogSince polling path.
+  class IpcTap : public obs::EventSink {
+   public:
+    explicit IpcTap(std::size_t capacity) : ring_(capacity) {}
+    void OnEvent(const obs::TraceEvent& event) override { ring_.Push(event); }
+    const RingBuffer<obs::TraceEvent>& ring() const { return ring_; }
+    void Clear() { ring_.Clear(); }
+
+   private:
+    RingBuffer<obs::TraceEvent> ring_;
+  };
+
+  const IpcTap* ipc_tap() const { return tap_.get(); }
+
  private:
   void AttachMonitors();
-  void DetachMonitor(const std::string& name, rt::Runtime* runtime);
+  void DetachMonitor(const std::string& name);
   void Check();
   void RunIncident(const std::string& victim_name, JgrMonitor* monitor);
   std::size_t VictimJgrCount(const std::string& victim_name) const;
@@ -107,6 +129,9 @@ class JgreDefender {
   Pid defender_pid_;
   // victim name ("system_server", "com.android.bluetooth", ...) -> monitor.
   std::map<std::string, std::unique_ptr<JgrMonitor>> monitors_;
+  std::unique_ptr<IpcTap> tap_;
+  // Watermark for the deprecated VisitIpcLogSince fallback (RankApps on an
+  // uninstalled defender, where no tap is subscribed).
   std::uint64_t ipc_log_watermark_ = 1;
   std::vector<IncidentReport> incidents_;
   // Reusable scoring buffers (segment tree, grouping scratch) shared across

@@ -1,0 +1,105 @@
+#include "experiment/experiment.h"
+
+#include "obs/chrome_trace.h"
+
+namespace jgre::experiment {
+
+std::unique_ptr<Experiment> ExperimentConfig::Build() const {
+  return std::make_unique<Experiment>(*this);
+}
+
+Experiment::Experiment(const ExperimentConfig& config)
+    : config_(config), rng_(config.seed_ + 2) {
+  core::SystemConfig sys_config = config_.system_config_;
+  sys_config.seed = config_.seed_;
+  system_ = std::make_unique<core::AndroidSystem>(sys_config);
+  system_->Boot();
+
+  if (config_.defense_) {
+    defender_ = std::make_unique<defense::JgreDefender>(
+        system_.get(), config_.defender_config_);
+    defender_->Install();
+  }
+  // Pure sinks: subscribing them never advances the virtual clock, so a
+  // traced run is event-for-event identical to an untraced one.
+  if (config_.trace_) {
+    trace_ = std::make_unique<obs::TraceBuffer>();
+    bus().Subscribe(trace_.get(), config_.trace_mask_);
+  }
+  if (config_.metrics_) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_sink_ = std::make_unique<obs::MetricsSink>(metrics_.get());
+    bus().Subscribe(metrics_sink_.get(), obs::kAllCategories);
+  }
+
+  attack::BenignWorkload::Options benign_options;
+  benign_options.app_count = config_.benign_apps_;
+  benign_options.seed = config_.seed_ + 1;
+  benign_ = std::make_unique<attack::BenignWorkload>(system_.get(),
+                                                     benign_options);
+  if (config_.benign_apps_ > 0) {
+    benign_->InstallAll();
+    next_benign_.resize(benign_->packages().size());
+    for (TimeUs& t : next_benign_) {
+      t = system_->clock().NowUs() + rng_.UniformU64(150'000);
+    }
+  }
+
+  if (config_.vuln_.has_value()) {
+    attacker_process_ = attack::InstallAttackApp(
+        system_.get(), config_.attack_package_, *config_.vuln_);
+    attacker_ = std::make_unique<attack::MaliciousApp>(
+        system_.get(), attacker_process_, *config_.vuln_);
+  }
+}
+
+Experiment::~Experiment() {
+  if (trace_ != nullptr) bus().Unsubscribe(trace_.get());
+  if (metrics_sink_ != nullptr) bus().Unsubscribe(metrics_sink_.get());
+}
+
+obs::EventBus& Experiment::bus() { return system_->kernel().bus(); }
+
+DefendedAttackResult Experiment::RunDefendedAttack() {
+  DefendedAttackResult result;
+  const TimeUs start = system_->clock().NowUs();
+
+  while ((defender_ == nullptr || defender_->incidents().empty()) &&
+         result.attacker_calls < config_.max_attacker_calls_) {
+    if (attacker_process_ == nullptr || !attacker_process_->alive()) break;
+    (void)attacker_->Step();
+    ++result.attacker_calls;
+    // Benign apps interact on their own randomized schedules.
+    const TimeUs now = system_->clock().NowUs();
+    for (std::size_t i = 0; i < next_benign_.size(); ++i) {
+      if (now >= next_benign_[i]) {
+        benign_->InteractOnce(i);
+        next_benign_[i] =
+            system_->clock().NowUs() + 20'000 + rng_.UniformU64(130'000);
+      }
+    }
+    if (system_->soft_reboots() > 0) {
+      result.soft_rebooted = true;
+      break;
+    }
+  }
+  result.virtual_duration_us = system_->clock().NowUs() - start;
+  result.attacker_killed =
+      attacker_process_ != nullptr && !attacker_process_->alive();
+  if (defender_ != nullptr && !defender_->incidents().empty()) {
+    result.incident = true;
+    result.report = defender_->incidents().front();
+  }
+  return result;
+}
+
+bool Experiment::WriteChromeTrace(const std::string& path) {
+  if (trace_ == nullptr) return false;
+  auto resolver = [this](std::int32_t pid) -> std::string {
+    const os::Process* p = system_->kernel().FindProcess(Pid{pid});
+    return p == nullptr ? std::string() : p->name;
+  };
+  return obs::WriteChromeTraceFile(path, bus(), *trace_, resolver);
+}
+
+}  // namespace jgre::experiment

@@ -1,0 +1,175 @@
+// Experiment / ExperimentConfig — one builder for the scenario plumbing the
+// bench binaries used to hand-roll (boot, defense install, benign workload
+// scheduling, attack app install, observability subscriptions).
+//
+// The builder fixes the construction order once, so every bench that used to
+// copy bench_util's RunDefendedAttack sequence now shares it byte-for-byte:
+//
+//   auto exp = experiment::ExperimentConfig()
+//                  .WithSeed(42)
+//                  .WithBenignApps(10)
+//                  .WithAttack(vuln)
+//                  .WithDefense()
+//                  .WithTrace()
+//                  .Build();
+//   auto result = exp->RunDefendedAttack();
+//   exp->WriteChromeTrace("out.json");
+//
+// Seed derivation (identical to the seed's bench_util): the system boots
+// with `seed`, the benign workload draws from `seed + 1`, and the benign
+// interaction scheduler draws from `seed + 2`.
+#ifndef JGRE_EXPERIMENT_EXPERIMENT_H_
+#define JGRE_EXPERIMENT_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/benign_workload.h"
+#include "attack/malicious_app.h"
+#include "attack/vuln_registry.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/android_system.h"
+#include "defense/jgre_defender.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/trace_buffer.h"
+
+namespace jgre::experiment {
+
+struct DefendedAttackResult {
+  bool incident = false;
+  defense::JgreDefender::IncidentReport report;
+  int attacker_calls = 0;
+  bool attacker_killed = false;
+  bool soft_rebooted = false;
+  DurationUs virtual_duration_us = 0;
+};
+
+class Experiment;
+
+class ExperimentConfig {
+ public:
+  ExperimentConfig& WithSeed(std::uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+  // Base system configuration; its seed is overridden by WithSeed.
+  ExperimentConfig& WithSystemConfig(const core::SystemConfig& config) {
+    system_config_ = config;
+    return *this;
+  }
+  ExperimentConfig& WithBenignApps(int count) {
+    benign_apps_ = count;
+    return *this;
+  }
+  ExperimentConfig& WithAttack(const attack::VulnSpec& vuln) {
+    vuln_ = vuln;
+    return *this;
+  }
+  ExperimentConfig& WithAttackPackage(std::string package) {
+    attack_package_ = std::move(package);
+    return *this;
+  }
+  ExperimentConfig& WithDefense(bool enabled = true) {
+    defense_ = enabled;
+    return *this;
+  }
+  ExperimentConfig& WithDefenderConfig(
+      const defense::JgreDefender::Config& config) {
+    defense_ = true;
+    defender_config_ = config;
+    return *this;
+  }
+  ExperimentConfig& WithThresholds(std::size_t alarm, std::size_t report) {
+    defense_ = true;
+    defender_config_.monitor.alarm_threshold = alarm;
+    defender_config_.monitor.report_threshold = report;
+    return *this;
+  }
+  ExperimentConfig& WithMaxAttackerCalls(int calls) {
+    max_attacker_calls_ = calls;
+    return *this;
+  }
+  // Buffer TraceEvents of the masked categories for Chrome-trace export.
+  ExperimentConfig& WithTrace(obs::CategoryMask mask = obs::kAllCategories) {
+    trace_ = true;
+    trace_mask_ = mask;
+    return *this;
+  }
+  // Fold the event stream into a MetricsRegistry (Experiment::metrics()).
+  ExperimentConfig& WithMetrics() {
+    metrics_ = true;
+    return *this;
+  }
+
+  // Boots the device and performs the whole setup sequence. The experiment
+  // is single-use: build a fresh one per run.
+  std::unique_ptr<Experiment> Build() const;
+
+ private:
+  friend class Experiment;
+
+  std::uint64_t seed_ = 42;
+  core::SystemConfig system_config_;
+  int benign_apps_ = 0;
+  std::optional<attack::VulnSpec> vuln_;
+  std::string attack_package_ = "com.evil.app";
+  bool defense_ = false;
+  defense::JgreDefender::Config defender_config_;
+  int max_attacker_calls_ = 60'000;
+  bool trace_ = false;
+  obs::CategoryMask trace_mask_ = obs::kAllCategories;
+  bool metrics_ = false;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  core::AndroidSystem& system() { return *system_; }
+  obs::EventBus& bus();
+  // Null unless the corresponding With* was configured.
+  defense::JgreDefender* defender() { return defender_.get(); }
+  attack::MaliciousApp* attacker() { return attacker_.get(); }
+  services::AppProcess* attacker_process() { return attacker_process_; }
+  attack::BenignWorkload* benign() { return benign_.get(); }
+  obs::TraceBuffer* trace() { return trace_.get(); }
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  Rng& rng() { return rng_; }
+
+  // Runs the attack loop with interleaved benign traffic until the defender
+  // raises an incident, the attacker dies, the device soft-reboots, or the
+  // call budget runs out. Identical semantics (and RNG draws) to the
+  // deprecated bench::RunDefendedAttack.
+  DefendedAttackResult RunDefendedAttack();
+
+  // Serializes the trace buffer as Chrome-trace JSON (process names resolved
+  // against the kernel's process table). False if tracing is off or the
+  // write fails.
+  bool WriteChromeTrace(const std::string& path);
+
+ private:
+  ExperimentConfig config_;
+  Rng rng_;
+  std::unique_ptr<core::AndroidSystem> system_;  // first: destroyed last
+  std::unique_ptr<defense::JgreDefender> defender_;
+  std::unique_ptr<obs::TraceBuffer> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::MetricsSink> metrics_sink_;
+  std::unique_ptr<attack::BenignWorkload> benign_;
+  std::vector<TimeUs> next_benign_;
+  services::AppProcess* attacker_process_ = nullptr;
+  std::unique_ptr<attack::MaliciousApp> attacker_;
+};
+
+}  // namespace jgre::experiment
+
+#endif  // JGRE_EXPERIMENT_EXPERIMENT_H_

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string_view>
 #include <thread>
 
@@ -17,8 +18,20 @@ void PrintUsage(const HarnessSpec& spec, std::ostream& out) {
       << "  --json PATH  write machine-readable results to PATH\n"
       << "               (default BENCH_"
       << (spec.json_name.empty() ? spec.name : spec.json_name) << ".json)\n"
-      << "  --no-json    skip the JSON file\n"
-      << "  --help       this text\n";
+      << "  --no-json    skip the JSON file\n";
+  if (spec.supports_trace) {
+    out << "  --trace PATH write a Chrome-trace JSON timeline to PATH\n"
+        << "               (loadable in ui.perfetto.dev / chrome://tracing)\n";
+  }
+  if (spec.supports_metrics) {
+    out << "  --metrics    include the metrics table in the JSON output\n";
+  }
+  for (const HarnessFlag& flag : spec.extra_flags) {
+    std::string left = flag.name + (flag.takes_value ? " V" : "");
+    if (left.size() < 11) left.resize(11, ' ');
+    out << "  " << left << "  " << flag.help << "\n";
+  }
+  out << "  --help       this text\n";
   if (!spec.extra_usage.empty()) out << spec.extra_usage;
 }
 
@@ -48,53 +61,90 @@ HarnessOptions ParseHarnessOptions(const HarnessSpec& spec, int argc,
       "BENCH_" + (spec.json_name.empty() ? spec.name : spec.json_name) +
       ".json";
 
-  auto need_value = [&](int i, const char* flag) -> const char* {
-    if (i + 1 >= argc) {
-      options.error = std::string(flag) + " requires a value";
-      return nullptr;
+  auto find_extra = [&spec](std::string_view name) -> const HarnessFlag* {
+    for (const HarnessFlag& flag : spec.extra_flags) {
+      if (flag.name == name) return &flag;
     }
-    return argv[i + 1];
+    return nullptr;
   };
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
+    // Every long flag also accepts the --flag=value spelling.
+    std::string_view name = arg;
+    std::optional<std::string> inline_value;
+    if (arg.size() > 2 && arg.substr(0, 2) == "--") {
+      if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+        name = arg.substr(0, eq);
+        inline_value = std::string(arg.substr(eq + 1));
+      }
+    }
+    // Resolves the flag's value from --flag=value or the next argument.
+    auto take_value = [&](const char* flag) -> std::optional<std::string> {
+      if (inline_value.has_value()) return inline_value;
+      if (i + 1 >= argc) {
+        options.error = std::string(flag) + " requires a value";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    auto reject_value = [&](const char* flag) -> bool {
+      if (!inline_value.has_value()) return true;
+      options.error = std::string(flag) + " does not take a value";
+      return false;
+    };
+
+    if (name == "--help" || name == "-h") {
       options.help = true;
       PrintUsage(spec, std::cout);
       return options;
     }
-    if (arg == "--jobs" || arg == "-j") {
-      const char* value = need_value(i, "--jobs");
-      if (value == nullptr) break;
+    if (name == "--jobs" || name == "-j") {
+      const auto value = take_value("--jobs");
+      if (!value.has_value()) break;
       int jobs = 0;
-      if (!ParseNumber(std::string_view(value), &jobs) || jobs < 0) {
-        options.error = "--jobs expects a non-negative integer, got '" +
-                        std::string(value) + "'";
+      if (!ParseNumber(*value, &jobs) || jobs < 0) {
+        options.error =
+            "--jobs expects a non-negative integer, got '" + *value + "'";
         break;
       }
       options.jobs = ResolveJobs(jobs);
-      ++i;
-    } else if (arg == "--seed") {
-      const char* value = need_value(i, "--seed");
-      if (value == nullptr) break;
+    } else if (name == "--seed") {
+      const auto value = take_value("--seed");
+      if (!value.has_value()) break;
       std::uint64_t seed = 0;
-      if (!ParseNumber(std::string_view(value), &seed)) {
+      if (!ParseNumber(*value, &seed)) {
         options.error =
-            "--seed expects an unsigned integer, got '" + std::string(value) +
-            "'";
+            "--seed expects an unsigned integer, got '" + *value + "'";
         break;
       }
       options.seed = seed;
-      ++i;
-    } else if (arg == "--json") {
-      const char* value = need_value(i, "--json");
-      if (value == nullptr) break;
-      options.json_path = value;
-      ++i;
-    } else if (arg == "--no-json") {
+    } else if (name == "--json") {
+      const auto value = take_value("--json");
+      if (!value.has_value()) break;
+      options.json_path = *value;
+    } else if (name == "--no-json") {
+      if (!reject_value("--no-json")) break;
       options.emit_json = false;
+    } else if (spec.supports_trace && name == "--trace") {
+      const auto value = take_value("--trace");
+      if (!value.has_value()) break;
+      options.trace_path = *value;
+    } else if (spec.supports_metrics && name == "--metrics") {
+      if (!reject_value("--metrics")) break;
+      options.emit_metrics = true;
+    } else if (const HarnessFlag* flag = find_extra(name)) {
+      options.extra.emplace_back(name);
+      if (flag->takes_value) {
+        const auto value = take_value(flag->name.c_str());
+        if (!value.has_value()) break;
+        options.extra.push_back(*value);
+      } else if (!reject_value(flag->name.c_str())) {
+        break;
+      }
     } else {
-      options.extra.emplace_back(arg);
+      options.error = "unknown option '" + std::string(arg) + "'";
+      break;
     }
   }
 
@@ -103,6 +153,21 @@ HarnessOptions ParseHarnessOptions(const HarnessSpec& spec, int argc,
     PrintUsage(spec, std::cerr);
   }
   return options;
+}
+
+bool HasFlag(const HarnessOptions& options, std::string_view name) {
+  for (const std::string& item : options.extra) {
+    if (item == name) return true;
+  }
+  return false;
+}
+
+const std::string* FlagValue(const HarnessOptions& options,
+                             std::string_view name) {
+  for (std::size_t i = 0; i + 1 < options.extra.size(); ++i) {
+    if (options.extra[i] == name) return &options.extra[i + 1];
+  }
+  return nullptr;
 }
 
 }  // namespace jgre::harness

@@ -13,11 +13,21 @@
 #include <exception>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness/thread_pool.h"
 
 namespace jgre::harness {
+
+// A bench-specific flag the shared parser should accept (e.g. --curves).
+// Matched flags land in HarnessOptions::extra (name, then the value if
+// `takes_value`); anything undeclared is a parse error.
+struct HarnessFlag {
+  std::string name;  // including the leading "--"
+  bool takes_value = false;
+  std::string help;  // one-line description for the usage text
+};
 
 // Static description a bench binary hands to the CLI parser.
 struct HarnessSpec {
@@ -26,7 +36,12 @@ struct HarnessSpec {
   // Overrides the basename of the default JSON path ("" = use `name`).
   std::string json_name;
   std::uint64_t default_seed = 42;
-  // One-line extra usage text for bench-specific flags ("" if none).
+  // Bench-specific flags beyond the shared set.
+  std::vector<HarnessFlag> extra_flags;
+  // Observability: advertise `--trace PATH` / `--metrics` support.
+  bool supports_trace = false;
+  bool supports_metrics = false;
+  // Free-form extra usage text appended to the flag list ("" if none).
   std::string extra_usage;
 };
 
@@ -35,17 +50,30 @@ struct HarnessOptions {
   std::uint64_t seed = 0;  // base seed (spec default unless --seed given)
   bool emit_json = true;   // --no-json disables
   std::string json_path;   // resolved ("BENCH_<name>.json" unless --json)
+  std::string trace_path;  // --trace PATH ("" = tracing off)
+  bool emit_metrics = false;  // --metrics seen
   bool help = false;       // --help seen: usage already printed, exit 0
   std::string error;       // non-empty: parse failure, usage printed, exit 2
-  // Arguments the shared parser did not recognize, in order (bench-specific
-  // flags such as --curves).
+  // Matched spec.extra_flags, in order: the flag name, then its value for
+  // value-taking flags.
   std::vector<std::string> extra;
 };
 
 // Parses `--jobs N` (0 = hardware concurrency), `--seed S`, `--json PATH`,
-// `--no-json`, `--help`. Unrecognized arguments land in `extra`.
+// `--no-json`, `--help`, plus `--trace PATH` / `--metrics` when the spec
+// supports them and any declared spec.extra_flags. Every flag also accepts
+// the `--flag=value` spelling. Unknown arguments are parse errors: the
+// usage text goes to stderr and `error` is set.
 HarnessOptions ParseHarnessOptions(const HarnessSpec& spec, int argc,
                                    char** argv);
+
+// True if `name` (e.g. "--curves") was matched into `options.extra`.
+bool HasFlag(const HarnessOptions& options, std::string_view name);
+
+// The value following `name` in `options.extra`, or nullptr. Only meaningful
+// for flags declared with takes_value.
+const std::string* FlagValue(const HarnessOptions& options,
+                             std::string_view name);
 
 // 0 -> std::thread::hardware_concurrency (min 1); otherwise clamped >= 1.
 int ResolveJobs(int jobs);

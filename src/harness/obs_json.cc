@@ -1,0 +1,40 @@
+#include "harness/obs_json.h"
+
+namespace jgre::harness {
+
+Json MetricsToJson(const obs::MetricsRegistry& registry) {
+  Json out = Json::Object();
+  if (!registry.counters().empty()) {
+    Json counters = Json::Object();
+    for (const auto& [name, value] : registry.counters()) {
+      counters.Set(name, value);
+    }
+    out.Set("counters", std::move(counters));
+  }
+  if (!registry.gauges().empty()) {
+    Json gauges = Json::Object();
+    for (const auto& [name, value] : registry.gauges()) {
+      gauges.Set(name, value);
+    }
+    out.Set("gauges", std::move(gauges));
+  }
+  if (!registry.histograms().empty()) {
+    Json histograms = Json::Object();
+    for (const auto& [name, summary] : registry.histograms()) {
+      Json h = Json::Object();
+      h.Set("count", static_cast<std::uint64_t>(summary.count()));
+      if (summary.count() > 0) {
+        h.Set("mean", summary.mean());
+        h.Set("min", summary.min());
+        h.Set("max", summary.max());
+        h.Set("p50", summary.Percentile(50));
+        h.Set("p95", summary.Percentile(95));
+      }
+      histograms.Set(name, std::move(h));
+    }
+    out.Set("histograms", std::move(histograms));
+  }
+  return out;
+}
+
+}  // namespace jgre::harness

@@ -1,0 +1,21 @@
+// MetricsRegistry -> harness::Json: the `--metrics` table merged into a
+// bench's BENCH_*.json output.
+//
+// Registry maps iterate in lexicographic name order and Json objects are
+// insertion-ordered, so the emitted table is byte-stable — merging per-task
+// registries in submission order yields identical bytes for any --jobs.
+#ifndef JGRE_HARNESS_OBS_JSON_H_
+#define JGRE_HARNESS_OBS_JSON_H_
+
+#include "harness/json.h"
+#include "obs/metrics.h"
+
+namespace jgre::harness {
+
+// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, mean,
+// min, max, p50, p95}}}. Empty sections are omitted.
+Json MetricsToJson(const obs::MetricsRegistry& registry);
+
+}  // namespace jgre::harness
+
+#endif  // JGRE_HARNESS_OBS_JSON_H_

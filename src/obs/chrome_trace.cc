@@ -1,0 +1,157 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <set>
+
+namespace jgre::obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendCommon(std::string* out, const TraceEvent& e, const char* ph) {
+  *out += "\"cat\":\"";
+  *out += CategoryName(e.category);
+  *out += "\",\"ph\":\"";
+  *out += ph;
+  *out += "\",\"ts\":";
+  *out += std::to_string(e.ts_us);
+  *out += ",\"pid\":";
+  *out += std::to_string(e.pid);
+  *out += ",\"tid\":";
+  *out += std::to_string(e.pid);
+}
+
+void AppendEvent(std::string* out, const EventBus& bus, const TraceEvent& e) {
+  *out += '{';
+  switch (e.category) {
+    case Category::kJgr:
+      if (e.name == LabelIdOf(Label::kJgrOverflow)) {
+        *out += "\"name\":\"jgr_overflow\",";
+        AppendCommon(out, e, "i");
+        *out += ",\"s\":\"p\",\"args\":{\"refs\":";
+        *out += std::to_string(e.arg0);
+        *out += '}';
+      } else {
+        // Counter sample: the viewer renders the jgr_count track as the
+        // victim's reference-growth curve.
+        *out += "\"name\":\"jgr_count\",";
+        AppendCommon(out, e, "C");
+        *out += ",\"args\":{\"refs\":";
+        *out += std::to_string(e.arg0);
+        *out += '}';
+      }
+      break;
+    case Category::kIpc: {
+      *out += "\"name\":\"";
+      AppendEscaped(out, bus.LabelName(e.name));
+      *out += "\",";
+      AppendCommon(out, e, "i");
+      *out += ",\"s\":\"t\",\"args\":{\"to_pid\":";
+      *out += std::to_string(e.arg0);
+      *out += ",\"code\":";
+      *out += std::to_string(static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(e.arg1) & 0xffffffffu));
+      *out += '}';
+      break;
+    }
+    case Category::kGc:
+      *out += "\"name\":\"gc\",";
+      AppendCommon(out, e, "X");
+      *out += ",\"dur\":";
+      *out += std::to_string(e.dur_us);
+      *out += ",\"args\":{\"freed\":";
+      *out += std::to_string(e.arg0);
+      *out += ",\"jgr_after\":";
+      *out += std::to_string(e.arg1);
+      *out += '}';
+      break;
+    case Category::kLmk:
+    case Category::kDefense:
+      *out += "\"name\":\"";
+      AppendEscaped(out, bus.LabelName(e.name));
+      *out += "\",";
+      AppendCommon(out, e, "i");
+      *out += ",\"s\":\"p\",\"args\":{\"a0\":";
+      *out += std::to_string(e.arg0);
+      *out += ",\"a1\":";
+      *out += std::to_string(e.arg1);
+      *out += '}';
+      break;
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const EventBus& bus, const TraceBuffer& buffer,
+                            const PidNameResolver& resolver) {
+  std::string out;
+  out.reserve(128 + buffer.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":";
+  out += std::to_string(buffer.dropped());
+  out += ",\"traceEvents\":[\n";
+
+  // Process-name metadata first, sorted by pid for byte stability.
+  const auto& ring = buffer.events();
+  std::set<std::int32_t> pids;
+  for (std::uint64_t i = ring.first_index(); i < ring.end_index(); ++i) {
+    const std::int32_t pid = ring.At(i).pid;
+    if (pid >= 0) pids.insert(pid);
+  }
+  bool first = true;
+  for (std::int32_t pid : pids) {
+    std::string name = resolver ? resolver(pid) : std::string();
+    if (name.empty()) name = "pid " + std::to_string(pid);
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    AppendEscaped(&out, name);
+    out += "\"}}";
+  }
+  for (std::uint64_t i = ring.first_index(); i < ring.end_index(); ++i) {
+    if (!first) out += ",\n";
+    first = false;
+    AppendEvent(&out, bus, ring.At(i));
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTraceFile(const std::string& path, const EventBus& bus,
+                          const TraceBuffer& buffer,
+                          const PidNameResolver& resolver) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = ChromeTraceJson(bus, buffer, resolver);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace jgre::obs

@@ -1,0 +1,43 @@
+// Chrome-trace exporter: serializes a TraceBuffer to the Trace Event Format
+// JSON that chrome://tracing and ui.perfetto.dev load directly.
+//
+// Mapping:
+//   kJgr add/remove  -> "C" counter samples of the victim's jgr_count (the
+//                       Fig 3 curve, drawn by the trace viewer)
+//   kJgr overflow    -> process-scoped instant event
+//   kIpc             -> thread-scoped instant event named by the interface
+//                       descriptor, with callee pid and transaction code
+//   kGc              -> "X" complete event spanning the GC pause
+//   kLmk / kDefense  -> process-scoped instant events
+//
+// Timestamps are the simulation's virtual microseconds — exactly the unit
+// the format expects. Serialization is hand-rolled and append-only: event
+// order is buffer order and process metadata is sorted by pid, so the bytes
+// are identical for identical simulations (the --trace determinism bar).
+#ifndef JGRE_OBS_CHROME_TRACE_H_
+#define JGRE_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/event_bus.h"
+#include "obs/trace_buffer.h"
+
+namespace jgre::obs {
+
+// Resolves a pid to a process name for the trace's process_name metadata;
+// return "" to fall back to "pid <n>". May be null.
+using PidNameResolver = std::function<std::string(std::int32_t)>;
+
+std::string ChromeTraceJson(const EventBus& bus, const TraceBuffer& buffer,
+                            const PidNameResolver& resolver = nullptr);
+
+// Writes ChromeTraceJson(...) to `path`; false on I/O failure.
+bool WriteChromeTraceFile(const std::string& path, const EventBus& bus,
+                          const TraceBuffer& buffer,
+                          const PidNameResolver& resolver = nullptr);
+
+}  // namespace jgre::obs
+
+#endif  // JGRE_OBS_CHROME_TRACE_H_

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "os/lmk.h"
 
 namespace jgre::os {
@@ -35,6 +36,7 @@ Pid Kernel::CreateProcess(const std::string& name, Uid uid,
     rt_config.name = StrCat(name, "(", pid.value(), ")");
     rt_config.max_global_refs = config.max_global_refs;
     rt_config.boot_class_refs = config.boot_class_refs;
+    rt_config.obs = obs::Source{&bus_, pid.value(), uid.value()};
     proc.runtime = std::make_unique<rt::Runtime>(&clock_, rt_config);
     // JGR table overflow aborts the runtime, which kills the process.
     proc.runtime->SetAbortHandler([this, pid](const std::string& reason) {
@@ -59,6 +61,10 @@ void Kernel::KillProcess(Pid pid, const std::string& reason) {
   LogEvent(StrCat("kill pid=", pid.value(), " (", proc.name, "): ", reason));
   JGRE_LOG(kInfo, "kernel") << "killed " << proc.name << " pid="
                             << pid.value() << ": " << reason;
+  JGRE_TRACE(&bus_, obs::Category::kLmk,
+             obs::MakeEvent(obs::Category::kLmk, obs::Label::kProcessKill,
+                            clock_.NowUs(), pid.value(), proc.uid.value(),
+                            proc.oom_score_adj, proc.critical ? 1 : 0));
   // Death notification (binder driver fans this out to death recipients).
   for (const DeathListener& listener : death_listeners_) {
     listener(pid, reason);
@@ -67,6 +73,9 @@ void Kernel::KillProcess(Pid pid, const std::string& reason) {
     ++soft_reboot_count_;
     pending_soft_reboot_ = reason;
     LogEvent(StrCat("soft reboot pending: ", reason));
+    JGRE_TRACE(&bus_, obs::Category::kLmk,
+               obs::MakeEvent(obs::Category::kLmk, obs::Label::kSoftReboot,
+                              clock_.NowUs(), pid.value(), proc.uid.value()));
   }
 }
 

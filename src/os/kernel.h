@@ -25,6 +25,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/event_bus.h"
 #include "os/process.h"
 #include "os/procfs.h"
 
@@ -49,6 +50,11 @@ class Kernel {
   SimClock& clock() { return clock_; }
   ProcFs& procfs() { return procfs_; }
   Rng& rng() { return rng_; }
+  // The simulation-wide observability bus. Every runtime the kernel creates
+  // publishes into it; the defense, trace buffers and metrics sinks
+  // subscribe to it.
+  obs::EventBus& bus() { return bus_; }
+  const obs::EventBus& bus() const { return bus_; }
 
   // --- Process lifecycle ---------------------------------------------------
 
@@ -139,6 +145,9 @@ class Kernel {
   SimClock clock_;
   ProcFs procfs_;
   Rng rng_;
+  // Declared before processes_: runtimes hold a Source pointing at the bus,
+  // so it must outlive them.
+  obs::EventBus bus_;
 
   std::int32_t next_pid_ = 1;
   std::map<Pid, Process> processes_;

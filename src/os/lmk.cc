@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "os/kernel.h"
 
 namespace jgre::os {
@@ -65,6 +66,10 @@ int LowMemoryKiller::CheckPressure() {
           << "), adj " << p->oom_score_adj << ", to free " << p->memory_kb
           << "kB; free " << kernel_->FreeMemoryKb() << "kB below "
           << level.minfree_kb << "kB";
+      JGRE_TRACE(&kernel_->bus(), obs::Category::kLmk,
+                 obs::MakeEvent(obs::Category::kLmk, obs::Label::kLmkKill,
+                                kernel_->clock().NowUs(), victim.value(),
+                                -1, p->oom_score_adj, p->memory_kb));
       kernel_->KillProcess(victim, "lowmemorykiller");
       ++total_kills_;
       ++kills;

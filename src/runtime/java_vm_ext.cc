@@ -8,9 +8,11 @@
 namespace jgre::rt {
 
 JavaVMExt::JavaVMExt(SimClock* clock, std::string runtime_name,
-                     std::size_t max_globals, std::size_t max_weak_globals)
+                     std::size_t max_globals, std::size_t max_weak_globals,
+                     obs::Source source)
     : clock_(clock),
       runtime_name_(std::move(runtime_name)),
+      source_(source),
       globals_(max_globals, IndirectRefKind::kGlobal,
                StrCat(runtime_name_, " JNI global")),
       weak_globals_(max_weak_globals, IndirectRefKind::kWeakGlobal,
@@ -73,12 +75,24 @@ void JavaVMExt::RemoveObserver(JgrObserver* observer) {
 void JavaVMExt::NotifyAdd(ObjectId obj) {
   const TimeUs now = clock_->NowUs();
   const std::size_t count = globals_.Size();
+  // Functional event: the defense's monitors consume kJgr from the bus. The
+  // Wants() guard keeps the unwatched path to one branch per add.
+  if (source_.Active(obs::Category::kJgr)) {
+    source_.bus->Emit(obs::MakeEvent(
+        obs::Category::kJgr, obs::Label::kJgrAdd, now, source_.pid,
+        source_.uid, static_cast<std::int64_t>(count), obj.value()));
+  }
   for (JgrObserver* o : observers_) o->OnJgrAdd(now, count, obj);
 }
 
 void JavaVMExt::NotifyRemove(ObjectId obj) {
   const TimeUs now = clock_->NowUs();
   const std::size_t count = globals_.Size();
+  if (source_.Active(obs::Category::kJgr)) {
+    source_.bus->Emit(obs::MakeEvent(
+        obs::Category::kJgr, obs::Label::kJgrRemove, now, source_.pid,
+        source_.uid, static_cast<std::int64_t>(count), obj.value()));
+  }
   for (JgrObserver* o : observers_) o->OnJgrRemove(now, count, obj);
 }
 
@@ -86,6 +100,12 @@ void JavaVMExt::Abort(const std::string& reason) {
   if (aborted_) return;
   aborted_ = true;
   JGRE_LOG(kError, "art") << runtime_name_ << ": " << reason;
+  if (source_.Active(obs::Category::kJgr)) {
+    source_.bus->Emit(obs::MakeEvent(
+        obs::Category::kJgr, obs::Label::kJgrOverflow, clock_->NowUs(),
+        source_.pid, source_.uid,
+        static_cast<std::int64_t>(globals_.Size())));
+  }
   if (abort_handler_) abort_handler_(reason);
 }
 

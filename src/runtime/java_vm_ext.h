@@ -16,6 +16,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/event_bus.h"
 #include "runtime/indirect_reference_table.h"
 
 namespace jgre::rt {
@@ -25,8 +26,10 @@ inline constexpr std::size_t kGlobalsMax = 51200;
 // Weak globals share the same cap in ART 6.
 inline constexpr std::size_t kWeakGlobalsMax = 51200;
 
-// Observes JGR table mutations. The defense's extended runtime implements
-// this to timestamp add/remove events (paper §V.B).
+// DEPRECATED observation hook, kept for one PR while call sites migrate to
+// the unified obs::EventSink API: JGR mutations are now published as
+// obs::Category::kJgr events on the kernel's EventBus (subscribe with a pid
+// filter to watch one runtime). New code must not register JgrObservers.
 class JgrObserver {
  public:
   virtual ~JgrObserver() = default;
@@ -40,7 +43,8 @@ class JavaVMExt {
  public:
   JavaVMExt(SimClock* clock, std::string runtime_name,
             std::size_t max_globals = kGlobalsMax,
-            std::size_t max_weak_globals = kWeakGlobalsMax);
+            std::size_t max_weak_globals = kWeakGlobalsMax,
+            obs::Source source = {});
 
   JavaVMExt(const JavaVMExt&) = delete;
   JavaVMExt& operator=(const JavaVMExt&) = delete;
@@ -68,6 +72,8 @@ class JavaVMExt {
     abort_handler_ = std::move(handler);
   }
 
+  // DEPRECATED: legacy per-VM observer registration; prefer subscribing an
+  // obs::EventSink to the kernel EventBus for Category::kJgr.
   void AddObserver(JgrObserver* observer);
   void RemoveObserver(JgrObserver* observer);
 
@@ -85,6 +91,7 @@ class JavaVMExt {
 
   SimClock* clock_;
   std::string runtime_name_;
+  obs::Source source_;
   IndirectReferenceTable globals_;
   IndirectReferenceTable weak_globals_;
   std::vector<JgrObserver*> observers_;

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace jgre::rt {
 
@@ -15,7 +16,8 @@ constexpr std::size_t kLocalsMax = 512;
 Runtime::Runtime(SimClock* clock, Config config)
     : clock_(clock),
       config_(std::move(config)),
-      vm_(clock, config_.name, config_.max_global_refs),
+      vm_(clock, config_.name, config_.max_global_refs, kWeakGlobalsMax,
+          config_.obs),
       locals_(kLocalsMax, IndirectRefKind::kLocal,
               StrCat(config_.name, " JNI local")) {
   // Runtime-init references (WellKnownClasses::CacheClass etc.). They are
@@ -79,6 +81,7 @@ Result<ObjectId> Runtime::AllocManagedObject(ObjectKind kind,
 std::size_t Runtime::CollectGarbage() {
   if (aborted()) return 0;
   ++gc_runs_;
+  const TimeUs gc_start = clock_->NowUs();
   clock_->AdvanceUs(gc_pause_us);
   std::size_t released = 0;
   std::vector<NodeId> collected_proxies;
@@ -119,6 +122,12 @@ std::size_t Runtime::CollectGarbage() {
   if (proxy_collect_handler_) {
     for (NodeId node : collected_proxies) proxy_collect_handler_(node);
   }
+  JGRE_TRACE(config_.obs.bus, obs::Category::kGc,
+             obs::MakeEvent(obs::Category::kGc, obs::Label::kGcRun, gc_start,
+                            config_.obs.pid, config_.obs.uid,
+                            static_cast<std::int64_t>(released),
+                            static_cast<std::int64_t>(vm_.GlobalRefCount()),
+                            gc_pause_us));
   JGRE_LOG(kDebug, "art") << config_.name << ": GC released " << released
                           << " global refs, " << vm_.GlobalRefCount()
                           << " remain";

@@ -26,6 +26,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/event_bus.h"
 #include "runtime/heap.h"
 #include "runtime/java_vm_ext.h"
 
@@ -40,6 +41,10 @@ class Runtime {
     // these are the paths the paper's JGR-entry extractor filters out as
     // non-exploitable. They form the baseline JGR footprint.
     std::size_t boot_class_refs = 0;
+    // Observability source (bus + process identity) this runtime publishes
+    // kJgr/kGc events from; default-empty = silent (standalone runtimes in
+    // unit tests). The kernel fills this in for every process it creates.
+    obs::Source obs;
   };
 
   Runtime(SimClock* clock, Config config);

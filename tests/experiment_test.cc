@@ -1,0 +1,284 @@
+// Experiment-builder and EventSink-migration tests.
+//
+// The PR that introduced src/obs rewired three observation paths (the
+// monitor's rt::JgrObserver attachment, the defender's VisitIpcLogSince
+// polling, and the benches' hand-rolled scenario setup) onto the unified
+// EventBus. These tests pin the equivalence claims that migration made:
+// identical recordings, identical rankings, identical simulation results,
+// and byte-identical traces for identical configurations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "attack/benign_workload.h"
+#include "attack/malicious_app.h"
+#include "attack/vuln_registry.h"
+#include "common/rng.h"
+#include "core/android_system.h"
+#include "defense/jgr_monitor.h"
+#include "defense/jgre_defender.h"
+#include "experiment/experiment.h"
+#include "obs/chrome_trace.h"
+#include "obs/event_bus.h"
+
+namespace jgre {
+namespace {
+
+const attack::VulnSpec& Toast() {
+  const attack::VulnSpec* vuln =
+      attack::FindVulnerability("notification", "enqueueToast");
+  EXPECT_NE(vuln, nullptr);
+  return *vuln;
+}
+
+// Runs a short attack against a monitored system_server, with the monitor
+// attached either through the EventBus (pid-filtered kJgr subscription — the
+// unified path) or through the deprecated rt::JgrObserver hook.
+struct MonitoredRun {
+  std::vector<defense::JgrMonitor::JgrEvent> events;
+  TimeUs alarm_at = 0;
+  TimeUs reported_at = 0;
+  bool reported = false;
+  TimeUs end_us = 0;
+};
+
+MonitoredRun RunMonitored(bool via_bus) {
+  core::SystemConfig config;
+  config.seed = 11;
+  core::AndroidSystem system(config);
+  system.Boot();
+  defense::JgrMonitor::Config monitor_config;
+  monitor_config.alarm_threshold = 1500;
+  monitor_config.report_threshold = 500;
+  defense::JgrMonitor monitor(&system.clock(), "system_server",
+                              monitor_config);
+  if (via_bus) {
+    system.kernel().bus().Subscribe(&monitor, obs::MaskOf(obs::Category::kJgr),
+                                    system.system_server_pid().value());
+  } else {
+    system.system_runtime()->vm().AddObserver(&monitor);
+  }
+  services::AppProcess* evil =
+      attack::InstallAttackApp(&system, "com.evil.app", Toast());
+  attack::MaliciousApp attacker(&system, evil, Toast());
+  attack::MaliciousApp::RunOptions options;
+  options.max_calls = 800;
+  options.sample_every_calls = 0;
+  (void)attacker.Run(options);
+  MonitoredRun out;
+  out.events = monitor.events();
+  out.alarm_at = monitor.alarm_at();
+  out.reported_at = monitor.reported_at();
+  out.reported = monitor.reported();
+  out.end_us = system.clock().NowUs();
+  if (via_bus) {
+    system.kernel().bus().Unsubscribe(&monitor);
+  } else {
+    system.system_runtime()->vm().RemoveObserver(&monitor);
+  }
+  return out;
+}
+
+TEST(AdapterEquivalenceTest, BusMonitorMatchesLegacyObserver) {
+  const MonitoredRun bus = RunMonitored(/*via_bus=*/true);
+  const MonitoredRun legacy = RunMonitored(/*via_bus=*/false);
+  EXPECT_TRUE(bus.reported);
+  EXPECT_EQ(bus.reported, legacy.reported);
+  EXPECT_EQ(bus.alarm_at, legacy.alarm_at);
+  EXPECT_EQ(bus.reported_at, legacy.reported_at);
+  EXPECT_EQ(bus.end_us, legacy.end_us);  // identical recording costs
+  ASSERT_EQ(bus.events.size(), legacy.events.size());
+  ASSERT_GT(bus.events.size(), 0u);
+  for (std::size_t i = 0; i < bus.events.size(); ++i) {
+    EXPECT_EQ(bus.events[i].t, legacy.events[i].t);
+    EXPECT_EQ(bus.events[i].is_add, legacy.events[i].is_add);
+    EXPECT_EQ(bus.events[i].count_after, legacy.events[i].count_after);
+  }
+}
+
+TEST(AdapterEquivalenceTest, IpcTapRankingMatchesLogPolling) {
+  // One installed defender (bus tap) drives the attack; a second,
+  // *uninstalled* defender ranks the same recording through the deprecated
+  // VisitIpcLogSince fallback. Same monitor, same log, same scores.
+  auto exp = experiment::ExperimentConfig()
+                 .WithSeed(21)
+                 .WithBenignApps(3)
+                 .WithAttack(Toast())
+                 .WithDefense()
+                 .Build();
+  core::AndroidSystem& system = exp->system();
+  defense::JgreDefender& installed = *exp->defender();
+  // Drive the monitor past its alarm but not its report threshold: the tap
+  // keeps its recording (no incident clears it) and both rankings below see
+  // the same post-alarm window.
+  attack::MaliciousApp::RunOptions options;
+  options.max_calls = 4000;
+  options.sample_every_calls = 0;
+  (void)exp->attacker()->Run(options);
+  ASSERT_TRUE(installed.incidents().empty());
+  defense::JgrMonitor* monitor = installed.MonitorFor("system_server");
+  ASSERT_NE(monitor, nullptr);
+  ASSERT_TRUE(monitor->recording());
+  ASSERT_NE(installed.ipc_tap(), nullptr);
+
+  defense::ScoringParams params;
+  params.delta_us = 1800;
+  params.analysis_window_us = 0;  // window = alarm..now for both rankings
+  const auto via_tap =
+      installed.RankApps(*monitor, system.system_server_pid(), params);
+  defense::JgreDefender fallback(&system);  // not installed: no tap
+  const auto via_log =
+      fallback.RankApps(*monitor, system.system_server_pid(), params);
+  ASSERT_FALSE(via_tap.empty());
+  ASSERT_EQ(via_tap.size(), via_log.size());
+  for (std::size_t i = 0; i < via_tap.size(); ++i) {
+    EXPECT_EQ(via_tap[i].uid.value(), via_log[i].uid.value());
+    EXPECT_EQ(via_tap[i].package, via_log[i].package);
+    EXPECT_EQ(via_tap[i].score, via_log[i].score);
+  }
+  EXPECT_EQ(via_tap.front().package, "com.evil.app");
+}
+
+TEST(ExperimentBuilderTest, MatchesHandRolledSetupByteForByte) {
+  // The pre-builder bench_util sequence, inlined: the builder must replicate
+  // its construction order and RNG draws exactly.
+  const attack::VulnSpec& vuln = Toast();
+  const std::uint64_t seed = 42;
+  const int benign_apps = 5;
+
+  experiment::DefendedAttackResult legacy;
+  {
+    core::SystemConfig config;
+    config.seed = seed;
+    core::AndroidSystem system(config);
+    system.Boot();
+    defense::JgreDefender defender(&system, defense::JgreDefender::Config{});
+    defender.Install();
+    attack::BenignWorkload::Options benign_options;
+    benign_options.app_count = benign_apps;
+    benign_options.seed = seed + 1;
+    attack::BenignWorkload benign(&system, benign_options);
+    std::vector<TimeUs> next_benign;
+    Rng rng(seed + 2);
+    benign.InstallAll();
+    next_benign.resize(benign.packages().size());
+    for (auto& t : next_benign) {
+      t = system.clock().NowUs() + rng.UniformU64(150'000);
+    }
+    services::AppProcess* evil =
+        attack::InstallAttackApp(&system, "com.evil.app", vuln);
+    attack::MaliciousApp attacker(&system, evil, vuln);
+    const TimeUs start = system.clock().NowUs();
+    while (defender.incidents().empty() && legacy.attacker_calls < 60'000) {
+      if (!evil->alive()) break;
+      (void)attacker.Step();
+      ++legacy.attacker_calls;
+      const TimeUs now = system.clock().NowUs();
+      for (std::size_t i = 0; i < next_benign.size(); ++i) {
+        if (now >= next_benign[i]) {
+          benign.InteractOnce(i);
+          next_benign[i] =
+              system.clock().NowUs() + 20'000 + rng.UniformU64(130'000);
+        }
+      }
+      if (system.soft_reboots() > 0) {
+        legacy.soft_rebooted = true;
+        break;
+      }
+    }
+    legacy.virtual_duration_us = system.clock().NowUs() - start;
+    legacy.attacker_killed = !evil->alive();
+    if (!defender.incidents().empty()) {
+      legacy.incident = true;
+      legacy.report = defender.incidents().front();
+    }
+  }
+
+  auto exp = experiment::ExperimentConfig()
+                 .WithSeed(seed)
+                 .WithBenignApps(benign_apps)
+                 .WithAttack(vuln)
+                 .WithDefense()
+                 .Build();
+  const experiment::DefendedAttackResult built = exp->RunDefendedAttack();
+
+  EXPECT_TRUE(built.incident);
+  EXPECT_EQ(built.incident, legacy.incident);
+  EXPECT_EQ(built.attacker_calls, legacy.attacker_calls);
+  EXPECT_EQ(built.attacker_killed, legacy.attacker_killed);
+  EXPECT_EQ(built.soft_rebooted, legacy.soft_rebooted);
+  EXPECT_EQ(built.virtual_duration_us, legacy.virtual_duration_us);
+  EXPECT_EQ(built.report.reported_at, legacy.report.reported_at);
+  EXPECT_EQ(built.report.identified_at, legacy.report.identified_at);
+  EXPECT_EQ(built.report.recovered, legacy.report.recovered);
+  ASSERT_EQ(built.report.ranking.size(), legacy.report.ranking.size());
+  for (std::size_t i = 0; i < built.report.ranking.size(); ++i) {
+    EXPECT_EQ(built.report.ranking[i].package,
+              legacy.report.ranking[i].package);
+    EXPECT_EQ(built.report.ranking[i].score, legacy.report.ranking[i].score);
+  }
+}
+
+TEST(ExperimentBuilderTest, TracingDoesNotPerturbTheSimulation) {
+  const auto run = [](bool traced) {
+    experiment::ExperimentConfig config;
+    config.WithSeed(13).WithBenignApps(2).WithAttack(Toast()).WithDefense();
+    if (traced) config.WithTrace().WithMetrics();
+    auto exp = config.Build();
+    return exp->RunDefendedAttack();
+  };
+  const auto plain = run(false);
+  const auto traced = run(true);
+  EXPECT_EQ(plain.incident, traced.incident);
+  EXPECT_EQ(plain.attacker_calls, traced.attacker_calls);
+  EXPECT_EQ(plain.virtual_duration_us, traced.virtual_duration_us);
+  EXPECT_EQ(plain.report.identified_at, traced.report.identified_at);
+}
+
+TEST(ExperimentTraceTest, IdenticalRunsYieldIdenticalTraceBytes) {
+  const auto trace_of = [] {
+    auto exp = experiment::ExperimentConfig()
+                   .WithSeed(17)
+                   .WithBenignApps(2)
+                   .WithAttack(Toast())
+                   .WithDefense()
+                   .WithTrace()
+                   .Build();
+    (void)exp->RunDefendedAttack();
+    return obs::ChromeTraceJson(exp->bus(), *exp->trace());
+  };
+  const std::string first = trace_of();
+  const std::string second = trace_of();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(ExperimentTraceTest, DefendedAttackTraceCoversAllLayers) {
+  auto exp = experiment::ExperimentConfig()
+                 .WithSeed(17)
+                 .WithBenignApps(2)
+                 .WithAttack(Toast())
+                 .WithDefense()
+                 .WithTrace()
+                 .WithMetrics()
+                 .Build();
+  (void)exp->RunDefendedAttack();
+  ASSERT_NE(exp->trace(), nullptr);
+  bool saw[obs::kCategoryCount] = {};
+  const auto& ring = exp->trace()->events();
+  for (std::uint64_t i = ring.first_index(); i < ring.end_index(); ++i) {
+    saw[static_cast<unsigned>(ring.At(i).category)] = true;
+  }
+  EXPECT_TRUE(saw[static_cast<unsigned>(obs::Category::kJgr)]);
+  EXPECT_TRUE(saw[static_cast<unsigned>(obs::Category::kIpc)]);
+  EXPECT_TRUE(saw[static_cast<unsigned>(obs::Category::kDefense)]);
+  // And the metrics sink tallied the same stream.
+  ASSERT_NE(exp->metrics(), nullptr);
+  EXPECT_GT(exp->metrics()->counters().at("jgr.adds"), 0);
+  EXPECT_GT(exp->metrics()->counters().at("ipc.calls"), 0);
+  EXPECT_EQ(exp->metrics()->counters().at("defense.incidents"), 1);
+}
+
+}  // namespace
+}  // namespace jgre

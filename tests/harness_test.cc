@@ -107,6 +107,10 @@ HarnessOptions Parse(std::vector<std::string> args) {
   HarnessSpec spec;
   spec.name = "test";
   spec.default_seed = 42;
+  spec.supports_trace = true;
+  spec.supports_metrics = true;
+  spec.extra_flags = {{"--curves", false, "boolean bench flag"},
+                      {"--top", true, "bench flag taking a value"}};
   return ParseHarnessOptions(spec, static_cast<int>(argv.size()),
                              argv.data());
 }
@@ -137,17 +141,53 @@ TEST(HarnessCliTest, JobsZeroMeansAllCores) {
   EXPECT_GE(opts.jobs, 1);
 }
 
-TEST(HarnessCliTest, NoJsonAndExtrasPassThrough) {
+TEST(HarnessCliTest, NoJsonAndDeclaredFlagsPassThrough) {
   const auto opts = Parse({"--no-json", "--curves"});
   EXPECT_TRUE(opts.error.empty());
   EXPECT_FALSE(opts.emit_json);
   EXPECT_EQ(opts.extra, (std::vector<std::string>{"--curves"}));
+  EXPECT_TRUE(HasFlag(opts, "--curves"));
+  EXPECT_FALSE(HasFlag(opts, "--top"));
+}
+
+TEST(HarnessCliTest, DeclaredValueFlagsLandInExtra) {
+  const auto opts = Parse({"--top", "7"});
+  EXPECT_TRUE(opts.error.empty());
+  EXPECT_EQ(opts.extra, (std::vector<std::string>{"--top", "7"}));
+  ASSERT_NE(FlagValue(opts, "--top"), nullptr);
+  EXPECT_EQ(*FlagValue(opts, "--top"), "7");
+  EXPECT_EQ(FlagValue(opts, "--curves"), nullptr);
+}
+
+TEST(HarnessCliTest, UnknownFlagsAreRejected) {
+  EXPECT_FALSE(Parse({"--bogus"}).error.empty());
+  EXPECT_FALSE(Parse({"stray"}).error.empty());
+  // Undeclared-for-this-bench shared flags are rejected too.
+  HarnessSpec bare;
+  bare.name = "bare";
+  std::string prog = "bench_bare", flag = "--trace", value = "t.json";
+  char* argv[] = {prog.data(), flag.data(), value.data()};
+  EXPECT_FALSE(ParseHarnessOptions(bare, 3, argv).error.empty());
+}
+
+TEST(HarnessCliTest, EqualsSpellingAndObservabilityFlags) {
+  const auto opts =
+      Parse({"--jobs=2", "--trace=/tmp/t.json", "--metrics", "--top=3"});
+  EXPECT_TRUE(opts.error.empty());
+  EXPECT_EQ(opts.jobs, 2);
+  EXPECT_EQ(opts.trace_path, "/tmp/t.json");
+  EXPECT_TRUE(opts.emit_metrics);
+  ASSERT_NE(FlagValue(opts, "--top"), nullptr);
+  EXPECT_EQ(*FlagValue(opts, "--top"), "3");
 }
 
 TEST(HarnessCliTest, BadNumbersAreErrors) {
   EXPECT_FALSE(Parse({"--jobs", "banana"}).error.empty());
   EXPECT_FALSE(Parse({"--seed", "-3"}).error.empty());
-  EXPECT_FALSE(Parse({"--jobs"}).error.empty());  // missing value
+  EXPECT_FALSE(Parse({"--jobs"}).error.empty());   // missing value
+  EXPECT_FALSE(Parse({"--trace"}).error.empty());  // missing value
+  EXPECT_FALSE(Parse({"--metrics=yes"}).error.empty());
+  EXPECT_FALSE(Parse({"--curves=yes"}).error.empty());
 }
 
 // --- Json -------------------------------------------------------------------------
