@@ -6,6 +6,8 @@
 // Paper shape: both curves grow with payload; the defense adds at most
 // ~1.247 ms per call (~46.7% on average).
 //
+// Builder-driven: every simulated device comes from the ExperimentConfig
+// builder (google-benchmark owns the CLI here, so the seed is fixed at 42).
 // The second half uses google-benchmark to measure the *real* (wall-clock)
 // cost of the simulator's transaction path at representative payloads.
 #include <benchmark/benchmark.h>
@@ -19,6 +21,8 @@
 using namespace jgre;
 
 namespace {
+
+constexpr std::uint64_t kSeed = 42;
 
 // Virtual per-call latency for a payload of `kb` KiB.
 DurationUs MeasureCall(core::AndroidSystem& system,
@@ -37,8 +41,8 @@ void RunVirtualSweep() {
   bench::PrintBanner("FIGURE 10",
                      "IPC latency vs payload, stock vs defense-extended "
                      "driver (virtual time)");
-  core::AndroidSystem system;
-  system.Boot();
+  auto exp = experiment::ExperimentConfig().WithSeed(kSeed).Build();
+  core::AndroidSystem& system = exp->system();
   services::AppProcess* app = system.InstallApp("com.payload.app");
 
   std::printf("\npayload_kb,stock_us,defense_us,overhead_us\n");
@@ -66,9 +70,8 @@ void RunVirtualSweep() {
 
 // Real wall-clock cost of the simulated transaction path.
 void BM_TransactPayload(benchmark::State& state) {
-  core::SystemConfig config;
-  core::AndroidSystem system(config);
-  system.Boot();
+  auto exp = experiment::ExperimentConfig().WithSeed(kSeed).Build();
+  core::AndroidSystem& system = exp->system();
   services::AppProcess* app = system.InstallApp("com.bench.app");
   system.driver().SetDefenseLogging(state.range(1) != 0);
   const std::uint64_t kb = static_cast<std::uint64_t>(state.range(0));

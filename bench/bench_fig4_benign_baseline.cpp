@@ -3,26 +3,44 @@
 // storage limits, 2 minutes foreground each), system_server's JGR table size
 // oscillates in the low thousands (paper: 1,000–3,000) and the low memory
 // killer keeps the process count bounded (paper: 382–421).
+//
+// Builder-driven: the booted device comes from the ExperimentConfig builder
+// (shared CLI: --seed/--json); the three monkey rounds then run on
+// exp->system() with the Fig-4 sampler attached. Full fidelity (--full) runs
+// the paper's 2 minutes of foreground monkey time per app (~36,000 virtual
+// seconds); the default trims it to 12 s per app, which preserves the
+// oscillation/bounds the figure shows.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "attack/benign_workload.h"
 #include "bench_util.h"
+#include "common/log.h"
 #include "core/android_system.h"
+#include "harness/experiment_runner.h"
+#include "harness/json.h"
 
 using namespace jgre;
 
 int main(int argc, char** argv) {
-  // Full fidelity (--full) runs the paper's 2 minutes of foreground monkey
-  // time per app (~36,000 virtual seconds); the default trims it to 12 s per
-  // app, which preserves the oscillation/bounds the figure shows.
-  const bool quick = !(argc > 1 && std::string(argv[1]) == "--full");
+  harness::HarnessSpec spec;
+  spec.name = "fig4_benign_baseline";
+  spec.default_seed = 42;
+  spec.extra_flags = {
+      {"--full", false, "run the paper's full 2 min foreground per app"}};
+  const harness::HarnessOptions opts =
+      harness::ParseHarnessOptions(spec, argc, argv);
+  if (opts.help) return 0;
+  if (!opts.error.empty()) return 2;
+  SetLogLevel(LogLevel::kError);
+  const bool quick = !harness::HasFlag(opts, "--full");
+
   bench::PrintBanner("FIGURE 4",
                      "system_server JGR size and process count under the "
                      "top-300 benign workload");
-  core::AndroidSystem system;
-  system.Boot();
+  auto exp = experiment::ExperimentConfig().WithSeed(opts.seed).Build();
+  core::AndroidSystem& system = exp->system();
 
   struct Sample {
     TimeUs t;
@@ -31,8 +49,8 @@ int main(int argc, char** argv) {
   };
   std::vector<Sample> samples;
   auto sampler = [&](TimeUs t) {
-    samples.push_back(
-        Sample{t, system.SystemServerJgrCount(), system.kernel().LiveProcessCount()});
+    samples.push_back(Sample{t, system.SystemServerJgrCount(),
+                             system.kernel().LiveProcessCount()});
   };
 
   for (int round = 0; round < 3; ++round) {
@@ -59,10 +77,15 @@ int main(int argc, char** argv) {
     proc_max = std::max(proc_max, s.processes);
   }
   std::printf("\ntime_s,jgr_size,process_count\n");
+  harness::Json rows = harness::Json::Array();
   const std::size_t stride = std::max<std::size_t>(1, samples.size() / 120);
   for (std::size_t i = 0; i < samples.size(); i += stride) {
     std::printf("%.0f,%zu,%zu\n", samples[i].t / 1e6, samples[i].jgr,
                 samples[i].processes);
+    rows.Push(harness::Json::Object()
+                  .Set("time_s", samples[i].t / 1e6)
+                  .Set("jgr_size", samples[i].jgr)
+                  .Set("process_count", samples[i].processes));
   }
   std::printf("\nsystem_server JGR size range: %zu–%zu (paper: ~1000–3000; "
               "threshold 51200 is never approached)\n",
@@ -71,5 +94,19 @@ int main(int argc, char** argv) {
               proc_min, proc_max);
   std::printf("LMK kills during the run: %lld\n",
               static_cast<long long>(system.kernel().lmk()->total_kills()));
+
+  if (opts.emit_json) {
+    harness::Json doc = harness::Json::Object();
+    doc.Set("bench", spec.name)
+        .Set("seed", opts.seed)
+        .Set("quick", quick)
+        .Set("samples", std::move(rows))
+        .Set("jgr_min", jgr_min)
+        .Set("jgr_max", jgr_max)
+        .Set("process_min", proc_min)
+        .Set("process_max", proc_max)
+        .Set("lmk_kills", system.kernel().lmk()->total_kills());
+    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+  }
   return 0;
 }

@@ -3,31 +3,47 @@
 // Each call appends a Record that later calls must scan, so per-call time
 // grows roughly linearly with the invocation index (paper: ~50 ms by the end
 // of the attack) while staying stable early on (Observation 2).
+//
+// Builder-driven: the booted device, attack app install, and MaliciousApp
+// all come from the ExperimentConfig builder (shared CLI: --seed/--json);
+// the bench then drives the undefended attack to overflow with per-call
+// execution timing enabled.
+#include <algorithm>
 #include <cstdio>
 
 #include "attack/malicious_app.h"
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
-#include "core/android_system.h"
+#include "common/log.h"
+#include "harness/experiment_runner.h"
+#include "harness/json.h"
 
 using namespace jgre;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::HarnessSpec spec;
+  spec.name = "fig5_exec_growth";
+  spec.default_seed = 42;
+  const harness::HarnessOptions opts =
+      harness::ParseHarnessOptions(spec, argc, argv);
+  if (opts.help) return 0;
+  if (!opts.error.empty()) return 2;
+  SetLogLevel(LogLevel::kError);
+
   bench::PrintBanner(
       "FIGURE 5",
       "Execution duration of telephony.registry.listenForSubscriber during "
       "an attack");
   const attack::VulnSpec* vuln =
       attack::FindVulnerability("telephony.registry", "listenForSubscriber");
-  core::AndroidSystem system;
-  system.Boot();
-  services::AppProcess* evil =
-      attack::InstallAttackApp(&system, "com.evil.app", *vuln);
-  attack::MaliciousApp attacker(&system, evil, *vuln);
+  auto exp = experiment::ExperimentConfig()
+                 .WithSeed(opts.seed)
+                 .WithAttack(*vuln)
+                 .Build();
   attack::MaliciousApp::RunOptions options;
   options.record_exec_times = true;
   options.sample_every_calls = 0;
-  auto result = attacker.Run(options);
+  auto result = exp->attacker()->Run(options);
 
   const auto& times = result.exec_times_us.samples();
   std::printf("\nattack issued %d calls before overflow (paper: 50,236 — "
@@ -35,10 +51,19 @@ int main() {
               "calls suffice)\n\n",
               result.calls_issued);
   std::printf("call_index,exec_time_us\n");
+  harness::Json rows = harness::Json::Array();
   const std::size_t stride = std::max<std::size_t>(1, times.size() / 100);
   for (std::size_t i = 0; i < times.size(); i += stride) {
     std::printf("%zu,%.0f\n", i, times[i]);
+    rows.Push(harness::Json::Object()
+                  .Set("call_index", i)
+                  .Set("exec_time_us", times[i]));
   }
+  harness::Json doc = harness::Json::Object();
+  doc.Set("bench", spec.name)
+      .Set("seed", opts.seed)
+      .Set("calls_issued", result.calls_issued)
+      .Set("curve", std::move(rows));
   if (times.size() > 100) {
     const double first = times.front();
     // The final call's sample includes the soft-reboot downtime it triggered;
@@ -48,6 +73,8 @@ int main() {
                 "(paper: ~200 us -> ~50,000 us; growth is linear in stored "
                 "records)\n",
                 first, late);
+    doc.Set("first_call_us", first).Set("near_overflow_us", late);
   }
+  if (opts.emit_json && !harness::WriteJsonFile(opts.json_path, doc)) return 1;
   return result.succeeded ? 0 : 1;
 }

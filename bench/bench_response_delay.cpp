@@ -7,11 +7,14 @@
 // (midi.registerDeviceServer) around 3.6 s — far below the ~100 s the
 // fastest attack needs to overflow the table.
 //
-// Harness-driven: each defended attack is an independent simulation seeded
-// `--seed + vuln.id` (default base 7, matching the pre-harness binary) and
-// fanned out --jobs-wide. Defender warnings are silenced so stderr does not
-// interleave across workers; stdout and JSON are byte-identical for any
-// --jobs value.
+// BranchRunner-driven: the 57 defended attacks share one prefix (boot + a
+// warmup monkey round, seed `--seed`, default 7) that is checkpointed once
+// and restored per branch; the per-branch variation is the vulnerability
+// itself, not the seed, since branches of one checkpoint must share the
+// prefix seed. Branches fan out --jobs-wide; defender warnings are silenced
+// so stderr does not interleave across workers; stdout and JSON are
+// byte-identical for any --jobs value. --cold re-simulates the prefix per
+// vulnerability; --checkpoint/--resume persist the prefix image.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -19,6 +22,7 @@
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
 #include "common/log.h"
+#include "harness/branch_runner.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
 #include "harness/obs_json.h"
@@ -31,6 +35,7 @@ int main(int argc, char** argv) {
   spec.name = "response_delay";
   spec.default_seed = 7;
   spec.supports_metrics = true;
+  spec.extra_flags = harness::BranchFlags();
   const harness::HarnessOptions opts =
       harness::ParseHarnessOptions(spec, argc, argv);
   if (opts.help) return 0;
@@ -44,18 +49,31 @@ int main(int argc, char** argv) {
     experiment::DefendedAttackResult result;
     obs::MetricsRegistry metrics;
   };
-  const auto results = harness::RunOrdered<TaskResult>(
-      vulns.size(), opts.jobs, [&](std::size_t i) {
-        experiment::ExperimentConfig config;
-        config.WithSeed(opts.seed + static_cast<std::uint64_t>(vulns[i].id))
-            .WithBenignApps(10)  // light background traffic
+  const experiment::ExperimentConfig prefix =
+      experiment::ExperimentConfig().WithSeed(opts.seed).WithWarmup(
+          40, 6'000'000);
+  harness::BranchRunner runner(prefix, harness::BranchOptionsFromHarness(opts));
+
+  // Surface a bad --resume image (or an unwritable --checkpoint path) as a
+  // CLI error instead of an uncaught exception out of the first sweep.
+  if (Status status = runner.Prepare(); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const auto results = runner.Run<TaskResult>(
+      vulns.size(),
+      [&](std::size_t i) {
+        experiment::ExperimentConfig config = prefix;
+        config.WithBenignApps(10)  // light background traffic
             .WithAttack(vulns[i])
             .WithDefense();
         if (opts.emit_metrics) config.WithMetrics();
-        auto exp = config.Build();
+        return config;
+      },
+      [](std::size_t, experiment::Experiment& exp) {
         TaskResult out;
-        out.result = exp->RunDefendedAttack();
-        if (exp->metrics() != nullptr) out.metrics = *exp->metrics();
+        out.result = exp.RunDefendedAttack();
+        if (exp.metrics() != nullptr) out.metrics = *exp.metrics();
         return out;
       });
 

@@ -2,18 +2,6 @@
 
 namespace jgre::bench {
 
-DefendedAttackResult RunDefendedAttack(const attack::VulnSpec& vuln,
-                                       const DefendedAttackOptions& options) {
-  auto exp = experiment::ExperimentConfig()
-                 .WithSeed(options.seed)
-                 .WithBenignApps(options.benign_apps)
-                 .WithAttack(vuln)
-                 .WithDefenderConfig(options.defender)
-                 .WithMaxAttackerCalls(options.max_attacker_calls)
-                 .Build();
-  return exp->RunDefendedAttack();
-}
-
 bool WriteDefendedAttackTrace(const attack::VulnSpec& vuln,
                               std::uint64_t seed, int benign_apps,
                               const std::string& path) {

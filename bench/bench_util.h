@@ -1,10 +1,9 @@
 // Shared helpers for the experiment harnesses under bench/.
 //
 // Each bench binary regenerates one table or figure from the paper's
-// evaluation. The scenario plumbing they used to share lives in
-// src/experiment (ExperimentConfig/Experiment); the adapters here are
-// DEPRECATED shims over it, kept one PR for callers that still spell
-// bench::RunDefendedAttack.
+// evaluation. The scenario plumbing lives in src/experiment
+// (ExperimentConfig/Experiment) and src/harness (RunOrdered/BranchRunner);
+// this header keeps only the presentation helpers the benches share.
 #ifndef JGRE_BENCH_BENCH_UTIL_H_
 #define JGRE_BENCH_BENCH_UTIL_H_
 
@@ -13,7 +12,6 @@
 #include <string>
 
 #include "attack/vuln_registry.h"
-#include "defense/jgre_defender.h"
 #include "experiment/experiment.h"
 
 namespace jgre::bench {
@@ -23,21 +21,6 @@ inline void PrintBanner(const char* id, const char* title) {
   std::printf("%s — %s\n", id, title);
   std::printf("================================================================\n");
 }
-
-// DEPRECATED: use experiment::ExperimentConfig directly.
-struct DefendedAttackOptions {
-  int benign_apps = 0;
-  std::uint64_t seed = 42;
-  int max_attacker_calls = 60'000;
-  defense::JgreDefender::Config defender;
-};
-
-using DefendedAttackResult = experiment::DefendedAttackResult;
-
-// DEPRECATED adapter: builds the equivalent Experiment and runs it. Byte-
-// identical results to the pre-experiment implementation.
-DefendedAttackResult RunDefendedAttack(const attack::VulnSpec& vuln,
-                                       const DefendedAttackOptions& options);
 
 // Runs one defended attack against `vuln` with full tracing subscribed and
 // writes the Chrome-trace JSON timeline to `path`. Returns false if the

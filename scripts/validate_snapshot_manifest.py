@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Validate a snapshot manifest sidecar (<image>.manifest.json).
+
+Usage:
+  validate_snapshot_manifest.py MANIFEST.json [--image IMAGE]
+
+Checks the manifest a SystemSnapshot::WriteFile emits next to the binary
+image: format tag, version, and the integrity fields CI keys on. With
+--image, also checks byte_size against the actual image file. Stdlib only.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"validate_snapshot_manifest: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("manifest")
+    parser.add_argument("--image", help="snapshot image to size-check")
+    args = parser.parse_args()
+
+    with open(args.manifest, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{args.manifest}: top level must be an object")
+    if doc.get("format") != "jgre-snapshot":
+        fail(f"format is {doc.get('format')!r}, want 'jgre-snapshot'")
+    if not isinstance(doc.get("version"), int) or doc["version"] < 1:
+        fail(f"version is {doc.get('version')!r}, want integer >= 1")
+    for field in ("seed", "virtual_time_us", "byte_size"):
+        value = doc.get(field)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{field} is {value!r}, want non-negative integer")
+    if doc["byte_size"] == 0:
+        fail("byte_size is 0: empty snapshot image")
+    content_hash = doc.get("content_hash")
+    if not isinstance(content_hash, str) or not content_hash.startswith("0x"):
+        fail(f"content_hash is {content_hash!r}, want '0x...' hex string")
+    try:
+        int(content_hash, 16)
+    except ValueError:
+        fail(f"content_hash {content_hash!r} is not valid hex")
+
+    if args.image:
+        # byte_size counts the payload; the v1 image wraps it in a 36-byte
+        # header (magic, version, seed, virtual time, payload size) plus an
+        # 8-byte content-hash trailer.
+        envelope = 44
+        actual = os.path.getsize(args.image)
+        if actual != doc["byte_size"] + envelope:
+            fail(f"image {args.image} is {actual} bytes, manifest payload "
+                 f"{doc['byte_size']} + {envelope} envelope = "
+                 f"{doc['byte_size'] + envelope}")
+
+    print(f"validate_snapshot_manifest: OK: {args.manifest} "
+          f"(v{doc['version']}, seed {doc['seed']}, "
+          f"{doc['byte_size']} bytes at t={doc['virtual_time_us']} us)")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,8 @@ void BenignWorkload::InstallAll() {
   packages_.clear();
   behaviors_.clear();
   for (int i = 0; i < options_.app_count; ++i) {
-    const std::string package = StrFormat("com.top.app%03d", i);
+    const std::string package =
+        StrCat(options_.package_prefix, StrFormat("%03d", i));
     std::set<std::string> permissions;
     AppBehavior behavior;
     behavior.uses_clipboard = rng_.Chance(0.35);

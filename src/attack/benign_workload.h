@@ -28,6 +28,10 @@ class BenignWorkload {
     DurationUs per_app_foreground_us = 120'000'000;
     DurationUs interaction_period_us = 400'000;
     std::uint64_t seed = 7;
+    // Package name prefix ("<prefix>%03d"). Warmup populations use a
+    // distinct prefix so their packages never collide with the main benign
+    // population installed later in the same simulation.
+    std::string package_prefix = "com.top.app";
   };
 
   BenignWorkload(core::AndroidSystem* system, Options options);

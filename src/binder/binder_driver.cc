@@ -9,6 +9,27 @@
 
 namespace jgre::binder {
 
+namespace {
+
+// Stand-in for a live post-boot binder whose concrete implementation cannot
+// be reconstructed from a checkpoint (the object behind it was created by
+// dynamic app code). The checkpoint contract guarantees such nodes never
+// receive a transaction after restore; if one does anyway, fail loudly
+// instead of silently diverging from the cold run.
+class RestoredPlaceholderBinder : public BBinder {
+ public:
+  explicit RestoredPlaceholderBinder(std::string descriptor)
+      : BBinder(std::move(descriptor)) {}
+
+  Status OnTransact(std::uint32_t /*code*/, const Parcel& /*data*/,
+                    Parcel* /*reply*/, const CallContext& /*ctx*/) override {
+    return Unavailable(
+        "transaction to a placeholder binder restored from a checkpoint");
+  }
+};
+
+}  // namespace
+
 BinderDriver::BinderDriver(os::Kernel* kernel, Config config)
     : kernel_(kernel), config_(config), ipc_log_(config.ipc_log_capacity) {
   kernel_->AddDeathListener(
@@ -178,7 +199,9 @@ void BinderDriver::OnProcessDeath(Pid pid) {
 }
 
 void BinderDriver::FireDeathLinks(NodeId node) {
-  // Collect first: recipients may unlink/register during callbacks.
+  // Collect first: recipients may unlink/register during callbacks. Fire in
+  // link-id (registration) order — the map iteration order depends on
+  // hash-bucket history, which a checkpoint restore does not reproduce.
   std::vector<DeathLink> fired;
   for (auto it = links_.begin(); it != links_.end();) {
     if (it->second.node == node) {
@@ -188,6 +211,8 @@ void BinderDriver::FireDeathLinks(NodeId node) {
       ++it;
     }
   }
+  std::sort(fired.begin(), fired.end(),
+            [](const DeathLink& a, const DeathLink& b) { return a.id < b.id; });
   for (DeathLink& link : fired) {
     os::Process* holder = kernel_->FindProcess(link.holder);
     if (holder == nullptr || !holder->alive) continue;
@@ -228,6 +253,14 @@ Result<LinkId> BinderDriver::LinkToDeath(
   const LinkId id = link.id;
   links_.emplace(id, std::move(link));
   return id;
+}
+
+bool BinderDriver::ReattachDeathRecipient(
+    LinkId link_id, std::shared_ptr<DeathRecipient> recipient) {
+  auto it = links_.find(link_id);
+  if (it == links_.end()) return false;
+  it->second.recipient = std::move(recipient);
+  return true;
 }
 
 bool BinderDriver::UnlinkToDeath(LinkId link_id) {
@@ -372,6 +405,152 @@ Result<std::vector<IpcRecord>> BinderDriver::ReadIpcLog(
       max_records);
   if (!visited.ok()) return visited.status();
   return out;
+}
+
+const std::string& BinderDriver::NodeDescriptor(NodeId node) const {
+  static const std::string kEmpty;
+  const Node* n = FindNode(node);
+  if (n == nullptr || n->descriptor_id == StringInterner::kInvalidId) {
+    return kEmpty;
+  }
+  return descriptors_.Name(n->descriptor_id);
+}
+
+void BinderDriver::SaveState(snapshot::Serializer& out) const {
+  out.Marker(0x42445231);  // "BDR1"
+  descriptors_.SaveState(out);
+  out.I64(next_node_);
+  for (const Node& node : nodes_) {  // vector order == id order
+    out.I64(node.id.value());
+    out.I64(node.owner.value());
+    out.U32(node.descriptor_id);
+    out.Bool(node.strong != nullptr);
+    out.I64(node.sender_obj.value());
+    out.U64(node.holders.size());
+    for (Pid holder : node.holders) out.I64(holder.value());  // set: sorted
+    out.Bool(node.pinned);
+    out.Bool(node.dead);
+  }
+  out.I64(next_link_);
+  std::vector<LinkId> link_ids;
+  link_ids.reserve(links_.size());
+  for (const auto& [id, link] : links_) link_ids.push_back(id);
+  std::sort(link_ids.begin(), link_ids.end());
+  out.U64(link_ids.size());
+  for (LinkId id : link_ids) {
+    const DeathLink& link = links_.at(id);
+    out.I64(link.id);
+    out.I64(link.node.value());
+    out.I64(link.holder.value());
+    out.I64(link.recipient_obj.value());
+  }
+  ipc_log_.SaveState(out, [](snapshot::Serializer& s, const IpcRecord& r) {
+    s.U64(r.seq);
+    s.U64(r.timestamp_us);
+    s.I64(r.from_pid.value());
+    s.I64(r.from_uid.value());
+    s.I64(r.to_pid.value());
+    s.I64(r.target_node.value());
+    s.U32(r.code);
+    s.U32(r.descriptor_id);
+  });
+  out.U64(next_seq_);
+  out.I64(total_transactions_);
+  out.Bool(defense_logging_);
+  out.U64(hooked_runtimes_.size());
+  for (Pid pid : hooked_runtimes_) out.I64(pid.value());  // set: sorted
+}
+
+void BinderDriver::RestoreState(snapshot::Deserializer& in) {
+  in.Marker(0x42445231);
+  descriptors_.RestoreState(in);
+  descriptor_labels_.clear();  // refilled lazily; interning is idempotent
+  const std::size_t boot_nodes = nodes_.size();
+  next_node_ = in.I64();
+  const std::int64_t node_count = next_node_ - 1;
+  if (node_count < static_cast<std::int64_t>(boot_nodes)) {
+    in.Fail("checkpoint has fewer binder nodes than the fresh boot");
+    return;
+  }
+  for (std::int64_t i = 0; i < node_count && in.ok(); ++i) {
+    const NodeId id{in.I64()};
+    const Pid owner{static_cast<std::int32_t>(in.I64())};
+    const DescriptorId descriptor_id = in.U32();
+    const bool has_strong = in.Bool();
+    const ObjectId sender_obj{in.I64()};
+    std::set<Pid> holders;
+    for (std::uint64_t h = 0, n = in.U64(); h < n && in.ok(); ++h) {
+      holders.insert(Pid{static_cast<std::int32_t>(in.I64())});
+    }
+    const bool pinned = in.Bool();
+    const bool dead = in.Bool();
+    if (!in.ok()) return;
+    if (i < static_cast<std::int64_t>(boot_nodes)) {
+      // Boot-created node: the fresh boot recreated the same object. Validate
+      // the identity, then overwrite the mutable state.
+      Node& node = nodes_[static_cast<std::size_t>(i)];
+      if (node.id != id || node.owner != owner ||
+          node.descriptor_id != descriptor_id) {
+        in.Fail("boot-time binder node mismatch on restore");
+        return;
+      }
+      if (!has_strong || dead) node.strong.reset();
+      node.sender_obj = sender_obj;
+      node.holders = std::move(holders);
+      node.pinned = pinned;
+      node.dead = dead;
+    } else {
+      Node node;
+      node.id = id;
+      node.owner = owner;
+      node.descriptor_id = descriptor_id;
+      node.sender_obj = sender_obj;
+      node.holders = std::move(holders);
+      node.pinned = pinned;
+      node.dead = dead;
+      if (has_strong && !dead) {
+        node.strong = std::make_shared<RestoredPlaceholderBinder>(
+            descriptors_.Name(descriptor_id));
+        node.strong->AttachNode(this, id, owner);
+      }
+      nodes_.push_back(std::move(node));
+    }
+  }
+  next_link_ = in.I64();
+  links_.clear();
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    DeathLink link;
+    link.id = in.I64();
+    link.node = NodeId{in.I64()};
+    link.holder = Pid{static_cast<std::int32_t>(in.I64())};
+    link.recipient_obj = ObjectId{in.I64()};
+    links_.emplace(link.id, std::move(link));
+  }
+  ipc_log_.RestoreState(in, [](snapshot::Deserializer& s) {
+    IpcRecord r;
+    r.seq = s.U64();
+    r.timestamp_us = s.U64();
+    r.from_pid = Pid{static_cast<std::int32_t>(s.I64())};
+    r.from_uid = Uid{static_cast<std::int32_t>(s.I64())};
+    r.to_pid = Pid{static_cast<std::int32_t>(s.I64())};
+    r.target_node = NodeId{s.I64()};
+    r.code = s.U32();
+    r.descriptor_id = s.U32();
+    return r;
+  });
+  next_seq_ = in.U64();
+  total_transactions_ = in.I64();
+  defense_logging_ = in.Bool();
+  hooked_runtimes_.clear();
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    const Pid pid{static_cast<std::int32_t>(in.I64())};
+    hooked_runtimes_.insert(pid);
+    os::Process* proc = kernel_->FindProcess(pid);
+    if (proc != nullptr && proc->alive && proc->HasRuntime()) {
+      proc->runtime->SetProxyCollectHandler(
+          [this, pid](NodeId node) { OnProxyCollected(pid, node); });
+    }
+  }
 }
 
 std::string BinderDriver::RenderIpcLogProcfs(std::size_t max_lines) const {

@@ -34,6 +34,7 @@
 #include "binder/parcel.h"
 #include "obs/event_bus.h"
 #include "os/kernel.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::binder {
 
@@ -134,6 +135,14 @@ class BinderDriver {
                              std::shared_ptr<DeathRecipient> recipient);
   bool UnlinkToDeath(LinkId link);
 
+  // Re-attaches the recipient callback of a restored death link. Checkpoints
+  // persist links without their recipients (a DeathRecipient is live wiring);
+  // the owning component recreates its recipient object during its own
+  // RestoreState and hangs it back on the link here. Returns false if no such
+  // link exists.
+  bool ReattachDeathRecipient(LinkId link,
+                              std::shared_ptr<DeathRecipient> recipient);
+
   // --- IPC log (defense) -------------------------------------------------------
 
   // Turns the extended-driver logging on/off (stock Android: off).
@@ -162,6 +171,10 @@ class BinderDriver {
     return descriptors_.Name(id);
   }
 
+  // Interface descriptor of a node (empty for an unknown node). Restore paths
+  // use this to rebuild proxy shims from the node table.
+  const std::string& NodeDescriptor(NodeId node) const;
+
   // Renders the textual /proc/jgre_ipc_log content (bounded tail).
   std::string RenderIpcLogProcfs(std::size_t max_lines = 64) const;
 
@@ -170,6 +183,18 @@ class BinderDriver {
   std::uint64_t ipc_log_next_seq() const { return next_seq_; }
   std::size_t ipc_log_size() const { return ipc_log_.size(); }
   std::int64_t total_transactions() const { return total_transactions_; }
+
+  // Checkpointing. SaveState writes the node table, death links (sans
+  // recipients — live wiring re-attached by their owners), descriptor
+  // interner, IPC ring log and counters. RestoreState runs against a freshly
+  // booted driver: boot-created nodes keep their real BBinder objects (a
+  // deterministic boot recreates them bit-for-bit), while live post-boot
+  // nodes get placeholder objects that refuse transactions — the checkpoint
+  // contract requires that no such node receives a transaction after restore
+  // (the harness checkpoints at a quiescent boundary where all dynamic
+  // clients have been stopped).
+  void SaveState(snapshot::Serializer& out) const;
+  void RestoreState(snapshot::Deserializer& in);
 
  private:
   struct Node {

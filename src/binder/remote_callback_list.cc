@@ -1,5 +1,8 @@
 #include "binder/remote_callback_list.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/log.h"
 
 namespace jgre::binder {
@@ -81,7 +84,10 @@ void RemoteCallbackList::OnCallbackDied(NodeId node) {
 }
 
 void RemoteCallbackList::Kill() {
-  for (auto& [node, entry] : entries_) {
+  // Unregister in node order: map iteration order depends on hash-bucket
+  // history, which a checkpoint restore does not reproduce.
+  for (NodeId node : SortedNodes()) {
+    Entry& entry = entries_.at(node);
     if (entry.link >= 0) driver_->UnlinkToDeath(entry.link);
     DropHold(entry.callback.java_obj);
   }
@@ -89,13 +95,59 @@ void RemoteCallbackList::Kill() {
 }
 
 void RemoteCallbackList::Broadcast(const std::function<void(IBinder&)>& fn) {
-  // Snapshot: callbacks may die (and be erased) while being invoked.
+  // Snapshot: callbacks may die (and be erased) while being invoked. Invoke
+  // in node (registration) order so a restored list broadcasts identically
+  // to the cold run it was forked from.
   std::vector<std::shared_ptr<IBinder>> snapshot;
   snapshot.reserve(entries_.size());
-  for (auto& [node, entry] : entries_) snapshot.push_back(entry.callback.binder);
+  for (NodeId node : SortedNodes()) {
+    snapshot.push_back(entries_.at(node).callback.binder);
+  }
   for (auto& binder : snapshot) {
     if (binder != nullptr) fn(*binder);
   }
+}
+
+std::vector<NodeId> RemoteCallbackList::SortedNodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(entries_.size());
+  for (const auto& [node, entry] : entries_) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+void RemoteCallbackList::SaveState(snapshot::Serializer& out) const {
+  out.U64(entries_.size());
+  for (NodeId node : SortedNodes()) {
+    const Entry& entry = entries_.at(node);
+    out.I64(node.value());
+    out.I64(entry.callback.java_obj.value());
+    out.I64(entry.link);
+  }
+  out.I64(total_registered_);
+  out.I64(dead_callbacks_);
+}
+
+void RemoteCallbackList::RestoreState(snapshot::Deserializer& in) {
+  entries_.clear();
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    const NodeId node{in.I64()};
+    Entry entry;
+    entry.callback.node = node;
+    entry.callback.java_obj = ObjectId{in.I64()};
+    entry.callback.binder = std::make_shared<BpBinder>(
+        driver_, node, host_, driver_->NodeDescriptor(node));
+    entry.link = in.I64();
+    if (entry.link >= 0 &&
+        !driver_->ReattachDeathRecipient(entry.link,
+                                         std::make_shared<Recipient>(this))) {
+      in.Fail("callback list references a death link the driver lost");
+      return;
+    }
+    entries_.emplace(node, std::move(entry));
+  }
+  total_registered_ = in.I64();
+  dead_callbacks_ = in.I64();
 }
 
 }  // namespace jgre::binder

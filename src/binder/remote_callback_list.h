@@ -15,11 +15,13 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
 #include "binder/binder_driver.h"
 #include "binder/ibinder.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::binder {
 
@@ -59,11 +61,20 @@ class RemoteCallbackList {
   std::int64_t total_registered() const { return total_registered_; }
   std::int64_t dead_callbacks() const { return dead_callbacks_; }
 
+  // Checkpointing. Entries persist as (node, java_obj, link) triples; the
+  // restore rebuilds each proxy shim from the driver's node table and hangs a
+  // fresh death recipient back on the already-restored driver link. Heap
+  // holds are NOT re-added — the host runtime was restored wholesale and
+  // already carries them.
+  void SaveState(snapshot::Serializer& out) const;
+  void RestoreState(snapshot::Deserializer& in);
+
  private:
   class Recipient;
 
   void OnCallbackDied(NodeId node);
   void DropHold(ObjectId obj);
+  std::vector<NodeId> SortedNodes() const;
 
   BinderDriver* driver_;
   Pid host_;

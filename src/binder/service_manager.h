@@ -17,6 +17,7 @@
 #include "common/types.h"
 #include "binder/binder_driver.h"
 #include "binder/ibinder.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::binder {
 
@@ -43,6 +44,22 @@ class ServiceManager {
   // Drops all registrations (system soft reboot). Interned name ids are
   // stable across reboots; only the name → node routing entries clear.
   void Clear();
+
+  // Checkpointing: interned names plus the name → node routing table.
+  void SaveState(snapshot::Serializer& out) const {
+    names_.SaveState(out);
+    out.U64(nodes_by_name_.size());
+    for (NodeId node : nodes_by_name_) out.I64(node.value());
+    out.U64(service_count_);
+  }
+  void RestoreState(snapshot::Deserializer& in) {
+    names_.RestoreState(in);
+    nodes_by_name_.clear();
+    for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+      nodes_by_name_.push_back(NodeId{in.I64()});
+    }
+    service_count_ = static_cast<std::size_t>(in.U64());
+  }
 
  private:
   BinderDriver* driver_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snapshot/serializer.h"
 
 namespace jgre {
 
@@ -41,6 +42,25 @@ class SimClock {
 
   // Number of timers that have fired since construction (observability).
   std::int64_t timers_fired() const { return timers_fired_; }
+
+  bool HasPendingTimers() const { return !timers_.empty(); }
+
+  // Checkpointing. Pending timers hold arbitrary std::functions and cannot
+  // be serialized; the snapshot layer requires a quiescent clock (no pending
+  // timers) at the checkpoint boundary and the restore fails otherwise.
+  void SaveState(snapshot::Serializer& out) const {
+    out.I64(static_cast<std::int64_t>(now_us_));
+    out.I64(next_timer_id_);
+    out.I64(timers_fired_);
+    out.U64(timers_.size());
+  }
+  void RestoreState(snapshot::Deserializer& in) {
+    now_us_ = static_cast<TimeUs>(in.I64());
+    next_timer_id_ = in.I64();
+    timers_fired_ = in.I64();
+    if (in.U64() != 0) in.Fail("checkpoint taken with pending timers");
+    timers_.clear();
+  }
 
  private:
   void FireDueTimers();

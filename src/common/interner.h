@@ -18,6 +18,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "snapshot/serializer.h"
+
 namespace jgre {
 
 class StringInterner {
@@ -48,6 +50,19 @@ class StringInterner {
 
   const std::string& Name(Id id) const { return names_[id]; }
   std::size_t size() const { return names_.size(); }
+
+  // Checkpointing: names are written in id order and re-interned on restore,
+  // which reproduces the exact id assignment (ids are dense, first-seen).
+  void SaveState(snapshot::Serializer& out) const {
+    out.U64(names_.size());
+    for (const std::string& name : names_) out.Str(name);
+  }
+  void RestoreState(snapshot::Deserializer& in) {
+    names_.clear();
+    ids_.clear();
+    const std::uint64_t n = in.U64();
+    for (std::uint64_t i = 0; i < n && in.ok(); ++i) (void)Intern(in.Str());
+  }
 
  private:
   struct Hash {

@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "snapshot/serializer.h"
+
 namespace jgre {
 
 template <typename T>
@@ -61,6 +63,37 @@ class RingBuffer {
     storage_.clear();
     head_ = 0;
     // total_pushed_ keeps counting: logical indices are never reused.
+  }
+
+  // Checkpointing. Retained values are written oldest-to-newest through
+  // `save_value(out, v)`; restore linearizes the storage (head_ = 0) but
+  // preserves every logical index, so readers' watermarks stay valid and a
+  // re-saved buffer produces identical bytes.
+  template <typename SaveValueFn>
+  void SaveState(snapshot::Serializer& out, SaveValueFn save_value) const {
+    out.U64(capacity_);
+    out.U64(total_pushed_);
+    out.U64(size());
+    for (std::uint64_t i = first_index(); i < end_index(); ++i) {
+      save_value(out, At(i));
+    }
+  }
+  template <typename LoadValueFn>
+  void RestoreState(snapshot::Deserializer& in, LoadValueFn load_value) {
+    capacity_ = static_cast<std::size_t>(in.U64());
+    const std::uint64_t total = in.U64();
+    const std::uint64_t retained = in.U64();
+    storage_.clear();
+    head_ = 0;
+    if (capacity_ == 0 || retained > capacity_ || retained > total) {
+      in.Fail("corrupt ring buffer header");
+      return;
+    }
+    storage_.reserve(static_cast<std::size_t>(retained));
+    for (std::uint64_t i = 0; i < retained && in.ok(); ++i) {
+      storage_.push_back(load_value(in));
+    }
+    total_pushed_ = total;
   }
 
  private:

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "snapshot/serializer.h"
+
 namespace jgre {
 
 class Rng {
@@ -38,6 +40,15 @@ class Rng {
   // Forks an independent stream (useful to decouple subsystems so adding
   // draws in one does not perturb another).
   Rng Fork();
+
+  // Checkpointing: the 256-bit stream position round-trips exactly, so a
+  // restored stream continues with the same draws the original would have.
+  void SaveState(snapshot::Serializer& out) const {
+    for (std::uint64_t v : s_) out.U64(v);
+  }
+  void RestoreState(snapshot::Deserializer& in) {
+    for (std::uint64_t& v : s_) v = in.U64();
+  }
 
  private:
   static std::uint64_t SplitMix64(std::uint64_t& state);

@@ -279,6 +279,79 @@ void AndroidSystem::Pump() {
   in_pump_ = false;
 }
 
+void AndroidSystem::SaveState(snapshot::Serializer& out) const {
+  assert(booted_ && "checkpoint requires a booted system");
+  out.Marker(0x53595331);  // "SYS1"
+  kernel_.SaveState(out);
+  driver_->SaveState(out);
+  service_manager_->SaveState(out);
+  package_manager_.SaveState(out);
+  out.U64(service_objects_.size());
+  for (const auto& [name, service] : service_objects_) {  // map: name order
+    out.Str(name);
+    service->SaveState(out);
+  }
+  out.I64(next_app_uid_);
+  out.U64(last_gc_us_);
+  out.I64(soft_reboots_seen_);
+  out.U64(apps_.size());
+  for (const auto& [package, app] : apps_) {
+    out.Str(package);
+    out.I64(app->pid().value());
+    out.I64(app->uid().value());
+  }
+  out.U64(app_permissions_.size());
+  for (const auto& [package, permissions] : app_permissions_) {
+    out.Str(package);
+    out.U64(permissions.size());
+    for (const std::string& permission : permissions) out.Str(permission);
+  }
+}
+
+void AndroidSystem::RestoreState(snapshot::Deserializer& in) {
+  assert(booted_ && "restore requires a freshly booted system");
+  in.Marker(0x53595331);
+  kernel_.RestoreState(in);
+  driver_->RestoreState(in);
+  service_manager_->RestoreState(in);
+  package_manager_.RestoreState(in);
+  const std::uint64_t service_count = in.U64();
+  if (service_count != service_objects_.size()) {
+    in.Fail("checkpoint service census differs from the booted system");
+    return;
+  }
+  for (std::uint64_t i = 0; i < service_count && in.ok(); ++i) {
+    const std::string name = in.Str();
+    auto it = service_objects_.find(name);
+    if (it == service_objects_.end()) {
+      in.Fail(StrCat("checkpoint has service '", name,
+                     "' the booted system lacks"));
+      return;
+    }
+    it->second->RestoreState(in);
+  }
+  next_app_uid_ = static_cast<std::int32_t>(in.I64());
+  last_gc_us_ = in.U64();
+  soft_reboots_seen_ = in.I64();
+  apps_.clear();
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    std::string package = in.Str();
+    const Pid pid{static_cast<std::int32_t>(in.I64())};
+    const Uid uid{static_cast<std::int32_t>(in.I64())};
+    apps_[package] = std::make_unique<services::AppProcess>(
+        driver_.get(), service_manager_.get(), pid, uid, package);
+  }
+  app_permissions_.clear();
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    std::string package = in.Str();
+    std::set<std::string> permissions;
+    for (std::uint64_t p = 0, np = in.U64(); p < np && in.ok(); ++p) {
+      permissions.insert(in.Str());
+    }
+    app_permissions_.emplace(std::move(package), std::move(permissions));
+  }
+}
+
 void AndroidSystem::HandleSoftReboot(const std::string& reason) {
   ++soft_reboots_seen_;
   JGRE_LOG(kWarning, "AndroidSystem")

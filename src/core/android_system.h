@@ -143,6 +143,17 @@ class AndroidSystem {
 
   std::int64_t soft_reboots() const { return soft_reboots_seen_; }
 
+  // Checkpointing. SaveState captures the full simulated-device state in
+  // module order (kernel → driver → service manager → package manager →
+  // services → facade bookkeeping → apps). RestoreState must run on a
+  // freshly constructed AndroidSystem with the SAME SystemConfig that has
+  // been Boot()ed: the boot deterministically recreates all structural
+  // wiring (service objects, boot binder nodes, death listeners, procfs,
+  // LMK), and restore then patches every module's mutable state wholesale.
+  // The pump extension and post-reboot hook are wiring and survive restore.
+  void SaveState(snapshot::Serializer& out) const;
+  void RestoreState(snapshot::Deserializer& in);
+
  private:
   void BootSystemServer();
   void BootPrebuiltApps();

@@ -1,12 +1,12 @@
 // JgrMonitor — the defense's extended Android Runtime (paper §V.B phase 1).
 //
-// Attached as a JgrObserver to a victim runtime (system_server or a prebuilt
-// app). Below the alarm threshold it is completely passive (zero overhead).
-// Past the alarm threshold (4,000) it timestamps every JGR add/remove,
-// charging ~1 µs per recorded operation — the overhead §V.D.2 measures. When
-// the number of *new* entries recorded since the alarm exceeds the report
-// threshold (12,000) it flags the victim as under attack; the JgreDefender
-// picks the flag up between transactions.
+// Subscribed on the EventBus for a victim runtime's kJgr events
+// (system_server or a prebuilt app). Below the alarm threshold it is
+// completely passive (zero overhead). Past the alarm threshold (4,000) it
+// timestamps every JGR add/remove, charging ~1 µs per recorded operation —
+// the overhead §V.D.2 measures. When the number of *new* entries recorded
+// since the alarm exceeds the report threshold (12,000) it flags the victim
+// as under attack; the JgreDefender picks the flag up between transactions.
 #ifndef JGRE_DEFENSE_JGR_MONITOR_H_
 #define JGRE_DEFENSE_JGR_MONITOR_H_
 
@@ -18,15 +18,13 @@
 #include "common/types.h"
 #include "obs/event.h"
 #include "obs/event_bus.h"
-#include "runtime/java_vm_ext.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::defense {
 
-// The monitor consumes the victim's JGR activity either as a bus EventSink
-// (subscribed with a pid filter on the kJgr category — the unified path) or
-// via the deprecated rt::JgrObserver attachment; both feed the same
-// recording logic with identical timestamps and virtual-time costs.
-class JgrMonitor : public obs::EventSink, public rt::JgrObserver {
+// The monitor consumes the victim's JGR activity as a bus EventSink,
+// subscribed with a pid filter on the kJgr category.
+class JgrMonitor : public obs::EventSink {
  public:
   struct Config {
     std::size_t alarm_threshold = 4000;
@@ -42,13 +40,12 @@ class JgrMonitor : public obs::EventSink, public rt::JgrObserver {
 
   JgrMonitor(SimClock* clock, std::string victim_name, Config config);
 
-  // obs::EventSink — the bus delivers the victim's kJgr events here.
+  // obs::EventSink — the bus delivers the victim's kJgr events here and
+  // dispatches to the add/remove recording paths below.
   void OnEvent(const obs::TraceEvent& event) override;
 
-  // rt::JgrObserver (DEPRECATED direct-attachment path; kept one PR):
-  void OnJgrAdd(TimeUs now_us, std::size_t count_after, ObjectId obj) override;
-  void OnJgrRemove(TimeUs now_us, std::size_t count_after,
-                   ObjectId obj) override;
+  void OnJgrAdd(TimeUs now_us, std::size_t count_after, ObjectId obj);
+  void OnJgrRemove(TimeUs now_us, std::size_t count_after, ObjectId obj);
 
   // Where the monitor publishes its own kDefense events (alarm/report).
   // Optional: an unset source keeps the monitor silent on the bus.
@@ -66,6 +63,38 @@ class JgrMonitor : public obs::EventSink, public rt::JgrObserver {
 
   // Clears state after recovery so the monitor can re-arm.
   void Reset();
+
+  // Checkpointing: the recording phase (armed/reported flags, timestamps)
+  // and the captured event tape. Config, victim name, and the bus source
+  // are wiring and belong to whoever reconstructs the monitor.
+  void SaveState(snapshot::Serializer& out) const {
+    out.Bool(recording_);
+    out.Bool(reported_);
+    out.U64(alarm_at_);
+    out.U64(reported_at_);
+    out.U64(adds_since_alarm_);
+    out.U64(events_.size());
+    for (const JgrEvent& event : events_) {
+      out.U64(event.t);
+      out.Bool(event.is_add);
+      out.U64(event.count_after);
+    }
+  }
+  void RestoreState(snapshot::Deserializer& in) {
+    recording_ = in.Bool();
+    reported_ = in.Bool();
+    alarm_at_ = in.U64();
+    reported_at_ = in.U64();
+    adds_since_alarm_ = in.U64();
+    events_.clear();
+    for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+      JgrEvent event;
+      event.t = in.U64();
+      event.is_add = in.Bool();
+      event.count_after = in.U64();
+      events_.push_back(event);
+    }
+  }
 
  private:
   SimClock* clock_;

@@ -137,35 +137,21 @@ std::vector<JgreDefender::ScoreEntry> JgreDefender::RankApps(
 
   // Phase 2, step 1: replay the captured IPC records. Per-app IPC events
   // targeting the victim since the alarm; system uids are exempt: the
-  // defender only ever kills apps (LMK-style policy). The installed path
-  // reads the defender's own bus-fed tap (kIpc events carry the exact
-  // MakeIpcTypeKey packing in arg1); an uninstalled defender falls back to
-  // the deprecated kernel-log polling path.
+  // defender only ever kills apps (LMK-style policy). The ranking reads the
+  // defender's own bus-fed tap (kIpc events carry the exact MakeIpcTypeKey
+  // packing in arg1), so Install() is a precondition.
+  if (tap_ == nullptr) return {};
   std::map<Uid, std::vector<IpcEvent>> calls_by_app;
   std::size_t parsed_records = 0;
-  if (tap_ != nullptr) {
-    const RingBuffer<obs::TraceEvent>& ring = tap_->ring();
-    for (std::uint64_t i = ring.first_index(); i < ring.end_index(); ++i) {
-      const obs::TraceEvent& e = ring.At(i);
-      ++parsed_records;
-      if (e.ts_us < window_start) continue;
-      if (e.arg0 != victim_pid.value()) continue;
-      if (e.uid < kFirstAppUid.value()) continue;
-      calls_by_app[Uid{e.uid}].push_back(
-          IpcEvent{e.ts_us, static_cast<IpcTypeKey>(e.arg1)});
-    }
-  } else {
-    auto parsed = system_->driver().VisitIpcLogSince(
-        kSystemUid, ipc_log_watermark_,
-        [&](const binder::IpcRecord& rec) {
-          if (rec.timestamp_us < window_start) return;
-          if (rec.to_pid != victim_pid) return;
-          if (rec.from_uid.value() < kFirstAppUid.value()) return;
-          calls_by_app[rec.from_uid].push_back(IpcEvent{
-              rec.timestamp_us, MakeIpcTypeKey(rec.descriptor_id, rec.code)});
-        });
-    if (!parsed.ok()) return {};
-    parsed_records = parsed.value();
+  const RingBuffer<obs::TraceEvent>& ring = tap_->ring();
+  for (std::uint64_t i = ring.first_index(); i < ring.end_index(); ++i) {
+    const obs::TraceEvent& e = ring.At(i);
+    ++parsed_records;
+    if (e.ts_us < window_start) continue;
+    if (e.arg0 != victim_pid.value()) continue;
+    if (e.uid < kFirstAppUid.value()) continue;
+    calls_by_app[Uid{e.uid}].push_back(
+        IpcEvent{e.ts_us, static_cast<IpcTypeKey>(e.arg1)});
   }
   // Reading + parsing the records costs real time (part of the response
   // delay).
@@ -282,12 +268,50 @@ void JgreDefender::RunIncident(const std::string& victim_name,
   monitor->Reset();
   // Drop the consumed window: the next incident scores fresh records only.
   if (tap_ != nullptr) tap_->Clear();
-  ipc_log_watermark_ = system_->driver().ipc_log_next_seq();
   JGRE_LOG(kWarning, "JgreDefender")
       << victim_name << ": incident handled, killed "
       << report.killed_packages.size() << " app(s), JGR "
       << report.jgr_at_report << " -> " << report.jgr_after_recovery;
   incidents_.push_back(std::move(report));
+}
+
+void JgreDefender::SaveState(snapshot::Serializer& out) const {
+  out.Marker(0x44454631);  // "DEF1"
+  out.Bool(installed_);
+  if (!installed_) return;
+  out.U64(monitors_.size());
+  for (const auto& [name, monitor] : monitors_) {  // map: name order
+    out.Str(name);
+    monitor->SaveState(out);
+  }
+  tap_->SaveState(out);
+}
+
+void JgreDefender::RestoreState(snapshot::Deserializer& in) {
+  in.Marker(0x44454631);
+  const bool was_installed = in.Bool();
+  if (!in.ok()) return;
+  if (was_installed != installed_) {
+    in.Fail("checkpoint and restore target disagree on defender install");
+    return;
+  }
+  if (!installed_) return;
+  const std::uint64_t monitor_count = in.U64();
+  if (monitor_count != monitors_.size()) {
+    in.Fail("checkpoint monitor census differs from the installed defender");
+    return;
+  }
+  for (std::uint64_t i = 0; i < monitor_count && in.ok(); ++i) {
+    const std::string name = in.Str();
+    auto it = monitors_.find(name);
+    if (it == monitors_.end()) {
+      in.Fail(StrCat("checkpoint has a monitor for '", name,
+                     "' this defender lacks"));
+      return;
+    }
+    it->second->RestoreState(in);
+  }
+  tap_->RestoreState(in);
 }
 
 }  // namespace jgre::defense

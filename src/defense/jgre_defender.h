@@ -27,6 +27,7 @@
 #include "defense/jgr_monitor.h"
 #include "defense/scoring.h"
 #include "obs/event.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::defense {
 
@@ -49,7 +50,7 @@ class JgreDefender {
     DurationUs pair_cost_ns = 400;
     // Capacity of the defender's bus-fed IPC tap. Defaults to the binder
     // driver's ipc_log_capacity so the tap retains exactly the window the
-    // deprecated /proc/jgre_ipc_log polling path retained.
+    // kernel-side log retains.
     std::size_t ipc_event_capacity = 1 << 21;
   };
 
@@ -87,7 +88,8 @@ class JgreDefender {
 
   // Ranks apps against the given victim monitor state without killing
   // anything (used by benches that only need Fig 8/9 scores). `params`
-  // overrides the configured scoring parameters.
+  // overrides the configured scoring parameters. Requires Install(): the
+  // ranking reads the defender's bus-fed IPC tap.
   std::vector<ScoreEntry> RankApps(const JgrMonitor& monitor,
                                    Pid victim_pid,
                                    const ScoringParams& params,
@@ -100,7 +102,6 @@ class JgreDefender {
 
   // The defender's bus subscription: buffers every kIpc event since install
   // (or the last handled incident) so ranking never re-reads the kernel log.
-  // Replaces the deprecated VisitIpcLogSince polling path.
   class IpcTap : public obs::EventSink {
    public:
     explicit IpcTap(std::size_t capacity) : ring_(capacity) {}
@@ -108,11 +109,46 @@ class JgreDefender {
     const RingBuffer<obs::TraceEvent>& ring() const { return ring_; }
     void Clear() { ring_.Clear(); }
 
+    void SaveState(snapshot::Serializer& out) const {
+      ring_.SaveState(out, [](snapshot::Serializer& s,
+                              const obs::TraceEvent& e) {
+        s.U64(e.ts_us);
+        s.U64(e.dur_us);
+        s.I64(e.arg0);
+        s.I64(e.arg1);
+        s.I64(e.pid);
+        s.I64(e.uid);
+        s.U32(e.name);
+        s.U8(static_cast<std::uint8_t>(e.category));
+      });
+    }
+    void RestoreState(snapshot::Deserializer& in) {
+      ring_.RestoreState(in, [](snapshot::Deserializer& d) {
+        obs::TraceEvent e;
+        e.ts_us = d.U64();
+        e.dur_us = d.U64();
+        e.arg0 = d.I64();
+        e.arg1 = d.I64();
+        e.pid = static_cast<std::int32_t>(d.I64());
+        e.uid = static_cast<std::int32_t>(d.I64());
+        e.name = d.U32();
+        e.category = static_cast<obs::Category>(d.U8());
+        return e;
+      });
+    }
+
    private:
     RingBuffer<obs::TraceEvent> ring_;
   };
 
   const IpcTap* ipc_tap() const { return tap_.get(); }
+
+  // Checkpointing: monitor tapes (keyed by victim name) and the IPC tap.
+  // Requires Install() on both sides — monitors and tap are created there,
+  // and restore patches their recorded state in place. Incident history is
+  // harness-side reporting output and is intentionally not captured.
+  void SaveState(snapshot::Serializer& out) const;
+  void RestoreState(snapshot::Deserializer& in);
 
  private:
   void AttachMonitors();
@@ -130,9 +166,6 @@ class JgreDefender {
   // victim name ("system_server", "com.android.bluetooth", ...) -> monitor.
   std::map<std::string, std::unique_ptr<JgrMonitor>> monitors_;
   std::unique_ptr<IpcTap> tap_;
-  // Watermark for the deprecated VisitIpcLogSince fallback (RankApps on an
-  // uninstalled defender, where no tap is subscribed).
-  std::uint64_t ipc_log_watermark_ = 1;
   std::vector<IncidentReport> incidents_;
   // Reusable scoring buffers (segment tree, grouping scratch) shared across
   // apps and incidents.

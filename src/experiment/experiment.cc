@@ -4,17 +4,49 @@
 
 namespace jgre::experiment {
 
+std::unique_ptr<core::AndroidSystem> ExperimentConfig::BuildPrefix() const {
+  core::SystemConfig sys_config = system_config_;
+  sys_config.seed = seed_;
+  auto system = std::make_unique<core::AndroidSystem>(sys_config);
+  system->Boot();
+  if (warmup_apps_ > 0) {
+    attack::BenignWorkload::Options options;
+    options.app_count = warmup_apps_;
+    options.per_app_foreground_us = warmup_foreground_us_;
+    if (warmup_interaction_period_us_ > 0) {
+      options.interaction_period_us = warmup_interaction_period_us_;
+    }
+    options.seed = seed_ + 3;
+    options.package_prefix = "com.warm.app";
+    attack::BenignWorkload warmup(system.get(), options);
+    warmup.InstallAll();
+    warmup.RunMonkeySession();
+    // Back to quiescent: stop every warmup app (releasing its service-side
+    // registrations via death notification) and reclaim the JGRs they
+    // pinned, so the checkpoint boundary is a near-baseline device.
+    for (const std::string& package : warmup.packages()) {
+      system->StopApp(package);
+    }
+    system->CollectAllGarbage();
+  }
+  return system;
+}
+
+std::unique_ptr<Experiment> ExperimentConfig::BuildOn(
+    std::unique_ptr<core::AndroidSystem> system) const {
+  return std::make_unique<Experiment>(*this, std::move(system));
+}
+
 std::unique_ptr<Experiment> ExperimentConfig::Build() const {
   return std::make_unique<Experiment>(*this);
 }
 
 Experiment::Experiment(const ExperimentConfig& config)
-    : config_(config), rng_(config.seed_ + 2) {
-  core::SystemConfig sys_config = config_.system_config_;
-  sys_config.seed = config_.seed_;
-  system_ = std::make_unique<core::AndroidSystem>(sys_config);
-  system_->Boot();
+    : Experiment(config, config.BuildPrefix()) {}
 
+Experiment::Experiment(const ExperimentConfig& config,
+                       std::unique_ptr<core::AndroidSystem> system)
+    : config_(config), rng_(config.seed_ + 2), system_(std::move(system)) {
   if (config_.defense_) {
     defender_ = std::make_unique<defense::JgreDefender>(
         system_.get(), config_.defender_config_);

@@ -16,8 +16,15 @@
 //   exp->WriteChromeTrace("out.json");
 //
 // Seed derivation (identical to the seed's bench_util): the system boots
-// with `seed`, the benign workload draws from `seed + 1`, and the benign
-// interaction scheduler draws from `seed + 2`.
+// with `seed`, the benign workload draws from `seed + 1`, the benign
+// interaction scheduler draws from `seed + 2`, and the warmup workload
+// (WithWarmup) draws from `seed + 3`.
+//
+// The build is split into a checkpointable prefix and a branch phase:
+// BuildPrefix() boots the device and runs the shared warmup workload to a
+// quiescent boundary (the state snapshot::SystemSnapshot captures), and
+// BuildOn(system) completes the scenario on any such system — freshly
+// built or restored from a checkpoint. Build() is BuildOn(BuildPrefix()).
 #ifndef JGRE_EXPERIMENT_EXPERIMENT_H_
 #define JGRE_EXPERIMENT_EXPERIMENT_H_
 
@@ -105,10 +112,37 @@ class ExperimentConfig {
     metrics_ = true;
     return *this;
   }
+  // Shared warmup prefix: after boot, run one benign monkey session over
+  // `apps` apps (each foregrounded for `foreground_us`, package prefix
+  // "com.warm.app", seed + 3), then stop them all and collect garbage —
+  // leaving the device at the populated-but-quiescent state BranchRunner
+  // checkpoints. `interaction_period_us` overrides the monkey's event
+  // period (0 = the workload default) for denser warmup streams.
+  ExperimentConfig& WithWarmup(int apps,
+                               DurationUs foreground_us = 120'000'000,
+                               DurationUs interaction_period_us = 0) {
+    warmup_apps_ = apps;
+    warmup_foreground_us_ = foreground_us;
+    warmup_interaction_period_us_ = interaction_period_us;
+    return *this;
+  }
+
+  // Builds just the shared prefix: a booted (and warmed-up) quiescent
+  // system, before any defense/benign/attacker setup.
+  std::unique_ptr<core::AndroidSystem> BuildPrefix() const;
+
+  // Completes the scenario on an existing prefix system — the output of
+  // BuildPrefix(), or a fresh Boot()ed system restored from a checkpoint of
+  // one. The system must have been built from this config's seed.
+  std::unique_ptr<Experiment> BuildOn(
+      std::unique_ptr<core::AndroidSystem> system) const;
 
   // Boots the device and performs the whole setup sequence. The experiment
   // is single-use: build a fresh one per run.
   std::unique_ptr<Experiment> Build() const;
+
+  std::uint64_t seed() const { return seed_; }
+  const core::SystemConfig& system_config() const { return system_config_; }
 
  private:
   friend class Experiment;
@@ -124,11 +158,19 @@ class ExperimentConfig {
   bool trace_ = false;
   obs::CategoryMask trace_mask_ = obs::kAllCategories;
   bool metrics_ = false;
+  int warmup_apps_ = 0;
+  DurationUs warmup_foreground_us_ = 120'000'000;
+  DurationUs warmup_interaction_period_us_ = 0;
 };
 
 class Experiment {
  public:
   explicit Experiment(const ExperimentConfig& config);
+  // Branch-phase constructor: takes ownership of a prefix system (built by
+  // ExperimentConfig::BuildPrefix or restored from its checkpoint) and
+  // performs only the post-prefix setup.
+  Experiment(const ExperimentConfig& config,
+             std::unique_ptr<core::AndroidSystem> system);
   ~Experiment();
 
   Experiment(const Experiment&) = delete;

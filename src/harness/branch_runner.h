@@ -1,0 +1,107 @@
+// BranchRunner — checkpoint a shared experiment prefix once, then fan out N
+// independent branches across the work-stealing pool.
+//
+// Parameter sweeps (threshold ablations, scoring sensitivity, response-delay
+// curves) share an identical expensive prefix: boot + warmup workload. A
+// cold sweep re-simulates that prefix once per point; BranchRunner builds it
+// once, captures a snapshot::SystemSnapshot, and restores each branch from
+// the shared in-memory image — preserving RunOrdered's submission-order
+// determinism, so a sweep's output is byte-identical for --jobs 1 and
+// --jobs N, and (by the divergence audit) byte-identical to the cold sweep.
+//
+// CLI integration: benches declare BranchFlags() in their HarnessSpec and
+// feed the parsed options through BranchOptionsFromHarness to get
+//   --cold               re-simulate the prefix per branch (baseline mode)
+//   --checkpoint FILE    write the captured checkpoint (+ JSON manifest)
+//   --resume FILE        load the prefix checkpoint instead of building it
+#ifndef JGRE_HARNESS_BRANCH_RUNNER_H_
+#define JGRE_HARNESS_BRANCH_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "experiment/experiment.h"
+#include "harness/experiment_runner.h"
+#include "snapshot/snapshot.h"
+
+namespace jgre::harness {
+
+struct BranchOptions {
+  int jobs = 1;
+  bool cold = false;            // rebuild the prefix per branch
+  std::string checkpoint_path;  // write the checkpoint after capture
+  std::string resume_path;      // load the checkpoint instead of building
+};
+
+// The three branch flags, ready to splice into HarnessSpec::extra_flags.
+std::vector<HarnessFlag> BranchFlags();
+
+// Extracts jobs/--cold/--checkpoint/--resume from parsed harness options.
+BranchOptions BranchOptionsFromHarness(const HarnessOptions& options);
+
+class BranchRunner {
+ public:
+  // `prefix` defines the shared phase: seed, system config, and warmup
+  // (ExperimentConfig::WithWarmup). Branch configs passed to Run must use
+  // the same seed/system config/warmup so that a cold branch rebuilds the
+  // exact prefix the snapshot captured.
+  BranchRunner(experiment::ExperimentConfig prefix, BranchOptions options);
+
+  // Builds the shared prefix and captures it (or loads --resume). No-op in
+  // cold mode and on repeated calls. Separate from Run so callers can time
+  // the prefix/capture phases; Run calls it implicitly.
+  Status Prepare();
+
+  // Runs `count` branches, at most options.jobs concurrently, results in
+  // submission order. Branch i is configured by branch_config(i) — built on
+  // a system restored from the shared checkpoint (or a cold prefix under
+  // --cold) — then handed to task(i, experiment).
+  template <typename Result>
+  std::vector<Result> Run(
+      std::size_t count,
+      const std::function<experiment::ExperimentConfig(std::size_t)>&
+          branch_config,
+      const std::function<Result(std::size_t, experiment::Experiment&)>&
+          task) {
+    if (!options_.cold) {
+      Status prepared = Prepare();
+      if (!prepared.ok()) {
+        throw std::runtime_error(prepared.ToString());
+      }
+    }
+    return RunOrdered<Result>(
+        count, options_.jobs, [this, &branch_config, &task](std::size_t i) {
+          experiment::ExperimentConfig config = branch_config(i);
+          std::unique_ptr<experiment::Experiment> experiment =
+              options_.cold ? config.Build()
+                            : config.BuildOn(RestoreBranchSystem());
+          return task(i, *experiment);
+        });
+  }
+
+  // The captured checkpoint (null before Prepare or in cold mode).
+  const snapshot::SystemSnapshot* snapshot() const {
+    return snapshot_.has_value() ? &*snapshot_ : nullptr;
+  }
+  const BranchOptions& options() const { return options_; }
+
+  // A fresh system restored from the shared checkpoint image. Exposed for
+  // the divergence audit and the snapshot bench; Run uses it per branch.
+  std::unique_ptr<core::AndroidSystem> RestoreBranchSystem() const;
+
+ private:
+  experiment::ExperimentConfig prefix_;
+  BranchOptions options_;
+  std::optional<snapshot::SystemSnapshot> snapshot_;
+};
+
+}  // namespace jgre::harness
+
+#endif  // JGRE_HARNESS_BRANCH_RUNNER_H_

@@ -20,6 +20,7 @@
 
 #include "common/interner.h"
 #include "obs/event.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::obs {
 
@@ -53,6 +54,18 @@ class EventBus {
 
   std::uint64_t emitted() const { return emitted_; }
   std::size_t subscriber_count() const { return subs_.size(); }
+
+  // Checkpointing: the label interner (ids are referenced by serialized
+  // TraceEvents and driver caches) and the emitted counter. Subscriptions
+  // are wiring and are rebuilt by their owners after a restore.
+  void SaveState(snapshot::Serializer& out) const {
+    labels_.SaveState(out);
+    out.U64(emitted_);
+  }
+  void RestoreState(snapshot::Deserializer& in) {
+    labels_.RestoreState(in);
+    emitted_ = in.U64();
+  }
 
  private:
   struct Subscription {

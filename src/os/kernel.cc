@@ -177,6 +177,91 @@ void Kernel::ReapDeadProcesses() {
   }
 }
 
+void Kernel::SaveState(snapshot::Serializer& out) const {
+  out.Marker(0x4B524E31);  // "KRN1"
+  clock_.SaveState(out);
+  rng_.SaveState(out);
+  bus_.SaveState(out);
+  out.I64(next_pid_);
+  out.U64(processes_.size());
+  for (const auto& [pid, proc] : processes_) {  // std::map: ascending pids
+    out.I64(proc.pid.value());
+    out.I64(proc.uid.value());
+    out.Str(proc.name);
+    out.Bool(proc.alive);
+    out.Bool(proc.critical);
+    out.I64(proc.oom_score_adj);
+    out.I64(proc.memory_kb);
+    out.I64(proc.open_fds);
+    out.I64(proc.fd_limit);
+    out.U64(proc.start_time_us);
+    out.Bool(proc.runtime != nullptr);
+    if (proc.runtime != nullptr) {
+      out.U64(proc.runtime->vm().MaxGlobals());
+      proc.runtime->SaveState(out);
+    }
+  }
+  out.U64(live_count_);
+  out.I64(used_memory_kb_);
+  out.Bool(pending_soft_reboot_.has_value());
+  if (pending_soft_reboot_.has_value()) out.Str(*pending_soft_reboot_);
+  out.I64(soft_reboot_count_);
+  out.Bool(lmk_ != nullptr);
+  if (lmk_ != nullptr) lmk_->SaveState(out);
+}
+
+void Kernel::RestoreState(snapshot::Deserializer& in) {
+  in.Marker(0x4B524E31);
+  clock_.RestoreState(in);
+  rng_.RestoreState(in);
+  bus_.RestoreState(in);
+  next_pid_ = static_cast<std::int32_t>(in.I64());
+  processes_.clear();
+  const std::uint64_t count = in.U64();
+  for (std::uint64_t i = 0; i < count && in.ok(); ++i) {
+    Process proc;
+    proc.pid = Pid{static_cast<std::int32_t>(in.I64())};
+    proc.uid = Uid{static_cast<std::int32_t>(in.I64())};
+    proc.name = in.Str();
+    proc.alive = in.Bool();
+    proc.critical = in.Bool();
+    proc.oom_score_adj = static_cast<int>(in.I64());
+    proc.memory_kb = in.I64();
+    proc.open_fds = static_cast<int>(in.I64());
+    proc.fd_limit = static_cast<int>(in.I64());
+    proc.start_time_us = in.U64();
+    if (in.Bool()) {
+      rt::Runtime::Config rt_config;
+      rt_config.name = StrCat(proc.name, "(", proc.pid.value(), ")");
+      rt_config.max_global_refs = static_cast<std::size_t>(in.U64());
+      rt_config.boot_class_refs = 0;  // RestoreState replaces everything
+      rt_config.obs =
+          obs::Source{&bus_, proc.pid.value(), proc.uid.value()};
+      proc.runtime = std::make_unique<rt::Runtime>(&clock_, rt_config);
+      proc.runtime->RestoreState(in);
+      const Pid pid = proc.pid;
+      proc.runtime->SetAbortHandler([this, pid](const std::string& reason) {
+        KillProcess(pid, StrCat("runtime abort: ", reason));
+      });
+    }
+    if (in.ok()) processes_.emplace(proc.pid, std::move(proc));
+  }
+  live_count_ = static_cast<std::size_t>(in.U64());
+  used_memory_kb_ = in.I64();
+  if (in.Bool()) {
+    pending_soft_reboot_ = in.Str();
+  } else {
+    pending_soft_reboot_.reset();
+  }
+  soft_reboot_count_ = in.I64();
+  const bool has_lmk = in.Bool();
+  if (has_lmk && lmk_ != nullptr) {
+    lmk_->RestoreState(in);
+  } else if (has_lmk) {
+    in.Fail("checkpoint has LMK state but no LMK is installed");
+  }
+}
+
 void Kernel::LogEvent(const std::string& what) {
   events_.push_back(Event{clock_.NowUs(), what});
 }

@@ -28,6 +28,7 @@
 #include "obs/event_bus.h"
 #include "os/process.h"
 #include "os/procfs.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::os {
 
@@ -136,6 +137,14 @@ class Kernel {
     std::string what;
   };
   const std::vector<Event>& events() const { return events_; }
+
+  // Checkpointing: clock, RNG, bus interner, and the whole process table
+  // (including each process's runtime state) round-trip; restore replaces
+  // the table wholesale and re-attaches abort handlers. Death listeners,
+  // procfs providers, and the LMK instance are wiring owned by the facade
+  // and survive untouched. The diagnostic `events()` log is not serialized.
+  void SaveState(snapshot::Serializer& out) const;
+  void RestoreState(snapshot::Deserializer& in);
 
  private:
   void LogEvent(const std::string& what);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::os {
 
@@ -40,6 +41,11 @@ class LowMemoryKiller {
 
   std::int64_t total_kills() const { return total_kills_; }
   const std::vector<Level>& levels() const { return levels_; }
+
+  // Checkpointing: the kill counter is the only mutable state (levels come
+  // from configuration).
+  void SaveState(snapshot::Serializer& out) const { out.I64(total_kills_); }
+  void RestoreState(snapshot::Deserializer& in) { total_kills_ = in.I64(); }
 
  private:
   // Chooses the victim among live processes with adj >= min_adj; invalid Pid

@@ -1,5 +1,6 @@
 #include "runtime/heap.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace jgre::rt {
@@ -46,7 +47,38 @@ std::vector<ObjectId> Heap::UnheldObjects() const {
   for (const auto& [id, obj] : objects_) {
     if (obj.strong_holds == 0) out.push_back(id);
   }
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+void Heap::SaveState(snapshot::Serializer& out) const {
+  out.I64(next_id_);
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, obj] : objects_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  out.U64(ids.size());
+  for (ObjectId id : ids) {
+    const HeapObject& obj = objects_.at(id);
+    out.I64(id.value());
+    out.U8(static_cast<std::uint8_t>(obj.kind));
+    out.I64(obj.strong_holds);
+    out.Str(obj.label);
+  }
+}
+
+void Heap::RestoreState(snapshot::Deserializer& in) {
+  next_id_ = in.I64();
+  objects_.clear();
+  const std::uint64_t n = in.U64();
+  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+    HeapObject obj;
+    obj.id = ObjectId{in.I64()};
+    obj.kind = static_cast<ObjectKind>(in.U8());
+    obj.strong_holds = static_cast<std::int32_t>(in.I64());
+    obj.label = in.Str();
+    objects_.emplace(obj.id, std::move(obj));
+  }
 }
 
 }  // namespace jgre::rt

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::rt {
 
@@ -56,11 +57,19 @@ class Heap {
   // Frees the object outright (GC decided it is unreachable).
   void Free(ObjectId id);
 
-  // All live objects with zero strong holds — the GC's collection candidates.
+  // All live objects with zero strong holds — the GC's collection candidates,
+  // in ascending id order so collection order does not depend on hash-map
+  // iteration (a restored heap must collect in the same order as the
+  // original).
   std::vector<ObjectId> UnheldObjects() const;
 
   std::size_t LiveCount() const { return objects_.size(); }
   std::int64_t total_allocated() const { return next_id_ - 1; }
+
+  // Checkpointing: objects are written in ascending id order; restore
+  // replaces the heap contents wholesale (including the allocation cursor).
+  void SaveState(snapshot::Serializer& out) const;
+  void RestoreState(snapshot::Deserializer& in);
 
  private:
   const HeapObject& Get(ObjectId id) const;

@@ -151,6 +151,64 @@ void IndirectReferenceTable::VisitRoots(
   }
 }
 
+void IndirectReferenceTable::SaveState(snapshot::Serializer& out) const {
+  out.Marker(0x49525431);  // "IRT1"
+  out.U64(max_entries_);
+  out.U8(static_cast<std::uint8_t>(kind_));
+  out.U64(top_index_);
+  for (std::size_t i = 0; i < top_index_; ++i) {
+    const Slot& slot = slots_[i];
+    out.I64(slot.obj.value());
+    out.U32(slot.serial);
+    out.U32(slot.next_free);
+    out.Bool(slot.active);
+  }
+  out.U32(free_head_);
+  out.U64(hole_count_);
+  out.U64(live_entries_);
+  out.U32(segment_start_);
+  out.U64(segment_stack_.size());
+  for (const FrameState& frame : segment_stack_) {
+    out.U32(frame.segment_start);
+    out.U32(frame.free_head);
+  }
+  out.I64(total_adds_);
+  out.I64(total_removes_);
+}
+
+void IndirectReferenceTable::RestoreState(snapshot::Deserializer& in) {
+  in.Marker(0x49525431);
+  const std::uint64_t max_entries = in.U64();
+  const auto kind = static_cast<IndirectRefKind>(in.U8());
+  if (in.ok() && (max_entries != max_entries_ || kind != kind_)) {
+    in.Fail(StrCat(name_, ": IRT capacity/kind mismatch on restore"));
+    return;
+  }
+  top_index_ = static_cast<std::size_t>(in.U64());
+  slots_.assign(top_index_, Slot{});
+  for (std::size_t i = 0; i < top_index_ && in.ok(); ++i) {
+    Slot& slot = slots_[i];
+    slot.obj = ObjectId{in.I64()};
+    slot.serial = in.U32();
+    slot.next_free = in.U32();
+    slot.active = in.Bool();
+  }
+  free_head_ = in.U32();
+  hole_count_ = static_cast<std::size_t>(in.U64());
+  live_entries_ = static_cast<std::size_t>(in.U64());
+  segment_start_ = in.U32();
+  segment_stack_.clear();
+  const std::uint64_t frames = in.U64();
+  for (std::uint64_t i = 0; i < frames && in.ok(); ++i) {
+    FrameState frame;
+    frame.segment_start = in.U32();
+    frame.free_head = in.U32();
+    segment_stack_.push_back(frame);
+  }
+  total_adds_ = in.I64();
+  total_removes_ = in.I64();
+}
+
 std::string IndirectReferenceTable::DumpSummary() const {
   std::ostringstream os;
   os << name_ << ": " << live_entries_ << " of " << max_entries_

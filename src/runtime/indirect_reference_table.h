@@ -25,6 +25,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::rt {
 
@@ -90,6 +91,14 @@ class IndirectReferenceTable {
 
   // Number of reusable holes across all segments (observability).
   std::size_t HoleCount() const { return hole_count_; }
+
+  // Checkpointing: serializes slots, serials, the threaded free list, and
+  // the segment stack, so restored references (and the slot-reuse order of
+  // subsequent Add calls) are identical to the original table's. Restore
+  // expects a table constructed with the same capacity/kind and fails the
+  // stream otherwise.
+  void SaveState(snapshot::Serializer& out) const;
+  void RestoreState(snapshot::Deserializer& in);
 
  private:
   static constexpr std::uint32_t kNoFreeSlot = ~std::uint32_t{0};

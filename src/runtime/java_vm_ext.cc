@@ -1,7 +1,5 @@
 #include "runtime/java_vm_ext.h"
 
-#include <algorithm>
-
 #include "common/log.h"
 #include "common/strings.h"
 
@@ -63,15 +61,6 @@ Result<ObjectId> JavaVMExt::DecodeGlobal(IndirectRef ref) const {
   return globals_.Get(ref);
 }
 
-void JavaVMExt::AddObserver(JgrObserver* observer) {
-  observers_.push_back(observer);
-}
-
-void JavaVMExt::RemoveObserver(JgrObserver* observer) {
-  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
-                   observers_.end());
-}
-
 void JavaVMExt::NotifyAdd(ObjectId obj) {
   const TimeUs now = clock_->NowUs();
   const std::size_t count = globals_.Size();
@@ -82,7 +71,6 @@ void JavaVMExt::NotifyAdd(ObjectId obj) {
         obs::Category::kJgr, obs::Label::kJgrAdd, now, source_.pid,
         source_.uid, static_cast<std::int64_t>(count), obj.value()));
   }
-  for (JgrObserver* o : observers_) o->OnJgrAdd(now, count, obj);
 }
 
 void JavaVMExt::NotifyRemove(ObjectId obj) {
@@ -93,7 +81,6 @@ void JavaVMExt::NotifyRemove(ObjectId obj) {
         obs::Category::kJgr, obs::Label::kJgrRemove, now, source_.pid,
         source_.uid, static_cast<std::int64_t>(count), obj.value()));
   }
-  for (JgrObserver* o : observers_) o->OnJgrRemove(now, count, obj);
 }
 
 void JavaVMExt::Abort(const std::string& reason) {

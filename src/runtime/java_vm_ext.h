@@ -2,22 +2,23 @@
 //
 // Mirrors art/runtime/java_vm_ext.{h,cc} in AOSP 6.0.1, where
 // `static constexpr size_t kGlobalsMax = 51200;` caps the global reference
-// table and an overflow calls `Runtime::Abort`. The observer hooks are the
-// seam the paper's defense extends: its modified runtime records the time of
-// every JGR creation/deletion once the count passes an alarm threshold.
+// table and an overflow calls `Runtime::Abort`. JGR mutations are published
+// as obs::Category::kJgr events on the process's EventBus — the seam the
+// paper's defense extends: its modified runtime records the time of every
+// JGR creation/deletion once the count passes an alarm threshold.
 #ifndef JGRE_RUNTIME_JAVA_VM_EXT_H_
 #define JGRE_RUNTIME_JAVA_VM_EXT_H_
 
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/event_bus.h"
 #include "runtime/indirect_reference_table.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::rt {
 
@@ -25,19 +26,6 @@ namespace jgre::rt {
 inline constexpr std::size_t kGlobalsMax = 51200;
 // Weak globals share the same cap in ART 6.
 inline constexpr std::size_t kWeakGlobalsMax = 51200;
-
-// DEPRECATED observation hook, kept for one PR while call sites migrate to
-// the unified obs::EventSink API: JGR mutations are now published as
-// obs::Category::kJgr events on the kernel's EventBus (subscribe with a pid
-// filter to watch one runtime). New code must not register JgrObservers.
-class JgrObserver {
- public:
-  virtual ~JgrObserver() = default;
-  virtual void OnJgrAdd(TimeUs now_us, std::size_t count_after,
-                        ObjectId obj) = 0;
-  virtual void OnJgrRemove(TimeUs now_us, std::size_t count_after,
-                           ObjectId obj) = 0;
-};
 
 class JavaVMExt {
  public:
@@ -72,10 +60,18 @@ class JavaVMExt {
     abort_handler_ = std::move(handler);
   }
 
-  // DEPRECATED: legacy per-VM observer registration; prefer subscribing an
-  // obs::EventSink to the kernel EventBus for Category::kJgr.
-  void AddObserver(JgrObserver* observer);
-  void RemoveObserver(JgrObserver* observer);
+  // Checkpointing: both reference tables plus the abort flag. The abort
+  // handler and observability source are wiring, re-attached by the owner.
+  void SaveState(snapshot::Serializer& out) const {
+    globals_.SaveState(out);
+    weak_globals_.SaveState(out);
+    out.Bool(aborted_);
+  }
+  void RestoreState(snapshot::Deserializer& in) {
+    globals_.RestoreState(in);
+    weak_globals_.RestoreState(in);
+    aborted_ = in.Bool();
+  }
 
   std::int64_t total_global_adds() const { return globals_.total_adds(); }
   std::int64_t total_global_removes() const {
@@ -94,7 +90,6 @@ class JavaVMExt {
   obs::Source source_;
   IndirectReferenceTable globals_;
   IndirectReferenceTable weak_globals_;
-  std::vector<JgrObserver*> observers_;
   std::function<void(const std::string&)> abort_handler_;
   bool aborted_ = false;
 };

@@ -1,5 +1,7 @@
 #include "runtime/runtime.h"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
@@ -132,6 +134,66 @@ std::size_t Runtime::CollectGarbage() {
                           << " global refs, " << vm_.GlobalRefCount()
                           << " remain";
   return released;
+}
+
+void Runtime::SaveState(snapshot::Serializer& out) const {
+  out.Marker(0x52544D31);  // "RTM1"
+  heap_.SaveState(out);
+  vm_.SaveState(out);
+  locals_.SaveState(out);
+  out.I64(local_frame_depth_);
+  out.I64(gc_runs_);
+  out.U64(gc_pause_us);
+  snapshot::SaveUnorderedMap(out, proxy_cache_,
+                [](snapshot::Serializer& s, NodeId node, ObjectId obj) {
+                  s.I64(node.value());
+                  s.I64(obj.value());
+                });
+  snapshot::SaveUnorderedMap(out, proxy_nodes_,
+                [](snapshot::Serializer& s, ObjectId obj, NodeId node) {
+                  s.I64(obj.value());
+                  s.I64(node.value());
+                });
+  snapshot::SaveUnorderedMap(out, proxy_weak_refs_,
+                [](snapshot::Serializer& s, ObjectId obj, IndirectRef ref) {
+                  s.I64(obj.value());
+                  s.U64(ref);
+                });
+  snapshot::SaveUnorderedMap(out, managed_refs_,
+                [](snapshot::Serializer& s, ObjectId obj, IndirectRef ref) {
+                  s.I64(obj.value());
+                  s.U64(ref);
+                });
+}
+
+void Runtime::RestoreState(snapshot::Deserializer& in) {
+  in.Marker(0x52544D31);
+  heap_.RestoreState(in);
+  vm_.RestoreState(in);
+  locals_.RestoreState(in);
+  local_frame_depth_ = static_cast<int>(in.I64());
+  gc_runs_ = in.I64();
+  gc_pause_us = in.U64();
+  proxy_cache_.clear();
+  proxy_nodes_.clear();
+  proxy_weak_refs_.clear();
+  managed_refs_.clear();
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    const NodeId node{in.I64()};
+    proxy_cache_.emplace(node, ObjectId{in.I64()});
+  }
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    const ObjectId obj{in.I64()};
+    proxy_nodes_.emplace(obj, NodeId{in.I64()});
+  }
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    const ObjectId obj{in.I64()};
+    proxy_weak_refs_.emplace(obj, in.U64());
+  }
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    const ObjectId obj{in.I64()};
+    managed_refs_.emplace(obj, in.U64());
+  }
 }
 
 }  // namespace jgre::rt

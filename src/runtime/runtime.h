@@ -29,6 +29,7 @@
 #include "obs/event_bus.h"
 #include "runtime/heap.h"
 #include "runtime/java_vm_ext.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::rt {
 
@@ -121,6 +122,12 @@ class Runtime {
   void SetAbortHandler(std::function<void(const std::string&)> handler) {
     vm_.SetAbortHandler(std::move(handler));
   }
+
+  // Checkpointing: heap, both VM tables, locals, and the proxy/managed-ref
+  // maps. The abort handler and proxy-collect handler are wiring (kernel and
+  // binder driver re-attach them on restore), not state.
+  void SaveState(snapshot::Serializer& out) const;
+  void RestoreState(snapshot::Deserializer& in);
 
   DurationUs gc_pause_us = 2000;
 

@@ -39,6 +39,21 @@ class ActivityService : public SystemService {
   }
   std::int64_t force_stops() const { return force_stops_; }
 
+  void SaveState(snapshot::Serializer& out) const override {
+    SystemService::SaveState(out);
+    task_stack_listeners_.SaveState(out);
+    receivers_.SaveState(out);
+    service_connections_.SaveState(out);
+    out.I64(force_stops_);
+  }
+  void RestoreState(snapshot::Deserializer& in) override {
+    SystemService::RestoreState(in);
+    task_stack_listeners_.RestoreState(in);
+    receivers_.RestoreState(in);
+    service_connections_.RestoreState(in);
+    force_stops_ = in.I64();
+  }
+
  private:
   binder::RemoteCallbackList task_stack_listeners_;
   binder::RemoteCallbackList receivers_;           // mRegisteredReceivers

@@ -33,6 +33,19 @@ class AudioService : public SystemService {
     return routes_observers_.RegisteredCount();
   }
 
+  void SaveState(snapshot::Serializer& out) const override {
+    SystemService::SaveState(out);
+    remote_controllers_.SaveState(out);
+    routes_observers_.SaveState(out);
+    out.I64(stream_volume_);
+  }
+  void RestoreState(snapshot::Deserializer& in) override {
+    SystemService::RestoreState(in);
+    remote_controllers_.RestoreState(in);
+    routes_observers_.RestoreState(in);
+    stream_volume_ = static_cast<int>(in.I64());
+  }
+
  private:
   binder::RemoteCallbackList remote_controllers_;
   binder::RemoteCallbackList routes_observers_;

@@ -35,6 +35,17 @@ class ClipboardService : public SystemService {
 
   std::size_t ListenerCount() const { return listeners_.RegisteredCount(); }
 
+  void SaveState(snapshot::Serializer& out) const override {
+    SystemService::SaveState(out);
+    listeners_.SaveState(out);
+    out.Str(primary_clip_);
+  }
+  void RestoreState(snapshot::Deserializer& in) override {
+    SystemService::RestoreState(in);
+    listeners_.RestoreState(in);
+    primary_clip_ = in.Str();
+  }
+
  private:
   binder::RemoteCallbackList listeners_;
   std::string primary_clip_;

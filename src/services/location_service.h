@@ -43,6 +43,19 @@ class LocationService : public SystemService {
     return navigation_listeners_.RegisteredCount();
   }
 
+  void SaveState(snapshot::Serializer& out) const override {
+    SystemService::SaveState(out);
+    gps_status_listeners_.SaveState(out);
+    measurements_listeners_.SaveState(out);
+    navigation_listeners_.SaveState(out);
+  }
+  void RestoreState(snapshot::Deserializer& in) override {
+    SystemService::RestoreState(in);
+    gps_status_listeners_.RestoreState(in);
+    measurements_listeners_.RestoreState(in);
+    navigation_listeners_.RestoreState(in);
+  }
+
  private:
   binder::RemoteCallbackList gps_status_listeners_;
   binder::RemoteCallbackList measurements_listeners_;

@@ -47,6 +47,52 @@ void NotificationService::DrainShownToasts(const binder::CallContext& ctx) {
   if (toast_queue_.empty()) current_toast_shown_since_us_ = now;
 }
 
+void NotificationService::SaveState(snapshot::Serializer& out) const {
+  SystemService::SaveState(out);
+  callbacks_.SaveState(out);
+  out.U64(toast_queue_.size());
+  for (const ToastRecord& record : toast_queue_) {  // deque: display order
+    out.Str(record.pkg);
+    out.I64(record.callback_node.value());
+  }
+  snapshot::SaveUnorderedMap(out, records_per_node_,
+                             [](snapshot::Serializer& s, NodeId node, int n) {
+                               s.I64(node.value());
+                               s.I64(n);
+                             });
+  out.U64(current_toast_shown_since_us_);
+  snapshot::SaveUnorderedMap(
+      out, notifications_per_pkg_,
+      [](snapshot::Serializer& s, const std::string& pkg, int n) {
+        s.Str(pkg);
+        s.I64(n);
+      });
+}
+
+void NotificationService::RestoreState(snapshot::Deserializer& in) {
+  SystemService::RestoreState(in);
+  callbacks_.RestoreState(in);
+  toast_queue_.clear();
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    ToastRecord record;
+    record.pkg = in.Str();
+    record.callback_node = NodeId{in.I64()};
+    toast_queue_.push_back(std::move(record));
+  }
+  records_per_node_.clear();
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    const NodeId node{in.I64()};
+    records_per_node_.emplace(node, static_cast<int>(in.I64()));
+  }
+  current_toast_shown_since_us_ = in.U64();
+  notifications_per_pkg_.clear();
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    std::string pkg = in.Str();
+    notifications_per_pkg_.emplace(std::move(pkg),
+                                   static_cast<int>(in.I64()));
+  }
+}
+
 Status NotificationService::OnTransact(std::uint32_t code,
                                        const binder::Parcel& data,
                                        binder::Parcel* reply,

@@ -46,6 +46,9 @@ class NotificationService : public SystemService {
     return callbacks_.RegisteredCount();
   }
 
+  void SaveState(snapshot::Serializer& out) const override;
+  void RestoreState(snapshot::Deserializer& in) override;
+
  private:
   struct ToastRecord {
     std::string pkg;

@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::services {
 
@@ -68,6 +69,43 @@ class PackageManager {
   Result<ProtectionLevel> GetProtectionLevel(const std::string& perm) const;
 
   std::vector<std::string> InstalledPackages() const;
+
+  // Checkpointing: installed packages, uid routing, declared permissions.
+  // All containers are ordered, so iteration is already byte-stable.
+  void SaveState(snapshot::Serializer& out) const {
+    out.U64(packages_.size());
+    for (const auto& [package, info] : packages_) {
+      out.Str(package);
+      out.I64(info.uid.value());
+      out.U64(info.granted.size());
+      for (const std::string& perm : info.granted) out.Str(perm);
+    }
+    out.U64(permissions_.size());
+    for (const auto& [perm, level] : permissions_) {
+      out.Str(perm);
+      out.U8(static_cast<std::uint8_t>(level));
+    }
+  }
+  void RestoreState(snapshot::Deserializer& in) {
+    packages_.clear();
+    uid_to_package_.clear();
+    for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+      std::string package = in.Str();
+      PackageInfo info;
+      info.uid = Uid{static_cast<std::int32_t>(in.I64())};
+      for (std::uint64_t p = 0, np = in.U64(); p < np && in.ok(); ++p) {
+        info.granted.insert(in.Str());
+      }
+      uid_to_package_[info.uid] = package;
+      packages_.emplace(std::move(package), std::move(info));
+    }
+    permissions_.clear();
+    for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+      std::string perm = in.Str();
+      permissions_.emplace(std::move(perm),
+                           static_cast<ProtectionLevel>(in.U8()));
+    }
+  }
 
  private:
   struct PackageInfo {

@@ -111,6 +111,49 @@ void RegistryServiceBase::DropSession(Registry& reg, NodeId client_node) {
   reg.sessions.erase(it);
 }
 
+void RegistryServiceBase::SaveState(snapshot::Serializer& out) const {
+  SystemService::SaveState(out);
+  out.U64(registries_.size());
+  for (const Registry& reg : registries_) {
+    reg.callbacks->SaveState(out);
+    out.U64(reg.sessions.size());
+    for (const auto& [client, session] : reg.sessions) {  // std::map: sorted
+      out.I64(client.value());
+      out.I64(session.value());
+    }
+    out.U64(reg.per_process.size());
+    for (const auto& [pid, node] : reg.per_process) {
+      out.I64(pid.value());
+      out.I64(node.value());
+    }
+    out.I64(reg.single_slot.value());
+    out.I64(reg.consumed_fds);
+  }
+}
+
+void RegistryServiceBase::RestoreState(snapshot::Deserializer& in) {
+  SystemService::RestoreState(in);
+  if (in.U64() != registries_.size()) {
+    in.Fail(StrCat(service_name(), ": registry count mismatch on restore"));
+    return;
+  }
+  for (Registry& reg : registries_) {
+    reg.callbacks->RestoreState(in);
+    reg.sessions.clear();
+    for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+      const NodeId client{in.I64()};
+      reg.sessions.emplace(client, NodeId{in.I64()});
+    }
+    reg.per_process.clear();
+    for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+      const Pid pid{static_cast<std::int32_t>(in.I64())};
+      reg.per_process.emplace(pid, NodeId{in.I64()});
+    }
+    reg.single_slot = NodeId{in.I64()};
+    reg.consumed_fds = in.I64();
+  }
+}
+
 Status RegistryServiceBase::OnTransact(std::uint32_t code,
                                        const binder::Parcel& data,
                                        binder::Parcel* reply,

@@ -70,6 +70,9 @@ class RegistryServiceBase : public SystemService {
   const std::vector<MethodSpec>& methods() const { return methods_; }
   Pid host_pid() const { return host_pid_; }
 
+  void SaveState(snapshot::Serializer& out) const override;
+  void RestoreState(snapshot::Deserializer& in) override;
+
  protected:
   // `host_pid` is the process whose runtime retains state (system_server for
   // framework services, the app process for prebuilt-app services).

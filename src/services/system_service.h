@@ -24,6 +24,7 @@
 #include "binder/service_manager.h"
 #include "os/kernel.h"
 #include "services/package_manager.h"
+#include "snapshot/serializer.h"
 
 namespace jgre::services {
 
@@ -56,6 +57,18 @@ class SystemService : public binder::BBinder {
                 std::string descriptor);
 
   const std::string& service_name() const { return service_name_; }
+
+  // Checkpointing. The base serializes the per-service cost RNG; services
+  // with retained state (callback lists, queues, records) extend both hooks
+  // and must call the base first. Restore runs against a freshly booted
+  // service object whose wiring (driver registration, context) is already in
+  // place.
+  virtual void SaveState(snapshot::Serializer& out) const {
+    rng_.SaveState(out);
+  }
+  virtual void RestoreState(snapshot::Deserializer& in) {
+    rng_.RestoreState(in);
+  }
 
  protected:
   // Context.enforceCallingPermission: kPermissionDenied unless granted.

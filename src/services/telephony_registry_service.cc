@@ -65,6 +65,34 @@ Status TelephonyRegistryService::HandleListen(const binder::Parcel& data,
   return Status::Ok();
 }
 
+void TelephonyRegistryService::SaveState(snapshot::Serializer& out) const {
+  SystemService::SaveState(out);
+  listeners_.SaveState(out);
+  out.U64(records_.size());
+  for (const Record& record : records_) {  // vector: registration order
+    out.I64(record.node.value());
+    out.Str(record.pkg);
+    out.I64(record.sub_id);
+    out.I64(record.events);
+  }
+  subscription_listeners_.SaveState(out);
+}
+
+void TelephonyRegistryService::RestoreState(snapshot::Deserializer& in) {
+  SystemService::RestoreState(in);
+  listeners_.RestoreState(in);
+  records_.clear();
+  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+    Record record;
+    record.node = NodeId{in.I64()};
+    record.pkg = in.Str();
+    record.sub_id = static_cast<std::int32_t>(in.I64());
+    record.events = static_cast<std::int32_t>(in.I64());
+    records_.push_back(std::move(record));
+  }
+  subscription_listeners_.RestoreState(in);
+}
+
 Status TelephonyRegistryService::OnTransact(std::uint32_t code,
                                             const binder::Parcel& data,
                                             binder::Parcel* reply,

@@ -35,6 +35,9 @@ class TelephonyRegistryService : public SystemService {
     return subscription_listeners_.RegisteredCount();
   }
 
+  void SaveState(snapshot::Serializer& out) const override;
+  void RestoreState(snapshot::Deserializer& in) override;
+
  private:
   // mRecords: one Record per (callback binder); linear lookup by binder.
   struct Record {

@@ -41,6 +41,28 @@ class WifiService : public SystemService {
     return multicast_locks_.RegisteredCount();
   }
 
+  void SaveState(snapshot::Serializer& out) const override {
+    SystemService::SaveState(out);
+    wifi_locks_.SaveState(out);
+    multicast_locks_.SaveState(out);
+    snapshot::SaveUnorderedMap(
+        out, lock_tags_,
+        [](snapshot::Serializer& s, NodeId node, const std::string& tag) {
+          s.I64(node.value());
+          s.Str(tag);
+        });
+  }
+  void RestoreState(snapshot::Deserializer& in) override {
+    SystemService::RestoreState(in);
+    wifi_locks_.RestoreState(in);
+    multicast_locks_.RestoreState(in);
+    lock_tags_.clear();
+    for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+      const NodeId node{in.I64()};
+      lock_tags_.emplace(node, in.Str());
+    }
+  }
+
  private:
   // WifiLockList / multicast lockers: binder-token keyed, death-pruned.
   binder::RemoteCallbackList wifi_locks_;

@@ -1,11 +1,12 @@
-// Experiment-builder and EventSink-migration tests.
+// Experiment-builder and EventSink tests.
 //
-// The PR that introduced src/obs rewired three observation paths (the
-// monitor's rt::JgrObserver attachment, the defender's VisitIpcLogSince
-// polling, and the benches' hand-rolled scenario setup) onto the unified
-// EventBus. These tests pin the equivalence claims that migration made:
-// identical recordings, identical rankings, identical simulation results,
-// and byte-identical traces for identical configurations.
+// The observation paths all run through the unified EventBus: the monitor
+// subscribes with a pid-filtered kJgr subscription, the defender's tap
+// buffers kIpc events, and the benches build scenarios through the
+// ExperimentConfig builder. These tests pin the behavior of those paths:
+// monitors record through the bus, the tap feeds the ranking, identical
+// configurations yield identical simulation results and byte-identical
+// traces.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -32,9 +33,8 @@ const attack::VulnSpec& Toast() {
   return *vuln;
 }
 
-// Runs a short attack against a monitored system_server, with the monitor
-// attached either through the EventBus (pid-filtered kJgr subscription — the
-// unified path) or through the deprecated rt::JgrObserver hook.
+// Runs a short attack against a monitored system_server with the monitor
+// subscribed through the EventBus (pid-filtered kJgr subscription).
 struct MonitoredRun {
   std::vector<defense::JgrMonitor::JgrEvent> events;
   TimeUs alarm_at = 0;
@@ -43,7 +43,7 @@ struct MonitoredRun {
   TimeUs end_us = 0;
 };
 
-MonitoredRun RunMonitored(bool via_bus) {
+MonitoredRun RunMonitored() {
   core::SystemConfig config;
   config.seed = 11;
   core::AndroidSystem system(config);
@@ -53,12 +53,8 @@ MonitoredRun RunMonitored(bool via_bus) {
   monitor_config.report_threshold = 500;
   defense::JgrMonitor monitor(&system.clock(), "system_server",
                               monitor_config);
-  if (via_bus) {
-    system.kernel().bus().Subscribe(&monitor, obs::MaskOf(obs::Category::kJgr),
-                                    system.system_server_pid().value());
-  } else {
-    system.system_runtime()->vm().AddObserver(&monitor);
-  }
+  system.kernel().bus().Subscribe(&monitor, obs::MaskOf(obs::Category::kJgr),
+                                  system.system_server_pid().value());
   services::AppProcess* evil =
       attack::InstallAttackApp(&system, "com.evil.app", Toast());
   attack::MaliciousApp attacker(&system, evil, Toast());
@@ -72,35 +68,29 @@ MonitoredRun RunMonitored(bool via_bus) {
   out.reported_at = monitor.reported_at();
   out.reported = monitor.reported();
   out.end_us = system.clock().NowUs();
-  if (via_bus) {
-    system.kernel().bus().Unsubscribe(&monitor);
-  } else {
-    system.system_runtime()->vm().RemoveObserver(&monitor);
-  }
+  system.kernel().bus().Unsubscribe(&monitor);
   return out;
 }
 
-TEST(AdapterEquivalenceTest, BusMonitorMatchesLegacyObserver) {
-  const MonitoredRun bus = RunMonitored(/*via_bus=*/true);
-  const MonitoredRun legacy = RunMonitored(/*via_bus=*/false);
-  EXPECT_TRUE(bus.reported);
-  EXPECT_EQ(bus.reported, legacy.reported);
-  EXPECT_EQ(bus.alarm_at, legacy.alarm_at);
-  EXPECT_EQ(bus.reported_at, legacy.reported_at);
-  EXPECT_EQ(bus.end_us, legacy.end_us);  // identical recording costs
-  ASSERT_EQ(bus.events.size(), legacy.events.size());
-  ASSERT_GT(bus.events.size(), 0u);
-  for (std::size_t i = 0; i < bus.events.size(); ++i) {
-    EXPECT_EQ(bus.events[i].t, legacy.events[i].t);
-    EXPECT_EQ(bus.events[i].is_add, legacy.events[i].is_add);
-    EXPECT_EQ(bus.events[i].count_after, legacy.events[i].count_after);
+TEST(BusMonitorTest, RecordsAndReportsDeterministically) {
+  const MonitoredRun first = RunMonitored();
+  const MonitoredRun second = RunMonitored();
+  EXPECT_TRUE(first.reported);
+  EXPECT_GT(first.reported_at, first.alarm_at);
+  EXPECT_EQ(first.reported, second.reported);
+  EXPECT_EQ(first.alarm_at, second.alarm_at);
+  EXPECT_EQ(first.reported_at, second.reported_at);
+  EXPECT_EQ(first.end_us, second.end_us);  // identical recording costs
+  ASSERT_EQ(first.events.size(), second.events.size());
+  ASSERT_GT(first.events.size(), 0u);
+  for (std::size_t i = 0; i < first.events.size(); ++i) {
+    EXPECT_EQ(first.events[i].t, second.events[i].t);
+    EXPECT_EQ(first.events[i].is_add, second.events[i].is_add);
+    EXPECT_EQ(first.events[i].count_after, second.events[i].count_after);
   }
 }
 
-TEST(AdapterEquivalenceTest, IpcTapRankingMatchesLogPolling) {
-  // One installed defender (bus tap) drives the attack; a second,
-  // *uninstalled* defender ranks the same recording through the deprecated
-  // VisitIpcLogSince fallback. Same monitor, same log, same scores.
+TEST(IpcTapTest, RankingReadsTheTapAndRequiresInstall) {
   auto exp = experiment::ExperimentConfig()
                  .WithSeed(21)
                  .WithBenignApps(3)
@@ -110,8 +100,7 @@ TEST(AdapterEquivalenceTest, IpcTapRankingMatchesLogPolling) {
   core::AndroidSystem& system = exp->system();
   defense::JgreDefender& installed = *exp->defender();
   // Drive the monitor past its alarm but not its report threshold: the tap
-  // keeps its recording (no incident clears it) and both rankings below see
-  // the same post-alarm window.
+  // keeps its recording (no incident clears it).
   attack::MaliciousApp::RunOptions options;
   options.max_calls = 4000;
   options.sample_every_calls = 0;
@@ -124,20 +113,25 @@ TEST(AdapterEquivalenceTest, IpcTapRankingMatchesLogPolling) {
 
   defense::ScoringParams params;
   params.delta_us = 1800;
-  params.analysis_window_us = 0;  // window = alarm..now for both rankings
+  params.analysis_window_us = 0;  // window = alarm..now
   const auto via_tap =
       installed.RankApps(*monitor, system.system_server_pid(), params);
-  defense::JgreDefender fallback(&system);  // not installed: no tap
-  const auto via_log =
-      fallback.RankApps(*monitor, system.system_server_pid(), params);
   ASSERT_FALSE(via_tap.empty());
-  ASSERT_EQ(via_tap.size(), via_log.size());
-  for (std::size_t i = 0; i < via_tap.size(); ++i) {
-    EXPECT_EQ(via_tap[i].uid.value(), via_log[i].uid.value());
-    EXPECT_EQ(via_tap[i].package, via_log[i].package);
-    EXPECT_EQ(via_tap[i].score, via_log[i].score);
-  }
   EXPECT_EQ(via_tap.front().package, "com.evil.app");
+  // Ranking is a pure function of the tap + monitor: re-ranking the same
+  // recording yields the same scores.
+  const auto again =
+      installed.RankApps(*monitor, system.system_server_pid(), params);
+  ASSERT_EQ(via_tap.size(), again.size());
+  for (std::size_t i = 0; i < via_tap.size(); ++i) {
+    EXPECT_EQ(via_tap[i].uid.value(), again[i].uid.value());
+    EXPECT_EQ(via_tap[i].score, again[i].score);
+  }
+  // An uninstalled defender has no tap and therefore no ranking.
+  defense::JgreDefender uninstalled(&system);
+  EXPECT_TRUE(
+      uninstalled.RankApps(*monitor, system.system_server_pid(), params)
+          .empty());
 }
 
 TEST(ExperimentBuilderTest, MatchesHandRolledSetupByteForByte) {

@@ -1,8 +1,10 @@
 // Tests for the ART runtime model: heap holds, JavaVMExt (the 51,200 cap,
-// abort, observers), proxy caching and GC semantics.
+// abort, bus events), proxy caching and GC semantics.
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
+#include "obs/event.h"
+#include "obs/event_bus.h"
 #include "runtime/runtime.h"
 
 namespace jgre::rt {
@@ -78,36 +80,35 @@ TEST(JavaVmExtTest, OverflowAbortsOnce) {
   EXPECT_EQ(aborts, 1);
 }
 
-class CountingObserver : public JgrObserver {
+class CountingSink : public obs::EventSink {
  public:
-  void OnJgrAdd(TimeUs, std::size_t count, ObjectId) override {
-    adds++;
-    last_count = count;
-  }
-  void OnJgrRemove(TimeUs, std::size_t count, ObjectId) override {
-    removes++;
-    last_count = count;
+  void OnEvent(const obs::TraceEvent& event) override {
+    if (event.category != obs::Category::kJgr) return;
+    if (event.name == obs::LabelIdOf(obs::Label::kJgrAdd)) adds++;
+    if (event.name == obs::LabelIdOf(obs::Label::kJgrRemove)) removes++;
+    last_count = static_cast<std::size_t>(event.arg0);
   }
   int adds = 0, removes = 0;
   std::size_t last_count = 0;
 };
 
-TEST(JavaVmExtTest, ObserversSeeEveryMutation) {
+TEST(JavaVmExtTest, BusSubscribersSeeEveryMutation) {
   SimClock clock;
-  JavaVMExt vm(&clock, "vm", 100);
-  CountingObserver observer;
-  vm.AddObserver(&observer);
+  obs::EventBus bus;
+  JavaVMExt vm(&clock, "vm", 100, kWeakGlobalsMax, obs::Source{&bus, 1, -1});
+  CountingSink sink;
+  bus.Subscribe(&sink, obs::MaskOf(obs::Category::kJgr));
   auto a = vm.AddGlobalRef(ObjectId{1});
   auto b = vm.AddGlobalRef(ObjectId{2});
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   vm.DeleteGlobalRef(a.value());
-  EXPECT_EQ(observer.adds, 2);
-  EXPECT_EQ(observer.removes, 1);
-  EXPECT_EQ(observer.last_count, 1u);
-  vm.RemoveObserver(&observer);
+  EXPECT_EQ(sink.adds, 2);
+  EXPECT_EQ(sink.removes, 1);
+  EXPECT_EQ(sink.last_count, 1u);
+  bus.Unsubscribe(&sink);
   vm.DeleteGlobalRef(b.value());
-  EXPECT_EQ(observer.removes, 1);  // detached
+  EXPECT_EQ(sink.removes, 1);  // detached
 }
 
 TEST(RuntimeTest, BootClassRefsArePinnedForever) {

@@ -1,0 +1,347 @@
+// Snapshot subsystem tests: per-module save/restore round-trips (RNG
+// streams, IRT free lists, ring buffers), whole-system checkpoint
+// stability, the on-disk format, and the headline determinism contract —
+// a restored simulation continues byte-identically to a cold run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "attack/malicious_app.h"
+#include "attack/vuln_registry.h"
+#include "common/ring_buffer.h"
+#include "common/rng.h"
+#include "core/android_system.h"
+#include "experiment/experiment.h"
+#include "harness/branch_runner.h"
+#include "obs/event.h"
+#include "runtime/indirect_reference_table.h"
+#include "snapshot/serializer.h"
+#include "snapshot/snapshot.h"
+
+namespace jgre {
+namespace {
+
+// --- RNG --------------------------------------------------------------------
+
+TEST(SnapshotPropertyTest, RngRoundTripContinuesTheSameStream) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull, ~0ull}) {
+    Rng original(seed);
+    // Burn an arbitrary prefix so the checkpoint sits mid-stream.
+    for (int i = 0; i < 1000; ++i) (void)original.NextU64();
+
+    snapshot::Serializer out;
+    original.SaveState(out);
+    Rng restored(0);  // wrong seed on purpose: restore must overwrite it
+    snapshot::Deserializer in(out.buffer());
+    restored.RestoreState(in);
+    ASSERT_TRUE(in.ok());
+
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_EQ(original.NextU64(), restored.NextU64()) << "seed " << seed;
+    }
+  }
+}
+
+// --- IndirectReferenceTable -------------------------------------------------
+
+// Drives two tables (one live, one restored mid-way) through the same
+// scripted add/remove tail and insists on identical refs, sizes, and
+// slot-reuse order — the free list must round-trip exactly.
+TEST(SnapshotPropertyTest, IrtRoundTripPreservesFreeListOrder) {
+  using rt::IndirectReferenceTable;
+  for (std::uint64_t seed : {3ull, 17ull, 99ull}) {
+    IndirectReferenceTable original(64, rt::IndirectRefKind::kGlobal, "g");
+    Rng ops(seed);
+    std::vector<rt::IndirectRef> live;
+    // Random prefix: adds and removes punch a seed-dependent hole pattern.
+    for (int i = 0; i < 200; ++i) {
+      if (live.empty() || ops.Chance(0.6)) {
+        auto ref = original.Add(original.CurrentCookie(), ObjectId{i + 1});
+        if (ref.ok()) live.push_back(ref.value());
+      } else {
+        const std::size_t victim = ops.UniformU64(live.size());
+        ASSERT_TRUE(original.Remove(original.CurrentCookie(), live[victim]));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    }
+
+    snapshot::Serializer out;
+    original.SaveState(out);
+    IndirectReferenceTable restored(64, rt::IndirectRefKind::kGlobal, "g");
+    snapshot::Deserializer in(out.buffer());
+    restored.RestoreState(in);
+    ASSERT_TRUE(in.ok()) << in.error();
+    ASSERT_EQ(original.Size(), restored.Size());
+    ASSERT_EQ(original.HoleCount(), restored.HoleCount());
+    for (rt::IndirectRef ref : live) {
+      ASSERT_TRUE(restored.Contains(ref));
+      ASSERT_EQ(original.Get(ref).value(), restored.Get(ref).value());
+    }
+
+    // Identical tail on both: every returned ref (slot + serial) must match.
+    Rng tail(seed + 1);
+    for (int i = 0; i < 200; ++i) {
+      if (live.empty() || tail.Chance(0.5)) {
+        auto a = original.Add(original.CurrentCookie(), ObjectId{1000 + i});
+        auto b = restored.Add(restored.CurrentCookie(), ObjectId{1000 + i});
+        ASSERT_EQ(a.ok(), b.ok());
+        if (a.ok()) {
+          ASSERT_EQ(a.value(), b.value()) << "slot reuse diverged";
+          live.push_back(a.value());
+        }
+      } else {
+        const std::size_t victim = tail.UniformU64(live.size());
+        ASSERT_EQ(original.Remove(original.CurrentCookie(), live[victim]),
+                  restored.Remove(restored.CurrentCookie(), live[victim]));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    }
+    ASSERT_EQ(original.Size(), restored.Size());
+  }
+}
+
+// --- RingBuffer -------------------------------------------------------------
+
+TEST(SnapshotPropertyTest, RingBufferRoundTripKeepsIndicesAndTail) {
+  RingBuffer<std::int64_t> original(8);
+  for (std::int64_t i = 0; i < 21; ++i) original.Push(i * 3);  // wrapped twice
+
+  snapshot::Serializer out;
+  original.SaveState(
+      out, [](snapshot::Serializer& s, const std::int64_t& v) { s.I64(v); });
+  RingBuffer<std::int64_t> restored(8);
+  snapshot::Deserializer in(out.buffer());
+  restored.RestoreState(in,
+                        [](snapshot::Deserializer& d) { return d.I64(); });
+  ASSERT_TRUE(in.ok()) << in.error();
+
+  ASSERT_EQ(original.first_index(), restored.first_index());
+  ASSERT_EQ(original.end_index(), restored.end_index());
+  for (std::uint64_t i = restored.first_index(); i < restored.end_index();
+       ++i) {
+    EXPECT_EQ(original.At(i), restored.At(i));
+  }
+  // Subsequent pushes see the same logical indices and evictions.
+  original.Push(777);
+  restored.Push(777);
+  EXPECT_EQ(original.first_index(), restored.first_index());
+  EXPECT_EQ(original.At(original.end_index() - 1),
+            restored.At(restored.end_index() - 1));
+}
+
+// --- Whole-system checkpoints -----------------------------------------------
+
+const attack::VulnSpec& Toast() {
+  const attack::VulnSpec* vuln =
+      attack::FindVulnerability("notification", "enqueueToast");
+  EXPECT_NE(vuln, nullptr);
+  return *vuln;
+}
+
+experiment::ExperimentConfig SmallScenario(std::uint64_t seed) {
+  return experiment::ExperimentConfig()
+      .WithSeed(seed)
+      .WithWarmup(4, 2'000'000)
+      .WithBenignApps(2)
+      .WithAttack(Toast())
+      .WithThresholds(1500, 500)
+      .WithMaxAttackerCalls(6000);
+}
+
+// Capture → restore into a fresh boot → capture again must produce the
+// exact same payload bytes: restore loses nothing the serializer can see.
+TEST(SystemSnapshotTest, CaptureRestoreCaptureIsByteStable) {
+  auto config = SmallScenario(42);
+  std::unique_ptr<core::AndroidSystem> prefix = config.BuildPrefix();
+  auto captured = snapshot::SystemSnapshot::Capture(*prefix);
+  ASSERT_TRUE(captured.ok()) << captured.status().ToString();
+  const snapshot::SystemSnapshot& snap = captured.value();
+  EXPECT_GT(snap.manifest().byte_size, 0u);
+  EXPECT_EQ(snap.manifest().seed, 42u);
+  EXPECT_EQ(snap.manifest().virtual_time_us, prefix->clock().NowUs());
+
+  core::SystemConfig sys_config = config.system_config();
+  sys_config.seed = config.seed();
+  core::AndroidSystem restored(sys_config);
+  restored.Boot();
+  Status status = snap.RestoreInto(&restored);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(restored.clock().NowUs(), prefix->clock().NowUs());
+  EXPECT_EQ(restored.SystemServerJgrCount(), prefix->SystemServerJgrCount());
+
+  auto recaptured = snapshot::SystemSnapshot::Capture(restored);
+  ASSERT_TRUE(recaptured.ok()) << recaptured.status().ToString();
+  EXPECT_EQ(snap.manifest().content_hash,
+            recaptured.value().manifest().content_hash);
+  EXPECT_EQ(snap.payload(), recaptured.value().payload());
+}
+
+TEST(SystemSnapshotTest, RestoreRejectsSeedMismatch) {
+  core::SystemConfig config;
+  config.seed = 42;
+  core::AndroidSystem system(config);
+  system.Boot();
+  auto captured = snapshot::SystemSnapshot::Capture(system);
+  ASSERT_TRUE(captured.ok());
+
+  core::SystemConfig other = config;
+  other.seed = 43;
+  core::AndroidSystem target(other);
+  target.Boot();
+  EXPECT_EQ(captured.value().RestoreInto(&target).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The headline contract: a restored branch continues event-for-event
+// byte-identically to the cold run of the same scenario.
+TEST(SystemSnapshotTest, RestoredRunMatchesColdRunGoldenTrace) {
+  auto config = SmallScenario(7).WithDefense();
+
+  // Cold: prefix built in-process, tape subscribed at the branch boundary.
+  snapshot::EventTape cold_tape;
+  experiment::DefendedAttackResult cold_result;
+  {
+    std::unique_ptr<core::AndroidSystem> system = config.BuildPrefix();
+    system->kernel().bus().Subscribe(&cold_tape, obs::kAllCategories);
+    auto exp = config.BuildOn(std::move(system));
+    cold_result = exp->RunDefendedAttack();
+    exp->system().kernel().bus().Unsubscribe(&cold_tape);
+  }
+  ASSERT_TRUE(cold_result.incident);
+
+  // Restored: checkpoint the prefix, revive it in a fresh system.
+  snapshot::EventTape restored_tape;
+  experiment::DefendedAttackResult restored_result;
+  {
+    std::unique_ptr<core::AndroidSystem> prefix = config.BuildPrefix();
+    auto captured = snapshot::SystemSnapshot::Capture(*prefix);
+    ASSERT_TRUE(captured.ok()) << captured.status().ToString();
+    prefix.reset();  // the cold prefix is gone; only the bytes survive
+
+    core::SystemConfig sys_config = config.system_config();
+    sys_config.seed = config.seed();
+    auto revived = std::make_unique<core::AndroidSystem>(sys_config);
+    revived->Boot();
+    Status status = captured.value().RestoreInto(revived.get());
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    revived->kernel().bus().Subscribe(&restored_tape, obs::kAllCategories);
+    auto exp = config.BuildOn(std::move(revived));
+    restored_result = exp->RunDefendedAttack();
+    exp->system().kernel().bus().Unsubscribe(&restored_tape);
+  }
+
+  auto divergence = snapshot::FirstDivergence(cold_tape.events(),
+                                              restored_tape.events());
+  EXPECT_FALSE(divergence.has_value())
+      << (divergence ? divergence->description : "");
+  EXPECT_EQ(cold_result.attacker_calls, restored_result.attacker_calls);
+  EXPECT_EQ(cold_result.virtual_duration_us,
+            restored_result.virtual_duration_us);
+  EXPECT_EQ(cold_result.report.identified_at,
+            restored_result.report.identified_at);
+  EXPECT_EQ(cold_result.report.recovered_at,
+            restored_result.report.recovered_at);
+}
+
+// BranchRunner's restore path is the same contract, through the harness.
+TEST(BranchRunnerTest, BranchesMatchColdBuilds) {
+  auto config = SmallScenario(11).WithDefense();
+  harness::BranchOptions options;
+  options.jobs = 2;
+  harness::BranchRunner runner(config, options);
+
+  const auto branch_config = [&config](std::size_t) { return config; };
+  const auto task = [](std::size_t, experiment::Experiment& exp) {
+    auto result = exp.RunDefendedAttack();
+    return result.virtual_duration_us;
+  };
+  const std::vector<DurationUs> warm =
+      runner.Run<DurationUs>(3, branch_config, task);
+
+  harness::BranchOptions cold_options;
+  cold_options.jobs = 1;
+  cold_options.cold = true;
+  harness::BranchRunner cold_runner(config, cold_options);
+  const std::vector<DurationUs> cold =
+      cold_runner.Run<DurationUs>(3, branch_config, task);
+
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(warm[i], cold[i]) << "branch " << i;
+    EXPECT_EQ(warm[i], warm[0]) << "same config must give same branch";
+  }
+}
+
+// --- File format ------------------------------------------------------------
+
+TEST(SystemSnapshotTest, FileRoundTripValidatesContentHash) {
+  core::SystemConfig config;
+  config.seed = 5;
+  core::AndroidSystem system(config);
+  system.Boot();
+  auto captured = snapshot::SystemSnapshot::Capture(system);
+  ASSERT_TRUE(captured.ok());
+
+  const std::string path = "snapshot_test_checkpoint.bin";
+  Status written = captured.value().WriteFile(path);
+  ASSERT_TRUE(written.ok()) << written.ToString();
+
+  auto loaded = snapshot::SystemSnapshot::ReadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().payload(), captured.value().payload());
+  EXPECT_EQ(loaded.value().manifest().seed, 5u);
+  EXPECT_EQ(loaded.value().manifest().content_hash,
+            captured.value().manifest().content_hash);
+
+  // The JSON manifest sidecar carries the same identity.
+  std::ifstream manifest(path + ".manifest.json");
+  ASSERT_TRUE(manifest.good());
+  std::string json((std::istreambuf_iterator<char>(manifest)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"seed\": 5"), std::string::npos);
+  EXPECT_NE(json.find("jgre-snapshot"), std::string::npos);
+
+  // Flip one payload byte on disk: the hash check must reject the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);
+    char byte = 0;
+    f.seekg(64);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(64);
+    f.write(&byte, 1);
+  }
+  auto corrupt = snapshot::SystemSnapshot::ReadFile(path);
+  EXPECT_FALSE(corrupt.ok());
+  std::remove(path.c_str());
+  std::remove((path + ".manifest.json").c_str());
+}
+
+TEST(DivergenceTest, ReportsFirstDifferingEvent) {
+  std::vector<obs::TraceEvent> a;
+  for (int i = 0; i < 5; ++i) {
+    a.push_back(obs::MakeEvent(obs::Category::kIpc, obs::Label::kIpcTransact,
+                               TimeUs{static_cast<std::uint64_t>(i)}, 1, 2,
+                               i));
+  }
+  std::vector<obs::TraceEvent> b = a;
+  EXPECT_FALSE(snapshot::FirstDivergence(a, b).has_value());
+
+  b[3].arg0 = 99;
+  auto diff = snapshot::FirstDivergence(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(diff->index, 3u);
+
+  b = a;
+  b.pop_back();
+  diff = snapshot::FirstDivergence(a, b);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(diff->index, 4u);
+}
+
+}  // namespace
+}  // namespace jgre
