@@ -128,7 +128,7 @@ Verdict JgreVerifier::RunProbe(const analysis::AnalyzedInterface& iface,
       const double growth =
           (static_cast<double>(victim_jgr()) - static_cast<double>(baseline)) /
           static_cast<double>(i + 1);
-      if (growth < options_.bounded_growth_per_call) break;
+      if (growth < options_.growth.bounded_jgr_per_call) break;
     }
   }
   if (!verdict.victim_aborted && verdict.calls_issued > 0) {
@@ -137,7 +137,7 @@ Verdict JgreVerifier::RunProbe(const analysis::AnalyzedInterface& iface,
         (static_cast<double>(victim_jgr()) - static_cast<double>(baseline)) /
         static_cast<double>(verdict.calls_issued);
     verdict.exploitable =
-        verdict.jgr_growth_per_call >= options_.exploitable_growth_per_call;
+        verdict.jgr_growth_per_call >= options_.growth.exploitable_jgr_per_call;
   }
   return verdict;
 }

@@ -21,6 +21,7 @@
 
 #include "analysis/pipeline.h"
 #include "model/code_model.h"
+#include "model/growth_thresholds.h"
 
 namespace jgre::dynamic {
 
@@ -30,8 +31,9 @@ struct VerifyOptions {
   // Early-exit probe: if growth is already flat after this many calls, the
   // interface is declared bounded.
   int probe_calls = 2'000;
-  double exploitable_growth_per_call = 0.5;
-  double bounded_growth_per_call = 0.05;
+  // Exploitable/bounded growth-rate cutoffs, shared with the fuzz oracle
+  // (model/growth_thresholds.h) so the two dynamic stages cannot drift.
+  model::GrowthThresholds growth;
   std::uint64_t seed = 42;
 };
 

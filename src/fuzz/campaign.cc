@@ -1,0 +1,330 @@
+#include "fuzz/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "harness/experiment_runner.h"
+#include "model/corpus.h"
+#include "snapshot/serializer.h"
+
+namespace jgre::fuzz {
+
+namespace {
+
+// Deterministic shard-stream seed: every (round, shard) pair gets an
+// independent Rng stream derived only from the campaign seed and its own
+// coordinates — never from --jobs or scheduling order.
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  snapshot::Serializer out;
+  out.U64(seed);
+  out.U64(a);
+  out.U64(b);
+  return out.Hash();
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ConsistencyReport CrossCheck(const std::vector<Finding>& findings,
+                             const analysis::AnalysisReport& report,
+                             const std::vector<dynamic::Verdict>& census) {
+  ConsistencyReport out;
+  std::set<std::string> exploitable;
+  std::set<std::string> bounded;
+  for (const dynamic::Verdict& v : census) {
+    if (!v.tested) continue;
+    (v.exploitable ? exploitable : bounded).insert(v.id);
+  }
+  out.census_total = static_cast<int>(exploitable.size());
+
+  std::set<std::string> found;
+  for (const Finding& f : findings) found.insert(f.id);
+  for (const std::string& id : exploitable) {
+    (found.count(id) != 0 ? out.refound : out.not_refound).push_back(id);
+  }
+
+  std::map<std::string, const analysis::AnalyzedInterface*> ifaces;
+  for (const analysis::AnalyzedInterface& iface : report.interfaces) {
+    ifaces[iface.id] = &iface;
+  }
+  for (const std::string& id : found) {
+    if (bounded.count(id) != 0) out.false_positives.push_back(id);
+    auto it = ifaces.find(id);
+    if (it == ifaces.end() || it->second->sifted_out || !it->second->risky) {
+      out.static_blind.push_back(id);
+    }
+  }
+  return out;
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)), oracle_(options_.oracle) {}
+
+CampaignRunner::~CampaignRunner() = default;
+
+Status CampaignRunner::Prepare() {
+  if (prepared_) return Status::Ok();
+
+  // A bare booted device is enough to derive the code model, the static
+  // report, and the live-service pool; the (expensive) warmed-up reset image
+  // is built separately below.
+  core::SystemConfig sys_config;
+  sys_config.seed = options_.seed;
+  core::AndroidSystem bare(sys_config);
+  bare.Boot();
+  model_ = model::BuildAospModel(bare);
+  report_ = analysis::RunAnalysis(model_);
+
+  std::set<std::string> live_services;
+  std::set<std::string> permissions;
+  for (const auto& [id, method] : model_.java_methods) {
+    if (!method.overrides_aidl || method.service.empty()) continue;
+    if (!bare.service_manager().HasService(method.service)) continue;
+    live_services.insert(method.service);
+    // Like the directed verifier, the probe app holds whatever permission an
+    // interface demands: permission checks gate reachability, not retention.
+    if (!method.permission.empty()) permissions.insert(method.permission);
+  }
+  mutator_.emplace(&model_, live_services, options_.mutator);
+
+  ExecOptions exec;
+  exec.gc_every_calls = options_.gc_every_calls;
+  exec.permissions = std::move(permissions);
+  executor_.emplace(&model_, std::move(exec));
+  oracle_ = Oracle(options_.oracle);
+
+  prefix_ = experiment::ExperimentConfig();
+  prefix_.WithSeed(options_.seed)
+      .WithSystemConfig(sys_config)
+      .WithWarmup(options_.warmup_apps, options_.warmup_foreground_us,
+                  options_.warmup_interaction_period_us);
+  harness::BranchOptions branch_options;
+  branch_options.jobs = options_.jobs;
+  branch_options.cold = options_.cold_boot;
+  branch_options.checkpoint_path = options_.checkpoint_path;
+  branch_options.resume_path = options_.resume_path;
+  branch_.emplace(prefix_, branch_options);
+  if (!options_.cold_boot) {
+    JGRE_RETURN_IF_ERROR(branch_->Prepare());
+  }
+
+  prepared_ = true;
+  return Status::Ok();
+}
+
+std::unique_ptr<core::AndroidSystem> CampaignRunner::ResetSystem(
+    std::size_t shard) const {
+  if (options_.cold_boot) return prefix_.BuildPrefix();
+  return branch_->RestoreBranchSystem(shard);
+}
+
+Sequence CampaignRunner::PickSequence(
+    Rng& rng, const std::vector<CorpusEntry>& entries) const {
+  if (!entries.empty() && rng.Chance(options_.mutate_probability)) {
+    const Sequence& seed = entries[rng.UniformU64(entries.size())].seq;
+    return mutator_->Mutate(seed, rng);
+  }
+  return mutator_->Generate(rng);
+}
+
+CampaignResult CampaignRunner::Run() {
+  const auto start = std::chrono::steady_clock::now();
+  Status prepared = Prepare();
+  if (!prepared.ok()) throw std::runtime_error(prepared.ToString());
+
+  CampaignResult result;
+  CampaignStats& stats = result.stats;
+
+  // --- Screen: rounds x shards of randomized sequences ----------------------
+  std::vector<Suspect> suspects;
+  std::set<std::uint64_t> suspect_fingerprints;
+  const int rounds = std::max(1, options_.rounds);
+  const int budget = std::max(0, options_.budget);
+  const int per_round = budget / rounds;
+  for (int round = 0; round < rounds; ++round) {
+    const int round_budget =
+        per_round + (round == rounds - 1 ? budget - per_round * rounds : 0);
+    if (round_budget <= 0) continue;
+    const int shard_execs = std::max(1, options_.shard_execs);
+    const std::size_t shards =
+        static_cast<std::size_t>((round_budget + shard_execs - 1) /
+                                 shard_execs);
+    // Shards mutate against the corpus as of the round boundary: a stable
+    // snapshot, so picks do not depend on intra-round completion order.
+    const std::vector<CorpusEntry> entries = corpus_.entries();
+    std::vector<std::vector<ShardExec>> reports =
+        harness::RunOrdered<std::vector<ShardExec>>(
+            shards, options_.jobs, [&](std::size_t shard) {
+              Rng rng(MixSeed(options_.seed, static_cast<std::uint64_t>(round),
+                              shard));
+              const int execs =
+                  std::min(shard_execs,
+                           round_budget - static_cast<int>(shard) * shard_execs);
+              std::vector<ShardExec> out;
+              out.reserve(static_cast<std::size_t>(execs));
+              for (int e = 0; e < execs; ++e) {
+                Sequence seq = PickSequence(rng, entries);
+                std::unique_ptr<core::AndroidSystem> system =
+                    ResetSystem(static_cast<std::size_t>(round) * 1000 + shard);
+                ExecOutcome outcome = executor_->Execute(*system, seq);
+                out.push_back({std::move(seq), std::move(outcome.elements),
+                               oracle_.Screen(outcome.obs)});
+              }
+              return out;
+            });
+    // Merge in submission order: corpus contents and the suspect list are
+    // identical for --jobs 1 and --jobs N.
+    for (std::vector<ShardExec>& report : reports) {
+      for (ShardExec& exec : report) {
+        ++stats.screen_executions;
+        corpus_.Add(exec.seq, exec.elements);
+        if (exec.screen.suspicious() &&
+            static_cast<int>(suspects.size()) < options_.max_suspects &&
+            suspect_fingerprints.insert(exec.seq.Fingerprint()).second) {
+          suspects.push_back({std::move(exec.seq), exec.screen.kind});
+        }
+      }
+    }
+  }
+  stats.suspects = static_cast<int>(suspects.size());
+  stats.corpus_entries = static_cast<int>(corpus_.size());
+  stats.signature_elements = corpus_.element_count();
+
+  // --- Confirm: one homogeneous strict probe per distinct suspect method ----
+  struct Target {
+    IpcCall call;
+    std::size_t suspect;
+  };
+  std::vector<Target> targets;
+  std::set<std::string> targeted;
+  for (std::size_t si = 0; si < suspects.size(); ++si) {
+    for (const IpcCall& call : suspects[si].seq.calls) {
+      if (targeted.insert(call.method_id).second) {
+        Target target{call, si};
+        // The strict probe follows the census's §III.D discipline — a fresh
+        // Binder per call — so a witness that drew the shared-binder variant
+        // does not mask retention. Other argument values (e.g. an "android"
+        // spoof string) are preserved.
+        for (ArgValue& arg : target.call.args) {
+          if (arg.kind == services::ArgKind::kBinder) arg.fresh_binder = true;
+        }
+        targets.push_back(std::move(target));
+      }
+    }
+  }
+  std::vector<OracleVerdict> verdicts = harness::RunOrdered<OracleVerdict>(
+      targets.size(), options_.jobs, [&](std::size_t i) {
+        std::unique_ptr<core::AndroidSystem> system =
+            ResetSystem(100'000 + i);
+        ExecOutcome outcome = executor_->ExecuteRepeated(
+            *system, targets[i].call, options_.confirm_calls);
+        return oracle_.Confirm(outcome.obs);
+      });
+  stats.confirm_executions = static_cast<int>(targets.size());
+
+  std::vector<std::size_t> finding_suspect;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (!verdicts[i].suspicious()) continue;
+    const IpcCall& call = targets[i].call;
+    Finding f;
+    f.id = call.method_id;
+    f.service = call.service;
+    const model::JavaMethodModel* method = model_.FindJavaMethod(call.method_id);
+    f.method = method != nullptr ? method->name : call.method_id;
+    f.kind = verdicts[i].kind;
+    f.growth_per_call = verdicts[i].kind == ExhaustionKind::kFd
+                            ? verdicts[i].fd_growth_per_call
+                            : verdicts[i].jgr_growth_per_call;
+    f.victim_aborted = verdicts[i].kind == ExhaustionKind::kAbort;
+    f.witness = call;
+    result.findings.push_back(std::move(f));
+    finding_suspect.push_back(targets[i].suspect);
+  }
+
+  // --- Minimize: trim each finding's witness sequence -----------------------
+  struct MinimizeResult {
+    int calls = 0;
+    int execs = 0;
+  };
+  std::vector<MinimizeResult> minimized =
+      harness::RunOrdered<MinimizeResult>(
+          result.findings.size(), options_.jobs, [&](std::size_t i) {
+            const Finding& f = result.findings[i];
+            const Sequence& witness = suspects[finding_suspect[i]].seq;
+            MinimizeResult mr;
+            const auto still_triggers = [&](const Sequence& cand) {
+              if (mr.execs >= options_.minimize_exec_cap) return false;
+              bool has_method = false;
+              for (const IpcCall& call : cand.calls) {
+                if (call.method_id == f.id) {
+                  has_method = true;
+                  break;
+                }
+              }
+              if (!has_method) return false;  // free reject, no execution
+              ++mr.execs;
+              std::unique_ptr<core::AndroidSystem> system =
+                  ResetSystem(200'000 + i);
+              ExecOutcome outcome = executor_->Execute(*system, cand);
+              return oracle_.Screen(outcome.obs).suspicious();
+            };
+            // Pre-trim: if the homogeneous subsequence (the finding's calls
+            // alone) still screens, minimize that instead of the full witness.
+            Sequence homogeneous;
+            for (const IpcCall& call : witness.calls) {
+              if (call.method_id == f.id) homogeneous.calls.push_back(call);
+            }
+            const Sequence& base =
+                homogeneous.calls.size() < witness.calls.size() &&
+                        still_triggers(homogeneous)
+                    ? homogeneous
+                    : witness;
+            mr.calls =
+                static_cast<int>(Corpus::Minimize(base, still_triggers)
+                                     .calls.size());
+            return mr;
+          });
+  for (std::size_t i = 0; i < minimized.size(); ++i) {
+    result.findings[i].minimized_calls = minimized[i].calls;
+    stats.minimize_executions += minimized[i].execs;
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) { return a.id < b.id; });
+
+  stats.total_executions = stats.screen_executions +
+                           stats.confirm_executions +
+                           stats.minimize_executions;
+  stats.wall_ms = SecondsSince(start) * 1000.0;
+  stats.execs_per_sec = stats.wall_ms > 0.0
+                            ? stats.total_executions / (stats.wall_ms / 1000.0)
+                            : 0.0;
+  return result;
+}
+
+double CampaignRunner::MeasureResetThroughput(int execs) {
+  Status prepared = Prepare();
+  if (!prepared.ok()) throw std::runtime_error(prepared.ToString());
+  Rng rng(MixSeed(options_.seed, 0x5448'524F'5547'48ull /* "THROUGH" */, 0));
+  std::vector<Sequence> sequences;
+  sequences.reserve(static_cast<std::size_t>(execs));
+  for (int i = 0; i < execs; ++i) sequences.push_back(mutator_->Generate(rng));
+  const auto start = std::chrono::steady_clock::now();
+  harness::RunOrdered<int>(
+      static_cast<std::size_t>(execs), options_.jobs, [&](std::size_t i) {
+        std::unique_ptr<core::AndroidSystem> system = ResetSystem(i);
+        return executor_->Execute(*system, sequences[i]).obs.calls;
+      });
+  const double seconds = SecondsSince(start);
+  return seconds > 0.0 ? static_cast<double>(execs) / seconds : 0.0;
+}
+
+}  // namespace jgre::fuzz

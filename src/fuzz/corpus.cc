@@ -1,0 +1,46 @@
+#include "fuzz/corpus.h"
+
+namespace jgre::fuzz {
+
+bool Corpus::Add(const Sequence& seq,
+                 const std::vector<std::uint64_t>& elements) {
+  std::vector<std::uint64_t> novel;
+  for (std::uint64_t e : elements) {
+    if (seen_.count(e) == 0) novel.push_back(e);
+  }
+  if (novel.empty()) return false;
+  seen_.insert(novel.begin(), novel.end());
+  entries_.push_back(CorpusEntry{seq, std::move(novel)});
+  return true;
+}
+
+Sequence Corpus::Minimize(
+    const Sequence& seq,
+    const std::function<bool(const Sequence&)>& still_interesting) {
+  Sequence current = seq;
+  // Chunked removal first (ddmin-style), then singles. Deterministic: chunk
+  // sizes and positions depend only on the current length.
+  for (std::size_t chunk = current.calls.size() / 2; chunk >= 1; chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any && current.calls.size() > 1) {
+      removed_any = false;
+      for (std::size_t start = 0; start + chunk <= current.calls.size();) {
+        if (current.calls.size() <= chunk) break;
+        Sequence candidate = current;
+        candidate.calls.erase(
+            candidate.calls.begin() + static_cast<std::ptrdiff_t>(start),
+            candidate.calls.begin() + static_cast<std::ptrdiff_t>(start + chunk));
+        if (still_interesting(candidate)) {
+          current = std::move(candidate);
+          removed_any = true;
+          // Same start now addresses the next chunk.
+        } else {
+          start += chunk;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace jgre::fuzz

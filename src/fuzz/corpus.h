@@ -1,0 +1,52 @@
+// Corpus — seeds that discovered new coverage, with trim-based minimization.
+//
+// The campaign merges shard results in submission order, so Add sees
+// candidate seeds in a deterministic order and the corpus (entries, element
+// universe, statistics) is identical for --jobs 1 and --jobs N. Minimize is
+// a pure greedy trimmer: it owns no execution machinery, the caller supplies
+// the "still interesting" predicate (re-execute and check the signature or
+// the oracle verdict reproduces).
+#ifndef JGRE_FUZZ_CORPUS_H_
+#define JGRE_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "fuzz/sequence.h"
+
+namespace jgre::fuzz {
+
+struct CorpusEntry {
+  Sequence seq;
+  // The signature elements this seed was first to reach.
+  std::vector<std::uint64_t> novel_elements;
+};
+
+class Corpus {
+ public:
+  // Adds `seq` iff `elements` contains at least one element no earlier seed
+  // reached. Returns true when the seed entered the corpus.
+  bool Add(const Sequence& seq, const std::vector<std::uint64_t>& elements);
+
+  bool Covers(std::uint64_t element) const { return seen_.count(element) != 0; }
+  const std::vector<CorpusEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t element_count() const { return seen_.size(); }
+
+  // Deterministic greedy trim: repeatedly drops chunks (halves, quarters,
+  // ... down to single calls) while `still_interesting(candidate)` holds.
+  // The result still satisfies the predicate (the input must satisfy it).
+  static Sequence Minimize(
+      const Sequence& seq,
+      const std::function<bool(const Sequence&)>& still_interesting);
+
+ private:
+  std::vector<CorpusEntry> entries_;
+  std::set<std::uint64_t> seen_;
+};
+
+}  // namespace jgre::fuzz
+
+#endif  // JGRE_FUZZ_CORPUS_H_

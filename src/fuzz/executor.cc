@@ -1,0 +1,140 @@
+#include "fuzz/executor.h"
+
+#include <memory>
+
+#include "fuzz/coverage.h"
+#include "services/app.h"
+#include "services/ipc_client.h"
+
+namespace jgre::fuzz {
+
+SequenceExecutor::SequenceExecutor(const model::CodeModel* model,
+                                   ExecOptions options)
+    : model_(model), options_(std::move(options)) {
+  for (const model::AppServiceModel& app : model_->app_services) {
+    app_hosted_[app.service_name] = app.package;
+  }
+}
+
+ExecOutcome SequenceExecutor::Run(core::AndroidSystem& system,
+                                  const std::vector<const IpcCall*>& calls,
+                                  const std::string& victim_package) const {
+  ExecOutcome out;
+  services::AppProcess* probe =
+      system.InstallApp(options_.probe_package, options_.permissions);
+
+  const auto victim_pid = [&]() -> Pid {
+    if (victim_package.empty()) return system.system_server_pid();
+    services::AppProcess* victim = system.FindApp(victim_package);
+    return victim != nullptr ? victim->pid() : Pid();
+  };
+  const auto victim_jgr = [&]() -> std::int64_t {
+    if (victim_package.empty()) {
+      return static_cast<std::int64_t>(system.SystemServerJgrCount());
+    }
+    services::AppProcess* victim = system.FindApp(victim_package);
+    if (victim == nullptr || !victim->alive() || victim->runtime() == nullptr) {
+      return 0;
+    }
+    return static_cast<std::int64_t>(victim->runtime()->JgrCount());
+  };
+  const auto victim_down = [&]() {
+    if (victim_package.empty()) return system.soft_reboots() > 0;
+    services::AppProcess* victim = system.FindApp(victim_package);
+    return victim == nullptr || !victim->alive();
+  };
+
+  system.CollectAllGarbage();
+  out.obs.jgr_before = victim_jgr();
+  out.obs.fd_before = system.kernel().OpenFdCount(victim_pid());
+
+  // Coverage rides the bus only while the sequence runs: baseline-taking and
+  // probe install are not part of the signature.
+  CoverageProbe coverage(&system.kernel().bus());
+  // The shared callback binder (fresh_binder == false slots): one per
+  // execution, minted lazily so binder-free sequences cost nothing.
+  std::shared_ptr<binder::BBinder> shared_binder;
+  std::map<std::string, services::IpcClient> clients;
+
+  for (const IpcCall* call : calls) {
+    auto it = clients.find(call->service);
+    if (it == clients.end()) {
+      auto client = probe->GetService(call->service, call->descriptor);
+      if (!client.ok()) continue;  // dead or unregistered service: skip
+      it = clients.emplace(call->service, std::move(client).value()).first;
+    }
+    Status status = it->second.Call(call->code, [&](binder::Parcel& p) {
+      for (const ArgValue& arg : call->args) {
+        switch (arg.kind) {
+          case services::ArgKind::kInt32:
+            p.WriteInt32(static_cast<std::int32_t>(arg.scalar));
+            break;
+          case services::ArgKind::kInt64:
+            p.WriteInt64(arg.scalar);
+            break;
+          case services::ArgKind::kBool:
+            p.WriteBool(arg.scalar != 0);
+            break;
+          case services::ArgKind::kString:
+            p.WriteString(arg.str);
+            break;
+          case services::ArgKind::kByteArray:
+            p.WriteByteArray(arg.byte_size);
+            break;
+          case services::ArgKind::kBinder:
+            if (arg.fresh_binder) {
+              p.WriteStrongBinder(probe->NewBinder("FuzzCallback"));
+            } else {
+              if (shared_binder == nullptr) {
+                shared_binder = probe->NewBinder("FuzzSharedCallback");
+              }
+              p.WriteStrongBinder(shared_binder);
+            }
+            break;
+          case services::ArgKind::kFd:
+            p.WriteFileDescriptor();
+            break;
+        }
+      }
+    });
+    (void)status;  // rejections (permission, caps, bad args) are signal too
+    ++out.obs.calls;
+    if (victim_down()) {
+      out.obs.victim_aborted = true;
+      break;
+    }
+    if (out.obs.calls % options_.gc_every_calls == 0) {
+      system.CollectAllGarbage();
+    }
+  }
+
+  if (!out.obs.victim_aborted) {
+    system.CollectAllGarbage();
+    out.obs.jgr_after = victim_jgr();
+    out.obs.fd_after = system.kernel().OpenFdCount(victim_pid());
+  } else {
+    out.obs.jgr_after = out.obs.jgr_before;
+    out.obs.fd_after = out.obs.fd_before;
+  }
+  out.elements = coverage.TakeElements();
+  return out;
+}
+
+ExecOutcome SequenceExecutor::Execute(core::AndroidSystem& system,
+                                      const Sequence& seq) const {
+  std::vector<const IpcCall*> calls;
+  calls.reserve(seq.calls.size());
+  for (const IpcCall& call : seq.calls) calls.push_back(&call);
+  return Run(system, calls, /*victim_package=*/"");
+}
+
+ExecOutcome SequenceExecutor::ExecuteRepeated(core::AndroidSystem& system,
+                                              const IpcCall& call,
+                                              int calls) const {
+  std::vector<const IpcCall*> repeated(static_cast<std::size_t>(calls), &call);
+  auto host = app_hosted_.find(call.service);
+  return Run(system, repeated,
+             host != app_hosted_.end() ? host->second : std::string());
+}
+
+}  // namespace jgre::fuzz

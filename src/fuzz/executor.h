@@ -1,0 +1,71 @@
+// SequenceExecutor — replays a Sequence against one (freshly reset) system
+// and reports what the victim retained.
+//
+// The execution protocol mirrors the directed verifier's probe discipline so
+// the two stages measure the same thing: install the probe app, force a GC
+// and take the victim baseline, fire the calls with periodic DDMS-style GCs,
+// force a final GC, and read the victim's JGR and fd tables. A CoverageProbe
+// rides the system's EventBus for the duration and yields the execution's
+// signature elements.
+#ifndef JGRE_FUZZ_EXECUTOR_H_
+#define JGRE_FUZZ_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/android_system.h"
+#include "fuzz/oracle.h"
+#include "fuzz/sequence.h"
+#include "model/code_model.h"
+
+namespace jgre::fuzz {
+
+struct ExecOptions {
+  int gc_every_calls = 64;
+  std::string probe_package = "com.fuzz.probe";
+  // Granted to the probe app at install (the campaign grants the union of
+  // permissions the code model declares, like the directed verifier grants
+  // whatever the interface under test demands).
+  std::set<std::string> permissions;
+};
+
+struct ExecOutcome {
+  Observation obs;  // victim: system_server, or the host app for ExecuteRepeated
+  std::vector<std::uint64_t> elements;
+};
+
+class SequenceExecutor {
+ public:
+  // `model` supplies the app-hosted-service map (service name -> package) so
+  // homogeneous probes can watch the right victim. Must outlive the executor.
+  SequenceExecutor(const model::CodeModel* model, ExecOptions options);
+
+  const ExecOptions& options() const { return options_; }
+
+  // Replays `seq`; the observed victim is system_server (mixed sequences
+  // touch many services, and the shared JGR table is the paper's target).
+  ExecOutcome Execute(core::AndroidSystem& system, const Sequence& seq) const;
+
+  // Homogeneous confirmation probe: the exact call, `calls` times, with the
+  // victim resolved to the service's actual host (system_server or the
+  // hosting app process).
+  ExecOutcome ExecuteRepeated(core::AndroidSystem& system, const IpcCall& call,
+                              int calls) const;
+
+ private:
+  ExecOutcome Run(core::AndroidSystem& system,
+                  const std::vector<const IpcCall*>& calls,
+                  const std::string& victim_package) const;
+
+  const model::CodeModel* model_;
+  ExecOptions options_;
+  // service name -> hosting app package ("" = system_server).
+  std::map<std::string, std::string> app_hosted_;
+};
+
+}  // namespace jgre::fuzz
+
+#endif  // JGRE_FUZZ_EXECUTOR_H_

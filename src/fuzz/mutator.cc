@@ -1,0 +1,168 @@
+#include "fuzz/mutator.h"
+
+#include <cassert>
+
+namespace jgre::fuzz {
+
+namespace {
+
+// Boundary-flavored integers: table limits (51,200 JGR entries, RLIMIT_NOFILE
+// 1024), sign/width edges, and small registry indices.
+constexpr std::int64_t kInterestingInts[] = {
+    0, 1, -1, 2, 7, 16, 50, 255, 1024, 51'200, 2'147'483'647LL, -2'147'483'648LL,
+};
+
+constexpr std::uint64_t kInterestingSizes[] = {0, 1, 16, 256, 4096};
+
+std::string DescriptorOf(const model::JavaMethodModel& method) {
+  // Method ids are "<interface descriptor>.<name>".
+  return method.id.substr(0, method.id.size() - method.name.size() - 1);
+}
+
+}  // namespace
+
+Mutator::Mutator(const model::CodeModel* model,
+                 const std::set<std::string>& live_services,
+                 MutatorOptions options)
+    : model_(model), options_(options) {
+  // java_methods is a std::map, so iteration (and therefore pool order) is
+  // the deterministic id order.
+  for (const auto& [id, method] : model_->java_methods) {
+    if (!method.overrides_aidl || method.service.empty()) continue;
+    if (!live_services.empty() && live_services.count(method.service) == 0) {
+      continue;
+    }
+    pool_.push_back(&method);
+  }
+}
+
+ArgValue Mutator::MakeArg(services::ArgKind kind, Rng& rng) const {
+  ArgValue arg;
+  arg.kind = kind;
+  switch (kind) {
+    case services::ArgKind::kInt32:
+    case services::ArgKind::kInt64:
+      arg.scalar = kInterestingInts[rng.UniformU64(std::size(kInterestingInts))];
+      break;
+    case services::ArgKind::kBool:
+      arg.scalar = rng.Chance(0.5) ? 1 : 0;
+      break;
+    case services::ArgKind::kString:
+      // The dictionary matters more than randomness here: "android" is the
+      // spoof that bypasses caller-trusting per-process constraints
+      // (enqueueToast), the probe's own package is the honest value, and a
+      // synthesized token covers the rest.
+      switch (rng.UniformU64(4)) {
+        case 0:
+          arg.str = "android";
+          break;
+        case 1:
+          arg.str = "com.fuzz.probe";
+          break;
+        case 2:
+          arg.str = "";
+          break;
+        default:
+          arg.str = "tok" + std::to_string(rng.UniformU64(1u << 16));
+          break;
+      }
+      break;
+    case services::ArgKind::kByteArray:
+      arg.byte_size =
+          kInterestingSizes[rng.UniformU64(std::size(kInterestingSizes))];
+      break;
+    case services::ArgKind::kBinder:
+      arg.fresh_binder = rng.Chance(options_.fresh_binder_probability);
+      break;
+    case services::ArgKind::kFd:
+      arg.scalar = 1;
+      break;
+  }
+  return arg;
+}
+
+IpcCall Mutator::MakeCall(const model::JavaMethodModel& method,
+                          Rng& rng) const {
+  IpcCall call;
+  call.method_id = method.id;
+  call.service = method.service;
+  call.descriptor = DescriptorOf(method);
+  call.code = method.transaction_code;
+  call.args.reserve(method.args.size());
+  for (services::ArgKind kind : method.args) {
+    call.args.push_back(MakeArg(kind, rng));
+  }
+  return call;
+}
+
+Sequence Mutator::Generate(Rng& rng) const {
+  assert(!pool_.empty() && "mutator needs a non-empty call pool");
+  Sequence seq;
+  const std::int64_t length =
+      rng.UniformInt(options_.min_calls, options_.max_calls);
+  seq.calls.reserve(static_cast<std::size_t>(length));
+  for (std::int64_t i = 0; i < length; ++i) {
+    seq.calls.push_back(MakeCall(*pool_[rng.UniformU64(pool_.size())], rng));
+  }
+  return seq;
+}
+
+Sequence Mutator::Mutate(const Sequence& seed, Rng& rng) const {
+  Sequence seq = seed;
+  if (seq.calls.empty()) return Generate(rng);
+  const std::int64_t mutations =
+      rng.UniformInt(options_.min_mutations, options_.max_mutations);
+  for (std::int64_t m = 0; m < mutations; ++m) {
+    const std::uint64_t op = rng.UniformU64(6);
+    const std::size_t n = seq.calls.size();
+    switch (op) {
+      case 0: {  // insert a fresh call
+        const std::size_t at = rng.UniformU64(n + 1);
+        IpcCall call = MakeCall(*pool_[rng.UniformU64(pool_.size())], rng);
+        seq.calls.insert(seq.calls.begin() + static_cast<std::ptrdiff_t>(at),
+                         std::move(call));
+        break;
+      }
+      case 1: {  // delete a call
+        if (n <= 1) break;
+        seq.calls.erase(seq.calls.begin() +
+                        static_cast<std::ptrdiff_t>(rng.UniformU64(n)));
+        break;
+      }
+      case 2: {  // duplicate a call (retention bugs love repetition)
+        const std::size_t at = rng.UniformU64(n);
+        if (static_cast<int>(n) >= options_.max_calls * 2) break;
+        seq.calls.insert(seq.calls.begin() + static_cast<std::ptrdiff_t>(at),
+                         seq.calls[at]);
+        break;
+      }
+      case 3: {  // swap two calls (interleaving order matters for sessions)
+        const std::size_t a = rng.UniformU64(n);
+        const std::size_t b = rng.UniformU64(n);
+        std::swap(seq.calls[a], seq.calls[b]);
+        break;
+      }
+      case 4: {  // regenerate one call's arguments from its layout
+        const std::size_t at = rng.UniformU64(n);
+        const model::JavaMethodModel* method =
+            model_->FindJavaMethod(seq.calls[at].method_id);
+        if (method != nullptr) seq.calls[at] = MakeCall(*method, rng);
+        break;
+      }
+      default: {  // splice: replace the tail with fresh calls
+        const std::size_t keep = rng.UniformU64(n);
+        seq.calls.resize(keep);
+        const std::int64_t extra = rng.UniformInt(1, 4);
+        for (std::int64_t i = 0; i < extra; ++i) {
+          seq.calls.push_back(
+              MakeCall(*pool_[rng.UniformU64(pool_.size())], rng));
+        }
+        break;
+      }
+    }
+  }
+  if (seq.calls.empty()) return Generate(rng);
+  return seq;
+}
+
+}  // namespace jgre::fuzz

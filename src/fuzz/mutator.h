@@ -1,0 +1,72 @@
+// Mutator — parameter-aware sequence generation and mutation.
+//
+// BinderCracker-style: instead of flipping bytes in an opaque buffer, the
+// mutator reads each method's parameter layout from the code-model IR and
+// fills every slot with a type-correct value — interesting integers, a
+// dictionary string (including the "android" spoof that defeats
+// caller-trusting per-process constraints), a sized byte array, a fresh or
+// shared strong binder, or a file descriptor. Sequences, not single calls:
+// retention bugs that need interleaving (register A, register B, unregister
+// A) are reachable, and coverage-guided splicing composes them.
+//
+// Everything is a pure function of the Rng stream handed in, so a shard's
+// sequence stream is reproducible from its seed alone.
+#ifndef JGRE_FUZZ_MUTATOR_H_
+#define JGRE_FUZZ_MUTATOR_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fuzz/sequence.h"
+#include "model/code_model.h"
+
+namespace jgre::fuzz {
+
+struct MutatorOptions {
+  int min_calls = 4;
+  int max_calls = 24;
+  // Probability a generated binder-typed slot mints a fresh Binder per call
+  // (vs reusing the execution's shared callback binder).
+  double fresh_binder_probability = 0.85;
+  // How many mutation operators a single Mutate applies.
+  int min_mutations = 1;
+  int max_mutations = 3;
+};
+
+class Mutator {
+ public:
+  // The call pool is every IPC entry of `model` whose service is in
+  // `live_services` (empty set = no filter). The pool order is the model's
+  // deterministic id order, so pool indices drawn from an Rng reproduce.
+  Mutator(const model::CodeModel* model,
+          const std::set<std::string>& live_services,
+          MutatorOptions options = {});
+
+  const std::vector<const model::JavaMethodModel*>& pool() const {
+    return pool_;
+  }
+  const MutatorOptions& options() const { return options_; }
+
+  // A fresh random sequence.
+  Sequence Generate(Rng& rng) const;
+
+  // A mutated copy of `seed`: insert/delete/duplicate/swap calls, regenerate
+  // a call's arguments, or splice the tail with fresh calls.
+  Sequence Mutate(const Sequence& seed, Rng& rng) const;
+
+  // One concrete call of `method` with randomized arguments.
+  IpcCall MakeCall(const model::JavaMethodModel& method, Rng& rng) const;
+
+ private:
+  ArgValue MakeArg(services::ArgKind kind, Rng& rng) const;
+
+  const model::CodeModel* model_;
+  std::vector<const model::JavaMethodModel*> pool_;
+  MutatorOptions options_;
+};
+
+}  // namespace jgre::fuzz
+
+#endif  // JGRE_FUZZ_MUTATOR_H_

@@ -1,0 +1,62 @@
+#include "fuzz/oracle.h"
+
+namespace jgre::fuzz {
+
+namespace {
+
+double PerCall(std::int64_t delta, int calls) {
+  return calls > 0 ? static_cast<double>(delta) / static_cast<double>(calls)
+                   : 0.0;
+}
+
+}  // namespace
+
+const char* ExhaustionKindName(ExhaustionKind kind) {
+  switch (kind) {
+    case ExhaustionKind::kNone:
+      return "none";
+    case ExhaustionKind::kJgr:
+      return "jgr_exhaustion";
+    case ExhaustionKind::kFd:
+      return "fd_exhaustion";
+    case ExhaustionKind::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+OracleVerdict Oracle::Screen(const Observation& obs) const {
+  OracleVerdict v;
+  const std::int64_t jgr_delta = obs.jgr_after - obs.jgr_before;
+  const std::int64_t fd_delta = obs.fd_after - obs.fd_before;
+  v.jgr_growth_per_call = PerCall(jgr_delta, obs.calls);
+  v.fd_growth_per_call = PerCall(fd_delta, obs.calls);
+  if (obs.victim_aborted) {
+    v.kind = ExhaustionKind::kAbort;
+  } else if (jgr_delta >= options_.retained_jgr_floor ||
+             v.jgr_growth_per_call >= options_.growth.bounded_jgr_per_call) {
+    v.kind = ExhaustionKind::kJgr;
+  } else if (fd_delta >= options_.retained_fd_floor ||
+             v.fd_growth_per_call >= options_.growth.exploitable_fd_per_call) {
+    v.kind = ExhaustionKind::kFd;
+  }
+  return v;
+}
+
+OracleVerdict Oracle::Confirm(const Observation& obs) const {
+  OracleVerdict v;
+  v.jgr_growth_per_call = PerCall(obs.jgr_after - obs.jgr_before, obs.calls);
+  v.fd_growth_per_call = PerCall(obs.fd_after - obs.fd_before, obs.calls);
+  if (obs.victim_aborted) {
+    v.kind = ExhaustionKind::kAbort;
+  } else if (v.jgr_growth_per_call >=
+             options_.growth.exploitable_jgr_per_call) {
+    v.kind = ExhaustionKind::kJgr;
+  } else if (v.fd_growth_per_call >=
+             options_.growth.exploitable_fd_per_call) {
+    v.kind = ExhaustionKind::kFd;
+  }
+  return v;
+}
+
+}  // namespace jgre::fuzz

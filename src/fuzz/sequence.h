@@ -1,0 +1,78 @@
+// IPC call sequences — the unit of work the fuzzer generates, mutates,
+// minimizes, and replays.
+//
+// A Sequence is a list of fully concrete binder transactions: which interface
+// (by code-model id), and one value per slot of the method's parameter layout.
+// Everything is plain data so a sequence replays byte-identically on any
+// reset system: binder-typed slots record *how* to mint the argument (a fresh
+// Binder per call vs the execution's shared callback binder), never a live
+// object.
+#ifndef JGRE_FUZZ_SEQUENCE_H_
+#define JGRE_FUZZ_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "services/registry_service.h"  // services::ArgKind
+#include "snapshot/serializer.h"        // snapshot::Fnv1a
+
+namespace jgre::fuzz {
+
+// One concrete argument value for a parcel slot.
+struct ArgValue {
+  services::ArgKind kind = services::ArgKind::kInt32;
+  std::int64_t scalar = 0;    // kInt32 / kInt64 / kBool
+  std::string str;            // kString
+  std::uint64_t byte_size = 0;  // kByteArray
+  // kBinder: true mints a new Binder each time the call executes (the
+  // unbounded-retention pattern); false passes the execution's shared
+  // callback binder (re-registration, the corner sift rule 4 keys on).
+  bool fresh_binder = true;
+
+  bool operator==(const ArgValue&) const = default;
+};
+
+// One concrete transaction against a live service.
+struct IpcCall {
+  std::string method_id;   // model::JavaMethodModel::id
+  std::string service;     // service-manager name
+  std::string descriptor;  // interface token
+  std::uint32_t code = 0;  // transaction code
+  std::vector<ArgValue> args;
+
+  bool operator==(const IpcCall&) const = default;
+};
+
+struct Sequence {
+  std::vector<IpcCall> calls;
+
+  bool operator==(const Sequence&) const = default;
+
+  // Stable 64-bit fingerprint over every field, for determinism checks and
+  // corpus bookkeeping ("same seed => byte-identical sequence" is asserted
+  // against this and operator==).
+  std::uint64_t Fingerprint() const {
+    snapshot::Serializer out;
+    out.U64(calls.size());
+    for (const IpcCall& call : calls) {
+      out.Str(call.method_id);
+      out.Str(call.service);
+      out.Str(call.descriptor);
+      out.U32(call.code);
+      out.U64(call.args.size());
+      for (const ArgValue& arg : call.args) {
+        out.U8(static_cast<std::uint8_t>(arg.kind));
+        out.I64(arg.scalar);
+        out.Str(arg.str);
+        out.U64(arg.byte_size);
+        out.Bool(arg.fresh_binder);
+      }
+    }
+    return out.Hash();
+  }
+};
+
+}  // namespace jgre::fuzz
+
+#endif  // JGRE_FUZZ_SEQUENCE_H_

@@ -54,9 +54,14 @@ Status BranchRunner::Prepare() {
   return Status::Ok();
 }
 
-std::unique_ptr<core::AndroidSystem> BranchRunner::RestoreBranchSystem() const {
+std::unique_ptr<core::AndroidSystem> BranchRunner::RestoreBranchSystem(
+    std::optional<std::size_t> branch_index) const {
+  const std::string shard = branch_index.has_value()
+                                ? StrCat(" (shard ", *branch_index, ")")
+                                : std::string();
   if (!snapshot_.has_value()) {
-    throw std::runtime_error("BranchRunner: Prepare() has not captured");
+    throw std::runtime_error(
+        StrCat("BranchRunner", shard, ": Prepare() has not captured"));
   }
   core::SystemConfig sys_config = prefix_.system_config();
   sys_config.seed = prefix_.seed();
@@ -64,8 +69,11 @@ std::unique_ptr<core::AndroidSystem> BranchRunner::RestoreBranchSystem() const {
   system->Boot();
   Status restored = snapshot_->RestoreInto(system.get());
   if (!restored.ok()) {
+    // RestoreInto already cites the snapshot source (manifest path or
+    // in-memory identity); prepend which shard hit it.
     throw std::runtime_error(
-        StrCat("BranchRunner: restore failed: ", restored.ToString()));
+        StrCat("BranchRunner", shard,
+               ": restore failed: ", restored.ToString()));
   }
   return system;
 }

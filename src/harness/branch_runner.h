@@ -81,7 +81,7 @@ class BranchRunner {
           experiment::ExperimentConfig config = branch_config(i);
           std::unique_ptr<experiment::Experiment> experiment =
               options_.cold ? config.Build()
-                            : config.BuildOn(RestoreBranchSystem());
+                            : config.BuildOn(RestoreBranchSystem(i));
           return task(i, *experiment);
         });
   }
@@ -93,8 +93,12 @@ class BranchRunner {
   const BranchOptions& options() const { return options_; }
 
   // A fresh system restored from the shared checkpoint image. Exposed for
-  // the divergence audit and the snapshot bench; Run uses it per branch.
-  std::unique_ptr<core::AndroidSystem> RestoreBranchSystem() const;
+  // the divergence audit, the snapshot bench, and the fuzz campaign's
+  // snapshot-reset loop; Run uses it per branch. A restore failure throws
+  // with the failing shard/branch index (when given) and the checkpoint's
+  // manifest path, so a corrupt image is attributable mid-campaign.
+  std::unique_ptr<core::AndroidSystem> RestoreBranchSystem(
+      std::optional<std::size_t> branch_index = std::nullopt) const;
 
  private:
   experiment::ExperimentConfig prefix_;

@@ -1,0 +1,34 @@
+// GrowthThresholds — the shared retained-growth-rate cutoffs every dynamic
+// stage judges against.
+//
+// The directed verifier (src/dynamic) and the fuzz oracle (src/fuzz) answer
+// the same question — "did the victim retain resources across GC at a rate an
+// attacker can detonate?" — so they must agree on what counts as exploitable
+// and what counts as bounded. These constants used to be private fields of
+// dynamic::VerifyOptions; they live here so the two subsystems cannot drift.
+#ifndef JGRE_MODEL_GROWTH_THRESHOLDS_H_
+#define JGRE_MODEL_GROWTH_THRESHOLDS_H_
+
+namespace jgre::model {
+
+struct GrowthThresholds {
+  // Retained JGR growth per IPC call, measured across a forced GC. A truly
+  // vulnerable interface retains >= 1 entry per call (often ~3 with the
+  // death-link and session binders); 0.5 leaves headroom for calls the
+  // server rejects.
+  double exploitable_jgr_per_call = 0.5;
+  // Below this rate the interface is declared bounded: per-process
+  // constraints and replace-single slots converge to ~0 growth once the
+  // slot/cap is filled.
+  double bounded_jgr_per_call = 0.05;
+  // The §VI analog for file descriptors: a handler that dups the caller's fd
+  // into the host and never closes it leaks exactly 1 fd per call; 0.5
+  // leaves the same rejection headroom as the JGR cutoff.
+  double exploitable_fd_per_call = 0.5;
+};
+
+inline constexpr GrowthThresholds kDefaultGrowthThresholds{};
+
+}  // namespace jgre::model
+
+#endif  // JGRE_MODEL_GROWTH_THRESHOLDS_H_

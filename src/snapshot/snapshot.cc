@@ -51,6 +51,12 @@ std::string SnapshotManifest::ToJson() const {
   return out.str();
 }
 
+std::string SystemSnapshot::DescribeSource() const {
+  if (!source_path_.empty()) return StrCat("manifest ", ManifestPath());
+  return StrCat("in-memory snapshot (seed ", manifest_.seed, ", t=",
+                manifest_.virtual_time_us, " us)");
+}
+
 Result<SystemSnapshot> SystemSnapshot::Capture(
     core::AndroidSystem& system, const defense::JgreDefender* defender) {
   if (system.soft_reboots() != 0) {
@@ -97,10 +103,13 @@ Status SystemSnapshot::RestoreInto(core::AndroidSystem* system,
   system->RestoreState(in);
   if (has_defender && in.ok()) defender->RestoreState(in);
   if (!in.ok()) {
-    return Internal(StrCat("corrupt checkpoint: ", in.error()));
+    return Internal(
+        StrCat("corrupt checkpoint: ", in.error(), " [", DescribeSource(), "]"));
   }
   if (!in.AtEnd()) {
-    return Internal("corrupt checkpoint: trailing bytes after the payload");
+    return Internal(StrCat(
+        "corrupt checkpoint: trailing bytes after the payload [",
+        DescribeSource(), "]"));
   }
   return Status::Ok();
 }
@@ -119,7 +128,8 @@ Status SystemSnapshot::WriteFile(const std::string& path) const {
     PutU64(out, manifest_.content_hash);
     if (!out) return Internal(StrCat("short write to ", path));
   }
-  const std::string manifest_path = path + ".manifest.json";
+  source_path_ = path;
+  const std::string manifest_path = path + kManifestSuffix;
   std::ofstream manifest(manifest_path, std::ios::trunc);
   if (!manifest) {
     return Internal(StrCat("cannot open ", manifest_path, " for writing"));
@@ -165,6 +175,7 @@ Result<SystemSnapshot> SystemSnapshot::ReadFile(const std::string& path) {
   }
   snap.manifest_.content_hash = computed_hash;
   snap.manifest_.byte_size = snap.payload_.size();
+  snap.source_path_ = path;
   return snap;
 }
 

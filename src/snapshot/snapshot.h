@@ -77,9 +77,26 @@ class SystemSnapshot {
   const SnapshotManifest& manifest() const { return manifest_; }
   const std::vector<std::uint8_t>& payload() const { return payload_; }
 
+  // Where this snapshot lives on disk: set by ReadFile and WriteFile, empty
+  // for an image that only ever existed in memory. Restore errors cite
+  // DescribeSource() so a failure names the image to inspect, not just a
+  // deserializer offset.
+  const std::string& source_path() const { return source_path_; }
+  // "<path>.manifest.json" for a file-backed snapshot, "" otherwise.
+  std::string ManifestPath() const {
+    return source_path_.empty() ? std::string() : source_path_ + kManifestSuffix;
+  }
+  // "manifest <path>.manifest.json" or "in-memory snapshot (seed S, t=T us)".
+  std::string DescribeSource() const;
+
+  static constexpr const char* kManifestSuffix = ".manifest.json";
+
  private:
   SnapshotManifest manifest_;
   std::vector<std::uint8_t> payload_;
+  // Last persisted location; bookkeeping only, so the const WriteFile can
+  // record it.
+  mutable std::string source_path_;
 };
 
 // --- Divergence auditing ----------------------------------------------------

@@ -1,0 +1,301 @@
+// Fuzzer subsystem tests: mutator determinism (same seed => byte-identical
+// sequences), corpus gating and trim-based minimization against the live
+// simulator, oracle verdicts on known-vulnerable and known-benign
+// interfaces, and campaign determinism across --jobs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "core/android_system.h"
+#include "fuzz/campaign.h"
+#include "fuzz/corpus.h"
+#include "fuzz/executor.h"
+#include "fuzz/mutator.h"
+#include "fuzz/oracle.h"
+#include "harness/branch_runner.h"
+#include "model/corpus.h"
+
+namespace jgre {
+namespace {
+
+class FuzzTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::AndroidSystem system;
+    system.Boot();
+    model_ = new model::CodeModel(model::BuildAospModel(system));
+    live_services_ = new std::set<std::string>();
+    permissions_ = new std::set<std::string>();
+    for (const auto& [id, method] : model_->java_methods) {
+      if (!method.overrides_aidl || method.service.empty()) continue;
+      if (!system.service_manager().HasService(method.service)) continue;
+      live_services_->insert(method.service);
+      if (!method.permission.empty()) permissions_->insert(method.permission);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete permissions_;
+    delete live_services_;
+    delete model_;
+  }
+
+  static const model::JavaMethodModel* FindMethod(const std::string& service,
+                                                  const std::string& name) {
+    for (const auto& [id, method] : model_->java_methods) {
+      if (method.service == service && method.name == name) return &method;
+    }
+    return nullptr;
+  }
+
+  // A benign interface: uses its parameter transiently, so GC reclaims
+  // whatever the call pinned.
+  static const model::JavaMethodModel* FindTransientMethod() {
+    for (const auto& [id, method] : model_->java_methods) {
+      if (!method.overrides_aidl || method.service.empty()) continue;
+      if (live_services_->count(method.service) == 0) continue;
+      if (method.HasFact(model::BodyFact::kUsesParamTransiently)) {
+        return &method;
+      }
+    }
+    return nullptr;
+  }
+
+  static fuzz::SequenceExecutor MakeExecutor() {
+    fuzz::ExecOptions options;
+    options.permissions = *permissions_;
+    return fuzz::SequenceExecutor(model_, options);
+  }
+
+  static model::CodeModel* model_;
+  static std::set<std::string>* live_services_;
+  static std::set<std::string>* permissions_;
+};
+
+model::CodeModel* FuzzTest::model_ = nullptr;
+std::set<std::string>* FuzzTest::live_services_ = nullptr;
+std::set<std::string>* FuzzTest::permissions_ = nullptr;
+
+TEST_F(FuzzTest, MutatorPoolIsLiveIpcOnly) {
+  fuzz::Mutator mutator(model_, *live_services_);
+  ASSERT_FALSE(mutator.pool().empty());
+  for (const model::JavaMethodModel* method : mutator.pool()) {
+    EXPECT_TRUE(method->overrides_aidl);
+    EXPECT_FALSE(method->service.empty());
+    EXPECT_TRUE(live_services_->count(method->service) > 0) << method->id;
+  }
+}
+
+TEST_F(FuzzTest, GenerateSameSeedIsByteIdentical) {
+  fuzz::Mutator mutator(model_, *live_services_);
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 20; ++i) {
+    fuzz::Sequence sa = mutator.Generate(a);
+    fuzz::Sequence sb = mutator.Generate(b);
+    EXPECT_TRUE(sa == sb);
+    EXPECT_EQ(sa.Fingerprint(), sb.Fingerprint());
+  }
+  // A different seed must not replay the same stream.
+  Rng c(1235);
+  EXPECT_NE(mutator.Generate(c).Fingerprint(), [&] {
+    Rng d(1234);
+    return mutator.Generate(d).Fingerprint();
+  }());
+}
+
+TEST_F(FuzzTest, MutateSameSeedIsByteIdentical) {
+  fuzz::Mutator mutator(model_, *live_services_);
+  Rng seed_rng(99);
+  const fuzz::Sequence seed = mutator.Generate(seed_rng);
+  Rng a(777);
+  Rng b(777);
+  for (int i = 0; i < 20; ++i) {
+    fuzz::Sequence sa = mutator.Mutate(seed, a);
+    fuzz::Sequence sb = mutator.Mutate(seed, b);
+    EXPECT_TRUE(sa == sb);
+    EXPECT_EQ(sa.Fingerprint(), sb.Fingerprint());
+  }
+}
+
+TEST_F(FuzzTest, CorpusKeepsOnlyNovelCoverage) {
+  fuzz::Mutator mutator(model_, *live_services_);
+  Rng rng(5);
+  const fuzz::Sequence s1 = mutator.Generate(rng);
+  const fuzz::Sequence s2 = mutator.Generate(rng);
+  fuzz::Corpus corpus;
+  EXPECT_TRUE(corpus.Add(s1, {10, 20}));
+  EXPECT_FALSE(corpus.Add(s2, {20}));  // nothing new
+  EXPECT_TRUE(corpus.Add(s2, {20, 30}));
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.element_count(), 3u);
+  EXPECT_TRUE(corpus.Covers(30));
+  EXPECT_FALSE(corpus.Covers(40));
+}
+
+// Minimization against the live simulator: a mixed sequence that screens
+// suspicious must trim down to a shorter sequence that still screens
+// suspicious — and the survivor must still contain the vulnerable call.
+TEST_F(FuzzTest, MinimizedSeedStillTriggersSignature) {
+  const model::JavaMethodModel* vulnerable =
+      FindMethod("clipboard", "addPrimaryClipChangedListener");
+  const model::JavaMethodModel* benign = FindTransientMethod();
+  ASSERT_NE(vulnerable, nullptr);
+  ASSERT_NE(benign, nullptr);
+
+  fuzz::Mutator mutator(model_, *live_services_);
+  Rng rng(42);
+  fuzz::Sequence seq;
+  for (int i = 0; i < 6; ++i) {
+    seq.calls.push_back(mutator.MakeCall(*benign, rng));
+    if (i % 2 == 0) {
+      seq.calls.push_back(mutator.MakeCall(*vulnerable, rng));
+    }
+  }
+  for (fuzz::ArgValue& arg : seq.calls.back().args) {
+    if (arg.kind == services::ArgKind::kBinder) arg.fresh_binder = true;
+  }
+
+  const fuzz::SequenceExecutor executor = MakeExecutor();
+  const fuzz::Oracle oracle;
+  int executions = 0;
+  const auto still_triggers = [&](const fuzz::Sequence& cand) {
+    ++executions;
+    core::AndroidSystem system;
+    system.Boot();
+    return oracle.Screen(executor.Execute(system, cand).obs).suspicious();
+  };
+  ASSERT_TRUE(still_triggers(seq));
+
+  const fuzz::Sequence minimized = fuzz::Corpus::Minimize(seq, still_triggers);
+  EXPECT_LT(minimized.calls.size(), seq.calls.size());
+  EXPECT_GE(minimized.calls.size(), 1u);
+  EXPECT_TRUE(still_triggers(minimized));
+  bool has_vulnerable = false;
+  for (const fuzz::IpcCall& call : minimized.calls) {
+    if (call.method_id == vulnerable->id) has_vulnerable = true;
+  }
+  EXPECT_TRUE(has_vulnerable);
+  EXPECT_GT(executions, 2);
+}
+
+TEST_F(FuzzTest, OracleConfirmsKnownVulnerableInterface) {
+  const model::JavaMethodModel* vulnerable =
+      FindMethod("clipboard", "addPrimaryClipChangedListener");
+  ASSERT_NE(vulnerable, nullptr);
+  fuzz::Mutator mutator(model_, *live_services_);
+  Rng rng(7);
+  fuzz::IpcCall call = mutator.MakeCall(*vulnerable, rng);
+  for (fuzz::ArgValue& arg : call.args) {
+    if (arg.kind == services::ArgKind::kBinder) arg.fresh_binder = true;
+  }
+  const fuzz::SequenceExecutor executor = MakeExecutor();
+  core::AndroidSystem system;
+  system.Boot();
+  const fuzz::ExecOutcome outcome =
+      executor.ExecuteRepeated(system, call, 400);
+  const fuzz::OracleVerdict verdict = fuzz::Oracle().Confirm(outcome.obs);
+  EXPECT_EQ(verdict.kind, fuzz::ExhaustionKind::kJgr);
+  EXPECT_GE(verdict.jgr_growth_per_call, 0.5);
+  EXPECT_FALSE(outcome.elements.empty());
+}
+
+TEST_F(FuzzTest, OracleClearsKnownBenignInterface) {
+  const model::JavaMethodModel* benign = FindTransientMethod();
+  ASSERT_NE(benign, nullptr);
+  fuzz::Mutator mutator(model_, *live_services_);
+  Rng rng(7);
+  const fuzz::IpcCall call = mutator.MakeCall(*benign, rng);
+  const fuzz::SequenceExecutor executor = MakeExecutor();
+  core::AndroidSystem system;
+  system.Boot();
+  const fuzz::ExecOutcome outcome =
+      executor.ExecuteRepeated(system, call, 400);
+  const fuzz::OracleVerdict verdict = fuzz::Oracle().Confirm(outcome.obs);
+  EXPECT_EQ(verdict.kind, fuzz::ExhaustionKind::kNone) << benign->id;
+  EXPECT_LT(verdict.jgr_growth_per_call,
+            model::kDefaultGrowthThresholds.bounded_jgr_per_call);
+}
+
+TEST(FuzzOracleUnitTest, ScreenAndConfirmThresholds) {
+  const fuzz::Oracle oracle;
+  fuzz::Observation obs;
+  obs.calls = 24;
+  obs.jgr_before = 100;
+  obs.jgr_after = 110;  // +10 >= retained floor 8
+  EXPECT_EQ(oracle.Screen(obs).kind, fuzz::ExhaustionKind::kJgr);
+  // 10/24 < 0.5: the strict confirm bar is not met by the same observation.
+  EXPECT_EQ(oracle.Confirm(obs).kind, fuzz::ExhaustionKind::kNone);
+
+  obs.jgr_after = 100;
+  obs.fd_before = 3;
+  obs.fd_after = 30;
+  EXPECT_EQ(oracle.Screen(obs).kind, fuzz::ExhaustionKind::kFd);
+  EXPECT_EQ(oracle.Confirm(obs).kind, fuzz::ExhaustionKind::kFd);
+
+  obs.fd_after = 3;
+  EXPECT_EQ(oracle.Screen(obs).kind, fuzz::ExhaustionKind::kNone);
+  obs.victim_aborted = true;
+  EXPECT_EQ(oracle.Screen(obs).kind, fuzz::ExhaustionKind::kAbort);
+  EXPECT_EQ(oracle.Confirm(obs).kind, fuzz::ExhaustionKind::kAbort);
+}
+
+// A restore requested before Prepare() captured anything must name the
+// failing shard so a mid-campaign failure is attributable.
+TEST(FuzzBranchIntegrationTest, RestoreFailureNamesShard) {
+  experiment::ExperimentConfig prefix;
+  prefix.WithSeed(42);
+  harness::BranchRunner runner(prefix, harness::BranchOptions{});
+  try {
+    runner.RestoreBranchSystem(3);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shard 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+// A small end-to-end campaign: deterministic across --jobs, and the
+// confirmed findings carry consistent metadata.
+TEST(FuzzCampaignTest, SmallCampaignIsDeterministicAcrossJobs) {
+  fuzz::CampaignOptions options;
+  options.seed = 42;
+  options.budget = 24;
+  options.rounds = 2;
+  options.shard_execs = 6;
+  options.confirm_calls = 200;
+  options.warmup_apps = 8;
+  options.warmup_foreground_us = 2'000'000;
+
+  options.jobs = 1;
+  fuzz::CampaignRunner serial(options);
+  const fuzz::CampaignResult a = serial.Run();
+
+  options.jobs = 4;
+  fuzz::CampaignRunner parallel(options);
+  const fuzz::CampaignResult b = parallel.Run();
+
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].id, b.findings[i].id);
+    EXPECT_EQ(a.findings[i].kind, b.findings[i].kind);
+    EXPECT_DOUBLE_EQ(a.findings[i].growth_per_call,
+                     b.findings[i].growth_per_call);
+    EXPECT_EQ(a.findings[i].minimized_calls, b.findings[i].minimized_calls);
+    EXPECT_TRUE(a.findings[i].witness == b.findings[i].witness);
+  }
+  EXPECT_EQ(a.stats.screen_executions, 24);
+  EXPECT_EQ(a.stats.suspects, b.stats.suspects);
+  EXPECT_EQ(a.stats.corpus_entries, b.stats.corpus_entries);
+  EXPECT_EQ(a.stats.signature_elements, b.stats.signature_elements);
+  EXPECT_EQ(a.stats.confirm_executions, b.stats.confirm_executions);
+  EXPECT_EQ(a.stats.minimize_executions, b.stats.minimize_executions);
+  for (std::size_t i = 1; i < a.findings.size(); ++i) {
+    EXPECT_LT(a.findings[i - 1].id, a.findings[i].id);  // sorted, unique
+  }
+}
+
+}  // namespace
+}  // namespace jgre
