@@ -115,6 +115,7 @@ int main(int argc, char** argv) {
   campaign_options.cold_boot = branch.cold;
   campaign_options.checkpoint_path = branch.checkpoint_path;
   campaign_options.resume_path = branch.resume_path;
+  campaign_options.seed_from_analysis = true;
   fuzz::CampaignRunner runner(campaign_options);
   if (Status status = runner.Prepare(); !status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -122,9 +123,10 @@ int main(int argc, char** argv) {
   }
   const fuzz::CampaignResult result = runner.Run();
 
-  std::printf("\ncampaign: %d screen + %d confirm + %d minimize = %d "
-              "executions in %.1f ms (%.1f exec/s)\n",
-              result.stats.screen_executions, result.stats.confirm_executions,
+  std::printf("\ncampaign: %d seed + %d screen + %d confirm + %d minimize = "
+              "%d executions in %.1f ms (%.1f exec/s)\n",
+              result.stats.seed_executions, result.stats.screen_executions,
+              result.stats.confirm_executions,
               result.stats.minimize_executions, result.stats.total_executions,
               result.stats.wall_ms, result.stats.execs_per_sec);
   std::printf("corpus: %d seeds covering %zu signature elements; %d suspects\n",
@@ -144,13 +146,13 @@ int main(int argc, char** argv) {
   verify_options.probe_calls = 1200;
   verify_options.gc_every_calls = 250;
   verify_options.seed = opts.seed;
-  const std::vector<const analysis::AnalyzedInterface*> candidates =
-      runner.report().Candidates();
+  const std::vector<std::size_t> candidates = runner.report().Candidates();
   const std::vector<dynamic::Verdict> census =
       harness::RunOrdered<dynamic::Verdict>(
           candidates.size(), opts.jobs, [&](std::size_t i) {
             dynamic::JgreVerifier verifier(verify_options);
-            return verifier.Verify(*candidates[i], runner.model());
+            return verifier.Verify(runner.report().interfaces[candidates[i]],
+                                   runner.model());
           });
   const fuzz::ConsistencyReport consistency =
       fuzz::CrossCheck(result.findings, runner.report(), census);
@@ -168,6 +170,18 @@ int main(int argc, char** argv) {
   for (const std::string& id : consistency.false_positives) {
     std::printf("    FALSE POSITIVE: %s\n", id.c_str());
   }
+
+  // --- seeded vs unseeded: census re-finds at the same budget ---------------
+  fuzz::CampaignOptions unseeded_options = campaign_options;
+  unseeded_options.seed_from_analysis = false;
+  fuzz::CampaignRunner unseeded_runner(unseeded_options);
+  const fuzz::CampaignResult unseeded = unseeded_runner.Run();
+  const fuzz::ConsistencyReport unseeded_consistency =
+      fuzz::CrossCheck(unseeded.findings, runner.report(), census);
+  std::printf("\nseeding (same %d-execution budget): seeded re-found %zu, "
+              "unseeded re-found %zu\n",
+              budget, consistency.refound.size(),
+              unseeded_consistency.refound.size());
 
   // --- warm vs cold reset throughput ---------------------------------------
   constexpr int kWarmExecs = 16;
@@ -203,6 +217,7 @@ int main(int argc, char** argv) {
         .Set("budget", budget)
         .Set("campaign",
              harness::Json::Object()
+                 .Set("seed_executions", result.stats.seed_executions)
                  .Set("screen_executions", result.stats.screen_executions)
                  .Set("confirm_executions", result.stats.confirm_executions)
                  .Set("minimize_executions", result.stats.minimize_executions)
@@ -223,6 +238,16 @@ int main(int argc, char** argv) {
                  .Set("static_blind", StringArray(consistency.static_blind))
                  .Set("false_positives",
                       StringArray(consistency.false_positives)))
+        .Set("seeding",
+             harness::Json::Object()
+                 .Set("enabled", true)
+                 .Set("seed_executions", result.stats.seed_executions)
+                 .Set("seeded_refound",
+                      static_cast<int>(consistency.refound.size()))
+                 .Set("unseeded_refound",
+                      static_cast<int>(unseeded_consistency.refound.size()))
+                 .Set("unseeded_findings",
+                      static_cast<int>(unseeded.findings.size())))
         .Set("throughput",
              harness::Json::Object()
                  .Set("warm_execs", kWarmExecs)

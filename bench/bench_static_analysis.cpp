@@ -1,0 +1,319 @@
+// bench_static_analysis — runs the summary-based interprocedural taint
+// engine (src/analysis/taint) against the simulated AOSP image and reports:
+//   * engine workload: methods, call edges, SCC structure, fixpoint
+//     iterations, summary-computation runtime,
+//   * the zero-divergence cross-check against the legacy entry-local
+//     detector: every interface must get the identical verdict, sift reason
+//     and protection class,
+//   * precision/recall of the candidate set against the paper's
+//     57-interface census (the attack registry ground truth),
+//   * the witness-path length histogram over all surviving candidates.
+//
+// BENCH_analysis.json carries the summary blocks above. --analysis-json PATH
+// additionally writes the full per-interface witness report — no wall-clock
+// fields, so two runs at any --jobs are byte-identical, which CI asserts
+// with cmp and validates with scripts/validate_analysis_report.py.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "attack/vuln_registry.h"
+#include "bench_util.h"
+#include "common/log.h"
+#include "core/android_system.h"
+#include "harness/experiment_runner.h"
+#include "harness/json.h"
+#include "model/corpus.h"
+
+using namespace jgre;
+
+namespace {
+
+bool DoubleFlag(const harness::HarnessOptions& opts, std::string_view name,
+                double* out) {
+  const std::string* value = harness::FlagValue(opts, name);
+  if (value == nullptr) return true;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || *end != '\0' || parsed < 0) {
+    std::fprintf(stderr, "error: %.*s wants a non-negative number, got '%s'\n",
+                 static_cast<int>(name.size()), name.data(), value->c_str());
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+std::string_view ProtectionName(analysis::ProtectionClass protection) {
+  switch (protection) {
+    case analysis::ProtectionClass::kUnprotected:
+      return "unprotected";
+    case analysis::ProtectionClass::kHelperGuard:
+      return "helper_guard";
+    case analysis::ProtectionClass::kServerConstraint:
+      return "server_constraint";
+  }
+  return "unknown";
+}
+
+// The fields the verdict equivalence check compares; anything that differs
+// here is a divergence the census gate must fail on.
+bool SameVerdict(const analysis::AnalyzedInterface& a,
+                 const analysis::AnalyzedInterface& b) {
+  return a.id == b.id && a.risky == b.risky &&
+         a.reaches_jgr_entry == b.reaches_jgr_entry &&
+         a.takes_binder == b.takes_binder && a.sifted_out == b.sifted_out &&
+         a.sift_reason == b.sift_reason && a.protection == b.protection &&
+         a.constraint_trusts_caller == b.constraint_trusts_caller;
+}
+
+harness::Json WitnessJson(const analysis::taint::WitnessPath& witness) {
+  harness::Json steps = harness::Json::Array();
+  for (const analysis::taint::WitnessStep& step : witness.steps) {
+    steps.Push(harness::Json::Object()
+                   .Set("kind", analysis::taint::StepKindName(step.kind))
+                   .Set("frame", step.frame));
+  }
+  return harness::Json::Object()
+      .Set("reason", witness.reason)
+      .Set("steps", std::move(steps));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::HarnessSpec spec;
+  spec.name = "analysis";
+  spec.default_seed = 42;
+  spec.extra_flags.push_back(
+      {"--analysis-json", true,
+       "also write the full per-interface witness report to PATH"});
+  spec.extra_flags.push_back(
+      {"--min-precision", true,
+       "fail unless candidate precision vs the census >= X (default 0.9)"});
+  spec.extra_flags.push_back(
+      {"--min-recall", true,
+       "fail unless candidate recall vs the census >= X (default 1.0)"});
+  const harness::HarnessOptions opts =
+      harness::ParseHarnessOptions(spec, argc, argv);
+  if (opts.help) return 0;
+  if (!opts.error.empty()) return 2;
+  SetLogLevel(LogLevel::kError);
+
+  double min_precision = 0.9;
+  double min_recall = 1.0;
+  if (!DoubleFlag(opts, "--min-precision", &min_precision) ||
+      !DoubleFlag(opts, "--min-recall", &min_recall)) {
+    return 2;
+  }
+
+  bench::PrintBanner("STATIC ANALYSIS",
+                     "Summary-based interprocedural taint engine with "
+                     "witness paths");
+
+  core::AndroidSystem system;
+  system.Boot();
+  const model::CodeModel model = model::BuildAospModel(system);
+
+  const auto engine_start = std::chrono::steady_clock::now();
+  const analysis::AnalysisReport report = analysis::RunAnalysis(model);
+  const double engine_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - engine_start)
+          .count();
+  const auto legacy_start = std::chrono::steady_clock::now();
+  const analysis::AnalysisReport legacy = analysis::RunAnalysisLegacy(model);
+  const double legacy_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - legacy_start)
+          .count();
+
+  const analysis::taint::EngineStats& stats = report.engine_stats;
+  std::printf("\nengine: %d java methods, %d call edges, %d SCCs "
+              "(%d nontrivial, max size %d)\n",
+              stats.java_methods, stats.call_edges, stats.sccs,
+              stats.nontrivial_sccs, stats.max_scc_size);
+  std::printf("fixpoint: %d member passes, %d summary updates, "
+              "%.2f ms summaries; full pipeline %.1f ms (legacy %.1f ms)\n",
+              stats.fixpoint_iterations, stats.summary_updates,
+              stats.runtime_ms, engine_wall_ms, legacy_wall_ms);
+
+  // --- zero-divergence cross-check vs the legacy detector -------------------
+  int divergence = 0;
+  const std::size_t interfaces =
+      std::min(report.interfaces.size(), legacy.interfaces.size());
+  for (std::size_t i = 0; i < interfaces; ++i) {
+    if (!SameVerdict(report.interfaces[i], legacy.interfaces[i])) {
+      ++divergence;
+      std::printf("  DIVERGENCE: %s\n", report.interfaces[i].id.c_str());
+    }
+  }
+  divergence += static_cast<int>(report.interfaces.size() - interfaces) +
+                static_cast<int>(legacy.interfaces.size() - interfaces);
+  std::printf("\ncross-check vs legacy detector: %zu interfaces, "
+              "%d divergent (must be 0)\n",
+              report.interfaces.size(), divergence);
+
+  // --- precision/recall vs the paper's census (attack registry) -------------
+  std::set<std::pair<std::string, std::uint32_t>> census;
+  for (const attack::VulnSpec& vuln : attack::AllVulnerabilities()) {
+    census.insert({vuln.service, vuln.code});
+  }
+  const std::vector<std::size_t> candidates = report.Candidates();
+  int true_positives = 0;
+  for (const std::size_t index : candidates) {
+    const analysis::AnalyzedInterface& iface = report.interfaces[index];
+    if (census.count({iface.service, iface.transaction_code}) > 0) {
+      ++true_positives;
+    }
+  }
+  const double precision =
+      candidates.empty()
+          ? 0.0
+          : static_cast<double>(true_positives) / candidates.size();
+  const double recall =
+      census.empty() ? 0.0
+                     : static_cast<double>(true_positives) / census.size();
+  std::printf("census: %zu candidates vs %zu known-vulnerable interfaces -> "
+              "precision %.3f (floor %.2f), recall %.3f (floor %.2f)\n",
+              candidates.size(), census.size(), precision, min_precision,
+              recall, min_recall);
+
+  // --- witness-path length histogram ----------------------------------------
+  std::map<std::size_t, int> histogram;
+  int missing_witness = 0;
+  for (const std::size_t index : candidates) {
+    const analysis::taint::WitnessPath& witness =
+        report.interfaces[index].witness;
+    if (witness.empty() ||
+        witness.sink() != std::string(model::kJgrSinkFunction)) {
+      ++missing_witness;
+      std::printf("  MISSING WITNESS: %s\n",
+                  report.interfaces[index].id.c_str());
+      continue;
+    }
+    ++histogram[witness.size()];
+  }
+  std::printf("\nwitness path lengths over %zu candidates "
+              "(%d missing, must be 0):\n",
+              candidates.size(), missing_witness);
+  for (const auto& [length, count] : histogram) {
+    std::printf("  %2zu frames: %3d %s\n", length, count,
+                std::string(static_cast<std::size_t>(count), '#').c_str());
+  }
+
+  if (opts.emit_json) {
+    harness::Json histogram_json = harness::Json::Array();
+    for (const auto& [length, count] : histogram) {
+      histogram_json.Push(harness::Json::Object()
+                              .Set("frames", length)
+                              .Set("candidates", count));
+    }
+    harness::Json doc = harness::Json::Object();
+    doc.Set("bench", spec.name)
+        .Set("seed", opts.seed)
+        .Set("engine",
+             harness::Json::Object()
+                 .Set("java_methods", stats.java_methods)
+                 .Set("call_edges", stats.call_edges)
+                 .Set("sccs", stats.sccs)
+                 .Set("max_scc_size", stats.max_scc_size)
+                 .Set("nontrivial_sccs", stats.nontrivial_sccs)
+                 .Set("fixpoint_iterations", stats.fixpoint_iterations)
+                 .Set("summary_updates", stats.summary_updates)
+                 .Set("summary_ms", stats.runtime_ms)
+                 .Set("pipeline_ms", engine_wall_ms)
+                 .Set("legacy_pipeline_ms", legacy_wall_ms))
+        .Set("cross_check",
+             harness::Json::Object()
+                 .Set("interfaces", report.interfaces.size())
+                 .Set("divergence_from_legacy", divergence))
+        .Set("census",
+             harness::Json::Object()
+                 .Set("candidates", static_cast<int>(candidates.size()))
+                 .Set("known_vulnerable", static_cast<int>(census.size()))
+                 .Set("true_positives", true_positives)
+                 .Set("precision", precision)
+                 .Set("recall", recall))
+        .Set("witnesses",
+             harness::Json::Object()
+                 .Set("missing", missing_witness)
+                 .Set("length_histogram", std::move(histogram_json)));
+    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+  }
+
+  if (const std::string* path = harness::FlagValue(opts, "--analysis-json")) {
+    harness::Json ifaces = harness::Json::Array();
+    for (const analysis::AnalyzedInterface& iface : report.interfaces) {
+      harness::Json entry =
+          harness::Json::Object()
+              .Set("id", iface.id)
+              .Set("service", iface.service)
+              .Set("method", iface.method)
+              .Set("transaction_code", iface.transaction_code)
+              .Set("risky", iface.risky)
+              .Set("reaches_jgr_entry", iface.reaches_jgr_entry)
+              .Set("takes_binder", iface.takes_binder)
+              .Set("sifted_out", iface.sifted_out)
+              .Set("sift_reason", iface.sift_reason)
+              .Set("retention",
+                   analysis::taint::RetentionName(iface.retention))
+              .Set("retention_via", iface.retention_via)
+              .Set("links_to_death", iface.links_to_death)
+              .Set("mints_session", iface.mints_session)
+              .Set("protection", ProtectionName(iface.protection))
+              .Set("permission", iface.permission)
+              .Set("app_hosted", iface.app_hosted);
+      if (iface.risky && !iface.sifted_out) {
+        entry.Set("witness", WitnessJson(iface.witness));
+      }
+      ifaces.Push(std::move(entry));
+    }
+    harness::Json doc = harness::Json::Object();
+    doc.Set("schema", "jgre-analysis-report-v1")
+        .Set("sink", std::string(model::kJgrSinkFunction))
+        .Set("pipeline",
+             harness::Json::Object()
+                 .Set("services_registered",
+                      report.ipc_methods.services_registered)
+                 .Set("native_paths_total", report.jgr_entries.native_paths_total)
+                 .Set("native_paths_init_only",
+                      report.jgr_entries.native_paths_init_only)
+                 .Set("native_paths_exploitable",
+                      report.jgr_entries.native_paths_exploitable)
+                 .Set("java_jgr_entries",
+                      report.jgr_entries.java_entries.size()))
+        .Set("interfaces", std::move(ifaces));
+    if (!harness::WriteJsonFile(*path, doc)) return 1;
+    std::printf("\nwrote per-interface witness report to %s\n", path->c_str());
+  }
+
+  bool ok = true;
+  if (divergence != 0) {
+    std::fprintf(stderr, "FAIL: %d divergences from the legacy detector\n",
+                 divergence);
+    ok = false;
+  }
+  if (missing_witness != 0) {
+    std::fprintf(stderr, "FAIL: %d candidates without a sink witness\n",
+                 missing_witness);
+    ok = false;
+  }
+  if (precision < min_precision) {
+    std::fprintf(stderr, "FAIL: precision %.3f (< %.2f)\n", precision,
+                 min_precision);
+    ok = false;
+  }
+  if (recall < min_recall) {
+    std::fprintf(stderr, "FAIL: recall %.3f (< %.2f)\n", recall, min_recall);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

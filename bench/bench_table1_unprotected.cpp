@@ -27,26 +27,27 @@ int main() {
               "Required Permission (Protection Level)");
   int rows = 0;
   std::map<std::string, model::PermissionLevel> weakest_per_service;
-  for (const auto* iface : report.CandidatesWithProtection(
+  for (const std::size_t index : report.CandidatesWithProtection(
            analysis::ProtectionClass::kUnprotected)) {
-    if (iface->app_hosted) continue;  // Table IV covers prebuilt apps
-    auto verdict = verifier.Verify(*iface, model);
+    const analysis::AnalyzedInterface& iface = report.interfaces[index];
+    if (iface.app_hosted) continue;  // Table IV covers prebuilt apps
+    auto verdict = verifier.Verify(iface, model);
     if (!verdict.exploitable) continue;
     std::string permission = "-";
-    if (!iface->permission.empty()) {
+    if (!iface.permission.empty()) {
       // Strip the android.permission. prefix for readability.
-      permission = iface->permission.substr(iface->permission.rfind('.') + 1);
+      permission = iface.permission.substr(iface.permission.rfind('.') + 1);
       permission += " (";
-      permission += model::PermissionLevelName(iface->permission_level);
+      permission += model::PermissionLevelName(iface.permission_level);
       permission += ")";
     }
-    std::printf("%-22s %-42s %s\n", iface->service.c_str(),
-                iface->method.c_str(), permission.c_str());
+    std::printf("%-22s %-42s %s\n", iface.service.c_str(),
+                iface.method.c_str(), permission.c_str());
     ++rows;
-    auto it = weakest_per_service.find(iface->service);
+    auto it = weakest_per_service.find(iface.service);
     if (it == weakest_per_service.end() ||
-        iface->permission_level < it->second) {
-      weakest_per_service[iface->service] = iface->permission_level;
+        iface.permission_level < it->second) {
+      weakest_per_service[iface.service] = iface.permission_level;
     }
   }
   int none = 0, normal = 0, dangerous = 0;

@@ -48,13 +48,14 @@ def check_schema(doc, path, min_refound):
     require(doc, "budget", int, path)
 
     campaign = require(doc, "campaign", dict, path)
-    for field in ("screen_executions", "confirm_executions",
+    for field in ("seed_executions", "screen_executions", "confirm_executions",
                   "minimize_executions", "total_executions", "suspects",
                   "corpus_entries", "signature_elements"):
         value = require(campaign, field, int, "campaign")
         if value < 0:
             fail(f"campaign.{field} is negative")
-    if campaign["total_executions"] != (campaign["screen_executions"] +
+    if campaign["total_executions"] != (campaign["seed_executions"] +
+                                        campaign["screen_executions"] +
                                         campaign["confirm_executions"] +
                                         campaign["minimize_executions"]):
         fail("campaign.total_executions does not add up")
@@ -106,6 +107,14 @@ def check_schema(doc, path, min_refound):
         fail(f"re-found {len(refound)} census interfaces, need >= "
              f"{min_refound}")
 
+    seeding = require(doc, "seeding", dict, path)
+    for field in ("seed_executions", "seeded_refound", "unseeded_refound",
+                  "unseeded_findings"):
+        if require(seeding, field, int, "seeding") < 0:
+            fail(f"seeding.{field} is negative")
+    if seeding["seeded_refound"] != len(refound):
+        fail("seeding.seeded_refound disagrees with consistency.refound[]")
+
     throughput = require(doc, "throughput", dict, path)
     for field in ("warm_execs_per_sec", "cold_execs_per_sec", "speedup"):
         require(throughput, field, (int, float), "throughput")
@@ -116,7 +125,7 @@ def check_schema(doc, path, min_refound):
 
 def compare(path_a, path_b):
     a, b = load(path_a), load(path_b)
-    for block in ("seed", "budget", "findings", "consistency"):
+    for block in ("seed", "budget", "findings", "consistency", "seeding"):
         if a.get(block) != b.get(block):
             fail(f"deterministic block {block!r} differs between "
                  f"{path_a} and {path_b}")

@@ -4,7 +4,9 @@
 #include <deque>
 #include <map>
 
+#include "analysis/taint/engine.h"
 #include "common/log.h"
+#include "common/strings.h"
 
 namespace jgre::analysis {
 
@@ -47,7 +49,7 @@ namespace {
 // Counts simple JNI-entry→Add paths in the (acyclic) native call graph.
 int CountPathsToSink(const CodeModel& model, const std::string& from,
                      std::map<std::string, int>* memo) {
-  if (from == "art::IndirectReferenceTable::Add") return 1;
+  if (from == model::kJgrSinkFunction) return 1;
   if (auto it = memo->find(from); it != memo->end()) return it->second;
   (*memo)[from] = 0;  // cycle guard
   const auto node = model.native_methods.find(from);
@@ -94,8 +96,24 @@ JgrEntrySet ExtractJgrEntries(const CodeModel& model) {
 
 namespace {
 
+// Sift-reason texts, shared verbatim by the engine and legacy paths so the
+// census gate can compare them for identity.
+constexpr char kRule1Reason[] =
+    "rule 1: only Thread.nativeCreate, reference released immediately";
+constexpr char kRule2Reason[] =
+    "rule 2: binder used inside the call only; collected by GC";
+constexpr char kRule3Reason[] =
+    "rule 3: binder only used as a read-only key into Map/Set/"
+    "RemoteCallbackList";
+constexpr char kRule4Reason[] =
+    "rule 4: member variable, previous binder revoked on the next call";
+constexpr char kPermissionReason[] =
+    "permission map: signature-level permission, unreachable from "
+    "third-party apps";
+
 // BFS over Java call edges; returns the set of JGR entry methods reachable
-// from `start` (inclusive).
+// from `start` (inclusive). Legacy detector only — the engine gets the same
+// set from the method's summary.
 std::set<std::string> ReachableJgrEntries(const CodeModel& model,
                                           const std::string& start,
                                           const JgrEntrySet& entries) {
@@ -114,6 +132,7 @@ std::set<std::string> ReachableJgrEntries(const CodeModel& model,
   return reached;
 }
 
+// Legacy sifter: keys on the entry method's own BodyFacts.
 void ApplySifter(AnalyzedInterface* iface, const JavaMethodModel& method,
                  const std::set<std::string>& reached_entries) {
   // Rule 1: the only JGR entry on the path is thread creation, whose native
@@ -122,12 +141,11 @@ void ApplySifter(AnalyzedInterface* iface, const JavaMethodModel& method,
       !reached_entries.empty() &&
       std::all_of(reached_entries.begin(), reached_entries.end(),
                   [](const std::string& e) {
-                    return e == "java.lang.Thread.nativeCreate";
+                    return e == model::kThreadCreateEntry;
                   });
   if (only_thread_entry && !iface->takes_binder) {
     iface->sifted_out = true;
-    iface->sift_reason =
-        "rule 1: only Thread.nativeCreate, reference released immediately";
+    iface->sift_reason = kRule1Reason;
     return;
   }
   const bool retains_collection =
@@ -135,23 +153,123 @@ void ApplySifter(AnalyzedInterface* iface, const JavaMethodModel& method,
   if (retains_collection) return;  // genuinely retained: stays a candidate
   if (method.HasFact(BodyFact::kUsesParamTransiently)) {
     iface->sifted_out = true;
-    iface->sift_reason =
-        "rule 2: binder used inside the call only; collected by GC";
+    iface->sift_reason = kRule2Reason;
     return;
   }
   if (method.HasFact(BodyFact::kUsesParamAsReadOnlyKey)) {
     iface->sifted_out = true;
-    iface->sift_reason =
-        "rule 3: binder only used as a read-only key into Map/Set/"
-        "RemoteCallbackList";
+    iface->sift_reason = kRule3Reason;
     return;
   }
   if (method.HasFact(BodyFact::kStoresParamInMemberSlot)) {
     iface->sifted_out = true;
-    iface->sift_reason =
-        "rule 4: member variable, previous binder revoked on the next call";
+    iface->sift_reason = kRule4Reason;
     return;
   }
+}
+
+// Engine sifter: the same four rules as predicates over the method's
+// interprocedural summary. When the deciding retention came from a callee
+// rather than the entry's own body, the reason names the provenance — on the
+// AOSP corpus (facts on the entry) the texts are byte-identical to legacy.
+void ApplySummarySifter(AnalyzedInterface* iface,
+                        const taint::MethodSummary& summary) {
+  if (summary.only_creates_thread && !iface->takes_binder) {
+    iface->sifted_out = true;
+    iface->sift_reason = kRule1Reason;
+    return;
+  }
+  const auto sift = [&](const char* reason) {
+    iface->sifted_out = true;
+    iface->sift_reason =
+        summary.retention_via.empty()
+            ? reason
+            : StrCat(reason, " (via ", summary.retention_via, ")");
+  };
+  switch (summary.retention) {
+    case taint::Retention::kCollection:
+    case taint::Retention::kNone:
+      return;  // retained (or nothing known): stays a candidate
+    case taint::Retention::kTransient:
+      sift(kRule2Reason);
+      return;
+    case taint::Retention::kReadOnlyKey:
+      sift(kRule3Reason);
+      return;
+    case taint::Retention::kMemberSlot:
+      sift(kRule4Reason);
+      return;
+  }
+}
+
+// Service/app metadata, permission mapping and protection classification
+// shared by the engine and legacy paths.
+struct AnalysisContext {
+  const CodeModel* model;
+  std::map<std::string, const model::AppServiceModel*> app_by_service;
+  std::map<std::string, const model::HelperGuard*> guard_by_method;
+
+  explicit AnalysisContext(const CodeModel& m) : model(&m) {
+    for (const model::AppServiceModel& app : m.app_services) {
+      app_by_service[app.service_name] = &app;
+    }
+    for (const model::HelperGuard& guard : m.helper_guards) {
+      guard_by_method[guard.guarded_method] = &guard;
+    }
+  }
+
+  AnalyzedInterface MakeBase(const std::string& id, bool app_hosted) const {
+    const JavaMethodModel& method = *model->FindJavaMethod(id);
+    AnalyzedInterface iface;
+    iface.id = id;
+    iface.service = method.service;
+    iface.method = method.name;
+    iface.transaction_code = method.transaction_code;
+    iface.permission = method.permission;
+    iface.permission_level = model->LevelOf(method.permission);
+    iface.app_hosted = app_hosted;
+    if (app_hosted) {
+      if (auto it = app_by_service.find(method.service);
+          it != app_by_service.end()) {
+        iface.package = it->second->package;
+        iface.prebuilt_app = it->second->prebuilt;
+      }
+    }
+    // The strong-binder transmission scenarios (§III.C.2):
+    // Parcel.nativeReadStrongBinder never shows up in the IPC method's own
+    // call graph — it runs in the generated onTransact stub — so any method
+    // that *receives* a Binder/IInterface (directly, in a container, array or
+    // list) is treated as reaching it.
+    iface.takes_binder = method.HasBinderParam();
+    return iface;
+  }
+
+  void Finish(AnalyzedInterface* iface, const JavaMethodModel& method) const {
+    // Permission filter: interfaces third-party apps cannot call at all.
+    if (iface->risky && !iface->sifted_out &&
+        iface->permission_level == model::PermissionLevel::kSignature) {
+      iface->sifted_out = true;
+      iface->sift_reason = kPermissionReason;
+    }
+    // Protection classification (§IV.C) — from code-level guard facts.
+    if (auto it = guard_by_method.find(iface->id);
+        it != guard_by_method.end()) {
+      iface->protection = ProtectionClass::kHelperGuard;
+      iface->helper_class = it->second->helper_class;
+    } else if (method.HasFact(BodyFact::kPerProcessConstraint)) {
+      iface->protection = ProtectionClass::kServerConstraint;
+      iface->constraint_trusts_caller =
+          method.HasFact(BodyFact::kConstraintTrustsCallerInput);
+    }
+  }
+};
+
+void SortInterfaces(AnalysisReport* report) {
+  std::sort(report->interfaces.begin(), report->interfaces.end(),
+            [](const AnalyzedInterface& a, const AnalyzedInterface& b) {
+              return std::tie(a.service, a.transaction_code) <
+                     std::tie(b.service, b.transaction_code);
+            });
 }
 
 }  // namespace
@@ -161,78 +279,62 @@ AnalysisReport RunAnalysis(const CodeModel& model) {
   report.ipc_methods = ExtractIpcMethods(model);
   report.jgr_entries = ExtractJgrEntries(model);
 
-  std::map<std::string, const model::AppServiceModel*> app_by_service;
-  for (const model::AppServiceModel& app : model.app_services) {
-    app_by_service[app.service_name] = &app;
-  }
-  std::map<std::string, const model::HelperGuard*> guard_by_method;
-  for (const model::HelperGuard& guard : model.helper_guards) {
-    guard_by_method[guard.guarded_method] = &guard;
-  }
+  taint::TaintEngine engine(&model, report.jgr_entries.java_entries);
+  engine.Run();
+  report.engine_stats = engine.stats();
 
+  const AnalysisContext ctx(model);
   auto analyze = [&](const std::string& id, bool app_hosted) {
     const JavaMethodModel& method = *model.FindJavaMethod(id);
-    AnalyzedInterface iface;
-    iface.id = id;
-    iface.service = method.service;
-    iface.method = method.name;
-    iface.transaction_code = method.transaction_code;
-    iface.permission = method.permission;
-    iface.permission_level = model.LevelOf(method.permission);
-    iface.app_hosted = app_hosted;
-    if (app_hosted) {
-      if (auto it = app_by_service.find(method.service);
-          it != app_by_service.end()) {
-        iface.package = it->second->package;
-        iface.prebuilt_app = it->second->prebuilt;
-      }
-    }
-
-    const std::set<std::string> reached =
-        ReachableJgrEntries(model, id, report.jgr_entries);
-    iface.reaches_jgr_entry = !reached.empty();
-    // The strong-binder transmission scenarios (§III.C.2):
-    // Parcel.nativeReadStrongBinder never shows up in the IPC method's own
-    // call graph — it runs in the generated onTransact stub — so any method
-    // that *receives* a Binder/IInterface (directly, in a container, array or
-    // list) is treated as reaching it.
-    iface.takes_binder = method.HasBinderParam();
+    AnalyzedInterface iface = ctx.MakeBase(id, app_hosted);
+    const taint::MethodSummary* summary = engine.SummaryOf(id);
+    iface.reaches_jgr_entry = summary->reaches_jgr_entry();
     iface.risky = iface.reaches_jgr_entry || iface.takes_binder;
-
-    if (iface.risky) ApplySifter(&iface, method, reached);
-
-    // Permission filter: interfaces third-party apps cannot call at all.
-    if (iface.risky && !iface.sifted_out &&
-        iface.permission_level == model::PermissionLevel::kSignature) {
-      iface.sifted_out = true;
-      iface.sift_reason =
-          "permission map: signature-level permission, unreachable from "
-          "third-party apps";
-    }
-
-    // Protection classification (§IV.C) — from code-level guard facts.
-    if (auto it = guard_by_method.find(id); it != guard_by_method.end()) {
-      iface.protection = ProtectionClass::kHelperGuard;
-      iface.helper_class = it->second->helper_class;
-    } else if (method.HasFact(BodyFact::kPerProcessConstraint)) {
-      iface.protection = ProtectionClass::kServerConstraint;
-      iface.constraint_trusts_caller =
-          method.HasFact(BodyFact::kConstraintTrustsCallerInput);
+    iface.retention = summary->retention;
+    iface.retention_via = summary->retention_via;
+    iface.links_to_death = summary->links_to_death;
+    iface.mints_session = summary->mints_session;
+    if (iface.risky) ApplySummarySifter(&iface, *summary);
+    ctx.Finish(&iface, method);
+    if (iface.risky && !iface.sifted_out) {
+      iface.witness = engine.WitnessFor(id, iface.takes_binder);
     }
     report.interfaces.push_back(std::move(iface));
   };
-
   for (const std::string& id : report.ipc_methods.service_methods) {
     analyze(id, /*app_hosted=*/false);
   }
   for (const std::string& id : report.ipc_methods.app_methods) {
     analyze(id, /*app_hosted=*/true);
   }
-  std::sort(report.interfaces.begin(), report.interfaces.end(),
-            [](const AnalyzedInterface& a, const AnalyzedInterface& b) {
-              return std::tie(a.service, a.transaction_code) <
-                     std::tie(b.service, b.transaction_code);
-            });
+  SortInterfaces(&report);
+  return report;
+}
+
+AnalysisReport RunAnalysisLegacy(const CodeModel& model) {
+  AnalysisReport report;
+  report.ipc_methods = ExtractIpcMethods(model);
+  report.jgr_entries = ExtractJgrEntries(model);
+
+  const AnalysisContext ctx(model);
+  auto analyze = [&](const std::string& id, bool app_hosted) {
+    const JavaMethodModel& method = *model.FindJavaMethod(id);
+    AnalyzedInterface iface = ctx.MakeBase(id, app_hosted);
+    const std::set<std::string> reached =
+        ReachableJgrEntries(model, id, report.jgr_entries);
+    iface.reaches_jgr_entry = !reached.empty();
+    iface.risky = iface.reaches_jgr_entry || iface.takes_binder;
+    if (iface.risky) ApplySifter(&iface, method, reached);
+    ctx.Finish(&iface, method);
+    report.interfaces.push_back(std::move(iface));
+  };
+  for (const std::string& id : report.ipc_methods.service_methods) {
+    analyze(id, /*app_hosted=*/false);
+  }
+  for (const std::string& id : report.ipc_methods.app_methods) {
+    analyze(id, /*app_hosted=*/true);
+  }
+  SortInterfaces(&report);
   return report;
 }
 
@@ -246,19 +348,19 @@ std::vector<std::string> ExtractOtherResourceRisks(const CodeModel& model) {
   return out;
 }
 
-std::vector<const AnalyzedInterface*> AnalysisReport::Candidates() const {
-  std::vector<const AnalyzedInterface*> out;
-  for (const AnalyzedInterface& iface : interfaces) {
-    if (iface.risky && !iface.sifted_out) out.push_back(&iface);
+std::vector<std::size_t> AnalysisReport::Candidates() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < interfaces.size(); ++i) {
+    if (interfaces[i].risky && !interfaces[i].sifted_out) out.push_back(i);
   }
   return out;
 }
 
-std::vector<const AnalyzedInterface*> AnalysisReport::CandidatesWithProtection(
+std::vector<std::size_t> AnalysisReport::CandidatesWithProtection(
     ProtectionClass protection) const {
-  std::vector<const AnalyzedInterface*> out;
-  for (const AnalyzedInterface* iface : Candidates()) {
-    if (iface->protection == protection) out.push_back(iface);
+  std::vector<std::size_t> out;
+  for (const std::size_t i : Candidates()) {
+    if (interfaces[i].protection == protection) out.push_back(i);
   }
   return out;
 }

@@ -1,18 +1,26 @@
 // The four-step JGRE analysis pipeline (paper §III, Fig 1).
 //
 //   IPC method extractor  →  JGR entry extractor  →  vulnerable IPC detector
-//   (call graph + sifter)  →  [dynamic verification, in src/dynamic]
+//   (taint engine + sifter) →  [dynamic verification, in src/dynamic]
 //
-// Each step is a standalone component over the CodeModel so tests can
-// exercise them in isolation; `RunAnalysis` chains them into the
-// AnalysisReport the benches print as the paper's tables.
+// Step 3 runs on the summary-based interprocedural taint engine
+// (src/analysis/taint): per-method summaries are propagated bottom-up over
+// the Java call graph to a fixpoint and stitched through the JNI bridge into
+// the native graph, so retention annotated on a helper deep in the call
+// chain surfaces at the IPC entry, and every risky verdict carries a
+// concrete witness path down to IndirectReferenceTable::Add. The original
+// entry-local detector is kept as RunAnalysisLegacy — the golden cross-check
+// the census gate compares the engine against.
 #ifndef JGRE_ANALYSIS_PIPELINE_H_
 #define JGRE_ANALYSIS_PIPELINE_H_
 
+#include <cstddef>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/taint/summary.h"
+#include "analysis/taint/witness.h"
 #include "model/code_model.h"
 
 namespace jgre::analysis {
@@ -65,6 +73,15 @@ struct AnalyzedInterface {
   bool sifted_out = false;
   std::string sift_reason;
 
+  // Summary-derived facts (engine path only; legacy leaves the defaults):
+  // the interface's transitive retention kind, the callee that supplied it
+  // ("" = the entry's own body), and the evidence chain for risky verdicts.
+  taint::Retention retention = taint::Retention::kNone;
+  std::string retention_via;
+  bool links_to_death = false;
+  bool mints_session = false;
+  taint::WitnessPath witness;  // non-empty iff risky && !sifted_out
+
   ProtectionClass protection = ProtectionClass::kUnprotected;
   std::string helper_class;              // for kHelperGuard
   bool constraint_trusts_caller = false; // enqueueToast's flaw
@@ -78,17 +95,29 @@ struct AnalysisReport {
   IpcMethodSet ipc_methods;
   JgrEntrySet jgr_entries;
   std::vector<AnalyzedInterface> interfaces;  // every IPC method, annotated
+  taint::EngineStats engine_stats;  // zero-filled on the legacy path
 
-  // Risky, unsifted interfaces: the candidates for dynamic verification.
-  std::vector<const AnalyzedInterface*> Candidates() const;
-  // Subsets by protection class among candidates.
-  std::vector<const AnalyzedInterface*> CandidatesWithProtection(
+  // Risky, unsifted interfaces — the candidates for dynamic verification —
+  // as indices into `interfaces`. Indices (not pointers) so the result stays
+  // valid across report copies/moves and never dangles when taken from a
+  // temporary report.
+  std::vector<std::size_t> Candidates() const;
+  // Subset of Candidates() with the given protection class.
+  std::vector<std::size_t> CandidatesWithProtection(
       ProtectionClass protection) const;
 
   int total_services() const { return ipc_methods.services_registered; }
 };
 
+// Summary-based engine analysis: every risky, unsifted interface carries a
+// witness path ending at the JGR sink.
 AnalysisReport RunAnalysis(const model::CodeModel& model);
+
+// The original entry-local detector (single hand-annotated BodyFact on the
+// entry, per-entry BFS, no witnesses). Kept as the golden cross-check: the
+// census gate asserts RunAnalysis produces identical verdicts on the AOSP
+// corpus before trusting the engine's extra expressiveness.
+AnalysisReport RunAnalysisLegacy(const model::CodeModel& model);
 
 // §VI extension: IPC methods that retain *other* exhaustible resources
 // (file descriptors) — invisible to the JGR-centric pipeline above, but

@@ -1,0 +1,63 @@
+// Witness paths — the evidence attached to every risky verdict.
+//
+// A witness is the concrete frame chain that justifies a finding:
+//
+//   IPC entry → java callees… → [onTransact stub] → JNI bridge
+//             → native frames… → art::IndirectReferenceTable::Add
+//
+// The java segment is a shortest path through the model's call graph from
+// the IPC entry to the Java-level JGR entry the verdict keys on (death
+// recipient, binder receive, session mint, thread create); the native
+// segment continues through the registerNativeMethods bridge down to the
+// IndirectReferenceTable::Add sink. Binder-receive witnesses include a
+// synthetic stub step: Parcel.nativeReadStrongBinder runs in the generated
+// onTransact stub, never in the method's own call graph, so the hop cannot
+// come from a model edge.
+#ifndef JGRE_ANALYSIS_TAINT_WITNESS_H_
+#define JGRE_ANALYSIS_TAINT_WITNESS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jgre::analysis::taint {
+
+enum class StepKind {
+  kIpcEntry,     // the analyzed IPC interface itself
+  kJavaCall,     // a framework-internal Java callee
+  kStubReceive,  // the generated onTransact stub reading a strong binder
+  kJniBridge,    // registerNativeMethods: Java method -> native entry
+  kNativeCall,   // a native call-graph frame
+  kSink,         // art::IndirectReferenceTable::Add
+};
+
+std::string_view StepKindName(StepKind kind);
+
+struct WitnessStep {
+  StepKind kind = StepKind::kJavaCall;
+  std::string frame;  // method id (Java) or function name (native)
+
+  bool operator==(const WitnessStep&) const = default;
+};
+
+struct WitnessPath {
+  // Short machine-readable label for why this path was chosen:
+  // "death-recipient", "binder-receive", "session-mint", "thread-create",
+  // "jgr-entry".
+  std::string reason;
+  std::vector<WitnessStep> steps;
+
+  bool empty() const { return steps.empty(); }
+  std::size_t size() const { return steps.size(); }
+  // The terminal frame ("" for an empty path).
+  const std::string& sink() const {
+    static const std::string kEmpty;
+    return steps.empty() ? kEmpty : steps.back().frame;
+  }
+
+  bool operator==(const WitnessPath&) const = default;
+};
+
+}  // namespace jgre::analysis::taint
+
+#endif  // JGRE_ANALYSIS_TAINT_WITNESS_H_

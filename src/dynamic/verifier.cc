@@ -168,8 +168,8 @@ Verdict JgreVerifier::Verify(const analysis::AnalyzedInterface& iface,
 std::vector<Verdict> JgreVerifier::VerifyAll(
     const analysis::AnalysisReport& report, const model::CodeModel& model) {
   std::vector<Verdict> verdicts;
-  for (const analysis::AnalyzedInterface* iface : report.Candidates()) {
-    verdicts.push_back(Verify(*iface, model));
+  for (const std::size_t index : report.Candidates()) {
+    verdicts.push_back(Verify(report.interfaces[index], model));
     const Verdict& v = verdicts.back();
     JGRE_LOG(kInfo, "verifier")
         << v.service << "." << v.method << ": "

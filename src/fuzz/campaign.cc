@@ -143,11 +143,58 @@ CampaignResult CampaignRunner::Run() {
   CampaignResult result;
   CampaignStats& stats = result.stats;
 
-  // --- Screen: rounds x shards of randomized sequences ----------------------
   std::vector<Suspect> suspects;
   std::set<std::uint64_t> suspect_fingerprints;
+  std::size_t seeded_suspects = 0;
+
+  // --- Seed: witness-bearing static candidates as initial sequences ---------
+  if (options_.seed_from_analysis) {
+    std::set<std::string> pool_ids;
+    for (const model::JavaMethodModel* method : mutator_->pool()) {
+      pool_ids.insert(method->id);
+    }
+    std::vector<const analysis::AnalyzedInterface*> seed_ifaces;
+    for (const std::size_t index : report_.Candidates()) {
+      const analysis::AnalyzedInterface& iface = report_.interfaces[index];
+      if (iface.witness.empty() || pool_ids.count(iface.id) == 0) continue;
+      seed_ifaces.push_back(&iface);
+    }
+    // Never seed past the screening budget: seed + random spend == budget.
+    const std::size_t seed_cap =
+        static_cast<std::size_t>(std::max(0, options_.budget));
+    if (seed_ifaces.size() > seed_cap) seed_ifaces.resize(seed_cap);
+    std::vector<ShardExec> seed_execs = harness::RunOrdered<ShardExec>(
+        seed_ifaces.size(), options_.jobs, [&](std::size_t i) {
+          Rng rng(MixSeed(options_.seed, 0x5345'4544ull /* "SEED" */, i));
+          const model::JavaMethodModel* method =
+              model_.FindJavaMethod(seed_ifaces[i]->id);
+          Sequence seq;
+          for (int c = 0; c < std::max(1, options_.seed_sequence_calls); ++c) {
+            seq.calls.push_back(mutator_->MakeCall(*method, rng));
+          }
+          std::unique_ptr<core::AndroidSystem> system =
+              ResetSystem(300'000 + i);
+          ExecOutcome outcome = executor_->Execute(*system, seq);
+          return ShardExec{std::move(seq), std::move(outcome.elements),
+                           oracle_.Screen(outcome.obs)};
+        });
+    for (ShardExec& exec : seed_execs) {
+      ++stats.seed_executions;
+      corpus_.Add(exec.seq, exec.elements);
+      if (exec.screen.suspicious() &&
+          suspect_fingerprints.insert(exec.seq.Fingerprint()).second) {
+        suspects.push_back({std::move(exec.seq), exec.screen.kind});
+      }
+    }
+    seeded_suspects = suspects.size();
+  }
+
+  // --- Screen: rounds x shards of randomized sequences ----------------------
   const int rounds = std::max(1, options_.rounds);
-  const int budget = std::max(0, options_.budget);
+  // Seed executions come out of the screening budget: a seeded campaign and
+  // an unseeded one spend the same number of executions.
+  const int budget =
+      std::max(0, options_.budget - stats.seed_executions);
   const int per_round = budget / rounds;
   for (int round = 0; round < rounds; ++round) {
     const int round_budget =
@@ -187,7 +234,8 @@ CampaignResult CampaignRunner::Run() {
         ++stats.screen_executions;
         corpus_.Add(exec.seq, exec.elements);
         if (exec.screen.suspicious() &&
-            static_cast<int>(suspects.size()) < options_.max_suspects &&
+            static_cast<int>(suspects.size() - seeded_suspects) <
+                options_.max_suspects &&
             suspect_fingerprints.insert(exec.seq.Fingerprint()).second) {
           suspects.push_back({std::move(exec.seq), exec.screen.kind});
         }
@@ -300,7 +348,7 @@ CampaignResult CampaignRunner::Run() {
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) { return a.id < b.id; });
 
-  stats.total_executions = stats.screen_executions +
+  stats.total_executions = stats.seed_executions + stats.screen_executions +
                            stats.confirm_executions +
                            stats.minimize_executions;
   stats.wall_ms = SecondsSince(start) * 1000.0;

@@ -62,6 +62,17 @@ struct CampaignOptions {
   double mutate_probability = 0.75;
   int confirm_calls = 300;  // homogeneous confirmation probe length
   int max_suspects = 32;    // screening keeps at most this many suspects
+  // Seed the screen phase from the static analysis: every witness-bearing
+  // candidate whose service is live contributes one short homogeneous
+  // sequence, executed before random screening. Seed executions are deducted
+  // from `budget`, so a seeded campaign compares against an unseeded one at
+  // the same total screening spend; analysis-derived suspects ride above the
+  // max_suspects cap (they already carry a static witness and must not crowd
+  // out — or be crowded out by — random screening).
+  bool seed_from_analysis = false;
+  // Calls per analysis-derived seed sequence: long enough that a genuinely
+  // retaining interface clears the screen oracle's retained-JGR floor.
+  int seed_sequence_calls = 12;
   int minimize_exec_cap = 24;  // per-finding witness-trim execution budget
   // Reset by re-simulating the boot+warmup prefix instead of restoring the
   // snapshot (the cold baseline the bench compares against).
@@ -91,6 +102,7 @@ struct Finding {
 };
 
 struct CampaignStats {
+  int seed_executions = 0;  // analysis-derived seed sequences executed
   int screen_executions = 0;
   int confirm_executions = 0;
   int minimize_executions = 0;

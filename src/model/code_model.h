@@ -15,11 +15,28 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "services/registry_service.h"  // services::ArgKind (parcel layout)
 
 namespace jgre::model {
+
+// Canonical frame names the analyses key on: the native JGR sink every
+// witness path must terminate at, and the Java-level JGR entry methods with
+// special sift/witness semantics. Single source of truth for src/analysis
+// (legacy pipeline and taint engine alike) — the corpus spells them out
+// because it *is* the modeled code.
+inline constexpr std::string_view kJgrSinkFunction =
+    "art::IndirectReferenceTable::Add";
+inline constexpr std::string_view kThreadCreateEntry =
+    "java.lang.Thread.nativeCreate";
+inline constexpr std::string_view kLinkToDeathEntry =
+    "android.os.Binder.linkToDeath";
+inline constexpr std::string_view kReadStrongBinderEntry =
+    "android.os.Parcel.nativeReadStrongBinder";
+inline constexpr std::string_view kWriteStrongBinderEntry =
+    "android.os.Parcel.nativeWriteStrongBinder";
 
 // What a method's body does with its binder-typed inputs — the facts the
 // paper's sifter rules (§III.C.3) and protection study (§IV.C) key on.

@@ -75,12 +75,13 @@ TEST_F(PipelineTest, CandidateCountsMatchThePaper) {
   std::set<std::string> services;
   int system_side = 0;
   int app_side = 0;
-  for (const auto* iface : candidates) {
-    if (iface->app_hosted) {
+  for (const std::size_t index : candidates) {
+    const auto& iface = report_->interfaces[index];
+    if (iface.app_hosted) {
       ++app_side;
     } else {
       ++system_side;
-      services.insert(iface->service);
+      services.insert(iface.service);
     }
   }
   EXPECT_EQ(system_side, 57);
@@ -97,8 +98,8 @@ TEST_F(PipelineTest, ProtectionClassificationMatchesTablesIIandIII) {
       analysis::ProtectionClass::kServerConstraint);
   EXPECT_EQ(server.size(), 4u);  // Table III
   int flawed = 0;
-  for (const auto* iface : server) {
-    if (iface->constraint_trusts_caller) ++flawed;
+  for (const std::size_t index : server) {
+    if (report_->interfaces[index].constraint_trusts_caller) ++flawed;
   }
   EXPECT_EQ(flawed, 1);  // enqueueToast
 }
@@ -125,14 +126,15 @@ TEST_F(PipelineTest, UnprotectedPermissionBreakdownMatchesTableI) {
   // 19 services reachable with no permission, 4 with normal, 3 with
   // dangerous (Table I's breakdown of the 26 unprotected services).
   std::map<std::string, model::PermissionLevel> strongest;
-  for (const auto* iface : report_->CandidatesWithProtection(
+  for (const std::size_t index : report_->CandidatesWithProtection(
            analysis::ProtectionClass::kUnprotected)) {
-    if (iface->app_hosted) continue;
+    const auto& iface = report_->interfaces[index];
+    if (iface.app_hosted) continue;
     // A service is attackable at the *weakest* requirement over its
     // unprotected vulnerable interfaces.
-    auto it = strongest.find(iface->service);
-    if (it == strongest.end() || iface->permission_level < it->second) {
-      strongest[iface->service] = iface->permission_level;
+    auto it = strongest.find(iface.service);
+    if (it == strongest.end() || iface.permission_level < it->second) {
+      strongest[iface.service] = iface.permission_level;
     }
   }
   int none = 0, normal = 0, dangerous = 0;

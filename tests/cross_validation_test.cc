@@ -98,14 +98,15 @@ TEST_F(CrossValidationTest, PipelineCandidatesMinusProtectedEqualTheRegistry) {
     payloads.insert({vuln.service, vuln.code});
   }
   int unmatched_constrained = 0;
-  for (const analysis::AnalyzedInterface* iface : report_->Candidates()) {
+  for (const std::size_t index : report_->Candidates()) {
+    const analysis::AnalyzedInterface& iface = report_->interfaces[index];
     const bool has_payload =
-        payloads.count({iface->service, iface->transaction_code}) > 0;
+        payloads.count({iface.service, iface.transaction_code}) > 0;
     if (has_payload) continue;
     // Must be one of the correctly constrained interfaces.
-    EXPECT_EQ(iface->protection, analysis::ProtectionClass::kServerConstraint)
-        << iface->service << "." << iface->method;
-    EXPECT_FALSE(iface->constraint_trusts_caller);
+    EXPECT_EQ(iface.protection, analysis::ProtectionClass::kServerConstraint)
+        << iface.service << "." << iface.method;
+    EXPECT_FALSE(iface.constraint_trusts_caller);
     ++unmatched_constrained;
   }
   EXPECT_EQ(unmatched_constrained, 3);  // display + input x2

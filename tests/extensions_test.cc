@@ -84,8 +84,8 @@ TEST(FdExhaustionTest, PipelineCorrectlyIgnoresFdLeakAsJgreCandidate) {
   model::CodeModel model = model::BuildAospModel(system);
   analysis::AnalysisReport report = analysis::RunAnalysis(model);
   // addFile takes no binder and creates no JGR: never a JGRE candidate...
-  for (const auto* iface : report.Candidates()) {
-    EXPECT_NE(iface->method, "addFile");
+  for (const std::size_t index : report.Candidates()) {
+    EXPECT_NE(report.interfaces[index].method, "addFile");
   }
   // ...but the same methodology pointed at the fd sink finds all 71 safe
   // services' addFile methods.

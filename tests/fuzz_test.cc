@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "attack/vuln_registry.h"
 #include "core/android_system.h"
 #include "fuzz/campaign.h"
 #include "fuzz/corpus.h"
@@ -295,6 +296,72 @@ TEST(FuzzCampaignTest, SmallCampaignIsDeterministicAcrossJobs) {
   for (std::size_t i = 1; i < a.findings.size(); ++i) {
     EXPECT_LT(a.findings[i - 1].id, a.findings[i].id);  // sorted, unique
   }
+}
+
+// Analysis seeding: witness-bearing static candidates become initial
+// sequences, executed before random screening and deducted from the same
+// budget. With a budget that covers the candidate set, every witness-bearing
+// interface is guaranteed a directed probe, so the seeded campaign re-finds
+// more known-vulnerable interfaces than blind screening at the same spend —
+// and stays deterministic across --jobs.
+TEST(FuzzCampaignTest, AnalysisSeedingIsBudgetNeutralAndDeterministic) {
+  fuzz::CampaignOptions options;
+  options.seed = 42;
+  options.budget = 80;
+  options.rounds = 2;
+  options.shard_execs = 6;
+  options.confirm_calls = 200;
+  options.warmup_apps = 8;
+  options.warmup_foreground_us = 2'000'000;
+  options.seed_from_analysis = true;
+
+  options.jobs = 1;
+  fuzz::CampaignRunner seeded(options);
+  const fuzz::CampaignResult a = seeded.Run();
+  EXPECT_GT(a.stats.seed_executions, 0);
+  // Budget-neutral: seed + random screening spend exactly the budget.
+  EXPECT_EQ(a.stats.seed_executions + a.stats.screen_executions, 80);
+
+  options.jobs = 4;
+  fuzz::CampaignRunner parallel(options);
+  const fuzz::CampaignResult b = parallel.Run();
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].id, b.findings[i].id);
+    EXPECT_EQ(a.findings[i].minimized_calls, b.findings[i].minimized_calls);
+  }
+  EXPECT_EQ(a.stats.seed_executions, b.stats.seed_executions);
+  EXPECT_EQ(a.stats.suspects, b.stats.suspects);
+
+  options.jobs = 1;
+  options.seed_from_analysis = false;
+  fuzz::CampaignRunner unseeded(options);
+  const fuzz::CampaignResult c = unseeded.Run();
+  EXPECT_EQ(c.stats.seed_executions, 0);
+  EXPECT_EQ(c.stats.screen_executions, 80);
+
+  // The metric seeding targets: known-vulnerable (attack-registry) interfaces
+  // re-found at the same screening spend. Directed candidate probes beat
+  // blind screening, which spends much of this tiny budget on safe services.
+  const auto registry_refinds = [](const fuzz::CampaignResult& result,
+                                   const analysis::AnalysisReport& report) {
+    std::set<std::pair<std::string, std::uint32_t>> payloads;
+    for (const attack::VulnSpec& vuln : attack::AllVulnerabilities()) {
+      payloads.insert({vuln.service, vuln.code});
+    }
+    std::map<std::string, std::pair<std::string, std::uint32_t>> by_id;
+    for (const analysis::AnalyzedInterface& iface : report.interfaces) {
+      by_id[iface.id] = {iface.service, iface.transaction_code};
+    }
+    int refinds = 0;
+    for (const fuzz::Finding& f : result.findings) {
+      const auto it = by_id.find(f.id);
+      if (it != by_id.end() && payloads.count(it->second) > 0) ++refinds;
+    }
+    return refinds;
+  };
+  EXPECT_GT(registry_refinds(a, seeded.report()),
+            registry_refinds(c, unseeded.report()));
 }
 
 }  // namespace

@@ -1,0 +1,341 @@
+// Taint-engine tests: the interprocedural cases the entry-local detector got
+// wrong by construction (retention annotated on a helper instead of the IPC
+// entry), fixpoint termination over recursive helpers, the rule-4 member-slot
+// cap, witness-path integrity, and the census gate — the engine must agree
+// with the legacy detector verdict-for-verdict on the AOSP corpus before its
+// extra expressiveness is trusted.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/pipeline.h"
+#include "analysis/taint/engine.h"
+#include "core/android_system.h"
+#include "model/corpus.h"
+
+namespace jgre {
+namespace {
+
+constexpr char kSvc[] = "testsvc";
+
+// One exploitable JNI entry whose native side reaches the JGR sink.
+void AddJgrEntry(model::CodeModel* m, const std::string& java_method,
+                 const std::string& native_method) {
+  model::NativeMethodModel native;
+  native.name = native_method;
+  native.is_jni_entry = true;
+  native.callees.push_back(std::string(model::kJgrSinkFunction));
+  m->native_methods[native_method] = native;
+  m->jni_registrations.push_back({java_method, native_method});
+}
+
+// A minimal one-service model: the onTransact strong-binder receive is the
+// JGR entry behind every takes_binder verdict.
+model::CodeModel NewServiceModel() {
+  model::CodeModel m;
+  m.registrations.push_back(
+      {kSvc, "com.test.Svc",
+       model::ServiceRegistration::Registrar::kAddService});
+  model::NativeMethodModel sink;
+  sink.name = std::string(model::kJgrSinkFunction);
+  m.native_methods[sink.name] = sink;
+  AddJgrEntry(&m, std::string(model::kReadStrongBinderEntry),
+              "android_os_Parcel_readStrongBinder");
+  return m;
+}
+
+model::JavaMethodModel& AddIpcMethod(model::CodeModel* m,
+                                     const std::string& id,
+                                     const std::string& name,
+                                     std::uint32_t code) {
+  model::JavaMethodModel method;
+  method.id = id;
+  method.clazz = "com.test.Svc";
+  method.name = name;
+  method.service = kSvc;
+  method.transaction_code = code;
+  method.overrides_aidl = true;
+  method.args = {services::ArgKind::kBinder};
+  return m->java_methods.emplace(id, std::move(method)).first->second;
+}
+
+model::JavaMethodModel& AddHelper(model::CodeModel* m, const std::string& id) {
+  model::JavaMethodModel method;
+  method.id = id;
+  method.clazz = "com.test.Helper";
+  method.name = id;
+  return m->java_methods.emplace(id, std::move(method)).first->second;
+}
+
+const analysis::AnalyzedInterface* Find(const analysis::AnalysisReport& report,
+                                        const std::string& id) {
+  for (const analysis::AnalyzedInterface& iface : report.interfaces) {
+    if (iface.id == id) return &iface;
+  }
+  return nullptr;
+}
+
+// The multi-hop case the entry-local sifter misjudged by construction: the
+// entry's own body only hands the binder off (annotated transient), but the
+// helper it calls retains it in a collection. The engine must surface the
+// helper's retention at the entry and keep it a candidate.
+TEST(TaintEngineTest, HelperRetentionSurfacesAtTheTransientEntry) {
+  model::CodeModel m = NewServiceModel();
+  auto& entry = AddIpcMethod(&m, "com.test.Svc.register", "register", 1);
+  entry.facts = {model::BodyFact::kUsesParamTransiently};
+  entry.callees = {"com.test.Helper.retain"};
+  auto& helper = AddHelper(&m, "com.test.Helper.retain");
+  helper.facts = {model::BodyFact::kStoresParamInCollection};
+
+  const analysis::AnalysisReport engine = analysis::RunAnalysis(m);
+  const analysis::AnalyzedInterface* iface = Find(engine, entry.id);
+  ASSERT_NE(iface, nullptr);
+  EXPECT_EQ(iface->retention, analysis::taint::Retention::kCollection);
+  EXPECT_EQ(iface->retention_via, "com.test.Helper.retain");
+  EXPECT_FALSE(iface->sifted_out);
+  ASSERT_EQ(engine.Candidates().size(), 1u);
+
+  // The entry-local detector reads the transient fact off the entry and
+  // (wrongly, here) discharges it as rule 2.
+  const analysis::AnalysisReport legacy = analysis::RunAnalysisLegacy(m);
+  const analysis::AnalyzedInterface* old = Find(legacy, entry.id);
+  ASSERT_NE(old, nullptr);
+  EXPECT_TRUE(old->sifted_out);
+  EXPECT_EQ(old->sift_reason.find("rule 2"), 0u);
+}
+
+TEST(TaintEngineTest, ReadOnlyKeyLookupBehindOneHopIsSifted) {
+  model::CodeModel m = NewServiceModel();
+  auto& entry = AddIpcMethod(&m, "com.test.Svc.isRegistered", "isRegistered", 1);
+  entry.callees = {"com.test.Helper.lookup"};  // no facts of its own
+  auto& helper = AddHelper(&m, "com.test.Helper.lookup");
+  helper.facts = {model::BodyFact::kUsesParamAsReadOnlyKey};
+
+  const analysis::AnalysisReport engine = analysis::RunAnalysis(m);
+  const analysis::AnalyzedInterface* iface = Find(engine, entry.id);
+  ASSERT_NE(iface, nullptr);
+  EXPECT_EQ(iface->retention, analysis::taint::Retention::kReadOnlyKey);
+  EXPECT_TRUE(iface->sifted_out);
+  EXPECT_EQ(iface->sift_reason,
+            "rule 3: binder only used as a read-only key into Map/Set/"
+            "RemoteCallbackList (via com.test.Helper.lookup)");
+
+  // Entry-local view: no facts on the entry at all, so it stays a candidate
+  // the sifter cannot discharge.
+  const analysis::AnalysisReport legacy = analysis::RunAnalysisLegacy(m);
+  EXPECT_FALSE(Find(legacy, entry.id)->sifted_out);
+}
+
+TEST(TaintEngineTest, MutuallyRecursiveHelpersReachAFixpoint) {
+  model::CodeModel m = NewServiceModel();
+  auto& entry = AddIpcMethod(&m, "com.test.Svc.enqueue", "enqueue", 1);
+  entry.callees = {"com.test.Helper.a"};
+  auto& a = AddHelper(&m, "com.test.Helper.a");
+  a.callees = {"com.test.Helper.b"};
+  auto& b = AddHelper(&m, "com.test.Helper.b");
+  b.callees = {"com.test.Helper.a"};  // a <-> b cycle
+  b.facts = {model::BodyFact::kStoresParamInCollection};
+
+  const analysis::AnalysisReport engine = analysis::RunAnalysis(m);
+  const analysis::AnalyzedInterface* iface = Find(engine, entry.id);
+  ASSERT_NE(iface, nullptr);
+  // The retention annotated inside the cycle propagates out to the entry.
+  EXPECT_EQ(iface->retention, analysis::taint::Retention::kCollection);
+  EXPECT_FALSE(iface->sifted_out);
+  EXPECT_GE(engine.engine_stats.nontrivial_sccs, 1);
+  // Fixpoint took at least one extra pass over the cyclic component, and
+  // terminated (we got here).
+  EXPECT_GT(engine.engine_stats.fixpoint_iterations,
+            engine.engine_stats.java_methods);
+}
+
+TEST(TaintEngineTest, MemberSlotCapAbsorbsCalleeRetention) {
+  model::CodeModel m = NewServiceModel();
+  // The replace-single pattern: the entry's net discipline is one slot,
+  // implemented by calling a register helper that stores into a collection.
+  auto& entry = AddIpcMethod(&m, "com.test.Svc.setCallback", "setCallback", 1);
+  entry.facts = {model::BodyFact::kStoresParamInMemberSlot};
+  entry.callees = {"com.test.Helper.register"};
+  auto& helper = AddHelper(&m, "com.test.Helper.register");
+  helper.facts = {model::BodyFact::kStoresParamInCollection};
+
+  const analysis::AnalysisReport engine = analysis::RunAnalysis(m);
+  const analysis::AnalyzedInterface* iface = Find(engine, entry.id);
+  ASSERT_NE(iface, nullptr);
+  EXPECT_EQ(iface->retention, analysis::taint::Retention::kMemberSlot);
+  EXPECT_TRUE(iface->sifted_out);
+  // The cap keeps the local verdict: no provenance suffix.
+  EXPECT_EQ(iface->sift_reason,
+            "rule 4: member variable, previous binder revoked on the next "
+            "call");
+
+  analysis::taint::TaintEngine raw(&m, {});
+  raw.Run();
+  const analysis::taint::MethodSummary* summary = raw.SummaryOf(entry.id);
+  ASSERT_NE(summary, nullptr);
+  EXPECT_TRUE(summary->retention_capped);
+  EXPECT_TRUE(summary->retention_via.empty());
+}
+
+TEST(TaintEngineTest, WitnessPathsOnSyntheticModelEndAtTheSink) {
+  model::CodeModel m = NewServiceModel();
+  auto& entry = AddIpcMethod(&m, "com.test.Svc.register", "register", 1);
+  entry.facts = {model::BodyFact::kStoresParamInCollection};
+
+  const analysis::AnalysisReport engine = analysis::RunAnalysis(m);
+  const analysis::AnalyzedInterface* iface = Find(engine, entry.id);
+  ASSERT_NE(iface, nullptr);
+  ASSERT_FALSE(iface->witness.empty());
+  EXPECT_EQ(iface->witness.reason, "binder-receive");
+  EXPECT_EQ(iface->witness.steps.front().kind,
+            analysis::taint::StepKind::kIpcEntry);
+  EXPECT_EQ(iface->witness.steps.front().frame, entry.id);
+  // The strong-binder receive happens in the onTransact stub, not in the
+  // method's call graph — the witness records it as a synthetic stub step.
+  EXPECT_EQ(iface->witness.steps[1].kind,
+            analysis::taint::StepKind::kStubReceive);
+  EXPECT_EQ(iface->witness.steps[1].frame,
+            std::string(model::kReadStrongBinderEntry));
+  EXPECT_EQ(iface->witness.steps.back().kind, analysis::taint::StepKind::kSink);
+  EXPECT_EQ(iface->witness.sink(), std::string(model::kJgrSinkFunction));
+}
+
+// Regression for the pointer-invalidation hazard: Candidates() used to hand
+// out raw pointers into `interfaces`, which dangled the moment the report was
+// copied or taken from a temporary. Indices survive both.
+TEST(TaintEngineTest, CandidateIndicesSurviveReportCopiesAndTemporaries) {
+  model::CodeModel m = NewServiceModel();
+  auto& entry = AddIpcMethod(&m, "com.test.Svc.register", "register", 1);
+  entry.facts = {model::BodyFact::kStoresParamInCollection};
+  AddIpcMethod(&m, "com.test.Svc.ping", "ping", 2).args = {
+      services::ArgKind::kInt32};  // not risky
+
+  // Taken from a temporary — with pointers this was already dangling.
+  const std::vector<std::size_t> indices = analysis::RunAnalysis(m).Candidates();
+  ASSERT_EQ(indices.size(), 1u);
+
+  const analysis::AnalysisReport report = analysis::RunAnalysis(m);
+  const analysis::AnalysisReport copy = report;  // reallocates `interfaces`
+  for (const std::size_t index : indices) {
+    ASSERT_LT(index, copy.interfaces.size());
+    EXPECT_EQ(copy.interfaces[index].id, "com.test.Svc.register");
+    EXPECT_EQ(report.interfaces[index].id, copy.interfaces[index].id);
+  }
+  EXPECT_EQ(report.Candidates(), copy.Candidates());
+}
+
+// --- census gate --------------------------------------------------------------
+
+class CensusGateTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    system_ = new core::AndroidSystem();
+    system_->Boot();
+    model_ = new model::CodeModel(model::BuildAospModel(*system_));
+    engine_ = new analysis::AnalysisReport(analysis::RunAnalysis(*model_));
+    legacy_ =
+        new analysis::AnalysisReport(analysis::RunAnalysisLegacy(*model_));
+  }
+  static void TearDownTestSuite() {
+    delete legacy_;
+    delete engine_;
+    delete model_;
+    delete system_;
+    legacy_ = nullptr;
+    engine_ = nullptr;
+    model_ = nullptr;
+    system_ = nullptr;
+  }
+
+  static core::AndroidSystem* system_;
+  static model::CodeModel* model_;
+  static analysis::AnalysisReport* engine_;
+  static analysis::AnalysisReport* legacy_;
+};
+
+core::AndroidSystem* CensusGateTest::system_ = nullptr;
+model::CodeModel* CensusGateTest::model_ = nullptr;
+analysis::AnalysisReport* CensusGateTest::engine_ = nullptr;
+analysis::AnalysisReport* CensusGateTest::legacy_ = nullptr;
+
+// Zero divergence: the engine must reproduce the entry-local detector's
+// verdict on every interface of the AOSP corpus — same risky flag, same sift
+// decision with the byte-identical reason text, same protection class.
+TEST_F(CensusGateTest, EngineMatchesTheLegacyDetectorVerdictForVerdict) {
+  ASSERT_EQ(engine_->interfaces.size(), legacy_->interfaces.size());
+  for (std::size_t i = 0; i < engine_->interfaces.size(); ++i) {
+    const analysis::AnalyzedInterface& e = engine_->interfaces[i];
+    const analysis::AnalyzedInterface& l = legacy_->interfaces[i];
+    ASSERT_EQ(e.id, l.id);
+    EXPECT_EQ(e.risky, l.risky) << e.id;
+    EXPECT_EQ(e.reaches_jgr_entry, l.reaches_jgr_entry) << e.id;
+    EXPECT_EQ(e.takes_binder, l.takes_binder) << e.id;
+    EXPECT_EQ(e.sifted_out, l.sifted_out) << e.id;
+    EXPECT_EQ(e.sift_reason, l.sift_reason) << e.id;
+    EXPECT_EQ(e.protection, l.protection) << e.id;
+    EXPECT_EQ(e.constraint_trusts_caller, l.constraint_trusts_caller) << e.id;
+  }
+  EXPECT_EQ(engine_->Candidates(), legacy_->Candidates());
+}
+
+// On the AOSP corpus every sift fact sits on the entry itself, so no engine
+// reason may carry interprocedural provenance — that would be a divergence
+// the byte-identity check above can't miss, but say it explicitly.
+TEST_F(CensusGateTest, NoProvenanceSuffixOnTheAospCorpus) {
+  for (const analysis::AnalyzedInterface& iface : engine_->interfaces) {
+    EXPECT_EQ(iface.sift_reason.find(" (via "), std::string::npos) << iface.id;
+  }
+}
+
+TEST_F(CensusGateTest, PaperCensusSplitsFiftyFourPlusThree) {
+  int system_exploitable = 0;
+  int app_exploitable = 0;
+  int correctly_constrained = 0;
+  for (const std::size_t index : engine_->Candidates()) {
+    const analysis::AnalyzedInterface& iface = engine_->interfaces[index];
+    const bool bounded =
+        iface.protection == analysis::ProtectionClass::kServerConstraint &&
+        !iface.constraint_trusts_caller;
+    if (bounded) {
+      ++correctly_constrained;
+    } else if (iface.app_hosted) {
+      ++app_exploitable;
+    } else {
+      ++system_exploitable;
+    }
+  }
+  EXPECT_EQ(system_exploitable, 54);  // §IV.A
+  EXPECT_EQ(app_exploitable, 3);      // Table IV
+  EXPECT_EQ(correctly_constrained, 3);
+}
+
+TEST_F(CensusGateTest, EveryCandidateCarriesAWitnessEndingAtTheSink) {
+  for (const std::size_t index : engine_->Candidates()) {
+    const analysis::AnalyzedInterface& iface = engine_->interfaces[index];
+    ASSERT_FALSE(iface.witness.empty()) << iface.id;
+    EXPECT_FALSE(iface.witness.reason.empty()) << iface.id;
+    EXPECT_EQ(iface.witness.steps.front().kind,
+              analysis::taint::StepKind::kIpcEntry)
+        << iface.id;
+    EXPECT_EQ(iface.witness.steps.front().frame, iface.id);
+    EXPECT_EQ(iface.witness.steps.back().kind, analysis::taint::StepKind::kSink)
+        << iface.id;
+    EXPECT_EQ(iface.witness.sink(), std::string(model::kJgrSinkFunction))
+        << iface.id;
+  }
+  // Sifted interfaces carry no witness: there is no verdict to justify.
+  for (const analysis::AnalyzedInterface& iface : engine_->interfaces) {
+    if (iface.sifted_out) EXPECT_TRUE(iface.witness.empty()) << iface.id;
+  }
+}
+
+TEST_F(CensusGateTest, EngineStatsArePopulatedOnlyOnTheEnginePath) {
+  EXPECT_GT(engine_->engine_stats.java_methods, 0);
+  EXPECT_GT(engine_->engine_stats.call_edges, 0);
+  EXPECT_GT(engine_->engine_stats.sccs, 0);
+  EXPECT_GT(engine_->engine_stats.fixpoint_iterations, 0);
+  EXPECT_EQ(legacy_->engine_stats.java_methods, 0);
+}
+
+}  // namespace
+}  // namespace jgre
