@@ -1,10 +1,16 @@
 // bench_ablation_scoring — the design-choice ablation DESIGN.md calls out:
-// Algorithm 1 implemented on the lazy segment tree (§V.D.2) versus the naive
-// O(interval-length) vote array. google-benchmark measures real wall time on
-// synthetic incident data of growing size; the tree's advantage grows with Δ
-// (wider vote intervals) and record volume.
+// Algorithm 1's three interchangeable engines measured against each other —
+// the batched difference-array engine (default), the lazy segment tree
+// (§V.D.2), and the naive O(interval-length) vote array. google-benchmark
+// measures real wall time on synthetic incident data of growing size; the
+// tree's advantage over naive grows with Δ (wider vote intervals), and the
+// batched engine's flat passes beat the tree's per-pair O(log n) updates at
+// every size. Every benchmark first asserts the engines agree score-for-score
+// on its workload.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common/rng.h"
@@ -35,32 +41,68 @@ Workload MakeWorkload(int n, std::uint64_t seed) {
   return w;
 }
 
+const char* EngineName(defense::ScoreEngine engine) {
+  switch (engine) {
+    case defense::ScoreEngine::kBatched:
+      return "batched";
+    case defense::ScoreEngine::kSegmentTree:
+      return "segment-tree";
+    case defense::ScoreEngine::kNaive:
+      return "naive";
+  }
+  return "?";
+}
+
 void BM_Algorithm1(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  const bool use_tree = state.range(1) != 0;
+  const auto engine = static_cast<defense::ScoreEngine>(state.range(1));
   const Workload w = MakeWorkload(n, 99);
   defense::ScoringParams params;
-  params.use_segment_tree = use_tree;
+  params.engine = engine;
   params.delta_us = static_cast<DurationUs>(state.range(2));
+  // Cross-check: all engines must agree on this workload before timing one.
+  {
+    auto check = params;
+    check.engine = defense::ScoreEngine::kBatched;
+    const auto batched = defense::JgreScoreForApp(w.calls, w.adds, check);
+    check.engine = defense::ScoreEngine::kSegmentTree;
+    const auto tree = defense::JgreScoreForApp(w.calls, w.adds, check);
+    check.engine = defense::ScoreEngine::kNaive;
+    const auto naive = defense::JgreScoreForApp(w.calls, w.adds, check);
+    if (batched != tree || tree != naive) {
+      std::fprintf(stderr,
+                   "scoring engines disagree: batched=%lld tree=%lld "
+                   "naive=%lld (n=%d delta=%lld)\n",
+                   static_cast<long long>(batched),
+                   static_cast<long long>(tree),
+                   static_cast<long long>(naive), n,
+                   static_cast<long long>(params.delta_us));
+      std::abort();
+    }
+  }
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         defense::JgreScoreForApp(w.calls, w.adds, params));
   }
-  state.SetLabel(use_tree ? "segment-tree" : "naive");
+  state.SetLabel(EngineName(engine));
 }
 
 }  // namespace
 
-// Args: {ipc_calls, use_segment_tree, delta_us}.
+// Args: {ipc_calls, engine (0=batched 1=segment-tree 2=naive), delta_us}.
 BENCHMARK(BM_Algorithm1)
-    ->Args({500, 1, 1800})
     ->Args({500, 0, 1800})
-    ->Args({2000, 1, 1800})
+    ->Args({500, 1, 1800})
+    ->Args({500, 2, 1800})
     ->Args({2000, 0, 1800})
-    ->Args({8000, 1, 1800})
+    ->Args({2000, 1, 1800})
+    ->Args({2000, 2, 1800})
     ->Args({8000, 0, 1800})
-    ->Args({2000, 1, 10000})
+    ->Args({8000, 1, 1800})
+    ->Args({8000, 2, 1800})
     ->Args({2000, 0, 10000})
+    ->Args({2000, 1, 10000})
+    ->Args({2000, 2, 10000})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -55,8 +55,8 @@ NodeId BinderDriver::RegisterBinder(const std::shared_ptr<BBinder>& binder,
     // *sender* process (android_util_Binder.cpp), held while the kernel
     // keeps the node referenced.
     auto obj = proc->runtime->AllocManagedObject(
-        rt::ObjectKind::kJavaBBinder,
-        StrCat("JavaBBinder:", descriptors_.Name(node.descriptor_id)));
+        rt::ObjectKind::kJavaBBinder, "JavaBBinder:",
+        descriptors_.Name(node.descriptor_id));
     if (obj.ok()) {
       node.sender_obj = obj.value();
       proc->runtime->heap().AddHold(node.sender_obj);
@@ -91,8 +91,10 @@ Pid BinderDriver::NodeOwner(NodeId node) const {
 }
 
 void BinderDriver::AttachRuntimeHooks(Pid pid, rt::Runtime* runtime) {
-  if (hooked_runtimes_.count(pid) > 0) return;
-  hooked_runtimes_.insert(pid);
+  const std::size_t slot = static_cast<std::size_t>(pid.value() - 1);
+  if (slot >= hooked_runtimes_.size()) hooked_runtimes_.resize(slot + 1, 0);
+  if (hooked_runtimes_[slot] != 0) return;
+  hooked_runtimes_[slot] = 1;
   runtime->SetProxyCollectHandler(
       [this, pid](NodeId node) { OnProxyCollected(pid, node); });
 }
@@ -120,11 +122,15 @@ Result<StrongBinder> BinderDriver::MaterializeBinder(NodeId node_id,
   out.binder = std::make_shared<BpBinder>(this, node_id, holder, descriptor);
   if (holder_proc->HasRuntime()) {
     AttachRuntimeHooks(holder, holder_proc->runtime.get());
-    auto proxy = holder_proc->runtime->GetOrCreateBinderProxy(
-        node_id, StrCat("BinderProxy:", descriptor));
+    auto proxy =
+        holder_proc->runtime->GetOrCreateBinderProxy(node_id, descriptor);
     if (!proxy.ok()) return proxy.status();  // JGR table overflow in holder
     out.java_obj = proxy.value();
-    node->holders.insert(holder);
+    auto it =
+        std::lower_bound(node->holders.begin(), node->holders.end(), holder);
+    if (it == node->holders.end() || *it != holder) {
+      node->holders.insert(it, holder);
+    }
     // Inside a dispatch frame the received jobject also takes a local
     // reference, released when the frame pops.
     if (holder_proc->runtime->InLocalFrame()) {
@@ -161,7 +167,9 @@ void BinderDriver::PinNode(NodeId node_id) {
 void BinderDriver::OnProxyCollected(Pid holder, NodeId node_id) {
   Node* node = FindNode(node_id);
   if (node == nullptr) return;
-  node->holders.erase(holder);
+  auto it =
+      std::lower_bound(node->holders.begin(), node->holders.end(), holder);
+  if (it != node->holders.end() && *it == holder) node->holders.erase(it);
   if (node->holders.empty() && !node->dead && !node->pinned) {
     // Last remote ref dropped: the kernel releases the node; the sender-side
     // JavaBBinder becomes collectable (its JGR goes with it at next GC).
@@ -183,14 +191,23 @@ void BinderDriver::OnProcessDeath(Pid pid) {
   for (NodeId node : dead_nodes) FireDeathLinks(node);
   // 2. Proxies held by the dead process disappear with its runtime.
   for (Node& node : nodes_) {
-    if (node.holders.erase(pid) > 0 && node.holders.empty() && !node.dead &&
-        !node.pinned) {
-      ReleaseSenderRef(node);
+    auto it = std::lower_bound(node.holders.begin(), node.holders.end(), pid);
+    if (it != node.holders.end() && *it == pid) {
+      node.holders.erase(it);
+      if (node.holders.empty() && !node.dead && !node.pinned) {
+        ReleaseSenderRef(node);
+      }
     }
   }
-  // 3. Death links whose holder died are dropped silently.
+  // 3. Death links whose holder died are dropped silently (and removed from
+  // their node's link index).
   for (auto it = links_.begin(); it != links_.end();) {
     if (it->second.holder == pid) {
+      if (Node* node = FindNode(it->second.node); node != nullptr) {
+        auto& ids = node->death_links;
+        auto pos = std::lower_bound(ids.begin(), ids.end(), it->second.id);
+        if (pos != ids.end() && *pos == it->second.id) ids.erase(pos);
+      }
       it = links_.erase(it);
     } else {
       ++it;
@@ -199,20 +216,22 @@ void BinderDriver::OnProcessDeath(Pid pid) {
 }
 
 void BinderDriver::FireDeathLinks(NodeId node) {
-  // Collect first: recipients may unlink/register during callbacks. Fire in
-  // link-id (registration) order — the map iteration order depends on
-  // hash-bucket history, which a checkpoint restore does not reproduce.
+  // Consume the node's link index first: recipients may unlink or register
+  // new links (on other nodes, or re-register on this one) during callbacks.
+  // The index is maintained in ascending link-id (registration) order, so
+  // firing is deterministic across a checkpoint restore.
+  Node* n = FindNode(node);
+  if (n == nullptr || n->death_links.empty()) return;
+  std::vector<LinkId> ids = std::move(n->death_links);
+  n->death_links.clear();
   std::vector<DeathLink> fired;
-  for (auto it = links_.begin(); it != links_.end();) {
-    if (it->second.node == node) {
-      fired.push_back(it->second);
-      it = links_.erase(it);
-    } else {
-      ++it;
-    }
+  fired.reserve(ids.size());
+  for (LinkId id : ids) {
+    auto it = links_.find(id);
+    if (it == links_.end()) continue;
+    fired.push_back(std::move(it->second));
+    links_.erase(it);
   }
-  std::sort(fired.begin(), fired.end(),
-            [](const DeathLink& a, const DeathLink& b) { return a.id < b.id; });
   for (DeathLink& link : fired) {
     os::Process* holder = kernel_->FindProcess(link.holder);
     if (holder == nullptr || !holder->alive) continue;
@@ -243,14 +262,16 @@ Result<LinkId> BinderDriver::LinkToDeath(
   if (holder_proc->HasRuntime()) {
     // JavaDeathRecipient holds one JGR on the recipient object while linked.
     auto obj = holder_proc->runtime->AllocManagedObject(
-        rt::ObjectKind::kDeathRecipient,
-        StrCat("JavaDeathRecipient:",
-               descriptors_.Name(node->descriptor_id)));
+        rt::ObjectKind::kDeathRecipient, "JavaDeathRecipient:",
+        descriptors_.Name(node->descriptor_id));
     if (!obj.ok()) return obj.status();  // JGR overflow in the holder
     link.recipient_obj = obj.value();
     holder_proc->runtime->heap().AddHold(link.recipient_obj);
   }
   const LinkId id = link.id;
+  // Link ids are monotonically increasing, so appending keeps the node's
+  // index sorted.
+  node->death_links.push_back(id);
   links_.emplace(id, std::move(link));
   return id;
 }
@@ -271,6 +292,11 @@ bool BinderDriver::UnlinkToDeath(LinkId link_id) {
   if (holder != nullptr && holder->alive && holder->HasRuntime() &&
       holder->runtime->heap().IsAlive(link.recipient_obj)) {
     holder->runtime->heap().RemoveHold(link.recipient_obj);
+  }
+  if (Node* node = FindNode(link.node); node != nullptr) {
+    auto& ids = node->death_links;
+    auto pos = std::lower_bound(ids.begin(), ids.end(), link_id);
+    if (pos != ids.end() && *pos == link_id) ids.erase(pos);
   }
   links_.erase(it);
   return true;
@@ -365,16 +391,8 @@ obs::LabelId BinderDriver::DescriptorLabel(DescriptorId id) {
 
 void BinderDriver::AppendLog(Pid from, Uid from_uid, Pid to, NodeId node,
                              std::uint32_t code, DescriptorId descriptor_id) {
-  IpcRecord rec;
-  rec.seq = next_seq_++;
-  rec.timestamp_us = kernel_->clock().NowUs();
-  rec.from_pid = from;
-  rec.from_uid = from_uid;
-  rec.to_pid = to;
-  rec.target_node = node;
-  rec.code = code;
-  rec.descriptor_id = descriptor_id;
-  ipc_log_.Push(rec);
+  ipc_log_.Push(kernel_->clock().NowUs(), from, from_uid, to, node, code,
+                descriptor_id);
 }
 
 Result<std::size_t> BinderDriver::VisitIpcLogSince(
@@ -387,14 +405,8 @@ Result<std::size_t> BinderDriver::VisitIpcLogSince(
   }
   // Seq s lives at logical index s - 1 (seqs start at 1 and are assigned in
   // push order), so the window start is a constant-time computation.
-  std::uint64_t index = since_seq > 0 ? since_seq - 1 : 0;
-  if (index < ipc_log_.first_index()) index = ipc_log_.first_index();
-  std::size_t visited = 0;
-  for (; index < ipc_log_.end_index() && visited < max_records;
-       ++index, ++visited) {
-    visitor(ipc_log_.At(index));
-  }
-  return visited;
+  return ipc_log_.VisitSince(since_seq > 0 ? since_seq - 1 : 0, max_records,
+                             visitor);
 }
 
 Result<std::vector<IpcRecord>> BinderDriver::ReadIpcLog(
@@ -417,7 +429,7 @@ const std::string& BinderDriver::NodeDescriptor(NodeId node) const {
 }
 
 void BinderDriver::SaveState(snapshot::Serializer& out) const {
-  out.Marker(0x42445231);  // "BDR1"
+  out.Marker(0x42445232);  // "BDR2": columnar IPC log, derived seq counter
   descriptors_.SaveState(out);
   out.I64(next_node_);
   for (const Node& node : nodes_) {  // vector order == id order
@@ -427,7 +439,7 @@ void BinderDriver::SaveState(snapshot::Serializer& out) const {
     out.Bool(node.strong != nullptr);
     out.I64(node.sender_obj.value());
     out.U64(node.holders.size());
-    for (Pid holder : node.holders) out.I64(holder.value());  // set: sorted
+    for (Pid holder : node.holders) out.I64(holder.value());  // kept sorted
     out.Bool(node.pinned);
     out.Bool(node.dead);
   }
@@ -444,25 +456,21 @@ void BinderDriver::SaveState(snapshot::Serializer& out) const {
     out.I64(link.holder.value());
     out.I64(link.recipient_obj.value());
   }
-  ipc_log_.SaveState(out, [](snapshot::Serializer& s, const IpcRecord& r) {
-    s.U64(r.seq);
-    s.U64(r.timestamp_us);
-    s.I64(r.from_pid.value());
-    s.I64(r.from_uid.value());
-    s.I64(r.to_pid.value());
-    s.I64(r.target_node.value());
-    s.U32(r.code);
-    s.U32(r.descriptor_id);
-  });
-  out.U64(next_seq_);
+  ipc_log_.SaveState(out);
   out.I64(total_transactions_);
   out.Bool(defense_logging_);
-  out.U64(hooked_runtimes_.size());
-  for (Pid pid : hooked_runtimes_) out.I64(pid.value());  // set: sorted
+  std::uint64_t hooked = 0;
+  for (std::uint8_t flag : hooked_runtimes_) hooked += flag;
+  out.U64(hooked);
+  for (std::size_t slot = 0; slot < hooked_runtimes_.size(); ++slot) {
+    if (hooked_runtimes_[slot] != 0) {
+      out.I64(static_cast<std::int64_t>(slot) + 1);  // ascending pids
+    }
+  }
 }
 
 void BinderDriver::RestoreState(snapshot::Deserializer& in) {
-  in.Marker(0x42445231);
+  in.Marker(0x42445232);
   descriptors_.RestoreState(in);
   descriptor_labels_.clear();  // refilled lazily; interning is idempotent
   const std::size_t boot_nodes = nodes_.size();
@@ -478,9 +486,9 @@ void BinderDriver::RestoreState(snapshot::Deserializer& in) {
     const DescriptorId descriptor_id = in.U32();
     const bool has_strong = in.Bool();
     const ObjectId sender_obj{in.I64()};
-    std::set<Pid> holders;
+    std::vector<Pid> holders;  // saved sorted
     for (std::uint64_t h = 0, n = in.U64(); h < n && in.ok(); ++h) {
-      holders.insert(Pid{static_cast<std::int32_t>(in.I64())});
+      holders.push_back(Pid{static_cast<std::int32_t>(in.I64())});
     }
     const bool pinned = in.Bool();
     const bool dead = in.Bool();
@@ -497,6 +505,7 @@ void BinderDriver::RestoreState(snapshot::Deserializer& in) {
       if (!has_strong || dead) node.strong.reset();
       node.sender_obj = sender_obj;
       node.holders = std::move(holders);
+      node.death_links.clear();  // rebuilt from the restored link table
       node.pinned = pinned;
       node.dead = dead;
     } else {
@@ -524,27 +533,22 @@ void BinderDriver::RestoreState(snapshot::Deserializer& in) {
     link.node = NodeId{in.I64()};
     link.holder = Pid{static_cast<std::int32_t>(in.I64())};
     link.recipient_obj = ObjectId{in.I64()};
+    // Links were saved sorted by id, so appending keeps each node's index
+    // sorted.
+    if (Node* node = FindNode(link.node); node != nullptr) {
+      node->death_links.push_back(link.id);
+    }
     links_.emplace(link.id, std::move(link));
   }
-  ipc_log_.RestoreState(in, [](snapshot::Deserializer& s) {
-    IpcRecord r;
-    r.seq = s.U64();
-    r.timestamp_us = s.U64();
-    r.from_pid = Pid{static_cast<std::int32_t>(s.I64())};
-    r.from_uid = Uid{static_cast<std::int32_t>(s.I64())};
-    r.to_pid = Pid{static_cast<std::int32_t>(s.I64())};
-    r.target_node = NodeId{s.I64()};
-    r.code = s.U32();
-    r.descriptor_id = s.U32();
-    return r;
-  });
-  next_seq_ = in.U64();
+  ipc_log_.RestoreState(in);
   total_transactions_ = in.I64();
   defense_logging_ = in.Bool();
   hooked_runtimes_.clear();
   for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
     const Pid pid{static_cast<std::int32_t>(in.I64())};
-    hooked_runtimes_.insert(pid);
+    const std::size_t slot = static_cast<std::size_t>(pid.value() - 1);
+    if (slot >= hooked_runtimes_.size()) hooked_runtimes_.resize(slot + 1, 0);
+    hooked_runtimes_[slot] = 1;
     os::Process* proc = kernel_->FindProcess(pid);
     if (proc != nullptr && proc->alive && proc->HasRuntime()) {
       proc->runtime->SetProxyCollectHandler(

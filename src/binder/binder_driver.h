@@ -21,16 +21,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/interner.h"
-#include "common/ring_buffer.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "binder/ibinder.h"
+#include "binder/ipc_log.h"
 #include "binder/parcel.h"
 #include "obs/event_bus.h"
 #include "os/kernel.h"
@@ -39,27 +38,6 @@
 namespace jgre::binder {
 
 using LinkId = std::int64_t;
-
-// Dense id of an interned interface descriptor (see BinderDriver::
-// DescriptorName). Assigned in registration order, so a deterministic boot
-// yields deterministic ids.
-using DescriptorId = StringInterner::Id;
-
-// One record of the defense's binder-driver IPC log. Trivially copyable —
-// the descriptor travels as an interned id, not a heap string, so appending
-// a record is a flat 48-byte store.
-struct IpcRecord {
-  std::uint64_t seq = 0;
-  TimeUs timestamp_us = 0;
-  Pid from_pid;
-  Uid from_uid;
-  Pid to_pid;
-  NodeId target_node;
-  std::uint32_t code = 0;
-  // Interface descriptor + code give the "type of IPC interface" Algorithm 1
-  // groups by; on real Android the defender recovers this from the handle.
-  DescriptorId descriptor_id = StringInterner::kInvalidId;
-};
 
 class BinderDriver {
  public:
@@ -180,7 +158,7 @@ class BinderDriver {
 
   static constexpr std::size_t kNoRecordLimit = ~std::size_t{0};
 
-  std::uint64_t ipc_log_next_seq() const { return next_seq_; }
+  std::uint64_t ipc_log_next_seq() const { return ipc_log_.next_seq(); }
   std::size_t ipc_log_size() const { return ipc_log_.size(); }
   std::int64_t total_transactions() const { return total_transactions_; }
 
@@ -203,7 +181,10 @@ class BinderDriver {
     DescriptorId descriptor_id = StringInterner::kInvalidId;
     std::shared_ptr<BBinder> strong;  // kernel ref while node is live
     ObjectId sender_obj;              // JavaBBinder in the owner runtime
-    std::set<Pid> holders;            // processes with a live proxy
+    std::vector<Pid> holders;         // processes with a live proxy; sorted
+    // Death links registered on this node, ascending link id (links are
+    // appended in id order). Derived index over links_, rebuilt on restore.
+    std::vector<LinkId> death_links;
     bool pinned = false;              // servicemanager holds it forever
     bool dead = false;
   };
@@ -247,11 +228,12 @@ class BinderDriver {
   LinkId next_link_ = 1;
   std::unordered_map<LinkId, DeathLink> links_;
 
-  RingBuffer<IpcRecord> ipc_log_;
-  std::uint64_t next_seq_ = 1;
+  IpcLog ipc_log_;
   std::int64_t total_transactions_ = 0;
 
-  std::set<Pid> hooked_runtimes_;
+  // Dense pid-indexed flags (slot = pid - 1): whether the process's runtime
+  // already has our proxy-collect handler installed.
+  std::vector<std::uint8_t> hooked_runtimes_;
   int transact_depth_ = 0;
   std::function<void()> post_transact_hook_;
 };

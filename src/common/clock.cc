@@ -5,8 +5,6 @@
 
 namespace jgre {
 
-void SimClock::AdvanceUs(DurationUs delta) { AdvanceTo(now_us_ + delta); }
-
 void SimClock::AdvanceTo(TimeUs when_us) {
   assert(when_us >= now_us_ && "virtual time cannot go backwards");
   // Fire timers one deadline at a time so a timer that schedules another

@@ -32,14 +32,18 @@ class StringInterner {
   StringInterner& operator=(const StringInterner&) = delete;
 
   // Returns the id for `s`, assigning the next dense id on first sight.
+  // Hot loops intern the same label over and over (per-allocation heap
+  // labels, per-transaction descriptors), so the last hit is memoized: a
+  // repeat costs one string compare instead of a hash lookup.
   Id Intern(std::string_view s) {
+    if (last_id_ != kInvalidId && s == names_[last_id_]) return last_id_;
     auto it = ids_.find(s);
-    if (it != ids_.end()) return it->second;
+    if (it != ids_.end()) return last_id_ = it->second;
     const Id id = static_cast<Id>(names_.size());
     names_.emplace_back(s);
     // The key string_view points into names_ (a deque: stable addresses).
     ids_.emplace(names_.back(), id);
-    return id;
+    return last_id_ = id;
   }
 
   // Looks up `s` without interning; kInvalidId if unseen.
@@ -60,6 +64,7 @@ class StringInterner {
   void RestoreState(snapshot::Deserializer& in) {
     names_.clear();
     ids_.clear();
+    last_id_ = kInvalidId;
     const std::uint64_t n = in.U64();
     for (std::uint64_t i = 0; i < n && in.ok(); ++i) (void)Intern(in.Str());
   }
@@ -74,6 +79,7 @@ class StringInterner {
 
   std::deque<std::string> names_;  // id -> string; deque keeps refs stable
   std::unordered_map<std::string_view, Id, Hash, std::equal_to<>> ids_;
+  Id last_id_ = kInvalidId;  // memo of the most recent Intern result
 };
 
 }  // namespace jgre

@@ -11,6 +11,7 @@
 #ifndef JGRE_COMMON_RING_BUFFER_H_
 #define JGRE_COMMON_RING_BUFFER_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -49,6 +50,38 @@ class RingBuffer {
     ++total_pushed_;
   }
 
+  // Bulk append — observationally identical to pushing each value in order
+  // (same logical indices, same retained values, same save bytes), but
+  // copies whole contiguous runs instead of one branchy store per value.
+  // When `count` is at least the capacity only the newest `capacity` values
+  // land, exactly as repeated Push would leave it.
+  void PushBulk(const T* items, std::size_t count) {
+    total_pushed_ += count;
+    if (count >= capacity_) {
+      items += count - capacity_;
+      storage_.assign(items, items + capacity_);
+      head_ = 0;
+      return;
+    }
+    std::size_t remaining = count;
+    if (storage_.size() < capacity_) {
+      // Not yet full, so head_ is 0 and new values grow the tail.
+      const std::size_t grow =
+          std::min(remaining, capacity_ - storage_.size());
+      storage_.insert(storage_.end(), items, items + grow);
+      items += grow;
+      remaining -= grow;
+    }
+    while (remaining > 0) {
+      const std::size_t run = std::min(remaining, storage_.size() - head_);
+      std::copy_n(items, run, storage_.begin() + head_);
+      head_ += run;
+      if (head_ == storage_.size()) head_ = 0;
+      items += run;
+      remaining -= run;
+    }
+  }
+
   // Value at logical index `index`; must be within [first_index, end_index).
   const T& At(std::uint64_t index) const {
     assert(index >= first_index() && index < end_index());
@@ -63,6 +96,46 @@ class RingBuffer {
     storage_.clear();
     head_ = 0;
     // total_pushed_ keeps counting: logical indices are never reused.
+  }
+
+  // Result of a DrainSince pass: where the reader's watermark should move,
+  // how many values it visited, and how many it missed because they were
+  // overwritten before it caught up (reader overrun).
+  struct DrainStats {
+    std::uint64_t next = 0;     // new watermark (== end_index() at drain time)
+    std::uint64_t visited = 0;  // values delivered through the callback
+    std::uint64_t dropped = 0;  // values lost to overwrite before the drain
+  };
+
+  // Visits every retained value with logical index >= `since`, oldest first,
+  // as at most two contiguous chunks `chunk(const T* data, size_t count)`.
+  // A watermark older than first_index() has been overrun: the missing
+  // values are counted in `dropped` and the visit starts at the oldest
+  // retained value. The per-sink staging buffers in obs::EventBus drain
+  // through this — one virtual batch call per chunk instead of one per event.
+  template <typename ChunkFn>
+  DrainStats DrainSince(std::uint64_t since, ChunkFn&& chunk) const {
+    DrainStats stats;
+    stats.next = end_index();
+    const std::uint64_t first = first_index();
+    if (since > stats.next) since = stats.next;  // future watermark: clamp
+    if (since < first) {
+      stats.dropped = first - since;
+      since = first;
+    }
+    stats.visited = stats.next - since;
+    if (stats.visited == 0) return stats;
+    // Physical layout: oldest lives at head_, wrapping at storage_.size().
+    std::size_t pos = head_ + static_cast<std::size_t>(since - first);
+    if (pos >= storage_.size()) pos -= storage_.size();
+    const std::size_t run =
+        std::min(static_cast<std::size_t>(stats.visited),
+                 storage_.size() - pos);
+    chunk(storage_.data() + pos, run);
+    if (run < stats.visited) {
+      chunk(storage_.data(), static_cast<std::size_t>(stats.visited) - run);
+    }
+    return stats;
   }
 
   // Checkpointing. Retained values are written oldest-to-newest through

@@ -41,7 +41,9 @@ void JgrMonitor::OnJgrAdd(TimeUs now_us, std::size_t count_after,
                               source_.uid, count_after));
   }
   clock_->AdvanceUs(config_.record_cost_us);
-  events_.push_back(JgrEvent{clock_->NowUs(), true, count_after});
+  tape_t_.push_back(clock_->NowUs());
+  tape_is_add_.push_back(1);
+  tape_count_after_.push_back(count_after);
   ++adds_since_alarm_;
   if (!reported_ && adds_since_alarm_ >= config_.report_threshold) {
     reported_ = true;
@@ -60,17 +62,33 @@ void JgrMonitor::OnJgrRemove(TimeUs now_us, std::size_t count_after,
                              ObjectId /*obj*/) {
   if (!recording_) return;
   clock_->AdvanceUs(config_.record_cost_us);
-  events_.push_back(JgrEvent{clock_->NowUs(), false, count_after});
+  tape_t_.push_back(clock_->NowUs());
+  tape_is_add_.push_back(0);
+  tape_count_after_.push_back(count_after);
   (void)now_us;
+}
+
+std::vector<JgrMonitor::JgrEvent> JgrMonitor::events() const {
+  std::vector<JgrEvent> out;
+  out.reserve(tape_t_.size());
+  for (std::size_t i = 0; i < tape_t_.size(); ++i) {
+    out.push_back(JgrEvent{tape_t_[i], tape_is_add_[i] != 0,
+                           static_cast<std::size_t>(tape_count_after_[i])});
+  }
+  return out;
 }
 
 std::vector<TimeUs> JgrMonitor::AddTimes() const {
   std::vector<TimeUs> times;
-  times.reserve(events_.size());
-  for (const JgrEvent& event : events_) {
-    if (event.is_add) times.push_back(event.t);
+  times.reserve(tape_t_.size());
+  for (std::size_t i = 0; i < tape_t_.size(); ++i) {
+    if (tape_is_add_[i] != 0) times.push_back(tape_t_[i]);
   }
-  std::sort(times.begin(), times.end());
+  // The tape records a monotone clock, so the column is already sorted; a
+  // restored tape is a saved live tape and inherits the property.
+  if (!std::is_sorted(times.begin(), times.end())) {
+    std::sort(times.begin(), times.end());
+  }
   return times;
 }
 
@@ -80,7 +98,9 @@ void JgrMonitor::Reset() {
   alarm_at_ = 0;
   reported_at_ = 0;
   adds_since_alarm_ = 0;
-  events_.clear();
+  tape_t_.clear();
+  tape_is_add_.clear();
+  tape_count_after_.clear();
 }
 
 }  // namespace jgre::defense

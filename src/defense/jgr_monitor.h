@@ -1,12 +1,18 @@
 // JgrMonitor — the defense's extended Android Runtime (paper §V.B phase 1).
 //
-// Subscribed on the EventBus for a victim runtime's kJgr events
+// Subscribed (via the JgrMonitorHub) for a victim runtime's kJgr events
 // (system_server or a prebuilt app). Below the alarm threshold it is
 // completely passive (zero overhead). Past the alarm threshold (4,000) it
 // timestamps every JGR add/remove, charging ~1 µs per recorded operation —
 // the overhead §V.D.2 measures. When the number of *new* entries recorded
 // since the alarm exceeds the report threshold (12,000) it flags the victim
 // as under attack; the JgreDefender picks the flag up between transactions.
+//
+// The recorded tape is stored as struct-of-arrays columns (timestamp,
+// add/remove flag, count-after) so the steady-state record path is three
+// flat column pushes, and AddTimes — the scorer's input — is a filtered copy
+// of the timestamp column (already monotone: it records a strictly
+// advancing clock).
 #ifndef JGRE_DEFENSE_JGR_MONITOR_H_
 #define JGRE_DEFENSE_JGR_MONITOR_H_
 
@@ -23,8 +29,10 @@
 namespace jgre::defense {
 
 // The monitor consumes the victim's JGR activity as a bus EventSink,
-// subscribed with a pid filter on the kJgr category.
-class JgrMonitor : public obs::EventSink {
+// subscribed with a pid filter on the kJgr category (or routed to by a
+// JgrMonitorHub, which replaces N filtered subscriptions with one dense
+// pid-indexed dispatch).
+class JgrMonitor final : public obs::EventSink {
  public:
   struct Config {
     std::size_t alarm_threshold = 4000;
@@ -32,6 +40,7 @@ class JgrMonitor : public obs::EventSink {
     DurationUs record_cost_us = 1;         // §V.D.2: ~1 µs per recorded op
   };
 
+  // Materialized view of one recorded tape entry (storage is columnar).
   struct JgrEvent {
     TimeUs t = 0;
     bool is_add = false;
@@ -55,7 +64,10 @@ class JgrMonitor : public obs::EventSink {
   bool reported() const { return reported_; }
   TimeUs alarm_at() const { return alarm_at_; }
   TimeUs reported_at() const { return reported_at_; }
-  const std::vector<JgrEvent>& events() const { return events_; }
+  std::size_t event_count() const { return tape_t_.size(); }
+  // Materializes the recorded tape (tests/reporting; the scorer path uses
+  // AddTimes, which reads the columns directly).
+  std::vector<JgrEvent> events() const;
   const std::string& victim_name() const { return victim_name_; }
 
   // Sorted timestamps of recorded JGR creations (Algorithm 1's JGRAdds).
@@ -73,11 +85,11 @@ class JgrMonitor : public obs::EventSink {
     out.U64(alarm_at_);
     out.U64(reported_at_);
     out.U64(adds_since_alarm_);
-    out.U64(events_.size());
-    for (const JgrEvent& event : events_) {
-      out.U64(event.t);
-      out.Bool(event.is_add);
-      out.U64(event.count_after);
+    out.U64(tape_t_.size());
+    for (std::size_t i = 0; i < tape_t_.size(); ++i) {
+      out.U64(tape_t_[i]);
+      out.Bool(tape_is_add_[i] != 0);
+      out.U64(tape_count_after_[i]);
     }
   }
   void RestoreState(snapshot::Deserializer& in) {
@@ -86,13 +98,13 @@ class JgrMonitor : public obs::EventSink {
     alarm_at_ = in.U64();
     reported_at_ = in.U64();
     adds_since_alarm_ = in.U64();
-    events_.clear();
+    tape_t_.clear();
+    tape_is_add_.clear();
+    tape_count_after_.clear();
     for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
-      JgrEvent event;
-      event.t = in.U64();
-      event.is_add = in.Bool();
-      event.count_after = in.U64();
-      events_.push_back(event);
+      tape_t_.push_back(in.U64());
+      tape_is_add_.push_back(in.Bool() ? 1 : 0);
+      tape_count_after_.push_back(in.U64());
     }
   }
 
@@ -107,7 +119,10 @@ class JgrMonitor : public obs::EventSink {
   TimeUs alarm_at_ = 0;
   TimeUs reported_at_ = 0;
   std::size_t adds_since_alarm_ = 0;
-  std::vector<JgrEvent> events_;
+  // The recorded tape, struct-of-arrays.
+  std::vector<TimeUs> tape_t_;
+  std::vector<std::uint8_t> tape_is_add_;
+  std::vector<std::uint64_t> tape_count_after_;
 };
 
 }  // namespace jgre::defense

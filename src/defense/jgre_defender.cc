@@ -19,9 +19,7 @@ JgreDefender::~JgreDefender() {
   if (installed_) {
     system_->SetPumpExtension(nullptr);
     system_->SetPostRebootHook(nullptr);
-    for (auto& [name, monitor] : monitors_) {
-      system_->kernel().bus().Unsubscribe(monitor.get());
-    }
+    hub_.reset();  // unsubscribes its kJgr route
     if (tap_ != nullptr) system_->kernel().bus().Unsubscribe(tap_.get());
   }
 }
@@ -29,7 +27,7 @@ JgreDefender::~JgreDefender() {
 void JgreDefender::DetachMonitor(const std::string& name) {
   auto it = monitors_.find(name);
   if (it == monitors_.end()) return;
-  system_->kernel().bus().Unsubscribe(it->second.get());
+  if (hub_ != nullptr) hub_->Detach(it->second.get());
 }
 
 void JgreDefender::Install() {
@@ -53,11 +51,16 @@ void JgreDefender::Install() {
       system_->kernel().CreateProcess("jgre_defender", kSystemUid, pc);
 
   // The defender's IPC tap: every kernel-side transaction record arrives as
-  // a bus event the moment it happens — no more polling the procfs log.
+  // a bus event — no more polling the procfs log. The tap is a pure log, so
+  // it rides the bus's buffered (batched) delivery; RankApps flushes the bus
+  // before reading it.
   tap_ = std::make_unique<IpcTap>(config_.ipc_event_capacity);
   system_->kernel().bus().Subscribe(tap_.get(),
-                                    obs::MaskOf(obs::Category::kIpc));
+                                    obs::MaskOf(obs::Category::kIpc),
+                                    /*pid_filter=*/-1, obs::Delivery::kBuffered);
 
+  // One kJgr subscription for all monitors, routed by victim pid.
+  hub_ = std::make_unique<JgrMonitorHub>(&system_->kernel().bus());
   AttachMonitors();
   system_->SetPumpExtension([this] { Check(); });
   system_->SetPostRebootHook([this] { AttachMonitors(); });
@@ -69,21 +72,20 @@ void JgreDefender::Install() {
 
 void JgreDefender::AttachMonitors() {
   // (Re-)attach to the current incarnation of each protected runtime: each
-  // monitor subscribes to the bus for the victim pid's kJgr events. A soft
-  // reboot gives system_server a new pid, so the subscription (and its pid
-  // filter) is rebuilt here by the post-reboot hook.
+  // monitor gets a hub route for the victim pid's kJgr events. A soft reboot
+  // gives system_server a new pid, so the route is rebuilt here by the
+  // post-reboot hook.
   obs::EventBus& bus = system_->kernel().bus();
   auto attach = [this, &bus](const std::string& name, Pid victim_pid) {
     if (!victim_pid.valid()) return;
-    // Drop the old subscription before the old monitor is destroyed by the
-    // map assignment (also avoids double observation when AttachMonitors is
+    // Drop the old route before the old monitor is destroyed by the map
+    // assignment (also avoids double observation when AttachMonitors is
     // called redundantly).
     DetachMonitor(name);
     auto monitor = std::make_unique<JgrMonitor>(&system_->clock(), name,
                                                 config_.monitor);
     monitor->set_source(obs::Source{&bus, victim_pid.value(), -1});
-    bus.Subscribe(monitor.get(), obs::MaskOf(obs::Category::kJgr),
-                  victim_pid.value());
+    hub_->Attach(victim_pid, monitor.get());
     monitors_[name] = std::move(monitor);
   };
   attach("system_server", system_->system_server_pid());
@@ -139,8 +141,10 @@ std::vector<JgreDefender::ScoreEntry> JgreDefender::RankApps(
   // targeting the victim since the alarm; system uids are exempt: the
   // defender only ever kills apps (LMK-style policy). The ranking reads the
   // defender's own bus-fed tap (kIpc events carry the exact MakeIpcTypeKey
-  // packing in arg1), so Install() is a precondition.
+  // packing in arg1), so Install() is a precondition. The tap is on
+  // buffered delivery; drain staged events before reading the ring.
   if (tap_ == nullptr) return {};
+  system_->kernel().bus().Flush();
   std::map<Uid, std::vector<IpcEvent>> calls_by_app;
   std::size_t parsed_records = 0;
   const RingBuffer<obs::TraceEvent>& ring = tap_->ring();
@@ -266,8 +270,12 @@ void JgreDefender::RunIncident(const std::string& victim_name,
                  static_cast<std::int64_t>(report.jgr_after_recovery),
                  report.recovered ? 1 : 0));
   monitor->Reset();
-  // Drop the consumed window: the next incident scores fresh records only.
-  if (tap_ != nullptr) tap_->Clear();
+  // Drop the consumed window (including events staged during the recovery
+  // kills): the next incident scores fresh records only.
+  if (tap_ != nullptr) {
+    system_->kernel().bus().Flush();
+    tap_->Clear();
+  }
   JGRE_LOG(kWarning, "JgreDefender")
       << victim_name << ": incident handled, killed "
       << report.killed_packages.size() << " app(s), JGR "

@@ -25,6 +25,7 @@
 #include "common/ring_buffer.h"
 #include "core/android_system.h"
 #include "defense/jgr_monitor.h"
+#include "defense/monitor_hub.h"
 #include "defense/scoring.h"
 #include "obs/event.h"
 #include "snapshot/serializer.h"
@@ -106,6 +107,9 @@ class JgreDefender {
    public:
     explicit IpcTap(std::size_t capacity) : ring_(capacity) {}
     void OnEvent(const obs::TraceEvent& event) override { ring_.Push(event); }
+    void OnBatch(const obs::TraceEvent* events, std::size_t count) override {
+      ring_.PushBulk(events, count);
+    }
     const RingBuffer<obs::TraceEvent>& ring() const { return ring_; }
     void Clear() { ring_.Clear(); }
 
@@ -165,6 +169,8 @@ class JgreDefender {
   Pid defender_pid_;
   // victim name ("system_server", "com.android.bluetooth", ...) -> monitor.
   std::map<std::string, std::unique_ptr<JgrMonitor>> monitors_;
+  // One kJgr subscription routing to the monitors by pid (see monitor_hub.h).
+  std::unique_ptr<JgrMonitorHub> hub_;
   std::unique_ptr<IpcTap> tap_;
   std::vector<IncidentReport> incidents_;
   // Reusable scoring buffers (segment tree, grouping scratch) shared across

@@ -1,0 +1,24 @@
+#include "defense/monitor_hub.h"
+
+namespace jgre::defense {
+
+JgrMonitorHub::JgrMonitorHub(obs::EventBus* bus) : bus_(bus) {
+  bus_->Subscribe(this, obs::MaskOf(obs::Category::kJgr));
+}
+
+JgrMonitorHub::~JgrMonitorHub() { bus_->Unsubscribe(this); }
+
+void JgrMonitorHub::Attach(Pid pid, JgrMonitor* monitor) {
+  if (pid.value() < 1) return;
+  const std::size_t slot = static_cast<std::size_t>(pid.value() - 1);
+  if (slot >= routes_.size()) routes_.resize(slot + 1, nullptr);
+  routes_[slot] = monitor;
+}
+
+void JgrMonitorHub::Detach(const JgrMonitor* monitor) {
+  for (JgrMonitor*& route : routes_) {
+    if (route == monitor) route = nullptr;
+  }
+}
+
+}  // namespace jgre::defense

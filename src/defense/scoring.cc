@@ -7,6 +7,32 @@ namespace jgre::defense {
 
 namespace {
 
+// Exact unsigned division by a loop-invariant divisor via one 128-bit
+// multiply (Granlund–Montgomery): with M = floor(2^64/d) + 1,
+// hi64(x * M) == x / d for every x below 2^64 / (M*d - 2^64), which is at
+// least 2^64/d — far above the microsecond delays this file divides
+// (<= max_delay + delta). The per-pair bucket mapping runs two of these, so
+// replacing ~25-cycle div instructions with multiplies is most of the
+// batched engine's per-pair win.
+class FastDiv {
+ public:
+  explicit FastDiv(std::uint64_t d)
+      : d_(d),
+        // d == 1 would overflow the magic (and huge d weakens the exactness
+        // bound); both fall back to the hardware divide.
+        m_(d > 1 && d < (std::uint64_t{1} << 31) ? ~std::uint64_t{0} / d + 1
+                                                 : 0) {}
+  std::uint64_t Div(std::uint64_t x) const {
+    if (m_ == 0) return x / d_;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * m_) >> 64);
+  }
+
+ private:
+  std::uint64_t d_;
+  std::uint64_t m_;
+};
+
 // Number of delay buckets the vote axis needs for the given parameters.
 std::size_t BucketCount(const ScoringParams& params) {
   return static_cast<std::size_t>((params.max_delay_us + params.delta_us) /
@@ -62,6 +88,90 @@ std::int64_t ScoreType(Tree& delay_votes, const std::vector<TimeUs>& call_times,
   return total;
 }
 
+// The batched engine. Semantically identical to ScoreType on a segment
+// tree, but restructured for flat column passes:
+//
+//   1. Pairing: call_times and jgr_add_times are both sorted, so the
+//      causal window [ipc_time, ipc_time + max_delay] is tracked with two
+//      monotone cursors — O(calls + adds + pairs) total instead of a binary
+//      search per call.
+//   2. Voting: each pair votes +1 on its delay-bucket interval via a
+//      difference array (two additions), replacing an O(log buckets) lazy
+//      tree update.
+//   3. Peak: one prefix scan materializes the per-bucket vote counts; a
+//      linear max with strict `>` keeps the *first* maximal bucket, which
+//      is exactly MaxSegmentTree::ArgGlobalMax's left-biased descent.
+//   4. Peeling (max_paths > 1): suppression subtracts the same kSuppress
+//      constant over the same clamped halo the tree version applies, then
+//      rescans — identical path sums, identical work counters.
+std::int64_t ScoreTypeBatched(std::vector<std::int64_t>& votes,
+                              std::size_t buckets,
+                              const std::vector<TimeUs>& call_times,
+                              const std::vector<TimeUs>& jgr_add_times,
+                              const ScoringParams& params, ScoringCost* cost) {
+  votes.assign(buckets + 1, 0);
+  const std::size_t adds = jgr_add_times.size();
+  const FastDiv bucket_div(static_cast<std::uint64_t>(params.bucket_us));
+  const std::uint64_t delta = static_cast<std::uint64_t>(params.delta_us);
+  std::int64_t pairs = 0;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  for (TimeUs ipc_time : call_times) {
+    while (lo < adds && jgr_add_times[lo] < ipc_time) ++lo;
+    if (hi < lo) hi = lo;
+    const TimeUs limit = ipc_time + params.max_delay_us;
+    while (hi < adds && jgr_add_times[hi] <= limit) ++hi;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint64_t min_delay =
+          static_cast<std::uint64_t>(jgr_add_times[i] - ipc_time);
+      const std::size_t b_lo =
+          static_cast<std::size_t>(bucket_div.Div(min_delay));
+      const std::size_t b_hi =
+          static_cast<std::size_t>(bucket_div.Div(min_delay + delta));
+      ++votes[b_lo];
+      --votes[b_hi + 1];
+    }
+    pairs += static_cast<std::int64_t>(hi - lo);
+  }
+  if (pairs == 0) return 0;
+  if (cost != nullptr) {
+    cost->pairs += pairs;
+    cost->range_ops += pairs;
+  }
+  std::int64_t running = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    running += votes[b];
+    votes[b] = running;
+  }
+  constexpr std::int64_t kSuppress = std::int64_t{1} << 40;
+  const std::int64_t peak_halo =
+      static_cast<std::int64_t>(params.delta_us / params.bucket_us) + 1;
+  std::int64_t total = 0;
+  const int paths = std::max(1, params.max_paths);
+  for (int path = 0; path < paths; ++path) {
+    std::int64_t peak = votes[0];
+    std::size_t arg = 0;
+    for (std::size_t b = 1; b < buckets; ++b) {
+      if (votes[b] > peak) {
+        peak = votes[b];
+        arg = b;
+      }
+    }
+    if (peak <= 0) break;
+    total += peak;
+    if (path + 1 < paths) {
+      std::int64_t s = static_cast<std::int64_t>(arg) - peak_halo;
+      std::int64_t e = static_cast<std::int64_t>(arg) + peak_halo;
+      if (s < 0) s = 0;
+      if (e > static_cast<std::int64_t>(buckets) - 1) {
+        e = static_cast<std::int64_t>(buckets) - 1;
+      }
+      for (std::int64_t b = s; b <= e; ++b) votes[b] -= kSuppress;
+    }
+  }
+  return total;
+}
+
 }  // namespace
 
 MaxSegmentTree& ScoringWorkspace::AcquireTree(std::size_t buckets) {
@@ -91,10 +201,14 @@ std::int64_t JgreScoreForApp(const std::vector<IpcEvent>& app_calls,
   // call list, already time-sorted.
   std::vector<IpcEvent>& events = ws.grouping_buffer();
   events.assign(app_calls.begin(), app_calls.end());
-  std::sort(events.begin(), events.end(),
-            [](const IpcEvent& a, const IpcEvent& b) {
-              return a.type != b.type ? a.type < b.type : a.t < b.t;
-            });
+  const auto by_type_then_time = [](const IpcEvent& a, const IpcEvent& b) {
+    return a.type != b.type ? a.type < b.type : a.t < b.t;
+  };
+  // Single-type recordings arrive already time-ordered (the tap preserves
+  // emission order), so the common case is one linear is_sorted pass.
+  if (!std::is_sorted(events.begin(), events.end(), by_type_then_time)) {
+    std::sort(events.begin(), events.end(), by_type_then_time);
+  }
   const std::size_t buckets = BucketCount(params);
   std::int64_t score = 0;
   std::size_t run_start = 0;
@@ -110,12 +224,20 @@ std::int64_t JgreScoreForApp(const std::vector<IpcEvent>& app_calls,
     for (std::size_t i = run_start; i < run_end; ++i) {
       times.push_back(events[i].t);
     }
-    if (params.use_segment_tree) {
-      score += ScoreType(ws.AcquireTree(buckets), times, jgr_add_times, params,
-                         cost);
-    } else {
-      NaiveRangeMax naive(buckets);
-      score += ScoreType(naive, times, jgr_add_times, params, cost);
+    switch (params.engine) {
+      case ScoreEngine::kBatched:
+        score += ScoreTypeBatched(ws.votes_buffer(), buckets, times,
+                                  jgr_add_times, params, cost);
+        break;
+      case ScoreEngine::kSegmentTree:
+        score += ScoreType(ws.AcquireTree(buckets), times, jgr_add_times,
+                           params, cost);
+        break;
+      case ScoreEngine::kNaive: {
+        NaiveRangeMax naive(buckets);
+        score += ScoreType(naive, times, jgr_add_times, params, cost);
+        break;
+      }
     }
     run_start = run_end;
   }

@@ -14,9 +14,14 @@
 // lot (the counts only grow when calls actually produce JGRs at a consistent
 // lag).
 //
-// The interval-vote/max structure is implemented on the lazy segment tree of
-// §V.D.2; a naive O(interval) reference implementation is kept for property
-// tests and the ablation bench.
+// The interval-vote/max structure has three interchangeable engines (see
+// ScoreEngine): the default batched engine walks each IPC type's calls and
+// the JGR adds with two monotone cursors and accumulates votes in a flat
+// difference array (one prefix scan replaces per-pair O(log n) tree
+// updates); the lazy segment tree of §V.D.2 is kept as the golden
+// cross-check; and a naive O(interval) reference backs property tests and
+// the ablation bench. All three produce identical scores and identical
+// work counters.
 #ifndef JGRE_DEFENSE_SCORING_H_
 #define JGRE_DEFENSE_SCORING_H_
 
@@ -29,6 +34,15 @@
 
 namespace jgre::defense {
 
+// Which interval-vote/max implementation scores each IPC type. All engines
+// are score-for-score identical; they differ only in how the votes are
+// accumulated and the peak located.
+enum class ScoreEngine {
+  kBatched = 0,   // difference-array votes + prefix scan (default, fastest)
+  kSegmentTree,   // §V.D.2 lazy segment tree (golden cross-check)
+  kNaive,         // O(interval) reference (property tests, ablation)
+};
+
 struct ScoringParams {
   // Δ: the deviation bound. The paper's single-attacker experiment uses the
   // services' average of 1.8 ms; Fig 9 sweeps {79, 1900, 3583} µs.
@@ -39,7 +53,7 @@ struct ScoringParams {
   // be cause and effect for any interface (the slowest handler finishes well
   // within ~60 ms at the JGR counts where detection runs).
   DurationUs max_delay_us = 60'000;
-  bool use_segment_tree = true;
+  ScoreEngine engine = ScoreEngine::kBatched;
   // Only the trailing window of the recording is scored. Observation 2 holds
   // *locally*: a vulnerable interface's Delay is stable over seconds but
   // drifts as its retained state grows (Fig 5), so scoring the whole
@@ -97,11 +111,15 @@ class ScoringWorkspace {
   MaxSegmentTree& AcquireTree(std::size_t buckets);
   std::vector<IpcEvent>& grouping_buffer() { return grouping_; }
   std::vector<TimeUs>& times_buffer() { return times_; }
+  // Flat vote column for the batched engine (difference array, then scanned
+  // in place into per-bucket vote counts).
+  std::vector<std::int64_t>& votes_buffer() { return votes_; }
 
  private:
   std::unique_ptr<MaxSegmentTree> tree_;
   std::vector<IpcEvent> grouping_;
   std::vector<TimeUs> times_;
+  std::vector<std::int64_t> votes_;
 };
 
 // Computes one app's jgre_score against the victim's JGR-creation times.

@@ -53,15 +53,18 @@ Experiment::Experiment(const ExperimentConfig& config,
     defender_->Install();
   }
   // Pure sinks: subscribing them never advances the virtual clock, so a
-  // traced run is event-for-event identical to an untraced one.
+  // traced run is event-for-event identical to an untraced one. Both ride
+  // buffered delivery — the trace()/metrics() accessors flush before reads.
   if (config_.trace_) {
     trace_ = std::make_unique<obs::TraceBuffer>();
-    bus().Subscribe(trace_.get(), config_.trace_mask_);
+    bus().Subscribe(trace_.get(), config_.trace_mask_, /*pid_filter=*/-1,
+                    obs::Delivery::kBuffered);
   }
   if (config_.metrics_) {
     metrics_ = std::make_unique<obs::MetricsRegistry>();
     metrics_sink_ = std::make_unique<obs::MetricsSink>(metrics_.get());
-    bus().Subscribe(metrics_sink_.get(), obs::kAllCategories);
+    bus().Subscribe(metrics_sink_.get(), obs::kAllCategories,
+                    /*pid_filter=*/-1, obs::Delivery::kBuffered);
   }
 
   attack::BenignWorkload::Options benign_options;
@@ -91,6 +94,16 @@ Experiment::~Experiment() {
 }
 
 obs::EventBus& Experiment::bus() { return system_->kernel().bus(); }
+
+obs::TraceBuffer* Experiment::trace() {
+  if (trace_ != nullptr) bus().Flush();
+  return trace_.get();
+}
+
+obs::MetricsRegistry* Experiment::metrics() {
+  if (metrics_ != nullptr) bus().Flush();
+  return metrics_.get();
+}
 
 DefendedAttackResult Experiment::RunDefendedAttack() {
   DefendedAttackResult result;
@@ -127,6 +140,7 @@ DefendedAttackResult Experiment::RunDefendedAttack() {
 
 bool Experiment::WriteChromeTrace(const std::string& path) {
   if (trace_ == nullptr) return false;
+  bus().Flush();  // drain staged events into the trace ring
   auto resolver = [this](std::int32_t pid) -> std::string {
     const os::Process* p = system_->kernel().FindProcess(Pid{pid});
     return p == nullptr ? std::string() : p->name;

@@ -183,8 +183,10 @@ class Experiment {
   attack::MaliciousApp* attacker() { return attacker_.get(); }
   services::AppProcess* attacker_process() { return attacker_process_; }
   attack::BenignWorkload* benign() { return benign_.get(); }
-  obs::TraceBuffer* trace() { return trace_.get(); }
-  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  // Trace/metrics sinks ride the bus's buffered (batched) delivery; these
+  // accessors flush staged events first so reads always see a complete view.
+  obs::TraceBuffer* trace();
+  obs::MetricsRegistry* metrics();
   Rng& rng() { return rng_; }
 
   // Runs the attack loop with interleaved benign traffic until the defender

@@ -12,6 +12,7 @@
 #ifndef JGRE_OBS_EVENT_H_
 #define JGRE_OBS_EVENT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <type_traits>
 
@@ -166,12 +167,22 @@ constexpr TraceEvent MakeEvent(Category category, Label label, TimeUs ts_us,
                    dur_us);
 }
 
-// The one observation interface. Implementations: defense::JgrMonitor,
+// The one observation interface. Implementations: defense::JgrMonitorHub,
 // the defender's IPC tap, obs::TraceBuffer, obs::MetricsSink.
+//
+// Sinks subscribed for buffered delivery receive their events through
+// OnBatch — one virtual call per drained staging chunk instead of one per
+// event. The default implementation unrolls to OnEvent, so a sink only
+// overrides OnBatch when it has a cheaper bulk path (or wants the per-event
+// virtual dispatch gone). OnBatch implementations must not publish to the
+// bus: a drain can run inside Emit() when a staging buffer fills.
 class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void OnEvent(const TraceEvent& event) = 0;
+  virtual void OnBatch(const TraceEvent* events, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) OnEvent(events[i]);
+  }
 };
 
 }  // namespace jgre::obs

@@ -7,13 +7,33 @@
 // an unsubscribed category costs one predictable branch per operation —
 // within the PR-1 perf envelope.
 //
-// Dispatch is synchronous and in subscription order. Sinks may re-enter
-// Emit() (the JgrMonitor emits defense annotations while consuming a jgr
-// event); they must not Subscribe/Unsubscribe from inside OnEvent.
+// Delivery modes:
+//
+// * kImmediate — the sink's OnEvent runs synchronously inside Emit(), in
+//   subscription order. Required for sinks whose consumption has simulation
+//   side effects (the defense's JgrMonitorHub advances virtual time per
+//   recorded JGR op and its report flag is polled between transactions).
+//   Immediate sinks may re-enter Emit(); they must not Subscribe/Unsubscribe
+//   from inside OnEvent.
+// * kBuffered — Emit() appends the (filtered) event to a per-subscription
+//   flat staging buffer and returns; the sink sees the events later as one
+//   contiguous OnBatch chunk when the bus flushes. Buffering replaces the
+//   seed's per-event virtual dispatch on the hot path for every sink that
+//   merely folds or copies events (trace rings, metrics, coverage, the
+//   defender's IPC tap): staging an event is an indexed store plus a
+//   capacity check. A staging buffer that fills mid-emission is drained in
+//   place, so no event is ever lost; explicit Flush() calls are the read
+//   barrier every consumer needs before inspecting a buffered sink's state.
+//
+// Defining JGRE_OBS_LEGACY_PUBLISH coerces every buffered subscription back
+// to immediate per-event dispatch — the deprecation escape hatch for the
+// removed per-event publish path (kept one PR, like the PR-2/PR-3 adapter
+// removals).
 #ifndef JGRE_OBS_EVENT_BUS_H_
 #define JGRE_OBS_EVENT_BUS_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,8 +44,17 @@
 
 namespace jgre::obs {
 
+enum class Delivery : std::uint8_t {
+  kImmediate,  // OnEvent inside Emit (synchronous, may re-enter Emit)
+  kBuffered,   // staged per-sink, delivered as OnBatch chunks on Flush
+};
+
 class EventBus {
  public:
+  // Events a buffered subscription can stage before Emit() drains it
+  // in place.
+  static constexpr std::size_t kStagingCapacity = 4096;
+
   EventBus();
 
   EventBus(const EventBus&) = delete;
@@ -35,7 +64,9 @@ class EventBus {
   // additionally filtered to `pid_filter` unless it is -1. A sink may be
   // subscribed at most once (re-subscribing replaces the old subscription).
   void Subscribe(EventSink* sink, CategoryMask mask,
-                 std::int32_t pid_filter = -1);
+                 std::int32_t pid_filter = -1,
+                 Delivery delivery = Delivery::kImmediate);
+  // Flushes any staged events to `sink`, then removes the subscription.
   void Unsubscribe(EventSink* sink);
 
   // True if at least one subscriber wants `category`. Emitters check this
@@ -45,6 +76,16 @@ class EventBus {
   }
 
   void Emit(const TraceEvent& event);
+
+  // Drains every buffered subscription's staging buffer, in subscription
+  // order, as OnBatch chunks. The read barrier before any code inspects a
+  // buffered sink (defender ranking, coverage element harvest, trace/metrics
+  // export, snapshot capture). No-op when nothing is staged.
+  void Flush();
+
+  // Total events currently staged across buffered subscriptions (test/debug
+  // visibility into flush seams).
+  std::uint64_t pending_count() const;
 
   // Interns an event name, returning its dense deterministic id. Well-known
   // labels (obs::Label) are pre-interned in enum order by the constructor.
@@ -57,7 +98,9 @@ class EventBus {
 
   // Checkpointing: the label interner (ids are referenced by serialized
   // TraceEvents and driver caches) and the emitted counter. Subscriptions
-  // are wiring and are rebuilt by their owners after a restore.
+  // (and their staging buffers) are wiring and are rebuilt by their owners
+  // after a restore; the snapshot orchestrator flushes before capturing so
+  // no staged event is in flight at save time.
   void SaveState(snapshot::Serializer& out) const {
     labels_.SaveState(out);
     out.U64(emitted_);
@@ -72,7 +115,16 @@ class EventBus {
     EventSink* sink = nullptr;
     CategoryMask mask = 0;
     std::int32_t pid_filter = -1;
+    // Flat staging buffer (kStagingCapacity slots) + fill count; null for
+    // immediate subscriptions. Not a ring: the buffer is always drained
+    // whole before it would wrap, so staging stays an indexed store.
+    // unique_ptr keeps Subscription movable and the immediate case
+    // allocation-free.
+    std::unique_ptr<std::vector<TraceEvent>> staging;
+    std::uint32_t staged = 0;
   };
+
+  void FlushSub(Subscription& sub);
 
   std::vector<Subscription> subs_;
   int want_counts_[kCategoryCount] = {};

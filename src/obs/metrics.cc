@@ -46,14 +46,16 @@ MetricsSink::MetricsSink(MetricsRegistry* registry)
     : registry_(registry),
       jgr_adds_(&registry->Counter("jgr.adds")),
       jgr_removes_(&registry->Counter("jgr.removes")),
-      ipc_calls_(&registry->Counter("ipc.calls")) {}
+      ipc_calls_(&registry->Counter("ipc.calls")),
+      jgr_peak_(&registry->Gauge("jgr.peak")) {}
 
-void MetricsSink::OnEvent(const TraceEvent& event) {
+void MetricsSink::Fold(const TraceEvent& event) {
   switch (event.category) {
     case Category::kJgr:
       if (event.name == LabelIdOf(Label::kJgrAdd)) {
         ++*jgr_adds_;
-        registry_->GaugeMax("jgr.peak", static_cast<double>(event.arg0));
+        const double count_after = static_cast<double>(event.arg0);
+        if (count_after > *jgr_peak_) *jgr_peak_ = count_after;
       } else if (event.name == LabelIdOf(Label::kJgrRemove)) {
         ++*jgr_removes_;
       } else if (event.name == LabelIdOf(Label::kJgrOverflow)) {

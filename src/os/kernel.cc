@@ -45,16 +45,17 @@ Pid Kernel::CreateProcess(const std::string& name, Uid uid,
   }
   used_memory_kb_ += proc.memory_kb;
   ++live_count_;
-  processes_.emplace(pid, std::move(proc));
+  assert(static_cast<std::size_t>(pid.value()) == processes_.size() + 1);
+  processes_.push_back(std::make_unique<Process>(std::move(proc)));
   LogEvent(StrCat("start pid=", pid.value(), " uid=", uid.value(), " ", name));
   CheckMemoryPressure();
   return pid;
 }
 
 void Kernel::KillProcess(Pid pid, const std::string& reason) {
-  auto it = processes_.find(pid);
-  if (it == processes_.end() || !it->second.alive) return;
-  Process& proc = it->second;
+  Process* found = FindProcess(pid);
+  if (found == nullptr || !found->alive) return;
+  Process& proc = *found;
   proc.alive = false;
   used_memory_kb_ -= proc.memory_kb;
   --live_count_;
@@ -80,13 +81,15 @@ void Kernel::KillProcess(Pid pid, const std::string& reason) {
 }
 
 Process* Kernel::FindProcess(Pid pid) {
-  auto it = processes_.find(pid);
-  return it == processes_.end() ? nullptr : &it->second;
+  const std::int32_t id = pid.value();
+  if (id < 1 || id >= next_pid_) return nullptr;
+  return processes_[static_cast<std::size_t>(id - 1)].get();
 }
 
 const Process* Kernel::FindProcess(Pid pid) const {
-  auto it = processes_.find(pid);
-  return it == processes_.end() ? nullptr : &it->second;
+  const std::int32_t id = pid.value();
+  if (id < 1 || id >= next_pid_) return nullptr;
+  return processes_[static_cast<std::size_t>(id - 1)].get();
 }
 
 bool Kernel::IsAlive(Pid pid) const {
@@ -97,16 +100,16 @@ bool Kernel::IsAlive(Pid pid) const {
 std::vector<Pid> Kernel::LivePids() const {
   std::vector<Pid> pids;
   pids.reserve(live_count_);
-  for (const auto& [pid, proc] : processes_) {
-    if (proc.alive) pids.push_back(pid);
+  for (const auto& proc : processes_) {  // index order == ascending pids
+    if (proc->alive) pids.push_back(proc->pid);
   }
   return pids;
 }
 
 std::vector<Pid> Kernel::LivePidsForUid(Uid uid) const {
   std::vector<Pid> pids;
-  for (const auto& [pid, proc] : processes_) {
-    if (proc.alive && proc.uid == uid) pids.push_back(pid);
+  for (const auto& proc : processes_) {
+    if (proc->alive && proc->uid == uid) pids.push_back(proc->pid);
   }
   return pids;
 }
@@ -170,9 +173,9 @@ std::optional<std::string> Kernel::TakePendingSoftReboot() {
 }
 
 void Kernel::ReapDeadProcesses() {
-  for (auto& [pid, proc] : processes_) {
-    if (!proc.alive && proc.runtime != nullptr) {
-      proc.runtime.reset();  // JGR tables and heap disappear with the process
+  for (auto& proc : processes_) {
+    if (!proc->alive && proc->runtime != nullptr) {
+      proc->runtime.reset();  // JGR tables and heap disappear with the process
     }
   }
 }
@@ -184,7 +187,8 @@ void Kernel::SaveState(snapshot::Serializer& out) const {
   bus_.SaveState(out);
   out.I64(next_pid_);
   out.U64(processes_.size());
-  for (const auto& [pid, proc] : processes_) {  // std::map: ascending pids
+  for (const auto& p : processes_) {  // index order == ascending pids
+    const Process& proc = *p;
     out.I64(proc.pid.value());
     out.I64(proc.uid.value());
     out.Str(proc.name);
@@ -218,9 +222,14 @@ void Kernel::RestoreState(snapshot::Deserializer& in) {
   next_pid_ = static_cast<std::int32_t>(in.I64());
   processes_.clear();
   const std::uint64_t count = in.U64();
+  processes_.reserve(count);
   for (std::uint64_t i = 0; i < count && in.ok(); ++i) {
     Process proc;
     proc.pid = Pid{static_cast<std::int32_t>(in.I64())};
+    if (static_cast<std::uint64_t>(proc.pid.value()) != i + 1) {
+      in.Fail("process table pids are not dense");
+      return;
+    }
     proc.uid = Uid{static_cast<std::int32_t>(in.I64())};
     proc.name = in.Str();
     proc.alive = in.Bool();
@@ -244,7 +253,9 @@ void Kernel::RestoreState(snapshot::Deserializer& in) {
         KillProcess(pid, StrCat("runtime abort: ", reason));
       });
     }
-    if (in.ok()) processes_.emplace(proc.pid, std::move(proc));
+    if (in.ok()) {
+      processes_.push_back(std::make_unique<Process>(std::move(proc)));
+    }
   }
   live_count_ = static_cast<std::size_t>(in.U64());
   used_memory_kb_ = in.I64();

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -158,8 +157,12 @@ class Kernel {
   // so it must outlive them.
   obs::EventBus bus_;
 
+  // Pids are dense (1, 2, 3, ...) and processes are never erased — dead ones
+  // only lose their runtime — so the process table is a flat vector indexed
+  // by pid - 1. unique_ptr keeps Process* stable across table growth
+  // (FindProcess results are held across calls that create processes).
   std::int32_t next_pid_ = 1;
-  std::map<Pid, Process> processes_;
+  std::vector<std::unique_ptr<Process>> processes_;
   std::size_t live_count_ = 0;
   std::int64_t used_memory_kb_ = 0;
 

@@ -1,83 +1,130 @@
 #include "runtime/heap.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace jgre::rt {
 
-ObjectId Heap::Alloc(ObjectKind kind, std::string label) {
+ObjectId Heap::PushObject(ObjectKind kind, StringInterner::Id label) {
   const ObjectId id{next_id_++};
-  HeapObject obj;
-  obj.id = id;
-  obj.kind = kind;
-  obj.label = std::move(label);
-  objects_.emplace(id, std::move(obj));
+  kind_.push_back(static_cast<std::uint8_t>(kind));
+  holds_.push_back(0);
+  label_.push_back(label);
+  managed_ref_.push_back(kHeapNullRef);
+  weak_ref_.push_back(kHeapNullRef);
+  node_.push_back(NodeId{}.value());
+  ++live_count_;
+  // Fresh objects start unheld, so they are collection candidates until
+  // someone takes a hold.
+  unheld_candidates_.push_back(id);
   return id;
 }
 
-const HeapObject& Heap::Get(ObjectId id) const {
-  auto it = objects_.find(id);
-  assert(it != objects_.end() && "access to freed heap object");
-  return it->second;
+ObjectId Heap::Alloc(ObjectKind kind, std::string_view label) {
+  return PushObject(kind, labels_.Intern(label));
 }
 
-void Heap::AddHold(ObjectId id) {
-  auto it = objects_.find(id);
-  assert(it != objects_.end());
-  ++it->second.strong_holds;
+ObjectId Heap::Alloc(ObjectKind kind, std::string_view label_prefix,
+                     std::string_view label_suffix) {
+  label_scratch_.assign(label_prefix);
+  label_scratch_.append(label_suffix);
+  return PushObject(kind, labels_.Intern(label_scratch_));
 }
 
-void Heap::RemoveHold(ObjectId id) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) return;  // already collected
-  assert(it->second.strong_holds > 0 && "hold underflow");
-  --it->second.strong_holds;
+void Heap::Free(ObjectId id) {
+  if (!IsAlive(id)) return;
+  const std::size_t slot = SlotOf(id);
+  kind_[slot] = 0;
+  holds_[slot] = kDeadSlot;
+  label_[slot] = 0;
+  managed_ref_[slot] = kHeapNullRef;
+  weak_ref_[slot] = kHeapNullRef;
+  node_[slot] = NodeId{}.value();
+  --live_count_;
 }
-
-std::int32_t Heap::Holds(ObjectId id) const { return Get(id).strong_holds; }
-
-ObjectKind Heap::Kind(ObjectId id) const { return Get(id).kind; }
-
-const std::string& Heap::Label(ObjectId id) const { return Get(id).label; }
-
-void Heap::Free(ObjectId id) { objects_.erase(id); }
 
 std::vector<ObjectId> Heap::UnheldObjects() const {
   std::vector<ObjectId> out;
-  for (const auto& [id, obj] : objects_) {
-    if (obj.strong_holds == 0) out.push_back(id);
+  for (std::int64_t id = 1; id < next_id_; ++id) {
+    if (holds_[static_cast<std::size_t>(id - 1)] == 0) out.push_back(ObjectId{id});
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 
+void Heap::TakeUnheldCandidates(std::vector<ObjectId>* out) {
+  out->clear();
+  if (unheld_candidates_.empty()) return;
+  // Allocation-order transitions arrive ascending already; skip the sort
+  // for that common case (garbage minted in id order, swept in id order).
+  if (!std::is_sorted(unheld_candidates_.begin(),
+                      unheld_candidates_.end())) {
+    std::sort(unheld_candidates_.begin(), unheld_candidates_.end());
+  }
+  ObjectId last{};
+  for (ObjectId id : unheld_candidates_) {
+    if (id == last) continue;  // duplicate transition
+    last = id;
+    if (IsAlive(id) && holds_[SlotOf(id)] == 0) out->push_back(id);
+  }
+  unheld_candidates_.clear();
+}
+
 void Heap::SaveState(snapshot::Serializer& out) const {
+  out.Marker(0x48454132);  // "HEA2": SoA arena layout
   out.I64(next_id_);
-  std::vector<ObjectId> ids;
-  ids.reserve(objects_.size());
-  for (const auto& [id, obj] : objects_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  out.U64(ids.size());
-  for (ObjectId id : ids) {
-    const HeapObject& obj = objects_.at(id);
-    out.I64(id.value());
-    out.U8(static_cast<std::uint8_t>(obj.kind));
-    out.I64(obj.strong_holds);
-    out.Str(obj.label);
+  labels_.SaveState(out);
+  out.U64(live_count_);
+  for (std::int64_t id = 1; id < next_id_; ++id) {
+    const std::size_t slot = static_cast<std::size_t>(id - 1);
+    if (holds_[slot] == kDeadSlot) continue;
+    out.I64(id);
+    out.U8(kind_[slot]);
+    out.I64(holds_[slot]);
+    out.U32(label_[slot]);
+    out.U64(managed_ref_[slot]);
+    out.U64(weak_ref_[slot]);
+    out.I64(node_[slot]);
   }
 }
 
 void Heap::RestoreState(snapshot::Deserializer& in) {
+  in.Marker(0x48454132);
   next_id_ = in.I64();
-  objects_.clear();
-  const std::uint64_t n = in.U64();
-  for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
-    HeapObject obj;
-    obj.id = ObjectId{in.I64()};
-    obj.kind = static_cast<ObjectKind>(in.U8());
-    obj.strong_holds = static_cast<std::int32_t>(in.I64());
-    obj.label = in.Str();
-    objects_.emplace(obj.id, std::move(obj));
+  labels_.RestoreState(in);
+  kind_.clear();
+  holds_.clear();
+  label_.clear();
+  managed_ref_.clear();
+  weak_ref_.clear();
+  node_.clear();
+  unheld_candidates_.clear();
+  live_count_ = 0;
+  if (next_id_ < 1) {
+    in.Fail("corrupt heap allocation cursor");
+    return;
+  }
+  const std::size_t slots = static_cast<std::size_t>(next_id_ - 1);
+  kind_.assign(slots, 0);
+  holds_.assign(slots, kDeadSlot);
+  label_.assign(slots, 0);
+  managed_ref_.assign(slots, kHeapNullRef);
+  weak_ref_.assign(slots, kHeapNullRef);
+  node_.assign(slots, NodeId{}.value());
+  const std::uint64_t live = in.U64();
+  for (std::uint64_t i = 0; i < live && in.ok(); ++i) {
+    const std::int64_t id = in.I64();
+    if (id < 1 || id >= next_id_) {
+      in.Fail("heap object id out of range");
+      return;
+    }
+    const std::size_t slot = static_cast<std::size_t>(id - 1);
+    kind_[slot] = in.U8();
+    holds_[slot] = static_cast<std::int32_t>(in.I64());
+    label_[slot] = in.U32();
+    managed_ref_[slot] = in.U64();
+    weak_ref_[slot] = in.U64();
+    node_[slot] = in.I64();
+    ++live_count_;
+    if (holds_[slot] == 0) unheld_candidates_.push_back(ObjectId{id});
   }
 }
 

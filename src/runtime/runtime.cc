@@ -42,11 +42,13 @@ Result<IndirectRef> Runtime::AddLocalRef(ObjectId obj) {
 }
 
 Result<ObjectId> Runtime::GetOrCreateBinderProxy(NodeId node,
-                                                 const std::string& label) {
-  if (auto it = proxy_cache_.find(node); it != proxy_cache_.end()) {
-    return it->second;
+                                                 std::string_view descriptor) {
+  const std::size_t node_slot = static_cast<std::size_t>(node.value());
+  if (node_slot < proxy_by_node_.size() && proxy_by_node_[node_slot] != 0) {
+    return ObjectId{proxy_by_node_[node_slot]};
   }
-  const ObjectId proxy = heap_.Alloc(ObjectKind::kBinderProxy, label);
+  const ObjectId proxy =
+      heap_.Alloc(ObjectKind::kBinderProxy, "BinderProxy:", descriptor);
   auto ref = vm_.AddGlobalRef(proxy);
   if (!ref.ok()) {
     heap_.Free(proxy);
@@ -61,22 +63,38 @@ Result<ObjectId> Runtime::GetOrCreateBinderProxy(NodeId node,
     heap_.Free(proxy);
     return weak.status();
   }
-  proxy_cache_.emplace(node, proxy);
-  proxy_nodes_.emplace(proxy, node);
-  proxy_weak_refs_.emplace(proxy, weak.value());
-  managed_refs_.emplace(proxy, ref.value());
+  heap_.SetManagedRef(proxy, ref.value());
+  heap_.SetWeakRef(proxy, weak.value());
+  heap_.SetProxyNode(proxy, node);
+  if (node_slot >= proxy_by_node_.size()) {
+    proxy_by_node_.resize(node_slot + 1, 0);
+  }
+  proxy_by_node_[node_slot] = proxy.value();
   return proxy;
 }
 
 Result<ObjectId> Runtime::AllocManagedObject(ObjectKind kind,
-                                             const std::string& label) {
+                                             std::string_view label) {
   const ObjectId obj = heap_.Alloc(kind, label);
   auto ref = vm_.AddGlobalRef(obj);
   if (!ref.ok()) {
     heap_.Free(obj);
     return ref.status();
   }
-  managed_refs_.emplace(obj, ref.value());
+  heap_.SetManagedRef(obj, ref.value());
+  return obj;
+}
+
+Result<ObjectId> Runtime::AllocManagedObject(ObjectKind kind,
+                                             std::string_view label_prefix,
+                                             std::string_view label_suffix) {
+  const ObjectId obj = heap_.Alloc(kind, label_prefix, label_suffix);
+  auto ref = vm_.AddGlobalRef(obj);
+  if (!ref.ok()) {
+    heap_.Free(obj);
+    return ref.status();
+  }
+  heap_.SetManagedRef(obj, ref.value());
   return obj;
 }
 
@@ -87,15 +105,17 @@ std::size_t Runtime::CollectGarbage() {
   clock_->AdvanceUs(gc_pause_us);
   std::size_t released = 0;
   std::vector<NodeId> collected_proxies;
-  // Iterate to a fixed point: freeing an object can drop holds on others in
-  // richer object graphs; here one pass usually suffices but the loop keeps
-  // the invariant "no unheld managed object survives a GC".
+  // Iterate to a fixed point over the *pending* candidate transitions:
+  // freeing an object can drop holds on others in richer object graphs, and
+  // each such transition re-enters the candidate list. With no pending
+  // transitions the sweep is O(1) — the common between-transactions case.
   for (;;) {
-    std::vector<ObjectId> candidates = heap_.UnheldObjects();
+    heap_.TakeUnheldCandidates(&gc_candidates_);
+    if (gc_candidates_.empty()) break;
     std::size_t freed_this_round = 0;
-    for (ObjectId obj : candidates) {
-      auto ref_it = managed_refs_.find(obj);
-      if (ref_it == managed_refs_.end()) {
+    for (ObjectId obj : gc_candidates_) {
+      const HeapIndirectRef ref = heap_.ManagedRef(obj);
+      if (ref == kHeapNullRef) {
         // Plain unreferenced object: just reclaim the heap slot.
         if (heap_.Kind(obj) == ObjectKind::kPlain) {
           heap_.Free(obj);
@@ -103,17 +123,14 @@ std::size_t Runtime::CollectGarbage() {
         }
         continue;
       }
-      vm_.DeleteGlobalRef(ref_it->second);
-      managed_refs_.erase(ref_it);
-      if (auto node_it = proxy_nodes_.find(obj); node_it != proxy_nodes_.end()) {
-        collected_proxies.push_back(node_it->second);
-        proxy_cache_.erase(node_it->second);
-        proxy_nodes_.erase(node_it);
+      vm_.DeleteGlobalRef(ref);
+      if (const NodeId node = heap_.ProxyNode(obj); node.valid()) {
+        collected_proxies.push_back(node);
+        proxy_by_node_[static_cast<std::size_t>(node.value())] = 0;
       }
-      if (auto weak_it = proxy_weak_refs_.find(obj);
-          weak_it != proxy_weak_refs_.end()) {
-        vm_.DeleteWeakGlobalRef(weak_it->second);
-        proxy_weak_refs_.erase(weak_it);
+      if (const HeapIndirectRef weak = heap_.WeakRef(obj);
+          weak != kHeapNullRef) {
+        vm_.DeleteWeakGlobalRef(weak);
       }
       heap_.Free(obj);
       ++released;
@@ -137,63 +154,33 @@ std::size_t Runtime::CollectGarbage() {
 }
 
 void Runtime::SaveState(snapshot::Serializer& out) const {
-  out.Marker(0x52544D31);  // "RTM1"
+  out.Marker(0x52544D32);  // "RTM2": arena-backed heap, derived proxy cache
   heap_.SaveState(out);
   vm_.SaveState(out);
   locals_.SaveState(out);
   out.I64(local_frame_depth_);
   out.I64(gc_runs_);
   out.U64(gc_pause_us);
-  snapshot::SaveUnorderedMap(out, proxy_cache_,
-                [](snapshot::Serializer& s, NodeId node, ObjectId obj) {
-                  s.I64(node.value());
-                  s.I64(obj.value());
-                });
-  snapshot::SaveUnorderedMap(out, proxy_nodes_,
-                [](snapshot::Serializer& s, ObjectId obj, NodeId node) {
-                  s.I64(obj.value());
-                  s.I64(node.value());
-                });
-  snapshot::SaveUnorderedMap(out, proxy_weak_refs_,
-                [](snapshot::Serializer& s, ObjectId obj, IndirectRef ref) {
-                  s.I64(obj.value());
-                  s.U64(ref);
-                });
-  snapshot::SaveUnorderedMap(out, managed_refs_,
-                [](snapshot::Serializer& s, ObjectId obj, IndirectRef ref) {
-                  s.I64(obj.value());
-                  s.U64(ref);
-                });
 }
 
 void Runtime::RestoreState(snapshot::Deserializer& in) {
-  in.Marker(0x52544D31);
+  in.Marker(0x52544D32);
   heap_.RestoreState(in);
   vm_.RestoreState(in);
   locals_.RestoreState(in);
   local_frame_depth_ = static_cast<int>(in.I64());
   gc_runs_ = in.I64();
   gc_pause_us = in.U64();
-  proxy_cache_.clear();
-  proxy_nodes_.clear();
-  proxy_weak_refs_.clear();
-  managed_refs_.clear();
-  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
-    const NodeId node{in.I64()};
-    proxy_cache_.emplace(node, ObjectId{in.I64()});
-  }
-  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
-    const ObjectId obj{in.I64()};
-    proxy_nodes_.emplace(obj, NodeId{in.I64()});
-  }
-  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
-    const ObjectId obj{in.I64()};
-    proxy_weak_refs_.emplace(obj, in.U64());
-  }
-  for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
-    const ObjectId obj{in.I64()};
-    managed_refs_.emplace(obj, in.U64());
-  }
+  // The proxy cache is derived state: rebuild it from the heap's node
+  // column (live BinderProxy objects attached to a node).
+  proxy_by_node_.clear();
+  heap_.ForEachLive([this](ObjectId obj) {
+    const NodeId node = heap_.ProxyNode(obj);
+    if (!node.valid()) return;
+    const std::size_t slot = static_cast<std::size_t>(node.value());
+    if (slot >= proxy_by_node_.size()) proxy_by_node_.resize(slot + 1, 0);
+    proxy_by_node_[slot] = obj.value();
+  });
 }
 
 }  // namespace jgre::rt

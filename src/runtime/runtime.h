@@ -21,7 +21,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
@@ -60,11 +61,16 @@ class Runtime {
 
   // Returns the proxy object for `node`, creating it (and its JGR) if this
   // process has not seen the node before or the old proxy was collected.
+  // The proxy's heap label is "BinderProxy:" + `descriptor`, composed
+  // without allocating.
   Result<ObjectId> GetOrCreateBinderProxy(NodeId node,
-                                          const std::string& label);
+                                          std::string_view descriptor);
 
   // True if a live proxy for `node` is cached.
-  bool HasBinderProxy(NodeId node) const { return proxy_cache_.count(node); }
+  bool HasBinderProxy(NodeId node) const {
+    const std::size_t slot = static_cast<std::size_t>(node.value());
+    return slot < proxy_by_node_.size() && proxy_by_node_[slot] != 0;
+  }
 
   // Invoked when the GC collects a binder proxy; the binder driver uses this
   // to decrement the node's remote reference count (proxy finalization
@@ -77,11 +83,15 @@ class Runtime {
 
   // Allocates a heap object holding one JGR; the GC deletes the JGR and frees
   // the object once its strong-hold count reaches zero.
+  Result<ObjectId> AllocManagedObject(ObjectKind kind, std::string_view label);
+  // Composed-label variant (label = prefix + suffix, interned allocation-free
+  // on the steady state).
   Result<ObjectId> AllocManagedObject(ObjectKind kind,
-                                      const std::string& label);
+                                      std::string_view label_prefix,
+                                      std::string_view label_suffix);
 
   // Allocates a plain heap object with NO global ref (parameters, payloads).
-  ObjectId AllocPlainObject(const std::string& label) {
+  ObjectId AllocPlainObject(std::string_view label) {
     return heap_.Alloc(ObjectKind::kPlain, label);
   }
 
@@ -123,9 +133,11 @@ class Runtime {
     vm_.SetAbortHandler(std::move(handler));
   }
 
-  // Checkpointing: heap, both VM tables, locals, and the proxy/managed-ref
-  // maps. The abort handler and proxy-collect handler are wiring (kernel and
-  // binder driver re-attach them on restore), not state.
+  // Checkpointing: heap (whose columns carry the proxy/managed-ref
+  // attachments), both VM tables, and locals; the proxy cache is rebuilt by
+  // scanning the restored heap. The abort handler and proxy-collect handler
+  // are wiring (kernel and binder driver re-attach them on restore), not
+  // state.
   void SaveState(snapshot::Serializer& out) const;
   void RestoreState(snapshot::Deserializer& in);
 
@@ -140,14 +152,12 @@ class Runtime {
   int local_frame_depth_ = 0;
   std::int64_t gc_runs_ = 0;
 
-  // node -> live proxy object (BinderProxy cache).
-  std::unordered_map<NodeId, ObjectId> proxy_cache_;
-  // proxy object -> node, for cache invalidation at collection time.
-  std::unordered_map<ObjectId, NodeId> proxy_nodes_;
-  // proxy object -> its weak global ref (the BinderProxy cache entry).
-  std::unordered_map<ObjectId, IndirectRef> proxy_weak_refs_;
-  // object -> its JGR (for proxies and managed objects).
-  std::unordered_map<ObjectId, IndirectRef> managed_refs_;
+  // node -> live proxy object id (BinderProxy cache), dense over node ids
+  // (0 = no cached proxy; object ids start at 1). The reverse direction and
+  // the JNI ref attachments live in the heap's columns.
+  std::vector<std::int64_t> proxy_by_node_;
+  // Scratch for CollectGarbage's candidate rounds (reused across GCs).
+  std::vector<ObjectId> gc_candidates_;
   std::function<void(NodeId)> proxy_collect_handler_;
 };
 

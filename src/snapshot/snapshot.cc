@@ -69,6 +69,9 @@ Result<SystemSnapshot> SystemSnapshot::Capture(
         "cannot checkpoint with pending virtual timers: capture at a "
         "quiescent boundary");
   }
+  // Buffered bus subscribers may hold staged events that EventBus::SaveState
+  // does not serialize; drain them so sink state is complete in the image.
+  system.kernel().bus().Flush();
   Serializer out;
   out.Marker(kPayloadMarker);
   out.Bool(defender != nullptr);

@@ -1,9 +1,12 @@
-// Unit tests for the common substrate: clock, RNG, status, strings, stats.
+// Unit tests for the common substrate: clock, RNG, status, strings, stats,
+// and the ring buffer backing the IPC log and trace sinks.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/ring_buffer.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -219,6 +222,132 @@ TEST(TimeSeriesTest, DownsampleKeepsEndpoints) {
   ASSERT_EQ(down.points().size(), 11u);
   EXPECT_EQ(down.points().front().first, 0u);
   EXPECT_EQ(down.points().back().first, 1000u);
+}
+
+// --- RingBuffer -------------------------------------------------------------
+
+TEST(RingBufferTest, WraparoundAtCapacityKeepsLogicalIndices) {
+  RingBuffer<int> ring(4);
+  for (int i = 0; i < 4; ++i) ring.Push(i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.first_index(), 0u);
+  ring.Push(4);  // first eviction: value 0 falls off
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 5u);
+  EXPECT_EQ(ring.first_index(), 1u);
+  EXPECT_EQ(ring.end_index(), 5u);
+  // Logical index i always addresses the i-th value ever pushed.
+  for (std::uint64_t i = ring.first_index(); i < ring.end_index(); ++i) {
+    EXPECT_EQ(ring.At(i), static_cast<int>(i));
+  }
+}
+
+TEST(RingBufferTest, PushBulkMatchesRepeatedPush) {
+  // State equivalence across fill phases: growing, exactly full, wrapped at
+  // an arbitrary head position — with bulk counts below, at, and above
+  // capacity (the at/above-capacity path replaces the storage wholesale).
+  constexpr std::size_t kCapacity = 8;
+  const std::size_t prefills[] = {0, 3, 8, 13};
+  const std::size_t counts[] = {1, 5, 7, 8, 9, 20};
+  for (const std::size_t prefill : prefills) {
+    for (const std::size_t count : counts) {
+      RingBuffer<std::int64_t> bulk(kCapacity);
+      RingBuffer<std::int64_t> reference(kCapacity);
+      for (std::size_t i = 0; i < prefill; ++i) {
+        bulk.Push(static_cast<std::int64_t>(i));
+        reference.Push(static_cast<std::int64_t>(i));
+      }
+      std::vector<std::int64_t> items;
+      for (std::size_t i = 0; i < count; ++i) {
+        items.push_back(static_cast<std::int64_t>(100 + i));
+      }
+      bulk.PushBulk(items.data(), items.size());
+      for (const std::int64_t v : items) reference.Push(v);
+
+      ASSERT_EQ(bulk.total_pushed(), reference.total_pushed());
+      ASSERT_EQ(bulk.size(), reference.size());
+      ASSERT_EQ(bulk.first_index(), reference.first_index());
+      for (std::uint64_t i = bulk.first_index(); i < bulk.end_index(); ++i) {
+        ASSERT_EQ(bulk.At(i), reference.At(i))
+            << "prefill " << prefill << " count " << count << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(RingBufferTest, DrainSinceDeliversWrappedChunksInOrder) {
+  RingBuffer<int> ring(4);
+  for (int i = 0; i < 6; ++i) ring.Push(i);  // retains 2..5, wrapped
+  std::vector<int> seen;
+  std::size_t chunks = 0;
+  const auto stats =
+      ring.DrainSince(ring.first_index(), [&](const int* data, std::size_t n) {
+        ++chunks;
+        seen.insert(seen.end(), data, data + n);
+      });
+  EXPECT_EQ(stats.next, ring.end_index());
+  EXPECT_EQ(stats.visited, 4u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(chunks, 2u);  // the physical wrap point splits the visit
+  EXPECT_EQ(seen, (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(RingBufferTest, DrainSinceWhileFillingResumesAtWatermark) {
+  RingBuffer<int> ring(8);
+  for (int i = 0; i < 3; ++i) ring.Push(i);
+  std::vector<int> seen;
+  const auto chunk = [&](const int* data, std::size_t n) {
+    seen.insert(seen.end(), data, data + n);
+  };
+  const auto first = ring.DrainSince(0, chunk);
+  EXPECT_EQ(first.visited, 3u);
+  for (int i = 3; i < 7; ++i) ring.Push(i);
+  const auto second = ring.DrainSince(first.next, chunk);
+  EXPECT_EQ(second.visited, 4u);
+  EXPECT_EQ(second.dropped, 0u);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  // Nothing new since the watermark: visit nothing, keep it put.
+  const auto third = ring.DrainSince(second.next, chunk);
+  EXPECT_EQ(third.visited, 0u);
+  EXPECT_EQ(third.next, second.next);
+}
+
+TEST(RingBufferTest, DrainSinceReaderOverrunCountsDropped) {
+  RingBuffer<int> ring(4);
+  for (int i = 0; i < 10; ++i) ring.Push(i);  // retains 6..9
+  std::vector<int> seen;
+  const auto stats = ring.DrainSince(2, [&](const int* data, std::size_t n) {
+    seen.insert(seen.end(), data, data + n);
+  });
+  EXPECT_EQ(stats.dropped, 4u);  // logical 2..5 were overwritten
+  EXPECT_EQ(stats.visited, 4u);
+  EXPECT_EQ(stats.next, 10u);
+  EXPECT_EQ(seen, (std::vector<int>{6, 7, 8, 9}));
+}
+
+TEST(RingBufferTest, DrainSinceFutureWatermarkClampsToEnd) {
+  RingBuffer<int> ring(4);
+  ring.Push(1);
+  const auto stats = ring.DrainSince(99, [](const int*, std::size_t) {
+    ADD_FAILURE() << "a clamped future watermark must visit nothing";
+  });
+  EXPECT_EQ(stats.visited, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.next, ring.end_index());
+}
+
+TEST(RingBufferTest, PushBulkAfterClearKeepsLogicalIndicesMonotone) {
+  RingBuffer<int> ring(4);
+  for (int i = 0; i < 6; ++i) ring.Push(i);
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.end_index(), 6u);  // indices are never reused
+  const int tail[] = {10, 11, 12};
+  ring.PushBulk(tail, 3);
+  EXPECT_EQ(ring.first_index(), 6u);
+  EXPECT_EQ(ring.end_index(), 9u);
+  EXPECT_EQ(ring.At(6), 10);
+  EXPECT_EQ(ring.At(8), 12);
 }
 
 }  // namespace

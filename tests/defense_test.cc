@@ -8,9 +8,13 @@
 #include "attack/vuln_registry.h"
 #include "common/rng.h"
 #include "core/android_system.h"
+#include "common/clock.h"
 #include "defense/jgr_monitor.h"
 #include "defense/jgre_defender.h"
+#include "defense/monitor_hub.h"
 #include "defense/scoring.h"
+#include "obs/event.h"
+#include "obs/event_bus.h"
 
 namespace jgre {
 namespace {
@@ -54,6 +58,82 @@ TEST(JgrMonitorTest, RecordsAndReportsPastThresholds) {
   EXPECT_TRUE(monitor.events().empty());
 }
 
+// --- JgrMonitorHub ----------------------------------------------------------------
+
+// A hub-routed monitor with alarm_threshold 0 records from the first add, so
+// one event per emission makes routing visible in event_count().
+defense::JgrMonitor::Config AlwaysRecording() {
+  defense::JgrMonitor::Config config;
+  config.alarm_threshold = 0;
+  config.report_threshold = 1'000'000;
+  config.record_cost_us = 0;
+  return config;
+}
+
+obs::TraceEvent JgrAddFor(std::int32_t pid, TimeUs t) {
+  return obs::MakeEvent(obs::Category::kJgr, obs::Label::kJgrAdd, t, pid,
+                        1000, /*count_after=*/1, /*obj=*/1);
+}
+
+TEST(JgrMonitorHubTest, RoutesEventsByPid) {
+  obs::EventBus bus;
+  SimClock clock;
+  defense::JgrMonitor a(&clock, "victim_a", AlwaysRecording());
+  defense::JgrMonitor b(&clock, "victim_b", AlwaysRecording());
+  defense::JgrMonitorHub hub(&bus);
+  hub.Attach(Pid{2}, &a);
+  hub.Attach(Pid{5}, &b);
+  EXPECT_EQ(hub.MonitorForPid(Pid{2}), &a);
+  EXPECT_EQ(hub.MonitorForPid(Pid{5}), &b);
+  EXPECT_EQ(hub.MonitorForPid(Pid{3}), nullptr);
+  EXPECT_EQ(hub.MonitorForPid(Pid{999}), nullptr);  // beyond the route table
+
+  bus.Emit(JgrAddFor(2, 10));
+  bus.Emit(JgrAddFor(5, 11));
+  bus.Emit(JgrAddFor(9, 12));  // unrouted pid: dropped at the hub
+  EXPECT_EQ(a.event_count(), 1u);
+  EXPECT_EQ(b.event_count(), 1u);
+}
+
+TEST(JgrMonitorHubTest, AttachReplacesAndNullClearsARoute) {
+  obs::EventBus bus;
+  SimClock clock;
+  defense::JgrMonitor first(&clock, "first", AlwaysRecording());
+  defense::JgrMonitor second(&clock, "second", AlwaysRecording());
+  defense::JgrMonitorHub hub(&bus);
+  hub.Attach(Pid{3}, &first);
+  hub.Attach(Pid{3}, &second);  // replaces, not adds
+  bus.Emit(JgrAddFor(3, 1));
+  EXPECT_EQ(first.event_count(), 0u);
+  EXPECT_EQ(second.event_count(), 1u);
+
+  hub.Attach(Pid{3}, nullptr);  // clears
+  bus.Emit(JgrAddFor(3, 2));
+  EXPECT_EQ(second.event_count(), 1u);
+  EXPECT_EQ(hub.MonitorForPid(Pid{3}), nullptr);
+}
+
+TEST(JgrMonitorHubTest, DetachByIdentityClearsEveryRoute) {
+  // A victim's pid changes across a soft reboot, so the defender detaches by
+  // monitor identity (which may be routed at a stale pid and a fresh one).
+  obs::EventBus bus;
+  SimClock clock;
+  defense::JgrMonitor monitor(&clock, "victim", AlwaysRecording());
+  defense::JgrMonitorHub hub(&bus);
+  hub.Attach(Pid{2}, &monitor);
+  hub.Attach(Pid{7}, &monitor);
+  hub.Detach(&monitor);
+  EXPECT_EQ(hub.MonitorForPid(Pid{2}), nullptr);
+  EXPECT_EQ(hub.MonitorForPid(Pid{7}), nullptr);
+  bus.Emit(JgrAddFor(2, 1));
+  bus.Emit(JgrAddFor(7, 2));
+  EXPECT_EQ(monitor.event_count(), 0u);
+  // Re-attach at the post-reboot pid restores delivery.
+  hub.Attach(Pid{4}, &monitor);
+  bus.Emit(JgrAddFor(4, 3));
+  EXPECT_EQ(monitor.event_count(), 1u);
+}
+
 // --- Algorithm 1 ------------------------------------------------------------------
 
 // Interned (descriptor, code) type keys for synthetic scoring workloads.
@@ -63,13 +143,14 @@ constexpr defense::IpcTypeKey kBenign1 = defense::MakeIpcTypeKey(2, 1);
 constexpr defense::IpcTypeKey kTypeA = defense::MakeIpcTypeKey(3, 1);
 constexpr defense::IpcTypeKey kTypeB = defense::MakeIpcTypeKey(4, 2);
 
-defense::ScoringParams TestParams(bool tree = true) {
+defense::ScoringParams TestParams(
+    defense::ScoreEngine engine = defense::ScoreEngine::kBatched) {
   defense::ScoringParams params;
   params.delta_us = 500;
   params.bucket_us = 50;
   params.max_delay_us = 20'000;
   params.analysis_window_us = 0;
-  params.use_segment_tree = tree;
+  params.engine = engine;
   return params;
 }
 
@@ -142,7 +223,7 @@ TEST(ScoringTest, PairsOutsideMaxDelayIgnored) {
 class ScoringEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
 };
 
-TEST_P(ScoringEquivalenceTest, TreeMatchesNaive) {
+TEST_P(ScoringEquivalenceTest, EnginesAgree) {
   Rng rng(GetParam());
   std::vector<defense::IpcEvent> calls;
   std::vector<TimeUs> adds;
@@ -156,8 +237,14 @@ TEST_P(ScoringEquivalenceTest, TreeMatchesNaive) {
     if (rng.Chance(0.2)) adds.push_back(t + rng.UniformU64(30'000));
   }
   std::sort(adds.begin(), adds.end());
-  EXPECT_EQ(defense::JgreScoreForApp(calls, adds, TestParams(true)),
-            defense::JgreScoreForApp(calls, adds, TestParams(false)));
+  const auto batched = defense::JgreScoreForApp(
+      calls, adds, TestParams(defense::ScoreEngine::kBatched));
+  const auto tree = defense::JgreScoreForApp(
+      calls, adds, TestParams(defense::ScoreEngine::kSegmentTree));
+  const auto naive = defense::JgreScoreForApp(
+      calls, adds, TestParams(defense::ScoreEngine::kNaive));
+  EXPECT_EQ(batched, tree);
+  EXPECT_EQ(tree, naive);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, ScoringEquivalenceTest,

@@ -22,6 +22,7 @@
 #include "experiment/experiment.h"
 #include "obs/chrome_trace.h"
 #include "obs/event_bus.h"
+#include "obs/trace.h"
 
 namespace jgre {
 namespace {
@@ -266,12 +267,16 @@ TEST(ExperimentTraceTest, DefendedAttackTraceCoversAllLayers) {
   }
   EXPECT_TRUE(saw[static_cast<unsigned>(obs::Category::kJgr)]);
   EXPECT_TRUE(saw[static_cast<unsigned>(obs::Category::kIpc)]);
-  EXPECT_TRUE(saw[static_cast<unsigned>(obs::Category::kDefense)]);
   // And the metrics sink tallied the same stream.
   ASSERT_NE(exp->metrics(), nullptr);
   EXPECT_GT(exp->metrics()->counters().at("jgr.adds"), 0);
   EXPECT_GT(exp->metrics()->counters().at("ipc.calls"), 0);
+#if JGRE_TRACE_ENABLED
+  // Defense annotations are trace-only: -DJGRE_OBS_TRACING=OFF compiles
+  // their emission out entirely.
+  EXPECT_TRUE(saw[static_cast<unsigned>(obs::Category::kDefense)]);
   EXPECT_EQ(exp->metrics()->counters().at("defense.incidents"), 1);
+#endif
 }
 
 }  // namespace

@@ -201,15 +201,21 @@ TEST(MultiPathScoringTest, ExtraPathsDoNotInflateSinglePathAttackers) {
   EXPECT_LE(k3, k1 + 10);
 }
 
-TEST(MultiPathScoringTest, TreeAndNaiveAgreeWithPeeling) {
+TEST(MultiPathScoringTest, AllEnginesAgreeWithPeeling) {
   const auto w = MakeTwoPathWorkload(150);
   for (int k : {1, 2, 3}) {
+    auto batched_params = PathParams(k);
     auto tree_params = PathParams(k);
     auto naive_params = PathParams(k);
-    naive_params.use_segment_tree = false;
-    EXPECT_EQ(defense::JgreScoreForApp(w.calls, w.adds, tree_params),
-              defense::JgreScoreForApp(w.calls, w.adds, naive_params))
-        << "k=" << k;
+    batched_params.engine = defense::ScoreEngine::kBatched;
+    tree_params.engine = defense::ScoreEngine::kSegmentTree;
+    naive_params.engine = defense::ScoreEngine::kNaive;
+    const auto batched =
+        defense::JgreScoreForApp(w.calls, w.adds, batched_params);
+    const auto tree = defense::JgreScoreForApp(w.calls, w.adds, tree_params);
+    const auto naive = defense::JgreScoreForApp(w.calls, w.adds, naive_params);
+    EXPECT_EQ(batched, tree) << "k=" << k;
+    EXPECT_EQ(tree, naive) << "k=" << k;
   }
 }
 

@@ -17,6 +17,7 @@
 #include "experiment/experiment.h"
 #include "harness/branch_runner.h"
 #include "obs/event.h"
+#include "runtime/heap.h"
 #include "runtime/indirect_reference_table.h"
 #include "snapshot/serializer.h"
 #include "snapshot/snapshot.h"
@@ -130,6 +131,59 @@ TEST(SnapshotPropertyTest, RingBufferRoundTripKeepsIndicesAndTail) {
   EXPECT_EQ(original.first_index(), restored.first_index());
   EXPECT_EQ(original.At(original.end_index() - 1),
             restored.At(restored.end_index() - 1));
+}
+
+// --- Heap arena -------------------------------------------------------------
+
+// The SoA arena serializes live slots only (holes compress away), and a
+// restore must rebuild columns + candidate list so exactly that a re-save
+// produces the same bytes and the next GC collects the same objects.
+TEST(SnapshotPropertyTest, HeapArenaRoundTripIsByteStableWithHoles) {
+  rt::Heap original;
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 64; ++i) {
+    const ObjectId id =
+        original.Alloc(rt::ObjectKind::kBinderProxy, "BinderProxy:", "svc");
+    ids.push_back(id);
+    if (i % 3 == 0) original.AddHold(id);
+    original.SetManagedRef(id, static_cast<rt::HeapIndirectRef>(0x100 + i));
+    if (i % 4 == 0) {
+      original.SetWeakRef(id, static_cast<rt::HeapIndirectRef>(0x9000 + i));
+    }
+    original.SetProxyNode(id, NodeId{i + 1});
+  }
+  // Punch holes so dead slots interleave with live ones and the id space
+  // stays dense (freed ids are never reused).
+  for (std::size_t i = 0; i < ids.size(); i += 5) original.Free(ids[i]);
+  const std::size_t live_before = original.LiveCount();
+
+  snapshot::Serializer first;
+  original.SaveState(first);
+  rt::Heap restored;
+  snapshot::Deserializer in(first.buffer());
+  restored.RestoreState(in);
+  ASSERT_TRUE(in.ok()) << in.error();
+  snapshot::Serializer second;
+  restored.SaveState(second);
+  EXPECT_EQ(first.buffer(), second.buffer());  // byte-identical images
+
+  EXPECT_EQ(restored.LiveCount(), live_before);
+  EXPECT_EQ(restored.total_allocated(), original.total_allocated());
+  for (const ObjectId id : ids) {
+    ASSERT_EQ(restored.IsAlive(id), original.IsAlive(id));
+    if (!original.IsAlive(id)) continue;
+    EXPECT_EQ(restored.Holds(id), original.Holds(id));
+    EXPECT_EQ(restored.Kind(id), original.Kind(id));
+    EXPECT_EQ(restored.Label(id), original.Label(id));
+    EXPECT_EQ(restored.ManagedRef(id), original.ManagedRef(id));
+    EXPECT_EQ(restored.WeakRef(id), original.WeakRef(id));
+    EXPECT_EQ(restored.ProxyNode(id).value(), original.ProxyNode(id).value());
+  }
+  // Same pending collection set, in the same (ascending id) order.
+  std::vector<ObjectId> original_candidates, restored_candidates;
+  original.TakeUnheldCandidates(&original_candidates);
+  restored.TakeUnheldCandidates(&restored_candidates);
+  EXPECT_EQ(original_candidates, restored_candidates);
 }
 
 // --- Whole-system checkpoints -----------------------------------------------
