@@ -23,16 +23,18 @@
 #include "common/log.h"
 #include "defense/jgre_defender.h"
 #include "experiment/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/branch_runner.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
+#include "sim/device.h"
 
 using namespace jgre;
 
 namespace {
 
 harness::Json SweepReportThreshold(harness::BranchRunner& runner,
-                                   const experiment::ExperimentConfig& prefix) {
+                                   const sim::DeviceSpec& prefix) {
   std::printf("\n--- report-threshold sweep (attack: clipboard, alarm=4000) "
               "---\n");
   std::printf("%-18s %12s %14s %12s %10s\n", "report_threshold",
@@ -44,14 +46,14 @@ harness::Json SweepReportThreshold(harness::BranchRunner& runner,
   const auto results = runner.Run<experiment::DefendedAttackResult>(
       thresholds.size(),
       [&](std::size_t i) {
-        experiment::ExperimentConfig config = prefix;
+        sim::DeviceSpec config = prefix;
         defense::JgreDefender::Config defender;
         defender.monitor.report_threshold = thresholds[i];
         config.WithAttack(vuln).WithDefenderConfig(defender);
         return config;
       },
-      [](std::size_t, experiment::Experiment& exp) {
-        return exp.RunDefendedAttack();
+      [](std::size_t, sim::DeviceSim& device) {
+        return experiment::Experiment(device).RunDefendedAttack();
       });
   harness::Json rows = harness::Json::Array();
   for (std::size_t i = 0; i < thresholds.size(); ++i) {
@@ -77,7 +79,7 @@ harness::Json SweepReportThreshold(harness::BranchRunner& runner,
 }
 
 harness::Json SweepAlarmThresholdFalsePositives(
-    harness::BranchRunner& runner, const experiment::ExperimentConfig& prefix) {
+    harness::BranchRunner& runner, const sim::DeviceSpec& prefix) {
   std::printf("\n--- alarm-threshold sweep under a purely benign workload "
               "(no attacker) ---\n");
   std::printf("%-16s %12s %12s\n", "alarm_threshold", "incidents",
@@ -90,14 +92,14 @@ harness::Json SweepAlarmThresholdFalsePositives(
   const auto results = runner.Run<SweepResult>(
       alarms.size(),
       [&](std::size_t i) {
-        experiment::ExperimentConfig config = prefix;
+        sim::DeviceSpec config = prefix;
         defense::JgreDefender::Config defender;
         defender.monitor.alarm_threshold = alarms[i];
         defender.monitor.report_threshold = 800;  // aggressive, to expose FPs
         config.WithDefenderConfig(defender);
         return config;
       },
-      [&](std::size_t, experiment::Experiment& exp) {
+      [&](std::size_t, sim::DeviceSim& device) {
         attack::BenignWorkload::Options benign_options;
         // Heavy enough that system_server's JGR count bursts through the
         // measured benign band's top (~1.9k under a dense monkey stream):
@@ -106,12 +108,12 @@ harness::Json SweepAlarmThresholdFalsePositives(
         benign_options.per_app_foreground_us = 12'000'000;
         benign_options.interaction_period_us = 50'000;
         benign_options.seed = prefix.seed() + 1;
-        attack::BenignWorkload workload(&exp.system(), benign_options);
+        attack::BenignWorkload workload(&device.system(), benign_options);
         workload.InstallAll();
         workload.RunMonkeySession();
         SweepResult r;
-        r.incidents = exp.defender()->incidents().size();
-        for (const auto& incident : exp.defender()->incidents()) {
+        r.incidents = device.defender()->incidents().size();
+        for (const auto& incident : device.defender()->incidents()) {
           r.kills += incident.killed_packages.size();
         }
         return r;
@@ -131,7 +133,7 @@ harness::Json SweepAlarmThresholdFalsePositives(
 }
 
 harness::Json SweepDelta(harness::BranchRunner& runner,
-                         const experiment::ExperimentConfig& prefix) {
+                         const sim::DeviceSpec& prefix) {
   std::printf("\n--- delta sweep (single attacker, 30 benign apps) ---\n");
   std::printf("%-12s %12s %14s %12s\n", "delta_us", "malicious", "top_benign",
               "separation");
@@ -141,15 +143,15 @@ harness::Json SweepDelta(harness::BranchRunner& runner,
   const auto results = runner.Run<experiment::DefendedAttackResult>(
       deltas.size(),
       [&](std::size_t i) {
-        experiment::ExperimentConfig config = prefix;
+        sim::DeviceSpec config = prefix;
         defense::JgreDefender::Config defender;
         defender.scoring.delta_us = deltas[i];
         config.WithBenignApps(30).WithAttack(vuln).WithDefenderConfig(
             defender);
         return config;
       },
-      [](std::size_t, experiment::Experiment& exp) {
-        return exp.RunDefendedAttack();
+      [](std::size_t, sim::DeviceSim& device) {
+        return experiment::Experiment(device).RunDefendedAttack();
       });
   harness::Json rows = harness::Json::Array();
   for (std::size_t i = 0; i < deltas.size(); ++i) {
@@ -197,9 +199,8 @@ int main(int argc, char** argv) {
   // benign warmup (top-300 apps, 2 min foreground each) on the booted
   // device, checkpointed once. This is the expensive phase a cold sweep
   // would re-simulate per point.
-  const experiment::ExperimentConfig prefix =
-      experiment::ExperimentConfig().WithSeed(opts.seed).WithWarmup(
-          300, 120'000'000, 50'000);
+  sim::DeviceSpec prefix;
+  prefix.WithSeed(opts.seed).WithWarmup(300, 120'000'000, 50'000);
   harness::BranchRunner runner(prefix, harness::BranchOptionsFromHarness(opts));
 
   // Surface a bad --resume image (or an unwritable --checkpoint path) as a
@@ -213,13 +214,11 @@ int main(int argc, char** argv) {
   harness::Json delta_rows = SweepDelta(runner, prefix);
 
   if (opts.emit_json) {
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name)
-        .Set("seed", opts.seed)
-        .Set("report_threshold_sweep", std::move(report_rows))
+    harness::BenchReport report(spec.name, opts);
+    report.Set("report_threshold_sweep", std::move(report_rows))
         .Set("alarm_threshold_sweep", std::move(alarm_rows))
         .Set("delta_sweep", std::move(delta_rows));
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!report.Write()) return 1;
   }
   return 0;
 }

@@ -6,8 +6,8 @@
 // Paper shape: both curves grow with payload; the defense adds at most
 // ~1.247 ms per call (~46.7% on average).
 //
-// Builder-driven: every simulated device comes from the ExperimentConfig
-// builder (google-benchmark owns the CLI here, so the seed is fixed at 42).
+// Factory-driven: every simulated device comes from sim::DeviceFactory
+// (google-benchmark owns the CLI here, so the seed is fixed at 42).
 // The second half uses google-benchmark to measure the *real* (wall-clock)
 // cost of the simulator's transaction path at representative payloads.
 #include <benchmark/benchmark.h>
@@ -17,6 +17,7 @@
 #include "bench_util.h"
 #include "core/android_system.h"
 #include "services/safe_service.h"
+#include "sim/device.h"
 
 using namespace jgre;
 
@@ -41,8 +42,10 @@ void RunVirtualSweep() {
   bench::PrintBanner("FIGURE 10",
                      "IPC latency vs payload, stock vs defense-extended "
                      "driver (virtual time)");
-  auto exp = experiment::ExperimentConfig().WithSeed(kSeed).Build();
-  core::AndroidSystem& system = exp->system();
+  sim::DeviceSpec device_spec;
+  device_spec.WithSeed(kSeed);
+  auto device = sim::DeviceFactory(device_spec).CreateDevice();
+  core::AndroidSystem& system = device->system();
   services::AppProcess* app = system.InstallApp("com.payload.app");
 
   std::printf("\npayload_kb,stock_us,defense_us,overhead_us\n");
@@ -70,8 +73,10 @@ void RunVirtualSweep() {
 
 // Real wall-clock cost of the simulated transaction path.
 void BM_TransactPayload(benchmark::State& state) {
-  auto exp = experiment::ExperimentConfig().WithSeed(kSeed).Build();
-  core::AndroidSystem& system = exp->system();
+  sim::DeviceSpec device_spec;
+  device_spec.WithSeed(kSeed);
+  auto device = sim::DeviceFactory(device_spec).CreateDevice();
+  core::AndroidSystem& system = device->system();
   services::AppProcess* app = system.InstallApp("com.bench.app");
   system.driver().SetDefenseLogging(state.range(1) != 0);
   const std::uint64_t kb = static_cast<std::uint64_t>(state.range(0));

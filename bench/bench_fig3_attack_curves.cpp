@@ -22,11 +22,12 @@
 #include "attack/malicious_app.h"
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
-#include "experiment/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
 #include "harness/obs_json.h"
 #include "obs/metrics.h"
+#include "sim/device.h"
 
 using namespace jgre;
 
@@ -53,15 +54,15 @@ int main(int argc, char** argv) {
   };
   const auto results = harness::RunOrdered<TaskResult>(
       vulns.size(), opts.jobs, [&](std::size_t i) {
-        experiment::ExperimentConfig config;
-        config.WithSeed(opts.seed).WithAttack(vulns[i]);
-        if (opts.emit_metrics) config.WithMetrics();
-        auto exp = config.Build();
+        sim::DeviceSpec device_spec;
+        device_spec.WithSeed(opts.seed).WithAttack(vulns[i]);
+        if (opts.emit_metrics) device_spec.WithMetrics();
+        auto device = sim::DeviceFactory(device_spec).CreateDevice();
         attack::MaliciousApp::RunOptions options;
         options.sample_every_calls = 500;
         TaskResult out;
-        out.result = exp->attacker()->Run(options);
-        if (exp->metrics() != nullptr) out.metrics = *exp->metrics();
+        out.result = device->attacker()->Run(options);
+        if (device->metrics() != nullptr) out.metrics = *device->metrics();
         return out;
       });
 
@@ -136,8 +137,7 @@ int main(int argc, char** argv) {
   }
 
   if (opts.emit_json) {
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name).Set("seed", opts.seed);
+    harness::BenchReport report(spec.name, opts);
     harness::Json json_rows = harness::Json::Array();
     for (const Row& row : rows) {
       harness::Json r = harness::Json::Object();
@@ -155,20 +155,20 @@ int main(int argc, char** argv) {
       r.Set("jgr_curve", std::move(curve));
       json_rows.Push(std::move(r));
     }
-    doc.Set("rows", std::move(json_rows));
-    doc.Set("summary", harness::Json::Object()
-                           .Set("overflowed", succeeded)
-                           .Set("total", static_cast<int>(rows.size()))
-                           .Set("min_duration_us", min_duration)
-                           .Set("max_duration_us", max_duration));
+    report.Set("rows", std::move(json_rows));
+    report.Set("summary", harness::Json::Object()
+                              .Set("overflowed", succeeded)
+                              .Set("total", static_cast<int>(rows.size()))
+                              .Set("min_duration_us", min_duration)
+                              .Set("max_duration_us", max_duration));
     if (opts.emit_metrics) {
       // Per-task registries merged in submission (registry) order: the
       // merged table is byte-identical for any --jobs.
       obs::MetricsRegistry merged;
       for (const TaskResult& task : results) merged.Merge(task.metrics);
-      doc.Set("metrics", harness::MetricsToJson(merged));
+      report.Set("metrics", harness::MetricsToJson(merged));
     }
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!report.Write()) return 1;
   }
   return succeeded == 54 ? 0 : 1;
 }

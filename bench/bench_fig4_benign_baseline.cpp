@@ -4,9 +4,9 @@
 // oscillates in the low thousands (paper: 1,000–3,000) and the low memory
 // killer keeps the process count bounded (paper: 382–421).
 //
-// Builder-driven: the booted device comes from the ExperimentConfig builder
-// (shared CLI: --seed/--json); the three monkey rounds then run on
-// exp->system() with the Fig-4 sampler attached. Full fidelity (--full) runs
+// Factory-driven: the booted device comes from sim::DeviceFactory (shared
+// CLI: --seed/--json); the three monkey rounds then run on
+// device->system() with the Fig-4 sampler attached. Full fidelity (--full) runs
 // the paper's 2 minutes of foreground monkey time per app (~36,000 virtual
 // seconds); the default trims it to 12 s per app, which preserves the
 // oscillation/bounds the figure shows.
@@ -18,8 +18,10 @@
 #include "bench_util.h"
 #include "common/log.h"
 #include "core/android_system.h"
+#include "harness/bench_report.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
+#include "sim/device.h"
 
 using namespace jgre;
 
@@ -39,8 +41,10 @@ int main(int argc, char** argv) {
   bench::PrintBanner("FIGURE 4",
                      "system_server JGR size and process count under the "
                      "top-300 benign workload");
-  auto exp = experiment::ExperimentConfig().WithSeed(opts.seed).Build();
-  core::AndroidSystem& system = exp->system();
+  sim::DeviceSpec device_spec;
+  device_spec.WithSeed(opts.seed);
+  auto device = sim::DeviceFactory(device_spec).CreateDevice();
+  core::AndroidSystem& system = device->system();
 
   struct Sample {
     TimeUs t;
@@ -96,17 +100,15 @@ int main(int argc, char** argv) {
               static_cast<long long>(system.kernel().lmk()->total_kills()));
 
   if (opts.emit_json) {
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name)
-        .Set("seed", opts.seed)
-        .Set("quick", quick)
+    harness::BenchReport report(spec.name, opts);
+    report.Set("quick", quick)
         .Set("samples", std::move(rows))
         .Set("jgr_min", jgr_min)
         .Set("jgr_max", jgr_max)
         .Set("process_min", proc_min)
         .Set("process_max", proc_max)
         .Set("lmk_kills", system.kernel().lmk()->total_kills());
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!report.Write()) return 1;
   }
   return 0;
 }

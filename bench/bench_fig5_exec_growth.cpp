@@ -4,10 +4,10 @@
 // grows roughly linearly with the invocation index (paper: ~50 ms by the end
 // of the attack) while staying stable early on (Observation 2).
 //
-// Builder-driven: the booted device, attack app install, and MaliciousApp
-// all come from the ExperimentConfig builder (shared CLI: --seed/--json);
-// the bench then drives the undefended attack to overflow with per-call
-// execution timing enabled.
+// Factory-driven: the booted device, attack app install, and MaliciousApp
+// all come from sim::DeviceFactory (shared CLI: --seed/--json); the bench
+// then drives the undefended attack to overflow with per-call execution
+// timing enabled.
 #include <algorithm>
 #include <cstdio>
 
@@ -15,8 +15,10 @@
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
 #include "common/log.h"
+#include "harness/bench_report.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
+#include "sim/device.h"
 
 using namespace jgre;
 
@@ -36,14 +38,13 @@ int main(int argc, char** argv) {
       "an attack");
   const attack::VulnSpec* vuln =
       attack::FindVulnerability("telephony.registry", "listenForSubscriber");
-  auto exp = experiment::ExperimentConfig()
-                 .WithSeed(opts.seed)
-                 .WithAttack(*vuln)
-                 .Build();
+  sim::DeviceSpec device_spec;
+  device_spec.WithSeed(opts.seed).WithAttack(*vuln);
+  auto device = sim::DeviceFactory(device_spec).CreateDevice();
   attack::MaliciousApp::RunOptions options;
   options.record_exec_times = true;
   options.sample_every_calls = 0;
-  auto result = exp->attacker()->Run(options);
+  auto result = device->attacker()->Run(options);
 
   const auto& times = result.exec_times_us.samples();
   std::printf("\nattack issued %d calls before overflow (paper: 50,236 — "
@@ -59,11 +60,8 @@ int main(int argc, char** argv) {
                   .Set("call_index", i)
                   .Set("exec_time_us", times[i]));
   }
-  harness::Json doc = harness::Json::Object();
-  doc.Set("bench", spec.name)
-      .Set("seed", opts.seed)
-      .Set("calls_issued", result.calls_issued)
-      .Set("curve", std::move(rows));
+  harness::BenchReport report(spec.name, opts);
+  report.Set("calls_issued", result.calls_issued).Set("curve", std::move(rows));
   if (times.size() > 100) {
     const double first = times.front();
     // The final call's sample includes the soft-reboot downtime it triggered;
@@ -73,8 +71,8 @@ int main(int argc, char** argv) {
                 "(paper: ~200 us -> ~50,000 us; growth is linear in stored "
                 "records)\n",
                 first, late);
-    doc.Set("first_call_us", first).Set("near_overflow_us", late);
+    report.Set("first_call_us", first).Set("near_overflow_us", late);
   }
-  if (opts.emit_json && !harness::WriteJsonFile(opts.json_path, doc)) return 1;
+  if (!report.Write()) return 1;
   return result.succeeded ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "core/android_system.h"
+#include "harness/bench_report.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
 
@@ -79,16 +80,14 @@ int main(int argc, char** argv) {
               all.min(), all.max());
 
   if (opts.emit_json) {
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name)
-        .Set("seed", opts.seed)
-        .Set("rows", std::move(json_rows))
+    harness::BenchReport report(spec.name, opts);
+    report.Set("rows", std::move(json_rows))
         .Set("aggregate_cdf", std::move(cdf))
         .Set("summary", harness::Json::Object()
                             .Set("samples", all.count())
                             .Set("min_us", all.min())
                             .Set("max_us", all.max()));
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!report.Write()) return 1;
   }
   return 0;
 }

@@ -10,10 +10,12 @@
 
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
+#include "harness/bench_report.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
 #include "harness/obs_json.h"
 #include "obs/metrics.h"
+#include "sim/device.h"
 
 using namespace jgre;
 
@@ -44,16 +46,17 @@ int main(int argc, char** argv) {
   };
   const auto results = harness::RunOrdered<TaskResult>(
       vulns.size(), opts.jobs, [&](std::size_t i) {
-        experiment::ExperimentConfig config;
-        config.WithSeed(opts.seed + static_cast<std::uint64_t>(vulns[i].id))
+        sim::DeviceSpec device_spec;
+        device_spec
+            .WithSeed(opts.seed + static_cast<std::uint64_t>(vulns[i].id))
             .WithBenignApps(benign_apps)
             .WithAttack(vulns[i])
             .WithDefenderConfig(defender_config);
-        if (opts.emit_metrics) config.WithMetrics();
-        auto exp = config.Build();
+        if (opts.emit_metrics) device_spec.WithMetrics();
+        auto device = sim::DeviceFactory(device_spec).CreateDevice();
         TaskResult out;
-        out.result = exp->RunDefendedAttack();
-        if (exp->metrics() != nullptr) out.metrics = *exp->metrics();
+        out.result = experiment::Experiment(*device).RunDefendedAttack();
+        if (device->metrics() != nullptr) out.metrics = *device->metrics();
         return out;
       });
 
@@ -92,10 +95,8 @@ int main(int argc, char** argv) {
               detected, separated);
 
   if (opts.emit_json) {
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name)
-        .Set("seed", opts.seed)
-        .Set("benign_apps", benign_apps)
+    harness::BenchReport report(spec.name, opts);
+    report.Set("benign_apps", benign_apps)
         .Set("rows", std::move(json_rows))
         .Set("summary", harness::Json::Object()
                             .Set("detected", detected)
@@ -104,9 +105,9 @@ int main(int argc, char** argv) {
     if (opts.emit_metrics) {
       obs::MetricsRegistry merged;
       for (const TaskResult& task : results) merged.Merge(task.metrics);
-      doc.Set("metrics", harness::MetricsToJson(merged));
+      report.Set("metrics", harness::MetricsToJson(merged));
     }
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!report.Write()) return 1;
   }
   return detected == 54 ? 0 : 1;
 }

@@ -17,9 +17,11 @@
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
 #include "common/rng.h"
+#include "harness/bench_report.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
 #include "harness/obs_json.h"
+#include "sim/device.h"
 
 using namespace jgre;
 
@@ -41,16 +43,16 @@ int main(int argc, char** argv) {
   // same recording can be scored under all three Δ values.
   defense::JgreDefender::Config defender_config;
   defender_config.monitor.report_threshold = 1'000'000;
-  experiment::ExperimentConfig config;
-  config.WithSeed(opts.seed)
+  sim::DeviceSpec device_spec;
+  device_spec.WithSeed(opts.seed)
       .WithBenignApps(1)
       .WithDefenderConfig(defender_config);
-  if (!opts.trace_path.empty()) config.WithTrace();
-  if (opts.emit_metrics) config.WithMetrics();
-  auto exp = config.Build();
-  core::AndroidSystem& system = exp->system();
-  defense::JgreDefender& defender = *exp->defender();
-  attack::BenignWorkload& benign = *exp->benign();
+  if (!opts.trace_path.empty()) device_spec.WithTrace();
+  if (opts.emit_metrics) device_spec.WithMetrics();
+  auto device = sim::DeviceFactory(device_spec).CreateDevice();
+  core::AndroidSystem& system = device->system();
+  defense::JgreDefender& defender = *device->defender();
+  attack::BenignWorkload& benign = *device->benign();
 
   const std::vector<std::pair<const char*, const char*>> targets = {
       {"clipboard", "addPrimaryClipChangedListener"},
@@ -126,7 +128,7 @@ int main(int argc, char** argv) {
               "significantly larger than the benign app's\n");
 
   if (!opts.trace_path.empty()) {
-    if (!exp->WriteChromeTrace(opts.trace_path)) {
+    if (!device->WriteChromeTrace(opts.trace_path)) {
       std::fprintf(stderr, "error: could not write %s\n",
                    opts.trace_path.c_str());
       return 1;
@@ -135,16 +137,14 @@ int main(int argc, char** argv) {
                 opts.trace_path.c_str());
   }
   if (opts.emit_json) {
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name)
-        .Set("seed", opts.seed)
-        .Set("deltas", std::move(json_deltas))
+    harness::BenchReport report(spec.name, opts);
+    report.Set("deltas", std::move(json_deltas))
         .Set("summary",
              harness::Json::Object().Set("all_separated", all_separated));
-    if (opts.emit_metrics && exp->metrics() != nullptr) {
-      doc.Set("metrics", harness::MetricsToJson(*exp->metrics()));
+    if (opts.emit_metrics && device->metrics() != nullptr) {
+      report.Set("metrics", harness::MetricsToJson(*device->metrics()));
     }
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!report.Write()) return 1;
   }
   return all_separated ? 0 : 1;
 }

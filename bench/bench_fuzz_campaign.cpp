@@ -24,6 +24,7 @@
 #include "dynamic/verifier.h"
 #include "fuzz/campaign.h"
 #include "harness/branch_runner.h"
+#include "harness/bench_report.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
 
@@ -210,11 +211,10 @@ int main(int argc, char** argv) {
                         .Set("victim_aborted", f.victim_aborted)
                         .Set("minimized_calls", f.minimized_calls));
     }
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name)
-        .Set("seed", opts.seed)
-        .Set("jobs", opts.jobs)
-        .Set("budget", budget)
+    // Wall-clock bench (execs/sec, speedups): stamp the resolved --jobs.
+    harness::BenchReport report(spec.name, opts, /*schema_version=*/1,
+                                /*record_jobs=*/true);
+    report.Set("budget", budget)
         .Set("campaign",
              harness::Json::Object()
                  .Set("seed_executions", result.stats.seed_executions)
@@ -255,7 +255,7 @@ int main(int argc, char** argv) {
                  .Set("warm_execs_per_sec", warm_eps)
                  .Set("cold_execs_per_sec", cold_eps)
                  .Set("speedup", speedup));
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!report.Write()) return 1;
   }
 
   bool ok = true;

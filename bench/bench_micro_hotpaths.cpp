@@ -31,6 +31,7 @@
 #include "defense/jgr_monitor.h"
 #include "defense/monitor_hub.h"
 #include "defense/scoring.h"
+#include "harness/bench_report.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
 #include "obs/event.h"
@@ -355,20 +356,18 @@ int main(int argc, char** argv) {
               geomean);
 
   if (opts.emit_json) {
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name);
-    doc.Set("schema_version", 2);
-    doc.Set("baseline",
+    harness::BenchReport report(spec.name, opts, /*schema_version=*/2);
+    report.Set("baseline",
             harness::Json::Object()
                 .Set("commit", "c7400a5")
                 .Set("runs", 3)
                 .Set("stat", "median"));
-    doc.Set("paths", std::move(sections));
-    doc.Set("aggregate",
+    report.Set("paths", std::move(sections));
+    report.Set("aggregate",
             harness::Json::Object()
                 .Set("paths", std::move(aggregate_paths))
                 .Set("geomean_speedup_vs_baseline", geomean));
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!report.Write()) return 1;
   }
   return 0;
 }

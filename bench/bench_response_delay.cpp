@@ -22,11 +22,13 @@
 #include "attack/vuln_registry.h"
 #include "bench_util.h"
 #include "common/log.h"
+#include "harness/bench_report.h"
 #include "harness/branch_runner.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
 #include "harness/obs_json.h"
 #include "obs/metrics.h"
+#include "sim/device.h"
 
 using namespace jgre;
 
@@ -49,9 +51,8 @@ int main(int argc, char** argv) {
     experiment::DefendedAttackResult result;
     obs::MetricsRegistry metrics;
   };
-  const experiment::ExperimentConfig prefix =
-      experiment::ExperimentConfig().WithSeed(opts.seed).WithWarmup(
-          40, 6'000'000);
+  sim::DeviceSpec prefix;
+  prefix.WithSeed(opts.seed).WithWarmup(40, 6'000'000);
   harness::BranchRunner runner(prefix, harness::BranchOptionsFromHarness(opts));
 
   // Surface a bad --resume image (or an unwritable --checkpoint path) as a
@@ -63,17 +64,17 @@ int main(int argc, char** argv) {
   const auto results = runner.Run<TaskResult>(
       vulns.size(),
       [&](std::size_t i) {
-        experiment::ExperimentConfig config = prefix;
-        config.WithBenignApps(10)  // light background traffic
+        sim::DeviceSpec branch = prefix;
+        branch.WithBenignApps(10)  // light background traffic
             .WithAttack(vulns[i])
             .WithDefense();
-        if (opts.emit_metrics) config.WithMetrics();
-        return config;
+        if (opts.emit_metrics) branch.WithMetrics();
+        return branch;
       },
-      [](std::size_t, experiment::Experiment& exp) {
+      [](std::size_t, sim::DeviceSim& device) {
         TaskResult out;
-        out.result = exp.RunDefendedAttack();
-        if (exp.metrics() != nullptr) out.metrics = *exp.metrics();
+        out.result = experiment::Experiment(device).RunDefendedAttack();
+        if (device.metrics() != nullptr) out.metrics = *device.metrics();
         return out;
       });
 
@@ -128,17 +129,14 @@ int main(int argc, char** argv) {
 
   if (opts.emit_json) {
     summary.Set("defended", defended).Set("total", total);
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name)
-        .Set("seed", opts.seed)
-        .Set("rows", std::move(json_rows))
-        .Set("summary", std::move(summary));
+    harness::BenchReport report(spec.name, opts);
+    report.Set("rows", std::move(json_rows)).Set("summary", std::move(summary));
     if (opts.emit_metrics) {
       obs::MetricsRegistry merged;
       for (const TaskResult& task : results) merged.Merge(task.metrics);
-      doc.Set("metrics", harness::MetricsToJson(merged));
+      report.Set("metrics", harness::MetricsToJson(merged));
     }
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!report.Write()) return 1;
   }
   return defended == total ? 0 : 1;
 }

@@ -23,9 +23,11 @@
 #include "core/android_system.h"
 #include "defense/jgre_defender.h"
 #include "experiment/experiment.h"
+#include "harness/bench_report.h"
 #include "harness/branch_runner.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
+#include "sim/device.h"
 #include "snapshot/snapshot.h"
 
 using namespace jgre;
@@ -58,7 +60,7 @@ struct SweepTally {
 // Runs the 14 branch configurations of bench_ablation_thresholds on
 // `runner` and tallies what the branches simulated.
 SweepTally RunAblationBranches(harness::BranchRunner& runner,
-                               const experiment::ExperimentConfig& prefix) {
+                               const sim::DeviceSpec& prefix) {
   SweepTally tally;
   const auto tally_attack = [&tally](
                                 const std::vector<
@@ -76,36 +78,36 @@ SweepTally RunAblationBranches(harness::BranchRunner& runner,
   tally_attack(runner.Run<experiment::DefendedAttackResult>(
       thresholds.size(),
       [&](std::size_t i) {
-        experiment::ExperimentConfig config = prefix;
+        sim::DeviceSpec config = prefix;
         defense::JgreDefender::Config defender;
         defender.monitor.report_threshold = thresholds[i];
         config.WithAttack(clipboard).WithDefenderConfig(defender);
         return config;
       },
-      [](std::size_t, experiment::Experiment& exp) {
-        return exp.RunDefendedAttack();
+      [](std::size_t, sim::DeviceSim& device) {
+        return experiment::Experiment(device).RunDefendedAttack();
       }));
   const std::vector<std::size_t> alarms = {1'500u, 2'500u, 4'000u, 8'000u};
   for (int v : runner.Run<int>(
            alarms.size(),
            [&](std::size_t i) {
-             experiment::ExperimentConfig config = prefix;
+             sim::DeviceSpec config = prefix;
              defense::JgreDefender::Config defender;
              defender.monitor.alarm_threshold = alarms[i];
              defender.monitor.report_threshold = 800;
              config.WithDefenderConfig(defender);
              return config;
            },
-           [&](std::size_t, experiment::Experiment& exp) {
+           [&](std::size_t, sim::DeviceSim& device) {
              attack::BenignWorkload::Options benign_options;
              benign_options.app_count = 60;
              benign_options.per_app_foreground_us = 12'000'000;
              benign_options.interaction_period_us = 50'000;
              benign_options.seed = prefix.seed() + 1;
-             attack::BenignWorkload workload(&exp.system(), benign_options);
+             attack::BenignWorkload workload(&device.system(), benign_options);
              workload.InstallAll();
              workload.RunMonkeySession();
-             return static_cast<int>(exp.defender()->incidents().size());
+             return static_cast<int>(device.defender()->incidents().size());
            })) {
     tally.incidents += v;
   }
@@ -115,15 +117,15 @@ SweepTally RunAblationBranches(harness::BranchRunner& runner,
   tally_attack(runner.Run<experiment::DefendedAttackResult>(
       deltas.size(),
       [&](std::size_t i) {
-        experiment::ExperimentConfig config = prefix;
+        sim::DeviceSpec config = prefix;
         defense::JgreDefender::Config defender;
         defender.scoring.delta_us = deltas[i];
         config.WithBenignApps(30).WithAttack(audio).WithDefenderConfig(
             defender);
         return config;
       },
-      [](std::size_t, experiment::Experiment& exp) {
-        return exp.RunDefendedAttack();
+      [](std::size_t, sim::DeviceSim& device) {
+        return experiment::Experiment(device).RunDefendedAttack();
       }));
   return tally;
 }
@@ -144,13 +146,13 @@ int main(int argc, char** argv) {
   bench::PrintBanner("SNAPSHOT",
                      "Checkpoint size, save/restore latency, and the "
                      "BranchRunner sweep speedup");
-  const experiment::ExperimentConfig prefix =
-      experiment::ExperimentConfig().WithSeed(opts.seed).WithWarmup(
-          300, 120'000'000, 50'000);
+  sim::DeviceSpec prefix;
+  prefix.WithSeed(opts.seed).WithWarmup(300, 120'000'000, 50'000);
 
   // --- capture/restore latency on the standard prefix ---
   auto prefix_start = WallClock::now();
-  std::unique_ptr<core::AndroidSystem> prefix_system = prefix.BuildPrefix();
+  std::unique_ptr<core::AndroidSystem> prefix_system =
+      sim::DeviceFactory(prefix).BootPrefix();
   const double prefix_ms = MsSince(prefix_start);
 
   constexpr int kReps = 5;
@@ -239,11 +241,11 @@ int main(int argc, char** argv) {
               warm_tally.virtual_us / 1e6);
 
   if (opts.emit_json) {
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name)
-        .Set("seed", opts.seed)
-        .Set("jobs", opts.jobs)
-        .Set("checkpoint",
+    // Wall-clock bench: timings depend on the worker count, so the resolved
+    // --jobs is stamped into the envelope (record_jobs).
+    harness::BenchReport report(spec.name, opts, /*schema_version=*/1,
+                                /*record_jobs=*/true);
+    report.Set("checkpoint",
              harness::Json::Object()
                  .Set("bytes", manifest.byte_size)
                  .Set("virtual_time_us", manifest.virtual_time_us)
@@ -259,7 +261,7 @@ int main(int argc, char** argv) {
                  .Set("incidents", warm_tally.incidents)
                  .Set("attacker_calls", warm_tally.attacker_calls)
                  .Set("virtual_us", warm_tally.virtual_us));
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!report.Write()) return 1;
   }
   return speedup >= 3.0 ? 0 : 1;
 }

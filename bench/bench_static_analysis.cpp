@@ -28,6 +28,7 @@
 #include "bench_util.h"
 #include "common/log.h"
 #include "core/android_system.h"
+#include "harness/bench_report.h"
 #include "harness/experiment_runner.h"
 #include "harness/json.h"
 #include "model/corpus.h"
@@ -216,10 +217,8 @@ int main(int argc, char** argv) {
                               .Set("frames", length)
                               .Set("candidates", count));
     }
-    harness::Json doc = harness::Json::Object();
-    doc.Set("bench", spec.name)
-        .Set("seed", opts.seed)
-        .Set("engine",
+    harness::BenchReport bench_report(spec.name, opts);
+    bench_report.Set("engine",
              harness::Json::Object()
                  .Set("java_methods", stats.java_methods)
                  .Set("call_edges", stats.call_edges)
@@ -246,7 +245,7 @@ int main(int argc, char** argv) {
              harness::Json::Object()
                  .Set("missing", missing_witness)
                  .Set("length_histogram", std::move(histogram_json)));
-    if (!harness::WriteJsonFile(opts.json_path, doc)) return 1;
+    if (!bench_report.Write()) return 1;
   }
 
   if (const std::string* path = harness::FlagValue(opts, "--analysis-json")) {

@@ -1,19 +1,21 @@
 #include "bench_util.h"
 
+#include "sim/device.h"
+
 namespace jgre::bench {
 
 bool WriteDefendedAttackTrace(const attack::VulnSpec& vuln,
                               std::uint64_t seed, int benign_apps,
                               const std::string& path) {
-  auto exp = experiment::ExperimentConfig()
-                 .WithSeed(seed)
-                 .WithBenignApps(benign_apps)
-                 .WithAttack(vuln)
-                 .WithDefense()
-                 .WithTrace()
-                 .Build();
-  (void)exp->RunDefendedAttack();
-  return exp->WriteChromeTrace(path);
+  sim::DeviceSpec spec;
+  spec.WithSeed(seed)
+      .WithBenignApps(benign_apps)
+      .WithAttack(vuln)
+      .WithDefense()
+      .WithTrace();
+  auto device = sim::DeviceFactory(spec).CreateDevice();
+  (void)experiment::Experiment(*device).RunDefendedAttack();
+  return device->WriteChromeTrace(path);
 }
 
 }  // namespace jgre::bench

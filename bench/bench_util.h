@@ -1,9 +1,10 @@
 // Shared helpers for the experiment harnesses under bench/.
 //
 // Each bench binary regenerates one table or figure from the paper's
-// evaluation. The scenario plumbing lives in src/experiment
-// (ExperimentConfig/Experiment) and src/harness (RunOrdered/BranchRunner);
-// this header keeps only the presentation helpers the benches share.
+// evaluation. Device construction lives in src/sim (DeviceFactory), the
+// scenario driver in src/experiment, and the parallel plumbing in
+// src/harness (RunOrdered/BranchRunner); this header keeps only the
+// presentation helpers the benches share.
 #ifndef JGRE_BENCH_BENCH_UTIL_H_
 #define JGRE_BENCH_BENCH_UTIL_H_
 

@@ -48,6 +48,7 @@ void AndroidSystem::BootSystemServer() {
   os::Kernel::ProcessConfig pc;
   pc.with_runtime = true;
   pc.boot_class_refs = config_.system_server_boot_class_refs;
+  pc.max_global_refs = config_.system_server_max_jgr;
   pc.memory_kb = 180 * 1024;
   pc.oom_score_adj = os::kSystemAdj;
   pc.critical = true;

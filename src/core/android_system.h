@@ -45,6 +45,10 @@ struct SystemConfig {
   // Fig 4 shows 1,000–3,000 entries on a live device.
   std::size_t system_server_boot_class_refs = 1200;
   std::size_t app_boot_class_refs = 180;
+  // system_server's JGR table capacity — the exhaustion ceiling. Stock AOSP
+  // pins this at rt::kGlobalsMax; fleet specs vary it to model devices with
+  // smaller (or patched, larger) tables.
+  std::size_t system_server_max_jgr = rt::kGlobalsMax;
   // GC cadence applied between transactions (DDMS-style periodic GC).
   DurationUs gc_period_us = 2'000'000;
   // Stock Android runs 382 processes before any third-party app (§V, Obs 1);

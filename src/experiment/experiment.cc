@@ -1,151 +1,46 @@
 #include "experiment/experiment.h"
 
-#include "obs/chrome_trace.h"
-
 namespace jgre::experiment {
-
-std::unique_ptr<core::AndroidSystem> ExperimentConfig::BuildPrefix() const {
-  core::SystemConfig sys_config = system_config_;
-  sys_config.seed = seed_;
-  auto system = std::make_unique<core::AndroidSystem>(sys_config);
-  system->Boot();
-  if (warmup_apps_ > 0) {
-    attack::BenignWorkload::Options options;
-    options.app_count = warmup_apps_;
-    options.per_app_foreground_us = warmup_foreground_us_;
-    if (warmup_interaction_period_us_ > 0) {
-      options.interaction_period_us = warmup_interaction_period_us_;
-    }
-    options.seed = seed_ + 3;
-    options.package_prefix = "com.warm.app";
-    attack::BenignWorkload warmup(system.get(), options);
-    warmup.InstallAll();
-    warmup.RunMonkeySession();
-    // Back to quiescent: stop every warmup app (releasing its service-side
-    // registrations via death notification) and reclaim the JGRs they
-    // pinned, so the checkpoint boundary is a near-baseline device.
-    for (const std::string& package : warmup.packages()) {
-      system->StopApp(package);
-    }
-    system->CollectAllGarbage();
-  }
-  return system;
-}
-
-std::unique_ptr<Experiment> ExperimentConfig::BuildOn(
-    std::unique_ptr<core::AndroidSystem> system) const {
-  return std::make_unique<Experiment>(*this, std::move(system));
-}
-
-std::unique_ptr<Experiment> ExperimentConfig::Build() const {
-  return std::make_unique<Experiment>(*this);
-}
-
-Experiment::Experiment(const ExperimentConfig& config)
-    : Experiment(config, config.BuildPrefix()) {}
-
-Experiment::Experiment(const ExperimentConfig& config,
-                       std::unique_ptr<core::AndroidSystem> system)
-    : config_(config), rng_(config.seed_ + 2), system_(std::move(system)) {
-  if (config_.defense_) {
-    defender_ = std::make_unique<defense::JgreDefender>(
-        system_.get(), config_.defender_config_);
-    defender_->Install();
-  }
-  // Pure sinks: subscribing them never advances the virtual clock, so a
-  // traced run is event-for-event identical to an untraced one. Both ride
-  // buffered delivery — the trace()/metrics() accessors flush before reads.
-  if (config_.trace_) {
-    trace_ = std::make_unique<obs::TraceBuffer>();
-    bus().Subscribe(trace_.get(), config_.trace_mask_, /*pid_filter=*/-1,
-                    obs::Delivery::kBuffered);
-  }
-  if (config_.metrics_) {
-    metrics_ = std::make_unique<obs::MetricsRegistry>();
-    metrics_sink_ = std::make_unique<obs::MetricsSink>(metrics_.get());
-    bus().Subscribe(metrics_sink_.get(), obs::kAllCategories,
-                    /*pid_filter=*/-1, obs::Delivery::kBuffered);
-  }
-
-  attack::BenignWorkload::Options benign_options;
-  benign_options.app_count = config_.benign_apps_;
-  benign_options.seed = config_.seed_ + 1;
-  benign_ = std::make_unique<attack::BenignWorkload>(system_.get(),
-                                                     benign_options);
-  if (config_.benign_apps_ > 0) {
-    benign_->InstallAll();
-    next_benign_.resize(benign_->packages().size());
-    for (TimeUs& t : next_benign_) {
-      t = system_->clock().NowUs() + rng_.UniformU64(150'000);
-    }
-  }
-
-  if (config_.vuln_.has_value()) {
-    attacker_process_ = attack::InstallAttackApp(
-        system_.get(), config_.attack_package_, *config_.vuln_);
-    attacker_ = std::make_unique<attack::MaliciousApp>(
-        system_.get(), attacker_process_, *config_.vuln_);
-  }
-}
-
-Experiment::~Experiment() {
-  if (trace_ != nullptr) bus().Unsubscribe(trace_.get());
-  if (metrics_sink_ != nullptr) bus().Unsubscribe(metrics_sink_.get());
-}
-
-obs::EventBus& Experiment::bus() { return system_->kernel().bus(); }
-
-obs::TraceBuffer* Experiment::trace() {
-  if (trace_ != nullptr) bus().Flush();
-  return trace_.get();
-}
-
-obs::MetricsRegistry* Experiment::metrics() {
-  if (metrics_ != nullptr) bus().Flush();
-  return metrics_.get();
-}
 
 DefendedAttackResult Experiment::RunDefendedAttack() {
   DefendedAttackResult result;
-  const TimeUs start = system_->clock().NowUs();
+  core::AndroidSystem& system = device_.system();
+  defense::JgreDefender* defender = device_.defender();
+  attack::MaliciousApp* attacker = device_.attacker();
+  services::AppProcess* attacker_process = device_.attacker_process();
+  attack::BenignWorkload* benign = device_.benign();
+  std::vector<TimeUs>& next_benign = device_.benign_schedule();
+  Rng& rng = device_.rng();
+  const int max_calls = device_.spec().max_attacker_calls();
+  const TimeUs start = system.clock().NowUs();
 
-  while ((defender_ == nullptr || defender_->incidents().empty()) &&
-         result.attacker_calls < config_.max_attacker_calls_) {
-    if (attacker_process_ == nullptr || !attacker_process_->alive()) break;
-    (void)attacker_->Step();
+  while ((defender == nullptr || defender->incidents().empty()) &&
+         result.attacker_calls < max_calls) {
+    if (attacker_process == nullptr || !attacker_process->alive()) break;
+    (void)attacker->Step();
     ++result.attacker_calls;
     // Benign apps interact on their own randomized schedules.
-    const TimeUs now = system_->clock().NowUs();
-    for (std::size_t i = 0; i < next_benign_.size(); ++i) {
-      if (now >= next_benign_[i]) {
-        benign_->InteractOnce(i);
-        next_benign_[i] =
-            system_->clock().NowUs() + 20'000 + rng_.UniformU64(130'000);
+    const TimeUs now = system.clock().NowUs();
+    for (std::size_t i = 0; i < next_benign.size(); ++i) {
+      if (now >= next_benign[i]) {
+        benign->InteractOnce(i);
+        next_benign[i] =
+            system.clock().NowUs() + 20'000 + rng.UniformU64(130'000);
       }
     }
-    if (system_->soft_reboots() > 0) {
+    if (system.soft_reboots() > 0) {
       result.soft_rebooted = true;
       break;
     }
   }
-  result.virtual_duration_us = system_->clock().NowUs() - start;
+  result.virtual_duration_us = system.clock().NowUs() - start;
   result.attacker_killed =
-      attacker_process_ != nullptr && !attacker_process_->alive();
-  if (defender_ != nullptr && !defender_->incidents().empty()) {
+      attacker_process != nullptr && !attacker_process->alive();
+  if (defender != nullptr && !defender->incidents().empty()) {
     result.incident = true;
-    result.report = defender_->incidents().front();
+    result.report = defender->incidents().front();
   }
   return result;
-}
-
-bool Experiment::WriteChromeTrace(const std::string& path) {
-  if (trace_ == nullptr) return false;
-  bus().Flush();  // drain staged events into the trace ring
-  auto resolver = [this](std::int32_t pid) -> std::string {
-    const os::Process* p = system_->kernel().FindProcess(Pid{pid});
-    return p == nullptr ? std::string() : p->name;
-  };
-  return obs::WriteChromeTraceFile(path, bus(), *trace_, resolver);
 }
 
 }  // namespace jgre::experiment

@@ -1,49 +1,23 @@
-// Experiment / ExperimentConfig — one builder for the scenario plumbing the
-// bench binaries used to hand-roll (boot, defense install, benign workload
-// scheduling, attack app install, observability subscriptions).
+// Experiment — the defended-attack scenario driver over a sim::DeviceSim.
 //
-// The builder fixes the construction order once, so every bench that used to
-// copy bench_util's RunDefendedAttack sequence now shares it byte-for-byte:
+// Device construction lives entirely in sim::DeviceFactory (the unified
+// per-device API); Experiment is a thin, non-owning driver that runs the
+// canonical attack-vs-defense loop on an already-built device:
 //
-//   auto exp = experiment::ExperimentConfig()
-//                  .WithSeed(42)
-//                  .WithBenignApps(10)
-//                  .WithAttack(vuln)
-//                  .WithDefense()
-//                  .WithTrace()
-//                  .Build();
-//   auto result = exp->RunDefendedAttack();
-//   exp->WriteChromeTrace("out.json");
+//   sim::DeviceSpec spec;
+//   spec.WithSeed(42).WithBenignApps(10).WithAttack(vuln).WithDefense();
+//   auto device = sim::DeviceFactory(spec).CreateDevice();
+//   auto result = experiment::Experiment(*device).RunDefendedAttack();
 //
-// Seed derivation (identical to the seed's bench_util): the system boots
-// with `seed`, the benign workload draws from `seed + 1`, the benign
-// interaction scheduler draws from `seed + 2`, and the warmup workload
-// (WithWarmup) draws from `seed + 3`.
-//
-// The build is split into a checkpointable prefix and a branch phase:
-// BuildPrefix() boots the device and runs the shared warmup workload to a
-// quiescent boundary (the state snapshot::SystemSnapshot captures), and
-// BuildOn(system) completes the scenario on any such system — freshly
-// built or restored from a checkpoint. Build() is BuildOn(BuildPrefix()).
+// The loop draws benign interaction times from the device's scenario RNG
+// stream — the same stream the factory used for the initial schedule — so a
+// run is byte-identical to the historical single-owner Experiment.
 #ifndef JGRE_EXPERIMENT_EXPERIMENT_H_
 #define JGRE_EXPERIMENT_EXPERIMENT_H_
 
-#include <cstdint>
-#include <memory>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "attack/benign_workload.h"
-#include "attack/malicious_app.h"
-#include "attack/vuln_registry.h"
-#include "common/rng.h"
 #include "common/types.h"
-#include "core/android_system.h"
 #include "defense/jgre_defender.h"
-#include "obs/event.h"
-#include "obs/metrics.h"
-#include "obs/trace_buffer.h"
+#include "sim/device.h"
 
 namespace jgre::experiment {
 
@@ -56,162 +30,19 @@ struct DefendedAttackResult {
   DurationUs virtual_duration_us = 0;
 };
 
-class Experiment;
-
-class ExperimentConfig {
- public:
-  ExperimentConfig& WithSeed(std::uint64_t seed) {
-    seed_ = seed;
-    return *this;
-  }
-  // Base system configuration; its seed is overridden by WithSeed.
-  ExperimentConfig& WithSystemConfig(const core::SystemConfig& config) {
-    system_config_ = config;
-    return *this;
-  }
-  ExperimentConfig& WithBenignApps(int count) {
-    benign_apps_ = count;
-    return *this;
-  }
-  ExperimentConfig& WithAttack(const attack::VulnSpec& vuln) {
-    vuln_ = vuln;
-    return *this;
-  }
-  ExperimentConfig& WithAttackPackage(std::string package) {
-    attack_package_ = std::move(package);
-    return *this;
-  }
-  ExperimentConfig& WithDefense(bool enabled = true) {
-    defense_ = enabled;
-    return *this;
-  }
-  ExperimentConfig& WithDefenderConfig(
-      const defense::JgreDefender::Config& config) {
-    defense_ = true;
-    defender_config_ = config;
-    return *this;
-  }
-  ExperimentConfig& WithThresholds(std::size_t alarm, std::size_t report) {
-    defense_ = true;
-    defender_config_.monitor.alarm_threshold = alarm;
-    defender_config_.monitor.report_threshold = report;
-    return *this;
-  }
-  ExperimentConfig& WithMaxAttackerCalls(int calls) {
-    max_attacker_calls_ = calls;
-    return *this;
-  }
-  // Buffer TraceEvents of the masked categories for Chrome-trace export.
-  ExperimentConfig& WithTrace(obs::CategoryMask mask = obs::kAllCategories) {
-    trace_ = true;
-    trace_mask_ = mask;
-    return *this;
-  }
-  // Fold the event stream into a MetricsRegistry (Experiment::metrics()).
-  ExperimentConfig& WithMetrics() {
-    metrics_ = true;
-    return *this;
-  }
-  // Shared warmup prefix: after boot, run one benign monkey session over
-  // `apps` apps (each foregrounded for `foreground_us`, package prefix
-  // "com.warm.app", seed + 3), then stop them all and collect garbage —
-  // leaving the device at the populated-but-quiescent state BranchRunner
-  // checkpoints. `interaction_period_us` overrides the monkey's event
-  // period (0 = the workload default) for denser warmup streams.
-  ExperimentConfig& WithWarmup(int apps,
-                               DurationUs foreground_us = 120'000'000,
-                               DurationUs interaction_period_us = 0) {
-    warmup_apps_ = apps;
-    warmup_foreground_us_ = foreground_us;
-    warmup_interaction_period_us_ = interaction_period_us;
-    return *this;
-  }
-
-  // Builds just the shared prefix: a booted (and warmed-up) quiescent
-  // system, before any defense/benign/attacker setup.
-  std::unique_ptr<core::AndroidSystem> BuildPrefix() const;
-
-  // Completes the scenario on an existing prefix system — the output of
-  // BuildPrefix(), or a fresh Boot()ed system restored from a checkpoint of
-  // one. The system must have been built from this config's seed.
-  std::unique_ptr<Experiment> BuildOn(
-      std::unique_ptr<core::AndroidSystem> system) const;
-
-  // Boots the device and performs the whole setup sequence. The experiment
-  // is single-use: build a fresh one per run.
-  std::unique_ptr<Experiment> Build() const;
-
-  std::uint64_t seed() const { return seed_; }
-  const core::SystemConfig& system_config() const { return system_config_; }
-
- private:
-  friend class Experiment;
-
-  std::uint64_t seed_ = 42;
-  core::SystemConfig system_config_;
-  int benign_apps_ = 0;
-  std::optional<attack::VulnSpec> vuln_;
-  std::string attack_package_ = "com.evil.app";
-  bool defense_ = false;
-  defense::JgreDefender::Config defender_config_;
-  int max_attacker_calls_ = 60'000;
-  bool trace_ = false;
-  obs::CategoryMask trace_mask_ = obs::kAllCategories;
-  bool metrics_ = false;
-  int warmup_apps_ = 0;
-  DurationUs warmup_foreground_us_ = 120'000'000;
-  DurationUs warmup_interaction_period_us_ = 0;
-};
-
 class Experiment {
  public:
-  explicit Experiment(const ExperimentConfig& config);
-  // Branch-phase constructor: takes ownership of a prefix system (built by
-  // ExperimentConfig::BuildPrefix or restored from its checkpoint) and
-  // performs only the post-prefix setup.
-  Experiment(const ExperimentConfig& config,
-             std::unique_ptr<core::AndroidSystem> system);
-  ~Experiment();
+  explicit Experiment(sim::DeviceSim& device) : device_(device) {}
 
-  Experiment(const Experiment&) = delete;
-  Experiment& operator=(const Experiment&) = delete;
-
-  core::AndroidSystem& system() { return *system_; }
-  obs::EventBus& bus();
-  // Null unless the corresponding With* was configured.
-  defense::JgreDefender* defender() { return defender_.get(); }
-  attack::MaliciousApp* attacker() { return attacker_.get(); }
-  services::AppProcess* attacker_process() { return attacker_process_; }
-  attack::BenignWorkload* benign() { return benign_.get(); }
-  // Trace/metrics sinks ride the bus's buffered (batched) delivery; these
-  // accessors flush staged events first so reads always see a complete view.
-  obs::TraceBuffer* trace();
-  obs::MetricsRegistry* metrics();
-  Rng& rng() { return rng_; }
+  sim::DeviceSim& device() { return device_; }
 
   // Runs the attack loop with interleaved benign traffic until the defender
   // raises an incident, the attacker dies, the device soft-reboots, or the
-  // call budget runs out. Identical semantics (and RNG draws) to the
-  // deprecated bench::RunDefendedAttack.
+  // call budget (spec().max_attacker_calls()) runs out.
   DefendedAttackResult RunDefendedAttack();
 
-  // Serializes the trace buffer as Chrome-trace JSON (process names resolved
-  // against the kernel's process table). False if tracing is off or the
-  // write fails.
-  bool WriteChromeTrace(const std::string& path);
-
  private:
-  ExperimentConfig config_;
-  Rng rng_;
-  std::unique_ptr<core::AndroidSystem> system_;  // first: destroyed last
-  std::unique_ptr<defense::JgreDefender> defender_;
-  std::unique_ptr<obs::TraceBuffer> trace_;
-  std::unique_ptr<obs::MetricsRegistry> metrics_;
-  std::unique_ptr<obs::MetricsSink> metrics_sink_;
-  std::unique_ptr<attack::BenignWorkload> benign_;
-  std::vector<TimeUs> next_benign_;
-  services::AppProcess* attacker_process_ = nullptr;
-  std::unique_ptr<attack::MaliciousApp> attacker_;
+  sim::DeviceSim& device_;
 };
 
 }  // namespace jgre::experiment

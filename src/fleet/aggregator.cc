@@ -1,0 +1,118 @@
+#include "fleet/aggregator.h"
+
+namespace jgre::fleet {
+
+void DeviceProbe::OnEvent(const obs::TraceEvent& event) {
+  OnBatch(&event, 1);
+}
+
+void DeviceProbe::OnBatch(const obs::TraceEvent* events, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const obs::TraceEvent& event = events[i];
+    if (event.category == obs::Category::kIpc) {
+      ++ipc_calls_;
+      continue;
+    }
+    if (event.category != obs::Category::kJgr || event.pid != victim_pid_) {
+      continue;
+    }
+    if (event.name == obs::LabelIdOf(obs::Label::kJgrAdd)) ++jgr_adds_;
+    const std::uint64_t after = static_cast<std::uint64_t>(event.arg0);
+    if (after > peak_jgr_) peak_jgr_ = after;
+  }
+}
+
+void FleetAggregator::Absorb(const DeviceOutcome& outcome) {
+  ++devices_;
+  ClassStats& stats = classes_[outcome.scenario_class];
+  ++stats.devices;
+  if (outcome.incident) ++stats.incidents;
+  if (outcome.exhausted) {
+    ++stats.exhausted;
+    stats.tte_us.Add(static_cast<std::uint64_t>(outcome.time_to_exhaustion_us));
+  }
+  if (outcome.exhausted_within_horizon) ++stats.exhausted_within_horizon;
+  if (outcome.attacker_killed) ++stats.attacker_kills;
+  stats.ipc_calls += outcome.ipc_calls;
+  stats.jgr_adds += outcome.jgr_adds;
+  stats.peak_jgr.Add(outcome.peak_jgr);
+}
+
+void FleetAggregator::MergeFrom(const FleetAggregator& other) {
+  devices_ += other.devices_;
+  for (const auto& [name, theirs] : other.classes_) {
+    ClassStats& ours = classes_[name];
+    ours.devices += theirs.devices;
+    ours.incidents += theirs.incidents;
+    ours.exhausted += theirs.exhausted;
+    ours.exhausted_within_horizon += theirs.exhausted_within_horizon;
+    ours.attacker_kills += theirs.attacker_kills;
+    ours.ipc_calls += theirs.ipc_calls;
+    ours.jgr_adds += theirs.jgr_adds;
+    ours.tte_us.Merge(theirs.tte_us);
+    ours.peak_jgr.Merge(theirs.peak_jgr);
+  }
+}
+
+namespace {
+
+harness::Json SketchJson(const QuantileSketch& sketch) {
+  harness::Json j = harness::Json::Object();
+  j.Set("count", sketch.count());
+  j.Set("min", sketch.min_value());
+  j.Set("p50", sketch.Quantile(0.50));
+  j.Set("p90", sketch.Quantile(0.90));
+  j.Set("p99", sketch.Quantile(0.99));
+  j.Set("max", sketch.max_value());
+  return j;
+}
+
+double Rate(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+harness::Json FleetAggregator::StatsJson(const ClassStats& stats) {
+  harness::Json j = harness::Json::Object();
+  j.Set("devices", stats.devices);
+  j.Set("incidents", stats.incidents);
+  j.Set("incident_rate", Rate(stats.incidents, stats.devices));
+  j.Set("exhausted", stats.exhausted);
+  j.Set("exhausted_rate", Rate(stats.exhausted, stats.devices));
+  j.Set("soft_reboot_within_horizon_rate",
+        Rate(stats.exhausted_within_horizon, stats.devices));
+  j.Set("attacker_kills", stats.attacker_kills);
+  j.Set("ipc_calls", stats.ipc_calls);
+  j.Set("jgr_adds", stats.jgr_adds);
+  j.Set("time_to_exhaustion_us", SketchJson(stats.tte_us));
+  j.Set("peak_jgr", SketchJson(stats.peak_jgr));
+  return j;
+}
+
+harness::Json FleetAggregator::ToJson() const {
+  harness::Json doc = harness::Json::Object();
+  doc.Set("devices", devices_);
+  ClassStats overall;
+  for (const auto& [name, stats] : classes_) {
+    overall.devices += stats.devices;
+    overall.incidents += stats.incidents;
+    overall.exhausted += stats.exhausted;
+    overall.exhausted_within_horizon += stats.exhausted_within_horizon;
+    overall.attacker_kills += stats.attacker_kills;
+    overall.ipc_calls += stats.ipc_calls;
+    overall.jgr_adds += stats.jgr_adds;
+    overall.tte_us.Merge(stats.tte_us);
+    overall.peak_jgr.Merge(stats.peak_jgr);
+  }
+  doc.Set("overall", StatsJson(overall));
+  harness::Json classes = harness::Json::Object();
+  for (const auto& [name, stats] : classes_) {
+    classes.Set(name, StatsJson(stats));
+  }
+  doc.Set("scenario_classes", std::move(classes));
+  return doc;
+}
+
+}  // namespace jgre::fleet

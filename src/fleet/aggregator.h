@@ -1,0 +1,97 @@
+// FleetAggregator — streaming census statistics over per-device outcomes.
+//
+// Each device run reduces to one DeviceOutcome (drained from its EventBus by
+// a DeviceProbe plus the scenario driver's own bookkeeping). The aggregator
+// folds outcomes into per-scenario-class counters and mergeable
+// QuantileSketches; MergeFrom() combines aggregators bin-wise, so shard
+// aggregation commutes — the census JSON is identical no matter how the
+// fleet was partitioned across workers.
+#ifndef JGRE_FLEET_AGGREGATOR_H_
+#define JGRE_FLEET_AGGREGATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+#include "fleet/sketch.h"
+#include "harness/json.h"
+#include "obs/event.h"
+
+namespace jgre::fleet {
+
+// The reduced result of one device simulation.
+struct DeviceOutcome {
+  std::size_t index = 0;
+  std::string scenario_class;
+  // JGR-table exhaustion detonated (system_server soft-rebooted).
+  bool exhausted = false;
+  DurationUs time_to_exhaustion_us = 0;  // meaningful when exhausted
+  bool exhausted_within_horizon = false;
+  bool incident = false;  // the defender raised an incident report
+  bool attacker_killed = false;
+  std::int64_t ipc_calls = 0;
+  std::int64_t jgr_adds = 0;
+  std::uint64_t peak_jgr = 0;  // system_server table high-water mark
+  DurationUs virtual_duration_us = 0;
+};
+
+// An EventSink that reduces a device's kJgr/kIpc batches as they drain.
+// Subscribes only the functional categories, so the census numbers are
+// identical under -DJGRE_OBS_TRACING=OFF.
+class DeviceProbe : public obs::EventSink {
+ public:
+  // `victim_pid` scopes the JGR statistics to the victim's table (the
+  // pre-reboot system_server); IPC calls are counted fleet-wide.
+  explicit DeviceProbe(std::int32_t victim_pid) : victim_pid_(victim_pid) {}
+
+  void OnEvent(const obs::TraceEvent& event) override;
+  void OnBatch(const obs::TraceEvent* events, std::size_t count) override;
+
+  std::int64_t ipc_calls() const { return ipc_calls_; }
+  std::int64_t jgr_adds() const { return jgr_adds_; }
+  std::uint64_t peak_jgr() const { return peak_jgr_; }
+
+ private:
+  std::int32_t victim_pid_;
+  std::int64_t ipc_calls_ = 0;
+  std::int64_t jgr_adds_ = 0;
+  std::uint64_t peak_jgr_ = 0;
+};
+
+class FleetAggregator {
+ public:
+  void Absorb(const DeviceOutcome& outcome);
+  // Bin-wise merge; commutative and associative with Absorb order.
+  void MergeFrom(const FleetAggregator& other);
+
+  std::size_t devices() const { return devices_; }
+
+  // The census document body: overall + per-scenario-class blocks with
+  // incident rates, soft-reboot-within-T fractions, and p50/p90/p99
+  // time-to-exhaustion / peak-JGR quantiles. Pure function of the absorbed
+  // outcomes (no wall-clock, no worker counts).
+  harness::Json ToJson() const;
+
+ private:
+  struct ClassStats {
+    std::uint64_t devices = 0;
+    std::uint64_t incidents = 0;
+    std::uint64_t exhausted = 0;
+    std::uint64_t exhausted_within_horizon = 0;
+    std::uint64_t attacker_kills = 0;
+    std::int64_t ipc_calls = 0;
+    std::int64_t jgr_adds = 0;
+    QuantileSketch tte_us;    // time-to-exhaustion of exhausted devices
+    QuantileSketch peak_jgr;  // high-water mark of every device
+  };
+
+  static harness::Json StatsJson(const ClassStats& stats);
+
+  std::size_t devices_ = 0;
+  std::map<std::string, ClassStats> classes_;  // ordered: stable JSON
+};
+
+}  // namespace jgre::fleet
+
+#endif  // JGRE_FLEET_AGGREGATOR_H_

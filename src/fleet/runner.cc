@@ -1,0 +1,170 @@
+#include "fleet/runner.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "common/strings.h"
+#include "harness/experiment_runner.h"
+#include "obs/event_bus.h"
+
+namespace jgre::fleet {
+
+DeviceOutcome RunDeviceScenario(const FleetDeviceSpec& spec,
+                                sim::DeviceSim& device) {
+  DeviceOutcome out;
+  out.index = spec.index;
+  out.scenario_class = spec.scenario_class;
+
+  core::AndroidSystem& system = device.system();
+  DeviceProbe probe(system.system_server_pid().value());
+  device.bus().Subscribe(&probe,
+                         obs::MaskOf(obs::Category::kJgr) |
+                             obs::MaskOf(obs::Category::kIpc),
+                         /*pid_filter=*/-1, obs::Delivery::kBuffered);
+
+  defense::JgreDefender* defender = device.defender();
+  attack::MaliciousApp* attacker = device.attacker();
+  services::AppProcess* attacker_process = device.attacker_process();
+  attack::BenignWorkload* benign = device.benign();
+  std::vector<TimeUs>& next_benign = device.benign_schedule();
+  Rng& rng = device.rng();
+  const int max_calls = device.spec().max_attacker_calls();
+
+  const TimeUs start = system.clock().NowUs();
+  const TimeUs deadline = start + spec.horizon_us;
+  TimeUs exhausted_at = 0;
+  int calls = 0;
+
+  const auto pump_benign = [&] {
+    const TimeUs now = system.clock().NowUs();
+    for (std::size_t i = 0; i < next_benign.size(); ++i) {
+      if (now >= next_benign[i]) {
+        benign->InteractOnce(i);
+        next_benign[i] =
+            system.clock().NowUs() + 20'000 + rng.UniformU64(130'000);
+      }
+    }
+  };
+
+  while (system.clock().NowUs() < deadline) {
+    if (defender != nullptr && !defender->incidents().empty()) break;
+    if (attacker != nullptr) {
+      if (!attacker_process->alive() || calls >= max_calls) break;
+      (void)attacker->Step();
+      ++calls;
+      // The slow-drip profile: idle between calls, letting periodic GC run
+      // and rate-based monitors cool down.
+      if (spec.think_time_us > 0) system.clock().AdvanceUs(spec.think_time_us);
+      pump_benign();
+    } else if (!next_benign.empty()) {
+      // Benign-only device: jump to the earliest scheduled interaction (or
+      // the horizon, whichever is sooner) and fire what is due.
+      const TimeUs earliest =
+          *std::min_element(next_benign.begin(), next_benign.end());
+      const TimeUs target = std::min(std::max(earliest, system.clock().NowUs()),
+                                     deadline);
+      if (target > system.clock().NowUs()) {
+        system.clock().AdvanceUs(target - system.clock().NowUs());
+      }
+      pump_benign();
+    } else {
+      // No attacker, no benign apps: nothing can happen before the horizon.
+      system.clock().AdvanceUs(deadline - system.clock().NowUs());
+      break;
+    }
+    if (system.soft_reboots() > 0) {
+      exhausted_at = system.clock().NowUs();
+      break;
+    }
+  }
+
+  out.exhausted = system.soft_reboots() > 0;
+  if (out.exhausted) {
+    if (exhausted_at == 0) exhausted_at = system.clock().NowUs();
+    out.time_to_exhaustion_us = exhausted_at - start;
+    out.exhausted_within_horizon = out.time_to_exhaustion_us <= spec.horizon_us;
+  }
+  out.incident = defender != nullptr && !defender->incidents().empty();
+  out.attacker_killed =
+      attacker_process != nullptr && !attacker_process->alive();
+  out.virtual_duration_us = system.clock().NowUs() - start;
+
+  // Unsubscribe drains the probe's staged events first — the read barrier.
+  device.bus().Unsubscribe(&probe);
+  out.ipc_calls = probe.ipc_calls();
+  out.jgr_adds = probe.jgr_adds();
+  out.peak_jgr = probe.peak_jgr();
+  return out;
+}
+
+FleetRunner::FleetRunner(std::vector<FleetDeviceSpec> fleet,
+                         FleetOptions options)
+    : fleet_(std::move(fleet)), options_(options) {}
+
+Status FleetRunner::Prepare() {
+  if (prepared_) return Status::Ok();
+  std::map<std::uint64_t, std::size_t> image_index;
+  image_of_.resize(fleet_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    const std::uint64_t key = sim::PrefixKey(fleet_[i].device);
+    auto it = image_index.find(key);
+    if (it != image_index.end()) {
+      image_of_[i] = it->second;
+      continue;
+    }
+    if (image_index.size() == options_.max_images) {
+      return InvalidArgument(StrCat(
+          "fleet needs more than ", options_.max_images,
+          " boot images; device ", i, " adds a new prefix key"));
+    }
+    sim::DeviceFactory factory(fleet_[i].device);
+    std::unique_ptr<core::AndroidSystem> warmed = factory.BootPrefix();
+    auto captured = snapshot::SystemSnapshot::Capture(*warmed);
+    if (!captured.ok()) return captured.status();
+    image_of_[i] = images_.size();
+    image_index.emplace(key, images_.size());
+    images_.push_back(std::move(captured).value());
+  }
+  prepared_ = true;
+  return Status::Ok();
+}
+
+std::unique_ptr<core::AndroidSystem> FleetRunner::RestoreDevice(
+    std::size_t index) const {
+  const sim::DeviceSpec& spec = fleet_[index].device;
+  core::SystemConfig sys_config = spec.system_config();
+  sys_config.seed = spec.seed();
+  auto system = std::make_unique<core::AndroidSystem>(sys_config);
+  system->Boot();
+  Status restored = images_[image_of_[index]].RestoreInto(system.get());
+  if (!restored.ok()) {
+    throw std::runtime_error(StrCat("FleetRunner (device ", index,
+                                    "): restore failed: ",
+                                    restored.ToString()));
+  }
+  return system;
+}
+
+FleetResult FleetRunner::Run() {
+  Status prepared = Prepare();
+  if (!prepared.ok()) throw std::runtime_error(prepared.ToString());
+
+  FleetResult result;
+  result.image_count = images_.size();
+  result.outcomes = harness::RunOrdered<DeviceOutcome>(
+      fleet_.size(), options_.jobs, [this](std::size_t i) {
+        sim::DeviceFactory factory(fleet_[i].device);
+        std::unique_ptr<sim::DeviceSim> device =
+            factory.CreateDeviceOn(RestoreDevice(i));
+        return RunDeviceScenario(fleet_[i], *device);
+      });
+  // Fold in submission order; MergeFrom-based shard folds land on the same
+  // bytes (the sketch-merge invariance the tests pin).
+  for (const DeviceOutcome& outcome : result.outcomes) {
+    result.aggregator.Absorb(outcome);
+  }
+  return result;
+}
+
+}  // namespace jgre::fleet

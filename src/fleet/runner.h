@@ -1,0 +1,77 @@
+// FleetRunner — the campaign service: N heterogeneous device simulations
+// across the work-stealing pool, each cloned from a small set of warmed
+// JGRESNAP boot images.
+//
+// Lifecycle per campaign:
+//   1. Prepare(): group the fleet's devices by sim::PrefixKey (boot seed +
+//      system config + warmup). Each distinct key gets ONE warmed boot image
+//      — built via DeviceFactory::BootPrefix and captured in memory — so a
+//      324-device census over 4 JGR-cap points boots exactly 4 prefixes.
+//      More distinct keys than FleetOptions::max_images is an error: the
+//      matrix author sized an axis that silently multiplies boot cost.
+//   2. Run(): harness::RunOrdered over the devices. Each task restores a
+//      fresh AndroidSystem from its group's image, completes the device with
+//      DeviceFactory::CreateDeviceOn, runs its scenario (flood, drip, or
+//      benign-only) to its horizon, and reduces to a DeviceOutcome. Results
+//      land in submission order and the aggregator folds them in that order,
+//      so the census is byte-identical for any --jobs.
+#ifndef JGRE_FLEET_RUNNER_H_
+#define JGRE_FLEET_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fleet/aggregator.h"
+#include "fleet/spec.h"
+#include "snapshot/snapshot.h"
+
+namespace jgre::fleet {
+
+struct FleetOptions {
+  int jobs = 1;
+  // Hard cap on distinct warmed boot images a fleet may require.
+  std::size_t max_images = 4;
+};
+
+struct FleetResult {
+  FleetAggregator aggregator;
+  std::vector<DeviceOutcome> outcomes;  // device (submission) order
+  std::size_t image_count = 0;
+};
+
+// Runs one device's scenario to completion and reduces it. Exposed so tests
+// can drive a single device without a runner.
+DeviceOutcome RunDeviceScenario(const FleetDeviceSpec& spec,
+                                sim::DeviceSim& device);
+
+class FleetRunner {
+ public:
+  FleetRunner(std::vector<FleetDeviceSpec> fleet, FleetOptions options);
+
+  // Builds and captures the boot images. Idempotent; Run() calls it
+  // implicitly. Fails when the fleet needs more than max_images images.
+  Status Prepare();
+
+  // Runs every device; throws (like BranchRunner) if a restore fails
+  // mid-campaign, naming the device index.
+  FleetResult Run();
+
+  std::size_t image_count() const { return images_.size(); }
+  const std::vector<FleetDeviceSpec>& fleet() const { return fleet_; }
+
+ private:
+  std::unique_ptr<core::AndroidSystem> RestoreDevice(std::size_t index) const;
+
+  std::vector<FleetDeviceSpec> fleet_;
+  FleetOptions options_;
+  bool prepared_ = false;
+  std::vector<snapshot::SystemSnapshot> images_;
+  std::vector<std::size_t> image_of_;  // device index -> images_ index
+};
+
+}  // namespace jgre::fleet
+
+#endif  // JGRE_FLEET_RUNNER_H_

@@ -1,0 +1,62 @@
+#include "fleet/sketch.h"
+
+#include <bit>
+
+namespace jgre::fleet {
+
+int QuantileSketch::BinOf(std::uint64_t value) {
+  if (value == 0) return 0;
+  const int octave = std::bit_width(value) - 1;  // floor(log2(value))
+  const std::uint64_t offset = value - (1ULL << octave);
+  // Scale the in-octave offset (< 2^octave) to [0, 8): a shift either way
+  // depending on which side of 2^3 the octave width falls.
+  const std::uint64_t sub =
+      octave >= 3 ? offset >> (octave - 3) : offset << (3 - octave);
+  return 1 + octave * kSubBuckets + static_cast<int>(sub);
+}
+
+std::uint64_t QuantileSketch::BinLowerBound(int bin) {
+  if (bin <= 0) return 0;
+  const int octave = (bin - 1) / kSubBuckets;
+  const std::uint64_t sub = static_cast<std::uint64_t>((bin - 1) % kSubBuckets);
+  const std::uint64_t offset =
+      octave >= 3 ? sub << (octave - 3) : sub >> (3 - octave);
+  return (1ULL << octave) + offset;
+}
+
+void QuantileSketch::Add(std::uint64_t value) {
+  ++bins_[static_cast<std::size_t>(BinOf(value))];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  for (int b = 0; b < kBins; ++b) bins_[b] += other.bins_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+std::uint64_t QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBins; ++b) {
+    cumulative += bins_[b];
+    if (cumulative > rank) {
+      std::uint64_t v = BinLowerBound(b);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+}  // namespace jgre::fleet

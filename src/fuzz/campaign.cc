@@ -101,7 +101,7 @@ Status CampaignRunner::Prepare() {
   executor_.emplace(&model_, std::move(exec));
   oracle_ = Oracle(options_.oracle);
 
-  prefix_ = experiment::ExperimentConfig();
+  prefix_ = sim::DeviceSpec();
   prefix_.WithSeed(options_.seed)
       .WithSystemConfig(sys_config)
       .WithWarmup(options_.warmup_apps, options_.warmup_foreground_us,
@@ -122,7 +122,7 @@ Status CampaignRunner::Prepare() {
 
 std::unique_ptr<core::AndroidSystem> CampaignRunner::ResetSystem(
     std::size_t shard) const {
-  if (options_.cold_boot) return prefix_.BuildPrefix();
+  if (options_.cold_boot) return sim::DeviceFactory(prefix_).BootPrefix();
   return branch_->RestoreBranchSystem(shard);
 }
 

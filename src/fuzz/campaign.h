@@ -186,7 +186,7 @@ class CampaignRunner {
   std::optional<Mutator> mutator_;
   std::optional<SequenceExecutor> executor_;
   Oracle oracle_;
-  experiment::ExperimentConfig prefix_;
+  sim::DeviceSpec prefix_;
   std::optional<harness::BranchRunner> branch_;
   Corpus corpus_;
 };

@@ -1,0 +1,22 @@
+#include "harness/bench_report.h"
+
+namespace jgre::harness {
+
+BenchReport::BenchReport(const std::string& name,
+                         const HarnessOptions& options, int schema_version,
+                         bool record_jobs)
+    : emit_(options.emit_json), path_(options.json_path) {
+  doc_.Set("schema",
+           "jgre.bench." + name + "/v" + std::to_string(schema_version));
+  doc_.Set("schema_version", schema_version);
+  doc_.Set("bench", name);
+  doc_.Set("seed", options.seed);
+  doc_.Set("jobs", record_jobs ? ResolveJobs(options.jobs) : 0);
+}
+
+bool BenchReport::Write() const {
+  if (!emit_) return true;
+  return WriteJsonFile(path_, doc_);
+}
+
+}  // namespace jgre::harness

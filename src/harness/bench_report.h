@@ -1,0 +1,61 @@
+// BenchReport — the one BENCH_*.json writer every bench binary shares.
+//
+// Before this, each bench hand-rolled its JSON header; the files agreed on
+// "bench"/"seed" by convention only, and schema/version keys existed for a
+// single bench. BenchReport pins a common envelope, emitted first and in a
+// fixed order, so every BENCH_*.json starts:
+//
+//   {
+//     "schema": "jgre.bench.<name>/v<N>",
+//     "schema_version": N,
+//     "bench": "<name>",
+//     "seed": S,
+//     "jobs": J,
+//     ...payload keys in bench-defined order...
+//   }
+//
+// The "jobs" key is 0 by default — the marker that the file is jobs-invariant
+// (the standing determinism contract: byte-identical output for any --jobs).
+// CI byte-compares such files across different --jobs values, so the actual
+// worker count must NOT appear in them. Only benches whose payload is
+// intrinsically jobs-sensitive (wall-clock timings, speedup ratios) opt in
+// with record_jobs=true, which stamps the resolved worker count instead.
+#ifndef JGRE_HARNESS_BENCH_REPORT_H_
+#define JGRE_HARNESS_BENCH_REPORT_H_
+
+#include <string>
+#include <utility>
+
+#include "harness/experiment_runner.h"
+#include "harness/json.h"
+
+namespace jgre::harness {
+
+class BenchReport {
+ public:
+  // `name` is the schema name (usually spec.name); the envelope's seed comes
+  // from the parsed options. schema_version bumps when a bench's payload
+  // shape changes incompatibly.
+  BenchReport(const std::string& name, const HarnessOptions& options,
+              int schema_version = 1, bool record_jobs = false);
+
+  // Payload passthrough, preserving insertion order after the envelope.
+  BenchReport& Set(std::string key, Json value) {
+    doc_.Set(std::move(key), std::move(value));
+    return *this;
+  }
+  Json& doc() { return doc_; }
+
+  // Writes to options.json_path unless --no-json was given. Returns false on
+  // I/O failure (an honored --no-json returns true).
+  bool Write() const;
+
+ private:
+  Json doc_ = Json::Object();
+  bool emit_ = true;
+  std::string path_;
+};
+
+}  // namespace jgre::harness
+
+#endif  // JGRE_HARNESS_BENCH_REPORT_H_

@@ -26,8 +26,7 @@ BranchOptions BranchOptionsFromHarness(const HarnessOptions& options) {
   return branch;
 }
 
-BranchRunner::BranchRunner(experiment::ExperimentConfig prefix,
-                           BranchOptions options)
+BranchRunner::BranchRunner(sim::DeviceSpec prefix, BranchOptions options)
     : prefix_(std::move(prefix)), options_(std::move(options)) {}
 
 Status BranchRunner::Prepare() {
@@ -41,7 +40,8 @@ Status BranchRunner::Prepare() {
         << snapshot_->manifest().byte_size << " bytes, virtual t="
         << snapshot_->manifest().virtual_time_us << "us)";
   } else {
-    std::unique_ptr<core::AndroidSystem> system = prefix_.BuildPrefix();
+    std::unique_ptr<core::AndroidSystem> system =
+        sim::DeviceFactory(prefix_).BootPrefix();
     auto captured = snapshot::SystemSnapshot::Capture(*system);
     if (!captured.ok()) return captured.status();
     snapshot_ = std::move(captured).value();

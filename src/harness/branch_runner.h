@@ -27,8 +27,8 @@
 #include <vector>
 
 #include "common/status.h"
-#include "experiment/experiment.h"
 #include "harness/experiment_runner.h"
+#include "sim/device.h"
 #include "snapshot/snapshot.h"
 
 namespace jgre::harness {
@@ -49,10 +49,10 @@ BranchOptions BranchOptionsFromHarness(const HarnessOptions& options);
 class BranchRunner {
  public:
   // `prefix` defines the shared phase: seed, system config, and warmup
-  // (ExperimentConfig::WithWarmup). Branch configs passed to Run must use
-  // the same seed/system config/warmup so that a cold branch rebuilds the
-  // exact prefix the snapshot captured.
-  BranchRunner(experiment::ExperimentConfig prefix, BranchOptions options);
+  // (sim::DeviceSpec::WithWarmup). Branch specs passed to Run must share the
+  // prefix's sim::PrefixKey (same boot seed/system config/warmup) so that a
+  // cold branch rebuilds the exact prefix the snapshot captured.
+  BranchRunner(sim::DeviceSpec prefix, BranchOptions options);
 
   // Builds the shared prefix and captures it (or loads --resume). No-op in
   // cold mode and on repeated calls. Separate from Run so callers can time
@@ -60,16 +60,14 @@ class BranchRunner {
   Status Prepare();
 
   // Runs `count` branches, at most options.jobs concurrently, results in
-  // submission order. Branch i is configured by branch_config(i) — built on
-  // a system restored from the shared checkpoint (or a cold prefix under
-  // --cold) — then handed to task(i, experiment).
+  // submission order. Branch i is configured by branch_spec(i) — its device
+  // built on a system restored from the shared checkpoint (or a cold prefix
+  // under --cold) — then handed to task(i, device).
   template <typename Result>
   std::vector<Result> Run(
       std::size_t count,
-      const std::function<experiment::ExperimentConfig(std::size_t)>&
-          branch_config,
-      const std::function<Result(std::size_t, experiment::Experiment&)>&
-          task) {
+      const std::function<sim::DeviceSpec(std::size_t)>& branch_spec,
+      const std::function<Result(std::size_t, sim::DeviceSim&)>& task) {
     if (!options_.cold) {
       Status prepared = Prepare();
       if (!prepared.ok()) {
@@ -77,12 +75,12 @@ class BranchRunner {
       }
     }
     return RunOrdered<Result>(
-        count, options_.jobs, [this, &branch_config, &task](std::size_t i) {
-          experiment::ExperimentConfig config = branch_config(i);
-          std::unique_ptr<experiment::Experiment> experiment =
-              options_.cold ? config.Build()
-                            : config.BuildOn(RestoreBranchSystem(i));
-          return task(i, *experiment);
+        count, options_.jobs, [this, &branch_spec, &task](std::size_t i) {
+          sim::DeviceFactory factory(branch_spec(i));
+          std::unique_ptr<sim::DeviceSim> device =
+              options_.cold ? factory.CreateDevice()
+                            : factory.CreateDeviceOn(RestoreBranchSystem(i));
+          return task(i, *device);
         });
   }
 
@@ -101,7 +99,7 @@ class BranchRunner {
       std::optional<std::size_t> branch_index = std::nullopt) const;
 
  private:
-  experiment::ExperimentConfig prefix_;
+  sim::DeviceSpec prefix_;
   BranchOptions options_;
   std::optional<snapshot::SystemSnapshot> snapshot_;
 };

@@ -24,10 +24,6 @@ void EventBus::Subscribe(EventSink* sink, CategoryMask mask,
   sub.sink = sink;
   sub.mask = mask;
   sub.pid_filter = pid_filter;
-#ifdef JGRE_OBS_LEGACY_PUBLISH
-  // Escape hatch: force the legacy per-event dispatch for every sink.
-  delivery = Delivery::kImmediate;
-#endif
   if (delivery == Delivery::kBuffered) {
     sub.staging = std::make_unique<std::vector<TraceEvent>>(kStagingCapacity);
   }

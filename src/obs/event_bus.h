@@ -24,11 +24,6 @@
 //   capacity check. A staging buffer that fills mid-emission is drained in
 //   place, so no event is ever lost; explicit Flush() calls are the read
 //   barrier every consumer needs before inspecting a buffered sink's state.
-//
-// Defining JGRE_OBS_LEGACY_PUBLISH coerces every buffered subscription back
-// to immediate per-event dispatch — the deprecation escape hatch for the
-// removed per-event publish path (kept one PR, like the PR-2/PR-3 adapter
-// removals).
 #ifndef JGRE_OBS_EVENT_BUS_H_
 #define JGRE_OBS_EVENT_BUS_H_
 

@@ -3,7 +3,7 @@
 // The observation paths all run through the unified EventBus: the monitor
 // subscribes with a pid-filtered kJgr subscription, the defender's tap
 // buffers kIpc events, and the benches build scenarios through the
-// ExperimentConfig builder. These tests pin the behavior of those paths:
+// sim::DeviceFactory builder. These tests pin the behavior of those paths:
 // monitors record through the bus, the tap feeds the ranking, identical
 // configurations yield identical simulation results and byte-identical
 // traces.
@@ -23,6 +23,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/event_bus.h"
 #include "obs/trace.h"
+#include "sim/device.h"
 
 namespace jgre {
 namespace {
@@ -92,20 +93,17 @@ TEST(BusMonitorTest, RecordsAndReportsDeterministically) {
 }
 
 TEST(IpcTapTest, RankingReadsTheTapAndRequiresInstall) {
-  auto exp = experiment::ExperimentConfig()
-                 .WithSeed(21)
-                 .WithBenignApps(3)
-                 .WithAttack(Toast())
-                 .WithDefense()
-                 .Build();
-  core::AndroidSystem& system = exp->system();
-  defense::JgreDefender& installed = *exp->defender();
+  sim::DeviceSpec spec;
+  spec.WithSeed(21).WithBenignApps(3).WithAttack(Toast()).WithDefense();
+  auto device = sim::DeviceFactory(spec).CreateDevice();
+  core::AndroidSystem& system = device->system();
+  defense::JgreDefender& installed = *device->defender();
   // Drive the monitor past its alarm but not its report threshold: the tap
   // keeps its recording (no incident clears it).
   attack::MaliciousApp::RunOptions options;
   options.max_calls = 4000;
   options.sample_every_calls = 0;
-  (void)exp->attacker()->Run(options);
+  (void)device->attacker()->Run(options);
   ASSERT_TRUE(installed.incidents().empty());
   defense::JgrMonitor* monitor = installed.MonitorFor("system_server");
   ASSERT_NE(monitor, nullptr);
@@ -135,8 +133,8 @@ TEST(IpcTapTest, RankingReadsTheTapAndRequiresInstall) {
           .empty());
 }
 
-TEST(ExperimentBuilderTest, MatchesHandRolledSetupByteForByte) {
-  // The pre-builder bench_util sequence, inlined: the builder must replicate
+TEST(DeviceFactoryTest, MatchesHandRolledSetupByteForByte) {
+  // The pre-factory bench_util sequence, inlined: the factory must replicate
   // its construction order and RNG draws exactly.
   const attack::VulnSpec& vuln = Toast();
   const std::uint64_t seed = 42;
@@ -190,13 +188,11 @@ TEST(ExperimentBuilderTest, MatchesHandRolledSetupByteForByte) {
     }
   }
 
-  auto exp = experiment::ExperimentConfig()
-                 .WithSeed(seed)
-                 .WithBenignApps(benign_apps)
-                 .WithAttack(vuln)
-                 .WithDefense()
-                 .Build();
-  const experiment::DefendedAttackResult built = exp->RunDefendedAttack();
+  sim::DeviceSpec spec;
+  spec.WithSeed(seed).WithBenignApps(benign_apps).WithAttack(vuln).WithDefense();
+  auto device = sim::DeviceFactory(spec).CreateDevice();
+  const experiment::DefendedAttackResult built =
+      experiment::Experiment(*device).RunDefendedAttack();
 
   EXPECT_TRUE(built.incident);
   EXPECT_EQ(built.incident, legacy.incident);
@@ -215,13 +211,13 @@ TEST(ExperimentBuilderTest, MatchesHandRolledSetupByteForByte) {
   }
 }
 
-TEST(ExperimentBuilderTest, TracingDoesNotPerturbTheSimulation) {
+TEST(DeviceFactoryTest, TracingDoesNotPerturbTheSimulation) {
   const auto run = [](bool traced) {
-    experiment::ExperimentConfig config;
-    config.WithSeed(13).WithBenignApps(2).WithAttack(Toast()).WithDefense();
-    if (traced) config.WithTrace().WithMetrics();
-    auto exp = config.Build();
-    return exp->RunDefendedAttack();
+    sim::DeviceSpec spec;
+    spec.WithSeed(13).WithBenignApps(2).WithAttack(Toast()).WithDefense();
+    if (traced) spec.WithTrace().WithMetrics();
+    auto device = sim::DeviceFactory(spec).CreateDevice();
+    return experiment::Experiment(*device).RunDefendedAttack();
   };
   const auto plain = run(false);
   const auto traced = run(true);
@@ -233,15 +229,12 @@ TEST(ExperimentBuilderTest, TracingDoesNotPerturbTheSimulation) {
 
 TEST(ExperimentTraceTest, IdenticalRunsYieldIdenticalTraceBytes) {
   const auto trace_of = [] {
-    auto exp = experiment::ExperimentConfig()
-                   .WithSeed(17)
-                   .WithBenignApps(2)
-                   .WithAttack(Toast())
-                   .WithDefense()
-                   .WithTrace()
-                   .Build();
-    (void)exp->RunDefendedAttack();
-    return obs::ChromeTraceJson(exp->bus(), *exp->trace());
+    sim::DeviceSpec spec;
+    spec.WithSeed(17).WithBenignApps(2).WithAttack(Toast()).WithDefense()
+        .WithTrace();
+    auto device = sim::DeviceFactory(spec).CreateDevice();
+    (void)experiment::Experiment(*device).RunDefendedAttack();
+    return obs::ChromeTraceJson(device->bus(), *device->trace());
   };
   const std::string first = trace_of();
   const std::string second = trace_of();
@@ -250,32 +243,28 @@ TEST(ExperimentTraceTest, IdenticalRunsYieldIdenticalTraceBytes) {
 }
 
 TEST(ExperimentTraceTest, DefendedAttackTraceCoversAllLayers) {
-  auto exp = experiment::ExperimentConfig()
-                 .WithSeed(17)
-                 .WithBenignApps(2)
-                 .WithAttack(Toast())
-                 .WithDefense()
-                 .WithTrace()
-                 .WithMetrics()
-                 .Build();
-  (void)exp->RunDefendedAttack();
-  ASSERT_NE(exp->trace(), nullptr);
+  sim::DeviceSpec spec;
+  spec.WithSeed(17).WithBenignApps(2).WithAttack(Toast()).WithDefense()
+      .WithTrace().WithMetrics();
+  auto device = sim::DeviceFactory(spec).CreateDevice();
+  (void)experiment::Experiment(*device).RunDefendedAttack();
+  ASSERT_NE(device->trace(), nullptr);
   bool saw[obs::kCategoryCount] = {};
-  const auto& ring = exp->trace()->events();
+  const auto& ring = device->trace()->events();
   for (std::uint64_t i = ring.first_index(); i < ring.end_index(); ++i) {
     saw[static_cast<unsigned>(ring.At(i).category)] = true;
   }
   EXPECT_TRUE(saw[static_cast<unsigned>(obs::Category::kJgr)]);
   EXPECT_TRUE(saw[static_cast<unsigned>(obs::Category::kIpc)]);
   // And the metrics sink tallied the same stream.
-  ASSERT_NE(exp->metrics(), nullptr);
-  EXPECT_GT(exp->metrics()->counters().at("jgr.adds"), 0);
-  EXPECT_GT(exp->metrics()->counters().at("ipc.calls"), 0);
+  ASSERT_NE(device->metrics(), nullptr);
+  EXPECT_GT(device->metrics()->counters().at("jgr.adds"), 0);
+  EXPECT_GT(device->metrics()->counters().at("ipc.calls"), 0);
 #if JGRE_TRACE_ENABLED
   // Defense annotations are trace-only: -DJGRE_OBS_TRACING=OFF compiles
   // their emission out entirely.
   EXPECT_TRUE(saw[static_cast<unsigned>(obs::Category::kDefense)]);
-  EXPECT_EQ(exp->metrics()->counters().at("defense.incidents"), 1);
+  EXPECT_EQ(device->metrics()->counters().at("defense.incidents"), 1);
 #endif
 }
 

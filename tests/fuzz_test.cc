@@ -246,7 +246,7 @@ TEST(FuzzOracleUnitTest, ScreenAndConfirmThresholds) {
 // A restore requested before Prepare() captured anything must name the
 // failing shard so a mid-campaign failure is attributable.
 TEST(FuzzBranchIntegrationTest, RestoreFailureNamesShard) {
-  experiment::ExperimentConfig prefix;
+  sim::DeviceSpec prefix;
   prefix.WithSeed(42);
   harness::BranchRunner runner(prefix, harness::BranchOptions{});
   try {

@@ -110,10 +110,6 @@ class BatchRecordingSink : public EventSink {
   std::size_t singles = 0;
 };
 
-// With JGRE_OBS_LEGACY_PUBLISH defined, buffered subscriptions are coerced
-// back to per-event dispatch and the staging expectations below do not hold.
-#ifndef JGRE_OBS_LEGACY_PUBLISH
-
 TEST(EventBusBufferedTest, StagesUntilFlushThenDeliversOneChunk) {
   EventBus bus;
   BatchRecordingSink sink;
@@ -207,8 +203,6 @@ TEST(EventBusBufferedTest, MixedDeliveryKeepsImmediateSynchronous) {
   bus.Unsubscribe(&immediate);
   bus.Unsubscribe(&buffered);
 }
-
-#endif  // JGRE_OBS_LEGACY_PUBLISH
 
 // --- TraceBuffer ------------------------------------------------------------------
 

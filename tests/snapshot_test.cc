@@ -19,6 +19,7 @@
 #include "obs/event.h"
 #include "runtime/heap.h"
 #include "runtime/indirect_reference_table.h"
+#include "sim/device.h"
 #include "snapshot/serializer.h"
 #include "snapshot/snapshot.h"
 
@@ -195,21 +196,23 @@ const attack::VulnSpec& Toast() {
   return *vuln;
 }
 
-experiment::ExperimentConfig SmallScenario(std::uint64_t seed) {
-  return experiment::ExperimentConfig()
-      .WithSeed(seed)
+sim::DeviceSpec SmallScenario(std::uint64_t seed) {
+  sim::DeviceSpec spec;
+  spec.WithSeed(seed)
       .WithWarmup(4, 2'000'000)
       .WithBenignApps(2)
       .WithAttack(Toast())
       .WithThresholds(1500, 500)
       .WithMaxAttackerCalls(6000);
+  return spec;
 }
 
 // Capture → restore into a fresh boot → capture again must produce the
 // exact same payload bytes: restore loses nothing the serializer can see.
 TEST(SystemSnapshotTest, CaptureRestoreCaptureIsByteStable) {
-  auto config = SmallScenario(42);
-  std::unique_ptr<core::AndroidSystem> prefix = config.BuildPrefix();
+  sim::DeviceSpec config = SmallScenario(42);
+  std::unique_ptr<core::AndroidSystem> prefix =
+      sim::DeviceFactory(config).BootPrefix();
   auto captured = snapshot::SystemSnapshot::Capture(*prefix);
   ASSERT_TRUE(captured.ok()) << captured.status().ToString();
   const snapshot::SystemSnapshot& snap = captured.value();
@@ -252,17 +255,19 @@ TEST(SystemSnapshotTest, RestoreRejectsSeedMismatch) {
 // The headline contract: a restored branch continues event-for-event
 // byte-identically to the cold run of the same scenario.
 TEST(SystemSnapshotTest, RestoredRunMatchesColdRunGoldenTrace) {
-  auto config = SmallScenario(7).WithDefense();
+  sim::DeviceSpec config = SmallScenario(7);
+  config.WithDefense();
 
   // Cold: prefix built in-process, tape subscribed at the branch boundary.
   snapshot::EventTape cold_tape;
   experiment::DefendedAttackResult cold_result;
   {
-    std::unique_ptr<core::AndroidSystem> system = config.BuildPrefix();
+    std::unique_ptr<core::AndroidSystem> system =
+        sim::DeviceFactory(config).BootPrefix();
     system->kernel().bus().Subscribe(&cold_tape, obs::kAllCategories);
-    auto exp = config.BuildOn(std::move(system));
-    cold_result = exp->RunDefendedAttack();
-    exp->system().kernel().bus().Unsubscribe(&cold_tape);
+    auto device = sim::DeviceFactory(config).CreateDeviceOn(std::move(system));
+    cold_result = experiment::Experiment(*device).RunDefendedAttack();
+    device->system().kernel().bus().Unsubscribe(&cold_tape);
   }
   ASSERT_TRUE(cold_result.incident);
 
@@ -270,7 +275,8 @@ TEST(SystemSnapshotTest, RestoredRunMatchesColdRunGoldenTrace) {
   snapshot::EventTape restored_tape;
   experiment::DefendedAttackResult restored_result;
   {
-    std::unique_ptr<core::AndroidSystem> prefix = config.BuildPrefix();
+    std::unique_ptr<core::AndroidSystem> prefix =
+        sim::DeviceFactory(config).BootPrefix();
     auto captured = snapshot::SystemSnapshot::Capture(*prefix);
     ASSERT_TRUE(captured.ok()) << captured.status().ToString();
     prefix.reset();  // the cold prefix is gone; only the bytes survive
@@ -282,9 +288,9 @@ TEST(SystemSnapshotTest, RestoredRunMatchesColdRunGoldenTrace) {
     Status status = captured.value().RestoreInto(revived.get());
     ASSERT_TRUE(status.ok()) << status.ToString();
     revived->kernel().bus().Subscribe(&restored_tape, obs::kAllCategories);
-    auto exp = config.BuildOn(std::move(revived));
-    restored_result = exp->RunDefendedAttack();
-    exp->system().kernel().bus().Unsubscribe(&restored_tape);
+    auto device = sim::DeviceFactory(config).CreateDeviceOn(std::move(revived));
+    restored_result = experiment::Experiment(*device).RunDefendedAttack();
+    device->system().kernel().bus().Unsubscribe(&restored_tape);
   }
 
   auto divergence = snapshot::FirstDivergence(cold_tape.events(),
@@ -302,14 +308,15 @@ TEST(SystemSnapshotTest, RestoredRunMatchesColdRunGoldenTrace) {
 
 // BranchRunner's restore path is the same contract, through the harness.
 TEST(BranchRunnerTest, BranchesMatchColdBuilds) {
-  auto config = SmallScenario(11).WithDefense();
+  sim::DeviceSpec config = SmallScenario(11);
+  config.WithDefense();
   harness::BranchOptions options;
   options.jobs = 2;
   harness::BranchRunner runner(config, options);
 
   const auto branch_config = [&config](std::size_t) { return config; };
-  const auto task = [](std::size_t, experiment::Experiment& exp) {
-    auto result = exp.RunDefendedAttack();
+  const auto task = [](std::size_t, sim::DeviceSim& device) {
+    auto result = experiment::Experiment(device).RunDefendedAttack();
     return result.virtual_duration_us;
   };
   const std::vector<DurationUs> warm =
