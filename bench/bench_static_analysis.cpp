@@ -71,7 +71,9 @@ bool SameVerdict(const analysis::AnalyzedInterface& a,
   return a.id == b.id && a.risky == b.risky &&
          a.reaches_jgr_entry == b.reaches_jgr_entry &&
          a.takes_binder == b.takes_binder && a.sifted_out == b.sifted_out &&
-         a.sift_reason == b.sift_reason && a.protection == b.protection &&
+         a.sift_reason == b.sift_reason &&
+         a.sift_reason_text() == b.sift_reason_text() &&
+         a.protection == b.protection &&
          a.constraint_trusts_caller == b.constraint_trusts_caller;
 }
 
@@ -261,7 +263,7 @@ int main(int argc, char** argv) {
               .Set("reaches_jgr_entry", iface.reaches_jgr_entry)
               .Set("takes_binder", iface.takes_binder)
               .Set("sifted_out", iface.sifted_out)
-              .Set("sift_reason", iface.sift_reason)
+              .Set("sift_reason", iface.sift_reason_text())
               .Set("retention",
                    analysis::taint::RetentionName(iface.retention))
               .Set("retention_via", iface.retention_via)

@@ -1,0 +1,79 @@
+"""Shared JSON-envelope helpers for the BENCH_*.json validators.
+
+Every bench validator performs the same four rituals: print a
+"<tool>: FAIL: <reason>" line and exit 1, load a file that must be a JSON
+object, pull a field that must have a given type, and check the BenchReport
+envelope (schema tag, schema_version, bench name, integer seed, and the
+jobs-invariant marker). This module centralises them so a validator is only
+its domain checks.
+
+Usage:
+    from bench_report_lib import check_envelope, fail, load_json, require, set_tool
+    set_tool("validate_foo")          # once, so FAIL lines name the tool
+    doc = load_json(path)
+    check_envelope(doc, path, schema="jgre.bench.foo/v1", schema_version=1,
+                   bench="foo", jobs_invariant=True)
+    block = require(doc, "block", dict, path)
+
+Stdlib only.
+"""
+import json
+import sys
+
+_TOOL = "bench_report_lib"
+
+
+def set_tool(name):
+    """Names the calling validator in failure output."""
+    global _TOOL
+    _TOOL = name
+
+
+def fail(msg):
+    print(f"{_TOOL}: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    """Loads `path`, failing (not raising) on unreadable/unparseable input
+    or a top level that is not a JSON object."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as err:
+        fail(f"{path}: unreadable: {err}")
+    except json.JSONDecodeError as err:
+        fail(f"{path}: not valid JSON: {err}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    return doc
+
+
+def require(doc, field, types, ctx):
+    """Returns doc[field] after checking isinstance(value, types)."""
+    value = doc.get(field)
+    if not isinstance(value, types):
+        fail(f"{ctx}: {field} is {value!r}, want {types}")
+    return value
+
+
+def check_envelope(doc, path, schema=None, schema_version=None, bench=None,
+                   seed=True, jobs_invariant=False):
+    """Checks the BenchReport envelope fields a validator keys on.
+
+    Every argument left at its default skips that check, so reports predating
+    a given envelope field (or sidecars that never carry one) can reuse the
+    rest.
+    """
+    if schema is not None and doc.get("schema") != schema:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {schema!r}")
+    if schema_version is not None and doc.get("schema_version") != schema_version:
+        fail(f"{path}: schema_version is {doc.get('schema_version')!r}, "
+             f"want {schema_version}")
+    if bench is not None and doc.get("bench") != bench:
+        fail(f"{path}: bench is {doc.get('bench')!r}, want {bench!r}")
+    if seed and not isinstance(doc.get("seed"), int):
+        fail(f"{path}: seed is {doc.get('seed')!r}, want integer")
+    if jobs_invariant and doc.get("jobs") != 0:
+        fail(f"{path}: jobs is {doc.get('jobs')!r}, want the jobs-invariant "
+             f"marker 0 (the payload must not depend on the worker count)")

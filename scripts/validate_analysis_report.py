@@ -12,8 +12,12 @@ sink (kind sink, frame == art::IndirectReferenceTable::Add), with every
 intermediate step drawn from the known step kinds. Sifted or non-risky
 interfaces must not carry a witness. Stdlib only.
 """
-import json
 import sys
+
+from bench_report_lib import (check_envelope, fail, load_json as load,
+                              require, set_tool)
+
+set_tool("validate_analysis_report")
 
 SCHEMA = "jgre-analysis-report-v1"
 SINK = "art::IndirectReferenceTable::Add"
@@ -22,26 +26,6 @@ STEP_KINDS = {"ipc_entry", "java_call", "stub_receive", "jni_bridge",
 RETENTIONS = {"none", "transient", "read_only_key", "member_slot",
               "collection"}
 PROTECTIONS = {"unprotected", "helper_guard", "server_constraint"}
-
-
-def fail(msg):
-    print(f"validate_analysis_report: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
-
-
-def load(path):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
-    if not isinstance(doc, dict):
-        fail(f"{path}: top level must be an object")
-    return doc
-
-
-def require(doc, field, types, ctx):
-    value = doc.get(field)
-    if not isinstance(value, types):
-        fail(f"{ctx}: {field} is {value!r}, want {types}")
-    return value
 
 
 def check_witness(witness, iface_id):
@@ -68,8 +52,7 @@ def check_witness(witness, iface_id):
 
 
 def check_report(doc, path):
-    if doc.get("schema") != SCHEMA:
-        fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    check_envelope(doc, path, schema=SCHEMA, seed=False)
     if doc.get("sink") != SINK:
         fail(f"{path}: sink is {doc.get('sink')!r}, want {SINK!r}")
 

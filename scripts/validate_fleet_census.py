@@ -12,13 +12,10 @@ census must be jobs-invariant, so the envelope's "jobs" key must be the
 0 marker. Stdlib only.
 """
 import argparse
-import json
-import sys
 
+from bench_report_lib import check_envelope, fail, load_json, set_tool
 
-def fail(msg):
-    print(f"validate_fleet_census: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+set_tool("validate_fleet_census")
 
 
 def check_rate(block, rate_key, numerator, denominator, where):
@@ -89,24 +86,10 @@ def main():
     parser.add_argument("--max-images", type=int, default=4)
     args = parser.parse_args()
 
-    with open(args.report, encoding="utf-8") as f:
-        doc = json.load(f)
-    if not isinstance(doc, dict):
-        fail(f"{args.report}: top level must be an object")
-
-    # BenchReport envelope.
-    if doc.get("schema") != "jgre.bench.fleet_census/v1":
-        fail(f"schema is {doc.get('schema')!r}, "
-             f"want 'jgre.bench.fleet_census/v1'")
-    if doc.get("schema_version") != 1:
-        fail(f"schema_version is {doc.get('schema_version')!r}, want 1")
-    if doc.get("bench") != "fleet_census":
-        fail(f"bench is {doc.get('bench')!r}, want 'fleet_census'")
-    if not isinstance(doc.get("seed"), int):
-        fail(f"seed is {doc.get('seed')!r}, want integer")
-    if doc.get("jobs") != 0:
-        fail(f"jobs is {doc.get('jobs')!r}, want the jobs-invariant marker 0 "
-             f"(the census must not depend on the worker count)")
+    doc = load_json(args.report)
+    check_envelope(doc, args.report, schema="jgre.bench.fleet_census/v1",
+                   schema_version=1, bench="fleet_census",
+                   jobs_invariant=True)
 
     fleet = doc.get("fleet")
     if not isinstance(fleet, dict):

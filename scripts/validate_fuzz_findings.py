@@ -16,30 +16,12 @@ budget (any --jobs) must agree on the deterministic blocks (findings and
 consistency) byte for byte; wall-clock fields are exempt. Stdlib only.
 """
 import argparse
-import json
-import sys
+
+from bench_report_lib import fail, load_json as load, require, set_tool
+
+set_tool("validate_fuzz_findings")
 
 KINDS = {"jgr_exhaustion", "fd_exhaustion", "abort"}
-
-
-def fail(msg):
-    print(f"validate_fuzz_findings: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
-
-
-def load(path):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
-    if not isinstance(doc, dict):
-        fail(f"{path}: top level must be an object")
-    return doc
-
-
-def require(doc, field, types, ctx):
-    value = doc.get(field)
-    if not isinstance(value, types):
-        fail(f"{ctx}: {field} is {value!r}, want {types}")
-    return value
 
 
 def check_schema(doc, path, min_refound):

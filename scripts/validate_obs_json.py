@@ -11,20 +11,14 @@ categories the simulation should have emitted; and that a bench JSON carries
 a populated metrics table. Stdlib only.
 """
 import argparse
-import json
-import sys
 
+from bench_report_lib import fail, load_json, set_tool
 
-def fail(msg):
-    print(f"validate_obs_json: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+set_tool("validate_obs_json")
 
 
 def validate_trace(path, require_cats):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
-    if not isinstance(doc, dict):
-        fail(f"{path}: top level must be an object")
+    doc = load_json(path)
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail(f"{path}: traceEvents missing or empty")
@@ -52,8 +46,7 @@ def validate_trace(path, require_cats):
 
 
 def validate_bench(path):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+    doc = load_json(path)
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         fail(f"{path}: no 'metrics' object (was the bench run with --metrics?)")

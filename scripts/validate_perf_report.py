@@ -19,16 +19,13 @@ Two layers:
 Stdlib only.
 """
 import argparse
-import json
 import math
-import sys
+
+from bench_report_lib import check_envelope, fail, load_json, set_tool
+
+set_tool("validate_perf_report")
 
 REL_TOL = 1e-6  # for internally-derived fields written by the same process
-
-
-def fail(msg):
-    print(f"validate_perf_report: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
 
 
 def check_number(path_key, field, value):
@@ -40,12 +37,8 @@ def check_number(path_key, field, value):
 
 
 def validate_schema(doc, report_path):
-    if doc.get("bench") != "micro_hotpaths":
-        fail(f"{report_path}: bench is {doc.get('bench')!r}, "
-             "expected 'micro_hotpaths'")
-    if doc.get("schema_version") != 2:
-        fail(f"{report_path}: schema_version is "
-             f"{doc.get('schema_version')!r}, expected 2")
+    check_envelope(doc, report_path, schema_version=2, bench="micro_hotpaths",
+                   seed=False)
     paths = doc.get("paths")
     if not isinstance(paths, dict) or not paths:
         fail(f"{report_path}: 'paths' missing or empty")
@@ -101,8 +94,7 @@ def validate_schema(doc, report_path):
 
 
 def validate_floor(paths, floor_path):
-    with open(floor_path, encoding="utf-8") as f:
-        floor_doc = json.load(f)
+    floor_doc = load_json(floor_path)
     floors = floor_doc.get("floor_ns_per_op")
     if not isinstance(floors, dict) or not floors:
         fail(f"{floor_path}: floor_ns_per_op missing or empty")
@@ -132,8 +124,7 @@ def main():
     parser.add_argument("--floor", help="perf_floor.json regression gate")
     args = parser.parse_args()
 
-    with open(args.report, encoding="utf-8") as f:
-        doc = json.load(f)
+    doc = load_json(args.report)
     paths = validate_schema(doc, args.report)
     if args.floor:
         validate_floor(paths, args.floor)

@@ -9,14 +9,11 @@ image: format tag, version, and the integrity fields CI keys on. With
 --image, also checks byte_size against the actual image file. Stdlib only.
 """
 import argparse
-import json
 import os
-import sys
 
+from bench_report_lib import fail, load_json, set_tool
 
-def fail(msg):
-    print(f"validate_snapshot_manifest: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+set_tool("validate_snapshot_manifest")
 
 
 def main():
@@ -25,10 +22,7 @@ def main():
     parser.add_argument("--image", help="snapshot image to size-check")
     args = parser.parse_args()
 
-    with open(args.manifest, encoding="utf-8") as f:
-        doc = json.load(f)
-    if not isinstance(doc, dict):
-        fail(f"{args.manifest}: top level must be an object")
+    doc = load_json(args.manifest)
     if doc.get("format") != "jgre-snapshot":
         fail(f"format is {doc.get('format')!r}, want 'jgre-snapshot'")
     if not isinstance(doc.get("version"), int) or doc["version"] < 1:

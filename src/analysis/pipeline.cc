@@ -94,22 +94,61 @@ JgrEntrySet ExtractJgrEntries(const CodeModel& model) {
 
 // --- Step 3 -------------------------------------------------------------------
 
-namespace {
+std::string_view SiftReasonName(SiftReason reason) {
+  switch (reason) {
+    case SiftReason::kNone:
+      return "none";
+    case SiftReason::kRule1ThreadOnly:
+      return "rule1_thread_only";
+    case SiftReason::kRule2Transient:
+      return "rule2_transient";
+    case SiftReason::kRule3ReadOnlyKey:
+      return "rule3_read_only_key";
+    case SiftReason::kRule4MemberSlot:
+      return "rule4_member_slot";
+    case SiftReason::kSignaturePermission:
+      return "signature_permission";
+  }
+  return "?";
+}
 
-// Sift-reason texts, shared verbatim by the engine and legacy paths so the
-// census gate can compare them for identity.
-constexpr char kRule1Reason[] =
-    "rule 1: only Thread.nativeCreate, reference released immediately";
-constexpr char kRule2Reason[] =
-    "rule 2: binder used inside the call only; collected by GC";
-constexpr char kRule3Reason[] =
-    "rule 3: binder only used as a read-only key into Map/Set/"
-    "RemoteCallbackList";
-constexpr char kRule4Reason[] =
-    "rule 4: member variable, previous binder revoked on the next call";
-constexpr char kPermissionReason[] =
-    "permission map: signature-level permission, unreachable from "
-    "third-party apps";
+std::string SiftReasonText(SiftReason reason, std::string_view via) {
+  // The historical report texts, byte-for-byte: the census gate and the
+  // analysis-report JSON still compare/emit these strings.
+  std::string_view text;
+  bool takes_via = false;
+  switch (reason) {
+    case SiftReason::kNone:
+      return "";
+    case SiftReason::kRule1ThreadOnly:
+      text = "rule 1: only Thread.nativeCreate, reference released immediately";
+      break;
+    case SiftReason::kRule2Transient:
+      text = "rule 2: binder used inside the call only; collected by GC";
+      takes_via = true;
+      break;
+    case SiftReason::kRule3ReadOnlyKey:
+      text =
+          "rule 3: binder only used as a read-only key into Map/Set/"
+          "RemoteCallbackList";
+      takes_via = true;
+      break;
+    case SiftReason::kRule4MemberSlot:
+      text = "rule 4: member variable, previous binder revoked on the next "
+             "call";
+      takes_via = true;
+      break;
+    case SiftReason::kSignaturePermission:
+      text =
+          "permission map: signature-level permission, unreachable from "
+          "third-party apps";
+      break;
+  }
+  if (takes_via && !via.empty()) return StrCat(text, " (via ", via, ")");
+  return std::string(text);
+}
+
+namespace {
 
 // BFS over Java call edges; returns the set of JGR entry methods reachable
 // from `start` (inclusive). Legacy detector only — the engine gets the same
@@ -137,15 +176,15 @@ void ApplySifter(AnalyzedInterface* iface, const JavaMethodModel& method,
                  const std::set<std::string>& reached_entries) {
   // Rule 1: the only JGR entry on the path is thread creation, whose native
   // side releases the reference before returning.
-  const bool only_thread_entry =
+  iface->only_creates_thread =
       !reached_entries.empty() &&
       std::all_of(reached_entries.begin(), reached_entries.end(),
                   [](const std::string& e) {
                     return e == model::kThreadCreateEntry;
                   });
-  if (only_thread_entry && !iface->takes_binder) {
+  if (iface->only_creates_thread && !iface->takes_binder) {
     iface->sifted_out = true;
-    iface->sift_reason = kRule1Reason;
+    iface->sift_reason = SiftReason::kRule1ThreadOnly;
     return;
   }
   const bool retains_collection =
@@ -153,51 +192,49 @@ void ApplySifter(AnalyzedInterface* iface, const JavaMethodModel& method,
   if (retains_collection) return;  // genuinely retained: stays a candidate
   if (method.HasFact(BodyFact::kUsesParamTransiently)) {
     iface->sifted_out = true;
-    iface->sift_reason = kRule2Reason;
+    iface->sift_reason = SiftReason::kRule2Transient;
     return;
   }
   if (method.HasFact(BodyFact::kUsesParamAsReadOnlyKey)) {
     iface->sifted_out = true;
-    iface->sift_reason = kRule3Reason;
+    iface->sift_reason = SiftReason::kRule3ReadOnlyKey;
     return;
   }
   if (method.HasFact(BodyFact::kStoresParamInMemberSlot)) {
     iface->sifted_out = true;
-    iface->sift_reason = kRule4Reason;
+    iface->sift_reason = SiftReason::kRule4MemberSlot;
     return;
   }
 }
 
 // Engine sifter: the same four rules as predicates over the method's
 // interprocedural summary. When the deciding retention came from a callee
-// rather than the entry's own body, the reason names the provenance — on the
-// AOSP corpus (facts on the entry) the texts are byte-identical to legacy.
+// rather than the entry's own body, `retention_via` names the provenance in
+// the derived reason text — on the AOSP corpus (facts on the entry) the
+// texts are byte-identical to legacy.
 void ApplySummarySifter(AnalyzedInterface* iface,
                         const taint::MethodSummary& summary) {
   if (summary.only_creates_thread && !iface->takes_binder) {
     iface->sifted_out = true;
-    iface->sift_reason = kRule1Reason;
+    iface->sift_reason = SiftReason::kRule1ThreadOnly;
     return;
   }
-  const auto sift = [&](const char* reason) {
+  const auto sift = [&](SiftReason reason) {
     iface->sifted_out = true;
-    iface->sift_reason =
-        summary.retention_via.empty()
-            ? reason
-            : StrCat(reason, " (via ", summary.retention_via, ")");
+    iface->sift_reason = reason;
   };
   switch (summary.retention) {
     case taint::Retention::kCollection:
     case taint::Retention::kNone:
       return;  // retained (or nothing known): stays a candidate
     case taint::Retention::kTransient:
-      sift(kRule2Reason);
+      sift(SiftReason::kRule2Transient);
       return;
     case taint::Retention::kReadOnlyKey:
-      sift(kRule3Reason);
+      sift(SiftReason::kRule3ReadOnlyKey);
       return;
     case taint::Retention::kMemberSlot:
-      sift(kRule4Reason);
+      sift(SiftReason::kRule4MemberSlot);
       return;
   }
 }
@@ -249,7 +286,7 @@ struct AnalysisContext {
     if (iface->risky && !iface->sifted_out &&
         iface->permission_level == model::PermissionLevel::kSignature) {
       iface->sifted_out = true;
-      iface->sift_reason = kPermissionReason;
+      iface->sift_reason = SiftReason::kSignaturePermission;
     }
     // Protection classification (§IV.C) — from code-level guard facts.
     if (auto it = guard_by_method.find(iface->id);
@@ -294,6 +331,7 @@ AnalysisReport RunAnalysis(const CodeModel& model) {
     iface.retention_via = summary->retention_via;
     iface.links_to_death = summary->links_to_death;
     iface.mints_session = summary->mints_session;
+    iface.only_creates_thread = summary->only_creates_thread;
     if (iface.risky) ApplySummarySifter(&iface, *summary);
     ctx.Finish(&iface, method);
     if (iface.risky && !iface.sifted_out) {

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/taint/summary.h"
@@ -59,6 +60,27 @@ enum class ProtectionClass {
   kServerConstraint,  // per-process constraint in the service (Table III)
 };
 
+// Why the sifter discharged a risky interface. Typed so downstream
+// consumers (the detect hunts, the fuser, tests) key on the enum; the
+// free-form report text is derived via SiftReasonText and never compared.
+enum class SiftReason {
+  kNone = 0,             // not sifted: still a candidate (or never risky)
+  kRule1ThreadOnly,      // only Thread.nativeCreate; released immediately
+  kRule2Transient,       // used inside the call only; collected by GC
+  kRule3ReadOnlyKey,     // read-only Map/Set/RemoteCallbackList key
+  kRule4MemberSlot,      // member slot, previous binder revoked on next call
+  kSignaturePermission,  // unreachable from third-party apps
+};
+
+// Short machine-readable slug ("none", "rule1_thread_only", ...).
+std::string_view SiftReasonName(SiftReason reason);
+
+// The paper's free-form reason text, byte-identical to the strings the
+// reports have always carried. Rules 2-4 append " (via <callee>)" when the
+// deciding retention came from a callee (`via` non-empty); rule 1 and the
+// permission filter never carry provenance. kNone yields "".
+std::string SiftReasonText(SiftReason reason, std::string_view via = {});
+
 struct AnalyzedInterface {
   std::string id;          // java method id
   std::string service;
@@ -71,7 +93,9 @@ struct AnalyzedInterface {
   bool takes_binder = false;       // strong-binder transmission scenarios
   bool risky = false;
   bool sifted_out = false;
-  std::string sift_reason;
+  SiftReason sift_reason = SiftReason::kNone;
+  // Every JGR entry reached is thread creation (sift rule 1's predicate).
+  bool only_creates_thread = false;
 
   // Summary-derived facts (engine path only; legacy leaves the defaults):
   // the interface's transitive retention kind, the callee that supplied it
@@ -89,6 +113,11 @@ struct AnalyzedInterface {
   bool app_hosted = false;
   bool prebuilt_app = false;
   std::string package;  // for app-hosted methods
+
+  // The report string for this interface's sift verdict ("" when unsifted).
+  std::string sift_reason_text() const {
+    return SiftReasonText(sift_reason, retention_via);
+  }
 };
 
 struct AnalysisReport {

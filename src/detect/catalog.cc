@@ -1,0 +1,73 @@
+#include "detect/catalog.h"
+
+#include "attack/vuln_registry.h"
+#include "common/strings.h"
+#include "services/safe_service.h"
+
+namespace jgre::detect {
+
+namespace {
+
+std::string Key(std::string_view descriptor, std::uint32_t code) {
+  return StrCat(descriptor, "#", code);
+}
+
+const analysis::AnalyzedInterface* FindAnalyzed(
+    const analysis::AnalysisReport& report, const std::string& service,
+    std::uint32_t code) {
+  for (const analysis::AnalyzedInterface& iface : report.interfaces) {
+    if (iface.service == service && iface.transaction_code == code) {
+      return &iface;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void InterfaceCatalog::Add(std::string_view descriptor, std::uint32_t code,
+                           CatalogEntry entry) {
+  entries_[Key(descriptor, code)] = std::move(entry);
+}
+
+const CatalogEntry* InterfaceCatalog::Resolve(std::string_view descriptor,
+                                              std::uint32_t code) const {
+  const auto it = entries_.find(Key(descriptor, code));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+InterfaceCatalog BuildDefaultCatalog(const analysis::AnalysisReport* report) {
+  InterfaceCatalog catalog;
+  const auto add = [&](const std::string& descriptor, std::uint32_t code,
+                       const std::string& service, const std::string& method) {
+    CatalogEntry entry;
+    entry.service = service;
+    entry.method = method;
+    const analysis::AnalyzedInterface* iface =
+        report == nullptr ? nullptr : FindAnalyzed(*report, service, code);
+    entry.interface_id =
+        iface != nullptr ? iface->id : StrCat(service, ".", method);
+    catalog.Add(descriptor, code, std::move(entry));
+  };
+  for (const attack::VulnSpec& vuln : attack::AllVulnerabilities()) {
+    add(vuln.descriptor, vuln.code, vuln.service, vuln.interface);
+  }
+  // The generic safe services share one transaction layout (safe_service.h).
+  using Safe = services::GenericSafeService;
+  const std::pair<std::uint32_t, const char*> kSafeMethods[] = {
+      {Safe::TRANSACTION_query, "query"},
+      {Safe::TRANSACTION_oneShot, "oneShot"},
+      {Safe::TRANSACTION_setCallback, "setCallback"},
+      {Safe::TRANSACTION_registerObserver, "registerObserver"},
+      {Safe::TRANSACTION_addFile, "addFile"},
+  };
+  for (const std::string& name : Safe::SafeServiceNames()) {
+    const std::string descriptor = StrCat("android.os.I", name, "Service");
+    for (const auto& [code, method] : kSafeMethods) {
+      add(descriptor, code, name, method);
+    }
+  }
+  return catalog;
+}
+
+}  // namespace jgre::detect

@@ -1,0 +1,55 @@
+// InterfaceCatalog — (descriptor, transaction code) -> interface identity.
+//
+// Trace-driven hunts see IPC traffic as interned type keys (descriptor id in
+// the high half, transaction code in the low half — defense::MakeIpcTypeKey's
+// packing). To fuse their detections with the static and fuzz hunts, the
+// accused interface must resolve to the same identity those hunts key on:
+// the code-model method id. The catalog is that resolution table; hunts fall
+// back to "<descriptor>#<code>" keys when the run supplies none, which still
+// groups dynamic evidence per interface but cannot join it to static
+// findings.
+#ifndef JGRE_DETECT_CATALOG_H_
+#define JGRE_DETECT_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "analysis/pipeline.h"
+
+namespace jgre::detect {
+
+struct CatalogEntry {
+  std::string interface_id;  // code-model method id (the fusion key)
+  std::string service;       // service-manager name
+  std::string method;        // Java method name
+};
+
+class InterfaceCatalog {
+ public:
+  void Add(std::string_view descriptor, std::uint32_t code,
+           CatalogEntry entry);
+
+  // Null when the (descriptor, code) pair is unknown.
+  const CatalogEntry* Resolve(std::string_view descriptor,
+                              std::uint32_t code) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  // Keyed "<descriptor>#<code>"; ordered so iteration (and any derived
+  // output) is deterministic.
+  std::map<std::string, CatalogEntry> entries_;
+};
+
+// The standard catalog: every attack-registry vulnerability (54 system + 3
+// prebuilt-app) plus the generic safe services' binder-taking methods, with
+// interface ids resolved against `report` (by service + transaction code)
+// when it is provided — unresolvable rows key on "<service>.<method>".
+InterfaceCatalog BuildDefaultCatalog(
+    const analysis::AnalysisReport* report = nullptr);
+
+}  // namespace jgre::detect
+
+#endif  // JGRE_DETECT_CATALOG_H_

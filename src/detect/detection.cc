@@ -1,0 +1,107 @@
+#include "detect/detection.h"
+
+#include <algorithm>
+
+namespace jgre::detect {
+
+std::string_view CertaintyName(Certainty certainty) {
+  switch (certainty) {
+    case Certainty::kHypothetical:
+      return "hypothetical";
+    case Certainty::kWeak:
+      return "weak";
+    case Certainty::kStrong:
+      return "strong";
+    case Certainty::kConfirmed:
+      return "confirmed";
+  }
+  return "?";
+}
+
+Certainty RaiseCertainty(Certainty c, int levels) {
+  const int raised =
+      std::min(static_cast<int>(c) + std::max(levels, 0),
+               static_cast<int>(Certainty::kConfirmed));
+  return static_cast<Certainty>(raised);
+}
+
+namespace {
+
+harness::Json WitnessJson(const analysis::taint::WitnessPath& witness) {
+  harness::Json j = harness::Json::Object();
+  j.Set("reason", witness.reason);
+  harness::Json steps = harness::Json::Array();
+  for (const analysis::taint::WitnessStep& step : witness.steps) {
+    steps.Push(harness::Json::Object()
+                   .Set("kind", analysis::taint::StepKindName(step.kind))
+                   .Set("frame", step.frame));
+  }
+  j.Set("steps", std::move(steps));
+  return j;
+}
+
+harness::Json TraceJson(const TraceSlice& trace) {
+  harness::Json j = harness::Json::Object();
+  j.Set("events", trace.events.size());
+  if (!trace.events.empty()) {
+    j.Set("first_ts_us", trace.events.front().ts_us);
+    j.Set("last_ts_us", trace.events.back().ts_us);
+  }
+  harness::Json events = harness::Json::Array();
+  for (const obs::TraceEvent& event : trace.events) {
+    events.Push(harness::Json::Object()
+                    .Set("ts_us", event.ts_us)
+                    .Set("category", obs::CategoryName(event.category))
+                    .Set("name", event.name)
+                    .Set("pid", event.pid)
+                    .Set("uid", event.uid)
+                    .Set("arg0", event.arg0)
+                    .Set("arg1", event.arg1));
+  }
+  j.Set("slice", std::move(events));
+  return j;
+}
+
+harness::Json ReproducerJson(const fuzz::Sequence& seq) {
+  harness::Json j = harness::Json::Object();
+  j.Set("calls", seq.calls.size());
+  j.Set("fingerprint", seq.Fingerprint());
+  harness::Json calls = harness::Json::Array();
+  // Homogeneous reproducers dominate; emit distinct call shapes only, with a
+  // repeat count, so confirmed findings stay readable.
+  std::size_t i = 0;
+  while (i < seq.calls.size()) {
+    std::size_t run = 1;
+    while (i + run < seq.calls.size() && seq.calls[i + run] == seq.calls[i]) {
+      ++run;
+    }
+    calls.Push(harness::Json::Object()
+                   .Set("service", seq.calls[i].service)
+                   .Set("descriptor", seq.calls[i].descriptor)
+                   .Set("code", seq.calls[i].code)
+                   .Set("args", seq.calls[i].args.size())
+                   .Set("repeat", run));
+    i += run;
+  }
+  j.Set("shape", std::move(calls));
+  return j;
+}
+
+}  // namespace
+
+harness::Json Detection::ToJson() const {
+  harness::Json j = harness::Json::Object();
+  j.Set("hunt", hunt);
+  j.Set("key", FusionKey());
+  j.Set("service", service);
+  j.Set("method", method);
+  j.Set("certainty", CertaintyName(certainty));
+  j.Set("note", note);
+  if (growth_per_call != 0.0) j.Set("growth_per_call", growth_per_call);
+  if (has_witness()) j.Set("witness", WitnessJson(witness));
+  if (has_trace()) j.Set("trace", TraceJson(trace));
+  if (has_reproducer()) j.Set("reproducer", ReproducerJson(reproducer));
+  return j;
+}
+
+}  // namespace jgre::detect

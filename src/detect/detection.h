@@ -1,0 +1,94 @@
+// Detection — the typed finding record every hunt emits.
+//
+// A Detection names the IPC interface (or victim runtime) it accuses, how
+// sure the hunt is, and carries the evidence that justifies the accusation in
+// full: a static taint witness path, a slice of the observed trace, and/or a
+// concrete fuzz reproducer sequence. Evidence is never summarized into a
+// string — the fuser joins detections on interface identity and *upgrades*
+// certainty when independent evidence modalities corroborate, so the
+// provenance must survive the join intact.
+#ifndef JGRE_DETECT_DETECTION_H_
+#define JGRE_DETECT_DETECTION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/taint/witness.h"
+#include "fuzz/sequence.h"
+#include "harness/json.h"
+#include "obs/event.h"
+
+namespace jgre::detect {
+
+// The certainty lattice. Strictly ordered: fusion only ever moves a finding
+// up (monotone upgrade), never down — a weak corroboration cannot launder a
+// confirmed finding back into a hypothesis.
+enum class Certainty {
+  kHypothetical = 0,  // pattern match, no concrete evidence yet
+  kWeak,              // one indirect signal (e.g. a trace anomaly)
+  kStrong,            // direct evidence from one modality (witness, incident)
+  kConfirmed,         // reproduced end-to-end (oracle-confirmed exhaustion)
+};
+
+std::string_view CertaintyName(Certainty certainty);
+
+inline bool operator<(Certainty a, Certainty b) {
+  return static_cast<int>(a) < static_cast<int>(b);
+}
+
+// Raises `c` by `levels` steps, saturating at kConfirmed.
+Certainty RaiseCertainty(Certainty c, int levels);
+
+// A contiguous window of observed TraceEvents attached as evidence. Events
+// are copies (48-byte PODs): the slice stays valid after the bus, probe, or
+// device that produced it is gone.
+struct TraceSlice {
+  std::vector<obs::TraceEvent> events;
+
+  bool empty() const { return events.empty(); }
+  std::size_t size() const { return events.size(); }
+};
+
+// One finding from one hunt.
+struct Detection {
+  std::string hunt;          // emitting hunt's id
+  // Interface identity — the fusion key. `interface_id` is the code-model
+  // method id when the hunt knows it; hunts that only see a victim runtime
+  // (defense-side) key on "<service>.<method>" synthesized from the dominant
+  // IPC type instead.
+  std::string interface_id;
+  std::string service;
+  std::string method;
+  Certainty certainty = Certainty::kHypothetical;
+  std::string note;  // one-line human rationale (never parsed)
+  double growth_per_call = 0.0;  // JGR growth rate when the hunt measured one
+
+  // Provenance, by modality. Empty members mean "this modality contributed
+  // nothing"; has_*() below are the presence checks the contract keys on.
+  analysis::taint::WitnessPath witness;  // static: entry -> ... -> IRT::Add
+  TraceSlice trace;                      // dynamic: observed event window
+  fuzz::Sequence reproducer;             // fuzz: replayable call sequence
+
+  bool has_witness() const { return !witness.empty(); }
+  bool has_trace() const { return !trace.empty(); }
+  bool has_reproducer() const { return !reproducer.calls.empty(); }
+  int evidence_modalities() const {
+    return (has_witness() ? 1 : 0) + (has_trace() ? 1 : 0) +
+           (has_reproducer() ? 1 : 0);
+  }
+
+  // The identity detections fuse on: the interface when known, else the
+  // service-scoped synthesized name.
+  std::string FusionKey() const {
+    return interface_id.empty() ? service + "." + method : interface_id;
+  }
+
+  // Full JSON rendering, provenance included (witness frames, trace event
+  // labels, reproducer call list). Deterministic: field order is fixed.
+  harness::Json ToJson() const;
+};
+
+}  // namespace jgre::detect
+
+#endif  // JGRE_DETECT_DETECTION_H_

@@ -1,0 +1,78 @@
+#include "detect/fuser.h"
+
+#include <algorithm>
+
+namespace jgre::detect {
+
+harness::Json RankedFinding::ToJson() const {
+  harness::Json j = harness::Json::Object();
+  j.Set("key", key);
+  j.Set("service", service);
+  j.Set("method", method);
+  j.Set("certainty", CertaintyName(certainty));
+  j.Set("base_certainty", CertaintyName(base_certainty));
+  j.Set("has_witness", has_witness);
+  j.Set("has_trace", has_trace);
+  j.Set("has_reproducer", has_reproducer);
+  harness::Json hunts = harness::Json::Array();
+  for (const Detection& d : detections) hunts.Push(d.hunt);
+  j.Set("hunts", std::move(hunts));
+  harness::Json dets = harness::Json::Array();
+  for (const Detection& d : detections) dets.Push(d.ToJson());
+  j.Set("detections", std::move(dets));
+  return j;
+}
+
+void DetectionFuser::Add(Detection detection) {
+  const std::string key = detection.FusionKey();
+  RankedFinding* group = nullptr;
+  for (RankedFinding& g : groups_) {
+    if (g.key == key) {
+      group = &g;
+      break;
+    }
+  }
+  if (group == nullptr) {
+    groups_.emplace_back();
+    group = &groups_.back();
+    group->key = key;
+    group->service = detection.service;
+    group->method = detection.method;
+  }
+  group->has_witness = group->has_witness || detection.has_witness();
+  group->has_trace = group->has_trace || detection.has_trace();
+  group->has_reproducer =
+      group->has_reproducer || detection.has_reproducer();
+  if (group->base_certainty < detection.certainty) {
+    group->base_certainty = detection.certainty;
+  }
+  group->detections.push_back(std::move(detection));
+}
+
+std::vector<RankedFinding> DetectionFuser::Ranked() const {
+  std::vector<RankedFinding> out = groups_;
+  for (RankedFinding& group : out) {
+    // Monotone upgrade: the strongest single accusation, raised one lattice
+    // step per extra corroborating modality beyond the first.
+    group.certainty = RaiseCertainty(group.base_certainty,
+                                     group.evidence_modalities() - 1);
+    // Canonical within-group order (hunt ids are unique per group in
+    // practice; ties keep Add order), so the ranked JSON is byte-stable no
+    // matter which order the modalities reported in.
+    std::stable_sort(group.detections.begin(), group.detections.end(),
+                     [](const Detection& a, const Detection& b) {
+                       return a.hunt < b.hunt;
+                     });
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankedFinding& a, const RankedFinding& b) {
+              if (a.certainty != b.certainty) return b.certainty < a.certainty;
+              const int am = a.evidence_modalities();
+              const int bm = b.evidence_modalities();
+              if (am != bm) return am > bm;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace jgre::detect

@@ -1,0 +1,64 @@
+// DetectionFuser — joins detections on interface identity and ranks them.
+//
+// Independent hunts accusing the same interface are one finding, not N: the
+// fuser groups on Detection::FusionKey() and upgrades certainty monotonically
+// — the fused level starts at the group's maximum and gains one lattice step
+// per *additional* evidence modality beyond the first (a static witness, an
+// observed trace window, and a fuzz reproducer are three independent ways to
+// be right), saturating at kConfirmed. Corroboration can only raise a
+// finding; a weak extra signal never lowers one.
+#ifndef JGRE_DETECT_FUSER_H_
+#define JGRE_DETECT_FUSER_H_
+
+#include <string>
+#include <vector>
+
+#include "detect/detection.h"
+#include "harness/json.h"
+
+namespace jgre::detect {
+
+// One fused, ranked finding: every detection that named the interface, the
+// union of their evidence, and the upgraded certainty.
+struct RankedFinding {
+  std::string key;  // the fusion key the group joined on
+  std::string service;
+  std::string method;
+  Certainty certainty = Certainty::kHypothetical;  // fused (upgraded) level
+  Certainty base_certainty = Certainty::kHypothetical;  // max before upgrade
+  bool has_witness = false;
+  bool has_trace = false;
+  bool has_reproducer = false;
+  std::vector<Detection> detections;  // canonical (hunt id) order in Ranked()
+
+  int evidence_modalities() const {
+    return (has_witness ? 1 : 0) + (has_trace ? 1 : 0) +
+           (has_reproducer ? 1 : 0);
+  }
+  harness::Json ToJson() const;
+};
+
+class DetectionFuser {
+ public:
+  void Add(Detection detection);
+  void Add(std::vector<Detection> detections) {
+    for (Detection& d : detections) Add(std::move(d));
+  }
+
+  std::size_t size() const { return groups_.size(); }
+
+  // The fused findings, ranked: certainty descending, then evidence-modality
+  // count descending, then key ascending. Both the group order and the
+  // within-group detection order (sorted by hunt id) are independent of the
+  // Add() order, so the ranked JSON is byte-stable.
+  std::vector<RankedFinding> Ranked() const;
+
+ private:
+  // Insertion-ordered groups (std::map would also be deterministic, but the
+  // group count is small and Ranked() re-sorts anyway).
+  std::vector<RankedFinding> groups_;
+};
+
+}  // namespace jgre::detect
+
+#endif  // JGRE_DETECT_FUSER_H_

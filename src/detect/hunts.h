@@ -1,0 +1,142 @@
+// The standard hunt battery.
+//
+// Three port the pipeline's existing verdict logic behind the Hunt interface
+// (the four sift rules, the fuzz oracle's screen/confirm bars, the
+// defender's alarm-report check) — each is pinned by tests to reproduce the
+// legacy verdicts exactly on the 57-interface census. Two are new detectors
+// for the follow-up work's evasion patterns (arXiv 2405.00526): slow-drip
+// retention that stays under the monitor's alarm threshold, and
+// death-recipient/weak-reference churn that grows nothing net but burns the
+// victim's table bandwidth through one interface.
+#ifndef JGRE_DETECT_HUNTS_H_
+#define JGRE_DETECT_HUNTS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "detect/hunt.h"
+
+namespace jgre::detect {
+
+// Port of the static sifter: re-derives the four sift rules plus the
+// signature-permission filter from the analyzed interfaces' typed facts and
+// accuses every risky interface the rules leave standing. Candidates with a
+// taint witness are kStrong; a legacy (witness-free) report yields
+// kHypothetical.
+class SiftRuleHunt : public Hunt {
+ public:
+  std::string_view id() const override { return "static.sift-rules"; }
+  std::string_view description() const override {
+    return "risky IPC interfaces surviving the four sift rules";
+  }
+  SourceMask required_sources() const override {
+    return MaskOf(DataSource::kAnalysis);
+  }
+  std::vector<Detection> Run(const DataSources& sources,
+                             const Scope& scope) const override;
+
+  // The rule evaluation itself, exposed for the golden cross-check: on every
+  // risky interface this must agree with AnalyzedInterface::sift_reason.
+  static analysis::SiftReason Classify(const analysis::AnalyzedInterface&);
+};
+
+// Port of the two-stage fuzz oracle: re-judges each campaign finding's
+// confirmed growth rate against the oracle's confirm bar (kConfirmed) or, if
+// it only clears the permissive screen bar, kStrong. The reproducer is the
+// finding's minimized homogeneous witness sequence.
+class ExhaustionOracleHunt : public Hunt {
+ public:
+  std::string_view id() const override { return "fuzz.exhaustion-oracle"; }
+  std::string_view description() const override {
+    return "fuzz findings re-judged at the oracle's confirm bar";
+  }
+  SourceMask required_sources() const override {
+    return MaskOf(DataSource::kFuzzFindings);
+  }
+  std::vector<Detection> Run(const DataSources& sources,
+                             const Scope& scope) const override;
+};
+
+// Port of the defender's alarm-report check: one detection per incident
+// report, carrying the victim's JGR trace window between alarm and report as
+// provenance and attributing the interface via the top-ranked caller's
+// dominant IPC type.
+class AlarmReportHunt : public Hunt {
+ public:
+  std::string_view id() const override { return "defense.alarm-report"; }
+  std::string_view description() const override {
+    return "monitor alarm-to-report incidents with ranked attribution";
+  }
+  SourceMask required_sources() const override {
+    return MaskOf(DataSource::kDefender) | MaskOf(DataSource::kTraceEvents);
+  }
+  std::vector<Detection> Run(const DataSources& sources,
+                             const Scope& scope) const override;
+};
+
+// Follow-up hunt: sustained net JGR retention at a creation rate low enough
+// that the threshold monitor never alarms (the slow-drip evasion profile).
+// Fires only when no incident was raised — a raised incident is the alarm
+// hunt's finding — and the victim's table stayed under the alarm threshold.
+class SlowDripHunt : public Hunt {
+ public:
+  struct Tuning {
+    std::int64_t min_net_growth = 128;   // retained entries over the run
+    std::int64_t strong_net_growth = 2048;
+    double max_adds_per_sec = 512.0;     // above this it is a flood, not a drip
+    DurationUs min_span_us = 1'000'000;  // rate needs a meaningful window
+  };
+
+  SlowDripHunt() = default;
+  explicit SlowDripHunt(Tuning tuning) : tuning_(tuning) {}
+
+  std::string_view id() const override { return "followup.slow-drip"; }
+  std::string_view description() const override {
+    return "sustained sub-alarm-threshold JGR retention";
+  }
+  SourceMask required_sources() const override {
+    return MaskOf(DataSource::kTraceEvents);
+  }
+  std::vector<Detection> Run(const DataSources& sources,
+                             const Scope& scope) const override;
+
+ private:
+  Tuning tuning_;
+};
+
+// Follow-up hunt: death-recipient/weak-reference churn — JGR creations and
+// releases both high and nearly balanced, concentrated on one IPC interface
+// from one caller (a flooded replace-single or register/unregister slot).
+// Net table growth is ~zero, so neither the threshold monitor nor the
+// exhaustion oracle ever fires; the signature is the balance plus the
+// concentration.
+class DeathRecipientChurnHunt : public Hunt {
+ public:
+  struct Tuning {
+    std::int64_t min_adds = 512;          // total victim JGR creations
+    double min_remove_ratio = 0.85;       // removes/adds balance
+    std::int64_t max_net_growth = 128;    // |net| above this is retention
+    std::int64_t min_top_calls = 256;     // calls from the dominant pair
+    double min_concentration = 0.5;       // dominant pair's share of IPC
+  };
+
+  DeathRecipientChurnHunt() = default;
+  explicit DeathRecipientChurnHunt(Tuning tuning) : tuning_(tuning) {}
+
+  std::string_view id() const override { return "followup.death-churn"; }
+  std::string_view description() const override {
+    return "balanced add/remove churn concentrated on one interface";
+  }
+  SourceMask required_sources() const override {
+    return MaskOf(DataSource::kTraceEvents);
+  }
+  std::vector<Detection> Run(const DataSources& sources,
+                             const Scope& scope) const override;
+
+ private:
+  Tuning tuning_;
+};
+
+}  // namespace jgre::detect
+
+#endif  // JGRE_DETECT_HUNTS_H_

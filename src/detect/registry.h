@@ -1,0 +1,64 @@
+// HuntRegistry — owns the hunts and schedules them over available sources.
+//
+// Registration order is execution order, and a hunt only runs when every
+// DataSource it requires is present — so the same registry serves a
+// static-only pass, a per-device fleet pass, and the full census, each run
+// exercising the subset its sources admit. Per-hunt run/skip/hit counts are
+// reported so callers can tell "ran and found nothing" from "never ran".
+#ifndef JGRE_DETECT_REGISTRY_H_
+#define JGRE_DETECT_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "detect/hunt.h"
+
+namespace jgre::detect {
+
+// One hunt's outcome within a RunAll pass.
+struct HuntRunStats {
+  std::string hunt;
+  bool ran = false;            // requirements satisfied
+  SourceMask missing = 0;      // required-but-absent sources when skipped
+  std::size_t detections = 0;  // emitted detections when ran
+};
+
+class HuntRegistry {
+ public:
+  HuntRegistry() = default;
+
+  HuntRegistry(const HuntRegistry&) = delete;
+  HuntRegistry& operator=(const HuntRegistry&) = delete;
+  HuntRegistry(HuntRegistry&&) = default;
+  HuntRegistry& operator=(HuntRegistry&&) = default;
+
+  // Rejects duplicate ids: two hunts with one id would make per-hunt census
+  // counters ambiguous.
+  Status Register(std::unique_ptr<Hunt> hunt);
+
+  const Hunt* Find(std::string_view id) const;
+  std::size_t size() const { return hunts_.size(); }
+  const std::vector<std::unique_ptr<Hunt>>& hunts() const { return hunts_; }
+
+  // Runs every registered hunt whose required sources are available, in
+  // registration order, concatenating their detections (each hunt's output
+  // kept in its own emission order). `stats` (optional) receives one entry
+  // per registered hunt, run or skipped.
+  std::vector<Detection> RunAll(const DataSources& sources, const Scope& scope,
+                                std::vector<HuntRunStats>* stats = nullptr) const;
+
+  // The standard battery: the four-sift-rule hunt, the fuzz oracle hunt, the
+  // defender alarm hunt, and the two follow-up hunts (slow-drip, death-
+  // recipient churn) — see hunts.h.
+  static HuntRegistry WithDefaultHunts();
+
+ private:
+  std::vector<std::unique_ptr<Hunt>> hunts_;
+};
+
+}  // namespace jgre::detect
+
+#endif  // JGRE_DETECT_REGISTRY_H_

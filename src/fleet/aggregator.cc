@@ -11,15 +11,51 @@ void DeviceProbe::OnBatch(const obs::TraceEvent* events, std::size_t count) {
     const obs::TraceEvent& event = events[i];
     if (event.category == obs::Category::kIpc) {
       ++ipc_calls_;
+      Retain(event);
       continue;
     }
     if (event.category != obs::Category::kJgr || event.pid != victim_pid_) {
       continue;
     }
-    if (event.name == obs::LabelIdOf(obs::Label::kJgrAdd)) ++jgr_adds_;
     const std::uint64_t after = static_cast<std::uint64_t>(event.arg0);
+    if (event.name == obs::LabelIdOf(obs::Label::kJgrAdd)) {
+      ++jgr_adds_;
+      ++activity_.adds;
+    } else if (event.name == obs::LabelIdOf(obs::Label::kJgrRemove)) {
+      ++activity_.removes;
+    }
     if (after > peak_jgr_) peak_jgr_ = after;
+    if (!saw_jgr_) {
+      saw_jgr_ = true;
+      activity_.first_count = after;
+      activity_.first_ts_us = event.ts_us;
+    }
+    activity_.last_count = after;
+    activity_.last_ts_us = event.ts_us;
+    activity_.peak_count = peak_jgr_;
+    Retain(event);
   }
+}
+
+void DeviceProbe::Retain(const obs::TraceEvent& event) {
+  if (ring_capacity_ == 0) return;
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[ring_next_] = event;
+  ring_next_ = (ring_next_ + 1) % ring_capacity_;
+}
+
+std::vector<obs::TraceEvent> DeviceProbe::Window() const {
+  if (ring_.size() < ring_capacity_ || ring_next_ == 0) return ring_;
+  std::vector<obs::TraceEvent> out;
+  out.reserve(ring_.size());
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_));
+  return out;
 }
 
 void FleetAggregator::Absorb(const DeviceOutcome& outcome) {
@@ -36,6 +72,9 @@ void FleetAggregator::Absorb(const DeviceOutcome& outcome) {
   stats.ipc_calls += outcome.ipc_calls;
   stats.jgr_adds += outcome.jgr_adds;
   stats.peak_jgr.Add(outcome.peak_jgr);
+  for (const auto& [hunt, hits] : outcome.hunt_hits) {
+    stats.hunt_hits[hunt] += hits;
+  }
 }
 
 void FleetAggregator::MergeFrom(const FleetAggregator& other) {
@@ -51,6 +90,9 @@ void FleetAggregator::MergeFrom(const FleetAggregator& other) {
     ours.jgr_adds += theirs.jgr_adds;
     ours.tte_us.Merge(theirs.tte_us);
     ours.peak_jgr.Merge(theirs.peak_jgr);
+    for (const auto& [hunt, hits] : theirs.hunt_hits) {
+      ours.hunt_hits[hunt] += hits;
+    }
   }
 }
 
@@ -88,6 +130,11 @@ harness::Json FleetAggregator::StatsJson(const ClassStats& stats) {
   j.Set("jgr_adds", stats.jgr_adds);
   j.Set("time_to_exhaustion_us", SketchJson(stats.tte_us));
   j.Set("peak_jgr", SketchJson(stats.peak_jgr));
+  harness::Json hunts = harness::Json::Object();
+  for (const auto& [hunt, hits] : stats.hunt_hits) {
+    hunts.Set(hunt, hits);
+  }
+  j.Set("hunt_hits", std::move(hunts));
   return j;
 }
 
@@ -105,6 +152,9 @@ harness::Json FleetAggregator::ToJson() const {
     overall.jgr_adds += stats.jgr_adds;
     overall.tte_us.Merge(stats.tte_us);
     overall.peak_jgr.Merge(stats.peak_jgr);
+    for (const auto& [hunt, hits] : stats.hunt_hits) {
+      overall.hunt_hits[hunt] += hits;
+    }
   }
   doc.Set("overall", StatsJson(overall));
   harness::Json classes = harness::Json::Object();

@@ -12,8 +12,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
+#include "detect/detection.h"
+#include "detect/hunt.h"
 #include "fleet/sketch.h"
 #include "harness/json.h"
 #include "obs/event.h"
@@ -34,6 +37,10 @@ struct DeviceOutcome {
   std::int64_t jgr_adds = 0;
   std::uint64_t peak_jgr = 0;  // system_server table high-water mark
   DurationUs virtual_duration_us = 0;
+  // The device's hunt pass: per-hunt detection counts plus the detections
+  // themselves (with provenance), in hunt registration order.
+  std::map<std::string, std::uint64_t> hunt_hits;
+  std::vector<detect::Detection> detections;
 };
 
 // An EventSink that reduces a device's kJgr/kIpc batches as they drain.
@@ -42,21 +49,38 @@ struct DeviceOutcome {
 class DeviceProbe : public obs::EventSink {
  public:
   // `victim_pid` scopes the JGR statistics to the victim's table (the
-  // pre-reboot system_server); IPC calls are counted fleet-wide.
-  explicit DeviceProbe(std::int32_t victim_pid) : victim_pid_(victim_pid) {}
+  // pre-reboot system_server); IPC calls are counted fleet-wide. A non-zero
+  // `ring_capacity` additionally retains the newest victim-kJgr and kIpc
+  // events as the trace window the detection hunts read — the full-stream
+  // JgrActivity counters keep accumulating regardless, so rates and net
+  // growth never depend on the ring size.
+  explicit DeviceProbe(std::int32_t victim_pid, std::size_t ring_capacity = 0)
+      : victim_pid_(victim_pid), ring_capacity_(ring_capacity) {}
 
   void OnEvent(const obs::TraceEvent& event) override;
   void OnBatch(const obs::TraceEvent* events, std::size_t count) override;
 
+  std::int32_t victim_pid() const { return victim_pid_; }
   std::int64_t ipc_calls() const { return ipc_calls_; }
   std::int64_t jgr_adds() const { return jgr_adds_; }
   std::uint64_t peak_jgr() const { return peak_jgr_; }
+  const detect::JgrActivity& jgr_activity() const { return activity_; }
+
+  // The retained window in stream order (empty when the ring is disabled).
+  std::vector<obs::TraceEvent> Window() const;
 
  private:
+  void Retain(const obs::TraceEvent& event);
+
   std::int32_t victim_pid_;
+  std::size_t ring_capacity_;
   std::int64_t ipc_calls_ = 0;
   std::int64_t jgr_adds_ = 0;
   std::uint64_t peak_jgr_ = 0;
+  detect::JgrActivity activity_;
+  bool saw_jgr_ = false;
+  std::vector<obs::TraceEvent> ring_;
+  std::size_t ring_next_ = 0;  // overwrite cursor once the ring is full
 };
 
 class FleetAggregator {
@@ -84,6 +108,8 @@ class FleetAggregator {
     std::int64_t jgr_adds = 0;
     QuantileSketch tte_us;    // time-to-exhaustion of exhausted devices
     QuantileSketch peak_jgr;  // high-water mark of every device
+    // Per-hunt detection counts (additive; ordered for stable JSON).
+    std::map<std::string, std::uint64_t> hunt_hits;
   };
 
   static harness::Json StatsJson(const ClassStats& stats);

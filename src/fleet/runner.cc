@@ -5,19 +5,30 @@
 #include <stdexcept>
 
 #include "common/strings.h"
+#include "detect/registry.h"
 #include "harness/experiment_runner.h"
 #include "obs/event_bus.h"
 
 namespace jgre::fleet {
 
+namespace {
+
+// Newest victim-kJgr/kIpc events the probe keeps for the hunt pass. Bounds
+// per-device memory; the activity counters it feeds rates from are full-
+// stream, so only provenance slices (not verdicts) see the truncation.
+constexpr std::size_t kHuntWindowCapacity = 2048;
+
+}  // namespace
+
 DeviceOutcome RunDeviceScenario(const FleetDeviceSpec& spec,
-                                sim::DeviceSim& device) {
+                                sim::DeviceSim& device,
+                                const detect::InterfaceCatalog* catalog) {
   DeviceOutcome out;
   out.index = spec.index;
   out.scenario_class = spec.scenario_class;
 
   core::AndroidSystem& system = device.system();
-  DeviceProbe probe(system.system_server_pid().value());
+  DeviceProbe probe(system.system_server_pid().value(), kHuntWindowCapacity);
   device.bus().Subscribe(&probe,
                          obs::MaskOf(obs::Category::kJgr) |
                              obs::MaskOf(obs::Category::kIpc),
@@ -90,11 +101,40 @@ DeviceOutcome RunDeviceScenario(const FleetDeviceSpec& spec,
       attacker_process != nullptr && !attacker_process->alive();
   out.virtual_duration_us = system.clock().NowUs() - start;
 
+  // Settle the runtimes before reducing the probe: a final collection strips
+  // in-flight transient references, so the hunts below see *retention* — the
+  // paper's exploitability criterion — rather than garbage the next GC would
+  // have reclaimed anyway.
+  system.CollectAllGarbage();
+
   // Unsubscribe drains the probe's staged events first — the read barrier.
   device.bus().Unsubscribe(&probe);
   out.ipc_calls = probe.ipc_calls();
   out.jgr_adds = probe.jgr_adds();
   out.peak_jgr = probe.peak_jgr();
+
+  // The per-device hunt pass: every trace-driven hunt in the standard
+  // battery over what the probe observed (the static and fuzz hunts skip
+  // themselves — no analysis report or finding list here).
+  static const detect::HuntRegistry& registry = *[] {
+    return new detect::HuntRegistry(detect::HuntRegistry::WithDefaultHunts());
+  }();
+  const std::vector<obs::TraceEvent> window = probe.Window();
+  detect::DataSources sources;
+  sources.trace_events = window.data();
+  sources.trace_event_count = window.size();
+  sources.jgr_activity = probe.jgr_activity();
+  sources.victim_pid = probe.victim_pid();
+  sources.victim_name = "system_server";
+  sources.defender = defender;
+  sources.descriptor_name = [&system](std::uint32_t id) {
+    return system.driver().DescriptorName(id);
+  };
+  sources.catalog = catalog;
+  out.detections = registry.RunAll(sources, detect::Scope{});
+  for (const detect::Detection& detection : out.detections) {
+    ++out.hunt_hits[detection.hunt];
+  }
   return out;
 }
 
@@ -157,7 +197,7 @@ FleetResult FleetRunner::Run() {
         sim::DeviceFactory factory(fleet_[i].device);
         std::unique_ptr<sim::DeviceSim> device =
             factory.CreateDeviceOn(RestoreDevice(i));
-        return RunDeviceScenario(fleet_[i], *device);
+        return RunDeviceScenario(fleet_[i], *device, options_.catalog);
       });
   // Fold in submission order; MergeFrom-based shard folds land on the same
   // bytes (the sketch-merge invariance the tests pin).

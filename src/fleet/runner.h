@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "detect/catalog.h"
 #include "fleet/aggregator.h"
 #include "fleet/spec.h"
 #include "snapshot/snapshot.h"
@@ -34,6 +35,11 @@ struct FleetOptions {
   int jobs = 1;
   // Hard cap on distinct warmed boot images a fleet may require.
   std::size_t max_images = 4;
+  // Optional (descriptor, code) -> interface identity table for the per-
+  // device hunt pass. With it, trace-hunt detections carry the code-model
+  // interface ids the static and fuzz hunts use, so a census consumer can
+  // fuse across modalities; without it they key on "<descriptor>#<code>".
+  const detect::InterfaceCatalog* catalog = nullptr;
 };
 
 struct FleetResult {
@@ -42,10 +48,13 @@ struct FleetResult {
   std::size_t image_count = 0;
 };
 
-// Runs one device's scenario to completion and reduces it. Exposed so tests
+// Runs one device's scenario to completion and reduces it, including the
+// trace-driven hunt pass over the probe's retained window. Exposed so tests
 // can drive a single device without a runner.
 DeviceOutcome RunDeviceScenario(const FleetDeviceSpec& spec,
-                                sim::DeviceSim& device);
+                                sim::DeviceSim& device,
+                                const detect::InterfaceCatalog* catalog =
+                                    nullptr);
 
 class FleetRunner {
  public:

@@ -1,6 +1,7 @@
 #include "fleet/spec.h"
 
 #include "attack/vuln_registry.h"
+#include "services/safe_service.h"
 #include "snapshot/serializer.h"
 
 namespace jgre::fleet {
@@ -15,6 +16,26 @@ const attack::VulnSpec* FindVulnById(int id) {
 }
 
 }  // namespace
+
+const attack::VulnSpec& ChurnAttackSpec() {
+  static const attack::VulnSpec spec = [] {
+    attack::VulnSpec s;
+    s.id = kChurnVulnId;
+    s.service = "account";
+    s.interface = "setCallback";
+    // GenericSafeService descriptors splice the raw service name between the
+    // "android.os.I"/"Service" affixes — no capitalisation.
+    s.descriptor = "android.os.IaccountService";
+    s.code = services::GenericSafeService::TRANSACTION_setCallback;
+    s.victim = attack::VictimKind::kSystemServer;
+    s.jgrs_per_call = 0;  // replace-single: the previous reference is evicted
+    s.write_args = [](services::AppProcess& app, binder::Parcel& p) {
+      p.WriteStrongBinder(app.NewBinder("IAccountCallback"));
+    };
+    return s;
+  }();
+  return spec;
+}
 
 std::uint64_t MixFleetSeed(std::uint64_t seed, std::uint64_t index) {
   snapshot::Serializer out;
@@ -77,7 +98,12 @@ std::vector<FleetDeviceSpec> ExpandMatrix(const FleetMatrix& matrix) {
                                        defense.report_threshold);
           }
           spec.scenario_detail = scenario.scenario_class;
-          if (scenario.vuln_id != 0) {
+          if (scenario.vuln_id == kChurnVulnId) {
+            const attack::VulnSpec& churn = ChurnAttackSpec();
+            spec.device.WithAttack(churn);
+            spec.scenario_detail += ":" + churn.service + "." +
+                                    churn.interface;
+          } else if (scenario.vuln_id != 0) {
             const attack::VulnSpec* vuln = FindVulnById(scenario.vuln_id);
             if (vuln != nullptr) {
               spec.device.WithAttack(*vuln);

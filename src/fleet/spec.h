@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/vuln_registry.h"
 #include "common/types.h"
 #include "sim/device.h"
 
@@ -25,10 +26,22 @@ namespace jgre::fleet {
 // "flood" steps the attacker back-to-back; "drip" inserts think time between
 // calls (the slow-drip evasion profile from the paper's §VI discussion).
 struct AttackScenario {
-  std::string scenario_class;  // "benign" | "flood" | "drip"
+  std::string scenario_class;  // "benign" | "flood" | "drip" | "churn"
   int vuln_id = 0;             // registry id (attack::VulnSpec::id); 0 = none
   DurationUs think_time_us = 0;
 };
+
+// Sentinel vuln_id for the synthetic churn scenario: not a registry
+// vulnerability (replace-single slots are sift rule 4's *non*-exploitable
+// class), but flooding one with fresh binders churns the victim's JGR table
+// — every call adds a reference and evicts the previous one, so net growth
+// stays ~zero while table bandwidth burns. The follow-up death-churn hunt
+// exists to catch exactly this profile.
+inline constexpr int kChurnVulnId = -1;
+
+// The spec behind kChurnVulnId: flood a generic safe service's setCallback
+// (member-variable slot) with a fresh callback binder per call.
+const attack::VulnSpec& ChurnAttackSpec();
 
 // One defense axis point: disabled, or enabled at (alarm, report) thresholds.
 struct DefensePoint {

@@ -25,7 +25,8 @@ const char* ExhaustionKindName(ExhaustionKind kind) {
   return "?";
 }
 
-OracleVerdict Oracle::Screen(const Observation& obs) const {
+OracleVerdict Oracle::Judge(const Observation& obs,
+                            const OracleBar& bar) const {
   OracleVerdict v;
   const std::int64_t jgr_delta = obs.jgr_after - obs.jgr_before;
   const std::int64_t fd_delta = obs.fd_after - obs.fd_before;
@@ -33,27 +34,11 @@ OracleVerdict Oracle::Screen(const Observation& obs) const {
   v.fd_growth_per_call = PerCall(fd_delta, obs.calls);
   if (obs.victim_aborted) {
     v.kind = ExhaustionKind::kAbort;
-  } else if (jgr_delta >= options_.retained_jgr_floor ||
-             v.jgr_growth_per_call >= options_.growth.bounded_jgr_per_call) {
+  } else if ((bar.jgr_floor >= 0 && jgr_delta >= bar.jgr_floor) ||
+             v.jgr_growth_per_call >= bar.jgr_rate) {
     v.kind = ExhaustionKind::kJgr;
-  } else if (fd_delta >= options_.retained_fd_floor ||
-             v.fd_growth_per_call >= options_.growth.exploitable_fd_per_call) {
-    v.kind = ExhaustionKind::kFd;
-  }
-  return v;
-}
-
-OracleVerdict Oracle::Confirm(const Observation& obs) const {
-  OracleVerdict v;
-  v.jgr_growth_per_call = PerCall(obs.jgr_after - obs.jgr_before, obs.calls);
-  v.fd_growth_per_call = PerCall(obs.fd_after - obs.fd_before, obs.calls);
-  if (obs.victim_aborted) {
-    v.kind = ExhaustionKind::kAbort;
-  } else if (v.jgr_growth_per_call >=
-             options_.growth.exploitable_jgr_per_call) {
-    v.kind = ExhaustionKind::kJgr;
-  } else if (v.fd_growth_per_call >=
-             options_.growth.exploitable_fd_per_call) {
+  } else if ((bar.fd_floor >= 0 && fd_delta >= bar.fd_floor) ||
+             v.fd_growth_per_call >= bar.fd_rate) {
     v.kind = ExhaustionKind::kFd;
   }
   return v;

@@ -58,13 +58,42 @@ struct OracleOptions {
   std::int64_t retained_fd_floor = 4;
 };
 
+// The per-stage bar the shared judge applies: a growth-rate cutoff per
+// resource plus optional absolute retained-entry floors (< 0 disables the
+// floor — Confirm judges rate only). Screen and Confirm are the same code
+// path with different bars, so the growth thresholds cannot drift between
+// the stages again.
+struct OracleBar {
+  double jgr_rate = 0.0;
+  double fd_rate = 0.0;
+  std::int64_t jgr_floor = -1;
+  std::int64_t fd_floor = -1;
+};
+
 class Oracle {
  public:
   Oracle() = default;
   explicit Oracle(OracleOptions options) : options_(options) {}
 
-  OracleVerdict Screen(const Observation& obs) const;
-  OracleVerdict Confirm(const Observation& obs) const;
+  OracleVerdict Screen(const Observation& obs) const {
+    return Judge(obs, ScreenBar());
+  }
+  OracleVerdict Confirm(const Observation& obs) const {
+    return Judge(obs, ConfirmBar());
+  }
+
+  // The one judging code path. Exposed (with the stage bars) so callers that
+  // re-derive verdicts — the detect oracle hunt — run the exact same logic.
+  OracleVerdict Judge(const Observation& obs, const OracleBar& bar) const;
+  OracleBar ScreenBar() const {
+    return {options_.growth.bounded_jgr_per_call,
+            options_.growth.exploitable_fd_per_call,
+            options_.retained_jgr_floor, options_.retained_fd_floor};
+  }
+  OracleBar ConfirmBar() const {
+    return {options_.growth.exploitable_jgr_per_call,
+            options_.growth.exploitable_fd_per_call, -1, -1};
+  }
 
   const OracleOptions& options() const { return options_; }
 

@@ -108,11 +108,11 @@ TEST_F(PipelineTest, SifterDischargesTheBenignPatterns) {
   int rule2 = 0, rule3 = 0, rule4 = 0, rule1 = 0, perm = 0;
   for (const auto& iface : report_->interfaces) {
     if (!iface.sifted_out) continue;
-    if (iface.sift_reason.find("rule 1") == 0) ++rule1;
-    if (iface.sift_reason.find("rule 2") == 0) ++rule2;
-    if (iface.sift_reason.find("rule 3") == 0) ++rule3;
-    if (iface.sift_reason.find("rule 4") == 0) ++rule4;
-    if (iface.sift_reason.find("permission map") == 0) ++perm;
+    if (iface.sift_reason == analysis::SiftReason::kRule1ThreadOnly) ++rule1;
+    if (iface.sift_reason == analysis::SiftReason::kRule2Transient) ++rule2;
+    if (iface.sift_reason == analysis::SiftReason::kRule3ReadOnlyKey) ++rule3;
+    if (iface.sift_reason == analysis::SiftReason::kRule4MemberSlot) ++rule4;
+    if (iface.sift_reason == analysis::SiftReason::kSignaturePermission) ++perm;
   }
   EXPECT_GT(rule1, 0);  // thread-create-only methods
   EXPECT_GE(rule2, 71); // every safe service's oneShot

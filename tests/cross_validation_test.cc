@@ -58,7 +58,8 @@ TEST_F(CrossValidationTest, EveryAttackPayloadIsAPipelineCandidate) {
     ASSERT_NE(iface, nullptr) << vuln.service << "." << vuln.interface;
     EXPECT_TRUE(iface->risky) << vuln.service << "." << vuln.interface;
     EXPECT_FALSE(iface->sifted_out)
-        << vuln.service << "." << vuln.interface << ": " << iface->sift_reason;
+        << vuln.service << "." << vuln.interface << ": "
+        << iface->sift_reason_text();
   }
 }
 

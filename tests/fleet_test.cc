@@ -99,6 +99,102 @@ TEST(QuantileSketchTest, MergeIsOrderInvariant) {
   }
 }
 
+TEST(QuantileSketchTest, MergingAnEmptyShardIsIdentity) {
+  // A worker whose shard got no devices still contributes a sketch; folding
+  // it in must not disturb the aggregate (the min sentinel in particular).
+  fleet::QuantileSketch populated;
+  for (std::uint64_t v : {5u, 900u, 42u, 31'337u}) populated.Add(v);
+  const std::uint64_t count = populated.count();
+  const std::uint64_t sum = populated.sum();
+  const std::uint64_t p50 = populated.Quantile(0.5);
+
+  fleet::QuantileSketch empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.min_value(), 0u);
+  EXPECT_EQ(empty.max_value(), 0u);
+  EXPECT_EQ(empty.Quantile(0.5), 0u);
+
+  populated.Merge(empty);
+  EXPECT_EQ(populated.count(), count);
+  EXPECT_EQ(populated.sum(), sum);
+  EXPECT_EQ(populated.min_value(), 5u);
+  EXPECT_EQ(populated.max_value(), 31'337u);
+  EXPECT_EQ(populated.Quantile(0.5), p50);
+
+  // Merging into an empty sketch adopts the other side wholesale.
+  fleet::QuantileSketch adopted;
+  adopted.Merge(populated);
+  EXPECT_EQ(adopted.count(), count);
+  EXPECT_EQ(adopted.min_value(), 5u);
+  EXPECT_EQ(adopted.max_value(), 31'337u);
+  EXPECT_EQ(adopted.Quantile(0.5), p50);
+
+  // Empty ⊕ empty stays empty, sentinel intact.
+  fleet::QuantileSketch both;
+  both.Merge(empty);
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_EQ(both.min_value(), 0u);
+  EXPECT_EQ(both.Quantile(1.0), 0u);
+}
+
+TEST(QuantileSketchTest, TopBinAbsorbsTheLargestOctave) {
+  // The last sub-bucket of octave 63 is the sketch's overflow end: the
+  // maximum u64 must land in bin kBins-1, not index past the array, and
+  // quantiles over such values must clamp to the exact max.
+  const std::uint64_t top = ~0ULL;
+  EXPECT_EQ(fleet::QuantileSketch::BinOf(top),
+            fleet::QuantileSketch::kBins - 1);
+  EXPECT_LE(fleet::QuantileSketch::BinLowerBound(
+                fleet::QuantileSketch::kBins - 1),
+            top);
+
+  fleet::QuantileSketch sketch;
+  sketch.Add(top);
+  sketch.Add(top - 1);
+  sketch.Add(1);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_EQ(sketch.min_value(), 1u);
+  EXPECT_EQ(sketch.max_value(), top);
+  // Both huge values share the top bin; the reported quantile is that bin's
+  // lower bound clamped into [min, max] — never above the exact max, and
+  // within the sketch's one-sub-bucket (12.5%) relative error below it.
+  EXPECT_LE(sketch.Quantile(0.5), top);
+  EXPECT_LE(sketch.Quantile(1.0), top);
+  EXPECT_GE(sketch.Quantile(1.0), top - (top >> 3));
+  EXPECT_EQ(sketch.Quantile(0.0), 1u);
+}
+
+TEST(QuantileSketchTest, ThreeShardMergeIsAssociative) {
+  // (a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) must agree bin for bin — this is the
+  // property that lets the census fold worker shards pairwise in whatever
+  // shape the join tree takes.
+  std::vector<fleet::QuantileSketch> shards(3);
+  Rng rng(99);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (int i = 0; i < 400; ++i) {
+      shards[s].Add(rng.UniformU64(1ULL << (4 + 20 * s)));
+    }
+  }
+
+  fleet::QuantileSketch left = shards[0];  // (a ⊕ b) ⊕ c
+  left.Merge(shards[1]);
+  left.Merge(shards[2]);
+  fleet::QuantileSketch bc = shards[1];  // a ⊕ (b ⊕ c)
+  bc.Merge(shards[2]);
+  fleet::QuantileSketch right = shards[0];
+  right.Merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.min_value(), right.min_value());
+  EXPECT_EQ(left.max_value(), right.max_value());
+  for (int permille = 0; permille <= 1000; permille += 10) {
+    EXPECT_EQ(left.Quantile(permille / 1000.0),
+              right.Quantile(permille / 1000.0))
+        << "q=" << permille / 1000.0;
+  }
+}
+
 // --- FleetAggregator --------------------------------------------------------
 
 fleet::DeviceOutcome OutcomeFor(std::size_t index, const std::string& cls) {

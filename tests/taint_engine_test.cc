@@ -101,7 +101,7 @@ TEST(TaintEngineTest, HelperRetentionSurfacesAtTheTransientEntry) {
   const analysis::AnalyzedInterface* old = Find(legacy, entry.id);
   ASSERT_NE(old, nullptr);
   EXPECT_TRUE(old->sifted_out);
-  EXPECT_EQ(old->sift_reason.find("rule 2"), 0u);
+  EXPECT_EQ(old->sift_reason, analysis::SiftReason::kRule2Transient);
 }
 
 TEST(TaintEngineTest, ReadOnlyKeyLookupBehindOneHopIsSifted) {
@@ -116,7 +116,8 @@ TEST(TaintEngineTest, ReadOnlyKeyLookupBehindOneHopIsSifted) {
   ASSERT_NE(iface, nullptr);
   EXPECT_EQ(iface->retention, analysis::taint::Retention::kReadOnlyKey);
   EXPECT_TRUE(iface->sifted_out);
-  EXPECT_EQ(iface->sift_reason,
+  EXPECT_EQ(iface->sift_reason, analysis::SiftReason::kRule3ReadOnlyKey);
+  EXPECT_EQ(iface->sift_reason_text(),
             "rule 3: binder only used as a read-only key into Map/Set/"
             "RemoteCallbackList (via com.test.Helper.lookup)");
 
@@ -165,7 +166,8 @@ TEST(TaintEngineTest, MemberSlotCapAbsorbsCalleeRetention) {
   EXPECT_EQ(iface->retention, analysis::taint::Retention::kMemberSlot);
   EXPECT_TRUE(iface->sifted_out);
   // The cap keeps the local verdict: no provenance suffix.
-  EXPECT_EQ(iface->sift_reason,
+  EXPECT_EQ(iface->sift_reason, analysis::SiftReason::kRule4MemberSlot);
+  EXPECT_EQ(iface->sift_reason_text(),
             "rule 4: member variable, previous binder revoked on the next "
             "call");
 
@@ -272,6 +274,7 @@ TEST_F(CensusGateTest, EngineMatchesTheLegacyDetectorVerdictForVerdict) {
     EXPECT_EQ(e.takes_binder, l.takes_binder) << e.id;
     EXPECT_EQ(e.sifted_out, l.sifted_out) << e.id;
     EXPECT_EQ(e.sift_reason, l.sift_reason) << e.id;
+    EXPECT_EQ(e.sift_reason_text(), l.sift_reason_text()) << e.id;
     EXPECT_EQ(e.protection, l.protection) << e.id;
     EXPECT_EQ(e.constraint_trusts_caller, l.constraint_trusts_caller) << e.id;
   }
@@ -283,7 +286,8 @@ TEST_F(CensusGateTest, EngineMatchesTheLegacyDetectorVerdictForVerdict) {
 // the byte-identity check above can't miss, but say it explicitly.
 TEST_F(CensusGateTest, NoProvenanceSuffixOnTheAospCorpus) {
   for (const analysis::AnalyzedInterface& iface : engine_->interfaces) {
-    EXPECT_EQ(iface.sift_reason.find(" (via "), std::string::npos) << iface.id;
+    EXPECT_EQ(iface.sift_reason_text().find(" (via "), std::string::npos)
+        << iface.id;
   }
 }
 
