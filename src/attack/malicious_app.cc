@@ -56,6 +56,7 @@ MaliciousApp::AttackResult MaliciousApp::Run(const RunOptions& options) {
   const std::int64_t reboots_before = system_->soft_reboots();
   result.jgr_curve.Add(result.start_us, static_cast<double>(VictimJgrCount()));
 
+  int consecutive_denied = 0;
   while (result.calls_issued < options.max_calls) {
     if (!app_->alive()) break;  // the defender (or LMK) got us
     if (system_->clock().NowUs() - result.start_us > options.max_duration_us) {
@@ -65,6 +66,12 @@ MaliciousApp::AttackResult MaliciousApp::Run(const RunOptions& options) {
     Status status = Step();
     ++result.calls_issued;
     if (!status.ok()) ++result.calls_failed;
+    if (status.code() == StatusCode::kLimitExceeded) {
+      ++result.calls_denied;
+      ++consecutive_denied;
+    } else if (status.ok()) {
+      consecutive_denied = 0;
+    }
     if (options.record_exec_times && status.ok()) {
       result.exec_times_us.Add(
           static_cast<double>(system_->clock().NowUs() - call_start));
@@ -84,6 +91,13 @@ MaliciousApp::AttackResult MaliciousApp::Run(const RunOptions& options) {
     }
     // Permission denial is terminal: the attack cannot proceed at all.
     if (status.code() == StatusCode::kPermissionDenied) break;
+    // A mitigation stonewalling every call is terminal too — without this a
+    // quota'd attacker spins until max_duration_us doing nothing.
+    if (options.stop_after_consecutive_denials > 0 &&
+        consecutive_denied >= options.stop_after_consecutive_denials) {
+      result.stopped_by_denial = true;
+      break;
+    }
   }
   result.end_us = system_->clock().NowUs();
   result.soft_reboots = system_->soft_reboots() - reboots_before;

@@ -28,12 +28,19 @@ class MaliciousApp {
     int sample_every_calls = 200;
     // Record each call's execution duration (Figs 5/6) — costs memory.
     bool record_exec_times = false;
+    // Stop after this many *consecutive* kLimitExceeded denials (a quota or
+    // rate-limit mitigation refusing admission). 0 disables the check — the
+    // Table-III per-process-limit benches deliberately spin on denials, so
+    // the default preserves their behavior.
+    int stop_after_consecutive_denials = 0;
   };
 
   struct AttackResult {
     bool succeeded = false;       // victim aborted (JGR table overflow)
     int calls_issued = 0;
     int calls_failed = 0;         // permission denials, dead objects, ...
+    int calls_denied = 0;         // kLimitExceeded subset of calls_failed
+    bool stopped_by_denial = false;  // consecutive-denial budget spent
     TimeUs start_us = 0;
     TimeUs end_us = 0;
     std::size_t peak_victim_jgr = 0;

@@ -329,6 +329,31 @@ Status BinderDriver::Transact(Pid caller, NodeId target, std::uint32_t code,
   }
   kernel_->clock().AdvanceUs(cost);
 
+  // Top-level admission gate (mitigations). Denied calls have already paid
+  // the transport cost, but never reach the callee: no log record, no kIpc
+  // event. The post-transact hook still fires so the system keeps breathing
+  // (GC, defense pump) under a deny-spinning caller.
+  const bool top_level = transact_depth_ == 0;
+  TransactInfo info;
+  if (top_level && (transact_gate_ || transact_observer_)) {
+    info.caller = caller;
+    info.caller_uid = caller_proc->uid;
+    info.target_owner = node->owner;
+    info.target = target;
+    info.descriptor_id = node->descriptor_id;
+    info.code = code;
+  }
+  if (top_level && transact_gate_) {
+    Status admitted = transact_gate_(info);
+    if (!admitted.ok()) {
+      if (post_transact_hook_) post_transact_hook_();
+      return admitted;
+    }
+    // The gate may have run transactions of its own (it shouldn't) or
+    // advanced the clock (backoff mitigations do); the node table is append-
+    // only outside reboot, so `node` stays valid here.
+  }
+
   if (defense_logging_) {
     AppendLog(caller, caller_proc->uid, node->owner, target, code,
               node->descriptor_id);
@@ -372,7 +397,10 @@ Status BinderDriver::Transact(Pid caller, NodeId target, std::uint32_t code,
     ctx.runtime->PopLocalFrame(local_frame);
   }
   --transact_depth_;
-  if (transact_depth_ == 0 && post_transact_hook_) post_transact_hook_();
+  if (transact_depth_ == 0) {
+    if (transact_observer_) transact_observer_(info, status);
+    if (post_transact_hook_) post_transact_hook_();
+  }
   return status;
 }
 

@@ -101,6 +101,36 @@ class BinderDriver {
   Status Transact(Pid caller, NodeId target, std::uint32_t code,
                   const Parcel& data, Parcel* reply);
 
+  // Identity of a top-level transaction, snapshotted before dispatch (node
+  // pointers can dangle across OnTransact — registration may reallocate the
+  // node table).
+  struct TransactInfo {
+    Pid caller;
+    Uid caller_uid;
+    Pid target_owner;
+    NodeId target;
+    DescriptorId descriptor_id = 0;
+    std::uint32_t code = 0;
+  };
+  // Admission gate, consulted for every *top-level* transaction after the
+  // transport cost is charged but before logging/dispatch. A non-OK status
+  // denies the call: the callee never runs, no IPC-log record or kIpc event
+  // is produced (the call never reached the victim), and the status is
+  // returned to the caller verbatim. The post-transact hook still runs, so
+  // virtual time and GC cadence advance even for a caller spinning on
+  // denials. Arms-race mitigations (per-UID quotas, rate limits) install
+  // here — the seam a real deployment would patch into the binder driver.
+  using TransactGate = std::function<Status(const TransactInfo&)>;
+  // Completion observer for every admitted top-level transaction, invoked
+  // after dispatch (before the post-transact hook) with the final status.
+  using TransactObserver =
+      std::function<void(const TransactInfo&, const Status&)>;
+
+  void SetTransactGate(TransactGate gate) { transact_gate_ = std::move(gate); }
+  void SetTransactObserver(TransactObserver observer) {
+    transact_observer_ = std::move(observer);
+  }
+
   // Hook invoked after every *top-level* transaction returns; the core
   // facade uses it for GC cadence, soft-reboot handling and defense pumping.
   void SetPostTransactHook(std::function<void()> hook) {
@@ -235,6 +265,8 @@ class BinderDriver {
   // already has our proxy-collect handler installed.
   std::vector<std::uint8_t> hooked_runtimes_;
   int transact_depth_ = 0;
+  TransactGate transact_gate_;
+  TransactObserver transact_observer_;
   std::function<void()> post_transact_hook_;
 };
 

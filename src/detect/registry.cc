@@ -30,6 +30,12 @@ JgrActivity FoldJgrActivity(const obs::TraceEvent* events, std::size_t count,
     if (event.category != obs::Category::kJgr || event.pid != victim_pid) {
       continue;
     }
+    // Weak-table mutations carry the *weak* count in arg0; folding them here
+    // would corrupt the strong-table trajectory the hunts reason over.
+    if (event.name == obs::LabelIdOf(obs::Label::kJgrWeakAdd) ||
+        event.name == obs::LabelIdOf(obs::Label::kJgrWeakRemove)) {
+      continue;
+    }
     const std::uint64_t after = static_cast<std::uint64_t>(event.arg0);
     if (first) {
       activity.first_count = after;

@@ -17,6 +17,20 @@ void DeviceProbe::OnBatch(const obs::TraceEvent* events, std::size_t count) {
     if (event.category != obs::Category::kJgr || event.pid != victim_pid_) {
       continue;
     }
+    // Weak-table mutations (arg0 = weak count) feed their own counters and
+    // never the strong-table activity trajectory.
+    if (event.name == obs::LabelIdOf(obs::Label::kJgrWeakAdd) ||
+        event.name == obs::LabelIdOf(obs::Label::kJgrWeakRemove)) {
+      const std::uint64_t weak_after = static_cast<std::uint64_t>(event.arg0);
+      if (event.name == obs::LabelIdOf(obs::Label::kJgrWeakAdd)) {
+        ++weak_adds_;
+      } else {
+        ++weak_removes_;
+      }
+      if (weak_after > peak_weak_jgr_) peak_weak_jgr_ = weak_after;
+      Retain(event);
+      continue;
+    }
     const std::uint64_t after = static_cast<std::uint64_t>(event.arg0);
     if (event.name == obs::LabelIdOf(obs::Label::kJgrAdd)) {
       ++jgr_adds_;
@@ -71,6 +85,10 @@ void FleetAggregator::Absorb(const DeviceOutcome& outcome) {
   if (outcome.attacker_killed) ++stats.attacker_kills;
   stats.ipc_calls += outcome.ipc_calls;
   stats.jgr_adds += outcome.jgr_adds;
+  stats.denied_attacker_calls += outcome.denied_attacker_calls;
+  stats.denied_benign_calls += outcome.denied_benign_calls;
+  stats.benign_kills += outcome.benign_kills;
+  if (outcome.stopped_by_denial) ++stats.denial_stops;
   stats.peak_jgr.Add(outcome.peak_jgr);
   for (const auto& [hunt, hits] : outcome.hunt_hits) {
     stats.hunt_hits[hunt] += hits;
@@ -88,6 +106,10 @@ void FleetAggregator::MergeFrom(const FleetAggregator& other) {
     ours.attacker_kills += theirs.attacker_kills;
     ours.ipc_calls += theirs.ipc_calls;
     ours.jgr_adds += theirs.jgr_adds;
+    ours.denied_attacker_calls += theirs.denied_attacker_calls;
+    ours.denied_benign_calls += theirs.denied_benign_calls;
+    ours.benign_kills += theirs.benign_kills;
+    ours.denial_stops += theirs.denial_stops;
     ours.tte_us.Merge(theirs.tte_us);
     ours.peak_jgr.Merge(theirs.peak_jgr);
     for (const auto& [hunt, hits] : theirs.hunt_hits) {
@@ -128,6 +150,10 @@ harness::Json FleetAggregator::StatsJson(const ClassStats& stats) {
   j.Set("attacker_kills", stats.attacker_kills);
   j.Set("ipc_calls", stats.ipc_calls);
   j.Set("jgr_adds", stats.jgr_adds);
+  j.Set("denied_attacker_calls", stats.denied_attacker_calls);
+  j.Set("denied_benign_calls", stats.denied_benign_calls);
+  j.Set("benign_kills", stats.benign_kills);
+  j.Set("denial_stops", stats.denial_stops);
   j.Set("time_to_exhaustion_us", SketchJson(stats.tte_us));
   j.Set("peak_jgr", SketchJson(stats.peak_jgr));
   harness::Json hunts = harness::Json::Object();
@@ -150,6 +176,10 @@ harness::Json FleetAggregator::ToJson() const {
     overall.attacker_kills += stats.attacker_kills;
     overall.ipc_calls += stats.ipc_calls;
     overall.jgr_adds += stats.jgr_adds;
+    overall.denied_attacker_calls += stats.denied_attacker_calls;
+    overall.denied_benign_calls += stats.denied_benign_calls;
+    overall.benign_kills += stats.benign_kills;
+    overall.denial_stops += stats.denial_stops;
     overall.tte_us.Merge(stats.tte_us);
     overall.peak_jgr.Merge(stats.peak_jgr);
     for (const auto& [hunt, hits] : stats.hunt_hits) {

@@ -36,6 +36,17 @@ struct DeviceOutcome {
   std::int64_t ipc_calls = 0;
   std::int64_t jgr_adds = 0;
   std::uint64_t peak_jgr = 0;  // system_server table high-water mark
+  // Weak-global table high-water mark. Non-zero only when the victim runtime
+  // emits weak events (arms weakref_churn cells opt in).
+  std::uint64_t peak_weak_jgr = 0;
+  // Mitigation collateral (arms cells; zero elsewhere): calls denied by a
+  // MitigationPolicy split by issuer, and benign apps killed by the
+  // defender's recovery pass.
+  std::int64_t denied_attacker_calls = 0;
+  std::int64_t denied_benign_calls = 0;
+  std::int64_t benign_kills = 0;
+  // The attack strategy gave up after its consecutive-denial budget.
+  bool stopped_by_denial = false;
   DurationUs virtual_duration_us = 0;
   // The device's hunt pass: per-hunt detection counts plus the detections
   // themselves (with provenance), in hunt registration order.
@@ -64,6 +75,11 @@ class DeviceProbe : public obs::EventSink {
   std::int64_t ipc_calls() const { return ipc_calls_; }
   std::int64_t jgr_adds() const { return jgr_adds_; }
   std::uint64_t peak_jgr() const { return peak_jgr_; }
+  // Weak-table counters; only advance when the victim runtime opts into
+  // weak-event emission (they ride the same kJgr category).
+  std::int64_t weak_adds() const { return weak_adds_; }
+  std::int64_t weak_removes() const { return weak_removes_; }
+  std::uint64_t peak_weak_jgr() const { return peak_weak_jgr_; }
   const detect::JgrActivity& jgr_activity() const { return activity_; }
 
   // The retained window in stream order (empty when the ring is disabled).
@@ -77,6 +93,9 @@ class DeviceProbe : public obs::EventSink {
   std::int64_t ipc_calls_ = 0;
   std::int64_t jgr_adds_ = 0;
   std::uint64_t peak_jgr_ = 0;
+  std::int64_t weak_adds_ = 0;
+  std::int64_t weak_removes_ = 0;
+  std::uint64_t peak_weak_jgr_ = 0;
   detect::JgrActivity activity_;
   bool saw_jgr_ = false;
   std::vector<obs::TraceEvent> ring_;
@@ -106,6 +125,10 @@ class FleetAggregator {
     std::uint64_t attacker_kills = 0;
     std::int64_t ipc_calls = 0;
     std::int64_t jgr_adds = 0;
+    std::int64_t denied_attacker_calls = 0;
+    std::int64_t denied_benign_calls = 0;
+    std::int64_t benign_kills = 0;
+    std::uint64_t denial_stops = 0;  // devices whose attack denied out
     QuantileSketch tte_us;    // time-to-exhaustion of exhausted devices
     QuantileSketch peak_jgr;  // high-water mark of every device
     // Per-hunt detection counts (additive; ordered for stable JSON).

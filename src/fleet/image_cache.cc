@@ -1,0 +1,51 @@
+#include "fleet/image_cache.h"
+
+namespace jgre::fleet {
+
+Result<std::shared_ptr<const snapshot::SystemSnapshot>> BootImageCache::Get(
+    std::uint64_t key, const Builder& builder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seen_keys_.insert(key);
+  if (auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to MRU
+    return lru_.front().second;
+  }
+  // Miss: build under the lock. Serializing builds is deliberate — two
+  // workers missing on the same key must not boot the prefix twice, and a
+  // boot is orders of magnitude heavier than any restore it briefly blocks.
+  auto built = builder();
+  if (!built.ok()) return built.status();
+  ++builds_;
+  auto image = std::make_shared<const snapshot::SystemSnapshot>(
+      std::move(built).value());
+  lru_.emplace_front(key, image);
+  index_[key] = lru_.begin();
+  if (lru_.size() > budget_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return image;
+}
+
+std::size_t BootImageCache::distinct_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_keys_.size();
+}
+
+std::size_t BootImageCache::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t BootImageCache::builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builds_;
+}
+
+std::uint64_t BootImageCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace jgre::fleet

@@ -1,0 +1,72 @@
+// BootImageCache — LRU-budgeted warmed boot images keyed by sim::PrefixKey.
+//
+// FleetRunner used to demand that a fleet fit a hard cap of distinct boot
+// images, which made image count a matrix-authoring constraint. The cache
+// replaces the cap with a residency *budget*: any number of distinct prefix
+// keys may flow through, at most `budget` images stay warm, and the least
+// recently used image is evicted when a new key needs a slot. Evicted keys
+// are rebuilt on their next use — correctness is unaffected (BootPrefix is
+// deterministic, so a rebuild reproduces the same bytes), only boot cost is.
+//
+// Thread safety: Get() is safe to call from harness worker threads. Images
+// are handed out as shared_ptr<const SystemSnapshot>, so an eviction never
+// invalidates an image a worker is still restoring from.
+#ifndef JGRE_FLEET_IMAGE_CACHE_H_
+#define JGRE_FLEET_IMAGE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.h"
+#include "snapshot/snapshot.h"
+
+namespace jgre::fleet {
+
+class BootImageCache {
+ public:
+  using Builder = std::function<Result<snapshot::SystemSnapshot>()>;
+
+  // `budget` is clamped to at least 1 resident image.
+  explicit BootImageCache(std::size_t budget)
+      : budget_(budget == 0 ? 1 : budget) {}
+
+  // Returns the image for `key`, building it via `builder` on a miss (under
+  // the cache lock: concurrent requests for the same key build once). On a
+  // miss that overflows the budget, the least recently used image is
+  // dropped from residency — outstanding shared_ptrs keep it alive.
+  Result<std::shared_ptr<const snapshot::SystemSnapshot>> Get(
+      std::uint64_t key, const Builder& builder);
+
+  std::size_t budget() const { return budget_; }
+
+  // Distinct keys ever requested. Deterministic for a fixed fleet — unlike
+  // builds()/evictions(), which depend on cross-thread arrival order once
+  // rebuilds happen — so this is the only counter reports may publish.
+  std::size_t distinct_keys() const;
+
+  std::size_t resident() const;
+  std::uint64_t builds() const;
+  std::uint64_t evictions() const;
+
+ private:
+  using Entry =
+      std::pair<std::uint64_t, std::shared_ptr<const snapshot::SystemSnapshot>>;
+
+  mutable std::mutex mu_;
+  std::size_t budget_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::set<std::uint64_t> seen_keys_;
+  std::uint64_t builds_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace jgre::fleet
+
+#endif  // JGRE_FLEET_IMAGE_CACHE_H_

@@ -1,7 +1,7 @@
 #include "fleet/runner.h"
 
 #include <algorithm>
-#include <map>
+#include <set>
 #include <stdexcept>
 
 #include "common/strings.h"
@@ -101,6 +101,16 @@ DeviceOutcome RunDeviceScenario(const FleetDeviceSpec& spec,
       attacker_process != nullptr && !attacker_process->alive();
   out.virtual_duration_us = system.clock().NowUs() - start;
 
+  FinishDeviceOutcome(device, probe, catalog, &out);
+  return out;
+}
+
+void FinishDeviceOutcome(sim::DeviceSim& device, DeviceProbe& probe,
+                         const detect::InterfaceCatalog* catalog,
+                         DeviceOutcome* out) {
+  core::AndroidSystem& system = device.system();
+  defense::JgreDefender* defender = device.defender();
+
   // Settle the runtimes before reducing the probe: a final collection strips
   // in-flight transient references, so the hunts below see *retention* — the
   // paper's exploitability criterion — rather than garbage the next GC would
@@ -109,9 +119,10 @@ DeviceOutcome RunDeviceScenario(const FleetDeviceSpec& spec,
 
   // Unsubscribe drains the probe's staged events first — the read barrier.
   device.bus().Unsubscribe(&probe);
-  out.ipc_calls = probe.ipc_calls();
-  out.jgr_adds = probe.jgr_adds();
-  out.peak_jgr = probe.peak_jgr();
+  out->ipc_calls = probe.ipc_calls();
+  out->jgr_adds = probe.jgr_adds();
+  out->peak_jgr = probe.peak_jgr();
+  out->peak_weak_jgr = probe.peak_weak_jgr();
 
   // The per-device hunt pass: every trace-driven hunt in the standard
   // battery over what the probe observed (the static and fuzz hunts skip
@@ -131,53 +142,49 @@ DeviceOutcome RunDeviceScenario(const FleetDeviceSpec& spec,
     return system.driver().DescriptorName(id);
   };
   sources.catalog = catalog;
-  out.detections = registry.RunAll(sources, detect::Scope{});
-  for (const detect::Detection& detection : out.detections) {
-    ++out.hunt_hits[detection.hunt];
+  out->detections = registry.RunAll(sources, detect::Scope{});
+  for (const detect::Detection& detection : out->detections) {
+    ++out->hunt_hits[detection.hunt];
   }
-  return out;
 }
 
 FleetRunner::FleetRunner(std::vector<FleetDeviceSpec> fleet,
                          FleetOptions options)
-    : fleet_(std::move(fleet)), options_(options) {}
+    : fleet_(std::move(fleet)),
+      options_(options),
+      cache_(options_.max_images) {}
 
 Status FleetRunner::Prepare() {
   if (prepared_) return Status::Ok();
-  std::map<std::uint64_t, std::size_t> image_index;
-  image_of_.resize(fleet_.size());
+  std::set<std::uint64_t> keys;
+  key_of_.resize(fleet_.size());
   for (std::size_t i = 0; i < fleet_.size(); ++i) {
-    const std::uint64_t key = sim::PrefixKey(fleet_[i].device);
-    auto it = image_index.find(key);
-    if (it != image_index.end()) {
-      image_of_[i] = it->second;
-      continue;
-    }
-    if (image_index.size() == options_.max_images) {
-      return InvalidArgument(StrCat(
-          "fleet needs more than ", options_.max_images,
-          " boot images; device ", i, " adds a new prefix key"));
-    }
-    sim::DeviceFactory factory(fleet_[i].device);
-    std::unique_ptr<core::AndroidSystem> warmed = factory.BootPrefix();
-    auto captured = snapshot::SystemSnapshot::Capture(*warmed);
-    if (!captured.ok()) return captured.status();
-    image_of_[i] = images_.size();
-    image_index.emplace(key, images_.size());
-    images_.push_back(std::move(captured).value());
+    key_of_[i] = sim::PrefixKey(fleet_[i].device);
+    keys.insert(key_of_[i]);
   }
+  distinct_keys_ = keys.size();
   prepared_ = true;
   return Status::Ok();
 }
 
 std::unique_ptr<core::AndroidSystem> FleetRunner::RestoreDevice(
-    std::size_t index) const {
+    std::size_t index) {
   const sim::DeviceSpec& spec = fleet_[index].device;
+  auto image = cache_.Get(key_of_[index], [&spec] {
+    sim::DeviceFactory factory(spec);
+    std::unique_ptr<core::AndroidSystem> warmed = factory.BootPrefix();
+    return snapshot::SystemSnapshot::Capture(*warmed);
+  });
+  if (!image.ok()) {
+    throw std::runtime_error(StrCat("FleetRunner (device ", index,
+                                    "): boot image build failed: ",
+                                    image.status().ToString()));
+  }
   core::SystemConfig sys_config = spec.system_config();
   sys_config.seed = spec.seed();
   auto system = std::make_unique<core::AndroidSystem>(sys_config);
   system->Boot();
-  Status restored = images_[image_of_[index]].RestoreInto(system.get());
+  Status restored = image.value()->RestoreInto(system.get());
   if (!restored.ok()) {
     throw std::runtime_error(StrCat("FleetRunner (device ", index,
                                     "): restore failed: ",
@@ -191,14 +198,19 @@ FleetResult FleetRunner::Run() {
   if (!prepared.ok()) throw std::runtime_error(prepared.ToString());
 
   FleetResult result;
-  result.image_count = images_.size();
+  result.image_count = distinct_keys_;
   result.outcomes = harness::RunOrdered<DeviceOutcome>(
       fleet_.size(), options_.jobs, [this](std::size_t i) {
         sim::DeviceFactory factory(fleet_[i].device);
         std::unique_ptr<sim::DeviceSim> device =
             factory.CreateDeviceOn(RestoreDevice(i));
-        return RunDeviceScenario(fleet_[i], *device, options_.catalog);
+        return options_.scenario_driver
+                   ? options_.scenario_driver(fleet_[i], *device,
+                                              options_.catalog)
+                   : RunDeviceScenario(fleet_[i], *device, options_.catalog);
       });
+  result.image_builds = cache_.builds();
+  result.image_evictions = cache_.evictions();
   // Fold in submission order; MergeFrom-based shard folds land on the same
   // bytes (the sketch-merge invariance the tests pin).
   for (const DeviceOutcome& outcome : result.outcomes) {

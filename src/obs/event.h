@@ -79,10 +79,17 @@ enum class Label : LabelId {
   kIncidentIdentified,
   kDefenseKill,
   kIncidentRecovered,
+  // Weak-global table mutations (appended: well-known ids are frozen in enum
+  // order, so new labels only ever extend the tail). Emission is opt-in per
+  // runtime — see rt::JavaVMExt::SetWeakEventEmission — because every
+  // BinderProxy mint touches the weak table and always-on emission would
+  // reshape every existing trace.
+  kJgrWeakAdd,
+  kJgrWeakRemove,
 };
 
 inline constexpr LabelId kWellKnownLabelCount =
-    static_cast<LabelId>(Label::kIncidentRecovered) + 1;
+    static_cast<LabelId>(Label::kJgrWeakRemove) + 1;
 
 constexpr LabelId LabelIdOf(Label label) {
   return static_cast<LabelId>(label);
@@ -116,6 +123,10 @@ constexpr const char* WellKnownLabelName(Label label) {
       return "defense_kill";
     case Label::kIncidentRecovered:
       return "incident_recovered";
+    case Label::kJgrWeakAdd:
+      return "jgr_weak_add";
+    case Label::kJgrWeakRemove:
+      return "jgr_weak_remove";
   }
   return "?";
 }

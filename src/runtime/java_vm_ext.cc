@@ -49,12 +49,17 @@ Result<IndirectRef> JavaVMExt::AddWeakGlobalRef(ObjectId obj) {
   auto result = weak_globals_.Add(weak_globals_.CurrentCookie(), obj);
   if (!result.ok()) {
     Abort(StrCat("JNI ERROR (app bug): ", weak_globals_.DumpSummary()));
+    return result;
   }
+  NotifyWeak(obs::Label::kJgrWeakAdd, obj);
   return result;
 }
 
 bool JavaVMExt::DeleteWeakGlobalRef(IndirectRef ref) {
-  return weak_globals_.Remove(weak_globals_.CurrentCookie(), ref);
+  auto obj = weak_globals_.Get(ref);
+  if (!weak_globals_.Remove(weak_globals_.CurrentCookie(), ref)) return false;
+  NotifyWeak(obs::Label::kJgrWeakRemove, obj.ok() ? obj.value() : ObjectId{});
+  return true;
 }
 
 Result<ObjectId> JavaVMExt::DecodeGlobal(IndirectRef ref) const {
@@ -81,6 +86,14 @@ void JavaVMExt::NotifyRemove(ObjectId obj) {
         obs::Category::kJgr, obs::Label::kJgrRemove, now, source_.pid,
         source_.uid, static_cast<std::int64_t>(count), obj.value()));
   }
+}
+
+void JavaVMExt::NotifyWeak(obs::Label label, ObjectId obj) {
+  if (!emit_weak_events_) return;
+  if (!source_.Active(obs::Category::kJgr)) return;
+  source_.bus->Emit(obs::MakeEvent(
+      obs::Category::kJgr, label, clock_->NowUs(), source_.pid, source_.uid,
+      static_cast<std::int64_t>(weak_globals_.Size()), obj.value()));
 }
 
 void JavaVMExt::Abort(const std::string& reason) {

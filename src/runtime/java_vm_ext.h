@@ -60,6 +60,14 @@ class JavaVMExt {
     abort_handler_ = std::move(handler);
   }
 
+  // Opt-in kJgrWeakAdd/kJgrWeakRemove emission. Off by default: every
+  // BinderProxy mint goes through the weak table (the libbinder proxy
+  // cache), so unconditional emission would reshape every existing kJgr
+  // stream. Scenario drivers that watch the weak table (the arms-race
+  // weakref_churn cells) flip it on for their victim runtime.
+  void SetWeakEventEmission(bool enabled) { emit_weak_events_ = enabled; }
+  bool weak_event_emission() const { return emit_weak_events_; }
+
   // Checkpointing: both reference tables plus the abort flag. The abort
   // handler and observability source are wiring, re-attached by the owner.
   void SaveState(snapshot::Serializer& out) const {
@@ -83,6 +91,7 @@ class JavaVMExt {
  private:
   void NotifyAdd(ObjectId obj);
   void NotifyRemove(ObjectId obj);
+  void NotifyWeak(obs::Label label, ObjectId obj);
   void Abort(const std::string& reason);
 
   SimClock* clock_;
@@ -92,6 +101,7 @@ class JavaVMExt {
   IndirectReferenceTable weak_globals_;
   std::function<void(const std::string&)> abort_handler_;
   bool aborted_ = false;
+  bool emit_weak_events_ = false;
 };
 
 }  // namespace jgre::rt

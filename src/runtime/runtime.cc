@@ -18,8 +18,11 @@ constexpr std::size_t kLocalsMax = 512;
 Runtime::Runtime(SimClock* clock, Config config)
     : clock_(clock),
       config_(std::move(config)),
-      vm_(clock, config_.name, config_.max_global_refs, kWeakGlobalsMax,
-          config_.obs),
+      // ART 6 caps both tables at kGlobalsMax; scaling the weak table with
+      // the configured strong cap keeps that symmetry at every fleet
+      // operating point (the weakref_churn arms strategy exhausts it).
+      vm_(clock, config_.name, config_.max_global_refs,
+          config_.max_global_refs, config_.obs),
       locals_(kLocalsMax, IndirectRefKind::kLocal,
               StrCat(config_.name, " JNI local")) {
   // Runtime-init references (WellKnownClasses::CacheClass etc.). They are

@@ -3,6 +3,8 @@
 // and ServiceManager.
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "binder/binder_driver.h"
 #include "binder/parcel.h"
 #include "binder/remote_callback_list.h"
@@ -427,6 +429,43 @@ TEST_F(BinderTest, RemoteCallbackListPrunesDeadClients) {
   EXPECT_EQ(list.RegisteredCount(), 0u);
   EXPECT_EQ(list.dead_callbacks(), 5);
   EXPECT_EQ(died.size(), 5u);
+  ServerRuntime()->CollectGarbage();
+  EXPECT_EQ(ServerRuntime()->JgrCount(), before);
+}
+
+TEST_F(BinderTest, RemoteCallbackListChurnIsBoundedAndLeavesNoResidue) {
+  // The death_recipient_churn primitive: register a fresh callback, then
+  // unregister the oldest past a sliding window, for many cycles. Retention
+  // while churning is bounded by the window (2 JGRs per live registration)
+  // plus the unreclaimed proxies of unregistered callbacks, which each GC
+  // sweeps; after draining, the table returns exactly to baseline.
+  RemoteCallbackList list(&driver_, server_pid_, "test.List");
+  const std::size_t before = ServerRuntime()->JgrCount();
+  constexpr std::size_t kWindow = 8;
+  constexpr int kCycles = 200;
+  std::deque<NodeId> window;
+  for (int i = 0; i < kCycles; ++i) {
+    auto cb = driver_.MakeBinder<EchoBinder>(client_pid_);
+    auto m = driver_.MaterializeBinder(cb->node(), server_pid_);
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(list.Register(m.value()));
+    window.push_back(cb->node());
+    if (window.size() > kWindow) {
+      EXPECT_TRUE(list.Unregister(window.front()));
+      window.pop_front();
+    }
+    if (i % 16 == 15) {
+      ServerRuntime()->CollectGarbage();
+      // Post-GC, only the window's registrations remain retained.
+      EXPECT_EQ(ServerRuntime()->JgrCount(), before + 2 * window.size());
+    }
+  }
+  EXPECT_EQ(list.RegisteredCount(), kWindow);
+  while (!window.empty()) {
+    EXPECT_TRUE(list.Unregister(window.front()));
+    window.pop_front();
+  }
+  EXPECT_EQ(list.RegisteredCount(), 0u);
   ServerRuntime()->CollectGarbage();
   EXPECT_EQ(ServerRuntime()->JgrCount(), before);
 }

@@ -173,6 +173,41 @@ TEST(DetectionFuserTest, UpgradesOncePerExtraEvidenceModality) {
   EXPECT_EQ(ranked[0].certainty, Certainty::kConfirmed);
 }
 
+TEST(DetectionFuserTest, SameModalityAccusationsDoNotRaiseCertainty) {
+  // Two trace-modality hunts accusing the same interface are one modality of
+  // evidence, not two: corroboration must come from an *independent* channel
+  // (static witness, fuzz reproducer) to upgrade the lattice. Same-channel
+  // detections join the group without moving certainty.
+  Detection drip =
+      MakeDetection("followup.slow-drip", "svc.m", Certainty::kWeak);
+  drip.trace.events.push_back(obs::TraceEvent{});
+  Detection churn =
+      MakeDetection("followup.death-churn", "svc.m", Certainty::kWeak);
+  churn.trace.events.push_back(obs::TraceEvent{});
+
+  detect::DetectionFuser fuser;
+  fuser.Add(drip);
+  fuser.Add(churn);
+
+  const std::vector<detect::RankedFinding> ranked = fuser.Ranked();
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].detections.size(), 2u);
+  EXPECT_EQ(ranked[0].evidence_modalities(), 1);
+  EXPECT_EQ(ranked[0].base_certainty, Certainty::kWeak);
+  EXPECT_EQ(ranked[0].certainty, Certainty::kWeak);  // no upgrade
+
+  // A second modality on the same key upgrades exactly one step.
+  Detection sift =
+      MakeDetection("static.sift-rules", "svc.m", Certainty::kWeak);
+  sift.witness.reason = "death-recipient";
+  sift.witness.steps.push_back({analysis::taint::StepKind::kIpcEntry, "svc.m"});
+  fuser.Add(sift);
+  const std::vector<detect::RankedFinding> upgraded = fuser.Ranked();
+  ASSERT_EQ(upgraded.size(), 1u);
+  EXPECT_EQ(upgraded[0].evidence_modalities(), 2);
+  EXPECT_EQ(upgraded[0].certainty, Certainty::kStrong);
+}
+
 TEST(DetectionFuserTest, NeverDowngradesAndRankIsAddOrderIndependent) {
   Detection confirmed =
       MakeDetection("fuzz.exhaustion-oracle", "x.a", Certainty::kConfirmed);

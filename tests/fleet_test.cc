@@ -336,14 +336,31 @@ TEST(FleetRunnerTest, CensusIsByteIdenticalAcrossJobs) {
   EXPECT_TRUE(any_activity);
 }
 
-TEST(FleetRunnerTest, RejectsFleetsNeedingTooManyImages) {
+TEST(FleetRunnerTest, ImageBudgetEvictsLruInsteadOfRejecting) {
   fleet::FleetMatrix matrix = TinyMatrix();
   matrix.jgr_caps = {6'400, 12'800, 25'600};
-  fleet::FleetOptions options;
-  options.max_images = 2;
-  fleet::FleetRunner runner(fleet::ExpandMatrix(matrix), options);
-  const Status status = runner.Prepare();
-  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  // Three distinct prefix keys on a residency budget of two: the runner must
+  // evict cold images and rebuild them on re-use, not refuse the fleet.
+  fleet::FleetOptions tight_options;
+  tight_options.max_images = 2;
+  fleet::FleetRunner tight(fleet::ExpandMatrix(matrix), tight_options);
+  ASSERT_TRUE(tight.Prepare().ok());
+  EXPECT_EQ(tight.image_count(), 3u);
+  const fleet::FleetResult constrained = tight.Run();
+  EXPECT_EQ(constrained.image_count, 3u);
+  EXPECT_GE(constrained.image_builds, 3u);
+
+  // Rebuilt images restore the same bytes, so the census is unchanged by
+  // the budget.
+  fleet::FleetOptions roomy_options;
+  roomy_options.max_images = 8;
+  fleet::FleetRunner roomy(fleet::ExpandMatrix(matrix), roomy_options);
+  const fleet::FleetResult unconstrained = roomy.Run();
+  EXPECT_EQ(unconstrained.image_builds, 3u);
+  EXPECT_EQ(unconstrained.image_evictions, 0u);
+  EXPECT_EQ(constrained.aggregator.ToJson().Dump(),
+            unconstrained.aggregator.ToJson().Dump());
 }
 
 }  // namespace

@@ -111,6 +111,73 @@ TEST(JavaVmExtTest, BusSubscribersSeeEveryMutation) {
   EXPECT_EQ(sink.removes, 1);  // detached
 }
 
+class WeakCountingSink : public obs::EventSink {
+ public:
+  void OnEvent(const obs::TraceEvent& event) override {
+    if (event.category != obs::Category::kJgr) return;
+    if (event.name == obs::LabelIdOf(obs::Label::kJgrWeakAdd)) weak_adds++;
+    if (event.name == obs::LabelIdOf(obs::Label::kJgrWeakRemove)) {
+      weak_removes++;
+    }
+  }
+  int weak_adds = 0, weak_removes = 0;
+};
+
+TEST(JavaVmExtTest, WeakGlobalOscillationLeavesNoResidue) {
+  // The weakref_churn primitive: NewWeakGlobalRef/DeleteWeakGlobalRef pairs
+  // oscillating over fresh objects. The table must return to empty every
+  // cycle — no slot residue, no free-list exhaustion — and emission stays
+  // silent until a scenario opts in (every proxy mint crosses this table,
+  // so unconditional emission would reshape every kJgr stream).
+  SimClock clock;
+  obs::EventBus bus;
+  JavaVMExt vm(&clock, "vm", 100, 100, obs::Source{&bus, 1, -1});
+  WeakCountingSink sink;
+  bus.Subscribe(&sink, obs::MaskOf(obs::Category::kJgr));
+  for (int i = 0; i < 64; ++i) {
+    auto ref = vm.AddWeakGlobalRef(ObjectId{i + 1});
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(vm.WeakGlobalRefCount(), 1u);
+    EXPECT_TRUE(vm.DeleteWeakGlobalRef(ref.value()));
+    EXPECT_EQ(vm.WeakGlobalRefCount(), 0u);
+  }
+  EXPECT_EQ(sink.weak_adds, 0);  // off by default
+
+  vm.SetWeakEventEmission(true);
+  for (int i = 0; i < 32; ++i) {
+    auto ref = vm.AddWeakGlobalRef(ObjectId{1000 + i});
+    ASSERT_TRUE(ref.ok());
+    EXPECT_TRUE(vm.DeleteWeakGlobalRef(ref.value()));
+  }
+  EXPECT_EQ(sink.weak_adds, 32);
+  EXPECT_EQ(sink.weak_removes, 32);
+  EXPECT_EQ(vm.WeakGlobalRefCount(), 0u);
+  EXPECT_FALSE(vm.aborted());
+}
+
+TEST(JavaVmExtTest, WeakTableOverflowAbortsLikeTheStrongTable) {
+  // ART 6 caps the weak table like the strong one; the weakref_churn attack
+  // exists because this overflow is just as fatal but invisible to a
+  // strong-table-only monitor.
+  SimClock clock;
+  JavaVMExt vm(&clock, "vm", 100, 3);
+  int aborts = 0;
+  std::string reason;
+  vm.SetAbortHandler([&](const std::string& r) {
+    ++aborts;
+    reason = r;
+  });
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(vm.AddWeakGlobalRef(ObjectId{i + 1}).ok());
+  }
+  EXPECT_EQ(vm.GlobalRefCount(), 0u);  // the monitored table never moved
+  auto overflow = vm.AddWeakGlobalRef(ObjectId{99});
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_TRUE(vm.aborted());
+  EXPECT_EQ(aborts, 1);
+  EXPECT_NE(reason.find("JNI ERROR (app bug)"), std::string::npos);
+}
+
 TEST(RuntimeTest, BootClassRefsArePinnedForever) {
   SimClock clock;
   Runtime runtime(&clock, SmallConfig(1000, 50));
