@@ -21,6 +21,7 @@
 // fleet devices land in submission order, hunts are pure functions of their
 // sources, and the fuser's output is canonical — BENCH_detect.json is
 // byte-identical for any --jobs value.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -89,11 +90,33 @@ int main(int argc, char** argv) {
   spec.json_name = "detect";
   spec.default_seed = 42;
   spec.extra_flags = {
-      {"--budget", true, "fuzz screening executions (default 48)"}};
+      {"--budget", true, "fuzz screening executions (default 48)"},
+      {"--list-hunts", false,
+       "print each hunt id with its declared data sources and exit"}};
   const harness::HarnessOptions opts =
       harness::ParseHarnessOptions(spec, argc, argv);
   if (opts.help) return 0;
   if (!opts.error.empty()) return 2;
+
+  if (std::find(opts.extra.begin(), opts.extra.end(), "--list-hunts") !=
+      opts.extra.end()) {
+    const detect::HuntRegistry battery = detect::HuntRegistry::WithDefaultHunts();
+    std::printf("%-32s %-24s %s\n", "HUNT", "REQUIRES", "DESCRIPTION");
+    for (const auto& hunt : battery.hunts()) {
+      std::string requires_list;
+      for (unsigned bit = 0; bit < 8; ++bit) {
+        if ((hunt->required_sources() & (1u << bit)) == 0) continue;
+        if (!requires_list.empty()) requires_list += "+";
+        requires_list +=
+            detect::DataSourceName(static_cast<detect::DataSource>(bit));
+      }
+      std::printf("%-32s %-24s %.*s\n", std::string(hunt->id()).c_str(),
+                  requires_list.c_str(),
+                  static_cast<int>(hunt->description().size()),
+                  hunt->description().data());
+    }
+    return 0;
+  }
   // Fleet devices detonate in parallel; their death rattles would interleave
   // across workers. The census reports the outcomes deterministically.
   SetLogLevel(LogLevel::kNone);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analysis/pipeline.h"
+#include "analysis/protocol/protocol_graph.h"
 #include "common/types.h"
 #include "defense/jgre_defender.h"
 #include "detect/catalog.h"
@@ -42,6 +43,7 @@ enum class DataSource : std::uint8_t {
   kTraceEvents,     // an observed TraceEvent window (+ JGR activity stats)
   kFuzzFindings,    // fuzz::Finding list from a campaign
   kDefender,        // live defense::JgreDefender (incident reports)
+  kProtocolGraph,   // analysis::protocol::ProtocolGraph (cross-call chains)
 };
 
 using SourceMask = std::uint8_t;
@@ -120,6 +122,11 @@ struct DataSources {
 
   const defense::JgreDefender* defender = nullptr;
 
+  // Cross-transaction dataflow graph built from the same analysis report.
+  // Chains index into analysis->interfaces, so a run wiring `protocol` must
+  // wire the matching `analysis` (the registry enforces this by mask).
+  const analysis::protocol::ProtocolGraph* protocol = nullptr;
+
   // Resolves an interned descriptor id (the high half of a kIpc event's
   // type key) back to the interface string. Bound to the run's binder driver
   // when IPC attribution is possible.
@@ -137,6 +144,7 @@ struct DataSources {
     if (trace_events != nullptr) mask |= MaskOf(DataSource::kTraceEvents);
     if (fuzz_findings != nullptr) mask |= MaskOf(DataSource::kFuzzFindings);
     if (defender != nullptr) mask |= MaskOf(DataSource::kDefender);
+    if (protocol != nullptr) mask |= MaskOf(DataSource::kProtocolGraph);
     return mask;
   }
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <set>
 
 #include "common/strings.h"
 
@@ -230,6 +231,60 @@ std::vector<Detection> ExhaustionOracleHunt::Run(const DataSources& sources,
     const int calls = std::max(finding.minimized_calls, 1);
     d.reproducer.calls.assign(static_cast<std::size_t>(calls),
                               finding.witness);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+// --- ProtocolChainHunt -------------------------------------------------------
+
+std::vector<Detection> ProtocolChainHunt::Run(const DataSources& sources,
+                                              const Scope& scope) const {
+  const analysis::AnalysisReport& report = *sources.analysis;
+  const analysis::protocol::ProtocolGraph& graph = *sources.protocol;
+
+  std::vector<Detection> out;
+  std::set<std::size_t> accused;
+  for (const analysis::protocol::ProtocolChain& chain : graph.chains()) {
+    const std::size_t terminal = chain.entries.back();
+    if (!accused.insert(terminal).second) continue;
+    const analysis::AnalyzedInterface& sink = report.interfaces[terminal];
+    if (!scope.AdmitsService(sink.service)) continue;
+
+    Detection d;
+    d.hunt = std::string(id());
+    d.interface_id = sink.id;
+    d.service = sink.service;
+    d.method = sink.method;
+    // The static chain as provenance: the minted domains hopped and the
+    // entry path A → B → sink, plus the terminal's own taint witness down to
+    // IndirectReferenceTable::Add.
+    std::string path;
+    for (std::size_t j = 0; j < chain.entries.size(); ++j) {
+      if (j > 0) path += " \xe2\x86\x92 ";  // " → "
+      path += report.interfaces[chain.entries[j]].id;
+    }
+    const analysis::protocol::ProtocolEdge& last =
+        graph.edges()[chain.edge_ids.back()];
+    d.note = StrCat("retains ", model::ValueKindName(last.kind), " minted by ",
+                    chain.multi_service ? "another service" : "the same service",
+                    ": ", path);
+    d.witness = sink.witness;
+    d.certainty = Certainty::kStrong;
+
+    // Fuse with the campaign when the run supplies one: a confirmed finding
+    // on the terminal upgrades the chain to a reproduced exhaustion.
+    if (sources.fuzz_findings != nullptr) {
+      for (const fuzz::Finding& finding : *sources.fuzz_findings) {
+        if (finding.id != sink.id) continue;
+        d.growth_per_call = finding.growth_per_call;
+        d.reproducer.calls.assign(
+            static_cast<std::size_t>(std::max(finding.minimized_calls, 1)),
+            finding.witness);
+        d.certainty = Certainty::kConfirmed;
+        break;
+      }
+    }
     out.push_back(std::move(d));
   }
   return out;

@@ -74,6 +74,27 @@ class AlarmReportHunt : public Hunt {
                              const Scope& scope) const override;
 };
 
+// Protocol hunt: cross-call retention chains from the ProtocolGraph. One
+// detection per distinct terminal interface, carrying the static chain
+// (`A → B → sink`, the first — shortest-from-its-mint — chain the canonical
+// enumeration reaches it by) in the note, the terminal's taint witness as
+// provenance, and — when the run also supplies fuzz findings — the confirmed
+// reproducer for the terminal, fused into the same detection. Requires the
+// protocol-graph modality explicitly, so analysis-only runs (the census's
+// static pass) never see it.
+class ProtocolChainHunt : public Hunt {
+ public:
+  std::string_view id() const override { return "protocol.cross-call-retention"; }
+  std::string_view description() const override {
+    return "multi-transaction retention chains over minted values";
+  }
+  SourceMask required_sources() const override {
+    return MaskOf(DataSource::kAnalysis) | MaskOf(DataSource::kProtocolGraph);
+  }
+  std::vector<Detection> Run(const DataSources& sources,
+                             const Scope& scope) const override;
+};
+
 // Follow-up hunt: sustained net JGR retention at a creation rate low enough
 // that the threshold monitor never alarms (the slow-drip evasion profile).
 // Fires only when no incident was raised — a raised incident is the alarm

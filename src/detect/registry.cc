@@ -17,6 +17,8 @@ std::string_view DataSourceName(DataSource source) {
       return "fuzz_findings";
     case DataSource::kDefender:
       return "defender";
+    case DataSource::kProtocolGraph:
+      return "protocol_graph";
   }
   return "?";
 }
@@ -97,6 +99,7 @@ HuntRegistry HuntRegistry::WithDefaultHunts() {
   // Ids are unique by construction; Register cannot fail here.
   (void)registry.Register(std::make_unique<SiftRuleHunt>());
   (void)registry.Register(std::make_unique<ExhaustionOracleHunt>());
+  (void)registry.Register(std::make_unique<ProtocolChainHunt>());
   (void)registry.Register(std::make_unique<AlarmReportHunt>());
   (void)registry.Register(std::make_unique<SlowDripHunt>());
   (void)registry.Register(std::make_unique<DeathRecipientChurnHunt>());

@@ -95,6 +95,33 @@ Status CampaignRunner::Prepare() {
   }
   mutator_.emplace(&model_, live_services, options_.mutator);
 
+  if (options_.seed_from_protocol) {
+    protocol_graph_.emplace(
+        analysis::protocol::ProtocolGraph::Build(model_, report_));
+    // Each chain's terminal edge becomes one link; chains iterate in the
+    // graph's canonical DFS order, and the first chain reaching a consumer
+    // wins, so the link list is deterministic. The mutator drops links whose
+    // endpoints are not in the live pool.
+    std::vector<ProtocolLink> links;
+    std::set<std::string> linked_consumers;
+    for (const analysis::protocol::ProtocolChain& chain :
+         protocol_graph_->chains()) {
+      const analysis::protocol::ProtocolEdge& edge =
+          protocol_graph_->edges()[chain.edge_ids.back()];
+      const analysis::AnalyzedInterface& consumer =
+          report_.interfaces[edge.consumer];
+      if (!linked_consumers.insert(consumer.id).second) continue;
+      ProtocolLink link;
+      link.producer_id = report_.interfaces[edge.producer].id;
+      link.consumer_id = consumer.id;
+      link.arg_index = edge.arg_index;
+      link.spoof_caller = consumer.constraint_trusts_caller;
+      link.victim_hint = consumer.app_hosted ? consumer.package : "";
+      links.push_back(std::move(link));
+    }
+    mutator_->EnableProtocolMode(std::move(links));
+  }
+
   ExecOptions exec;
   exec.gc_every_calls = options_.gc_every_calls;
   exec.permissions = std::move(permissions);
@@ -147,6 +174,39 @@ CampaignResult CampaignRunner::Run() {
   std::set<std::uint64_t> suspect_fingerprints;
   std::size_t seeded_suspects = 0;
 
+  // --- Seed: ProtocolGraph chains as wired multi-call sequences -------------
+  // Chain seeds run *before* the analysis seeds: the confirm phase probes the
+  // first suspect carrying each method, and a chain's call embeds protocol
+  // knowledge (spoofed caller, wired token) that the homogeneous analysis
+  // seed for the same method lacks. enqueueToast is the concrete case — its
+  // analysis seed screens suspicious with a random package that the
+  // per-package cap then bounds during confirm, masking the spoofed variant.
+  if (options_.seed_from_protocol && mutator_->protocol_aware()) {
+    const std::size_t n_links =
+        std::min(mutator_->links().size(),
+                 static_cast<std::size_t>(std::max(0, options_.budget)));
+    std::vector<ShardExec> chain_execs = harness::RunOrdered<ShardExec>(
+        n_links, options_.jobs, [&](std::size_t i) {
+          Rng rng(MixSeed(options_.seed, 0x5052'4F54ull /* "PROT" */, i));
+          Sequence seq = mutator_->GenerateChain(
+              i, std::max(2, options_.seed_sequence_calls), rng);
+          std::unique_ptr<core::AndroidSystem> system =
+              ResetSystem(400'000 + i);
+          ExecOutcome outcome = executor_->Execute(*system, seq);
+          return ShardExec{std::move(seq), std::move(outcome.elements),
+                           oracle_.Screen(outcome.obs)};
+        });
+    for (ShardExec& exec : chain_execs) {
+      ++stats.protocol_seed_executions;
+      corpus_.Add(exec.seq, exec.elements);
+      if (exec.screen.suspicious() &&
+          suspect_fingerprints.insert(exec.seq.Fingerprint()).second) {
+        suspects.push_back({std::move(exec.seq), exec.screen.kind});
+      }
+    }
+    seeded_suspects = suspects.size();
+  }
+
   // --- Seed: witness-bearing static candidates as initial sequences ---------
   if (options_.seed_from_analysis) {
     std::set<std::string> pool_ids;
@@ -160,8 +220,8 @@ CampaignResult CampaignRunner::Run() {
       seed_ifaces.push_back(&iface);
     }
     // Never seed past the screening budget: seed + random spend == budget.
-    const std::size_t seed_cap =
-        static_cast<std::size_t>(std::max(0, options_.budget));
+    const std::size_t seed_cap = static_cast<std::size_t>(
+        std::max(0, options_.budget - stats.protocol_seed_executions));
     if (seed_ifaces.size() > seed_cap) seed_ifaces.resize(seed_cap);
     std::vector<ShardExec> seed_execs = harness::RunOrdered<ShardExec>(
         seed_ifaces.size(), options_.jobs, [&](std::size_t i) {
@@ -194,7 +254,8 @@ CampaignResult CampaignRunner::Run() {
   // Seed executions come out of the screening budget: a seeded campaign and
   // an unseeded one spend the same number of executions.
   const int budget =
-      std::max(0, options_.budget - stats.seed_executions);
+      std::max(0, options_.budget - stats.seed_executions -
+                      stats.protocol_seed_executions);
   const int per_round = budget / rounds;
   for (int round = 0; round < rounds; ++round) {
     const int round_budget =
@@ -250,19 +311,40 @@ CampaignResult CampaignRunner::Run() {
   struct Target {
     IpcCall call;
     std::size_t suspect;
+    // Producer calls the homogeneous probe needs once up front (mint the
+    // token / open the session the repeated call's from_step consumes).
+    std::vector<IpcCall> setup;
   };
   std::vector<Target> targets;
   std::set<std::string> targeted;
   for (std::size_t si = 0; si < suspects.size(); ++si) {
-    for (const IpcCall& call : suspects[si].seq.calls) {
+    const std::vector<IpcCall>& witness_calls = suspects[si].seq.calls;
+    for (const IpcCall& call : witness_calls) {
       if (targeted.insert(call.method_id).second) {
-        Target target{call, si};
+        Target target{call, si, {}};
         // The strict probe follows the census's §III.D discipline — a fresh
         // Binder per call — so a witness that drew the shared-binder variant
         // does not mask retention. Other argument values (e.g. an "android"
-        // spoof string) are preserved.
+        // spoof string) are preserved. Scalar protocol wirings survive too:
+        // the producer call is copied into the setup prefix and from_step
+        // rebased onto it, so a gated target still sees a valid token on
+        // every repetition (tokens are multi-use; a wired binder would dedupe
+        // across repetitions, so binder slots revert to fresh mints).
         for (ArgValue& arg : target.call.args) {
-          if (arg.kind == services::ArgKind::kBinder) arg.fresh_binder = true;
+          if (arg.kind == services::ArgKind::kBinder) {
+            arg.fresh_binder = true;
+            arg.from_step = -1;
+          } else if (arg.from_step >= 0 &&
+                     static_cast<std::size_t>(arg.from_step) <
+                         witness_calls.size()) {
+            target.setup.push_back(witness_calls[arg.from_step]);
+            for (ArgValue& produced : target.setup.back().args) {
+              produced.from_step = -1;  // producers run first, nothing before
+            }
+            arg.from_step = static_cast<int>(target.setup.size()) - 1;
+          } else {
+            arg.from_step = -1;
+          }
         }
         targets.push_back(std::move(target));
       }
@@ -273,7 +355,8 @@ CampaignResult CampaignRunner::Run() {
         std::unique_ptr<core::AndroidSystem> system =
             ResetSystem(100'000 + i);
         ExecOutcome outcome = executor_->ExecuteRepeated(
-            *system, targets[i].call, options_.confirm_calls);
+            *system, targets[i].call, options_.confirm_calls,
+            targets[i].setup);
         return oracle_.Confirm(outcome.obs);
       });
   stats.confirm_executions = static_cast<int>(targets.size());
@@ -348,8 +431,9 @@ CampaignResult CampaignRunner::Run() {
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) { return a.id < b.id; });
 
-  stats.total_executions = stats.seed_executions + stats.screen_executions +
-                           stats.confirm_executions +
+  stats.total_executions = stats.seed_executions +
+                           stats.protocol_seed_executions +
+                           stats.screen_executions + stats.confirm_executions +
                            stats.minimize_executions;
   stats.wall_ms = SecondsSince(start) * 1000.0;
   stats.execs_per_sec = stats.wall_ms > 0.0

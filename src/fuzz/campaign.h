@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "analysis/pipeline.h"
+#include "analysis/protocol/protocol_graph.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/android_system.h"
@@ -73,6 +74,14 @@ struct CampaignOptions {
   // Calls per analysis-derived seed sequence: long enough that a genuinely
   // retaining interface clears the screen oracle's retained-JGR floor.
   int seed_sequence_calls = 12;
+  // Seed from the ProtocolGraph as well: each chain's terminal edge becomes
+  // a ProtocolLink and contributes one wired producer→consumer chain seed
+  // (GenerateChain), executed alongside the analysis seeds and deducted from
+  // the same budget. Also switches the mutator to protocol mode, so random
+  // screening can splice wired pairs. Covers what single-entry seeding
+  // structurally cannot: interfaces that retain only when fed a value minted
+  // by an earlier call, caller-identity spoofs, and app-hosted victims.
+  bool seed_from_protocol = false;
   int minimize_exec_cap = 24;  // per-finding witness-trim execution budget
   // Reset by re-simulating the boot+warmup prefix instead of restoring the
   // snapshot (the cold baseline the bench compares against).
@@ -103,6 +112,7 @@ struct Finding {
 
 struct CampaignStats {
   int seed_executions = 0;  // analysis-derived seed sequences executed
+  int protocol_seed_executions = 0;  // ProtocolGraph chain seeds executed
   int screen_executions = 0;
   int confirm_executions = 0;
   int minimize_executions = 0;
@@ -160,6 +170,10 @@ class CampaignRunner {
   const model::CodeModel& model() const { return model_; }
   const analysis::AnalysisReport& report() const { return report_; }
   const Corpus& corpus() const { return corpus_; }
+  // Built by Prepare() when seed_from_protocol is set; nullptr otherwise.
+  const analysis::protocol::ProtocolGraph* protocol_graph() const {
+    return protocol_graph_ ? &*protocol_graph_ : nullptr;
+  }
 
   // A freshly reset system (snapshot restore, or a cold prefix rebuild under
   // cold_boot). `shard` labels restore failures with the failing shard.
@@ -184,6 +198,7 @@ class CampaignRunner {
   model::CodeModel model_;
   analysis::AnalysisReport report_;
   std::optional<Mutator> mutator_;
+  std::optional<analysis::protocol::ProtocolGraph> protocol_graph_;
   std::optional<SequenceExecutor> executor_;
   Oracle oracle_;
   sim::DeviceSpec prefix_;

@@ -46,14 +46,21 @@ class SequenceExecutor {
   const ExecOptions& options() const { return options_; }
 
   // Replays `seq`; the observed victim is system_server (mixed sequences
-  // touch many services, and the shared JGR table is the paper's target).
+  // touch many services, and the shared JGR table is the paper's target)
+  // unless the sequence carries a protocol victim_hint naming an app host.
+  // Reply values are captured per step, and later steps whose ArgValues
+  // carry `from_step` receive the captured binder/scalar — the dataflow-
+  // aware mode that replays ProtocolGraph chains concretely.
   ExecOutcome Execute(core::AndroidSystem& system, const Sequence& seq) const;
 
   // Homogeneous confirmation probe: the exact call, `calls` times, with the
   // victim resolved to the service's actual host (system_server or the
-  // hosting app process).
+  // hosting app process). `setup` runs once before the repetitions — the
+  // producer calls a protocol-gated target needs (mint a token, open a
+  // session) so the repeated call's from_step references resolve.
   ExecOutcome ExecuteRepeated(core::AndroidSystem& system, const IpcCall& call,
-                              int calls) const;
+                              int calls,
+                              const std::vector<IpcCall>& setup = {}) const;
 
  private:
   ExecOutcome Run(core::AndroidSystem& system,

@@ -95,6 +95,64 @@ IpcCall Mutator::MakeCall(const model::JavaMethodModel& method,
   return call;
 }
 
+void Mutator::EnableProtocolMode(std::vector<ProtocolLink> links) {
+  std::set<std::string> pool_ids;
+  for (const model::JavaMethodModel* method : pool_) pool_ids.insert(method->id);
+  links_.clear();
+  for (ProtocolLink& link : links) {
+    if (pool_ids.count(link.producer_id) != 0 &&
+        pool_ids.count(link.consumer_id) != 0) {
+      links_.push_back(std::move(link));
+    }
+  }
+}
+
+Sequence Mutator::GenerateChain(std::size_t link_index, int total_calls,
+                                Rng& rng) const {
+  Sequence seq;
+  if (link_index >= links_.size()) return seq;
+  const ProtocolLink& link = links_[link_index];
+  const model::JavaMethodModel* producer =
+      model_->FindJavaMethod(link.producer_id);
+  const model::JavaMethodModel* consumer =
+      model_->FindJavaMethod(link.consumer_id);
+  if (producer == nullptr || consumer == nullptr) return seq;
+  seq.victim_hint = link.victim_hint;
+  // Interleaved pairs, each wiring the consumer to its *own* producer step:
+  // every pair mints a fresh value, so retention accrues per pair instead of
+  // deduping on a single shared handle (RemoteCallbackList dedupes by node —
+  // one producer feeding N consumers would register one binder once).
+  const int pairs = std::max(1, total_calls / 2);
+  for (int i = 0; i < pairs; ++i) {
+    const int producer_step = static_cast<int>(seq.calls.size());
+    IpcCall prod = MakeCall(*producer, rng);
+    IpcCall cons = MakeCall(*consumer, rng);
+    if (link.arg_index < cons.args.size()) {
+      cons.args[link.arg_index].from_step = producer_step;
+    }
+    // Fresh binders throughout: a shared-binder producer would dedupe in its
+    // RemoteCallbackList and mint nothing past the first pair, flattening the
+    // very growth signal the chain seed exists to surface.
+    for (ArgValue& arg : prod.args) {
+      if (arg.kind == services::ArgKind::kBinder) arg.fresh_binder = true;
+    }
+    for (ArgValue& arg : cons.args) {
+      if (arg.kind == services::ArgKind::kBinder) arg.fresh_binder = true;
+    }
+    if (link.spoof_caller) {
+      for (ArgValue& arg : prod.args) {
+        if (arg.kind == services::ArgKind::kString) arg.str = "android";
+      }
+      for (ArgValue& arg : cons.args) {
+        if (arg.kind == services::ArgKind::kString) arg.str = "android";
+      }
+    }
+    seq.calls.push_back(std::move(prod));
+    seq.calls.push_back(std::move(cons));
+  }
+  return seq;
+}
+
 Sequence Mutator::Generate(Rng& rng) const {
   assert(!pool_.empty() && "mutator needs a non-empty call pool");
   Sequence seq;
@@ -112,8 +170,11 @@ Sequence Mutator::Mutate(const Sequence& seed, Rng& rng) const {
   if (seq.calls.empty()) return Generate(rng);
   const std::int64_t mutations =
       rng.UniformInt(options_.min_mutations, options_.max_mutations);
+  // The protocol splice is a seventh operator only in protocol mode, so a
+  // mutator without links replays the historical op stream byte-for-byte.
+  const std::uint64_t ops = protocol_aware() ? 7 : 6;
   for (std::int64_t m = 0; m < mutations; ++m) {
-    const std::uint64_t op = rng.UniformU64(6);
+    const std::uint64_t op = rng.UniformU64(ops);
     const std::size_t n = seq.calls.size();
     switch (op) {
       case 0: {  // insert a fresh call
@@ -149,7 +210,7 @@ Sequence Mutator::Mutate(const Sequence& seed, Rng& rng) const {
         if (method != nullptr) seq.calls[at] = MakeCall(*method, rng);
         break;
       }
-      default: {  // splice: replace the tail with fresh calls
+      case 5: {  // splice: replace the tail with fresh calls
         const std::size_t keep = rng.UniformU64(n);
         seq.calls.resize(keep);
         const std::int64_t extra = rng.UniformInt(1, 4);
@@ -157,6 +218,27 @@ Sequence Mutator::Mutate(const Sequence& seed, Rng& rng) const {
           seq.calls.push_back(
               MakeCall(*pool_[rng.UniformU64(pool_.size())], rng));
         }
+        break;
+      }
+      default: {  // protocol splice: insert a wired producer→consumer pair
+        Sequence pair = GenerateChain(rng.UniformU64(links_.size()),
+                                      /*total_calls=*/2, rng);
+        if (pair.calls.size() != 2) break;
+        const std::size_t at = rng.UniformU64(n + 1);
+        // Earlier wirings pointing at or past the insertion point shift by
+        // the pair's length so they keep naming the same producer step.
+        for (IpcCall& call : seq.calls) {
+          for (ArgValue& arg : call.args) {
+            if (arg.from_step >= static_cast<int>(at)) arg.from_step += 2;
+          }
+        }
+        // Rebase the pair's own wiring (step 0 in isolation) onto `at`.
+        for (ArgValue& arg : pair.calls[1].args) {
+          if (arg.from_step == 0) arg.from_step = static_cast<int>(at);
+        }
+        seq.calls.insert(seq.calls.begin() + static_cast<std::ptrdiff_t>(at),
+                         std::make_move_iterator(pair.calls.begin()),
+                         std::make_move_iterator(pair.calls.end()));
         break;
       }
     }

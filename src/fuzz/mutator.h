@@ -35,6 +35,25 @@ struct MutatorOptions {
   int max_mutations = 3;
 };
 
+// One ProtocolGraph edge lowered to fuzzing terms: calling `producer_id`
+// yields a reply value that `consumer_id`'s argument `arg_index` consumes.
+// GenerateChain turns a link into producer/consumer pairs whose consumer
+// slots carry ArgValue::from_step wiring.
+struct ProtocolLink {
+  std::string producer_id;  // code-model method id minting the value
+  std::string consumer_id;  // code-model method id consuming it
+  std::size_t arg_index = 0;
+  // The consumer's constraint trusts a caller-supplied identity (analysis
+  // fact): force every string slot to the "android" spoof so the chain seed
+  // exercises the bypass, not a random identity.
+  bool spoof_caller = false;
+  // Hosting app package of the consumer's service ("" = system_server) —
+  // becomes Sequence::victim_hint so screening watches the right process.
+  std::string victim_hint;
+
+  bool operator==(const ProtocolLink&) const = default;
+};
+
 class Mutator {
  public:
   // The call pool is every IPC entry of `model` whose service is in
@@ -53,11 +72,30 @@ class Mutator {
   Sequence Generate(Rng& rng) const;
 
   // A mutated copy of `seed`: insert/delete/duplicate/swap calls, regenerate
-  // a call's arguments, or splice the tail with fresh calls.
+  // a call's arguments, or splice the tail with fresh calls. In protocol
+  // mode a seventh operator splices a wired producer→consumer pair from a
+  // ProtocolLink into the sequence.
   Sequence Mutate(const Sequence& seed, Rng& rng) const;
 
   // One concrete call of `method` with randomized arguments.
   IpcCall MakeCall(const model::JavaMethodModel& method, Rng& rng) const;
+
+  // Dataflow-aware mode: hand the mutator the ProtocolGraph's edges (lowered
+  // to links). Only links whose endpoints are both in the pool are kept, in
+  // the order given (callers derive them from the graph's canonical chain
+  // order, so the retained list is deterministic).
+  void EnableProtocolMode(std::vector<ProtocolLink> links);
+  bool protocol_aware() const { return !links_.empty(); }
+  const std::vector<ProtocolLink>& links() const { return links_; }
+
+  // A chain seed for `links()[link_index]`: repeated [producer, consumer]
+  // pairs (total_calls steps, at least one pair) where each consumer call
+  // wires its consumed argument to its *own* pair's producer step — every
+  // pair mints a fresh value, so per-value retention accumulates instead of
+  // deduping on one shared handle. Consumer binder slots not being wired are
+  // fresh per call; spoof_caller links force string slots to "android".
+  Sequence GenerateChain(std::size_t link_index, int total_calls,
+                         Rng& rng) const;
 
  private:
   ArgValue MakeArg(services::ArgKind kind, Rng& rng) const;
@@ -65,6 +103,7 @@ class Mutator {
   const model::CodeModel* model_;
   std::vector<const model::JavaMethodModel*> pool_;
   MutatorOptions options_;
+  std::vector<ProtocolLink> links_;
 };
 
 }  // namespace jgre::fuzz

@@ -29,6 +29,12 @@ struct ArgValue {
   // unbounded-retention pattern); false passes the execution's shared
   // callback binder (re-registration, the corner sift rule 4 keys on).
   bool fresh_binder = true;
+  // Protocol dataflow: >= 0 wires this slot to the reply value captured from
+  // an earlier step of the same sequence (the ProtocolGraph's A.ret → B.argK
+  // edge made concrete). The executor substitutes the captured binder/scalar
+  // when the referenced step produced a type-compatible value; a dangling or
+  // forward reference falls back to the literal value above.
+  int from_step = -1;
 
   bool operator==(const ArgValue&) const = default;
 };
@@ -46,6 +52,11 @@ struct IpcCall {
 
 struct Sequence {
   std::vector<IpcCall> calls;
+  // Protocol dataflow: which process the screening execution should observe
+  // ("" = system_server). Chain seeds targeting app-hosted services set the
+  // hosting package, so retention in the app host is visible at screen time
+  // (the confirm probe already resolves the true host on its own).
+  std::string victim_hint;
 
   bool operator==(const Sequence&) const = default;
 
@@ -67,8 +78,10 @@ struct Sequence {
         out.Str(arg.str);
         out.U64(arg.byte_size);
         out.Bool(arg.fresh_binder);
+        out.I64(arg.from_step);
       }
     }
+    out.Str(victim_hint);
     return out.Hash();
   }
 };

@@ -16,6 +16,20 @@ std::string_view PermissionLevelName(PermissionLevel level) {
   return "?";
 }
 
+std::string_view ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kOpaque:
+      return "opaque";
+    case ValueKind::kToken:
+      return "token";
+    case ValueKind::kId:
+      return "id";
+    case ValueKind::kBinderHandle:
+      return "binder-handle";
+  }
+  return "?";
+}
+
 const JavaMethodModel* CodeModel::FindJavaMethod(const std::string& id) const {
   auto it = java_methods.find(id);
   return it == java_methods.end() ? nullptr : &it->second;

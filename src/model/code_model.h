@@ -63,6 +63,27 @@ enum class PermissionLevel { kNone, kNormal, kDangerous, kSignature };
 
 std::string_view PermissionLevelName(PermissionLevel level);
 
+// What a value minted or consumed by an IPC entry *is* for cross-transaction
+// protocol purposes (BinderCracker-style dependency-aware fuzzing): the kind
+// plus the mint domain it belongs to ("audio.session", "tts.engine-slot").
+// A consumer argument matches a producer return iff the kinds agree and the
+// domains are equal.
+enum class ValueKind {
+  kOpaque,        // no cross-call meaning (the default for every argument)
+  kToken,         // service-minted capability token handed back to the caller
+  kId,            // service-minted numeric identity
+  kBinderHandle,  // service-minted strong binder (session objects)
+};
+
+std::string_view ValueKindName(ValueKind kind);
+
+struct ValueModel {
+  ValueKind kind = ValueKind::kOpaque;
+  std::string domain;  // "" = no protocol meaning
+
+  bool minted() const { return kind != ValueKind::kOpaque && !domain.empty(); }
+};
+
 // A Java-side method (IPC entry or framework-internal helper).
 struct JavaMethodModel {
   std::string id;       // unique: "android.content.IClipboard.addPrimary..."
@@ -76,8 +97,16 @@ struct JavaMethodModel {
   std::set<BodyFact> facts;
   std::vector<std::string> callees;  // ids of Java methods this one calls
   std::string permission;            // required permission ("" = none)
+  // Protocol facts (def/use half-edges the ProtocolGraph joins): what the
+  // entry returns to its caller, and where each argument's value comes from.
+  ValueModel returns;
+  std::vector<ValueModel> arg_provenance;  // parallel to args; may be shorter
 
   bool HasFact(BodyFact fact) const { return facts.count(fact) > 0; }
+  // Provenance of argument `index`, defaulting to opaque when undeclared.
+  ValueModel ProvenanceOf(std::size_t index) const {
+    return index < arg_provenance.size() ? arg_provenance[index] : ValueModel{};
+  }
   bool HasBinderParam() const {
     for (services::ArgKind a : args) {
       if (a == services::ArgKind::kBinder) return true;

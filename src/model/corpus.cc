@@ -350,6 +350,10 @@ std::set<BodyFact> FactsForKind(services::MethodKind kind) {
       return {BodyFact::kUsesParamTransiently};
     case services::MethodKind::kConsumeFd:
       return {BodyFact::kRetainsFileDescriptor};
+    case services::MethodKind::kMintToken:
+      return {};
+    case services::MethodKind::kRegisterGated:
+      return {BodyFact::kStoresParamInCollection, BodyFact::kLinksToDeath};
   }
   return {};
 }
@@ -359,6 +363,7 @@ std::vector<std::string> CalleesForKind(services::MethodKind kind) {
     case services::MethodKind::kRegister:
     case services::MethodKind::kSession:
     case services::MethodKind::kRegisterPerProcess:
+    case services::MethodKind::kRegisterGated:
       return {"android.os.RemoteCallbackList.register"};
     case services::MethodKind::kUnregister:
       return {"android.os.RemoteCallbackList.unregister"};
@@ -369,6 +374,58 @@ std::vector<std::string> CalleesForKind(services::MethodKind kind) {
     default:
       return {};
   }
+}
+
+// Protocol half-edges the ProtocolGraph joins: what a method's reply mints
+// (kSession really writes the session binder into the reply parcel; kMintToken
+// writes the capability token) and what each argument consumes.
+ValueModel ReturnModelFor(const services::MethodSpec& spec,
+                          const std::string& service) {
+  ValueModel v;
+  switch (spec.kind) {
+    case services::MethodKind::kSession:
+      v.kind = ValueKind::kBinderHandle;
+      v.domain = spec.mints.empty() ? StrCat(service, ".session") : spec.mints;
+      break;
+    case services::MethodKind::kMintToken:
+      v.kind = ValueKind::kToken;
+      v.domain = spec.mints.empty() ? StrCat(service, ".token") : spec.mints;
+      break;
+    default:
+      if (!spec.mints.empty()) {
+        v.kind = ValueKind::kId;
+        v.domain = spec.mints;
+      }
+      break;
+  }
+  return v;
+}
+
+ValueKind ConsumeKindFor(ArgKind arg) {
+  switch (arg) {
+    case ArgKind::kBinder:
+      return ValueKind::kBinderHandle;
+    case ArgKind::kInt64:
+    case ArgKind::kString:
+      return ValueKind::kToken;
+    case ArgKind::kInt32:
+      return ValueKind::kId;
+    default:
+      return ValueKind::kOpaque;
+  }
+}
+
+std::vector<ValueModel> ArgProvenanceFor(const services::MethodSpec& spec) {
+  std::vector<ValueModel> prov;
+  if (spec.consumes.empty()) return prov;
+  prov.resize(spec.args.size());
+  for (std::size_t i = 0;
+       i < spec.args.size() && i < spec.consumes.size(); ++i) {
+    if (spec.consumes[i].empty()) continue;
+    prov[i].kind = ConsumeKindFor(spec.args[i]);
+    prov[i].domain = spec.consumes[i];
+  }
+  return prov;
 }
 
 void AddRegistryDerivedServices(CodeModel* model,
@@ -415,6 +472,8 @@ void AddRegistryDerivedServices(CodeModel* model,
       m.facts = FactsForKind(spec.kind);
       m.callees = CalleesForKind(spec.kind);
       m.permission = spec.permission == nullptr ? "" : spec.permission;
+      m.returns = ReturnModelFor(spec, name);
+      m.arg_provenance = ArgProvenanceFor(spec);
       model->java_methods[m.id] = std::move(m);
     }
   });

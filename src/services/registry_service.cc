@@ -59,17 +59,20 @@ std::int64_t RegistryServiceBase::ConsumedFds(int registry) const {
 Status RegistryServiceBase::ReadArgs(
     const MethodSpec& spec, const binder::Parcel& data,
     const binder::CallContext& ctx,
-    std::vector<binder::StrongBinder>* binders, int* fds_received) const {
+    std::vector<binder::StrongBinder>* binders, int* fds_received,
+    std::vector<std::int64_t>* scalars) const {
   for (ArgKind kind : spec.args) {
     switch (kind) {
       case ArgKind::kInt32: {
         auto v = data.ReadInt32();
         if (!v.ok()) return v.status();
+        if (scalars != nullptr) scalars->push_back(v.value());
         break;
       }
       case ArgKind::kInt64: {
         auto v = data.ReadInt64();
         if (!v.ok()) return v.status();
+        if (scalars != nullptr) scalars->push_back(v.value());
         break;
       }
       case ArgKind::kBool: {
@@ -128,6 +131,9 @@ void RegistryServiceBase::SaveState(snapshot::Serializer& out) const {
     }
     out.I64(reg.single_slot.value());
     out.I64(reg.consumed_fds);
+    out.U64(reg.minted_tokens.size());
+    for (std::int64_t token : reg.minted_tokens) out.I64(token);
+    out.I64(reg.next_token_seq);
   }
 }
 
@@ -151,6 +157,11 @@ void RegistryServiceBase::RestoreState(snapshot::Deserializer& in) {
     }
     reg.single_slot = NodeId{in.I64()};
     reg.consumed_fds = in.I64();
+    reg.minted_tokens.clear();
+    for (std::uint64_t i = 0, n = in.U64(); i < n && in.ok(); ++i) {
+      reg.minted_tokens.insert(in.I64());
+    }
+    reg.next_token_seq = in.I64();
   }
 }
 
@@ -175,7 +186,9 @@ Status RegistryServiceBase::OnTransact(std::uint32_t code,
 
   std::vector<binder::StrongBinder> binders;
   int fds_received = 0;
-  JGRE_RETURN_IF_ERROR(ReadArgs(*spec, data, ctx, &binders, &fds_received));
+  std::vector<std::int64_t> scalars;
+  JGRE_RETURN_IF_ERROR(
+      ReadArgs(*spec, data, ctx, &binders, &fds_received, &scalars));
 
   switch (spec->kind) {
     case MethodKind::kQuery:
@@ -250,6 +263,35 @@ Status RegistryServiceBase::OnTransact(std::uint32_t code,
       }
       reg.callbacks->Register(binders.front());
       reg.per_process[ctx.calling_pid] = binders.front().node;
+      return Status::Ok();
+    }
+
+    case MethodKind::kMintToken: {
+      // Mint a capability token the caller must echo into kRegisterGated
+      // calls. High bits keep the token space disjoint from anything a
+      // protocol-blind fuzzer draws from its scalar dictionary; the low bits
+      // come from a per-registry counter so replay is deterministic.
+      const std::int64_t token =
+          (std::int64_t{0x4A47} << 48) |
+          ((reg.next_token_seq++ * std::int64_t{2654435761}) &
+           std::int64_t{0xFFFF'FFFF'FFFF});
+      reg.minted_tokens.insert(token);
+      if (reply != nullptr) reply->WriteInt64(token);
+      return Status::Ok();
+    }
+
+    case MethodKind::kRegisterGated: {
+      // Dependency-aware retention (BinderCracker §IV): the callback binder
+      // is retained only behind a previously minted token, so single-call
+      // fuzzing never reaches the collection sink.
+      if (scalars.empty() || reg.minted_tokens.count(scalars.front()) == 0) {
+        return InvalidArgument(
+            StrCat(spec->method, ": unknown protocol token"));
+      }
+      for (const binder::StrongBinder& b : binders) {
+        if (b.valid()) reg.callbacks->Register(b);
+      }
+      if (reply != nullptr) reply->WriteInt32(0);
       return Status::Ok();
     }
 

@@ -25,6 +25,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,13 @@ enum class MethodKind {
   // (§VI: a resource-exhaustion bug the JGRE pipeline is structurally blind
   // to — no binder is retained and no JGR is created).
   kConsumeFd,
+  // Cross-transaction protocol pair (BinderCracker-style): kMintToken replies
+  // with a service-minted 64-bit capability token; kRegisterGated retains its
+  // callback binder only when the leading int64 argument is a token this
+  // service minted earlier — otherwise the call is rejected and nothing is
+  // retained. Exercised by protocol-analysis tests, not by the AOSP corpus.
+  kMintToken,
+  kRegisterGated,
 };
 
 struct MethodSpec {
@@ -56,6 +64,12 @@ struct MethodSpec {
   int registry = 0;                     // which callback list / slot
   const char* permission = nullptr;     // nullptr => no permission required
   CostProfile cost{};
+  // Cross-call protocol declaration, mirrored into the code model by the
+  // corpus: the mint domain of the value this method's reply carries
+  // ("" = none; kSession and kMintToken methods get a default domain) and,
+  // parallel to args, the mint domain each argument consumes ("" = opaque).
+  std::string mints{};
+  std::vector<std::string> consumes{};
 };
 
 class RegistryServiceBase : public SystemService {
@@ -92,13 +106,18 @@ class RegistryServiceBase : public SystemService {
     NodeId single_slot;
     // fds dup'd into the host and never closed (kConsumeFd).
     std::int64_t consumed_fds = 0;
+    // Capability tokens handed out by kMintToken and honored by
+    // kRegisterGated. std::set: snapshot serialization stays deterministic.
+    std::set<std::int64_t> minted_tokens;
+    std::int64_t next_token_seq = 0;
   };
 
   const MethodSpec* FindMethod(std::uint32_t code) const;
   Status ReadArgs(const MethodSpec& spec, const binder::Parcel& data,
                   const binder::CallContext& ctx,
                   std::vector<binder::StrongBinder>* binders,
-                  int* fds_received) const;
+                  int* fds_received,
+                  std::vector<std::int64_t>* scalars) const;
   void DropSession(Registry& reg, NodeId client_node);
 
   Pid host_pid_;

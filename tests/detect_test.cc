@@ -122,15 +122,21 @@ TEST(HuntRegistryTest, RunsOnlyHuntsWhoseSourcesAreAvailable) {
   EXPECT_EQ(stats[2].missing, MaskOf(DataSource::kTraceEvents));
 }
 
-TEST(HuntRegistryTest, DefaultBatteryHasTheFiveStandardHunts) {
+TEST(HuntRegistryTest, DefaultBatteryHasTheSixStandardHunts) {
   const detect::HuntRegistry registry = detect::HuntRegistry::WithDefaultHunts();
-  EXPECT_EQ(registry.size(), 5u);
+  EXPECT_EQ(registry.size(), 6u);
   EXPECT_NE(registry.Find("static.sift-rules"), nullptr);
   EXPECT_NE(registry.Find("fuzz.exhaustion-oracle"), nullptr);
+  EXPECT_NE(registry.Find("protocol.cross-call-retention"), nullptr);
   EXPECT_NE(registry.Find("defense.alarm-report"), nullptr);
   EXPECT_NE(registry.Find("followup.slow-drip"), nullptr);
   EXPECT_NE(registry.Find("followup.death-churn"), nullptr);
   EXPECT_EQ(registry.Find("no.such"), nullptr);
+  // The protocol hunt gates on the protocol-graph modality: an analysis-only
+  // run (the census's static pass) must never schedule it.
+  EXPECT_EQ(registry.Find("protocol.cross-call-retention")->required_sources(),
+            MaskOf(DataSource::kAnalysis) |
+                MaskOf(DataSource::kProtocolGraph));
 }
 
 // --- Fuser -------------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include "fuzz/oracle.h"
 #include "harness/branch_runner.h"
 #include "model/corpus.h"
+#include "services/registry_service.h"
 
 namespace jgre {
 namespace {
@@ -362,6 +363,184 @@ TEST(FuzzCampaignTest, AnalysisSeedingIsBudgetNeutralAndDeterministic) {
   };
   EXPECT_GT(registry_refinds(a, seeded.report()),
             registry_refinds(c, unseeded.report()));
+}
+
+// --- Protocol dataflow mode --------------------------------------------------
+
+// Golden two-call token protocol (BinderCracker §IV): mintSession replies
+// with a capability token; registerWithToken retains its callback binder
+// only behind a valid token. The token space is disjoint from the mutator's
+// scalar dictionary, so the collection sink is unreachable without wiring
+// the reply into the dependent call.
+class TokenGateService : public services::RegistryServiceBase {
+ public:
+  static constexpr char kName[] = "tokengate";
+  TokenGateService(services::SystemContext* sys, Pid host_pid)
+      : RegistryServiceBase(
+            sys, kName, "com.test.ITokenGate", host_pid, {"callbacks"},
+            {services::MethodSpec{1, "mintSession",
+                                  services::MethodKind::kMintToken},
+             services::MethodSpec{2, "registerWithToken",
+                                  services::MethodKind::kRegisterGated,
+                                  {services::ArgKind::kInt64,
+                                   services::ArgKind::kBinder},
+                                  0, nullptr, {}, "",
+                                  {"tokengate.token", ""}}}) {}
+};
+
+std::unique_ptr<core::AndroidSystem> MakeTokenGateSystem() {
+  auto system = std::make_unique<core::AndroidSystem>();
+  system->Boot();
+  auto service = std::make_shared<TokenGateService>(
+      &system->context(), system->system_server_pid());
+  system->driver().RegisterBinder(service, system->system_server_pid());
+  (void)system->service_manager().AddService(TokenGateService::kName, service,
+                                             kSystemUid);
+  system->KeepServiceAlive(TokenGateService::kName, service);
+  return system;
+}
+
+// Same seed => same chain and same protocol-spliced mutation, byte for byte;
+// and a mutator without links replays the historical 6-op stream unchanged,
+// so enabling the mode elsewhere cannot disturb non-protocol campaigns.
+TEST_F(FuzzTest, ProtocolSpliceIsDeterministicAndOffModeIsByteStable) {
+  fuzz::Mutator plain(model_, *live_services_);
+  fuzz::Mutator wired(model_, *live_services_);
+  ASSERT_FALSE(wired.protocol_aware());
+  const model::JavaMethodModel* producer =
+      FindMethod("media_session", "createSession");
+  const model::JavaMethodModel* consumer =
+      FindMethod("notification", "enqueueToast");
+  ASSERT_NE(producer, nullptr);
+  ASSERT_NE(consumer, nullptr);
+  wired.EnableProtocolMode({{producer->id, consumer->id, 1, true, ""}});
+  ASSERT_TRUE(wired.protocol_aware());
+
+  fuzz::Mutator wired2(model_, *live_services_);
+  wired2.EnableProtocolMode({{producer->id, consumer->id, 1, true, ""}});
+  Rng a(7), b(7);
+  for (int i = 0; i < 10; ++i) {
+    const fuzz::Sequence ca = wired.GenerateChain(0, 8, a);
+    const fuzz::Sequence cb = wired2.GenerateChain(0, 8, b);
+    ASSERT_TRUE(ca == cb);
+    EXPECT_EQ(ca.Fingerprint(), cb.Fingerprint());
+    // Every pair wires the consumer to its own producer step.
+    ASSERT_EQ(ca.calls.size(), 8u);
+    for (std::size_t p = 0; p < ca.calls.size(); p += 2) {
+      EXPECT_EQ(ca.calls[p].method_id, producer->id);
+      EXPECT_EQ(ca.calls[p + 1].method_id, consumer->id);
+      EXPECT_EQ(ca.calls[p + 1].args[1].from_step, static_cast<int>(p));
+    }
+  }
+  Rng ma(99), mb(99);
+  const fuzz::Sequence seed = plain.Generate(ma);
+  (void)plain.Generate(mb);  // keep the two streams aligned
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(wired.Mutate(seed, ma).Fingerprint(),
+              wired2.Mutate(seed, mb).Fingerprint());
+  }
+  // Off mode: identical op stream with or without the protocol splice code.
+  Rng pa(55), pb(55);
+  fuzz::Mutator plain2(model_, *live_services_);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(plain.Mutate(seed, pa).Fingerprint(),
+              plain2.Mutate(seed, pb).Fingerprint());
+  }
+}
+
+// The golden protocol is re-found only in dataflow mode at a minimal budget:
+// unseeded sequences never pass the token gate, a wired chain retains a
+// callback per pair, and the confirm-style probe (producer in the setup
+// prefix, token wired across) passes the strict growth bar.
+TEST(FuzzProtocolGoldenTest, TwoCallTokenProtocolNeedsDataflowSeeding) {
+  std::unique_ptr<core::AndroidSystem> booted = MakeTokenGateSystem();
+  model::CodeModel model = model::BuildAospModel(*booted);
+  const std::string gated_id = "com.test.ITokenGate.registerWithToken";
+  const std::string mint_id = "com.test.ITokenGate.mintSession";
+  ASSERT_NE(model.FindJavaMethod(gated_id), nullptr);
+
+  const std::set<std::string> live = {TokenGateService::kName};
+  fuzz::Mutator mutator(&model, live);
+  ASSERT_EQ(mutator.pool().size(), 2u);
+  const fuzz::SequenceExecutor executor(&model, {});
+  const fuzz::Oracle oracle;
+
+  // Unseeded: random sequences over the same two methods never retain —
+  // every registerWithToken call draws its token from the dictionary and is
+  // rejected, so the service's callback registry stays empty.
+  Rng rng(42);
+  for (int i = 0; i < 12; ++i) {
+    std::unique_ptr<core::AndroidSystem> system = MakeTokenGateSystem();
+    const fuzz::Sequence seq = mutator.Generate(rng);
+    (void)executor.Execute(*system, seq);
+    auto* service = system->Service<TokenGateService>();
+    ASSERT_NE(service, nullptr);
+    EXPECT_EQ(service->RegistryCount(0), 0u) << "iteration " << i;
+  }
+
+  // Dataflow mode: the chain wires each pair's minted token into its own
+  // consumer; every pair registers one callback.
+  mutator.EnableProtocolMode({{mint_id, gated_id, 0, false, ""}});
+  fuzz::Sequence chain = mutator.GenerateChain(0, 20, rng);
+  ASSERT_EQ(chain.calls.size(), 20u);
+  std::unique_ptr<core::AndroidSystem> system = MakeTokenGateSystem();
+  const fuzz::ExecOutcome outcome = executor.Execute(*system, chain);
+  EXPECT_EQ(system->Service<TokenGateService>()->RegistryCount(0), 10u);
+  EXPECT_TRUE(oracle.Screen(outcome.obs).suspicious());
+
+  // Confirm discipline: the producer runs once in the setup prefix, the
+  // repeated gated call re-uses its minted token (tokens are multi-use) with
+  // a fresh callback binder per repetition.
+  fuzz::IpcCall setup = chain.calls[0];
+  fuzz::IpcCall probe = chain.calls[1];
+  probe.args[0].from_step = 0;
+  probe.args[1].from_step = -1;
+  probe.args[1].fresh_binder = true;
+  std::unique_ptr<core::AndroidSystem> confirm_system = MakeTokenGateSystem();
+  const fuzz::ExecOutcome confirmed =
+      executor.ExecuteRepeated(*confirm_system, probe, 300, {setup});
+  const fuzz::OracleVerdict verdict = fuzz::Oracle().Confirm(confirmed.obs);
+  EXPECT_EQ(verdict.kind, fuzz::ExhaustionKind::kJgr);
+  EXPECT_GE(verdict.jgr_growth_per_call, 0.5);
+}
+
+// Protocol seeding end-to-end: budget-neutral, deterministic across --jobs,
+// and the protocol-mode fingerprint layout round-trips through a campaign.
+TEST(FuzzCampaignTest, ProtocolSeedingIsBudgetNeutralAndDeterministic) {
+  fuzz::CampaignOptions options;
+  options.seed = 42;
+  options.budget = 80;
+  options.rounds = 2;
+  options.shard_execs = 6;
+  options.confirm_calls = 200;
+  options.warmup_apps = 8;
+  options.warmup_foreground_us = 2'000'000;
+  options.seed_from_analysis = true;
+  options.seed_from_protocol = true;
+
+  options.jobs = 1;
+  fuzz::CampaignRunner seeded(options);
+  const fuzz::CampaignResult a = seeded.Run();
+  EXPECT_GT(a.stats.protocol_seed_executions, 0);
+  ASSERT_NE(seeded.protocol_graph(), nullptr);
+  EXPECT_GT(seeded.protocol_graph()->stats().multi_service_chains, 0u);
+  // Budget-neutral: chain seeds + analysis seeds + random screening == budget.
+  EXPECT_EQ(a.stats.protocol_seed_executions + a.stats.seed_executions +
+                a.stats.screen_executions,
+            80);
+
+  options.jobs = 4;
+  fuzz::CampaignRunner parallel(options);
+  const fuzz::CampaignResult b = parallel.Run();
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].id, b.findings[i].id);
+    EXPECT_EQ(a.findings[i].minimized_calls, b.findings[i].minimized_calls);
+    EXPECT_TRUE(a.findings[i].witness == b.findings[i].witness);
+  }
+  EXPECT_EQ(a.stats.protocol_seed_executions, b.stats.protocol_seed_executions);
+  EXPECT_EQ(a.stats.suspects, b.stats.suspects);
+  EXPECT_EQ(a.stats.corpus_entries, b.stats.corpus_entries);
 }
 
 }  // namespace

@@ -150,6 +150,99 @@ TEST(TaintEngineTest, MutuallyRecursiveHelpersReachAFixpoint) {
             engine.engine_stats.java_methods);
 }
 
+// Tarjan edge case: the exploitable native method recurses into itself on
+// the far side of the JNI bridge. The summary fixpoint condenses the Java
+// self-loop into one component and the native witness BFS terminates on the
+// native self-loop — both without oscillating.
+TEST(TaintEngineTest, SelfRecursiveNativeMethodAcrossJniBridgeConverges) {
+  model::CodeModel m = NewServiceModel();
+  auto& entry = AddIpcMethod(&m, "com.test.Svc.spin", "spin", 1);
+  entry.args = {services::ArgKind::kInt32};  // no binder: witness via JNI
+  entry.facts = {model::BodyFact::kStoresParamInCollection};
+  entry.callees = {entry.id};  // Java-side self-recursion
+
+  model::NativeMethodModel native;
+  native.name = "com_test_Svc_nativeSpin";
+  native.is_jni_entry = true;
+  native.callees = {"com_test_Svc_nativeSpin",  // native-side self-recursion
+                    std::string(model::kJgrSinkFunction)};
+  m.native_methods[native.name] = native;
+  m.jni_registrations.push_back({entry.id, native.name});
+
+  analysis::taint::TaintEngine engine(&m, {entry.id});
+  engine.Run();
+  const analysis::taint::MethodSummary* summary = engine.SummaryOf(entry.id);
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->retention, analysis::taint::Retention::kCollection);
+  EXPECT_EQ(summary->jgr_entries, std::set<std::string>{entry.id});
+  // The self-loop is a nontrivial component; convergence took the one change
+  // pass plus the check pass — no oscillation.
+  EXPECT_GE(engine.stats().nontrivial_sccs, 1);
+  EXPECT_LE(engine.stats().fixpoint_iterations, 4 * engine.stats().java_methods);
+
+  const analysis::taint::WitnessPath witness =
+      engine.WitnessFor(entry.id, /*takes_binder=*/false);
+  ASSERT_FALSE(witness.empty());
+  EXPECT_EQ(witness.reason, "jgr-entry");
+  EXPECT_EQ(witness.steps.front().frame, entry.id);
+  EXPECT_EQ(witness.steps[1].kind, analysis::taint::StepKind::kJniBridge);
+  EXPECT_EQ(witness.steps[1].frame, native.name);
+  EXPECT_EQ(witness.sink(), std::string(model::kJgrSinkFunction));
+}
+
+// Tarjan edge case: a two-node mutual-recursion cycle that spans the JNI
+// bridge — Java entry A and helper B call each other, B drops into a native
+// pair that also recurses mutually before reaching the sink. One condensed
+// component per side; retention and reachability propagate around the Java
+// cycle and the witness stitches through the native cycle.
+TEST(TaintEngineTest, TwoNodeJavaNativeMutualRecursionCondensesAndConverges) {
+  model::CodeModel m = NewServiceModel();
+  auto& entry = AddIpcMethod(&m, "com.test.Svc.ping", "ping", 1);
+  entry.args = {services::ArgKind::kInt32};
+  entry.callees = {"com.test.Helper.pong"};
+  auto& helper = AddHelper(&m, "com.test.Helper.pong");
+  helper.callees = {entry.id};  // ping <-> pong
+  helper.facts = {model::BodyFact::kStoresParamInCollection};
+
+  model::NativeMethodModel na;
+  na.name = "com_test_nativePing";
+  na.is_jni_entry = true;
+  na.callees = {"com_test_nativePong"};
+  model::NativeMethodModel nb;
+  nb.name = "com_test_nativePong";
+  nb.callees = {"com_test_nativePing",  // native mutual recursion
+                std::string(model::kJgrSinkFunction)};
+  m.native_methods[na.name] = na;
+  m.native_methods[nb.name] = nb;
+  m.jni_registrations.push_back({helper.id, na.name});
+
+  analysis::taint::TaintEngine engine(&m, {helper.id});
+  engine.Run();
+  const analysis::taint::MethodSummary* at_entry = engine.SummaryOf(entry.id);
+  const analysis::taint::MethodSummary* at_helper = engine.SummaryOf(helper.id);
+  ASSERT_NE(at_entry, nullptr);
+  ASSERT_NE(at_helper, nullptr);
+  // The helper's retention and JGR reachability propagate around the cycle.
+  EXPECT_EQ(at_entry->retention, analysis::taint::Retention::kCollection);
+  EXPECT_EQ(at_entry->retention_via, helper.id);
+  EXPECT_EQ(at_entry->jgr_entries, std::set<std::string>{helper.id});
+  EXPECT_EQ(at_helper->jgr_entries, std::set<std::string>{helper.id});
+  EXPECT_GE(engine.stats().nontrivial_sccs, 1);
+  EXPECT_EQ(engine.stats().max_scc_size, 2);
+  // Converged without oscillation: the lattice height bounds the passes.
+  EXPECT_LE(engine.stats().fixpoint_iterations, 4 * engine.stats().java_methods);
+
+  const analysis::taint::WitnessPath witness =
+      engine.WitnessFor(entry.id, /*takes_binder=*/false);
+  ASSERT_FALSE(witness.empty());
+  EXPECT_EQ(witness.reason, "jgr-entry");
+  EXPECT_EQ(witness.steps.front().frame, entry.id);
+  EXPECT_EQ(witness.steps[1].frame, helper.id);
+  EXPECT_EQ(witness.steps[2].kind, analysis::taint::StepKind::kJniBridge);
+  EXPECT_EQ(witness.steps[2].frame, na.name);
+  EXPECT_EQ(witness.sink(), std::string(model::kJgrSinkFunction));
+}
+
 TEST(TaintEngineTest, MemberSlotCapAbsorbsCalleeRetention) {
   model::CodeModel m = NewServiceModel();
   // The replace-single pattern: the entry's net discipline is one slot,
